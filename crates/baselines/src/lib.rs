@@ -1,0 +1,21 @@
+//! Baselines compared against DataSculpt in §4 (Table 2, Figures 3–4).
+//!
+//! * [`wrench`] — the WRENCH benchmark's hand-written expert LFs, simulated
+//!   by an oracle "domain expert" that mines a small set of high-precision,
+//!   high-coverage keyword LFs from the dataset's generative model.
+//! * [`scriptorium`] — ScriptoriumWS (Huang et al., 2023): LFs generated
+//!   from a broad, task-description-only prompt with no query instances.
+//!   Cheap and high-coverage, but less precise — the lack-of-specificity
+//!   trade-off the paper's intro describes.
+//! * [`promptedlf`] — PromptedLF (Smith et al., 2022): every unlabeled
+//!   instance is annotated by every prompt template; each template's
+//!   answers form one weak-label column. Accurate but exhaustive — the
+//!   cost side of Figures 3–4.
+
+pub mod promptedlf;
+pub mod scriptorium;
+pub mod wrench;
+
+pub use promptedlf::{promptedlf_run, promptedlf_templates, PromptedLfResult};
+pub use scriptorium::{scriptorium_run, ScriptoriumResult};
+pub use wrench::{wrench_expert_lfs, wrench_lf_count};

@@ -1,0 +1,158 @@
+//! WRENCH expert LFs, simulated by an oracle domain expert.
+//!
+//! The WRENCH benchmark ships a small set of LFs written by human experts.
+//! Our substitute expert reads the dataset's generative model directly (the
+//! expert *knows the domain*) and picks, per class, the keywords with the
+//! best precision-coverage product — exactly the kind of broad, reliable
+//! keywords a human would write first. The LF counts per dataset match the
+//! `#LFs` row of Table 2.
+
+use datasculpt_core::lf::KeywordLf;
+use datasculpt_data::{DatasetName, TextDataset};
+
+/// Number of expert LFs per dataset (Table 2, WRENCH row).
+pub fn wrench_lf_count(name: DatasetName) -> usize {
+    match name {
+        DatasetName::Youtube => 10,
+        DatasetName::Sms => 73,
+        DatasetName::Imdb => 5,
+        DatasetName::Yelp => 8,
+        DatasetName::Agnews => 9,
+        DatasetName::Spouse => 9,
+    }
+}
+
+/// Mine `n_lfs` expert keyword LFs from the generative model, round-robin
+/// across classes, ranked by `accuracy² × √coverage` (experts favour
+/// precision first, then reach).
+pub fn wrench_expert_lfs(dataset: &TextDataset, n_lfs: usize) -> Vec<KeywordLf> {
+    let gen = &dataset.generative;
+    let priors = gen.priors();
+    let n_classes = gen.n_classes();
+    let relation = dataset.spec.relation;
+
+    // Rank candidates per class.
+    let mut per_class: Vec<Vec<(f64, KeywordLf)>> = vec![Vec::new(); n_classes];
+    for g in gen.indicative_grams() {
+        let c = g.dominant_class();
+        let acc = g.lf_accuracy(priors);
+        let cov = g.coverage(priors);
+        if acc < 0.6 || cov <= 0.0 {
+            continue; // an expert would not ship a sub-threshold LF
+        }
+        let score = acc * acc * cov.sqrt();
+        per_class[c].push((score, KeywordLf::new(g.gram.clone(), c)));
+    }
+    // Relation experts write entity-anchored rules from the linking
+    // patterns themselves (`[A] married [B]`, §3.1) — these dominate the
+    // positive-class ranking because they are near-perfect.
+    if relation {
+        for conn in gen.relation_connectors() {
+            let lf = KeywordLf::anchored(conn, 1);
+            if lf.is_valid_ngram() {
+                per_class[1].push((10.0, lf));
+            } else {
+                // Longer patterns: anchor their trailing trigram.
+                let words: Vec<&str> = conn.split(' ').collect();
+                if words.len() > 3 {
+                    let tail = words[words.len() - 3..].join(" ");
+                    per_class[1].push((10.0, KeywordLf::anchored(tail, 1)));
+                }
+            }
+        }
+    }
+    for list in &mut per_class {
+        list.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    // Relation tasks: spend the budget on the anchored linking rules first
+    // (a relation expert's rules are mostly about the relation itself; the
+    // default class catches the rest).
+    let mut out = Vec::with_capacity(n_lfs);
+    if relation {
+        for (score, lf) in per_class[1].iter() {
+            if *score >= 10.0 && out.len() + 1 < n_lfs {
+                out.push(lf.clone());
+            }
+        }
+        per_class[1].retain(|(score, _)| *score < 10.0);
+    }
+
+    // Round-robin across classes until the budget is filled.
+    let mut rank = 0usize;
+    while out.len() < n_lfs {
+        let mut progressed = false;
+        for list in &per_class {
+            if out.len() >= n_lfs {
+                break;
+            }
+            if let Some((_, lf)) = list.get(rank) {
+                out.push(lf.clone());
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break; // candidate pool exhausted
+        }
+        rank += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_core::eval::{evaluate_lf_set, EvalConfig};
+    use datasculpt_core::filter::FilterConfig;
+    use datasculpt_core::lfset::LfSet;
+
+    #[test]
+    fn counts_match_table2() {
+        assert_eq!(wrench_lf_count(DatasetName::Youtube), 10);
+        assert_eq!(wrench_lf_count(DatasetName::Sms), 73);
+        let total: usize = DatasetName::ALL.iter().map(|d| wrench_lf_count(*d)).sum();
+        assert_eq!(total, 10 + 73 + 5 + 8 + 9 + 9);
+    }
+
+    #[test]
+    fn expert_lfs_are_few_precise_and_broad() {
+        let d = DatasetName::Youtube.load_scaled(5, 0.2);
+        let lfs = wrench_expert_lfs(&d, 10);
+        assert_eq!(lfs.len(), 10);
+        // Class-balanced-ish: both classes represented.
+        assert!(lfs.iter().any(|l| l.label == 0));
+        assert!(lfs.iter().any(|l| l.label == 1));
+        // Evaluate: expert LFs should be accurate and give real coverage.
+        let mut set = LfSet::new(&d, FilterConfig::validity_only());
+        for lf in lfs {
+            set.try_add(lf);
+        }
+        let eval = evaluate_lf_set(
+            &d,
+            &set,
+            &EvalConfig {
+                feature_dim: 8192,
+                ..EvalConfig::default()
+            },
+        );
+        let acc = eval.lf_stats.lf_accuracy.expect("train labels available");
+        assert!(acc > 0.75, "expert LF accuracy {acc}");
+        assert!(eval.lf_stats.total_coverage > 0.4, "{}", eval.lf_stats.total_coverage);
+    }
+
+    #[test]
+    fn spouse_experts_anchor_positive_lfs() {
+        let d = DatasetName::Spouse.load_scaled(5, 0.02);
+        let lfs = wrench_expert_lfs(&d, 9);
+        assert!(lfs.iter().any(|l| l.anchored && l.label == 1));
+        assert!(lfs.iter().filter(|l| l.label == 0).all(|l| !l.anchored));
+    }
+
+    #[test]
+    fn budget_larger_than_pool_is_safe() {
+        let d = DatasetName::Imdb.load_scaled(5, 0.02);
+        let lfs = wrench_expert_lfs(&d, 100_000);
+        assert!(!lfs.is_empty());
+        assert!(lfs.len() < 100_000);
+    }
+}

@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! tokenization, n-gram indexing, LF application, the simulated LLM, the
+//! label model, and the sparse end model. These are component benches —
+//! the table/figure binaries in `src/bin/` are the experiment harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use datasculpt::core::index::NgramIndex;
+use datasculpt::core::prompt::{build_messages, request, PromptStyle};
+use datasculpt::prelude::*;
+use std::hint::black_box;
+
+fn bench_tokenize(c: &mut Criterion) {
+    let d = DatasetName::Imdb.load_scaled(1, 0.01);
+    let text = d.train.instances[0].text.clone();
+    c.bench_function("tokenize/imdb_review", |b| {
+        b.iter(|| datasculpt::text::tokenize(black_box(&text)))
+    });
+}
+
+fn bench_index_build_and_apply(c: &mut Criterion) {
+    let d = DatasetName::Youtube.load_scaled(1, 1.0);
+    c.bench_function("index/build_youtube_train", |b| {
+        b.iter(|| NgramIndex::build(black_box(&d.train)))
+    });
+    let idx = NgramIndex::build(&d.train);
+    let lf = KeywordLf::new("check out", 1);
+    c.bench_function("index/apply_one_lf_1586_docs", |b| {
+        b.iter(|| idx.apply(black_box(&lf)))
+    });
+    c.bench_function("lf/apply_scan_1586_docs", |b| {
+        b.iter(|| lf.apply(black_box(&d.train)))
+    });
+}
+
+fn bench_simulated_llm(c: &mut Criterion) {
+    let d = DatasetName::Imdb.load_scaled(1, 0.01);
+    let messages = build_messages(
+        &d.spec,
+        PromptStyle::CoT,
+        &[],
+        &d.train.instances[0].text,
+    );
+    let req = request(messages, 0.7, 1);
+    let req10 = req.clone().with_n(10);
+    c.bench_function("llm/complete_n1", |b| {
+        b.iter_batched(
+            || SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1),
+            |mut llm| llm.complete(black_box(&req)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("llm/complete_n10_self_consistency", |b| {
+        b.iter_batched(
+            || SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1),
+            |mut llm| llm.complete(black_box(&req10)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_label_model(c: &mut Criterion) {
+    let d = DatasetName::Youtube.load_scaled(1, 1.0);
+    let mut set = LfSet::new(&d, FilterConfig::validity_only());
+    for lf in wrench_expert_lfs(&d, 40) {
+        set.try_add(lf);
+    }
+    let matrix = set.train_matrix();
+    c.bench_function("labelmodel/metal_fit_1586x40", |b| {
+        b.iter(|| {
+            let mut lm = MetalModel::new().with_max_iter(25);
+            lm.fit(black_box(&matrix), 2);
+            lm
+        })
+    });
+    let mut lm = MetalModel::new().with_max_iter(25);
+    lm.fit(&matrix, 2);
+    c.bench_function("labelmodel/metal_predict_1586x40", |b| {
+        b.iter(|| lm.predict_proba(black_box(&matrix)))
+    });
+    c.bench_function("labelmodel/majority_vote_1586x40", |b| {
+        b.iter(|| {
+            let mut mv = MajorityVote::new();
+            mv.fit(black_box(&matrix), 2);
+            mv.predict_proba(black_box(&matrix))
+        })
+    });
+}
+
+fn bench_end_model(c: &mut Criterion) {
+    use datasculpt::endmodel::logreg::SparseRow;
+    use datasculpt::text::HashedTfIdf;
+    let d = DatasetName::Youtube.load_scaled(1, 1.0);
+    let mut tfidf = HashedTfIdf::new(32_768, 1);
+    tfidf.fit(d.train.iter().map(|i| i.tokens.as_slice()));
+    let rows: Vec<SparseRow> = d
+        .train
+        .iter()
+        .map(|i| {
+            tfidf
+                .transform_sparse(&i.tokens)
+                .into_iter()
+                .map(|(b, v)| (b as u32, v))
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = d
+        .train
+        .iter()
+        .map(|i| {
+            let mut t = vec![0.0; 2];
+            t[i.label.expect("labels")] = 1.0;
+            t
+        })
+        .collect();
+    let cfg = TrainConfig {
+        epochs: 5,
+        learning_rate: 5.0,
+        l2: 0.0,
+        batch_size: 64,
+        seed: 0,
+    };
+    c.bench_function("endmodel/fit_sparse_5_epochs_1586", |b| {
+        b.iter(|| {
+            let mut m = SoftmaxRegression::new(32_768, 2);
+            m.fit_sparse(black_box(&rows), black_box(&targets), None, &cfg);
+            m
+        })
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("data/generate_youtube_full", |b| {
+        b.iter(|| DatasetName::Youtube.load(black_box(7)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tokenize,
+    bench_index_build_and_apply,
+    bench_simulated_llm,
+    bench_label_model,
+    bench_end_model,
+    bench_dataset_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerates **Table 2**: statistics of synthesized LFs and end-model
+//! accuracy for WRENCH, ScriptoriumWS, PromptedLF, and the four DataSculpt
+//! variants, on all six datasets.
+//!
+//! ```text
+//! cargo run -p datasculpt-bench --release --bin table2
+//! DS_SCALE=0.1 DS_SEEDS=2 cargo run -p datasculpt-bench --release --bin table2
+//! ```
+
+use datasculpt::prelude::*;
+use datasculpt_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let model = ModelId::Gpt35Turbo; // §4.1 default
+    let methods: Vec<String> = [
+        "WRENCH",
+        "ScriptoriumWS",
+        "PromptedLF",
+        "DataSculpt-Base",
+        "DataSculpt-CoT",
+        "DataSculpt-SC",
+        "DataSculpt-KATE",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); methods.len()];
+    for &name in &cfg.datasets {
+        let t0 = Instant::now();
+        let dataset = cfg.load(name, 0);
+        for (mi, method) in methods.iter().enumerate() {
+            let outcome = match method.as_str() {
+                // WRENCH expert LFs are deterministic given the corpus.
+                "WRENCH" => run_wrench(&dataset),
+                "ScriptoriumWS" => {
+                    run_seeds(cfg.seeds, |s| run_scriptorium(&dataset, model, s))
+                }
+                "PromptedLF" => run_seeds(cfg.seeds, |s| run_promptedlf(&dataset, model, s)),
+                "DataSculpt-Base" => run_seeds(cfg.seeds, |s| {
+                    run_datasculpt(&dataset, DataSculptConfig::base(s), model, s)
+                }),
+                "DataSculpt-CoT" => run_seeds(cfg.seeds, |s| {
+                    run_datasculpt(&dataset, DataSculptConfig::cot(s), model, s)
+                }),
+                "DataSculpt-SC" => run_seeds(cfg.seeds, |s| {
+                    run_datasculpt(&dataset, DataSculptConfig::sc(s), model, s)
+                }),
+                "DataSculpt-KATE" => run_seeds(cfg.seeds, |s| {
+                    run_datasculpt(&dataset, DataSculptConfig::kate(s), model, s)
+                }),
+                other => unreachable!("unknown method {other}"),
+            };
+            results[mi].push(outcome);
+        }
+        eprintln!("[table2] {name} done in {:.1?}", t0.elapsed());
+    }
+
+    let grid = Grid {
+        methods,
+        datasets: cfg.datasets.clone(),
+        results,
+    };
+    println!(
+        "{}",
+        grid.render(&format!(
+            "Table 2: Statistics of synthesized LFs and end model accuracy \
+             (scale={}, seeds={}, model={})",
+            cfg.scale,
+            cfg.seeds,
+            model.label()
+        ))
+    );
+    grid.write_csv("results/table2.csv").expect("write results/table2.csv");
+    eprintln!("[table2] wrote results/table2.csv");
+}

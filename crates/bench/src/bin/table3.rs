@@ -1,0 +1,44 @@
+//! Regenerates **Table 3**: the LLM ablation — DataSculpt-SC run with
+//! GPT-3.5, GPT-4, and the three Llama-2-CHAT sizes.
+//!
+//! ```text
+//! cargo run -p datasculpt-bench --release --bin table3
+//! ```
+
+use datasculpt::prelude::*;
+use datasculpt_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let models = ModelId::ALL;
+    let methods: Vec<String> = models.iter().map(|m| m.label().to_string()).collect();
+
+    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); models.len()];
+    for &name in &cfg.datasets {
+        let t0 = Instant::now();
+        let dataset = cfg.load(name, 0);
+        for (mi, &model) in models.iter().enumerate() {
+            let outcome = run_seeds(cfg.seeds, |s| {
+                run_datasculpt(&dataset, DataSculptConfig::sc(s), model, s)
+            });
+            results[mi].push(outcome);
+        }
+        eprintln!("[table3] {name} done in {:.1?}", t0.elapsed());
+    }
+
+    let grid = Grid {
+        methods,
+        datasets: cfg.datasets.clone(),
+        results,
+    };
+    println!(
+        "{}",
+        grid.render(&format!(
+            "Table 3: Ablation study using different LLMs (DataSculpt-SC, scale={}, seeds={})",
+            cfg.scale, cfg.seeds
+        ))
+    );
+    grid.write_csv("results/table3.csv").expect("write results/table3.csv");
+    eprintln!("[table3] wrote results/table3.csv");
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 4**: the query-instance sampler ablation —
+//! DataSculpt-SC with random, uncertainty, and SEU sampling (§3.4).
+//!
+//! ```text
+//! cargo run -p datasculpt-bench --release --bin table4
+//! ```
+
+use datasculpt::prelude::*;
+use datasculpt_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let model = ModelId::Gpt35Turbo;
+    // core-set is an extension row (not in the paper's Table 4).
+    let samplers = [
+        SamplerKind::Random,
+        SamplerKind::Uncertain,
+        SamplerKind::Seu,
+        SamplerKind::CoreSet,
+    ];
+    let methods: Vec<String> = samplers.iter().map(|s| s.label().to_string()).collect();
+
+    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); samplers.len()];
+    for &name in &cfg.datasets {
+        let t0 = Instant::now();
+        let dataset = cfg.load(name, 0);
+        for (si, &sampler) in samplers.iter().enumerate() {
+            let outcome = run_seeds(cfg.seeds, |s| {
+                let mut config = DataSculptConfig::sc(s);
+                config.sampler = sampler;
+                run_datasculpt(&dataset, config, model, s)
+            });
+            results[si].push(outcome);
+        }
+        eprintln!("[table4] {name} done in {:.1?}", t0.elapsed());
+    }
+
+    let grid = Grid {
+        methods,
+        datasets: cfg.datasets.clone(),
+        results,
+    };
+    println!(
+        "{}",
+        grid.render(&format!(
+            "Table 4: Ablation study using different samplers (DataSculpt-SC, scale={}, seeds={})",
+            cfg.scale, cfg.seeds
+        ))
+    );
+    grid.write_csv("results/table4.csv").expect("write results/table4.csv");
+    eprintln!("[table4] wrote results/table4.csv");
+}

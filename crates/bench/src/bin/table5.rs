@@ -1,0 +1,52 @@
+//! Regenerates **Table 5**: the LF-filter ablation — DataSculpt-SC with all
+//! filters, without the accuracy filter, and without the redundancy filter
+//! (§3.5).
+//!
+//! ```text
+//! cargo run -p datasculpt-bench --release --bin table5
+//! ```
+
+use datasculpt::prelude::*;
+use datasculpt_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let model = ModelId::Gpt35Turbo;
+    let variants: [(&str, FilterConfig); 3] = [
+        ("all", FilterConfig::all()),
+        ("no accuracy", FilterConfig::without_accuracy()),
+        ("no redundancy", FilterConfig::without_redundancy()),
+    ];
+    let methods: Vec<String> = variants.iter().map(|(n, _)| n.to_string()).collect();
+
+    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); variants.len()];
+    for &name in &cfg.datasets {
+        let t0 = Instant::now();
+        let dataset = cfg.load(name, 0);
+        for (vi, (_, filters)) in variants.iter().enumerate() {
+            let outcome = run_seeds(cfg.seeds, |s| {
+                let mut config = DataSculptConfig::sc(s);
+                config.filters = *filters;
+                run_datasculpt(&dataset, config, model, s)
+            });
+            results[vi].push(outcome);
+        }
+        eprintln!("[table5] {name} done in {:.1?}", t0.elapsed());
+    }
+
+    let grid = Grid {
+        methods,
+        datasets: cfg.datasets.clone(),
+        results,
+    };
+    println!(
+        "{}",
+        grid.render(&format!(
+            "Table 5: Ablation study using different LF filters (DataSculpt-SC, scale={}, seeds={})",
+            cfg.scale, cfg.seeds
+        ))
+    );
+    grid.write_csv("results/table5.csv").expect("write results/table5.csv");
+    eprintln!("[table5] wrote results/table5.csv");
+}

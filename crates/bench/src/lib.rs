@@ -1,0 +1,476 @@
+//! Experiment harness shared by the table/figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table2` | Table 2 — main comparison (LF stats + end model) |
+//! | `table3` | Table 3 — LLM ablation on DataSculpt-SC |
+//! | `table4` | Table 4 — query-sampler ablation |
+//! | `table5` | Table 5 — LF-filter ablation |
+//! | `fig3_tokens` | Figure 3 — token usage per method per dataset |
+//! | `fig4_cost` | Figure 4 — API cost per method per dataset |
+//!
+//! Environment knobs (all optional):
+//!
+//! * `DS_SCALE` — dataset scale factor (default `1.0` = Table 1 sizes).
+//! * `DS_SEEDS` — number of repeated runs to average (default `5`, §4.1).
+//! * `DS_DATASETS` — comma-separated subset, e.g. `youtube,sms`.
+//!
+//! Results are printed as aligned text tables and also written as CSV under
+//! `results/`.
+
+use datasculpt::core::eval::evaluate_matrix;
+use datasculpt::prelude::*;
+use std::io::Write as _;
+
+/// One method's averaged outcome on one dataset (a column of a table).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Outcome {
+    /// Number of LFs.
+    pub n_lfs: f64,
+    /// Mean per-LF train accuracy (None when train GT unavailable).
+    pub lf_acc: Option<f64>,
+    /// Mean per-LF coverage.
+    pub lf_cov: f64,
+    /// Total coverage.
+    pub total_cov: f64,
+    /// End-model test metric.
+    pub end_metric: f64,
+    /// Prompt tokens consumed.
+    pub prompt_tokens: f64,
+    /// Completion tokens consumed.
+    pub completion_tokens: f64,
+    /// API cost in USD.
+    pub cost_usd: f64,
+}
+
+impl Outcome {
+    /// Total tokens.
+    pub fn tokens(&self) -> f64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Average a set of per-seed outcomes.
+pub fn average(outcomes: &[Outcome]) -> Outcome {
+    assert!(!outcomes.is_empty(), "no outcomes to average");
+    let n = outcomes.len() as f64;
+    let accs: Vec<f64> = outcomes.iter().filter_map(|o| o.lf_acc).collect();
+    Outcome {
+        n_lfs: outcomes.iter().map(|o| o.n_lfs).sum::<f64>() / n,
+        lf_acc: if accs.is_empty() {
+            None
+        } else {
+            Some(accs.iter().sum::<f64>() / accs.len() as f64)
+        },
+        lf_cov: outcomes.iter().map(|o| o.lf_cov).sum::<f64>() / n,
+        total_cov: outcomes.iter().map(|o| o.total_cov).sum::<f64>() / n,
+        end_metric: outcomes.iter().map(|o| o.end_metric).sum::<f64>() / n,
+        prompt_tokens: outcomes.iter().map(|o| o.prompt_tokens).sum::<f64>() / n,
+        completion_tokens: outcomes.iter().map(|o| o.completion_tokens).sum::<f64>() / n,
+        cost_usd: outcomes.iter().map(|o| o.cost_usd).sum::<f64>() / n,
+    }
+}
+
+/// Harness configuration from the environment.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Seeds per cell.
+    pub seeds: u64,
+    /// Datasets to run.
+    pub datasets: Vec<DatasetName>,
+}
+
+impl HarnessConfig {
+    /// Read `DS_SCALE`, `DS_SEEDS`, `DS_DATASETS`.
+    pub fn from_env() -> Self {
+        let scale = std::env::var("DS_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let seeds = std::env::var("DS_SEEDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5)
+            .max(1);
+        let datasets = std::env::var("DS_DATASETS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|s| DatasetName::parse(s.trim()))
+                    .collect()
+            })
+            .filter(|v: &Vec<_>| !v.is_empty())
+            .unwrap_or_else(|| DatasetName::ALL.to_vec());
+        Self {
+            scale,
+            seeds,
+            datasets,
+        }
+    }
+
+    /// Load a dataset at the configured scale.
+    pub fn load(&self, name: DatasetName, seed: u64) -> TextDataset {
+        if (self.scale - 1.0).abs() < 1e-12 {
+            name.load(seed)
+        } else {
+            name.load_scaled(seed, self.scale)
+        }
+    }
+}
+
+fn outcome_from_eval(eval: &PwsEvaluation, ledger: Option<&UsageLedger>) -> Outcome {
+    let usage = ledger.map(|l| l.total_usage()).unwrap_or_default();
+    Outcome {
+        n_lfs: eval.lf_stats.n_lfs as f64,
+        lf_acc: eval.lf_stats.lf_accuracy,
+        lf_cov: eval.lf_stats.lf_coverage,
+        total_cov: eval.lf_stats.total_coverage,
+        end_metric: eval.end_metric,
+        prompt_tokens: usage.prompt_tokens as f64,
+        completion_tokens: usage.completion_tokens as f64,
+        cost_usd: ledger.map(|l| l.total_cost_usd()).unwrap_or(0.0),
+    }
+}
+
+/// One WRENCH-expert run.
+pub fn run_wrench(dataset: &TextDataset) -> Outcome {
+    let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
+    let mut set = LfSet::new(dataset, FilterConfig::validity_only());
+    for lf in wrench_expert_lfs(dataset, wrench_lf_count(name)) {
+        set.try_add(lf);
+    }
+    let eval = evaluate_lf_set(dataset, &set, &EvalConfig::default());
+    outcome_from_eval(&eval, None)
+}
+
+/// One ScriptoriumWS run.
+pub fn run_scriptorium(dataset: &TextDataset, model: ModelId, seed: u64) -> Outcome {
+    let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
+    let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+    let result = scriptorium_run(
+        dataset,
+        &mut llm,
+        datasculpt::baselines::scriptorium::scriptorium_lf_count(name),
+    );
+    let mut set = LfSet::new(dataset, FilterConfig::validity_only());
+    for lf in result.lfs {
+        set.try_add(lf);
+    }
+    let eval = evaluate_lf_set(dataset, &set, &EvalConfig::default());
+    outcome_from_eval(&eval, Some(&result.ledger))
+}
+
+/// One PromptedLF run.
+pub fn run_promptedlf(dataset: &TextDataset, model: ModelId, seed: u64) -> Outcome {
+    let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+    let result = promptedlf_run(dataset, &mut llm);
+    let eval = evaluate_matrix(dataset, &result.matrix, &EvalConfig::default());
+    outcome_from_eval(&eval, Some(&result.ledger))
+}
+
+/// One DataSculpt run under an arbitrary configuration.
+pub fn run_datasculpt(
+    dataset: &TextDataset,
+    mut config: DataSculptConfig,
+    model: ModelId,
+    seed: u64,
+) -> Outcome {
+    config.seed = seed;
+    let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+    let run = DataSculpt::new(dataset, config).run(&mut llm);
+    let eval = evaluate_lf_set(dataset, &run.lf_set, &EvalConfig::default());
+    outcome_from_eval(&eval, Some(&run.ledger))
+}
+
+/// Run `f` for each seed in parallel threads and average.
+pub fn run_seeds<F>(seeds: u64, f: F) -> Outcome
+where
+    F: Fn(u64) -> Outcome + Sync,
+{
+    let f = &f;
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..seeds)
+            .map(|s| scope.spawn(move || f(s)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("seed run")).collect()
+    });
+    average(&outcomes)
+}
+
+/// LF generation only (no label-model / end-model evaluation): the token
+/// and cost accounting needed by Figures 3–4.
+pub fn generation_usage(
+    dataset: &TextDataset,
+    method: &str,
+    model: ModelId,
+    seed: u64,
+) -> Outcome {
+    let ledger = match method {
+        "ScriptoriumWS" => {
+            let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
+            let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+            scriptorium_run(
+                dataset,
+                &mut llm,
+                datasculpt::baselines::scriptorium::scriptorium_lf_count(name),
+            )
+            .ledger
+        }
+        "PromptedLF" => {
+            let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+            promptedlf_run(dataset, &mut llm).ledger
+        }
+        "DataSculpt-Base" | "DataSculpt-CoT" | "DataSculpt-SC" | "DataSculpt-KATE" => {
+            let mut config = match method {
+                "DataSculpt-Base" => DataSculptConfig::base(seed),
+                "DataSculpt-CoT" => DataSculptConfig::cot(seed),
+                "DataSculpt-SC" => DataSculptConfig::sc(seed),
+                _ => DataSculptConfig::kate(seed),
+            };
+            config.seed = seed;
+            let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+            DataSculpt::new(dataset, config).run(&mut llm).ledger
+        }
+        other => panic!("unknown method {other}"),
+    };
+    let usage = ledger.total_usage();
+    Outcome {
+        prompt_tokens: usage.prompt_tokens as f64,
+        completion_tokens: usage.completion_tokens as f64,
+        cost_usd: ledger.total_cost_usd(),
+        ..Default::default()
+    }
+}
+
+/// The API-consuming methods of Figures 3–4 (WRENCH is manual, no tokens).
+pub const USAGE_METHODS: [&str; 6] = [
+    "ScriptoriumWS",
+    "PromptedLF",
+    "DataSculpt-Base",
+    "DataSculpt-CoT",
+    "DataSculpt-SC",
+    "DataSculpt-KATE",
+];
+
+/// Render a log-scale horizontal bar for a positive value.
+pub fn log_bar(value: f64, max_value: f64, width: usize) -> String {
+    if value <= 0.0 || max_value <= 0.0 {
+        return String::new();
+    }
+    let lo = 1.0f64; // one token / one micro-dollar floor
+    let frac = ((value.max(lo)).ln() / (max_value.max(lo)).ln()).clamp(0.0, 1.0);
+    "#".repeat(((width as f64) * frac).round() as usize)
+}
+
+/// The metric blocks of Tables 2–5, in paper order.
+pub const METRIC_BLOCKS: [&str; 5] = ["#LFs", "LF Acc.", "LF Cov.", "Total Cov.", "EM Acc/F1"];
+
+/// Extract metric block `b` from an outcome, rendered like the paper.
+pub fn metric_cell(block: &str, o: &Outcome) -> String {
+    match block {
+        "#LFs" => format!("{:.0}", o.n_lfs),
+        "LF Acc." => o.lf_acc.map_or("-".to_string(), |a| format!("{a:.3}")),
+        "LF Cov." => format!("{:.3}", o.lf_cov),
+        "Total Cov." => format!("{:.3}", o.total_cov),
+        "EM Acc/F1" => format!("{:.3}", o.end_metric),
+        other => panic!("unknown metric block {other}"),
+    }
+}
+
+/// Numeric value of a metric block (for the AVG column).
+pub fn metric_value(block: &str, o: &Outcome) -> Option<f64> {
+    match block {
+        "#LFs" => Some(o.n_lfs),
+        "LF Acc." => o.lf_acc,
+        "LF Cov." => Some(o.lf_cov),
+        "Total Cov." => Some(o.total_cov),
+        "EM Acc/F1" => Some(o.end_metric),
+        _ => None,
+    }
+}
+
+/// A fully-populated results grid: `results[method][dataset]`.
+pub struct Grid {
+    /// Method display names (row groups).
+    pub methods: Vec<String>,
+    /// Dataset column headers.
+    pub datasets: Vec<DatasetName>,
+    /// `results[method][dataset]`.
+    pub results: Vec<Vec<Outcome>>,
+}
+
+impl Grid {
+    /// Render the paper-style table: metric blocks × methods × datasets,
+    /// with an AVG column.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{title}\n"));
+        let header_width = 12 + self.methods.iter().map(|m| m.len()).max().unwrap_or(10);
+        out.push_str(&format!("{:<w$}", "Metric/Method", w = header_width));
+        for d in &self.datasets {
+            let label = match d {
+                DatasetName::Sms => "SMS(F1)".to_string(),
+                DatasetName::Spouse => "Spouse(F1)".to_string(),
+                other => {
+                    let s = other.as_str();
+                    let mut c = s.chars();
+                    c.next()
+                        .map(|f| f.to_uppercase().collect::<String>() + c.as_str())
+                        .unwrap_or_default()
+                }
+            };
+            out.push_str(&format!("{label:>12}"));
+        }
+        out.push_str(&format!("{:>12}\n", "AVG"));
+        for block in METRIC_BLOCKS {
+            out.push_str(&format!("{}\n", "-".repeat(header_width + 12 * (self.datasets.len() + 1))));
+            for (mi, method) in self.methods.iter().enumerate() {
+                out.push_str(&format!("{:<w$}", format!("{block} {method}"), w = header_width));
+                let mut vals = Vec::new();
+                for (di, _) in self.datasets.iter().enumerate() {
+                    let o = &self.results[mi][di];
+                    out.push_str(&format!("{:>12}", metric_cell(block, o)));
+                    if let Some(v) = metric_value(block, o) {
+                        vals.push(v);
+                    }
+                }
+                let avg = if vals.is_empty() {
+                    "-".to_string()
+                } else {
+                    let v = vals.iter().sum::<f64>() / vals.len() as f64;
+                    if block == "#LFs" {
+                        format!("{v:.1}")
+                    } else {
+                        format!("{v:.3}")
+                    }
+                };
+                out.push_str(&format!("{avg:>12}\n"));
+            }
+        }
+        out
+    }
+
+    /// Write the grid (all metric blocks) as CSV.
+    pub fn write_csv(&self, path: &str) -> std::io::Result<()> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(
+            f,
+            "metric,method,{},avg",
+            self.datasets
+                .iter()
+                .map(|d| d.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
+        for block in METRIC_BLOCKS {
+            for (mi, method) in self.methods.iter().enumerate() {
+                let mut cells = Vec::new();
+                let mut vals = Vec::new();
+                for (di, _) in self.datasets.iter().enumerate() {
+                    let o = &self.results[mi][di];
+                    cells.push(metric_cell(block, o));
+                    if let Some(v) = metric_value(block, o) {
+                        vals.push(v);
+                    }
+                }
+                let avg = if vals.is_empty() {
+                    "-".to_string()
+                } else {
+                    format!("{:.4}", vals.iter().sum::<f64>() / vals.len() as f64)
+                };
+                writeln!(f, "{block},{method},{},{avg}", cells.join(","))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_pools_and_skips_missing_acc() {
+        let a = Outcome {
+            n_lfs: 10.0,
+            lf_acc: Some(0.8),
+            end_metric: 0.9,
+            ..Default::default()
+        };
+        let b = Outcome {
+            n_lfs: 20.0,
+            lf_acc: None,
+            end_metric: 0.7,
+            ..Default::default()
+        };
+        let avg = average(&[a, b]);
+        assert_eq!(avg.n_lfs, 15.0);
+        assert_eq!(avg.lf_acc, Some(0.8));
+        assert!((avg.end_metric - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_cells_render_like_the_paper() {
+        let o = Outcome {
+            n_lfs: 108.0,
+            lf_acc: Some(0.735),
+            lf_cov: 0.021,
+            total_cov: 0.82,
+            end_metric: 0.879,
+            ..Default::default()
+        };
+        assert_eq!(metric_cell("#LFs", &o), "108");
+        assert_eq!(metric_cell("LF Acc.", &o), "0.735");
+        assert_eq!(metric_cell("LF Cov.", &o), "0.021");
+        assert_eq!(metric_cell("Total Cov.", &o), "0.820");
+        assert_eq!(metric_cell("EM Acc/F1", &o), "0.879");
+        let none = Outcome::default();
+        assert_eq!(metric_cell("LF Acc.", &none), "-");
+    }
+
+    #[test]
+    fn grid_renders_and_writes_csv() {
+        let grid = Grid {
+            methods: vec!["A".into(), "B".into()],
+            datasets: vec![DatasetName::Youtube, DatasetName::Sms],
+            results: vec![
+                vec![Outcome::default(), Outcome::default()],
+                vec![Outcome::default(), Outcome::default()],
+            ],
+        };
+        let rendered = grid.render("test table");
+        assert!(rendered.contains("Youtube"));
+        assert!(rendered.contains("SMS(F1)"));
+        assert!(rendered.contains("#LFs A"));
+        let path = std::env::temp_dir().join("ds_grid_test.csv");
+        grid.write_csv(path.to_str().expect("utf8 path")).expect("csv written");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert!(content.starts_with("metric,method,youtube,sms,avg"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn harness_env_defaults() {
+        // Only check defaults (env vars unset in tests).
+        let cfg = HarnessConfig::from_env();
+        assert!(cfg.seeds >= 1);
+        assert!(cfg.scale > 0.0);
+        assert!(!cfg.datasets.is_empty());
+    }
+
+    #[test]
+    fn run_seeds_averages_in_parallel() {
+        let o = run_seeds(4, |s| Outcome {
+            n_lfs: s as f64,
+            ..Default::default()
+        });
+        assert!((o.n_lfs - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Self-consistency aggregation (§4.1, DataSculpt-SC).
+//!
+//! The LLM produces `k` samples for the same query; the predicted label is
+//! the majority vote over parsed labels, and the keyword set is the union
+//! of keywords from the samples that agree with the majority — which is how
+//! self-consistency both stabilizes the label and *enlarges* the LF set
+//! (Table 2: SC/KATE produce roughly 2× the LFs of Base).
+
+use crate::parse::ParsedResponse;
+
+/// Aggregate parsed samples: majority label + pooled keywords.
+///
+/// Returns `None` when no sample produced a label (the iteration then
+/// yields no LFs). Ties break toward the smaller class index, keeping runs
+/// deterministic.
+pub fn aggregate_consistency(
+    samples: &[ParsedResponse],
+    n_classes: usize,
+) -> Option<(usize, Vec<String>)> {
+    let mut votes = vec![0usize; n_classes];
+    for s in samples {
+        if let Some(l) = s.label {
+            votes[l] += 1;
+        }
+    }
+    let total: usize = votes.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let label = votes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty votes");
+
+    let mut keywords = Vec::new();
+    for s in samples {
+        if s.label == Some(label) {
+            for k in &s.keywords {
+                if !keywords.contains(k) {
+                    keywords.push(k.clone());
+                }
+            }
+        }
+    }
+    Some((label, keywords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(keywords: &[&str], label: Option<usize>) -> ParsedResponse {
+        ParsedResponse {
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            label,
+            explanation: None,
+        }
+    }
+
+    #[test]
+    fn majority_label_wins() {
+        let samples = vec![
+            resp(&["a"], Some(1)),
+            resp(&["b"], Some(1)),
+            resp(&["c"], Some(0)),
+        ];
+        let (label, kws) = aggregate_consistency(&samples, 2).expect("aggregated");
+        assert_eq!(label, 1);
+        assert_eq!(kws, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn losing_samples_contribute_no_keywords() {
+        let samples = vec![resp(&["x"], Some(0)), resp(&["y"], Some(1)), resp(&["z"], Some(1))];
+        let (_, kws) = aggregate_consistency(&samples, 2).expect("aggregated");
+        assert!(!kws.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn keywords_pool_without_duplicates() {
+        let samples = vec![resp(&["a", "b"], Some(1)), resp(&["b", "c"], Some(1))];
+        let (_, kws) = aggregate_consistency(&samples, 2).expect("aggregated");
+        assert_eq!(kws, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_class() {
+        let samples = vec![resp(&["a"], Some(1)), resp(&["b"], Some(0))];
+        let (label, _) = aggregate_consistency(&samples, 2).expect("aggregated");
+        assert_eq!(label, 0);
+    }
+
+    #[test]
+    fn unlabeled_samples_are_ignored() {
+        let samples = vec![resp(&["a"], None), resp(&["b"], Some(1))];
+        let (label, kws) = aggregate_consistency(&samples, 2).expect("aggregated");
+        assert_eq!(label, 1);
+        assert_eq!(kws, vec!["b"]);
+    }
+
+    #[test]
+    fn all_unusable_yields_none() {
+        let samples = vec![resp(&["a"], None), resp(&[], None)];
+        assert!(aggregate_consistency(&samples, 2).is_none());
+        assert!(aggregate_consistency(&[], 2).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! LF filters (§3.5): validity, accuracy, redundancy.
+
+/// Which filters are active, and their thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Reject keywords that are not 1–3-grams or labels outside the class
+    /// range.
+    pub validity: bool,
+    /// Reject LFs whose validation accuracy is below
+    /// [`accuracy_threshold`](Self::accuracy_threshold). LFs inactive on
+    /// every validation instance pass.
+    pub accuracy: bool,
+    /// Reject LFs whose activation consensus (intersection-over-union of
+    /// agreeing activations) with an already-accepted LF exceeds
+    /// [`redundancy_threshold`](Self::redundancy_threshold).
+    pub redundancy: bool,
+    /// Validation-accuracy cutoff (paper default 0.6).
+    pub accuracy_threshold: f64,
+    /// Consensus cutoff (paper default 0.95).
+    pub redundancy_threshold: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl FilterConfig {
+    /// All three filters at the paper's default thresholds.
+    pub fn all() -> Self {
+        Self {
+            validity: true,
+            accuracy: true,
+            redundancy: true,
+            accuracy_threshold: 0.6,
+            redundancy_threshold: 0.95,
+        }
+    }
+
+    /// The "no accuracy" ablation row of Table 5.
+    pub fn without_accuracy() -> Self {
+        Self {
+            accuracy: false,
+            ..Self::all()
+        }
+    }
+
+    /// The "no redundancy" ablation row of Table 5.
+    pub fn without_redundancy() -> Self {
+        Self {
+            redundancy: false,
+            ..Self::all()
+        }
+    }
+
+    /// Validity only (accuracy and redundancy both off).
+    pub fn validity_only() -> Self {
+        Self {
+            accuracy: false,
+            redundancy: false,
+            ..Self::all()
+        }
+    }
+}
+
+/// The result of offering a candidate LF to an [`crate::LfSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddOutcome {
+    /// Accepted into the set.
+    Added,
+    /// Identical `(keyword, label, anchoring)` already present.
+    Duplicate,
+    /// Failed the validity filter.
+    RejectedValidity,
+    /// Failed the accuracy filter.
+    RejectedAccuracy,
+    /// Failed the redundancy filter.
+    RejectedRedundancy,
+}
+
+impl AddOutcome {
+    /// Whether the candidate joined the set.
+    pub fn accepted(&self) -> bool {
+        matches!(self, AddOutcome::Added)
+    }
+}
+
+/// Consensus between two vote columns: among instances where either LF
+/// fires, the fraction where both fire *with the same vote*.
+pub fn consensus(a: &[i32], b: &[i32]) -> f64 {
+    use datasculpt_labelmodel::ABSTAIN;
+    assert_eq!(a.len(), b.len(), "column length mismatch");
+    let mut agree = 0usize;
+    let mut union = 0usize;
+    for (&va, &vb) in a.iter().zip(b) {
+        let fa = va != ABSTAIN;
+        let fb = vb != ABSTAIN;
+        if fa || fb {
+            union += 1;
+            if fa && fb && va == vb {
+                agree += 1;
+            }
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        agree as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_labelmodel::ABSTAIN;
+
+    #[test]
+    fn presets_toggle_the_right_filters() {
+        let all = FilterConfig::all();
+        assert!(all.validity && all.accuracy && all.redundancy);
+        assert_eq!(all.accuracy_threshold, 0.6);
+        assert_eq!(all.redundancy_threshold, 0.95);
+        let na = FilterConfig::without_accuracy();
+        assert!(!na.accuracy && na.validity && na.redundancy);
+        let nr = FilterConfig::without_redundancy();
+        assert!(!nr.redundancy && nr.validity && nr.accuracy);
+        let vo = FilterConfig::validity_only();
+        assert!(vo.validity && !vo.accuracy && !vo.redundancy);
+    }
+
+    #[test]
+    fn consensus_is_iou_of_agreeing_activations() {
+        let a = vec![1, 1, ABSTAIN, ABSTAIN];
+        let b = vec![1, ABSTAIN, 1, ABSTAIN];
+        // union = 3 (rows 0,1,2), agree = 1 (row 0).
+        assert!((consensus(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consensus_counts_disagreeing_overlap_as_union_only() {
+        let a = vec![1, 0];
+        let b = vec![1, 1];
+        // Row 1 overlaps but disagrees.
+        assert!((consensus(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consensus_identical_columns_is_one() {
+        let a = vec![1, ABSTAIN, 0];
+        assert_eq!(consensus(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn consensus_disjoint_or_empty_is_zero() {
+        assert_eq!(consensus(&[1, ABSTAIN], &[ABSTAIN, 1]), 0.0);
+        assert_eq!(consensus(&[ABSTAIN, ABSTAIN], &[ABSTAIN, ABSTAIN]), 0.0);
+    }
+
+    #[test]
+    fn consensus_is_symmetric() {
+        let a = vec![1, 1, ABSTAIN, 0, ABSTAIN];
+        let b = vec![1, ABSTAIN, 0, 0, ABSTAIN];
+        assert_eq!(consensus(&a, &b), consensus(&b, &a));
+    }
+}

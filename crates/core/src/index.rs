@@ -1,0 +1,156 @@
+//! Fast n-gram containment index over a split.
+//!
+//! Applying hundreds of keyword LFs to a 96k-instance corpus by scanning
+//! tokens is quadratic pain; instead each instance's n-grams (orders 1–3)
+//! are hashed once into a per-instance set, making LF application an O(1)
+//! lookup. Relation datasets get a second set restricted to the short
+//! window between the `[a]`/`[b]` entity markers, which answers anchored-LF
+//! activation in O(1) as well.
+
+use crate::lf::{KeywordLf, ANCHOR_WINDOW};
+use datasculpt_data::Split;
+use datasculpt_labelmodel::ABSTAIN;
+use datasculpt_text::ngram::extract_ngrams;
+use datasculpt_text::rng::hash_str;
+use std::collections::HashSet;
+
+/// Precomputed n-gram hash sets for every instance of a split.
+#[derive(Debug, Clone)]
+pub struct NgramIndex {
+    /// All n-grams (orders 1–3) of the LF-matching token view.
+    full: Vec<HashSet<u64>>,
+    /// N-grams inside the anchored window (relation datasets; empty sets
+    /// otherwise).
+    between: Vec<HashSet<u64>>,
+}
+
+impl NgramIndex {
+    /// Build the index for a split.
+    pub fn build(split: &Split) -> Self {
+        let mut full = Vec::with_capacity(split.len());
+        let mut between = Vec::with_capacity(split.len());
+        for inst in split.iter() {
+            let tokens = inst.match_tokens();
+            let grams = extract_ngrams(tokens, 3);
+            full.push(grams.iter().map(|g| hash_str(g)).collect());
+            let mut span_set = HashSet::new();
+            if inst.marked_tokens.is_some() {
+                let ia = tokens.iter().position(|t| t == "[a]");
+                let ib = tokens.iter().position(|t| t == "[b]");
+                if let (Some(ia), Some(ib)) = (ia, ib) {
+                    let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
+                    if hi - lo <= ANCHOR_WINDOW && hi - lo >= 2 {
+                        for g in extract_ngrams(&tokens[lo + 1..hi], 3) {
+                            span_set.insert(hash_str(&g));
+                        }
+                    }
+                }
+            }
+            between.push(span_set);
+        }
+        Self { full, between }
+    }
+
+    /// Number of instances indexed.
+    pub fn len(&self) -> usize {
+        self.full.len()
+    }
+
+    /// True if no instances are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.full.is_empty()
+    }
+
+    /// Whether an LF fires on instance `i`.
+    #[inline]
+    pub fn fires(&self, lf: &KeywordLf, i: usize) -> bool {
+        let h = hash_str(&lf.keyword);
+        if lf.anchored {
+            self.between[i].contains(&h)
+        } else {
+            self.full[i].contains(&h)
+        }
+    }
+
+    /// The LF's vote column over the indexed split.
+    pub fn apply(&self, lf: &KeywordLf) -> Vec<i32> {
+        let h = hash_str(&lf.keyword);
+        let sets = if lf.anchored { &self.between } else { &self.full };
+        sets.iter()
+            .map(|s| if s.contains(&h) { lf.label as i32 } else { ABSTAIN })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_data::Instance;
+
+    fn split(texts: &[&str]) -> Split {
+        Split {
+            instances: texts
+                .iter()
+                .enumerate()
+                .map(|(id, t)| Instance {
+                    id,
+                    text: t.to_string(),
+                    tokens: datasculpt_text::tokenize(t),
+                    marked_tokens: None,
+                    entities: None,
+                    label: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn index_matches_direct_application() {
+        let s = split(&[
+            "this movie was a waste of time",
+            "a great and funny movie",
+            "nothing to say here",
+        ]);
+        let idx = NgramIndex::build(&s);
+        for lf in [
+            KeywordLf::new("waste of time", 0),
+            KeywordLf::new("great", 1),
+            KeywordLf::new("funny movie", 1),
+            KeywordLf::new("absent", 0),
+        ] {
+            assert_eq!(idx.apply(&lf), lf.apply(&s), "lf {lf}");
+        }
+    }
+
+    #[test]
+    fn anchored_index_matches_direct() {
+        let marked = [vec!["[a]", "married", "[b]", "in", "june"],
+            vec!["[a]", "met", "[b]", "while", "john", "married", "sue"],
+            vec!["no", "markers", "married", "here"]];
+        let s = Split {
+            instances: marked
+                .iter()
+                .enumerate()
+                .map(|(id, toks)| Instance {
+                    id,
+                    text: toks.join(" "),
+                    tokens: toks.iter().map(|s| s.to_string()).collect(),
+                    marked_tokens: Some(toks.iter().map(|s| s.to_string()).collect()),
+                    entities: Some(("x".into(), "y".into())),
+                    label: None,
+                })
+                .collect(),
+        };
+        let idx = NgramIndex::build(&s);
+        let lf = KeywordLf::anchored("married", 1);
+        assert_eq!(idx.apply(&lf), lf.apply(&s));
+        assert_eq!(idx.apply(&lf), vec![1, ABSTAIN, ABSTAIN]);
+    }
+
+    #[test]
+    fn empty_split() {
+        let idx = NgramIndex::build(&Split::default());
+        assert!(idx.is_empty());
+        assert_eq!(idx.apply(&KeywordLf::new("x", 0)), Vec::<i32>::new());
+    }
+}

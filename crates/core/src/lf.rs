@@ -1,0 +1,203 @@
+//! Keyword label functions (§3.1).
+//!
+//! A keyword LF `λ_{k,c}` labels a passage as class `c` if it contains the
+//! n-gram `k` (unigram, bigram, or trigram). For relation-classification
+//! tasks the LF is *entity-anchored*: it additionally requires the keyword
+//! to appear in a short window between the two entity markers, which is how
+//! `[A] marry [B]` distinguishes the queried pair from a third person
+//! (the "A marry C" problem of §3.1).
+
+use datasculpt_data::{Instance, Label, Split};
+use datasculpt_labelmodel::ABSTAIN;
+use datasculpt_text::ngram::{contains_ngram, ngram_order, MAX_NGRAM_ORDER};
+
+/// Maximum token distance between `[a]` and `[b]` for an anchored LF to
+/// consider the pair linked.
+pub const ANCHOR_WINDOW: usize = 10;
+
+/// A keyword label function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeywordLf {
+    /// Canonical lowercase space-joined n-gram.
+    pub keyword: String,
+    /// The class this LF votes for when active.
+    pub label: Label,
+    /// Entity anchoring (relation tasks): the keyword must fall inside the
+    /// window between the `[a]` and `[b]` markers.
+    pub anchored: bool,
+}
+
+impl KeywordLf {
+    /// A plain keyword LF.
+    pub fn new(keyword: impl Into<String>, label: Label) -> Self {
+        Self {
+            keyword: keyword.into(),
+            label,
+            anchored: false,
+        }
+    }
+
+    /// An entity-anchored keyword LF.
+    pub fn anchored(keyword: impl Into<String>, label: Label) -> Self {
+        Self {
+            keyword: keyword.into(),
+            label,
+            anchored: true,
+        }
+    }
+
+    /// Word count of the keyword.
+    pub fn order(&self) -> usize {
+        ngram_order(&self.keyword)
+    }
+
+    /// Whether the keyword is structurally valid (the validity filter's
+    /// n-gram check, §3.5).
+    pub fn is_valid_ngram(&self) -> bool {
+        let order = self.order();
+        (1..=MAX_NGRAM_ORDER).contains(&order)
+            && self.keyword.split(' ').all(|w| !w.is_empty())
+    }
+
+    /// Whether the LF fires on an instance.
+    pub fn fires(&self, instance: &Instance) -> bool {
+        let tokens = instance.match_tokens();
+        if self.anchored {
+            anchored_fires(tokens, &self.keyword)
+        } else {
+            contains_ngram(tokens, &self.keyword)
+        }
+    }
+
+    /// The LF's vote on an instance.
+    pub fn vote(&self, instance: &Instance) -> i32 {
+        if self.fires(instance) {
+            self.label as i32
+        } else {
+            ABSTAIN
+        }
+    }
+
+    /// The LF's vote column over a split.
+    pub fn apply(&self, split: &Split) -> Vec<i32> {
+        split.iter().map(|inst| self.vote(inst)).collect()
+    }
+
+    /// Human-readable name, e.g. `"great→1"` or `"[A] married [B]→1"`.
+    pub fn name(&self) -> String {
+        if self.anchored {
+            format!("[A] {} [B]→{}", self.keyword, self.label)
+        } else {
+            format!("{}→{}", self.keyword, self.label)
+        }
+    }
+}
+
+impl std::fmt::Display for KeywordLf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Anchored activation: both markers present, within [`ANCHOR_WINDOW`] of
+/// each other, and the keyword contained in the tokens strictly between
+/// them (either marker order).
+pub fn anchored_fires(tokens: &[String], keyword: &str) -> bool {
+    let ia = tokens.iter().position(|t| t == "[a]");
+    let ib = tokens.iter().position(|t| t == "[b]");
+    let (Some(ia), Some(ib)) = (ia, ib) else {
+        return false;
+    };
+    let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
+    if hi - lo > ANCHOR_WINDOW || hi - lo < 2 {
+        return false;
+    }
+    contains_ngram(&tokens[lo + 1..hi], keyword)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(text: &str) -> Instance {
+        let tokens = datasculpt_text::tokenize(text);
+        Instance {
+            id: 0,
+            text: text.to_string(),
+            tokens,
+            marked_tokens: None,
+            entities: None,
+            label: None,
+        }
+    }
+
+    fn relation_inst(marked: &[&str]) -> Instance {
+        Instance {
+            id: 0,
+            text: marked.join(" "),
+            tokens: marked.iter().map(|s| s.to_string()).collect(),
+            marked_tokens: Some(marked.iter().map(|s| s.to_string()).collect()),
+            entities: Some(("a a".into(), "b b".into())),
+            label: None,
+        }
+    }
+
+    #[test]
+    fn plain_lf_fires_on_containment() {
+        let lf = KeywordLf::new("waste of time", 0);
+        assert!(lf.fires(&inst("what a waste of time this was")));
+        assert!(!lf.fires(&inst("time well spent")));
+        assert_eq!(lf.vote(&inst("waste of time")), 0);
+        assert_eq!(lf.vote(&inst("fine")), ABSTAIN);
+    }
+
+    #[test]
+    fn validity_checks_order() {
+        assert!(KeywordLf::new("great", 1).is_valid_ngram());
+        assert!(KeywordLf::new("so great", 1).is_valid_ngram());
+        assert!(KeywordLf::new("one of the best", 1).order() == 4);
+        assert!(!KeywordLf::new("one of the best", 1).is_valid_ngram());
+        assert!(!KeywordLf::new("", 1).is_valid_ngram());
+    }
+
+    #[test]
+    fn anchored_requires_keyword_between_markers() {
+        let lf = KeywordLf::anchored("married", 1);
+        assert!(lf.fires(&relation_inst(&["[a]", "married", "[b]", "yesterday"])));
+        // Keyword outside the span: no fire.
+        assert!(!lf.fires(&relation_inst(&["[a]", "met", "[b]", "john", "married", "mary"])));
+        // Marker order reversed still works.
+        assert!(lf.fires(&relation_inst(&["[b]", "and", "married", "[a]"])));
+        // Missing marker: no fire.
+        assert!(!lf.fires(&relation_inst(&["[a]", "married", "someone"])));
+    }
+
+    #[test]
+    fn anchored_window_limit() {
+        let mut tokens: Vec<&str> = vec!["[a]"];
+        let filler: Vec<String> = (0..ANCHOR_WINDOW + 2).map(|i| format!("w{i}")).collect();
+        tokens.extend(filler.iter().map(String::as_str));
+        tokens.push("married");
+        tokens.push("[b]");
+        let lf = KeywordLf::anchored("married", 1);
+        assert!(!lf.fires(&relation_inst(&tokens)));
+    }
+
+    #[test]
+    fn apply_builds_column() {
+        let lf = KeywordLf::new("great", 1);
+        let split = Split {
+            instances: vec![inst("a great movie"), inst("a bad movie")],
+        };
+        assert_eq!(lf.apply(&split), vec![1, ABSTAIN]);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(KeywordLf::new("great", 1).name(), "great→1");
+        assert_eq!(
+            KeywordLf::anchored("married", 1).to_string(),
+            "[A] married [B]→1"
+        );
+    }
+}

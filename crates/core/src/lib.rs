@@ -1,0 +1,45 @@
+//! DataSculpt: cost-efficient label-function design via prompting LLMs.
+//!
+//! This crate is the paper's primary contribution (Guan, Chen & Koudas,
+//! EDBT 2025): an iterative programmatic-weak-supervision framework that
+//! prompts an LLM to synthesize keyword label functions (Figure 1).
+//!
+//! One iteration of [`pipeline::DataSculpt::run`]:
+//!
+//! 1. a [`sampler`] picks a query instance from the unlabeled train split
+//!    (random / uncertainty / SEU — §3.4),
+//! 2. [`prompt`] builds the few-shot prompt of Figure 2 with in-context
+//!    examples chosen by [`icl`] (class-balanced or KATE — §3.3),
+//! 3. the [`datasculpt_llm::ChatModel`] returns one or more samples, which
+//!    [`parse`] turns into `(keywords, label)` and [`consistency`]
+//!    aggregates by majority vote (self-consistency — §4.1),
+//! 4. each keyword becomes a [`lf::KeywordLf`] and must pass the
+//!    validity / accuracy / redundancy [`filter`]s (§3.5) before joining
+//!    the [`lfset::LfSet`].
+//!
+//! [`eval`] then runs the standard PWS tail: label model → probabilistic
+//! labels (+ the default-class rule of §3.6) → end model → the metrics of
+//! Tables 2–5.
+
+pub mod consistency;
+pub mod eval;
+pub mod filter;
+pub mod icl;
+pub mod index;
+pub mod lf;
+pub mod lfset;
+pub mod parse;
+pub mod pipeline;
+pub mod prompt;
+pub mod sampler;
+
+pub use consistency::aggregate_consistency;
+pub use eval::{evaluate_lf_set, EndModelKind, EvalConfig, LabelModelKind, LfStats, PwsEvaluation};
+pub use filter::{AddOutcome, FilterConfig};
+pub use icl::{Exemplar, IclStrategy};
+pub use index::NgramIndex;
+pub use lf::KeywordLf;
+pub use lfset::LfSet;
+pub use parse::{parse_response, ParsedResponse};
+pub use pipeline::{DataSculpt, DataSculptConfig, IterationLog, PromptStyle, RunResult};
+pub use sampler::SamplerKind;

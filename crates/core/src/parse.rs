@@ -1,0 +1,165 @@
+//! Robust parsing of LLM responses into `(keywords, label, explanation)`.
+//!
+//! Responses follow the Figure 2 contract (`Explanation:` / `Keywords:` /
+//! `Label:` lines), but weak models break it in practice: missing label
+//! lines, prose, hallucinated extra examples. The parser is deliberately
+//! tolerant — it takes the *last* occurrence of each marker, normalizes
+//! keywords through the tokenizer, and refuses labels outside the class
+//! range. Anything unusable simply yields no LFs for that response.
+
+use datasculpt_llm::simulated::{EXPLANATION_PREFIX, KEYWORDS_PREFIX, LABEL_PREFIX};
+use datasculpt_text::tokenize;
+
+/// A parsed LLM response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// Canonicalized keywords (lowercase, tokenizer-normalized, deduped,
+    /// order preserved).
+    pub keywords: Vec<String>,
+    /// Predicted class label, if present and in range.
+    pub label: Option<usize>,
+    /// Chain-of-thought explanation, if present.
+    pub explanation: Option<String>,
+}
+
+impl ParsedResponse {
+    /// Whether this response can contribute LFs.
+    pub fn is_usable(&self) -> bool {
+        self.label.is_some() && !self.keywords.is_empty()
+    }
+}
+
+/// Parse one response.
+pub fn parse_response(text: &str, n_classes: usize) -> ParsedResponse {
+    let keywords = text
+        .rfind(KEYWORDS_PREFIX)
+        .map(|p| {
+            let after = &text[p + KEYWORDS_PREFIX.len()..];
+            let line = after.lines().next().unwrap_or("");
+            let mut out = Vec::new();
+            for raw in line.split(',') {
+                let norm = tokenize(raw).join(" ");
+                if norm.is_empty() || norm == "none" || out.contains(&norm) {
+                    continue;
+                }
+                out.push(norm);
+            }
+            out
+        })
+        .unwrap_or_default();
+
+    let label = parse_label(text, n_classes);
+
+    let explanation = text.rfind(EXPLANATION_PREFIX).map(|p| {
+        text[p + EXPLANATION_PREFIX.len()..]
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    });
+
+    ParsedResponse {
+        keywords,
+        label,
+        explanation,
+    }
+}
+
+/// Parse a label: the digit after the last `Label:`, or — for label-only
+/// responses — the bare text itself. `"abstain"` and out-of-range values
+/// yield `None`.
+pub fn parse_label(text: &str, n_classes: usize) -> Option<usize> {
+    let candidate: Option<usize> = match text.rfind(LABEL_PREFIX) {
+        Some(p) => text[p + LABEL_PREFIX.len()..]
+            .split_whitespace()
+            .next()
+            .and_then(|tok| tok.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok()),
+        None => {
+            let t = text.trim();
+            if t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty() {
+                t.parse().ok()
+            } else {
+                None
+            }
+        }
+    };
+    candidate.filter(|&c| c < n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_base_format() {
+        let r = parse_response("Keywords: great, funny movie\nLabel: 1", 2);
+        assert_eq!(r.keywords, vec!["great", "funny movie"]);
+        assert_eq!(r.label, Some(1));
+        assert!(r.explanation.is_none());
+        assert!(r.is_usable());
+    }
+
+    #[test]
+    fn parses_cot_format() {
+        let r = parse_response(
+            "Explanation: the review praises the film.\nKeywords: brilliant\nLabel: 1",
+            2,
+        );
+        assert_eq!(r.explanation.as_deref(), Some("the review praises the film."));
+        assert_eq!(r.keywords, vec!["brilliant"]);
+    }
+
+    #[test]
+    fn takes_last_marker_occurrence() {
+        // Hallucinated extra example before the real answer — or after it:
+        // we always use the last block.
+        let r = parse_response(
+            "Keywords: junk\nLabel: 0\nQuery: invented\nKeywords: subscribe\nLabel: 1",
+            2,
+        );
+        assert_eq!(r.keywords, vec!["subscribe"]);
+        assert_eq!(r.label, Some(1));
+    }
+
+    #[test]
+    fn missing_label_line_is_unusable() {
+        let r = parse_response("Keywords: great", 2);
+        assert_eq!(r.label, None);
+        assert!(!r.is_usable());
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        assert_eq!(parse_response("Keywords: x\nLabel: 7", 2).label, None);
+        assert_eq!(parse_response("Keywords: x\nLabel: 3", 4).label, Some(3));
+    }
+
+    #[test]
+    fn bare_digit_is_a_label_only_response() {
+        let r = parse_response("1", 2);
+        assert_eq!(r.label, Some(1));
+        assert!(r.keywords.is_empty());
+        assert_eq!(parse_response("abstain", 2).label, None);
+    }
+
+    #[test]
+    fn keywords_are_normalized_and_deduped() {
+        let r = parse_response("Keywords: Great!, GREAT, So  Good\nLabel: 1", 2);
+        assert_eq!(r.keywords, vec!["great", "so good"]);
+    }
+
+    #[test]
+    fn none_keyword_is_dropped() {
+        let r = parse_response("Keywords: none\nLabel: 0", 2);
+        assert!(r.keywords.is_empty());
+        assert!(!r.is_usable());
+    }
+
+    #[test]
+    fn empty_response() {
+        let r = parse_response("", 2);
+        assert_eq!(r.label, None);
+        assert!(r.keywords.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! The iterative DataSculpt loop (Figure 1).
+
+use crate::consistency::aggregate_consistency;
+use crate::filter::FilterConfig;
+use crate::icl::{IclSelector, IclStrategy};
+use crate::lf::KeywordLf;
+use crate::lfset::LfSet;
+use crate::parse::parse_response;
+use crate::prompt;
+pub use crate::prompt::PromptStyle;
+use crate::sampler::{make_sampler, SamplerKind};
+use datasculpt_data::TextDataset;
+use datasculpt_llm::{ChatModel, UsageLedger};
+use std::collections::HashSet;
+
+/// Configuration of one DataSculpt run (§4.1 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct DataSculptConfig {
+    /// Number of query iterations (the paper uses 50).
+    pub num_queries: usize,
+    /// LLM samples per query (1, or 10 for self-consistency).
+    pub samples_per_query: usize,
+    /// Prompt template style.
+    pub style: PromptStyle,
+    /// In-context example selection strategy.
+    pub icl_strategy: IclStrategy,
+    /// Number of in-context examples (the paper uses 10).
+    pub n_icl: usize,
+    /// Sampling temperature (the paper uses 0.7).
+    pub temperature: f64,
+    /// LF filters.
+    pub filters: FilterConfig,
+    /// Query-instance sampler.
+    pub sampler: SamplerKind,
+    /// LF revision (§5 future work, off by default): when a candidate LF
+    /// fails the accuracy filter, re-prompt the LLM once for a more
+    /// specific phrase from the same passage and offer the revision to the
+    /// filters.
+    pub revise_rejected: bool,
+    /// Run seed (drives the sampler and exemplar choice; the LLM has its
+    /// own seed).
+    pub seed: u64,
+}
+
+impl DataSculptConfig {
+    /// DataSculpt-Base: plain few-shot prompt, one sample per query.
+    pub fn base(seed: u64) -> Self {
+        Self {
+            num_queries: 50,
+            samples_per_query: 1,
+            style: PromptStyle::Base,
+            icl_strategy: IclStrategy::ClassBalanced,
+            n_icl: 10,
+            temperature: 0.7,
+            filters: FilterConfig::all(),
+            sampler: SamplerKind::Random,
+            revise_rejected: false,
+            seed,
+        }
+    }
+
+    /// DataSculpt-CoT: chain-of-thought prompt.
+    pub fn cot(seed: u64) -> Self {
+        Self {
+            style: PromptStyle::CoT,
+            ..Self::base(seed)
+        }
+    }
+
+    /// DataSculpt-SC: CoT + self-consistency over 10 samples.
+    pub fn sc(seed: u64) -> Self {
+        Self {
+            samples_per_query: 10,
+            ..Self::cot(seed)
+        }
+    }
+
+    /// DataSculpt-KATE: SC + KATE in-context example selection.
+    pub fn kate(seed: u64) -> Self {
+        Self {
+            icl_strategy: IclStrategy::Kate,
+            ..Self::sc(seed)
+        }
+    }
+
+    /// Display label used in Table 2.
+    pub fn label(&self) -> &'static str {
+        match (self.icl_strategy, self.samples_per_query, self.style) {
+            (IclStrategy::Kate, _, _) => "DataSculpt-KATE",
+            (_, n, _) if n > 1 => "DataSculpt-SC",
+            (_, _, PromptStyle::CoT) => "DataSculpt-CoT",
+            _ => "DataSculpt-Base",
+        }
+    }
+}
+
+/// What happened in one query iteration (diagnostics).
+#[derive(Debug, Clone)]
+pub struct IterationLog {
+    /// Train-split index of the queried instance.
+    pub instance_id: usize,
+    /// Aggregated predicted label (`None` when every sample was unusable).
+    pub label: Option<usize>,
+    /// Aggregated keywords.
+    pub keywords: Vec<String>,
+    /// Candidate LFs accepted this iteration.
+    pub accepted: usize,
+    /// Candidate LFs rejected this iteration.
+    pub rejected: usize,
+}
+
+/// The outcome of a DataSculpt run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The accumulated, filtered LF set.
+    pub lf_set: LfSet,
+    /// Token usage across all LLM calls (LF generation + KATE annotation).
+    pub ledger: UsageLedger,
+    /// Per-iteration diagnostics.
+    pub iterations: Vec<IterationLog>,
+}
+
+/// The DataSculpt framework: ties the sampler, prompt builder, LLM, parser,
+/// self-consistency aggregation, and LF filters into the iterative loop of
+/// Figure 1.
+pub struct DataSculpt<'a> {
+    dataset: &'a TextDataset,
+    config: DataSculptConfig,
+}
+
+impl<'a> DataSculpt<'a> {
+    /// Set up a run over a dataset.
+    pub fn new(dataset: &'a TextDataset, config: DataSculptConfig) -> Self {
+        assert!(config.num_queries > 0, "need at least one query");
+        assert!(config.samples_per_query > 0, "need at least one sample");
+        Self { dataset, config }
+    }
+
+    /// Execute the full run against a chat model.
+    pub fn run<M: ChatModel>(&self, llm: &mut M) -> RunResult {
+        let cfg = &self.config;
+        let mut lf_set = LfSet::new(self.dataset, cfg.filters);
+        let mut ledger = UsageLedger::new();
+        let mut icl = IclSelector::new(self.dataset, cfg.icl_strategy, cfg.n_icl, cfg.seed);
+        let mut sampler = make_sampler(cfg.sampler, self.dataset, cfg.seed);
+        let mut queried: HashSet<usize> = HashSet::with_capacity(cfg.num_queries);
+        let mut iterations = Vec::with_capacity(cfg.num_queries);
+        let n_classes = self.dataset.n_classes();
+        let relation = self.dataset.spec.relation;
+
+        for _ in 0..cfg.num_queries {
+            let Some(idx) = sampler.select(self.dataset, &lf_set, &queried) else {
+                break; // unlabeled pool exhausted
+            };
+            queried.insert(idx);
+            let instance = &self.dataset.train.instances[idx];
+
+            // Build the prompt (Figure 2) and query the LLM.
+            let exemplars = icl.select(self.dataset, instance, llm, &mut ledger);
+            let messages = prompt::build_messages(
+                &self.dataset.spec,
+                cfg.style,
+                &exemplars,
+                &instance.prompt_text(),
+            );
+            let response = llm.complete(&prompt::request(
+                messages,
+                cfg.temperature,
+                cfg.samples_per_query,
+            ));
+            ledger.record(response.model, response.usage);
+
+            // Parse all samples and aggregate by self-consistency.
+            let parsed: Vec<_> = response
+                .choices
+                .iter()
+                .map(|c| parse_response(&c.content, n_classes))
+                .collect();
+            let Some((label, keywords)) = aggregate_consistency(&parsed, n_classes) else {
+                iterations.push(IterationLog {
+                    instance_id: idx,
+                    label: None,
+                    keywords: Vec::new(),
+                    accepted: 0,
+                    rejected: 0,
+                });
+                continue;
+            };
+
+            // Convert keywords to LFs (entity-anchored variants for
+            // relation tasks, §3.1) and filter (§3.5).
+            let mut accepted = 0usize;
+            let mut rejected = 0usize;
+            let mut accuracy_rejected: Vec<KeywordLf> = Vec::new();
+            for kw in &keywords {
+                let mut candidates = vec![KeywordLf::new(kw.clone(), label)];
+                if relation {
+                    candidates.push(KeywordLf::anchored(kw.clone(), label));
+                }
+                for lf in candidates {
+                    match lf_set.try_add(lf.clone()) {
+                        outcome if outcome.accepted() => accepted += 1,
+                        crate::filter::AddOutcome::RejectedAccuracy => {
+                            rejected += 1;
+                            accuracy_rejected.push(lf);
+                        }
+                        _ => rejected += 1,
+                    }
+                }
+            }
+
+            // LF revision (§5 future work): one more round-trip per
+            // accuracy-rejected candidate, asking for a more specific
+            // phrase from the same passage.
+            if cfg.revise_rejected {
+                for lf in accuracy_rejected.into_iter().take(3) {
+                    let messages = prompt::revision_messages(
+                        &self.dataset.spec,
+                        &instance.prompt_text(),
+                        &lf.keyword,
+                        lf.label,
+                    );
+                    let resp = llm.complete(&prompt::request(messages, cfg.temperature, 1));
+                    ledger.record(resp.model, resp.usage);
+                    let parsed = parse_response(&resp.choices[0].content, n_classes);
+                    for kw in parsed.keywords {
+                        let mut candidates = vec![KeywordLf::new(kw.clone(), lf.label)];
+                        if relation {
+                            candidates.push(KeywordLf::anchored(kw, lf.label));
+                        }
+                        for revised in candidates {
+                            if lf_set.try_add(revised).accepted() {
+                                accepted += 1;
+                            } else {
+                                rejected += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            iterations.push(IterationLog {
+                instance_id: idx,
+                label: Some(label),
+                keywords,
+                accepted,
+                rejected,
+            });
+        }
+
+        RunResult {
+            lf_set,
+            ledger,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_data::DatasetName;
+    use datasculpt_llm::{ModelId, SimulatedLlm};
+
+    fn run_config(dataset: &TextDataset, cfg: DataSculptConfig) -> RunResult {
+        let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 13);
+        DataSculpt::new(dataset, cfg).run(&mut llm)
+    }
+
+    #[test]
+    fn base_run_generates_filtered_lfs() {
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::base(5);
+        cfg.num_queries = 25;
+        let result = run_config(&d, cfg);
+        assert!(
+            result.lf_set.len() >= 10,
+            "expected a nontrivial LF set, got {}",
+            result.lf_set.len()
+        );
+        assert_eq!(result.iterations.len(), 25);
+        assert!(result.ledger.calls() >= 25);
+        assert!(result.ledger.total_usage().total() > 0);
+        // No duplicate LFs in the accepted set.
+        let mut seen = std::collections::HashSet::new();
+        for lf in result.lf_set.lfs() {
+            assert!(seen.insert((lf.keyword.clone(), lf.label, lf.anchored)));
+        }
+    }
+
+    #[test]
+    fn sc_produces_larger_set_than_base() {
+        let d = DatasetName::Imdb.load_scaled(22, 0.02);
+        let mut base_cfg = DataSculptConfig::base(5);
+        base_cfg.num_queries = 20;
+        let mut sc_cfg = DataSculptConfig::sc(5);
+        sc_cfg.num_queries = 20;
+        let base = run_config(&d, base_cfg);
+        let sc = run_config(&d, sc_cfg);
+        assert!(
+            sc.lf_set.len() > base.lf_set.len(),
+            "SC {} should beat Base {} (Table 2 shape)",
+            sc.lf_set.len(),
+            base.lf_set.len()
+        );
+        // And costs proportionally more completion tokens.
+        assert!(
+            sc.ledger.total_usage().completion_tokens
+                > base.ledger.total_usage().completion_tokens * 3
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_seed() {
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::cot(9);
+        cfg.num_queries = 10;
+        let a = run_config(&d, cfg);
+        let b = run_config(&d, cfg);
+        assert_eq!(a.lf_set.len(), b.lf_set.len());
+        let names_a: Vec<_> = a.lf_set.lfs().iter().map(|l| l.name()).collect();
+        let names_b: Vec<_> = b.lf_set.lfs().iter().map(|l| l.name()).collect();
+        assert_eq!(names_a, names_b);
+        assert_eq!(
+            a.ledger.total_usage().prompt_tokens,
+            b.ledger.total_usage().prompt_tokens
+        );
+    }
+
+    #[test]
+    fn relation_task_emits_anchored_lfs() {
+        let d = DatasetName::Spouse.load_scaled(8, 0.02);
+        let mut cfg = DataSculptConfig::sc(3);
+        cfg.num_queries = 20;
+        let result = run_config(&d, cfg);
+        // At least some accepted LFs should exist; anchored variants are
+        // offered for every keyword.
+        let total_offered: usize = result
+            .iterations
+            .iter()
+            .map(|it| it.accepted + it.rejected)
+            .sum();
+        assert!(total_offered > 0, "no candidates at all");
+        assert!(
+            result.lf_set.lfs().iter().any(|l| !l.keyword.is_empty()),
+            "no LFs accepted"
+        );
+    }
+
+    #[test]
+    fn revision_recovers_extra_lfs() {
+        // With a weak model (lots of accuracy rejections) and revision on,
+        // the revised phrases should win back some LFs — and cost extra
+        // tokens.
+        let d = DatasetName::Imdb.load_scaled(27, 0.03);
+        let run_with = |revise: bool| {
+            let mut llm =
+                SimulatedLlm::new(ModelId::Llama2Chat13b, d.generative.clone(), 17);
+            let mut cfg = DataSculptConfig::base(4);
+            cfg.num_queries = 25;
+            cfg.revise_rejected = revise;
+            DataSculpt::new(&d, cfg).run(&mut llm)
+        };
+        let plain = run_with(false);
+        let revised = run_with(true);
+        assert!(
+            revised.lf_set.len() >= plain.lf_set.len(),
+            "revision should not shrink the set: {} vs {}",
+            revised.lf_set.len(),
+            plain.lf_set.len()
+        );
+        assert!(
+            revised.ledger.total_usage().total() > plain.ledger.total_usage().total(),
+            "revision consumes extra tokens"
+        );
+    }
+
+    #[test]
+    fn preset_labels() {
+        assert_eq!(DataSculptConfig::base(0).label(), "DataSculpt-Base");
+        assert_eq!(DataSculptConfig::cot(0).label(), "DataSculpt-CoT");
+        assert_eq!(DataSculptConfig::sc(0).label(), "DataSculpt-SC");
+        assert_eq!(DataSculptConfig::kate(0).label(), "DataSculpt-KATE");
+    }
+
+    #[test]
+    fn exhausted_pool_stops_early() {
+        let d = DatasetName::Youtube.load_scaled(21, 0.011); // ~17 train docs
+        let mut cfg = DataSculptConfig::base(1);
+        cfg.num_queries = 100;
+        let result = run_config(&d, cfg);
+        assert!(result.iterations.len() <= d.train.len());
+    }
+}

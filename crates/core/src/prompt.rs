@@ -1,0 +1,219 @@
+//! Prompt templates (Figure 2).
+//!
+//! A single template per task: a system prompt with the task description
+//! and output-format instructions (Base or chain-of-thought variant),
+//! followed by a user message containing the in-context examples and the
+//! final `Query:`. The marker strings come from the shared prompt contract
+//! in `datasculpt_llm::simulated`.
+
+use crate::icl::Exemplar;
+use datasculpt_data::DatasetSpec;
+use datasculpt_llm::simulated::{
+    EXPLANATION_PREFIX, KEYWORDS_PREFIX, LABEL_ONLY_MARKER, LABEL_PREFIX, QUERY_PREFIX,
+};
+use datasculpt_llm::{ChatMessage, ChatRequest};
+
+/// Base vs. chain-of-thought template (the two columns of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromptStyle {
+    /// Keywords + label only.
+    Base,
+    /// Step-by-step explanation, then keywords + label (§3.2).
+    CoT,
+}
+
+impl PromptStyle {
+    /// Whether explanations are requested.
+    pub fn is_cot(&self) -> bool {
+        matches!(self, PromptStyle::CoT)
+    }
+}
+
+/// The system prompt for a dataset/style (Figure 2, top block).
+pub fn system_prompt(spec: &DatasetSpec, style: PromptStyle) -> String {
+    let mut s = format!(
+        "You are a helpful assistant who helps users in {} ",
+        spec.task_description
+    );
+    match style {
+        PromptStyle::Base => s.push_str(
+            "After the user provides input, identify a list of keywords that helps making prediction. Finally, provide the class label for the input.",
+        ),
+        PromptStyle::CoT => s.push_str(
+            "After the user provides input, first explain your reason process step by step. Then identify a list of keywords that helps making prediction. Finally, provide the class label for the input.",
+        ),
+    }
+    s
+}
+
+/// Render one in-context example block.
+pub fn render_exemplar(ex: &Exemplar, style: PromptStyle) -> String {
+    let mut s = format!("{QUERY_PREFIX} {}\n", ex.text);
+    if style.is_cot() {
+        let expl = ex
+            .explanation
+            .as_deref()
+            .unwrap_or("the indicative phrases below determine the class.");
+        s.push_str(&format!("{EXPLANATION_PREFIX} {expl}\n"));
+    }
+    s.push_str(&format!("{KEYWORDS_PREFIX} {}\n", ex.keywords.join(", ")));
+    s.push_str(&format!("{LABEL_PREFIX} {}\n", ex.label));
+    s
+}
+
+/// Build the full LF-generation request messages.
+pub fn build_messages(
+    spec: &DatasetSpec,
+    style: PromptStyle,
+    exemplars: &[Exemplar],
+    query_text: &str,
+) -> Vec<ChatMessage> {
+    let mut user = String::new();
+    for ex in exemplars {
+        user.push_str(&render_exemplar(ex, style));
+        user.push('\n');
+    }
+    user.push_str(&format!("{QUERY_PREFIX} {query_text}"));
+    vec![
+        ChatMessage::system(system_prompt(spec, style)),
+        ChatMessage::user(user),
+    ]
+}
+
+/// Build the KATE auto-annotation request (§3.3): the example's label is
+/// included in the user input and the LLM supplies the reasoning and
+/// keywords.
+pub fn annotation_messages(
+    spec: &DatasetSpec,
+    text: &str,
+    label: usize,
+) -> Vec<ChatMessage> {
+    vec![
+        ChatMessage::system(format!(
+            "{} The label for the query is already provided; justify it.",
+            system_prompt(spec, PromptStyle::CoT)
+        )),
+        ChatMessage::user(format!("{QUERY_PREFIX} {text}\n{LABEL_PREFIX} {label}")),
+    ]
+}
+
+/// Build a PromptedLF-style annotation request: one template applied to one
+/// instance, answered with a bare label.
+pub fn label_only_messages(
+    spec: &DatasetSpec,
+    template: &str,
+    query_text: &str,
+) -> Vec<ChatMessage> {
+    vec![
+        ChatMessage::system(format!(
+            "You are a helpful assistant who helps users in {} {template} {LABEL_ONLY_MARKER}, or the word abstain if unsure.",
+            spec.task_description
+        )),
+        ChatMessage::user(format!("{QUERY_PREFIX} {query_text}")),
+    ]
+}
+
+/// Build an LF-revision request (§5 future work): ask the model to replace
+/// a keyword that failed the accuracy filter with a more specific phrase
+/// from the same passage.
+pub fn revision_messages(
+    spec: &DatasetSpec,
+    query_text: &str,
+    keyword: &str,
+    label: usize,
+) -> Vec<ChatMessage> {
+    vec![
+        ChatMessage::system(format!(
+            "You are a helpful assistant who helps users in {} The keyword '{keyword}' was not accurate enough for class {label}. {} from the passage that better indicates the class, then provide the class label.",
+            spec.task_description,
+            datasculpt_llm::simulated::REVISE_MARKER,
+        )),
+        ChatMessage::user(format!(
+            "The keyword '{keyword}' should be revised for class {label}.\n{QUERY_PREFIX} {query_text}"
+        )),
+    ]
+}
+
+/// Convenience: wrap messages at a temperature/sample count.
+pub fn request(messages: Vec<ChatMessage>, temperature: f64, n: usize) -> ChatRequest {
+    ChatRequest::new(messages).with_temperature(temperature).with_n(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_data::DatasetName;
+    use datasculpt_llm::simulated::COT_MARKER;
+
+    fn spec() -> DatasetSpec {
+        DatasetName::Imdb.spec().0
+    }
+
+    fn exemplar() -> Exemplar {
+        Exemplar {
+            text: "an extremely funny and heartwarming story".into(),
+            keywords: vec!["funny".into(), "heartwarming".into()],
+            label: 1,
+            explanation: Some("the review praises the story.".into()),
+        }
+    }
+
+    #[test]
+    fn base_system_prompt_has_no_cot_marker() {
+        let s = system_prompt(&spec(), PromptStyle::Base);
+        assert!(!s.contains(COT_MARKER));
+        assert!(s.contains("sentiment analysis"));
+        assert!(s.contains("identify a list of keywords"));
+    }
+
+    #[test]
+    fn cot_system_prompt_has_marker() {
+        let s = system_prompt(&spec(), PromptStyle::CoT);
+        assert!(s.contains(COT_MARKER));
+        assert!(s.contains("step by step"));
+    }
+
+    #[test]
+    fn exemplar_rendering_matches_figure2() {
+        let base = render_exemplar(&exemplar(), PromptStyle::Base);
+        assert_eq!(
+            base,
+            "Query: an extremely funny and heartwarming story\nKeywords: funny, heartwarming\nLabel: 1\n"
+        );
+        let cot = render_exemplar(&exemplar(), PromptStyle::CoT);
+        assert!(cot.contains("Explanation: the review praises the story."));
+    }
+
+    #[test]
+    fn built_messages_end_with_query() {
+        let msgs = build_messages(&spec(), PromptStyle::Base, &[exemplar()], "was it good");
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[1].content.ends_with("Query: was it good"));
+        // Exemplar appears before the final query.
+        let qpos = msgs[1].content.rfind("Query: was it good").unwrap();
+        assert!(msgs[1].content[..qpos].contains("Keywords: funny, heartwarming"));
+    }
+
+    #[test]
+    fn annotation_messages_include_label() {
+        let msgs = annotation_messages(&spec(), "a dull film", 0);
+        assert!(msgs[1].content.contains("Label: 0"));
+        assert!(msgs[0].content.contains(COT_MARKER));
+    }
+
+    #[test]
+    fn revision_messages_carry_keyword_and_class() {
+        let msgs = revision_messages(&spec(), "the plot was dull", "dull", 0);
+        assert!(msgs[0].content.contains("Propose a more specific phrase"));
+        assert!(msgs[0].content.contains("'dull'"));
+        assert!(msgs[1].content.contains("for class 0"));
+        assert!(msgs[1].content.ends_with("Query: the plot was dull"));
+    }
+
+    #[test]
+    fn label_only_messages_request_bare_label() {
+        let msgs = label_only_messages(&spec(), "Is this review positive?", "loved it");
+        assert!(msgs[0].content.contains("Respond with only the class label"));
+        assert!(msgs[1].content.ends_with("Query: loved it"));
+    }
+}

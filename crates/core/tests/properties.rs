@@ -1,0 +1,124 @@
+//! Property-based tests for the DataSculpt core.
+
+use datasculpt_core::consistency::aggregate_consistency;
+use datasculpt_core::filter::consensus;
+use datasculpt_core::lf::{anchored_fires, KeywordLf};
+use datasculpt_core::parse::{parse_label, parse_response, ParsedResponse};
+use datasculpt_labelmodel::ABSTAIN;
+use proptest::prelude::*;
+
+proptest! {
+    /// The response parser is total: any string yields a well-formed
+    /// parse with in-range labels and normalized keywords.
+    #[test]
+    fn parser_total(s in "\\PC{0,300}", n_classes in 2usize..5) {
+        let p = parse_response(&s, n_classes);
+        if let Some(l) = p.label {
+            prop_assert!(l < n_classes);
+        }
+        for k in &p.keywords {
+            prop_assert!(!k.is_empty());
+            prop_assert_eq!(k.clone(), datasculpt_text::tokenize(k).join(" "));
+        }
+        // parse_label alone agrees with the full parser.
+        prop_assert_eq!(p.label, parse_label(&s, n_classes));
+    }
+
+    /// A well-formed response always parses back exactly.
+    #[test]
+    fn parser_roundtrip(
+        kws in proptest::collection::vec("[a-z]{2,8}( [a-z]{2,8}){0,2}", 1..5),
+        label in 0usize..4,
+    ) {
+        let mut kws = kws;
+        kws.dedup();
+        let text = format!("Keywords: {}\nLabel: {label}", kws.join(", "));
+        let p = parse_response(&text, 4);
+        prop_assert_eq!(p.label, Some(label));
+        let mut expected = Vec::new();
+        for k in &kws {
+            if !expected.contains(k) {
+                expected.push(k.clone());
+            }
+        }
+        prop_assert_eq!(p.keywords, expected);
+    }
+
+    /// Consensus is symmetric, bounded, and 1 on identical columns.
+    #[test]
+    fn consensus_properties(
+        a in proptest::collection::vec(-1i32..3, 1..40),
+        b in proptest::collection::vec(-1i32..3, 1..40),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let c = consensus(a, b);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert_eq!(c, consensus(b, a));
+        if a.iter().any(|&v| v != ABSTAIN) {
+            prop_assert_eq!(consensus(a, a), 1.0);
+        }
+    }
+
+    /// Self-consistency never invents a label and only pools keywords from
+    /// majority-agreeing samples.
+    #[test]
+    fn consistency_sound(samples in proptest::collection::vec(
+        (proptest::option::of(0usize..3),
+         proptest::collection::vec("[a-z]{2,6}", 0..4)), 0..8)) {
+        let parsed: Vec<ParsedResponse> = samples
+            .iter()
+            .map(|(label, kws)| ParsedResponse {
+                keywords: kws.clone(),
+                label: *label,
+                explanation: None,
+            })
+            .collect();
+        match aggregate_consistency(&parsed, 3) {
+            None => prop_assert!(parsed.iter().all(|p| p.label.is_none())),
+            Some((label, kws)) => {
+                prop_assert!(label < 3);
+                prop_assert!(parsed.iter().any(|p| p.label == Some(label)));
+                for k in &kws {
+                    prop_assert!(parsed
+                        .iter()
+                        .filter(|p| p.label == Some(label))
+                        .any(|p| p.keywords.contains(k)));
+                }
+                // Majority property: no other label has strictly more votes.
+                let count = |l: usize| parsed.iter().filter(|p| p.label == Some(l)).count();
+                for other in 0..3 {
+                    prop_assert!(count(other) <= count(label));
+                }
+            }
+        }
+    }
+
+    /// LF activation is deterministic and anchored activation implies the
+    /// keyword is present in the span view.
+    #[test]
+    fn lf_activation_properties(
+        tokens in proptest::collection::vec("[a-c]{1,2}", 0..15),
+        kw in "[a-c]{1,2}( [a-c]{1,2}){0,2}",
+        marker_a in 0usize..16,
+        marker_b in 0usize..16,
+    ) {
+        let mut marked = tokens.clone();
+        let ia = marker_a.min(marked.len());
+        marked.insert(ia, "[a]".to_string());
+        let ib = marker_b.min(marked.len());
+        marked.insert(ib, "[b]".to_string());
+        let fires = anchored_fires(&marked, &kw);
+        if fires {
+            // The keyword must appear somewhere in the marked view.
+            prop_assert!(datasculpt_text::ngram::contains_ngram(&marked, &kw));
+        }
+        // Plain containment is deterministic.
+        let lf = KeywordLf::new(kw.clone(), 0);
+        prop_assert!(lf.is_valid_ngram());
+        prop_assert_eq!(
+            datasculpt_text::ngram::contains_ngram(&tokens, &kw),
+            datasculpt_text::ngram::contains_ngram(&tokens, &kw)
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-dataset synthetic generators.
+//!
+//! Each submodule defines one of the six evaluation datasets (Table 1): its
+//! [`crate::DatasetSpec`] and the [`crate::GenerativeModel`] lexicon — class-conditional
+//! indicative n-grams with hand-chosen strength tiers plus a shared Zipfian
+//! background vocabulary. Strengths are derived deterministically from the
+//! n-gram's hash so the "world" is identical across runs and seeds.
+
+pub mod agnews;
+pub mod imdb;
+pub mod sms;
+pub mod spouse;
+pub mod yelp;
+pub mod youtube;
+
+use crate::generative::IndicativeNgram;
+use datasculpt_text::rng::hash_str;
+
+/// Strength tier of an indicative n-gram.
+///
+/// `own` is the appearance probability in the dominant class; `leak` is the
+/// total probability mass leaked to the other classes (split equally), as a
+/// fraction of `own`. Tiers control both LF coverage (own) and LF accuracy
+/// (leak): experts pick Strong grams, the LLM surfaces whatever tier appears
+/// in the query instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// High coverage, low leak — the keywords a domain expert would pick.
+    Strong,
+    /// Moderate coverage and leak.
+    Medium,
+    /// Rare and noisier — the long tail DataSculpt mines from instances.
+    Weak,
+}
+
+impl Tier {
+    fn own_range(self) -> (f64, f64) {
+        match self {
+            Tier::Strong => (0.07, 0.14),
+            Tier::Medium => (0.025, 0.06),
+            Tier::Weak => (0.008, 0.022),
+        }
+    }
+
+    fn leak_range(self) -> (f64, f64) {
+        match self {
+            Tier::Strong => (0.04, 0.12),
+            Tier::Medium => (0.08, 0.22),
+            Tier::Weak => (0.12, 0.40),
+        }
+    }
+}
+
+/// Builder for a dataset's indicative-n-gram lexicon.
+#[derive(Debug)]
+pub(crate) struct Lexicon {
+    n_classes: usize,
+    grams: Vec<IndicativeNgram>,
+    seen: std::collections::HashSet<String>,
+}
+
+impl Lexicon {
+    pub(crate) fn new(n_classes: usize) -> Self {
+        Self {
+            n_classes,
+            grams: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Deterministic pseudo-random value in `[lo, hi)` keyed by the gram.
+    fn keyed(gram: &str, salt: u64, (lo, hi): (f64, f64)) -> f64 {
+        let h = hash_str(gram).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// Add one n-gram for `class` at the given tier. Duplicate grams are
+    /// ignored (first definition wins), so overlapping word lists are safe.
+    pub(crate) fn add(&mut self, class: usize, gram: &str, tier: Tier) {
+        self.add_scaled(class, gram, tier, 1.0);
+    }
+
+    /// Like [`add`](Self::add) with the own-probability multiplied by
+    /// `scale` (used for derived variants like intensified adjectives).
+    pub(crate) fn add_scaled(&mut self, class: usize, gram: &str, tier: Tier, scale: f64) {
+        assert!(class < self.n_classes);
+        let gram = gram.to_string();
+        if !self.seen.insert(gram.clone()) {
+            return;
+        }
+        let own = Self::keyed(&gram, 0xA1, tier.own_range()) * scale;
+        let leak = Self::keyed(&gram, 0xB2, tier.leak_range());
+        let other = own * leak / (self.n_classes - 1).max(1) as f64;
+        let mut probs = vec![other; self.n_classes];
+        probs[class] = own;
+        self.grams.push(IndicativeNgram { gram, probs });
+    }
+
+    /// Add a batch of grams at one tier.
+    pub(crate) fn add_all(&mut self, class: usize, tier: Tier, grams: &[&str]) {
+        for g in grams {
+            self.add(class, g, tier);
+        }
+    }
+
+    /// Add adjectives plus intensified bigram variants (`"really X"`,
+    /// `"so X"`), the long-tail phrases sentiment LLM queries surface.
+    pub(crate) fn add_adjectives(&mut self, class: usize, tier: Tier, adjectives: &[&str]) {
+        for a in adjectives {
+            self.add(class, a, tier);
+            self.add_scaled(class, &format!("really {a}"), Tier::Weak, 0.8);
+            self.add_scaled(class, &format!("so {a}"), Tier::Weak, 0.8);
+        }
+    }
+
+    /// Add an n-gram with explicit own/leak values (for special cases such
+    /// as imbalanced datasets needing very low leak on minority keywords).
+    pub(crate) fn add_exact(&mut self, class: usize, gram: &str, own: f64, leak: f64) {
+        assert!(class < self.n_classes);
+        let gram = gram.to_string();
+        if !self.seen.insert(gram.clone()) {
+            return;
+        }
+        let other = own * leak / (self.n_classes - 1).max(1) as f64;
+        let mut probs = vec![other; self.n_classes];
+        probs[class] = own;
+        self.grams.push(IndicativeNgram { gram, probs });
+    }
+
+    pub(crate) fn into_grams(self) -> Vec<IndicativeNgram> {
+        self.grams
+    }
+}
+
+/// Shared common-English background vocabulary (Zipf-ranked by position).
+pub(crate) const BACKGROUND_COMMON: &[&str] = &[
+    "the", "to", "and", "a", "of", "i", "it", "is", "that", "in", "you", "this", "for", "was",
+    "on", "with", "my", "but", "have", "not", "are", "be", "at", "as", "they", "we", "so", "just",
+    "all", "like", "do", "me", "what", "when", "there", "from", "out", "up", "about", "get",
+    "one", "if", "can", "her", "his", "he", "she", "will", "or", "an", "had", "by", "been",
+    "were", "their", "them", "then", "some", "would", "who", "him", "time", "because", "very",
+    "here", "now", "after", "before", "more", "much", "than", "also", "into", "over", "only",
+    "other", "could", "did", "your", "see", "know", "think", "got", "going", "really", "way",
+    "people", "day", "make", "still", "even", "back", "well", "want", "never", "say", "said",
+    "go", "went", "come", "made", "look", "first", "two", "new", "where", "how", "most", "any",
+    "these", "no", "yes", "us", "our", "being", "has", "its", "which", "while", "down", "off",
+    "again", "too", "thing", "things", "little", "big", "lot", "right", "left", "take", "give",
+    "something", "nothing", "everything", "someone", "around", "through", "during", "another",
+    "same", "last", "next", "each", "few", "many", "those", "such", "own", "both", "between",
+    "under", "why", "does", "every", "once", "since", "found", "part", "place", "long", "seem",
+];
+
+/// Render tokens into display text: capitalize the first token, add a final
+/// period. The rendering round-trips through `tokenize` back to the same
+/// token sequence (guaranteed because generated tokens are lowercase
+/// alphanumerics/apostrophes).
+pub(crate) fn render_text(tokens: &[String]) -> String {
+    let mut s = String::with_capacity(tokens.len() * 6);
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        if i == 0 {
+            let mut chars = t.chars();
+            if let Some(c) = chars.next() {
+                s.extend(c.to_uppercase());
+                s.push_str(chars.as_str());
+            }
+        } else {
+            s.push_str(t);
+        }
+    }
+    s.push('.');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_dedupes() {
+        let mut lx = Lexicon::new(2);
+        lx.add(0, "free", Tier::Strong);
+        lx.add(1, "free", Tier::Strong); // ignored
+        let grams = lx.into_grams();
+        assert_eq!(grams.len(), 1);
+        assert_eq!(grams[0].dominant_class(), 0);
+    }
+
+    #[test]
+    fn strengths_are_deterministic() {
+        let mut a = Lexicon::new(2);
+        a.add(1, "great", Tier::Medium);
+        let mut b = Lexicon::new(2);
+        b.add(1, "great", Tier::Medium);
+        assert_eq!(a.into_grams()[0].probs, b.into_grams()[0].probs);
+    }
+
+    #[test]
+    fn tiers_order_coverage() {
+        let mut lx = Lexicon::new(2);
+        lx.add(1, "strongword", Tier::Strong);
+        lx.add(1, "weakword", Tier::Weak);
+        let grams = lx.into_grams();
+        assert!(grams[0].probs[1] > grams[1].probs[1]);
+    }
+
+    #[test]
+    fn adjectives_expand_to_variants() {
+        let mut lx = Lexicon::new(2);
+        lx.add_adjectives(1, Tier::Medium, &["funny"]);
+        let grams = lx.into_grams();
+        let names: Vec<_> = grams.iter().map(|g| g.gram.as_str()).collect();
+        assert_eq!(names, vec!["funny", "really funny", "so funny"]);
+    }
+
+    #[test]
+    fn add_exact_controls_leak() {
+        let mut lx = Lexicon::new(2);
+        lx.add_exact(1, "prize", 0.1, 0.02);
+        let g = &lx.into_grams()[0];
+        assert!((g.probs[1] - 0.1).abs() < 1e-12);
+        assert!((g.probs[0] - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_round_trips_through_tokenize() {
+        let tokens: Vec<String> = ["check", "out", "my", "channel"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let text = render_text(&tokens);
+        assert_eq!(text, "Check out my channel.");
+        assert_eq!(datasculpt_text::tokenize(&text), tokens);
+    }
+
+    #[test]
+    fn background_vocab_is_nontrivial_and_unique() {
+        let set: std::collections::HashSet<_> = BACKGROUND_COMMON.iter().collect();
+        assert_eq!(set.len(), BACKGROUND_COMMON.len(), "duplicate background word");
+        assert!(BACKGROUND_COMMON.len() >= 100);
+    }
+}

@@ -1,0 +1,218 @@
+//! SMS spam detection (UCI SMS Spam Collection). 2 classes: 0 = ham, 1 = spam.
+//!
+//! The original corpus is imbalanced (~13% spam), so the end model is scored
+//! with positive-class F1 (Tables 2–5 write "SMS (F1)"). Spam keywords are
+//! given very low leak: phrases like "free entry" essentially never occur in
+//! genuine texts, which is what keeps minority-class LF precision high
+//! despite the skewed prior.
+
+use super::{Lexicon, Tier, BACKGROUND_COMMON};
+use crate::generative::GenerativeModel;
+use crate::spec::{DatasetSpec, Metric, SplitSizes};
+
+const DOMAIN_FILLER: &[&str] = &[
+    "ok", "u", "ur", "im", "dont", "gonna", "pls", "thx", "hey", "yeah", "hmm", "tonight",
+    "today", "tomorrow", "morning", "night", "later", "soon", "home", "work", "phone",
+];
+
+/// Spec + generative model for the synthetic SMS dataset.
+pub fn build() -> (DatasetSpec, GenerativeModel) {
+    let spec = DatasetSpec {
+        name: "sms",
+        domain: "Text Message",
+        task_description: "a spam detection task. In each iteration, the user will provide a text message. Please decide whether the message is a spam. (0 for non-spam, 1 for spam)",
+        instance_noun: "a text message",
+        class_names: vec!["non-spam", "spam"],
+        default_class: None,
+        relation: false,
+        metric: Metric::F1,
+        train_labels_available: true,
+        sizes: SplitSizes {
+            train: 4571,
+            valid: 500,
+            test: 500,
+        },
+    };
+
+    let mut lx = Lexicon::new(2);
+
+    // Spam (class 1): prizes, premium numbers, subscriptions. Exact probs
+    // with low leak so precision survives the 13% prior.
+    for (g, own) in [
+        ("free", 0.13),
+        ("prize", 0.10),
+        ("winner", 0.09),
+        ("claim", 0.10),
+        ("urgent", 0.08),
+        ("cash", 0.09),
+        ("award", 0.07),
+        ("call now", 0.09),
+        ("txt", 0.11),
+        ("text stop", 0.05),
+        ("free entry", 0.06),
+        ("guaranteed", 0.07),
+        ("ringtone", 0.06),
+        ("mobile", 0.09),
+        ("voucher", 0.05),
+        ("bonus", 0.05),
+        ("selected", 0.06),
+        ("congratulations", 0.06),
+        ("winner announced", 0.03),
+        ("cash prize", 0.05),
+        ("claim your", 0.06),
+        ("you have won", 0.07),
+        ("have won", 0.08),
+        ("to claim", 0.06),
+        ("call the", 0.04),
+        ("per week", 0.04),
+        ("per msg", 0.04),
+        ("18 only", 0.03),
+        ("tcs apply", 0.03),
+        ("reply yes", 0.04),
+        ("reply stop", 0.04),
+        ("unsubscribe", 0.04),
+        ("subscription", 0.05),
+        ("premium", 0.04),
+        ("rate", 0.05),
+        ("offer expires", 0.03),
+        ("limited offer", 0.03),
+        ("win a", 0.05),
+        ("a 1000", 0.03),
+        ("latest phone", 0.03),
+        ("camera phone", 0.03),
+        ("await collection", 0.02),
+        ("sae", 0.02),
+        ("po box", 0.04),
+        ("customer service", 0.04),
+        ("account statement", 0.02),
+        ("identifier code", 0.02),
+        ("private number", 0.02),
+        ("dating service", 0.03),
+        ("hot singles", 0.02),
+        ("adult", 0.03),
+        ("chat line", 0.02),
+        ("network operator", 0.02),
+        ("sim card", 0.03),
+        ("top up", 0.03),
+        ("double minutes", 0.02),
+        ("half price", 0.03),
+        ("delivery tomorrow", 0.02),
+        ("national rate", 0.02),
+        ("landline", 0.03),
+        ("valid 12 hours", 0.015),
+        ("expires today", 0.02),
+        ("final attempt", 0.02),
+        ("last chance", 0.03),
+        ("act now", 0.02),
+        ("dont miss", 0.03),
+        ("exclusive offer", 0.02),
+        ("great deal", 0.02),
+        ("apply now", 0.02),
+        ("loan", 0.03),
+        ("credit", 0.04),
+        ("insurance", 0.03),
+        ("lottery", 0.03),
+        ("jackpot", 0.02),
+        ("sweepstake", 0.015),
+    ] {
+        lx.add_exact(1, g, own, 0.025);
+    }
+    // Long tail of campaign-specific spam wording: shortcodes, premium
+    // numbers, offer phrasings. Individually rare (like real campaigns),
+    // collectively they give spam LFs real union coverage.
+    for code in ["87121", "84025", "62468", "09061", "08712", "85233"] {
+        for action in ["txt yes to", "send stop to", "call", "text win to"] {
+            lx.add_exact(1, &format!("{action} {code}"), 0.012, 0.005);
+        }
+    }
+    for prize in ["holiday", "iphone", "tv", "gift", "trip", "car"] {
+        for verb in ["won a free", "claim your free", "win a free"] {
+            lx.add_exact(1, &format!("{verb} {prize}"), 0.010, 0.005);
+        }
+    }
+
+    // Ham (class 0): everyday chatter. Real texting vocabulary is a huge
+    // long tail of rare personal phrases — model that with many weak
+    // entries rather than a few broad ones, so ham LFs stay narrow (the
+    // paper's SMS LFs average 0.007 coverage).
+    lx.add_all(0, Tier::Medium, &["lol", "love you", "see you"]);
+    lx.add_all(0, Tier::Weak, &[
+        "meet", "dinner", "lunch", "coffee", "movie", "class", "lecture", "exam", "homework",
+        "mom", "dad", "bro", "mate", "miss you", "good night", "good morning", "on my way",
+        "running late", "be there", "pick you", "pick me", "call me when", "talk later",
+        "how are you", "what time", "are you coming", "at home", "at work", "after work",
+    ]);
+    lx.add_all(0, Tier::Weak, &[
+        "sleepy", "tired", "hungry", "bored", "busy", "sorry", "thanks dear", "no worries",
+        "take care", "drive safe", "happy birthday", "congrats", "good luck", "well done",
+        "see ya", "cya", "brb", "ttyl", "wanna", "lemme", "gimme", "kinda", "dunno",
+        "feeling", "weekend", "holiday", "trip", "beach", "party", "birthday", "wedding dress",
+        "shopping", "groceries", "doctor", "dentist", "appointment", "meeting at", "project",
+        "assignment", "library", "train", "bus", "station", "airport", "flight",
+    ]);
+    // Long tail of everyday phrases, composed combinatorially (the same
+    // kind of rare personal wording the real corpus is full of).
+    for verb in ["call", "text", "meet", "see", "ring", "ping"] {
+        for obj in ["me later", "me tonight", "me tomorrow", "you soon", "you there", "you after"]
+        {
+            lx.add_exact(0, &format!("{verb} {obj}"), 0.006, 0.2);
+        }
+    }
+    for when in ["tonight", "tomorrow", "saturday", "sunday", "next week", "this evening"] {
+        for what in ["dinner", "drinks", "footy", "cinema", "the gym", "town"] {
+            lx.add_exact(0, &format!("{what} {when}"), 0.004, 0.15);
+        }
+    }
+
+    let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
+    background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
+
+    let model = GenerativeModel::new(
+        2,
+        vec![0.868, 0.132], // real SMS spam ratio ~13.2%
+        background,
+        lx.into_grams(),
+        16.0,
+        7.0,
+        3,
+        0.02,
+        None,
+    );
+    (spec, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table1() {
+        let (spec, _) = build();
+        assert_eq!(
+            (spec.sizes.train, spec.sizes.valid, spec.sizes.test),
+            (4571, 500, 500)
+        );
+        assert_eq!(spec.metric, Metric::F1);
+    }
+
+    #[test]
+    fn spam_lfs_stay_precise_despite_imbalance() {
+        let (_, model) = build();
+        let priors = model.priors().to_vec();
+        // Bayes accuracy of "free entry" should be well above the 0.6
+        // accuracy-filter threshold despite the 13% prior.
+        let grams = model.indicative_grams();
+        let g = grams
+            .iter()
+            .find(|g| g.gram == "free entry")
+            .expect("free entry");
+        assert!(g.lf_accuracy(&priors) > 0.6, "{}", g.lf_accuracy(&priors));
+    }
+
+    #[test]
+    fn spam_pool_supports_table2_lf_counts() {
+        let (_, model) = build();
+        // The paper reports ~115-240 LFs on SMS across configs.
+        assert!(model.indicative_grams().len() >= 150);
+    }
+}

@@ -1,0 +1,205 @@
+//! Spouse relation classification (Signal Media news corpus). 2 classes:
+//! 0 = no spouse relation (default class, §3.6), 1 = spouse relation.
+//!
+//! Instances mention an entity pair `[A]`, `[B]`. Positive documents link
+//! the pair with a connector pattern ("and his wife", "married"); negative
+//! documents mention both entities apart, and a fraction are *distractors*
+//! that contain a relation connector about a third person — the "A marry C"
+//! failure mode of plain keyword LFs that motivates entity-anchored LFs in
+//! §3.1. Train ground-truth labels are treated as unavailable (§4.1), and
+//! the end model is scored with positive-class F1.
+
+use super::{Lexicon, Tier, BACKGROUND_COMMON};
+use crate::generative::{GenerativeModel, RelationConfig};
+use crate::spec::{DatasetSpec, Metric, SplitSizes};
+
+const DOMAIN_FILLER: &[&str] = &[
+    "news", "article", "story", "interview", "reporter", "sources", "family", "home", "house",
+    "event", "ceremony", "met", "meeting", "spoke", "attended", "appeared", "joined",
+    "worked", "career", "company", "film", "show", "friends", "known", "public",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "daniel", "nancy", "matthew", "lisa", "anthony", "betty", "mark",
+    "margaret", "donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew", "emily",
+    "joshua", "donna", "kenneth", "michelle", "kevin", "carol", "brian", "amanda", "george",
+    "melissa", "edward", "deborah",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores",
+];
+
+/// Connector patterns that link `[a]` and `[b]` in positive documents.
+const POSITIVE_CONNECTORS: &[&str] = &[
+    "married",
+    "and his wife",
+    "and her husband",
+    "is married to",
+    "wed",
+    "tied the knot with",
+    "and spouse",
+    "exchanged vows with",
+];
+
+/// Spec + generative model for the synthetic Spouse dataset.
+pub fn build() -> (DatasetSpec, GenerativeModel) {
+    let spec = DatasetSpec {
+        name: "spouse",
+        domain: "News",
+        task_description: "a relation classification task. In each iteration, the user will provide a news passage mentioning two persons [A] and [B]. Please decide whether [A] and [B] are spouses. (0 for no spouse relation, 1 for spouse relation)",
+        instance_noun: "a news passage mentioning two persons",
+        class_names: vec!["no-relation", "spouse"],
+        default_class: Some(0),
+        relation: true,
+        metric: Metric::F1,
+        train_labels_available: false,
+        sizes: SplitSizes {
+            train: 22_254,
+            valid: 2_811,
+            test: 2_701,
+        },
+    };
+
+    let mut lx = Lexicon::new(2);
+
+    // Spouse cues (class 1) beyond the anchored connectors: wedding-domain
+    // vocabulary that co-occurs with real couples. Low leak to survive the
+    // 8% positive prior.
+    for (g, own) in [
+        ("wedding", 0.14),
+        ("wife", 0.16),
+        ("husband", 0.16),
+        ("marriage", 0.10),
+        ("honeymoon", 0.05),
+        ("anniversary", 0.06),
+        ("bride", 0.05),
+        ("groom", 0.04),
+        ("newlyweds", 0.03),
+        ("divorce", 0.06),
+        ("engaged", 0.07),
+        ("engagement", 0.05),
+        ("fiancee", 0.04),
+        ("fiance", 0.04),
+        ("couple", 0.12),
+        ("the couple", 0.08),
+        ("his wife", 0.09),
+        ("her husband", 0.09),
+        ("wedding ceremony", 0.03),
+        ("got married", 0.05),
+        ("their marriage", 0.04),
+        ("married couple", 0.03),
+        ("vows", 0.04),
+        ("spouse", 0.05),
+        ("matrimony", 0.02),
+        ("wedded", 0.02),
+        ("bride and groom", 0.02),
+        ("wedding anniversary", 0.02),
+        ("celebrated their", 0.03),
+        ("love of his life", 0.015),
+        ("love of her life", 0.015),
+    ] {
+        lx.add_exact(1, g, own, 0.05);
+    }
+
+    // Non-relation context (class 0): other relationships and professional
+    // contexts. Weaker pool — the paper observes LLMs rarely produce
+    // negative-class LFs here, and the default class covers the rest.
+    lx.add_all(0, Tier::Medium, &[
+        "brother", "sister", "colleague", "coworker", "boss", "teammate", "rival", "opponent",
+        "business partner", "co star", "classmate", "neighbor", "cousin", "uncle", "aunt",
+    ]);
+    lx.add_all(0, Tier::Weak, &[
+        "press conference", "board meeting", "conference", "campaign", "lawsuit", "court",
+        "testified", "negotiation", "contract", "signed with", "traded to", "interviewed",
+        "succeeded by", "appointed", "nominated", "elected", "hired", "fired", "mentor",
+        "student of", "professor", "research team", "film together", "starred with",
+    ]);
+
+    let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
+    background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
+
+    let model = GenerativeModel::new(
+        2,
+        vec![0.92, 0.08],
+        background,
+        lx.into_grams(),
+        55.0,
+        18.0,
+        20,
+        0.02,
+        Some(RelationConfig {
+            first_names: FIRST_NAMES.to_vec(),
+            last_names: LAST_NAMES.to_vec(),
+            positive_connectors: POSITIVE_CONNECTORS.to_vec(),
+            distractor_rate: 0.08,
+        }),
+    );
+    (spec, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table1() {
+        let (spec, model) = build();
+        assert_eq!(
+            (spec.sizes.train, spec.sizes.valid, spec.sizes.test),
+            (22_254, 2_811, 2_701)
+        );
+        assert!(spec.relation);
+        assert!(!spec.train_labels_available);
+        assert_eq!(spec.default_class, Some(0));
+        assert_eq!(spec.metric, Metric::F1);
+        assert!(model.is_relation());
+    }
+
+    #[test]
+    fn positives_contain_anchored_connector() {
+        let (_, model) = build();
+        let mut linked = 0;
+        let n = 200;
+        for s in 0..n {
+            let d = model.sample_document(1, 7, s);
+            let m = d.marked.expect("marked view");
+            let ia = m.iter().position(|t| t == "[a]").unwrap();
+            let ib = m.iter().position(|t| t == "[b]").unwrap();
+            if ib > ia && ib - ia <= 5 {
+                linked += 1;
+            }
+        }
+        assert_eq!(linked, n, "every positive should link the pair");
+    }
+
+    #[test]
+    fn some_negatives_are_distractors() {
+        let (_, model) = build();
+        let mut distractors = 0;
+        for s in 0..600 {
+            let d = model.sample_document(0, 9, s);
+            let m = d.marked.expect("marked view");
+            // Distractor: a positive connector word present in a negative.
+            if m.iter().any(|t| t == "married" || t == "wife" || t == "wed") {
+                distractors += 1;
+            }
+        }
+        // distractor_rate 0.08 plus lexicon leak: should be present but the
+        // minority of negatives.
+        assert!(distractors > 10, "{distractors}");
+        assert!(distractors < 300, "{distractors}");
+    }
+
+    #[test]
+    fn imbalanced_prior() {
+        let (_, model) = build();
+        assert!((model.priors()[1] - 0.08).abs() < 1e-12);
+    }
+}

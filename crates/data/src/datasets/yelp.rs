@@ -1,0 +1,118 @@
+//! Yelp review-polarity sentiment. 2 classes: 0 = negative, 1 = positive.
+
+use super::{Lexicon, Tier, BACKGROUND_COMMON};
+use crate::generative::GenerativeModel;
+use crate::spec::{DatasetSpec, Metric, SplitSizes};
+
+const DOMAIN_FILLER: &[&str] = &[
+    "food", "restaurant", "place", "service", "staff", "table", "menu", "order", "ordered",
+    "waiter", "waitress", "server", "dish", "meal", "dinner", "lunch", "breakfast", "drink",
+    "drinks", "bar", "chef", "kitchen", "price", "prices", "came", "asked", "told", "minutes",
+    "location", "parking", "atmosphere", "ambiance", "portion", "portions", "taste",
+];
+
+/// Spec + generative model for the synthetic Yelp dataset.
+pub fn build() -> (DatasetSpec, GenerativeModel) {
+    let spec = DatasetSpec {
+        name: "yelp",
+        domain: "Review",
+        task_description: "a sentiment analysis task. In each iteration, the user will provide a restaurant review. Please decide whether the review is positive or negative. (0 for negative, 1 for positive)",
+        instance_noun: "a restaurant review",
+        class_names: vec!["negative", "positive"],
+        default_class: None,
+        relation: false,
+        metric: Metric::Accuracy,
+        train_labels_available: true,
+        sizes: SplitSizes {
+            train: 30_400,
+            valid: 3_800,
+            test: 3_800,
+        },
+    };
+
+    let mut lx = Lexicon::new(2);
+
+    // Positive (class 1).
+    lx.add_adjectives(1, Tier::Strong, &["delicious", "friendly", "amazing"]);
+    lx.add_adjectives(1, Tier::Medium, &[
+        "tasty", "fresh", "cozy", "attentive", "flavorful", "generous", "reasonable", "prompt",
+        "welcoming", "clean", "crispy", "juicy", "tender", "authentic", "lovely", "fantastic",
+        "excellent", "wonderful", "perfect",
+    ]);
+    lx.add_all(1, Tier::Medium, &[
+        "great service", "highly recommend", "will be back", "come back", "best in town",
+        "hidden gem", "to die for", "melt in your", "five stars", "loved the", "great food",
+        "great place", "go to spot", "never disappoints",
+    ]);
+    lx.add_all(1, Tier::Weak, &[
+        "cooked to perfection", "out of this world", "hit the spot", "worth the wait",
+        "worth every penny", "generous portions", "huge portions", "quick service",
+        "fast service", "super friendly", "staff was friendly", "made us feel",
+        "felt welcome", "great value", "good value", "fair prices", "fresh ingredients",
+        "locally sourced", "homemade", "mouth watering", "bursting with flavor", "so flavorful",
+        "my new favorite", "new favorite", "cant wait to", "definitely returning",
+        "definitely recommend", "a must try", "must try", "try the", "get the",
+        "happy hour", "date night", "family friendly", "kid friendly", "great vibe",
+        "nice ambiance", "charming", "delightful", "impeccable", "spotless",
+    ]);
+
+    // Negative (class 0).
+    lx.add_adjectives(0, Tier::Strong, &["rude", "cold", "slow"]);
+    lx.add_adjectives(0, Tier::Medium, &[
+        "bland", "stale", "greasy", "soggy", "dirty", "overpriced", "mediocre", "tasteless",
+        "dry", "burnt", "salty", "undercooked", "overcooked", "disgusting", "gross", "awful",
+        "terrible", "horrible", "disappointing",
+    ]);
+    lx.add_all(0, Tier::Medium, &[
+        "never again", "waste of money", "worst service", "food poisoning", "sent it back",
+        "long wait", "waited over", "got it wrong", "never coming back", "not coming back",
+        "would not recommend", "do not recommend", "stay away", "avoid this place",
+    ]);
+    lx.add_all(0, Tier::Weak, &[
+        "hair in my", "fly in my", "made me sick", "felt sick", "ignored us", "no apology",
+        "manager was rude", "rolled her eyes", "slammed the", "forgot our", "wrong order",
+        "took forever", "forever to", "an hour for", "still waiting", "walked out",
+        "left hungry", "tiny portions", "small portions", "portion was tiny", "rip off",
+        "ripped off", "overcharged", "charged us", "hidden fees", "health code",
+        "health department", "sticky tables", "dirty bathroom", "smelled like", "lukewarm",
+        "ice cold food", "microwaved", "frozen food", "out of a can", "from a box",
+        "zero stars", "one star", "worst meal", "inedible", "threw it away", "dog food",
+    ]);
+
+    let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
+    background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
+
+    let model = GenerativeModel::new(
+        2,
+        vec![0.5, 0.5],
+        background,
+        lx.into_grams(),
+        90.0,
+        35.0,
+        20,
+        0.05,
+        None,
+    );
+    (spec, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table1() {
+        let (spec, _) = build();
+        assert_eq!(
+            (spec.sizes.train, spec.sizes.valid, spec.sizes.test),
+            (30_400, 3_800, 3_800)
+        );
+    }
+
+    #[test]
+    fn lexicon_supports_kate_scale_lf_sets() {
+        let (_, model) = build();
+        // DataSculpt-KATE reaches 321 LFs on Yelp (Table 2).
+        assert!(model.indicative_grams().len() >= 180);
+    }
+}

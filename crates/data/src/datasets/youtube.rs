@@ -1,0 +1,121 @@
+//! Youtube comment spam detection (TubeSpam). 2 classes: 0 = ham, 1 = spam.
+
+use super::{Lexicon, Tier, BACKGROUND_COMMON};
+use crate::generative::GenerativeModel;
+use crate::spec::{DatasetSpec, Metric, SplitSizes};
+
+/// Domain filler words mixed into the background vocabulary.
+const DOMAIN_FILLER: &[&str] = &[
+    "video", "song", "watch", "listen", "play", "hear", "views", "comment", "youtube", "guys",
+    "everyone", "omg", "wow", "haha", "lol", "please", "thanks", "year", "old", "times",
+];
+
+/// Spec + generative model for the synthetic Youtube dataset.
+pub fn build() -> (DatasetSpec, GenerativeModel) {
+    let spec = DatasetSpec {
+        name: "youtube",
+        domain: "Review",
+        task_description: "a spam detection task. In each iteration, the user will provide a comment for a video. Please decide whether the comment is a spam. (0 for non-spam, 1 for spam)",
+        instance_noun: "a comment for a video",
+        class_names: vec!["non-spam", "spam"],
+        default_class: None,
+        relation: false,
+        metric: Metric::Accuracy,
+        train_labels_available: true,
+        sizes: SplitSizes {
+            train: 1586,
+            valid: 120,
+            test: 250,
+        },
+    };
+
+    let mut lx = Lexicon::new(2);
+
+    // Spam (class 1): self-promotion, links, begging for engagement.
+    lx.add_all(1, Tier::Strong, &[
+        "subscribe", "channel", "check out", "my channel", "subscribe to", "free", "click",
+    ]);
+    lx.add_all(1, Tier::Medium, &[
+        "link", "visit", "website", "win", "giveaway", "follow", "followers", "earn", "money",
+        "cash", "promo", "sub", "subs", "check", "click here", "check out my", "my video",
+        "please subscribe", "sub to", "new video", "share this", "make money", "work from home",
+        "gift card", "free money",
+    ]);
+    lx.add_all(1, Tier::Weak, &[
+        "instagram", "twitter", "facebook", "app", "download", "install", "code", "discount",
+        "offer", "deal", "viral", "spam", "bot", "advertise", "promotion", "shoutout",
+        "like this comment", "thumbs up", "check my", "on my channel", "daily vines",
+        "for daily", "search for", "just search", "go to my", "visit my", "my page",
+        "my profile", "my cover", "my new song", "i make videos", "help me reach", "road to",
+        "1000 subs", "free gift", "no scam", "i swear", "you wont regret", "best cover",
+        "earn cash", "from home", "per day", "easy money", "win a", "to win",
+    ]);
+
+    // Ham (class 0): reactions to the actual song/video.
+    lx.add_adjectives(0, Tier::Strong, &["love", "beautiful", "amazing"]);
+    lx.add_all(0, Tier::Medium, &[
+        "favorite", "best song", "this song", "the song", "voice", "lyrics", "melody", "beat",
+        "catchy", "masterpiece", "legend", "classic", "childhood", "memories", "remember",
+        "nostalgia", "still listening", "love this", "love this song", "great song",
+        "awesome", "perfect", "talented", "her voice", "his voice",
+    ]);
+    lx.add_all(0, Tier::Weak, &[
+        "chills", "goosebumps", "crying", "feels", "emotional", "anthem", "dance", "dancing",
+        "repeat", "on repeat", "cant stop", "listening in", "who else", "anyone else",
+        "brings back", "takes me back", "grew up", "miss this", "real music", "music was",
+        "pure talent", "so good", "never gets old", "gets old", "million views", "deserves more",
+        "underrated", "timeless", "vibes", "banger",
+    ]);
+
+    let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
+    background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
+
+    let model = GenerativeModel::new(
+        2,
+        vec![0.53, 0.47], // TubeSpam is roughly balanced
+        background,
+        lx.into_grams(),
+        14.0,
+        6.0,
+        4,
+        0.04,
+        None,
+    );
+    (spec, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table1() {
+        let (spec, model) = build();
+        assert_eq!(spec.sizes.train, 1586);
+        assert_eq!(spec.sizes.valid, 120);
+        assert_eq!(spec.sizes.test, 250);
+        assert_eq!(spec.n_classes(), 2);
+        assert_eq!(model.n_classes(), 2);
+        assert!(!model.is_relation());
+    }
+
+    #[test]
+    fn lexicon_is_rich_enough_for_hundreds_of_lfs() {
+        let (_, model) = build();
+        // DataSculpt generates ~70-120 LFs on Youtube (Table 2); the pool of
+        // distinct indicative grams must support that diversity.
+        assert!(model.indicative_grams().len() >= 100, "{}", model.indicative_grams().len());
+        let spam = model.class_grams(1).count();
+        let ham = model.class_grams(0).count();
+        assert!(spam >= 40 && ham >= 40, "spam {spam} ham {ham}");
+    }
+
+    #[test]
+    fn spammy_keyword_has_spammy_affinity() {
+        let (_, model) = build();
+        let a = model.affinity("subscribe").expect("subscribe is indicative");
+        assert!(a[1] > a[0]);
+        let b = model.affinity("childhood").expect("childhood is indicative");
+        assert!(b[0] > b[1]);
+    }
+}

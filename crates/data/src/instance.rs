@@ -1,0 +1,190 @@
+//! Instances and splits.
+
+/// A class label: a dense index into [`crate::DatasetSpec::class_names`].
+pub type Label = usize;
+
+/// One text instance.
+///
+/// For relation-classification datasets (Spouse) the instance carries the
+/// entity pair and a *marked* token view in which entity mentions are
+/// replaced by the `[a]` / `[b]` placeholder tokens — this is the view
+/// entity-anchored keyword LFs match against (§3.1).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Dense id within its split.
+    pub id: usize,
+    /// The rendered surface text shown in prompts.
+    pub text: String,
+    /// Lowercase word tokens of `text`.
+    pub tokens: Vec<String>,
+    /// Token view with entity mentions replaced by `[a]`/`[b]` markers
+    /// (relation datasets only).
+    pub marked_tokens: Option<Vec<String>>,
+    /// The entity pair being classified (relation datasets only).
+    pub entities: Option<(String, String)>,
+    /// Ground-truth label, if available for this split.
+    pub label: Option<Label>,
+}
+
+impl Instance {
+    /// The token view keyword LFs should match against: the marked view for
+    /// relation tasks, the plain tokens otherwise.
+    pub fn match_tokens(&self) -> &[String] {
+        self.marked_tokens.as_deref().unwrap_or(&self.tokens)
+    }
+
+    /// The query text to embed in a prompt: entity-marked for relation
+    /// tasks (so the LLM sees which pair is being asked about).
+    pub fn prompt_text(&self) -> String {
+        match (&self.marked_tokens, &self.entities) {
+            (Some(marked), Some((a, b))) => {
+                // Render the marked view but with readable entity tags.
+                let mut s = String::with_capacity(self.text.len() + 16);
+                for (i, t) in marked.iter().enumerate() {
+                    if i > 0 {
+                        s.push(' ');
+                    }
+                    match t.as_str() {
+                        "[a]" => {
+                            s.push_str("[A:");
+                            s.push_str(a);
+                            s.push(']');
+                        }
+                        "[b]" => {
+                            s.push_str("[B:");
+                            s.push_str(b);
+                            s.push(']');
+                        }
+                        _ => s.push_str(t),
+                    }
+                }
+                s
+            }
+            _ => self.text.clone(),
+        }
+    }
+}
+
+/// One dataset split (train / valid / test).
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    /// Instances, indexed by their `id`.
+    pub instances: Vec<Instance>,
+}
+
+impl Split {
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if the split has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Ground-truth labels (panics if any label is missing).
+    ///
+    /// Only call on splits whose labels are available; see
+    /// [`crate::DatasetSpec::train_labels_available`].
+    pub fn labels(&self) -> Vec<Label> {
+        self.instances
+            .iter()
+            .map(|i| i.label.expect("label unavailable for this split"))
+            .collect()
+    }
+
+    /// Labels as `Option`s (never panics).
+    pub fn labels_opt(&self) -> Vec<Option<Label>> {
+        self.instances.iter().map(|i| i.label).collect()
+    }
+
+    /// Empirical class distribution over instances with labels.
+    pub fn class_distribution(&self, n_classes: usize) -> Vec<f64> {
+        let mut counts = vec![0usize; n_classes];
+        let mut total = 0usize;
+        for inst in &self.instances {
+            if let Some(y) = inst.label {
+                counts[y] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return vec![1.0 / n_classes as f64; n_classes];
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Iterate over instances.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instance> {
+        self.instances.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(id: usize, label: Option<Label>) -> Instance {
+        Instance {
+            id,
+            text: format!("text {id}"),
+            tokens: vec!["text".into(), format!("{id}")],
+            marked_tokens: None,
+            entities: None,
+            label,
+        }
+    }
+
+    #[test]
+    fn match_tokens_prefers_marked_view() {
+        let mut i = inst(0, Some(1));
+        assert_eq!(i.match_tokens(), i.tokens.as_slice());
+        i.marked_tokens = Some(vec!["[a]".into(), "married".into(), "[b]".into()]);
+        assert_eq!(i.match_tokens()[0], "[a]");
+    }
+
+    #[test]
+    fn prompt_text_renders_entities() {
+        let mut i = inst(0, Some(1));
+        i.marked_tokens = Some(vec!["[a]".into(), "married".into(), "[b]".into()]);
+        i.entities = Some(("john smith".into(), "mary jones".into()));
+        assert_eq!(i.prompt_text(), "[A:john smith] married [B:mary jones]");
+    }
+
+    #[test]
+    fn prompt_text_plain_for_classification() {
+        let i = inst(3, None);
+        assert_eq!(i.prompt_text(), "text 3");
+    }
+
+    #[test]
+    fn class_distribution_sums_to_one() {
+        let s = Split {
+            instances: vec![inst(0, Some(0)), inst(1, Some(1)), inst(2, Some(1))],
+        };
+        let d = s.class_distribution(2);
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_distribution_uniform_when_unlabeled() {
+        let s = Split {
+            instances: vec![inst(0, None)],
+        };
+        assert_eq!(s.class_distribution(4), vec![0.25; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label unavailable")]
+    fn labels_panics_on_missing() {
+        let s = Split {
+            instances: vec![inst(0, None)],
+        };
+        let _ = s.labels();
+    }
+}

@@ -1,0 +1,31 @@
+//! Dataset substrate for the DataSculpt reproduction.
+//!
+//! The paper evaluates on six text-classification datasets from the WRENCH
+//! benchmark (Youtube, SMS, IMDB, Yelp, AgNews, Spouse — Table 1). Those
+//! corpora are not available offline, so this crate provides *synthetic
+//! generators* that reproduce the properties the experiments depend on:
+//!
+//! * the exact split sizes and class counts of Table 1,
+//! * class-conditional indicative n-grams (so keyword LFs exist and their
+//!   accuracy/coverage distributions look like real data),
+//! * Zipfian background vocabulary and label noise (so LFs are imperfect),
+//! * class imbalance where the original is imbalanced (SMS, Spouse),
+//! * entity-pair structure with distractor mentions for the Spouse relation
+//!   task (so entity-anchored LFs beat plain keyword LFs, §3.1).
+//!
+//! Each dataset also exposes its [`GenerativeModel`] — the ground-truth
+//! keyword↔class affinities used to synthesize documents. The simulated LLM
+//! reads a *noise-corrupted* view of this model (its "world knowledge"), and
+//! oracle baselines mine it directly. Real-corpus replacements would only
+//! need to implement the same `TextDataset` surface.
+
+pub mod dataset;
+pub mod datasets;
+pub mod generative;
+pub mod instance;
+pub mod spec;
+
+pub use dataset::{DatasetName, TextDataset};
+pub use generative::{GenerativeModel, IndicativeNgram};
+pub use instance::{Instance, Label, Split};
+pub use spec::{DatasetSpec, Metric, SplitSizes};

@@ -1,0 +1,107 @@
+//! Dataset specifications (Table 1 of the paper).
+
+/// Evaluation metric for the end model: accuracy for balanced datasets,
+/// positive-class F1 for imbalanced ones (SMS, Spouse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Plain accuracy.
+    Accuracy,
+    /// F1 of the positive class (class 1).
+    F1,
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Metric::Accuracy => write!(f, "Acc"),
+            Metric::F1 => write!(f, "F1"),
+        }
+    }
+}
+
+/// Train / validation / test sizes (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitSizes {
+    /// Unlabeled training split size.
+    pub train: usize,
+    /// Labeled validation split size (source of in-context examples and the
+    /// accuracy filter).
+    pub valid: usize,
+    /// Test split size.
+    pub test: usize,
+}
+
+impl SplitSizes {
+    /// Scale all splits by `factor`, keeping at least `min` instances each.
+    pub fn scaled(&self, factor: f64, min: usize) -> SplitSizes {
+        let s = |n: usize| (((n as f64) * factor).round() as usize).max(min);
+        SplitSizes {
+            train: s(self.train),
+            valid: s(self.valid),
+            test: s(self.test),
+        }
+    }
+}
+
+/// Static description of a dataset/task.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Short dataset name, e.g. `"youtube"`.
+    pub name: &'static str,
+    /// Domain shown in Table 1, e.g. `"Review"`.
+    pub domain: &'static str,
+    /// One-sentence task description used in the prompt's system message
+    /// (the underlined dataset-specific part of Figure 2).
+    pub task_description: &'static str,
+    /// What one instance is called in prompts, e.g. `"a comment for a video"`.
+    pub instance_noun: &'static str,
+    /// Human-readable class names, indexed by label.
+    pub class_names: Vec<&'static str>,
+    /// Default class assigned to LF-uncovered instances before end-model
+    /// training (§3.6). `None` for most datasets; `Some(0)` for Spouse.
+    pub default_class: Option<usize>,
+    /// True for relation-classification tasks (entity-anchored LFs).
+    pub relation: bool,
+    /// End-model evaluation metric.
+    pub metric: Metric,
+    /// Whether ground-truth train labels may be used for reporting LF
+    /// statistics (false for Spouse, per §4.1).
+    pub train_labels_available: bool,
+    /// Split sizes (Table 1).
+    pub sizes: SplitSizes,
+}
+
+impl DatasetSpec {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_sizes_respect_min() {
+        let s = SplitSizes {
+            train: 1000,
+            valid: 100,
+            test: 50,
+        };
+        let t = s.scaled(0.01, 20);
+        assert_eq!(t.train, 20); // 10 rounds below min
+        assert_eq!(t.valid, 20);
+        assert_eq!(t.test, 20);
+        let u = s.scaled(0.5, 10);
+        assert_eq!(u.train, 500);
+        assert_eq!(u.valid, 50);
+        assert_eq!(u.test, 25);
+    }
+
+    #[test]
+    fn metric_display() {
+        assert_eq!(Metric::Accuracy.to_string(), "Acc");
+        assert_eq!(Metric::F1.to_string(), "F1");
+    }
+}

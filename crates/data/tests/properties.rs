@@ -1,0 +1,79 @@
+//! Property-based tests for the dataset substrate.
+
+use datasculpt_data::{DatasetName, IndicativeNgram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated datasets are structurally sound at any seed: labels in
+    /// range, tokens non-empty, text round-trips, relation fields
+    /// consistent.
+    #[test]
+    fn generated_datasets_are_wellformed(seed in 0u64..1000) {
+        for name in [DatasetName::Youtube, DatasetName::Spouse] {
+            let d = name.load_scaled(seed, 0.01);
+            let c = d.n_classes();
+            for split in [&d.valid, &d.test] {
+                for inst in split.iter() {
+                    let y = inst.label.expect("labeled split");
+                    prop_assert!(y < c);
+                    prop_assert!(!inst.tokens.is_empty());
+                    prop_assert_eq!(
+                        datasculpt_text::tokenize(&inst.text),
+                        inst.tokens.clone()
+                    );
+                    if d.spec.relation {
+                        let marked = inst.marked_tokens.as_ref().expect("marked view");
+                        prop_assert!(marked.iter().any(|t| t == "[a]"));
+                        prop_assert!(marked.iter().any(|t| t == "[b]"));
+                        let (a, b) = inst.entities.as_ref().expect("entities");
+                        prop_assert!(a != b);
+                    } else {
+                        prop_assert!(inst.marked_tokens.is_none());
+                        prop_assert!(inst.entities.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Affinity lookups agree with the indicative list, and Bayes LF
+    /// accuracy/coverage are probabilities.
+    #[test]
+    fn affinity_consistency(seed in 0u64..100) {
+        let (_, model) = DatasetName::Imdb.spec();
+        let _ = seed;
+        let priors = model.priors().to_vec();
+        prop_assert!((priors.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for g in model.indicative_grams().iter().take(50) {
+            let probs = model.affinity(&g.gram).expect("indicative gram has affinity");
+            prop_assert_eq!(probs, g.probs.as_slice());
+            prop_assert!((0.0..=1.0).contains(&g.lf_accuracy(&priors)));
+            prop_assert!((0.0..=1.0).contains(&g.coverage(&priors)));
+            prop_assert!(g.dominant_class() < model.n_classes());
+        }
+    }
+
+    /// Documents are deterministic per (label, seed, stream) and differ
+    /// across streams.
+    #[test]
+    fn document_sampling_deterministic(seed in any::<u64>(), stream in 0u64..1000) {
+        let (_, model) = DatasetName::Youtube.spec();
+        let label = (stream % 2) as usize;
+        let a = model.sample_document(label, seed, stream);
+        let b = model.sample_document(label, seed, stream);
+        prop_assert_eq!(a.tokens.clone(), b.tokens);
+        let c = model.sample_document(label, seed, stream.wrapping_add(1));
+        // Overwhelmingly likely to differ.
+        prop_assert!(a.tokens != c.tokens || a.tokens.len() < 3);
+    }
+
+    /// `IndicativeNgram::dominant_class` really is the argmax.
+    #[test]
+    fn dominant_class_is_argmax(probs in proptest::collection::vec(0.001f64..0.5, 2..5)) {
+        let g = IndicativeNgram { gram: "x".into(), probs: probs.clone() };
+        let d = g.dominant_class();
+        prop_assert!(probs.iter().all(|&p| p <= probs[d]));
+    }
+}

@@ -1,0 +1,260 @@
+//! The `datasculpt` command-line interface.
+//!
+//! ```text
+//! datasculpt inspect  <dataset> [--scale F] [--seed N]
+//! datasculpt run      <dataset> [--config base|cot|sc|kate] [--model M]
+//!                     [--queries N] [--sampler random|uncertain|seu|coreset]
+//!                     [--scale F] [--seed N] [--revise] [--show-lfs N]
+//! datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
+//!                     [--model M] [--scale F] [--seed N]
+//! datasculpt models
+//! ```
+//!
+//! Datasets: youtube, sms, imdb, yelp, agnews, spouse.
+//! Models: gpt-3.5 (default), gpt-4, llama-7b, llama-13b, llama-70b.
+
+use datasculpt::core::eval::evaluate_matrix;
+use datasculpt::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("inspect") => inspect(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("baseline") => baseline(&args[1..]),
+        Some("models") => {
+            for m in ModelId::ALL {
+                let (inp, out) = PricingTable::rates(m);
+                println!("{:<16} {:<22} ${inp:.2}/M in, ${out:.2}/M out", m.label(), m.api_name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+datasculpt — cost-efficient LF design via prompting LLMs (EDBT 2025 reproduction)
+
+USAGE:
+  datasculpt inspect  <dataset> [--scale F] [--seed N]
+  datasculpt run      <dataset> [--config base|cot|sc|kate] [--model M]
+                      [--queries N] [--sampler random|uncertain|seu|coreset]
+                      [--scale F] [--seed N] [--revise] [--show-lfs N]
+  datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
+                      [--model M] [--scale F] [--seed N]
+  datasculpt models
+
+Datasets: youtube sms imdb yelp agnews spouse.
+";
+
+/// Minimal flag parser: `--key value` pairs plus boolean switches.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn load_dataset(args: &[String]) -> Result<TextDataset, ExitCode> {
+    let Some(name) = args.first().and_then(|a| DatasetName::parse(a)) else {
+        eprintln!("expected a dataset name (youtube sms imdb yelp agnews spouse)");
+        return Err(ExitCode::FAILURE);
+    };
+    let flags = Flags { args };
+    let scale: f64 = flags.parse_or("--scale", 1.0);
+    let seed: u64 = flags.parse_or("--seed", 0);
+    Ok(if (scale - 1.0).abs() < 1e-12 {
+        name.load(seed)
+    } else {
+        name.load_scaled(seed, scale)
+    })
+}
+
+fn parse_model(flags: &Flags) -> ModelId {
+    match flags.get("--model").unwrap_or("gpt-3.5") {
+        "gpt-4" => ModelId::Gpt4,
+        "llama-7b" => ModelId::Llama2Chat7b,
+        "llama-13b" => ModelId::Llama2Chat13b,
+        "llama-70b" => ModelId::Llama2Chat70b,
+        _ => ModelId::Gpt35Turbo,
+    }
+}
+
+fn inspect(args: &[String]) -> ExitCode {
+    let dataset = match load_dataset(args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let spec = &dataset.spec;
+    println!("dataset:       {} ({})", spec.name, spec.domain);
+    println!("task:          {}", spec.task_description);
+    println!("classes:       {:?}", spec.class_names);
+    println!(
+        "splits:        {} train / {} valid / {} test",
+        dataset.train.len(),
+        dataset.valid.len(),
+        dataset.test.len()
+    );
+    println!("metric:        {}", spec.metric);
+    println!("relation task: {}", spec.relation);
+    if let Some(dc) = spec.default_class {
+        println!("default class: {} ({})", dc, spec.class_names[dc]);
+    }
+    println!(
+        "class balance (valid): {:?}",
+        dataset
+            .valid
+            .class_distribution(spec.n_classes())
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!("\nsample instances:");
+    for inst in dataset.train.iter().take(3) {
+        let label = inst
+            .label
+            .map(|y| spec.class_names[y])
+            .unwrap_or("<hidden>");
+        println!("  [{label:>9}] {}", inst.prompt_text());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let dataset = match load_dataset(args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let flags = Flags { args };
+    let seed: u64 = flags.parse_or("--seed", 0);
+    let mut config = match flags.get("--config").unwrap_or("base") {
+        "cot" => DataSculptConfig::cot(seed),
+        "sc" => DataSculptConfig::sc(seed),
+        "kate" => DataSculptConfig::kate(seed),
+        _ => DataSculptConfig::base(seed),
+    };
+    config.num_queries = flags.parse_or("--queries", config.num_queries);
+    config.sampler = match flags.get("--sampler").unwrap_or("random") {
+        "uncertain" => SamplerKind::Uncertain,
+        "seu" => SamplerKind::Seu,
+        "coreset" => SamplerKind::CoreSet,
+        _ => SamplerKind::Random,
+    };
+    config.revise_rejected = flags.has("--revise");
+    let model = parse_model(&flags);
+
+    eprintln!(
+        "running {} on {} with {} ({} queries)…",
+        config.label(),
+        dataset.spec.name,
+        model.label(),
+        config.num_queries
+    );
+    let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+
+    let show: usize = flags.parse_or("--show-lfs", 5);
+    if show > 0 {
+        println!("sample LFs:");
+        for lf in run.lf_set.lfs().iter().take(show) {
+            println!("  {lf}");
+        }
+    }
+    print_eval(&eval, Some(&run.ledger));
+    ExitCode::SUCCESS
+}
+
+fn baseline(args: &[String]) -> ExitCode {
+    let dataset = match load_dataset(args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let flags = Flags { args };
+    let seed: u64 = flags.parse_or("--seed", 0);
+    let model = parse_model(&flags);
+    let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
+    match flags.get("--system").unwrap_or("wrench") {
+        "wrench" => {
+            let mut set = LfSet::new(&dataset, FilterConfig::validity_only());
+            for lf in wrench_expert_lfs(&dataset, wrench_lf_count(name)) {
+                set.try_add(lf);
+            }
+            print_eval(&evaluate_lf_set(&dataset, &set, &EvalConfig::default()), None);
+        }
+        "scriptorium" => {
+            let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+            let result = scriptorium_run(
+                &dataset,
+                &mut llm,
+                datasculpt::baselines::scriptorium::scriptorium_lf_count(name),
+            );
+            let mut set = LfSet::new(&dataset, FilterConfig::validity_only());
+            for lf in result.lfs {
+                set.try_add(lf);
+            }
+            print_eval(
+                &evaluate_lf_set(&dataset, &set, &EvalConfig::default()),
+                Some(&result.ledger),
+            );
+        }
+        "promptedlf" => {
+            let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+            let result = promptedlf_run(&dataset, &mut llm);
+            print_eval(
+                &evaluate_matrix(&dataset, &result.matrix, &EvalConfig::default()),
+                Some(&result.ledger),
+            );
+        }
+        other => {
+            eprintln!("unknown baseline system '{other}' (wrench|scriptorium|promptedlf)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_eval(eval: &PwsEvaluation, ledger: Option<&UsageLedger>) {
+    println!("#LFs:           {}", eval.lf_stats.n_lfs);
+    match eval.lf_stats.lf_accuracy {
+        Some(acc) => println!("LF accuracy:    {acc:.3}"),
+        None => println!("LF accuracy:    - (train ground truth unavailable)"),
+    }
+    println!("LF coverage:    {:.4}", eval.lf_stats.lf_coverage);
+    println!("total coverage: {:.3}", eval.lf_stats.total_coverage);
+    println!("end model {}:  {:.3}", eval.metric, eval.end_metric);
+    if let Some(l) = ledger {
+        let u = l.total_usage();
+        println!(
+            "tokens:         {} ({} prompt + {} completion)",
+            u.total(),
+            u.prompt_tokens,
+            u.completion_tokens
+        );
+        println!("API cost:       ${:.4}", l.total_cost_usd());
+    }
+}

@@ -1,0 +1,19 @@
+//! End-model substrate: the downstream classifier of the PWS pipeline.
+//!
+//! The paper trains a logistic-regression end model on BERT features using
+//! the probabilistic labels emitted by the label model (the WRENCH
+//! configuration). This crate provides exactly that, minus the external
+//! dependencies: [`SoftmaxRegression`] is a multiclass logistic regression
+//! trained by mini-batch SGD with L2 regularization that accepts *soft*
+//! target distributions (cross-entropy against the label-model posterior),
+//! and [`metrics`] implements the reported scores (accuracy, positive-class
+//! F1 for imbalanced datasets, macro-F1, predictive entropy for the
+//! uncertainty sampler, log-loss).
+
+pub mod logreg;
+pub mod metrics;
+pub mod mlp;
+
+pub use logreg::{SoftmaxRegression, TrainConfig};
+pub use mlp::MlpClassifier;
+pub use metrics::{accuracy, entropy, f1_positive, log_loss, macro_f1, ConfusionMatrix};

@@ -1,0 +1,178 @@
+//! Classification metrics reported in the paper's tables.
+
+/// Plain accuracy.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty predictions");
+    pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / pred.len() as f64
+}
+
+/// F1 of the positive class (class 1) — the score used for the imbalanced
+/// SMS and Spouse datasets.
+pub fn f1_positive(pred: &[usize], truth: &[usize]) -> f64 {
+    f1_of_class(pred, truth, 1)
+}
+
+/// F1 of one class.
+pub fn f1_of_class(pred: &[usize], truth: &[usize], class: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p == class, t == class) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            _ => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Macro-averaged F1 over all classes.
+pub fn macro_f1(pred: &[usize], truth: &[usize], n_classes: usize) -> f64 {
+    (0..n_classes)
+        .map(|c| f1_of_class(pred, truth, c))
+        .sum::<f64>()
+        / n_classes as f64
+}
+
+/// Shannon entropy of a distribution (nats) — the uncertainty-sampling
+/// score of §3.4.
+pub fn entropy(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Mean cross-entropy of predicted distributions against hard labels.
+pub fn log_loss(probs: &[Vec<f64>], truth: &[usize]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty predictions");
+    probs
+        .iter()
+        .zip(truth)
+        .map(|(p, &t)| -(p[t].max(1e-12)).ln())
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+/// A confusion matrix (`truth × predicted`).
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tabulate predictions against truth.
+    pub fn new(pred: &[usize], truth: &[usize], n_classes: usize) -> Self {
+        assert_eq!(pred.len(), truth.len(), "length mismatch");
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&p, &t) in pred.iter().zip(truth) {
+            assert!(p < n_classes && t < n_classes, "class out of range");
+            counts[t * n_classes + p] += 1;
+        }
+        Self { counts, n_classes }
+    }
+
+    /// Count of `(truth, predicted)`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.n_classes + pred]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Accuracy from the diagonal.
+    pub fn accuracy(&self) -> f64 {
+        let diag: usize = (0..self.n_classes).map(|c| self.get(c, c)).sum();
+        if self.total() == 0 {
+            0.0
+        } else {
+            diag as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        // tp=2, fp=1, fn=1 -> p=2/3, r=2/3, f1=2/3.
+        let pred = [1, 1, 1, 0, 0];
+        let truth = [1, 1, 0, 1, 0];
+        assert!((f1_positive(&pred, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_no_true_positives() {
+        assert_eq!(f1_positive(&[0, 0], &[1, 1]), 0.0);
+        assert_eq!(f1_positive(&[1, 1], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let pred = [0, 1, 2, 0];
+        let truth = [0, 1, 2, 0];
+        assert!((macro_f1(&pred, &truth, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        let max = entropy(&[0.5, 0.5]);
+        assert!((max - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(entropy(&[0.9, 0.1]) < max);
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct() {
+        let good = log_loss(&[vec![0.9, 0.1]], &[0]);
+        let bad = log_loss(&[vec![0.1, 0.9]], &[0]);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn confusion_matrix_tabulates() {
+        let cm = ConfusionMatrix::new(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 0), 1);
+        assert_eq!(cm.get(1, 1), 1);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+}

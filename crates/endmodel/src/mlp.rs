@@ -1,0 +1,281 @@
+//! A one-hidden-layer MLP end model on sparse features.
+//!
+//! The paper's end model is logistic regression; WRENCH also evaluates MLP
+//! end models, which capture simple feature interactions (e.g. negation
+//! patterns) that a linear model cannot. This implementation mirrors
+//! [`crate::SoftmaxRegression`]'s sparse interface: leaky-ReLU hidden layer,
+//! softmax output, mini-batch SGD on (optionally soft) targets with
+//! optional sample weights.
+
+use crate::logreg::{softmax, SparseRow, TrainConfig};
+use datasculpt_text::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Leaky-ReLU slope (prevents dead hidden units under hot learning rates).
+const LEAK: f64 = 0.01;
+
+/// One-hidden-layer MLP: `sparse input → LeakyReLU(hidden) → softmax(classes)`.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    /// `hidden × dim`, row-major by hidden unit.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// `classes × hidden`, row-major by class.
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+    dim: usize,
+    hidden: usize,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// A randomly initialized MLP (He-style scaling, seeded).
+    pub fn new(dim: usize, hidden: usize, n_classes: usize, seed: u64) -> Self {
+        assert!(dim > 0 && hidden > 0 && n_classes >= 2, "bad shape");
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x4D4C50)); // "MLP"
+        let scale1 = (2.0 / dim as f64).sqrt();
+        let scale2 = (2.0 / hidden as f64).sqrt();
+        Self {
+            w1: (0..hidden * dim)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1)
+                .collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..n_classes * hidden)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2)
+                .collect(),
+            b2: vec![0.0; n_classes],
+            dim,
+            hidden,
+            n_classes,
+        }
+    }
+
+    /// Hidden-layer activations for a sparse row.
+    fn hidden_forward(&self, row: &[(u32, f32)]) -> Vec<f64> {
+        let mut h = self.b1.clone();
+        for &(d, v) in row {
+            debug_assert!((d as usize) < self.dim, "dimension out of range");
+            let col = d as usize;
+            for (u, hu) in h.iter_mut().enumerate() {
+                *hu += self.w1[u * self.dim + col] * v as f64;
+            }
+        }
+        for hu in h.iter_mut() {
+            if *hu < 0.0 {
+                *hu *= LEAK;
+            }
+        }
+        h
+    }
+
+    /// Class probabilities for one sparse row.
+    pub fn predict_proba_sparse_one(&self, row: &[(u32, f32)]) -> Vec<f64> {
+        let h = self.hidden_forward(row);
+        let mut z = self.b2.clone();
+        for (c, zc) in z.iter_mut().enumerate() {
+            let w = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+            *zc += w.iter().zip(&h).map(|(a, b)| a * b).sum::<f64>();
+        }
+        softmax(&z)
+    }
+
+    /// Hard predictions.
+    pub fn predict_sparse(&self, rows: &[SparseRow]) -> Vec<usize> {
+        rows.iter()
+            .map(|r| {
+                let p = self.predict_proba_sparse_one(r);
+                let mut best = 0;
+                for c in 1..p.len() {
+                    if p[c] > p[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Fit with mini-batch SGD on soft targets (per-example updates within
+    /// the batch; the batch size only controls the shuffle granularity).
+    pub fn fit_sparse(
+        &mut self,
+        rows: &[SparseRow],
+        targets: &[Vec<f64>],
+        sample_weights: Option<&[f64]>,
+        config: &TrainConfig,
+    ) {
+        assert_eq!(rows.len(), targets.len(), "target length mismatch");
+        if let Some(w) = sample_weights {
+            assert_eq!(w.len(), targets.len(), "weight length mismatch");
+        }
+        for t in targets {
+            assert_eq!(t.len(), self.n_classes, "target width mismatch");
+        }
+        let n = rows.len();
+        if n == 0 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, 0x4D4C51));
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let lr = config.learning_rate / (1.0 + 0.3 * (epoch as f64).sqrt());
+            for &i in &order {
+                let wi = sample_weights.map_or(1.0, |w| w[i]);
+                if wi == 0.0 {
+                    continue;
+                }
+                let row = &rows[i];
+                let h = self.hidden_forward(row);
+                let mut z = self.b2.clone();
+                for (c, zc) in z.iter_mut().enumerate() {
+                    let w = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+                    *zc += w.iter().zip(&h).map(|(a, b)| a * b).sum::<f64>();
+                }
+                let p = softmax(&z);
+                // Output-layer gradient.
+                let err: Vec<f64> = (0..self.n_classes)
+                    .map(|c| wi * (p[c] - targets[i][c]))
+                    .collect();
+                // Hidden gradient (before ReLU mask).
+                let mut gh = vec![0.0f64; self.hidden];
+                for (c, &e) in err.iter().enumerate() {
+                    let w = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+                    for (u, ghu) in gh.iter_mut().enumerate() {
+                        *ghu += e * w[u];
+                    }
+                }
+                // Update output layer.
+                for (c, &e) in err.iter().enumerate() {
+                    let w = &mut self.w2[c * self.hidden..(c + 1) * self.hidden];
+                    for (u, wu) in w.iter_mut().enumerate() {
+                        *wu -= lr * (e * h[u] + config.l2 * *wu);
+                    }
+                    self.b2[c] -= lr * e;
+                }
+                // Update hidden layer (leaky-ReLU derivative).
+                for (u, &ghu) in gh.iter().enumerate() {
+                    if ghu == 0.0 {
+                        continue;
+                    }
+                    let slope = if h[u] > 0.0 { 1.0 } else { LEAK };
+                    let g = ghu * slope;
+                    for &(d, v) in row {
+                        let w = &mut self.w1[u * self.dim + d as usize];
+                        *w -= lr * (g * v as f64 + config.l2 * *w);
+                    }
+                    self.b1[u] -= lr * g;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<SparseRow>, Vec<Vec<f64>>, Vec<usize>) {
+        // XOR over two binary features — not linearly separable.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..50 {
+            for (a, b) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                let mut row: SparseRow = vec![(2, 1.0)]; // bias-ish always-on
+                if a == 1 {
+                    row.push((0, 1.0));
+                }
+                if b == 1 {
+                    row.push((1, 1.0));
+                }
+                let y = (a ^ b) as usize;
+                rows.push(row);
+                let mut t = vec![0.0; 2];
+                t[y] = 1.0;
+                targets.push(t);
+                labels.push(y);
+            }
+        }
+        (rows, targets, labels)
+    }
+
+    #[test]
+    fn mlp_solves_xor_where_linear_cannot() {
+        let (rows, targets, labels) = xor_data();
+        let cfg = TrainConfig {
+            epochs: 300,
+            learning_rate: 0.3,
+            l2: 0.0,
+            batch_size: 8,
+            seed: 1,
+        };
+        let mut mlp = MlpClassifier::new(3, 16, 2, 3);
+        mlp.fit_sparse(&rows, &targets, None, &cfg);
+        let pred = mlp.predict_sparse(&rows);
+        let acc = pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64
+            / labels.len() as f64;
+        assert!(acc > 0.95, "MLP XOR accuracy {acc}");
+
+        // The linear model tops out near chance on XOR.
+        let mut lin = crate::SoftmaxRegression::new(3, 2);
+        lin.fit_sparse(&rows, &targets, None, &cfg);
+        let lpred = lin.predict_sparse(&rows);
+        let lacc = lpred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64
+            / labels.len() as f64;
+        assert!(lacc < 0.8, "linear model should fail XOR, got {lacc}");
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let mlp = MlpClassifier::new(4, 8, 3, 0);
+        let p = mlp.predict_proba_sparse_one(&[(0, 1.0), (3, -0.5)]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (rows, targets, _) = xor_data();
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        let mut a = MlpClassifier::new(3, 8, 2, 7);
+        a.fit_sparse(&rows, &targets, None, &cfg);
+        let mut b = MlpClassifier::new(3, 8, 2, 7);
+        b.fit_sparse(&rows, &targets, None, &cfg);
+        assert_eq!(
+            a.predict_proba_sparse_one(&rows[0]),
+            b.predict_proba_sparse_one(&rows[0])
+        );
+    }
+
+    #[test]
+    fn zero_weight_examples_are_skipped() {
+        let (rows, targets, _) = xor_data();
+        let weights = vec![0.0; rows.len()];
+        let mut mlp = MlpClassifier::new(3, 8, 2, 5);
+        let before = mlp.predict_proba_sparse_one(&rows[0]);
+        mlp.fit_sparse(
+            &rows,
+            &targets,
+            Some(&weights),
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(before, mlp.predict_proba_sparse_one(&rows[0]));
+    }
+
+    #[test]
+    fn empty_training_is_noop() {
+        let mut mlp = MlpClassifier::new(4, 4, 2, 0);
+        mlp.fit_sparse(&[], &[], None, &TrainConfig::default());
+        let p = mlp.predict_proba_sparse_one(&[]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the end-model substrate.
+
+use datasculpt_endmodel::logreg::{softmax, SparseRow};
+use datasculpt_endmodel::{
+    accuracy, entropy, f1_positive, log_loss, macro_f1, ConfusionMatrix, SoftmaxRegression,
+    TrainConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Softmax always returns a distribution, for any finite logits.
+    #[test]
+    fn softmax_simplex(logits in proptest::collection::vec(-1e6f64..1e6, 1..8)) {
+        let p = softmax(&logits);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Model probabilities are distributions before and after training.
+    #[test]
+    fn predictions_are_distributions(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u32..16, -2.0f32..2.0), 1..5), 1..20),
+        labels in proptest::collection::vec(0usize..2, 20),
+    ) {
+        let n = rows.len();
+        let rows: Vec<SparseRow> = rows;
+        let targets: Vec<Vec<f64>> = labels[..n].iter().map(|&y| {
+            let mut t = vec![0.0; 2];
+            t[y] = 1.0;
+            t
+        }).collect();
+        let mut m = SoftmaxRegression::new(16, 2);
+        let p0 = m.predict_proba_sparse_one(&rows[0]);
+        prop_assert_eq!(p0.clone(), vec![0.5, 0.5]);
+        m.fit_sparse(&rows, &targets, None, &TrainConfig { epochs: 3, ..TrainConfig::default() });
+        for r in &rows {
+            let p = m.predict_proba_sparse_one(r);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    /// Accuracy and F1 are within [0, 1]; accuracy of identical slices is 1.
+    #[test]
+    fn metric_bounds(pred in proptest::collection::vec(0usize..3, 1..40),
+                     truth in proptest::collection::vec(0usize..3, 1..40)) {
+        let n = pred.len().min(truth.len());
+        let (p, t) = (&pred[..n], &truth[..n]);
+        let acc = accuracy(p, t);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&f1_positive(p, t)));
+        prop_assert!((0.0..=1.0).contains(&macro_f1(p, t, 3)));
+        prop_assert_eq!(accuracy(p, p), 1.0);
+        let cm = ConfusionMatrix::new(p, t, 3);
+        prop_assert_eq!(cm.total(), n);
+        prop_assert!((cm.accuracy() - acc).abs() < 1e-12);
+    }
+
+    /// Entropy is non-negative and maximized by the uniform distribution.
+    #[test]
+    fn entropy_bounds(raw in proptest::collection::vec(0.01f64..1.0, 2..6)) {
+        let z: f64 = raw.iter().sum();
+        let p: Vec<f64> = raw.iter().map(|x| x / z).collect();
+        let h = entropy(&p);
+        let uniform = vec![1.0 / p.len() as f64; p.len()];
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= entropy(&uniform) + 1e-9);
+    }
+
+    /// Log loss decreases as the predicted mass on the truth increases.
+    #[test]
+    fn log_loss_monotone(conf in 0.5f64..0.99) {
+        let better = log_loss(&[vec![conf, 1.0 - conf]], &[0]);
+        let worse = log_loss(&[vec![conf - 0.3, 1.0 - conf + 0.3]], &[0]);
+        prop_assert!(better < worse);
+    }
+}

@@ -1,0 +1,39 @@
+//! Label-model substrate: aggregating weak labels into probabilistic labels.
+//!
+//! In the PWS pipeline (Figure 1), label functions vote on each training
+//! instance, producing a sparse label matrix with abstains; the label model
+//! estimates each LF's accuracy and aggregates the votes into probabilistic
+//! labels for end-model training. The paper uses MeTaL; this crate provides:
+//!
+//! * [`MajorityVote`] — the classic baseline,
+//! * [`MetalModel`] — a MeTaL-style generative model (per-LF accuracy under
+//!   conditional independence, fit by EM), the default label model used by
+//!   every experiment in this repository,
+//! * [`TripletModel`] — a FlyingSquid-style closed-form accuracy estimator
+//!   (binary, extended one-vs-rest for multiclass), useful as a fast
+//!   alternative and as a cross-check on the EM fit.
+//!
+//! All models implement [`LabelModel`] and produce [`ProbLabels`], which
+//! keeps a coverage mask so downstream code can apply the paper's
+//! default-class rule (§3.6) or drop uncovered instances.
+
+pub mod majority;
+pub mod matrix;
+pub mod metal;
+pub mod probs;
+pub mod triplet;
+
+pub use majority::MajorityVote;
+pub use matrix::{LabelMatrix, ABSTAIN};
+pub use metal::{MetalConfig, MetalModel};
+pub use probs::ProbLabels;
+pub use triplet::TripletModel;
+
+/// A label model: fit on a weak-label matrix, emit probabilistic labels.
+pub trait LabelModel {
+    /// Estimate parameters from the matrix (`n_classes` classes).
+    fn fit(&mut self, matrix: &LabelMatrix, n_classes: usize);
+
+    /// Posterior class distribution per instance.
+    fn predict_proba(&self, matrix: &LabelMatrix) -> ProbLabels;
+}

@@ -1,0 +1,90 @@
+//! Majority-vote label model.
+
+use crate::matrix::{LabelMatrix, ABSTAIN};
+use crate::probs::ProbLabels;
+use crate::LabelModel;
+
+/// Unweighted majority vote: the posterior is the normalized vote histogram
+/// of active LFs; uncovered rows get a uniform distribution and are marked
+/// uncovered.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityVote {
+    n_classes: usize,
+}
+
+impl MajorityVote {
+    /// A fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LabelModel for MajorityVote {
+    fn fit(&mut self, _matrix: &LabelMatrix, n_classes: usize) {
+        assert!(n_classes >= 2, "need at least two classes");
+        self.n_classes = n_classes;
+    }
+
+    fn predict_proba(&self, matrix: &LabelMatrix) -> ProbLabels {
+        assert!(self.n_classes >= 2, "fit before predict");
+        let c = self.n_classes;
+        let mut probs = Vec::with_capacity(matrix.rows() * c);
+        let mut covered = Vec::with_capacity(matrix.rows());
+        for i in 0..matrix.rows() {
+            let mut hist = vec![0.0f64; c];
+            let mut active = 0usize;
+            for &v in matrix.row(i) {
+                if v != ABSTAIN {
+                    hist[v as usize] += 1.0;
+                    active += 1;
+                }
+            }
+            if active == 0 {
+                probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
+                covered.push(false);
+            } else {
+                for h in &hist {
+                    probs.push(h / active as f64);
+                }
+                covered.push(true);
+            }
+        }
+        ProbLabels::new(probs, matrix.rows(), c, covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn votes_are_normalized_histograms() {
+        let m = LabelMatrix::from_columns(
+            &[vec![0, 1, ABSTAIN], vec![0, 1, ABSTAIN], vec![1, 1, ABSTAIN]],
+            3,
+        );
+        let mut mv = MajorityVote::new();
+        mv.fit(&m, 2);
+        let p = mv.predict_proba(&m);
+        assert_eq!(p.row(0), &[2.0 / 3.0, 1.0 / 3.0]);
+        assert_eq!(p.row(1), &[0.0, 1.0]);
+        assert!(!p.is_covered(2));
+        assert_eq!(p.row(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn hard_labels_follow_majority() {
+        let m = LabelMatrix::from_columns(&[vec![0, 1], vec![0, 1], vec![1, 1]], 2);
+        let mut mv = MajorityVote::new();
+        mv.fit(&m, 2);
+        assert_eq!(mv.predict_proba(&m).hard_labels(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_requires_fit() {
+        let m = LabelMatrix::empty(1, 1);
+        let mv = MajorityVote::new();
+        let _ = mv.predict_proba(&m);
+    }
+}

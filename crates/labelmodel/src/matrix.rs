@@ -1,0 +1,234 @@
+//! The weak-label matrix.
+
+/// The abstain vote: the LF did not fire on this instance.
+pub const ABSTAIN: i32 = -1;
+
+/// An `n × m` matrix of weak labels: entry `(i, j)` is LF `j`'s vote on
+/// instance `i` — a class index, or [`ABSTAIN`].
+#[derive(Debug, Clone)]
+pub struct LabelMatrix {
+    data: Vec<i32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl LabelMatrix {
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or votes below [`ABSTAIN`].
+    pub fn new(data: Vec<i32>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        assert!(data.iter().all(|&v| v >= ABSTAIN), "invalid vote");
+        Self { data, rows, cols }
+    }
+
+    /// Build from per-LF columns (each of length `rows`).
+    pub fn from_columns(columns: &[Vec<i32>], rows: usize) -> Self {
+        let cols = columns.len();
+        let mut data = vec![ABSTAIN; rows * cols];
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), rows, "column {j} length mismatch");
+            for (i, &v) in col.iter().enumerate() {
+                data[i * cols + j] = v;
+            }
+        }
+        Self::new(data, rows, cols)
+    }
+
+    /// An all-abstain matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self::new(vec![ABSTAIN; rows * cols], rows, cols)
+    }
+
+    /// Number of instances.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of LFs.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Vote of LF `j` on instance `i`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set a vote.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: i32) {
+        assert!(v >= ABSTAIN, "invalid vote {v}");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The votes on instance `i`.
+    pub fn row(&self, i: usize) -> &[i32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Fraction of instances with at least one non-abstain vote
+    /// ("Total Cov." in Table 2).
+    pub fn total_coverage(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let covered = (0..self.rows)
+            .filter(|&i| self.row(i).iter().any(|&v| v != ABSTAIN))
+            .count();
+        covered as f64 / self.rows as f64
+    }
+
+    /// Per-LF coverage: fraction of instances where LF `j` fires
+    /// ("LF Cov." in Table 2 averages this over LFs).
+    pub fn lf_coverage(&self, j: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let active = (0..self.rows).filter(|&i| self.get(i, j) != ABSTAIN).count();
+        active as f64 / self.rows as f64
+    }
+
+    /// Mean per-LF coverage.
+    pub fn mean_lf_coverage(&self) -> f64 {
+        if self.cols == 0 {
+            return 0.0;
+        }
+        (0..self.cols).map(|j| self.lf_coverage(j)).sum::<f64>() / self.cols as f64
+    }
+
+    /// Accuracy of LF `j` against ground truth, over the instances where it
+    /// fires and a label is known. `None` if it never fires on labeled data.
+    pub fn lf_accuracy(&self, j: usize, labels: &[Option<usize>]) -> Option<f64> {
+        assert_eq!(labels.len(), self.rows, "label length mismatch");
+        let mut active = 0usize;
+        let mut correct = 0usize;
+        for (i, y) in labels.iter().enumerate() {
+            let v = self.get(i, j);
+            if v == ABSTAIN {
+                continue;
+            }
+            if let Some(y) = y {
+                active += 1;
+                if v as usize == *y {
+                    correct += 1;
+                }
+            }
+        }
+        if active == 0 {
+            None
+        } else {
+            Some(correct as f64 / active as f64)
+        }
+    }
+
+    /// Keep only the given columns (LF pruning).
+    pub fn select_columns(&self, keep: &[usize]) -> LabelMatrix {
+        let mut data = Vec::with_capacity(self.rows * keep.len());
+        for i in 0..self.rows {
+            for &j in keep {
+                data.push(self.get(i, j));
+            }
+        }
+        LabelMatrix::new(data, self.rows, keep.len())
+    }
+
+    /// Append one LF column.
+    pub fn push_column(&mut self, col: &[i32]) {
+        assert_eq!(col.len(), self.rows, "column length mismatch");
+        let mut data = Vec::with_capacity(self.rows * (self.cols + 1));
+        for (i, &v) in col.iter().enumerate() {
+            data.extend_from_slice(self.row(i));
+            data.push(v);
+        }
+        self.cols += 1;
+        self.data = data;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabelMatrix {
+        // 4 instances, 3 LFs.
+        LabelMatrix::from_columns(
+            &[
+                vec![0, ABSTAIN, 1, ABSTAIN],
+                vec![0, 0, ABSTAIN, ABSTAIN],
+                vec![1, ABSTAIN, 1, ABSTAIN],
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols()), (4, 3));
+        assert_eq!(m.get(0, 0), 0);
+        assert_eq!(m.get(3, 2), ABSTAIN);
+        assert_eq!(m.row(2), &[1, ABSTAIN, 1]);
+    }
+
+    #[test]
+    fn coverage_stats() {
+        let m = sample();
+        assert!((m.total_coverage() - 0.75).abs() < 1e-12);
+        assert!((m.lf_coverage(0) - 0.5).abs() < 1e-12);
+        assert!((m.mean_lf_coverage() - (0.5 + 0.5 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_against_truth() {
+        let m = sample();
+        let labels = vec![Some(0), Some(0), Some(1), Some(1)];
+        // LF0 fires on rows 0 (votes 0, truth 0: correct) and 2 (votes 1,
+        // truth 1: correct).
+        assert_eq!(m.lf_accuracy(0, &labels), Some(1.0));
+        // LF2 fires on rows 0 (votes 1, truth 0: wrong) and 2 (correct).
+        assert_eq!(m.lf_accuracy(2, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn accuracy_with_missing_labels() {
+        let m = sample();
+        let labels = vec![None, None, None, None];
+        assert_eq!(m.lf_accuracy(0, &labels), None);
+    }
+
+    #[test]
+    fn select_columns_keeps_order() {
+        let m = sample();
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!((s.rows(), s.cols()), (4, 2));
+        assert_eq!(s.get(0, 0), 1); // old column 2
+        assert_eq!(s.get(0, 1), 0); // old column 0
+    }
+
+    #[test]
+    fn push_column_grows() {
+        let mut m = sample();
+        m.push_column(&[ABSTAIN, 1, 1, 0]);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(3, 3), 0);
+        assert!((m.total_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let m = LabelMatrix::empty(5, 0);
+        assert_eq!(m.total_coverage(), 0.0);
+        assert_eq!(m.mean_lf_coverage(), 0.0);
+        let z = LabelMatrix::empty(0, 3);
+        assert_eq!(z.total_coverage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid vote")]
+    fn negative_votes_rejected() {
+        let _ = LabelMatrix::new(vec![-2], 1, 1);
+    }
+}

@@ -1,0 +1,555 @@
+//! MeTaL-style generative label model fit by EM.
+//!
+//! The paper aggregates LFs with MeTaL (Ratner et al., AAAI 2019). The role
+//! MeTaL plays in the pipeline — estimating LF reliabilities without ground
+//! truth and producing reliability-weighted posteriors — is reproduced here
+//! with the full data-programming generative model: per LF `j`, a
+//! class-conditional vote distribution
+//!
+//! `θ_j[y][v] = P(λ_j = v | Y = y)`, with `v` ranging over the classes
+//! *and abstain*.
+//!
+//! Modeling abstention class-conditionally is essential for keyword LFs:
+//! they are **one-sided** (a keyword LF only ever votes its own class), so
+//! their entire signal lies in firing *more often* on their class — a model
+//! that treats abstention as class-independent throws that signal away and
+//! collapses. EM alternates exact posteriors with damped, smoothed table
+//! updates; the supplied class balance is used both as the fit-time prior
+//! and at prediction (the smoothing/damping guards below keep the skewed
+//! prior from being amplified into a collapsed solution).
+
+use crate::matrix::{LabelMatrix, ABSTAIN};
+use crate::probs::ProbLabels;
+use crate::LabelModel;
+
+/// Strength of the Dirichlet smoothing toward the marginal vote rates.
+const SMOOTH_STRENGTH: f64 = 5.0;
+/// Default for [`MetalModel::with_accuracy_tilt`]: the multiplier applied
+/// to the `v == y` vote cell of the smoothing prior (LFs are assumed
+/// substantially better than chance, as after the §3.5 accuracy filter).
+const ACCURACY_TILT: f64 = 1.9;
+/// Scale applied to the abstain evidence of *inactive* LFs. Each LF's own
+/// fire-vs-abstain likelihood ratio is kept at full strength (that ratio
+/// carries the one-sided-LF signal), but cross-LF abstain evidence is
+/// damped: at full strength, once EM believes one LF of a class, the
+/// abstention of that LF pushes every sibling LF's coverage negative —
+/// a second winner-takes-all channel that flips same-class LFs with
+/// disjoint coverage into anti-indicators.
+const ABSTAIN_EVIDENCE_SCALE: f64 = 0.25;
+
+/// Stability knobs of the EM fit (see the constants above for why each
+/// exists). Exposed so the `lm_ablation` bench can quantify each guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetalConfig {
+    /// Dirichlet smoothing strength toward marginal vote rates.
+    pub smooth_strength: f64,
+    /// Prior tilt of own-class vote cells.
+    pub accuracy_tilt: f64,
+    /// Damping of cross-LF abstain evidence (κ).
+    pub abstain_evidence_scale: f64,
+    /// Damping of the θ update (0 = frozen, 1 = undamped EM).
+    pub update_damping: f64,
+}
+
+impl Default for MetalConfig {
+    fn default() -> Self {
+        Self {
+            smooth_strength: SMOOTH_STRENGTH,
+            accuracy_tilt: ACCURACY_TILT,
+            abstain_evidence_scale: ABSTAIN_EVIDENCE_SCALE,
+            update_damping: 0.5,
+        }
+    }
+}
+
+/// EM-fit generative label model (MeTaL substitute).
+#[derive(Debug, Clone)]
+pub struct MetalModel {
+    n_classes: usize,
+    /// Flattened `θ_j[y][v]`: index `j·C·(C+1) + y·(C+1) + v`; `v == C`
+    /// is abstain.
+    theta: Vec<f64>,
+    /// Diagnostic per-LF accuracy estimates `P(Y = v̂_j | λ_j = v̂_j)`.
+    alpha: Vec<f64>,
+    /// Prediction-time class prior.
+    prior: Vec<f64>,
+    max_iter: usize,
+    tol: f64,
+    fixed_balance: Option<Vec<f64>>,
+    config: MetalConfig,
+}
+
+impl Default for MetalModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetalModel {
+    /// A model with default hyper-parameters (100 EM iterations, 1e-5 tol).
+    pub fn new() -> Self {
+        Self {
+            n_classes: 0,
+            theta: Vec::new(),
+            alpha: Vec::new(),
+            prior: Vec::new(),
+            max_iter: 100,
+            tol: 1e-5,
+            fixed_balance: None,
+            config: MetalConfig::default(),
+        }
+    }
+
+    /// Override the EM stability configuration.
+    pub fn with_config(mut self, config: MetalConfig) -> Self {
+        assert!(config.smooth_strength >= 0.0, "negative smoothing");
+        assert!(config.accuracy_tilt > 0.0, "non-positive tilt");
+        assert!(
+            (0.0..=1.0).contains(&config.abstain_evidence_scale),
+            "abstain scale out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.update_damping) && config.update_damping > 0.0,
+            "damping out of range"
+        );
+        self.config = config;
+        self
+    }
+
+    /// Fix the prediction-time class balance instead of estimating it.
+    pub fn with_class_balance(mut self, balance: Vec<f64>) -> Self {
+        let sum: f64 = balance.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "balance must sum to 1");
+        self.fixed_balance = Some(balance);
+        self
+    }
+
+    /// Set the EM iteration cap.
+    pub fn with_max_iter(mut self, iters: usize) -> Self {
+        self.max_iter = iters.max(1);
+        self
+    }
+
+    /// Estimated per-LF accuracies (after [`fit`](LabelModel::fit)):
+    /// `P(Y = v | λ_j = v)` for the LF's dominant vote `v`.
+    pub fn accuracies(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Prediction-time class prior (after [`fit`](LabelModel::fit)).
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
+    }
+
+    #[inline]
+    fn th(&self, j: usize, y: usize, v: usize) -> f64 {
+        let c = self.n_classes;
+        self.theta[j * c * (c + 1) + y * (c + 1) + v]
+    }
+
+    /// Log-posterior over classes for one row, under `prior`, including
+    /// the abstain evidence of inactive LFs (via the precomputed per-class
+    /// abstain log-sums `base`).
+    fn posterior_row(
+        &self,
+        votes: &[i32],
+        prior: &[f64],
+        base: &[f64],
+        ltheta: &[f64],
+    ) -> (Vec<f64>, bool) {
+        let c = self.n_classes;
+        let mut logp: Vec<f64> = (0..c)
+            .map(|y| prior[y].max(1e-12).ln() + base[y])
+            .collect();
+        let mut any = false;
+        for (j, &v) in votes.iter().enumerate() {
+            if v == ABSTAIN {
+                continue;
+            }
+            any = true;
+            let v = v as usize;
+            for (y, lp) in logp.iter_mut().enumerate() {
+                let off = j * c * (c + 1) + y * (c + 1);
+                *lp += ltheta[off + v] - self.config.abstain_evidence_scale * ltheta[off + c];
+            }
+        }
+        let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = logp.iter().map(|lp| (lp - m).exp()).collect();
+        let z: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= z;
+        }
+        (probs, any)
+    }
+
+    /// Per-class damped abstain log-sums
+    /// `base[y] = κ · Σ_j ln θ_j[y][abstain]` (see
+    /// [`ABSTAIN_EVIDENCE_SCALE`]).
+    fn abstain_base(&self, ltheta: &[f64]) -> Vec<f64> {
+        let c = self.n_classes;
+        let m = self.theta.len() / (c * (c + 1));
+        (0..c)
+            .map(|y| {
+                self.config.abstain_evidence_scale
+                    * (0..m)
+                        .map(|j| ltheta[j * c * (c + 1) + y * (c + 1) + c])
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Derive diagnostic accuracies from the tables under `prior`.
+    fn derive_alpha(&mut self, matrix: &LabelMatrix) {
+        let c = self.n_classes;
+        let m = matrix.cols();
+        self.alpha = (0..m)
+            .map(|j| {
+                // Dominant vote of this LF.
+                let mut counts = vec![0usize; c];
+                for i in 0..matrix.rows() {
+                    let v = matrix.get(i, j);
+                    if v != ABSTAIN {
+                        counts[v as usize] += 1;
+                    }
+                }
+                let v = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &n)| n)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let num = self.prior[v] * self.th(j, v, v);
+                let den: f64 = (0..c).map(|y| self.prior[y] * self.th(j, y, v)).sum();
+                if den > 0.0 {
+                    (num / den).clamp(0.0, 1.0)
+                } else {
+                    1.0 / c as f64
+                }
+            })
+            .collect();
+    }
+}
+
+impl LabelModel for MetalModel {
+    fn fit(&mut self, matrix: &LabelMatrix, n_classes: usize) {
+        assert!(n_classes >= 2, "need at least two classes");
+        self.n_classes = n_classes;
+        let c = n_classes;
+        let m = matrix.cols();
+        let n = matrix.rows();
+        self.prior = self
+            .fixed_balance
+            .clone()
+            .unwrap_or_else(|| vec![1.0 / c as f64; c]);
+        self.theta = vec![0.0; m * c * (c + 1)];
+        self.alpha = vec![0.7; m];
+        if m == 0 || n == 0 {
+            return;
+        }
+
+        // Empirical marginal vote rates per LF (abstain at index c).
+        let mut marginal = vec![0.0f64; m * (c + 1)];
+        for i in 0..n {
+            for (j, &v) in matrix.row(i).iter().enumerate() {
+                let v = if v == ABSTAIN { c } else { v as usize };
+                marginal[j * (c + 1) + v] += 1.0;
+            }
+        }
+        for e in marginal.iter_mut() {
+            *e = (*e + 0.5) / (n as f64 + 0.5 * (c + 1) as f64);
+        }
+
+        // Smoothing pseudo-counts: marginal rates, tilted so each vote
+        // class is a-priori likelier under its own class. This anchors θ
+        // and prevents the winner-takes-all runaway of unsmoothed EM.
+        let mut pseudo = vec![0.0f64; m * c * (c + 1)];
+        for j in 0..m {
+            for y in 0..c {
+                for v in 0..=c {
+                    // Own-class vote cells get ACCURACY_TILT; the other
+                    // vote cells share the remaining mass; abstain is
+                    // untilted.
+                    let tilt = if v == y {
+                        self.config.accuracy_tilt
+                    } else if v < c {
+                        ((c as f64 - self.config.accuracy_tilt) / (c as f64 - 1.0)).max(0.2)
+                    } else {
+                        1.0
+                    };
+                    pseudo[j * c * (c + 1) + y * (c + 1) + v] =
+                        self.config.smooth_strength * marginal[j * (c + 1) + v] * tilt;
+                }
+            }
+        }
+
+        // Initialize θ at the (normalized) pseudo-counts.
+        for j in 0..m {
+            for y in 0..c {
+                let off = j * c * (c + 1) + y * (c + 1);
+                let z: f64 = pseudo[off..off + c + 1].iter().sum();
+                for v in 0..=c {
+                    self.theta[off + v] = pseudo[off + v] / z;
+                }
+            }
+        }
+
+        // Fit-time prior: the supplied class balance (see module docs).
+        let fit_prior = self.prior.clone();
+        let rows: Vec<&[i32]> = (0..n).map(|i| matrix.row(i)).collect();
+        let mut prior_estimate = fit_prior.clone();
+
+        for _ in 0..self.max_iter {
+            let ltheta: Vec<f64> = self.theta.iter().map(|t| t.max(1e-12).ln()).collect();
+            let base = self.abstain_base(&ltheta);
+            // Accumulators: active-vote posterior mass and total mass.
+            let mut vote_mass = vec![0.0f64; m * c * (c + 1)];
+            let mut total_mass = vec![0.0f64; c];
+            for votes in &rows {
+                let (post, _any) = self.posterior_row(votes, &fit_prior, &base, &ltheta);
+                for (y, p) in post.iter().enumerate() {
+                    total_mass[y] += p;
+                }
+                for (j, &v) in votes.iter().enumerate() {
+                    if v == ABSTAIN {
+                        continue;
+                    }
+                    for (y, p) in post.iter().enumerate() {
+                        vote_mass[j * c * (c + 1) + y * (c + 1) + v as usize] += p;
+                    }
+                }
+            }
+            // M-step: damped, smoothed table update. Abstain mass is the
+            // remainder of the class total.
+            let mut delta = 0.0f64;
+            for j in 0..m {
+                for (y, &tmass) in total_mass.iter().enumerate() {
+                    let off = j * c * (c + 1) + y * (c + 1);
+                    let active_mass: f64 = (0..c).map(|v| vote_mass[off + v]).sum();
+                    let abst = (tmass - active_mass).max(0.0);
+                    let mut counts: Vec<f64> = (0..c)
+                        .map(|v| vote_mass[off + v] + pseudo[off + v])
+                        .collect();
+                    counts.push(abst + pseudo[off + c]);
+                    let z: f64 = counts.iter().sum();
+                    for (v, cnt) in counts.iter().enumerate() {
+                        let hat = cnt / z;
+                        let d = self.config.update_damping;
+                        let new = (1.0 - d) * self.theta[off + v] + d * hat;
+                        delta += (new - self.theta[off + v]).abs();
+                        self.theta[off + v] = new;
+                    }
+                }
+            }
+            let z: f64 = total_mass.iter().sum();
+            prior_estimate = total_mass.iter().map(|t| t / z).collect();
+            if delta / (m as f64 * c as f64) < self.tol {
+                break;
+            }
+        }
+
+        self.prior = self.fixed_balance.clone().unwrap_or(prior_estimate);
+        self.derive_alpha(matrix);
+    }
+
+    fn predict_proba(&self, matrix: &LabelMatrix) -> ProbLabels {
+        assert!(self.n_classes >= 2, "fit before predict");
+        assert_eq!(
+            matrix.cols() * self.n_classes * (self.n_classes + 1),
+            self.theta.len(),
+            "LF count mismatch"
+        );
+        let c = self.n_classes;
+        let ltheta: Vec<f64> = self.theta.iter().map(|t| t.max(1e-12).ln()).collect();
+        let base = self.abstain_base(&ltheta);
+        let mut probs = Vec::with_capacity(matrix.rows() * c);
+        let mut covered = Vec::with_capacity(matrix.rows());
+        for i in 0..matrix.rows() {
+            let (post, any) = self.posterior_row(matrix.row(i), &self.prior, &base, &ltheta);
+            if any {
+                probs.extend(post);
+                covered.push(true);
+            } else {
+                probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
+                covered.push(false);
+            }
+        }
+        ProbLabels::new(probs, matrix.rows(), c, covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_text::rng::derive_seed;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesize a matrix from known LF accuracies (two-sided LFs) and
+    /// return it with the ground truth.
+    fn synth(
+        n: usize,
+        accs: &[f64],
+        coverage: f64,
+        n_classes: usize,
+        seed: u64,
+    ) -> (LabelMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 77));
+        let mut truth = Vec::with_capacity(n);
+        let mut cols: Vec<Vec<i32>> = vec![Vec::with_capacity(n); accs.len()];
+        for _ in 0..n {
+            let y = rng.gen_range(0..n_classes);
+            truth.push(y);
+            for (j, &a) in accs.iter().enumerate() {
+                if rng.gen::<f64>() > coverage {
+                    cols[j].push(ABSTAIN);
+                } else if rng.gen::<f64>() < a {
+                    cols[j].push(y as i32);
+                } else {
+                    let mut w = rng.gen_range(0..n_classes - 1);
+                    if w >= y {
+                        w += 1;
+                    }
+                    cols[j].push(w as i32);
+                }
+            }
+        }
+        (LabelMatrix::from_columns(&cols, n), truth)
+    }
+
+    /// Synthesize a matrix of *one-sided* keyword-style LFs: LF `j` votes
+    /// only class `class[j]`, firing with rate `fire_own` on its class and
+    /// `fire_other` elsewhere.
+    fn synth_one_sided(
+        n: usize,
+        classes: &[usize],
+        fire_own: f64,
+        fire_other: f64,
+        n_classes: usize,
+        seed: u64,
+    ) -> (LabelMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 99));
+        let mut truth = Vec::with_capacity(n);
+        let mut cols: Vec<Vec<i32>> = vec![Vec::with_capacity(n); classes.len()];
+        for _ in 0..n {
+            let y = rng.gen_range(0..n_classes);
+            truth.push(y);
+            for (j, &cj) in classes.iter().enumerate() {
+                let rate = if y == cj { fire_own } else { fire_other };
+                if rng.gen::<f64>() < rate {
+                    cols[j].push(cj as i32);
+                } else {
+                    cols[j].push(ABSTAIN);
+                }
+            }
+        }
+        (LabelMatrix::from_columns(&cols, n), truth)
+    }
+
+    fn hard_acc(p: &crate::ProbLabels, truth: &[usize]) -> f64 {
+        let covered = p.covered_indices();
+        let hard = p.hard_labels();
+        covered.iter().filter(|&&i| hard[i] == truth[i]).count() as f64 / covered.len() as f64
+    }
+
+    #[test]
+    fn recovers_lf_accuracy_ordering() {
+        let accs = [0.95, 0.85, 0.70, 0.55];
+        let (m, _) = synth(4000, &accs, 0.4, 2, 1);
+        let mut model = MetalModel::new();
+        model.fit(&m, 2);
+        let est = model.accuracies();
+        assert!(est[0] > est[1] && est[1] > est[2] && est[2] > est[3], "{est:?}");
+    }
+
+    #[test]
+    fn one_sided_keyword_lfs_are_aggregated_correctly() {
+        // Five positive-only and five negative-only keyword LFs. All the
+        // signal is in the class-conditional firing rate.
+        let classes = [1, 1, 1, 1, 1, 0, 0, 0, 0, 0];
+        let (m, truth) = synth_one_sided(4000, &classes, 0.15, 0.02, 2, 3);
+        let mut model = MetalModel::new();
+        model.fit(&m, 2);
+        let acc = hard_acc(&model.predict_proba(&m), &truth);
+        assert!(acc > 0.85, "one-sided aggregation accuracy {acc}");
+        // Accuracy estimates should be clearly better than chance for all.
+        for (j, a) in model.accuracies().iter().enumerate() {
+            assert!(*a > 0.6, "lf {j} alpha {a}");
+        }
+    }
+
+    #[test]
+    fn one_sided_no_class_collapses() {
+        // The failure mode this model exists to avoid: EM must not pin one
+        // class's LF pool at the clamp while inflating the other.
+        let classes = [1, 1, 1, 1, 0, 0, 0, 0];
+        let (m, truth) = synth_one_sided(3000, &classes, 0.10, 0.015, 2, 7);
+        let mut model = MetalModel::new();
+        model.fit(&m, 2);
+        let alphas = model.accuracies();
+        let pos_mean: f64 = alphas[..4].iter().sum::<f64>() / 4.0;
+        let neg_mean: f64 = alphas[4..].iter().sum::<f64>() / 4.0;
+        assert!(
+            (pos_mean - neg_mean).abs() < 0.2,
+            "asymmetric collapse: pos {pos_mean} neg {neg_mean}"
+        );
+        let acc = hard_acc(&model.predict_proba(&m), &truth);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn beats_majority_vote_with_unequal_lfs() {
+        let accs = [0.95, 0.58, 0.58, 0.58];
+        let (m, truth) = synth(4000, &accs, 0.9, 2, 3);
+        let mut metal = MetalModel::new();
+        metal.fit(&m, 2);
+        let metal_acc = hard_acc(&metal.predict_proba(&m), &truth);
+        let mut mv = crate::MajorityVote::new();
+        crate::LabelModel::fit(&mut mv, &m, 2);
+        let mv_acc = hard_acc(&mv.predict_proba(&m), &truth);
+        assert!(
+            metal_acc > mv_acc + 0.01,
+            "metal {metal_acc} vs mv {mv_acc}"
+        );
+    }
+
+    #[test]
+    fn multiclass_posteriors_are_valid() {
+        let accs = [0.8, 0.7, 0.6];
+        let (m, truth) = synth(2000, &accs, 0.5, 4, 5);
+        let mut model = MetalModel::new();
+        model.fit(&m, 4);
+        let p = model.predict_proba(&m);
+        assert_eq!(p.n_classes(), 4);
+        let acc = hard_acc(&p, &truth);
+        assert!(acc > 0.7, "aggregated accuracy {acc}");
+    }
+
+    #[test]
+    fn uncovered_rows_flagged() {
+        let m = LabelMatrix::from_columns(&[vec![0, ABSTAIN], vec![1, ABSTAIN]], 2);
+        let mut model = MetalModel::new();
+        model.fit(&m, 2);
+        let p = model.predict_proba(&m);
+        assert!(p.is_covered(0));
+        assert!(!p.is_covered(1));
+    }
+
+    #[test]
+    fn fixed_class_balance_is_kept() {
+        let accs = [0.8, 0.8];
+        let (m, _) = synth(500, &accs, 0.5, 2, 9);
+        let mut model = MetalModel::new().with_class_balance(vec![0.9, 0.1]);
+        model.fit(&m, 2);
+        assert_eq!(model.prior(), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn empty_matrix_is_harmless() {
+        let m = LabelMatrix::empty(10, 0);
+        let mut model = MetalModel::new();
+        model.fit(&m, 2);
+        let p = model.predict_proba(&m);
+        assert_eq!(p.rows(), 10);
+        assert!(p.covered_indices().is_empty());
+    }
+}

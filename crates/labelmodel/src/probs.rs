@@ -1,0 +1,146 @@
+//! Probabilistic labels with a coverage mask.
+
+/// Per-instance class posteriors plus a coverage mask.
+#[derive(Debug, Clone)]
+pub struct ProbLabels {
+    probs: Vec<f64>,
+    rows: usize,
+    n_classes: usize,
+    covered: Vec<bool>,
+}
+
+impl ProbLabels {
+    /// Build from a flat `rows × n_classes` buffer and coverage mask.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or rows that do not form a probability
+    /// distribution (within tolerance).
+    pub fn new(probs: Vec<f64>, rows: usize, n_classes: usize, covered: Vec<bool>) -> Self {
+        assert_eq!(probs.len(), rows * n_classes, "shape mismatch");
+        assert_eq!(covered.len(), rows, "mask length mismatch");
+        for i in 0..rows {
+            let row = &probs[i * n_classes..(i + 1) * n_classes];
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6 && row.iter().all(|p| *p >= -1e-12),
+                "row {i} is not a distribution: {row:?}"
+            );
+        }
+        Self {
+            probs,
+            rows,
+            n_classes,
+            covered,
+        }
+    }
+
+    /// Number of instances.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Posterior of instance `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.probs[i * self.n_classes..(i + 1) * self.n_classes]
+    }
+
+    /// Whether instance `i` had at least one active LF.
+    pub fn is_covered(&self, i: usize) -> bool {
+        self.covered[i]
+    }
+
+    /// Indices of covered instances.
+    pub fn covered_indices(&self) -> Vec<usize> {
+        (0..self.rows).filter(|&i| self.covered[i]).collect()
+    }
+
+    /// Hard labels (argmax per row; ties to the lowest class index).
+    pub fn hard_labels(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0;
+                for c in 1..self.n_classes {
+                    if row[c] > row[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Apply the default-class rule (§3.6): uncovered instances become a
+    /// one-hot distribution on `default_class` and are marked covered.
+    pub fn apply_default_class(&mut self, default_class: usize) {
+        assert!(default_class < self.n_classes, "default class out of range");
+        for i in 0..self.rows {
+            if !self.covered[i] {
+                let row =
+                    &mut self.probs[i * self.n_classes..(i + 1) * self.n_classes];
+                row.fill(0.0);
+                row[default_class] = 1.0;
+                self.covered[i] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProbLabels {
+        ProbLabels::new(
+            vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8],
+            3,
+            2,
+            vec![true, false, true],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.n_classes(), 2);
+        assert_eq!(p.row(0), &[0.9, 0.1]);
+        assert!(p.is_covered(0));
+        assert!(!p.is_covered(1));
+        assert_eq!(p.covered_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn hard_labels_argmax_with_tie_to_low() {
+        let p = sample();
+        assert_eq!(p.hard_labels(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn default_class_fills_uncovered() {
+        let mut p = sample();
+        p.apply_default_class(0);
+        assert!(p.is_covered(1));
+        assert_eq!(p.row(1), &[1.0, 0.0]);
+        // Covered rows untouched.
+        assert_eq!(p.row(0), &[0.9, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a distribution")]
+    fn rejects_non_distribution() {
+        let _ = ProbLabels::new(vec![0.9, 0.3], 1, 2, vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "default class out of range")]
+    fn default_class_bounds_checked() {
+        let mut p = sample();
+        p.apply_default_class(5);
+    }
+}

@@ -1,0 +1,286 @@
+//! Triplet-method label model (FlyingSquid-style closed form).
+//!
+//! Fu et al. ("Fast and Three-rious", ICML 2020 — cited as \[11\] in the
+//! paper) estimate binary LF accuracies without EM: for signed votes
+//! `λ ∈ {−1, +1}` under conditional independence,
+//! `E[λ_i λ_j] = a_i a_j` where `a_j = 2·acc_j − 1`, so for any triplet
+//! `|a_i| = sqrt(|E_ij · E_ik / E_jk|)`. We average the estimate over all
+//! triplets containing each LF, resolve the global sign by majority
+//! agreement, and plug the accuracies into the same naive-Bayes posterior
+//! as [`crate::MetalModel`].
+//!
+//! Multiclass matrices are handled one-vs-rest: class-`c` accuracy signals
+//! are estimated on the binarized matrix (vote == c vs. vote != c), then
+//! averaged into one per-LF accuracy.
+
+use crate::matrix::{LabelMatrix, ABSTAIN};
+use crate::probs::ProbLabels;
+use crate::LabelModel;
+
+/// Closed-form triplet label model.
+#[derive(Debug, Clone, Default)]
+pub struct TripletModel {
+    n_classes: usize,
+    alpha: Vec<f64>,
+    prior: Vec<f64>,
+}
+
+impl TripletModel {
+    /// A fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimated per-LF accuracies (after fit).
+    pub fn accuracies(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Estimate signed accuracies `a_j = 2·acc − 1` on a ±1 vote matrix
+    /// (0 = abstain).
+    fn signed_accuracies(signed: &[Vec<i8>]) -> Vec<f64> {
+        let m = signed.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        // Pairwise products over co-active rows.
+        let mut e = vec![vec![0.0f64; m]; m];
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let mut acc = 0.0;
+                let mut cnt = 0usize;
+                for (vi, vj) in signed[i].iter().zip(&signed[j]) {
+                    if *vi != 0 && *vj != 0 {
+                        acc += (*vi as f64) * (*vj as f64);
+                        cnt += 1;
+                    }
+                }
+                let v = if cnt > 0 { acc / cnt as f64 } else { 0.0 };
+                e[i][j] = v;
+                e[j][i] = v;
+            }
+        }
+        let mut a = vec![0.0f64; m];
+        for i in 0..m {
+            let mut est = 0.0;
+            let mut n_est = 0usize;
+            for j in 0..m {
+                if j == i {
+                    continue;
+                }
+                for k in (j + 1)..m {
+                    if k == i {
+                        continue;
+                    }
+                    let denom = e[j][k];
+                    if denom.abs() < 1e-3 {
+                        continue;
+                    }
+                    let val = (e[i][j] * e[i][k] / denom).abs();
+                    if val.is_finite() {
+                        est += val.sqrt().min(1.0);
+                        n_est += 1;
+                    }
+                }
+            }
+            a[i] = if n_est > 0 { est / n_est as f64 } else { 0.3 };
+            // Sign: LFs are assumed better than chance on their own class;
+            // a negative average agreement with the pool flips the sign.
+            let agree: f64 = e[i]
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v)
+                .sum();
+            if agree < 0.0 {
+                a[i] = -a[i];
+            }
+        }
+        a
+    }
+}
+
+impl LabelModel for TripletModel {
+    fn fit(&mut self, matrix: &LabelMatrix, n_classes: usize) {
+        assert!(n_classes >= 2, "need at least two classes");
+        self.n_classes = n_classes;
+        let m = matrix.cols();
+        let n = matrix.rows();
+        self.prior = vec![1.0 / n_classes as f64; n_classes];
+        if m == 0 || n == 0 {
+            self.alpha = vec![0.7; m];
+            return;
+        }
+
+        // One-vs-rest signed matrices, averaged into per-LF accuracy.
+        let mut acc_sum = vec![0.0f64; m];
+        let mut acc_cnt = vec![0usize; m];
+        for c in 0..n_classes {
+            let signed: Vec<Vec<i8>> = (0..m)
+                .map(|j| {
+                    (0..n)
+                        .map(|i| {
+                            let v = matrix.get(i, j);
+                            if v == ABSTAIN {
+                                0
+                            } else if v as usize == c {
+                                1
+                            } else {
+                                -1
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let a = Self::signed_accuracies(&signed);
+            for j in 0..m {
+                // Convert signed accuracy on the OvR problem back to a
+                // multiclass accuracy estimate.
+                let acc = ((a[j] + 1.0) / 2.0).clamp(0.05, 0.99);
+                acc_sum[j] += acc;
+                acc_cnt[j] += 1;
+            }
+            if n_classes == 2 {
+                break; // both OvR problems are identical in binary
+            }
+        }
+        self.alpha = (0..m)
+            .map(|j| {
+                (acc_sum[j] / acc_cnt[j].max(1) as f64)
+                    .clamp(1.0 / n_classes as f64 * 0.5 + 0.01, 0.99)
+            })
+            .collect();
+    }
+
+    fn predict_proba(&self, matrix: &LabelMatrix) -> ProbLabels {
+        assert!(self.n_classes >= 2, "fit before predict");
+        assert_eq!(matrix.cols(), self.alpha.len(), "LF count mismatch");
+        let c = self.n_classes;
+        let mut probs = Vec::with_capacity(matrix.rows() * c);
+        let mut covered = Vec::with_capacity(matrix.rows());
+        for i in 0..matrix.rows() {
+            let votes = matrix.row(i);
+            let mut logp: Vec<f64> = self.prior.iter().map(|p| p.max(1e-12).ln()).collect();
+            let mut any = false;
+            for (j, &v) in votes.iter().enumerate() {
+                if v == ABSTAIN {
+                    continue;
+                }
+                any = true;
+                let a = self.alpha[j];
+                let wrong = ((1.0 - a) / (c as f64 - 1.0)).max(1e-12);
+                for (y, lp) in logp.iter_mut().enumerate() {
+                    *lp += if v as usize == y {
+                        a.max(1e-12).ln()
+                    } else {
+                        wrong.ln()
+                    };
+                }
+            }
+            if any {
+                let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut post: Vec<f64> = logp.iter().map(|lp| (lp - mx).exp()).collect();
+                let z: f64 = post.iter().sum();
+                for p in &mut post {
+                    *p /= z;
+                }
+                probs.extend(post);
+                covered.push(true);
+            } else {
+                probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
+                covered.push(false);
+            }
+        }
+        ProbLabels::new(probs, matrix.rows(), c, covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_text::rng::derive_seed;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synth(
+        n: usize,
+        accs: &[f64],
+        coverage: f64,
+        n_classes: usize,
+        seed: u64,
+    ) -> (LabelMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 123));
+        let mut truth = Vec::with_capacity(n);
+        let mut cols: Vec<Vec<i32>> = vec![Vec::with_capacity(n); accs.len()];
+        for _ in 0..n {
+            let y = rng.gen_range(0..n_classes);
+            truth.push(y);
+            for (j, &a) in accs.iter().enumerate() {
+                if rng.gen::<f64>() > coverage {
+                    cols[j].push(ABSTAIN);
+                } else if rng.gen::<f64>() < a {
+                    cols[j].push(y as i32);
+                } else {
+                    let mut w = rng.gen_range(0..n_classes - 1);
+                    if w >= y {
+                        w += 1;
+                    }
+                    cols[j].push(w as i32);
+                }
+            }
+        }
+        (LabelMatrix::from_columns(&cols, n), truth)
+    }
+
+    #[test]
+    fn binary_accuracy_recovery() {
+        let accs = [0.9, 0.75, 0.6];
+        let (m, _) = synth(8000, &accs, 0.7, 2, 2);
+        let mut t = TripletModel::new();
+        t.fit(&m, 2);
+        let est = t.accuracies();
+        assert!((est[0] - 0.9).abs() < 0.07, "{est:?}");
+        assert!((est[1] - 0.75).abs() < 0.07, "{est:?}");
+        assert!((est[2] - 0.6).abs() < 0.08, "{est:?}");
+    }
+
+    #[test]
+    fn aggregation_beats_best_single_lf() {
+        let accs = [0.75, 0.75, 0.75, 0.75, 0.75];
+        let (m, truth) = synth(4000, &accs, 1.0, 2, 4);
+        let mut t = TripletModel::new();
+        t.fit(&m, 2);
+        let pred = t.predict_proba(&m).hard_labels();
+        let acc = pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.82, "aggregate accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_runs_and_is_calibrated() {
+        let accs = [0.8, 0.7, 0.75];
+        let (m, truth) = synth(3000, &accs, 0.6, 4, 6);
+        let mut t = TripletModel::new();
+        t.fit(&m, 4);
+        let p = t.predict_proba(&m);
+        let pred = p.hard_labels();
+        let covered = p.covered_indices();
+        let acc = covered
+            .iter()
+            .filter(|&&i| pred[i] == truth[i])
+            .count() as f64
+            / covered.len() as f64;
+        assert!(acc > 0.65, "multiclass accuracy {acc}");
+    }
+
+    #[test]
+    fn two_lf_matrix_falls_back_gracefully() {
+        // Not enough LFs for any triplet: estimates fall back to the prior
+        // guess but prediction still works.
+        let (m, _) = synth(200, &[0.8, 0.8], 1.0, 2, 8);
+        let mut t = TripletModel::new();
+        t.fit(&m, 2);
+        let p = t.predict_proba(&m);
+        assert_eq!(p.rows(), 200);
+    }
+}

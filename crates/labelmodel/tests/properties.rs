@@ -1,0 +1,106 @@
+//! Property-based tests for the label-model substrate.
+
+use datasculpt_labelmodel::{
+    LabelMatrix, LabelModel, MajorityVote, MetalModel, TripletModel, ABSTAIN,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random label matrix with votes in {-1, 0, 1} for a
+/// binary task.
+fn matrix_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (LabelMatrix, usize)> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-1i32..2, rows * cols)
+            .prop_map(move |data| (LabelMatrix::new(data, rows, cols), 2usize))
+    })
+}
+
+proptest! {
+    /// Coverage statistics stay in [0, 1] and total ≥ mean per-LF coverage.
+    #[test]
+    fn coverage_bounds((m, _) in matrix_strategy(20, 6)) {
+        let total = m.total_coverage();
+        let mean = m.mean_lf_coverage();
+        prop_assert!((0.0..=1.0).contains(&total));
+        prop_assert!((0.0..=1.0).contains(&mean));
+        prop_assert!(total >= mean - 1e-12);
+    }
+
+    /// Majority vote produces valid distributions; covered rows match the
+    /// abstain structure.
+    #[test]
+    fn majority_vote_simplex((m, c) in matrix_strategy(20, 6)) {
+        let mut mv = MajorityVote::new();
+        mv.fit(&m, c);
+        let p = mv.predict_proba(&m);
+        prop_assert_eq!(p.rows(), m.rows());
+        for i in 0..p.rows() {
+            let row = p.row(i);
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            let any_active = m.row(i).iter().any(|&v| v != ABSTAIN);
+            prop_assert_eq!(p.is_covered(i), any_active);
+        }
+    }
+
+    /// The MeTaL-style model never emits an invalid posterior, for any
+    /// vote pattern.
+    #[test]
+    fn metal_simplex((m, c) in matrix_strategy(16, 5)) {
+        let mut lm = MetalModel::new().with_max_iter(10);
+        lm.fit(&m, c);
+        let p = lm.predict_proba(&m);
+        for i in 0..p.rows() {
+            let sum: f64 = p.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            prop_assert!(p.row(i).iter().all(|&x| x.is_finite() && x >= -1e-12));
+        }
+        // Accuracy estimates are probabilities.
+        prop_assert!(lm.accuracies().iter().all(|a| (0.0..=1.0).contains(a)));
+        let prior_sum: f64 = lm.prior().iter().sum();
+        prop_assert!((prior_sum - 1.0).abs() < 1e-6);
+    }
+
+    /// Triplet model is total on arbitrary binary matrices.
+    #[test]
+    fn triplet_total((m, c) in matrix_strategy(16, 5)) {
+        let mut t = TripletModel::new();
+        t.fit(&m, c);
+        let p = t.predict_proba(&m);
+        for i in 0..p.rows() {
+            let sum: f64 = p.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Column selection preserves votes and shape.
+    #[test]
+    fn select_columns_preserves((m, _) in matrix_strategy(10, 6), keep_mask in proptest::collection::vec(any::<bool>(), 6)) {
+        let keep: Vec<usize> = (0..m.cols()).filter(|&j| *keep_mask.get(j).unwrap_or(&false)).collect();
+        let s = m.select_columns(&keep);
+        prop_assert_eq!(s.cols(), keep.len());
+        prop_assert_eq!(s.rows(), m.rows());
+        for i in 0..m.rows() {
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                prop_assert_eq!(s.get(i, new_j), m.get(i, old_j));
+            }
+        }
+    }
+
+    /// Hard labels are always a valid class, and the argmax of the row.
+    #[test]
+    fn hard_labels_are_argmax((m, c) in matrix_strategy(12, 4)) {
+        let mut mv = MajorityVote::new();
+        mv.fit(&m, c);
+        let p = mv.predict_proba(&m);
+        let hard = p.hard_labels();
+        for (i, &h) in hard.iter().enumerate() {
+            prop_assert!(h < c);
+            let row = p.row(i);
+            prop_assert!(row.iter().all(|&v| v <= row[h] + 1e-12));
+        }
+    }
+}

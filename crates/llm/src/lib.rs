@@ -1,0 +1,50 @@
+//! LLM substrate for the DataSculpt reproduction.
+//!
+//! The paper prompts the OpenAI and Anyscale chat APIs. Those services are
+//! unavailable offline, so this crate provides:
+//!
+//! * the provider-agnostic chat surface ([`ChatModel`], [`ChatRequest`],
+//!   [`ChatResponse`]) that a real HTTP client could implement verbatim,
+//! * deterministic approximate token counting and the per-model [`pricing`]
+//!   table used to reproduce Figures 3–4,
+//! * a cumulative [`UsageLedger`],
+//! * [`SimulatedLlm`]: a seedable simulator that *reads the actual prompt
+//!   text*, extracts the query instance, scores its n-grams against a
+//!   noise-corrupted view of the dataset's generative model (its "world
+//!   knowledge"), and emits keywords + label (+ chain-of-thought) exactly in
+//!   the output format of Figure 2.
+//!
+//! Per-model fidelity profiles ([`ModelProfile`]) reproduce the relative
+//! behaviour of GPT-4 / GPT-3.5 / Llama-2-CHAT observed in Table 3: better
+//! models have less knowledge corruption and fewer formatting failures;
+//! small Llama models occasionally hallucinate artificial examples instead
+//! of answering (§4.3).
+
+pub mod message;
+pub mod pricing;
+pub mod profile;
+pub mod scripted;
+pub mod simulated;
+pub mod tokens;
+pub mod usage;
+
+pub use message::{ChatChoice, ChatMessage, ChatRequest, ChatResponse, Role};
+pub use pricing::{ModelId, PricingTable};
+pub use profile::ModelProfile;
+pub use scripted::ScriptedModel;
+pub use simulated::SimulatedLlm;
+pub use tokens::approx_token_count;
+pub use usage::{TokenUsage, UsageLedger};
+
+/// A chat completion endpoint.
+///
+/// `complete` is `&mut self` because implementations keep internal state (a
+/// deterministic call counter for the simulator, a connection pool for a
+/// real client).
+pub trait ChatModel {
+    /// Run one chat completion request, returning `request.n` choices.
+    fn complete(&mut self, request: &ChatRequest) -> ChatResponse;
+
+    /// The model identity (for pricing and reporting).
+    fn model_id(&self) -> ModelId;
+}

@@ -1,0 +1,90 @@
+//! A scripted model for unit tests: returns canned responses in order.
+
+use crate::message::{ChatChoice, ChatRequest, ChatResponse};
+use crate::pricing::ModelId;
+use crate::tokens::approx_token_count;
+use crate::usage::TokenUsage;
+use crate::ChatModel;
+
+/// Returns pre-baked responses round-robin; counts tokens like a real call.
+///
+/// Useful for exercising prompt/parse logic in downstream crates without the
+/// full simulator.
+#[derive(Debug, Clone)]
+pub struct ScriptedModel {
+    responses: Vec<String>,
+    cursor: usize,
+    model: ModelId,
+}
+
+impl ScriptedModel {
+    /// A scripted model that cycles through `responses`.
+    ///
+    /// # Panics
+    /// Panics if `responses` is empty.
+    pub fn new(responses: Vec<String>) -> Self {
+        assert!(!responses.is_empty(), "scripted model needs responses");
+        Self {
+            responses,
+            cursor: 0,
+            model: ModelId::Gpt35Turbo,
+        }
+    }
+
+    /// Number of calls served so far.
+    pub fn calls_served(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl ChatModel for ScriptedModel {
+    fn complete(&mut self, request: &ChatRequest) -> ChatResponse {
+        let mut choices = Vec::with_capacity(request.n);
+        let mut completion_tokens = 0;
+        for _ in 0..request.n {
+            let content = self.responses[self.cursor % self.responses.len()].clone();
+            self.cursor += 1;
+            completion_tokens += approx_token_count(&content);
+            choices.push(ChatChoice { content });
+        }
+        ChatResponse {
+            choices,
+            usage: TokenUsage {
+                prompt_tokens: approx_token_count(&request.full_text()),
+                completion_tokens,
+            },
+            model: self.model,
+        }
+    }
+
+    fn model_id(&self) -> ModelId {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ChatMessage;
+
+    #[test]
+    fn cycles_through_responses() {
+        let mut m = ScriptedModel::new(vec!["a".into(), "b".into()]);
+        let req = ChatRequest::new(vec![ChatMessage::user("hello world")]);
+        assert_eq!(m.complete(&req).choices[0].content, "a");
+        assert_eq!(m.complete(&req).choices[0].content, "b");
+        assert_eq!(m.complete(&req).choices[0].content, "a");
+        assert_eq!(m.calls_served(), 3);
+    }
+
+    #[test]
+    fn n_samples_consume_script() {
+        let mut m = ScriptedModel::new(vec!["x".into(), "y".into()]);
+        let req = ChatRequest::new(vec![ChatMessage::user("q")]).with_n(2);
+        let resp = m.complete(&req);
+        assert_eq!(resp.choices.len(), 2);
+        assert_eq!(resp.choices[1].content, "y");
+        assert!(resp.usage.prompt_tokens > 0);
+        assert_eq!(resp.usage.completion_tokens, 2);
+    }
+}

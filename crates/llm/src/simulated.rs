@@ -1,0 +1,906 @@
+//! The simulated LLM.
+//!
+//! [`SimulatedLlm`] implements [`ChatModel`] by actually *reading the
+//! prompt*: it locates the final `Query:` line of the last user message,
+//! tokenizes it, extracts candidate n-grams, and scores them against a
+//! noise-corrupted view of the dataset's [`GenerativeModel`] — its "world
+//! knowledge". From those scores it predicts a class label and selects the
+//! keywords most supportive of that label, emitting exactly the response
+//! format of Figure 2 (`Explanation:` / `Keywords:` / `Label:`).
+//!
+//! Two noise sources shape model quality (see [`ModelProfile`]):
+//!
+//! * **persistent knowledge corruption** — a Gaussian perturbation of each
+//!   n-gram's class-affinity vector, keyed by `(model, gram, class)`. It is
+//!   identical across samples, so self-consistency cannot vote it away;
+//!   this is what separates GPT-4 from Llama-7b in Table 3.
+//! * **per-sample decision noise** — scaled by the request temperature;
+//!   independent across the `n` choices, so self-consistency *does* average
+//!   it away, and higher temperature yields more diverse keyword sets
+//!   (larger LF sets for DataSculpt-SC, Table 2).
+//!
+//! The prompt contract (the marker strings below) is shared with the prompt
+//! builder in `datasculpt-core`; a real API client would honour the same
+//! contract implicitly by the LLM following instructions.
+
+use crate::message::{ChatChoice, ChatRequest, ChatResponse};
+use crate::pricing::ModelId;
+use crate::profile::ModelProfile;
+use crate::tokens::approx_token_count;
+use crate::usage::TokenUsage;
+use crate::ChatModel;
+use datasculpt_data::GenerativeModel;
+use datasculpt_text::rng::{derive_seed, hash_str};
+use datasculpt_text::{extract_ngrams, tokenize_keep_markers};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marks the query instance in the user prompt.
+pub const QUERY_PREFIX: &str = "Query:";
+/// Marks the keyword list in responses and in-context examples.
+pub const KEYWORDS_PREFIX: &str = "Keywords:";
+/// Marks the class label in responses and in-context examples.
+pub const LABEL_PREFIX: &str = "Label:";
+/// Marks the chain-of-thought explanation.
+pub const EXPLANATION_PREFIX: &str = "Explanation:";
+/// System-prompt phrase that requests chain-of-thought (Figure 2, CoT).
+pub const COT_MARKER: &str = "explain your reason";
+/// System-prompt phrase that requests a bare class label (PromptedLF mode).
+pub const LABEL_ONLY_MARKER: &str = "Respond with only the class label";
+/// Prompt phrase that requests task-level keywords with no query instance
+/// (the ScriptoriumWS-style broad prompt). Must be followed by
+/// `"for class <digit>"` somewhere in the user message.
+pub const GENERIC_KEYWORDS_MARKER: &str = "List the most indicative keywords";
+/// Prompt phrase of the LF-revision extension (§5 future work): asks the
+/// model to replace a rejected keyword with a more specific phrase from the
+/// same passage. The user message must contain `keyword '<kw>'` and
+/// `for class <digit>` plus the `Query:`.
+pub const REVISE_MARKER: &str = "Propose a more specific phrase";
+
+/// A deterministic, knowledge-corrupted simulated chat model.
+#[derive(Debug, Clone)]
+pub struct SimulatedLlm {
+    profile: ModelProfile,
+    world: GenerativeModel,
+    seed: u64,
+    calls: u64,
+}
+
+impl SimulatedLlm {
+    /// Build a simulator for `model` over a dataset's generative model.
+    pub fn new(model: ModelId, world: GenerativeModel, seed: u64) -> Self {
+        Self {
+            profile: ModelProfile::for_model(model),
+            world,
+            seed: derive_seed(seed, hash_str(model.api_name())),
+            calls: 0,
+        }
+    }
+
+    /// Build with an explicit profile (for calibration experiments).
+    pub fn with_profile(profile: ModelProfile, world: GenerativeModel, seed: u64) -> Self {
+        Self {
+            seed: derive_seed(seed, hash_str(profile.model.api_name())),
+            profile,
+            world,
+            calls: 0,
+        }
+    }
+
+    /// Number of completion calls served.
+    pub fn calls_served(&self) -> u64 {
+        self.calls
+    }
+
+    /// Persistent standard-normal deviate keyed by `(model, gram, class)`.
+    fn persistent_noise(&self, gram: &str, class: usize) -> f64 {
+        let key = hash_str(gram)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(hash_str(self.profile.model.api_name()))
+            .wrapping_add(class as u64);
+        // Two derived uniforms -> Box–Muller.
+        let u1 = ((derive_seed(key, 1) >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        let u2 = (derive_seed(key, 2) >> 11) as f64 / (1u64 << 53) as f64;
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// The model's belief about an n-gram's class distribution: the true
+    /// normalized affinity plus persistent corruption, re-normalized.
+    /// Returns `None` for n-grams the model has no knowledge of.
+    fn believed_affinity(&self, gram: &str) -> Option<(Vec<f64>, f64)> {
+        let probs = self.world.affinity(gram)?;
+        let strength: f64 = probs.iter().sum();
+        if strength <= 0.0 {
+            return None;
+        }
+        let c = probs.len();
+        let mut w: Vec<f64> = probs.iter().map(|p| p / strength).collect();
+        for (cls, wc) in w.iter_mut().enumerate() {
+            *wc += self.profile.knowledge_noise * self.persistent_noise(gram, cls);
+            if *wc < 0.0 {
+                *wc = 0.0;
+            }
+        }
+        let sum: f64 = w.iter().sum();
+        if sum <= 0.0 {
+            w = vec![1.0 / c as f64; c];
+        } else {
+            for wc in &mut w {
+                *wc /= sum;
+            }
+        }
+        Some((w, strength))
+    }
+
+    /// Produce one response sample.
+    #[allow(clippy::too_many_arguments)]
+    fn respond_once(
+        &self,
+        query: &str,
+        provided_label: Option<usize>,
+        cot: bool,
+        label_only: bool,
+        temperature: f64,
+        rng: &mut StdRng,
+    ) -> String {
+        let n_classes = self.world.n_classes();
+        let tokens = tokenize_query(query);
+        let mut grams = extract_ngrams(&tokens, 3);
+        grams.sort_unstable();
+        grams.dedup();
+
+        // Candidate knowledge: believed affinity of every known n-gram.
+        let candidates: Vec<(String, Vec<f64>, f64)> = grams
+            .iter()
+            .filter_map(|g| {
+                self.believed_affinity(g)
+                    .map(|(w, s)| (g.clone(), w, s))
+            })
+            .collect();
+
+        // Class evidence with per-sample decision noise.
+        let noise_scale = self.profile.decision_noise
+            * temperature.max(0.05)
+            * if cot { self.profile.cot_gain } else { 1.0 };
+        let mut evidence = vec![0.0f64; n_classes];
+        if candidates.is_empty() {
+            // Nothing recognized: fall back to prior plausibility.
+            for (c, e) in evidence.iter_mut().enumerate() {
+                *e = self.world.priors()[c];
+            }
+        } else {
+            // Each recognized n-gram contributes its believed class
+            // direction; the sum is normalized by √count so the evidence
+            // scale is comparable across documents (a reader's confidence
+            // grows with the number of agreeing cues, not with how common
+            // the cues are).
+            for (_, w, _) in &candidates {
+                for c in 0..n_classes {
+                    evidence[c] += w[c] - 1.0 / n_classes as f64;
+                }
+            }
+            let norm = (candidates.len() as f64).sqrt();
+            for e in evidence.iter_mut() {
+                *e /= norm;
+            }
+        }
+        for e in evidence.iter_mut() {
+            *e += noise_scale * gauss(rng);
+        }
+        let label = provided_label.unwrap_or_else(|| argmax(&evidence));
+
+        if label_only {
+            // Annotation templates allow "abstain if unsure": with no
+            // recognized evidence the simulator abstains, giving
+            // PromptedLF columns realistic partial coverage.
+            if candidates.is_empty() && provided_label.is_none() {
+                return "abstain".to_string();
+            }
+            return format!("{label}");
+        }
+
+        // Keyword selection: support for the chosen label.
+        let mut scored: Vec<(&str, f64)> = candidates
+            .iter()
+            .map(|(g, w, s)| {
+                let other = (0..n_classes)
+                    .filter(|&c| c != label)
+                    .map(|c| w[c])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let support = w[label] - other;
+                // Specificity bonus: LLMs reading an instance surface its
+                // distinctive phrases, not the most common ones — this is
+                // what keeps DataSculpt's per-LF coverage an order of
+                // magnitude below the broad baselines (Table 2).
+                let specificity = 1.0 / (1.0 + 20.0 * s);
+                (
+                    g.as_str(),
+                    support * specificity + 0.15 * temperature * gauss(rng),
+                )
+            })
+            .filter(|(_, score)| *score > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let k = 1 + poisson(self.profile.keyword_richness * 2.0, rng);
+        let mut keywords: Vec<String> = scored
+            .iter()
+            .take(k)
+            .map(|(g, _)| g.to_string())
+            .collect();
+
+        // Real LLMs often quote a slightly longer span from the passage
+        // ("wake me up" instead of "wake me"): extend some keywords with an
+        // adjacent token from the query. The extended phrases are rare but
+        // inherit the contained keyword's class signal — the long tail of
+        // low-coverage LFs behind the paper's large LF sets (LF Cov ~0.01).
+        let mut extensions = Vec::new();
+        for kw in &keywords {
+            if rng.gen::<f64>() < 0.6 {
+                if let Some(ext) = extend_with_neighbor(&tokens, kw, rng) {
+                    extensions.push(ext);
+                }
+            }
+        }
+        keywords.extend(extensions);
+
+        // Junk habit: sometimes include an uninformative word from the text.
+        if rng.gen::<f64>() < self.profile.junk_keyword_rate {
+            let plain: Vec<&String> = tokens
+                .iter()
+                .filter(|t| t.len() >= 3 && !t.starts_with('['))
+                .collect();
+            if !plain.is_empty() {
+                let junk = plain[rng.gen_range(0..plain.len())].clone();
+                if !keywords.contains(&junk) {
+                    keywords.push(junk);
+                }
+            }
+        }
+
+        // Formatting failures.
+        let break_roll: f64 = rng.gen();
+        if break_roll < self.profile.hallucination_rate {
+            return self.hallucinate(rng);
+        }
+        let drop_label_line =
+            break_roll < self.profile.hallucination_rate + self.profile.format_break_rate;
+
+        let mut out = String::new();
+        if cot {
+            out.push_str(EXPLANATION_PREFIX);
+            out.push(' ');
+            out.push_str(&self.explanation(&keywords, label, rng));
+            out.push('\n');
+        }
+        out.push_str(KEYWORDS_PREFIX);
+        out.push(' ');
+        if keywords.is_empty() {
+            out.push_str("none");
+        } else {
+            out.push_str(&keywords.join(", "));
+        }
+        out.push('\n');
+        if !drop_label_line {
+            out.push_str(LABEL_PREFIX);
+            out.push(' ');
+            out.push_str(&label.to_string());
+        }
+        out
+    }
+
+    /// A templated chain-of-thought explanation; its length scales with the
+    /// profile's verbosity (and therefore drives completion-token cost).
+    fn explanation(&self, keywords: &[String], label: usize, rng: &mut StdRng) -> String {
+        let mut s = String::from("let us reason step by step. ");
+        if keywords.is_empty() {
+            s.push_str("the input contains no strongly indicative phrase, ");
+        } else {
+            s.push_str("the input mentions ");
+            s.push_str(&keywords.join(" and "));
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "which is characteristic of class {label}, so the label should be {label}."
+        ));
+        let padding = (self.profile.verbosity - 1.0).max(0.0);
+        while rng.gen::<f64>() < padding * 0.5 {
+            s.push_str(" considering the overall tone and context of the passage, this reading is consistent with the examples provided above.");
+        }
+        s
+    }
+
+    /// Instance-free keyword generation (the ScriptoriumWS prompt style):
+    /// produce broad task-level keywords for `class` from corrupted world
+    /// knowledge, ranked by believed coverage — which is exactly why such
+    /// LFs are less precise than instance-grounded ones (§4.2).
+    fn respond_generic(&self, class: usize, count: usize, rng: &mut StdRng) -> String {
+        let mut scored: Vec<(String, f64)> = self
+            .world
+            .indicative_grams()
+            .iter()
+            .filter_map(|g| {
+                let (w, s) = self.believed_affinity(&g.gram)?;
+                if w[class] < 0.3 {
+                    return None;
+                }
+                // Coverage-first ranking: a broad prompt surfaces the most
+                // *common* phrases it associates with the class, not the
+                // most precise ones — and with substantial noise, since no
+                // concrete instance grounds the choice.
+                Some((g.gram.clone(), s + 0.03 * gauss(rng)))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut ranked = scored.into_iter().map(|(g, _)| g);
+        // Without an instance to ground it, the model pads the list with
+        // plausible-sounding generic words — broad coverage, no signal
+        // (the over-generality that costs ScriptoriumWS ~11 accuracy
+        // points in Table 2).
+        let background = self.world.background_words();
+        let mut keywords: Vec<String> = Vec::with_capacity(count);
+        while keywords.len() < count {
+            let pick = if rng.gen::<f64>() < 0.2 && !background.is_empty() {
+                Some(background[rng.gen_range(0..background.len().min(40))].clone())
+            } else {
+                ranked.next()
+            };
+            match pick {
+                Some(k) if !keywords.contains(&k) => keywords.push(k),
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        format!(
+            "{KEYWORDS_PREFIX} {}\n{LABEL_PREFIX} {class}",
+            if keywords.is_empty() {
+                "none".to_string()
+            } else {
+                keywords.join(", ")
+            }
+        )
+    }
+
+    /// LF-revision mode (§5 future work): given a rejected keyword and its
+    /// source passage, propose a more specific phrase — the keyword
+    /// extended with a neighbouring token, or a stronger alternative from
+    /// the same passage.
+    fn respond_revise(
+        &self,
+        query: &str,
+        keyword: &str,
+        class: usize,
+        rng: &mut StdRng,
+    ) -> String {
+        let tokens = tokenize_query(query);
+        if let Some(ext) = extend_with_neighbor(&tokens, keyword, rng) {
+            return format!("{KEYWORDS_PREFIX} {ext}\n{LABEL_PREFIX} {class}");
+        }
+        // Cannot extend (trigram or keyword absent): fall back to the most
+        // class-supportive other phrase in the passage.
+        let mut grams = extract_ngrams(&tokens, 3);
+        grams.sort_unstable();
+        grams.dedup();
+        let best = grams
+            .iter()
+            .filter(|g| g.as_str() != keyword)
+            .filter_map(|g| {
+                let (w, _) = self.believed_affinity(g)?;
+                Some((g, w[class]))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            Some((g, support)) if support > 0.5 => {
+                format!("{KEYWORDS_PREFIX} {g}\n{LABEL_PREFIX} {class}")
+            }
+            _ => format!("{KEYWORDS_PREFIX} none\n{LABEL_PREFIX} {class}"),
+        }
+    }
+
+    /// Small-Llama failure mode: invent an artificial example instead of
+    /// answering (§4.3: "sometimes generate artificial examples instead of
+    /// addressing the query directly").
+    fn hallucinate(&self, rng: &mut StdRng) -> String {
+        let grams = self.world.indicative_grams();
+        let g = &grams[rng.gen_range(0..grams.len())];
+        let invented_label = rng.gen_range(0..self.world.n_classes());
+        format!(
+            "Here is another example for you:\n{QUERY_PREFIX} this text talks about {}\n{KEYWORDS_PREFIX} {}\n{LABEL_PREFIX} {}",
+            g.gram, g.gram, invented_label
+        )
+    }
+}
+
+impl ChatModel for SimulatedLlm {
+    fn complete(&mut self, request: &ChatRequest) -> ChatResponse {
+        let call_idx = self.calls;
+        self.calls += 1;
+
+        let system_text: String = request
+            .messages
+            .iter()
+            .filter(|m| m.role == crate::message::Role::System)
+            .map(|m| m.content.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let user_text = request
+            .last_user()
+            .map(|m| m.content.clone())
+            .unwrap_or_default();
+
+        let cot = system_text.contains(COT_MARKER);
+        let label_only = system_text.contains(LABEL_ONLY_MARKER)
+            || user_text.contains(LABEL_ONLY_MARKER);
+        let generic = (system_text.contains(GENERIC_KEYWORDS_MARKER)
+            || user_text.contains(GENERIC_KEYWORDS_MARKER))
+        .then(|| parse_generic_request(&user_text, &system_text));
+        let revise = (system_text.contains(REVISE_MARKER) || user_text.contains(REVISE_MARKER))
+            .then(|| parse_revise_request(&user_text, &system_text));
+        let (query, provided_label) = extract_query(&user_text);
+
+        let prompt_tokens = approx_token_count(&request.full_text());
+        let mut completion_tokens = 0;
+        let mut choices = Vec::with_capacity(request.n);
+        for sample in 0..request.n {
+            let mut rng = StdRng::seed_from_u64(derive_seed(
+                self.seed,
+                derive_seed(call_idx, sample as u64),
+            ));
+            let content = if let Some((keyword, class)) = &revise {
+                self.respond_revise(&query, keyword, *class, &mut rng)
+            } else if let Some((class, count)) = generic {
+                self.respond_generic(class, count, &mut rng)
+            } else {
+                self.respond_once(
+                    &query,
+                    provided_label,
+                    cot,
+                    label_only,
+                    request.temperature,
+                    &mut rng,
+                )
+            };
+            completion_tokens += approx_token_count(&content);
+            choices.push(ChatChoice { content });
+        }
+        ChatResponse {
+            choices,
+            usage: TokenUsage {
+                prompt_tokens,
+                completion_tokens,
+            },
+            model: self.profile.model,
+        }
+    }
+
+    fn model_id(&self) -> ModelId {
+        self.profile.model
+    }
+}
+
+/// Parse `keyword '<kw>'` and `for class <digit>` from a revision request.
+fn parse_revise_request(user_text: &str, system_text: &str) -> (String, usize) {
+    let text = format!("{system_text}\n{user_text}");
+    let keyword = text
+        .find("keyword '")
+        .and_then(|p| {
+            let after = &text[p + "keyword '".len()..];
+            after.find('\'').map(|end| after[..end].to_string())
+        })
+        .unwrap_or_default();
+    let (class, _) = parse_generic_request(user_text, system_text);
+    (keyword, class)
+}
+
+/// Parse `"for class <digit>"` and an optional `"up to <n> keywords"` from a
+/// generic-keywords request.
+fn parse_generic_request(user_text: &str, system_text: &str) -> (usize, usize) {
+    let text = format!("{system_text}\n{user_text}");
+    let class = text
+        .find("for class ")
+        .and_then(|p| {
+            text[p + "for class ".len()..]
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok())
+        })
+        .unwrap_or(0);
+    let count = text
+        .find("up to ")
+        .and_then(|p| {
+            text[p + "up to ".len()..]
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+        })
+        .unwrap_or(8);
+    (class, count)
+}
+
+/// Extract the final `Query:` text of the user message, plus a provided
+/// label if the prompt already states one after the query (the KATE
+/// auto-annotation mode of §3.3, where examples are labeled in advance).
+fn extract_query(user_text: &str) -> (String, Option<usize>) {
+    let Some(qpos) = user_text.rfind(QUERY_PREFIX) else {
+        return (user_text.to_string(), None);
+    };
+    let after = &user_text[qpos + QUERY_PREFIX.len()..];
+    // Query runs to the next structural marker (or message end).
+    let mut end = after.len();
+    for marker in [KEYWORDS_PREFIX, LABEL_PREFIX, EXPLANATION_PREFIX] {
+        if let Some(p) = after.find(marker) {
+            end = end.min(p);
+        }
+    }
+    let query = after[..end].trim().to_string();
+    let provided_label = after[end..]
+        .find(LABEL_PREFIX)
+        .map(|p| end + p + LABEL_PREFIX.len())
+        .and_then(|start| {
+            after[start..]
+                .split_whitespace()
+                .next()
+                .and_then(|tok| tok.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok())
+        });
+    (query, provided_label)
+}
+
+/// Tokenize a prompt-rendered query, restoring `[a]`/`[b]` entity markers
+/// from the `[A:name]` / `[B:name]` prompt rendering.
+fn tokenize_query(query: &str) -> Vec<String> {
+    let mut rewritten = String::with_capacity(query.len());
+    let mut rest = query;
+    loop {
+        // Earliest of either marker (they can appear in any order).
+        let start = match (rest.find("[A:"), rest.find("[B:")) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+        let is_a = rest[start..].starts_with("[A:");
+        rewritten.push_str(&rest[..start]);
+        match rest[start..].find(']') {
+            Some(close) => {
+                rewritten.push_str(if is_a { " [a] " } else { " [b] " });
+                rest = &rest[start + close + 1..];
+            }
+            None => {
+                rewritten.push_str(&rest[start..]);
+                rest = "";
+            }
+        }
+    }
+    rewritten.push_str(rest);
+    tokenize_keep_markers(&rewritten)
+}
+
+/// Extend `keyword` with one adjacent token from its occurrence in
+/// `tokens`, if the result stays a 1–3-gram. Returns `None` when the
+/// keyword is not found, already a trigram, or the neighbour is an entity
+/// marker.
+fn extend_with_neighbor(tokens: &[String], keyword: &str, rng: &mut StdRng) -> Option<String> {
+    let parts: Vec<&str> = keyword.split(' ').collect();
+    if parts.len() >= 3 {
+        return None;
+    }
+    let start = (0..tokens.len().checked_sub(parts.len() - 1)?)
+        .find(|&i| (0..parts.len()).all(|j| tokens[i + j] == parts[j]))?;
+    let before = start.checked_sub(1).map(|i| &tokens[i]);
+    let after = tokens.get(start + parts.len());
+    let valid = |t: &&String| !t.starts_with('[');
+    let (prepend, tok) = match (before.filter(valid), after.filter(valid)) {
+        (Some(b), Some(a)) => {
+            if rng.gen::<bool>() {
+                (true, b)
+            } else {
+                (false, a)
+            }
+        }
+        (Some(b), None) => (true, b),
+        (None, Some(a)) => (false, a),
+        (None, None) => return None,
+    };
+    Some(if prepend {
+        format!("{tok} {keyword}")
+    } else {
+        format!("{keyword} {tok}")
+    })
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = (1.0 - rng.gen::<f64>()).max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 50 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ChatMessage;
+    use datasculpt_data::DatasetName;
+
+    fn sim(model: ModelId) -> SimulatedLlm {
+        let (_, world) = DatasetName::Imdb.spec();
+        SimulatedLlm::new(model, world, 42)
+    }
+
+    fn ask(model: &mut SimulatedLlm, system: &str, user: &str, n: usize) -> ChatResponse {
+        model.complete(
+            &ChatRequest::new(vec![
+                ChatMessage::system(system.to_string()),
+                ChatMessage::user(user.to_string()),
+            ])
+            .with_n(n),
+        )
+    }
+
+    const SYS: &str = "You are a helpful assistant who helps users in a sentiment analysis task. After the user provides input, identify a list of keywords that helps making prediction. Finally, provide the class label for the input.";
+
+    #[test]
+    fn positive_review_gets_positive_label_and_keywords() {
+        let mut m = sim(ModelId::Gpt4);
+        let resp = ask(
+            &mut m,
+            SYS,
+            "Query: this movie was great and heartwarming i loved it",
+            1,
+        );
+        let text = &resp.choices[0].content;
+        assert!(text.contains("Keywords:"), "{text}");
+        assert!(text.contains("Label: 1"), "{text}");
+        // The keyword should be one of the indicative grams in the query.
+        let kw_line = text
+            .lines()
+            .find(|l| l.starts_with("Keywords:"))
+            .expect("keywords line");
+        assert!(
+            kw_line.contains("great") || kw_line.contains("heartwarming") || kw_line.contains("loved it"),
+            "{kw_line}"
+        );
+    }
+
+    #[test]
+    fn negative_review_gets_negative_label() {
+        let mut m = sim(ModelId::Gpt4);
+        let resp = ask(
+            &mut m,
+            SYS,
+            "Query: the cgi was horrible and the plot was boring a total waste of time",
+            1,
+        );
+        assert!(resp.choices[0].content.contains("Label: 0"), "{}", resp.choices[0].content);
+    }
+
+    #[test]
+    fn label_accuracy_orders_by_model_quality() {
+        // Over many generated documents, GPT-4 should label more accurately
+        // than Llama-7b.
+        let data = DatasetName::Imdb.load_scaled(7, 0.01);
+        let mut correct = std::collections::HashMap::new();
+        for model in [ModelId::Gpt4, ModelId::Llama2Chat7b] {
+            let mut m = SimulatedLlm::new(model, data.generative.clone(), 0);
+            let mut ok = 0usize;
+            for inst in data.train.iter().take(120) {
+                let resp = ask(&mut m, SYS, &format!("Query: {}", inst.text), 1);
+                let text = &resp.choices[0].content;
+                let label: Option<usize> = text
+                    .rfind("Label:")
+                    .and_then(|p| text[p + 6..].trim().parse().ok());
+                if label == inst.label {
+                    ok += 1;
+                }
+            }
+            correct.insert(model, ok);
+        }
+        let g4 = correct[&ModelId::Gpt4];
+        let l7 = correct[&ModelId::Llama2Chat7b];
+        assert!(g4 > l7, "gpt4 {g4} vs llama7b {l7}");
+        assert!(g4 >= 90, "gpt4 should be strong, got {g4}/120");
+    }
+
+    #[test]
+    fn self_consistency_samples_differ() {
+        let mut m = sim(ModelId::Gpt35Turbo);
+        let resp = ask(
+            &mut m,
+            SYS,
+            "Query: great funny heartwarming movie with a brilliant and touching story that i loved",
+            10,
+        );
+        assert_eq!(resp.choices.len(), 10);
+        let distinct: std::collections::HashSet<_> =
+            resp.choices.iter().map(|c| c.content.clone()).collect();
+        assert!(distinct.len() > 1, "samples should be diverse");
+        // Prompt billed once; completions summed.
+        assert!(resp.usage.completion_tokens > resp.usage.prompt_tokens / 10);
+    }
+
+    #[test]
+    fn determinism_per_call_index() {
+        let (_, world) = DatasetName::Imdb.spec();
+        let mut a = SimulatedLlm::new(ModelId::Gpt35Turbo, world.clone(), 9);
+        let mut b = SimulatedLlm::new(ModelId::Gpt35Turbo, world, 9);
+        let r1 = ask(&mut a, SYS, "Query: a great movie", 1);
+        let r2 = ask(&mut b, SYS, "Query: a great movie", 1);
+        assert_eq!(r1.choices[0].content, r2.choices[0].content);
+        // Second call on the same instance draws fresh sampling noise.
+        let r3 = ask(&mut a, SYS, "Query: a great movie", 1);
+        // (content may or may not differ, but the call counter advanced)
+        assert_eq!(a.calls_served(), 2);
+        let _ = r3;
+    }
+
+    #[test]
+    fn label_only_mode_returns_bare_digit() {
+        let mut m = sim(ModelId::Gpt35Turbo);
+        let resp = ask(
+            &mut m,
+            &format!("{SYS} {LABEL_ONLY_MARKER}."),
+            "Query: this was a wonderful and excellent movie",
+            1,
+        );
+        let text = resp.choices[0].content.trim();
+        assert!(
+            text.len() == 1 && text.chars().all(|c| c.is_ascii_digit()),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn provided_label_is_respected() {
+        // KATE auto-annotation: the label is included in the user input.
+        let mut m = sim(ModelId::Gpt35Turbo);
+        let resp = ask(
+            &mut m,
+            SYS,
+            "Query: this movie was horrible\nLabel: 0",
+            1,
+        );
+        assert!(resp.choices[0].content.contains("Label: 0"));
+    }
+
+    #[test]
+    fn cot_marker_triggers_explanation() {
+        let mut m = sim(ModelId::Gpt4);
+        let sys_cot = format!(
+            "You are a helpful assistant. After the user provides input, first {COT_MARKER} process step by step. Then identify a list of keywords. Finally provide the class label."
+        );
+        let resp = ask(&mut m, &sys_cot, "Query: a boring terrible movie", 1);
+        assert!(
+            resp.choices[0].content.starts_with(EXPLANATION_PREFIX),
+            "{}",
+            resp.choices[0].content
+        );
+    }
+
+    #[test]
+    fn small_llama_hallucinates_sometimes() {
+        let data = DatasetName::Youtube.load_scaled(3, 0.05);
+        let mut m = SimulatedLlm::new(ModelId::Llama2Chat7b, data.generative.clone(), 5);
+        let mut hallucinated = 0;
+        for inst in data.train.iter().take(150) {
+            let resp = ask(&mut m, SYS, &format!("Query: {}", inst.text), 1);
+            if resp.choices[0].content.contains("Here is another example") {
+                hallucinated += 1;
+            }
+        }
+        assert!(hallucinated > 0, "7b should hallucinate occasionally");
+        assert!(hallucinated < 60, "but not most of the time: {hallucinated}");
+    }
+
+    #[test]
+    fn entity_markers_survive_prompt_rendering() {
+        let (_, world) = DatasetName::Spouse.spec();
+        let mut m = SimulatedLlm::new(ModelId::Gpt4, world, 11);
+        let resp = ask(
+            &mut m,
+            SYS,
+            "Query: the ceremony was lovely as [A:john smith] married [B:mary jones] last june at their wedding",
+            1,
+        );
+        let text = &resp.choices[0].content;
+        assert!(text.contains("Label: 1"), "{text}");
+    }
+
+    #[test]
+    fn generic_mode_returns_broad_keywords() {
+        let mut m = sim(ModelId::Gpt4);
+        let resp = ask(
+            &mut m,
+            "You are a helpful assistant in a sentiment analysis task.",
+            &format!("{GENERIC_KEYWORDS_MARKER} for class 1. Return up to 5 keywords."),
+            1,
+        );
+        let text = &resp.choices[0].content;
+        assert!(text.contains("Label: 1"), "{text}");
+        let kw_line = text.lines().next().expect("keywords line");
+        let kws: Vec<&str> = kw_line["Keywords: ".len()..].split(", ").collect();
+        assert!(kws.len() <= 5 && !kws.is_empty(), "{kws:?}");
+        // Broad positive sentiment terms should dominate.
+        assert!(
+            kws.iter().any(|k| k.contains("great")
+                || k.contains("excellent")
+                || k.contains("wonderful")),
+            "{kws:?}"
+        );
+    }
+
+    #[test]
+    fn revise_mode_extends_the_keyword() {
+        let mut m = sim(ModelId::Gpt4);
+        let resp = ask(
+            &mut m,
+            &format!("You help with sentiment analysis. {REVISE_MARKER} from the passage."),
+            "The keyword 'great' should be revised for class 1.\nQuery: this was a great movie indeed",
+            1,
+        );
+        let text = &resp.choices[0].content;
+        assert!(text.contains("Label: 1"), "{text}");
+        let kw_line = text.lines().next().expect("keywords line");
+        // The revision contains the original keyword plus a neighbour.
+        assert!(kw_line.contains("great"), "{kw_line}");
+        assert!(
+            kw_line.contains("a great") || kw_line.contains("great movie"),
+            "{kw_line}"
+        );
+    }
+
+    #[test]
+    fn parse_revise_request_extracts_keyword_and_class() {
+        let (kw, class) =
+            parse_revise_request("The keyword 'waste of time' should be revised for class 0.", "");
+        assert_eq!(kw, "waste of time");
+        assert_eq!(class, 0);
+    }
+
+    #[test]
+    fn parse_generic_request_defaults() {
+        assert_eq!(parse_generic_request("for class 2.", ""), (2, 8));
+        assert_eq!(parse_generic_request("for class 1. up to 12 keywords", ""), (1, 12));
+        assert_eq!(parse_generic_request("no class marker", ""), (0, 8));
+    }
+
+    #[test]
+    fn extract_query_handles_provided_label() {
+        let (q, l) = extract_query("Query: some text here\nLabel: 2");
+        assert_eq!(q, "some text here");
+        assert_eq!(l, Some(2));
+        let (q2, l2) = extract_query("Query: other text");
+        assert_eq!(q2, "other text");
+        assert_eq!(l2, None);
+        // Earlier in-context examples are skipped: only the last query counts.
+        let (q3, _) = extract_query("Query: first\nKeywords: a\nLabel: 0\nQuery: second");
+        assert_eq!(q3, "second");
+    }
+
+    #[test]
+    fn tokenize_query_restores_markers() {
+        let toks = tokenize_query("[A:john smith] married [B:mary jones] yesterday");
+        assert_eq!(toks[0], "[a]");
+        assert!(toks.contains(&"[b]".to_string()));
+        assert!(toks.contains(&"married".to_string()));
+        assert!(!toks.contains(&"john".to_string()));
+    }
+}

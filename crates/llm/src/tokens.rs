@@ -1,0 +1,88 @@
+//! Approximate token counting.
+//!
+//! Real APIs bill by BPE tokens. Offline we approximate with a
+//! deterministic word-piece estimate: each whitespace-separated word
+//! contributes `1 + (len-1)/7` pieces (English averages ~1.3 BPE tokens per
+//! word), and each punctuation character its own token. The estimate only
+//! needs to be *consistent* — Figures 3–4 compare methods against each other
+//! under the same counter, so relative shape is preserved.
+
+/// Approximate the number of BPE tokens in `text`.
+pub fn approx_token_count(text: &str) -> u64 {
+    let mut tokens: u64 = 0;
+    let mut word_len: usize = 0;
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            if word_len > 0 {
+                tokens += word_tokens(word_len);
+                word_len = 0;
+            }
+        } else if ch.is_alphanumeric() || ch == '\'' {
+            word_len += 1;
+        } else {
+            // Punctuation: flush the word, count the symbol.
+            if word_len > 0 {
+                tokens += word_tokens(word_len);
+                word_len = 0;
+            }
+            tokens += 1;
+        }
+    }
+    if word_len > 0 {
+        tokens += word_tokens(word_len);
+    }
+    tokens
+}
+
+#[inline]
+fn word_tokens(len: usize) -> u64 {
+    (1 + (len.saturating_sub(1)) / 7) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(approx_token_count(""), 0);
+        assert_eq!(approx_token_count("   "), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(approx_token_count("the cat sat"), 3);
+    }
+
+    #[test]
+    fn long_words_split() {
+        // 14 chars -> 2 pieces; 21 chars -> 3 pieces.
+        assert_eq!(approx_token_count("internationali"), 2);
+        assert_eq!(approx_token_count("internationalizations"), 3);
+    }
+
+    #[test]
+    fn punctuation_counts() {
+        assert_eq!(approx_token_count("hello, world!"), 4);
+        assert_eq!(approx_token_count("..."), 3);
+    }
+
+    #[test]
+    fn roughly_1_3_tokens_per_english_word() {
+        let text = "the quick brown fox jumps over the lazy dog near the riverbank every single morning";
+        let words = text.split_whitespace().count() as f64;
+        let toks = approx_token_count(text) as f64;
+        let ratio = toks / words;
+        assert!((0.9..=1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn additive_over_concatenation() {
+        let a = "alpha beta";
+        let b = "gamma delta";
+        assert_eq!(
+            approx_token_count(a) + approx_token_count(b),
+            approx_token_count(&format!("{a} {b}"))
+        );
+    }
+}

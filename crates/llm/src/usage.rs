@@ -1,0 +1,173 @@
+//! Token usage accounting (Figures 3–4).
+
+use crate::pricing::{ModelId, PricingTable};
+use std::collections::HashMap;
+
+/// Token counts for one API call (or an accumulated total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenUsage {
+    /// Prompt (input) tokens.
+    pub prompt_tokens: u64,
+    /// Completion (output) tokens, summed over all returned choices.
+    pub completion_tokens: u64,
+}
+
+impl TokenUsage {
+    /// Total tokens billed.
+    pub fn total(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: TokenUsage) {
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+    }
+}
+
+impl std::ops::Add for TokenUsage {
+    type Output = TokenUsage;
+    fn add(self, rhs: TokenUsage) -> TokenUsage {
+        TokenUsage {
+            prompt_tokens: self.prompt_tokens + rhs.prompt_tokens,
+            completion_tokens: self.completion_tokens + rhs.completion_tokens,
+        }
+    }
+}
+
+/// Cumulative per-model usage ledger for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct UsageLedger {
+    per_model: HashMap<ModelId, TokenUsage>,
+    calls: u64,
+}
+
+impl UsageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one call's usage.
+    pub fn record(&mut self, model: ModelId, usage: TokenUsage) {
+        self.per_model.entry(model).or_default().add(usage);
+        self.calls += 1;
+    }
+
+    /// Number of API calls recorded.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Usage for one model (zero if never called).
+    pub fn usage(&self, model: ModelId) -> TokenUsage {
+        self.per_model.get(&model).copied().unwrap_or_default()
+    }
+
+    /// Total usage across models.
+    pub fn total_usage(&self) -> TokenUsage {
+        let mut t = TokenUsage::default();
+        for u in self.per_model.values() {
+            t.add(*u);
+        }
+        t
+    }
+
+    /// Total cost in USD across models, at the [`PricingTable`] rates.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.per_model
+            .iter()
+            .map(|(m, u)| PricingTable::cost_usd(*m, u.prompt_tokens, u.completion_tokens))
+            .sum()
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &UsageLedger) {
+        for (m, u) in &other.per_model {
+            self.per_model.entry(*m).or_default().add(*u);
+        }
+        self.calls += other.calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_addition() {
+        let a = TokenUsage {
+            prompt_tokens: 10,
+            completion_tokens: 5,
+        };
+        let b = TokenUsage {
+            prompt_tokens: 1,
+            completion_tokens: 2,
+        };
+        let c = a + b;
+        assert_eq!(c.prompt_tokens, 11);
+        assert_eq!(c.completion_tokens, 7);
+        assert_eq!(c.total(), 18);
+    }
+
+    #[test]
+    fn ledger_accumulates_per_model() {
+        let mut l = UsageLedger::new();
+        l.record(
+            ModelId::Gpt35Turbo,
+            TokenUsage {
+                prompt_tokens: 100,
+                completion_tokens: 20,
+            },
+        );
+        l.record(
+            ModelId::Gpt35Turbo,
+            TokenUsage {
+                prompt_tokens: 50,
+                completion_tokens: 10,
+            },
+        );
+        l.record(
+            ModelId::Gpt4,
+            TokenUsage {
+                prompt_tokens: 10,
+                completion_tokens: 10,
+            },
+        );
+        assert_eq!(l.calls(), 3);
+        assert_eq!(l.usage(ModelId::Gpt35Turbo).prompt_tokens, 150);
+        assert_eq!(l.total_usage().total(), 200);
+        let expected = 150.0 * 1.5 / 1e6 + 30.0 * 2.0 / 1e6 + 10.0 * 30.0 / 1e6 + 10.0 * 60.0 / 1e6;
+        assert!((l.total_cost_usd() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = UsageLedger::new();
+        a.record(
+            ModelId::Gpt4,
+            TokenUsage {
+                prompt_tokens: 1,
+                completion_tokens: 1,
+            },
+        );
+        let mut b = UsageLedger::new();
+        b.record(
+            ModelId::Gpt4,
+            TokenUsage {
+                prompt_tokens: 2,
+                completion_tokens: 2,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.usage(ModelId::Gpt4).prompt_tokens, 3);
+        assert_eq!(a.calls(), 2);
+    }
+
+    #[test]
+    fn unknown_model_is_zero() {
+        let l = UsageLedger::new();
+        assert_eq!(l.usage(ModelId::Llama2Chat7b), TokenUsage::default());
+        assert_eq!(l.total_cost_usd(), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Dense embeddings via seeded random projection.
+//!
+//! KATE in-context example selection (§3.3 of the paper) needs a feature
+//! space in which cosine similarity reflects topical similarity. Hashed
+//! TF-IDF vectors already have that property; the random projection here
+//! compresses them to a small dense dimension (the paper uses BERT CLS
+//! embeddings) so nearest-neighbour search over large validation sets stays
+//! cheap.
+
+use crate::features::{l2_normalize, FeatureMatrix, HashedTfIdf};
+use crate::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cosine similarity between two equal-length vectors (0 for zero vectors).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Indices of the `k` rows of `matrix` most cosine-similar to `query`,
+/// in decreasing similarity order. Ties break toward lower row index.
+pub fn top_k_similar(matrix: &FeatureMatrix, query: &[f32], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, f32)> = (0..matrix.rows())
+        .map(|i| (i, cosine_similarity(matrix.row(i), query)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+/// A text embedder: featurize then project.
+pub trait Embedder {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Embed one tokenized document.
+    fn embed(&self, tokens: &[String]) -> Vec<f32>;
+    /// Embed a batch.
+    fn embed_batch<'a, I>(&self, docs: I) -> FeatureMatrix
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for d in docs {
+            data.extend_from_slice(&self.embed(d));
+            rows += 1;
+        }
+        FeatureMatrix::new(data, rows, self.dim())
+    }
+}
+
+/// Seeded Gaussian random projection from a hashed TF-IDF space to a dense
+/// `out_dim`-dimensional space, followed by L2 normalization.
+///
+/// By the Johnson–Lindenstrauss lemma, pairwise similarities in the TF-IDF
+/// space are approximately preserved, so KATE's nearest-neighbour choices
+/// match what it would pick in the raw space.
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    tfidf: HashedTfIdf,
+    /// `in_dim × out_dim` projection, row-major by *input bucket*, so a
+    /// sparse input accumulates whole rows (cost ∝ document length).
+    proj: Vec<f32>,
+    out_dim: usize,
+}
+
+impl RandomProjection {
+    /// Build a projection on top of a fit [`HashedTfIdf`] featurizer.
+    pub fn new(tfidf: HashedTfIdf, out_dim: usize, seed: u64) -> Self {
+        assert!(out_dim > 0, "zero output dim");
+        let in_dim = tfidf.dim();
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x70726f6a)); // "proj"
+        let scale = 1.0 / (out_dim as f32).sqrt();
+        let proj: Vec<f32> = (0..out_dim * in_dim)
+            .map(|_| {
+                // Sparse JL-style ±1/0 projection: 2/3 zeros, ±1 otherwise.
+                match rng.gen_range(0..6u8) {
+                    0 => scale * 1.732_050_8, // sqrt(3)
+                    1 => -scale * 1.732_050_8,
+                    _ => 0.0,
+                }
+            })
+            .collect();
+        Self {
+            tfidf,
+            proj,
+            out_dim,
+        }
+    }
+}
+
+impl Embedder for RandomProjection {
+    fn dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.out_dim];
+        for (bucket, w) in self.tfidf.transform_sparse(tokens) {
+            let row = &self.proj[bucket * self.out_dim..(bucket + 1) * self.out_dim];
+            for (o, p) in out.iter_mut().zip(row) {
+                *o += w * p;
+            }
+        }
+        l2_normalize(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn make_embedder() -> RandomProjection {
+        let docs = [
+            toks("great funny heartwarming movie loved"),
+            toks("horrible boring waste terrible awful"),
+            toks("subscribe channel free click now"),
+        ];
+        let mut f = HashedTfIdf::new(512, 1);
+        f.fit(docs.iter().map(Vec::as_slice));
+        RandomProjection::new(f, 96, 42)
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_dim_mismatch_panics() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn embedding_is_unit_norm_and_deterministic() {
+        let e = make_embedder();
+        let d = toks("funny heartwarming movie");
+        let v1 = e.embed(&d);
+        let v2 = e.embed(&d);
+        assert_eq!(v1, v2);
+        let norm: f32 = v1.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn similar_texts_closer_than_dissimilar() {
+        let e = make_embedder();
+        let pos1 = e.embed(&toks("great funny movie loved it"));
+        let pos2 = e.embed(&toks("funny heartwarming great loved"));
+        let neg = e.embed(&toks("horrible boring terrible waste"));
+        let sim_pp = cosine_similarity(&pos1, &pos2);
+        let sim_pn = cosine_similarity(&pos1, &neg);
+        assert!(
+            sim_pp > sim_pn,
+            "expected topical neighbours closer: {sim_pp} vs {sim_pn}"
+        );
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let m = FeatureMatrix::new(
+            vec![
+                1.0, 0.0, //
+                0.0, 1.0, //
+                0.9, 0.1,
+            ],
+            3,
+            2,
+        );
+        let got = top_k_similar(&m, &[1.0, 0.0], 2);
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn top_k_larger_than_rows() {
+        let m = FeatureMatrix::new(vec![1.0, 0.0], 1, 2);
+        assert_eq!(top_k_similar(&m, &[1.0, 0.0], 5), vec![0]);
+    }
+
+    #[test]
+    fn batch_embed_matches_single() {
+        let e = make_embedder();
+        let docs = [toks("great movie"), toks("subscribe now")];
+        let m = e.embed_batch(docs.iter().map(Vec::as_slice));
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), e.embed(&docs[0]).as_slice());
+        assert_eq!(m.row(1), e.embed(&docs[1]).as_slice());
+    }
+}

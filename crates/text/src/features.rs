@@ -1,0 +1,279 @@
+//! Hashed TF-IDF features.
+//!
+//! The paper extracts text features with BERT; this repository substitutes a
+//! hashed TF-IDF bag-of-n-grams (fit on the training split, applied to all
+//! splits), optionally followed by a random projection ([`crate::embed`]).
+//! See DESIGN.md for why this preserves the behaviour the experiments need.
+
+use crate::ngram::extract_ngrams;
+use crate::rng::hash_str;
+
+/// A dense row-major feature matrix (`rows × dim`).
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    data: Vec<f32>,
+    rows: usize,
+    dim: usize,
+}
+
+impl FeatureMatrix {
+    /// Build from a flat buffer. `data.len()` must equal `rows * dim`.
+    pub fn new(data: Vec<f32>, rows: usize, dim: usize) -> Self {
+        assert_eq!(data.len(), rows * dim, "shape mismatch");
+        Self { data, rows, dim }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        Self::new(vec![0.0; rows * dim], rows, dim)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Gather a sub-matrix of the given row indices.
+    pub fn gather(&self, indices: &[usize]) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        FeatureMatrix::new(data, indices.len(), self.dim)
+    }
+}
+
+/// Hashed TF-IDF featurizer over word n-grams.
+///
+/// Tokens (and n-grams up to `ngram_order`) are hashed into `dim` buckets
+/// with a signed hash (the "hashing trick"), weighted by `tf * idf`, and the
+/// resulting vector is L2-normalized. IDF statistics come from the corpus
+/// the featurizer was [`fit`](HashedTfIdf::fit) on.
+#[derive(Debug, Clone)]
+pub struct HashedTfIdf {
+    dim: usize,
+    ngram_order: usize,
+    /// Smoothed idf per hash bucket (aggregated document frequency).
+    bucket_df: Vec<u32>,
+    num_docs: usize,
+    /// Buckets with fit-time document frequency below this are dropped at
+    /// transform time (the standard `min_df` cutoff). Without it, one-off
+    /// n-grams become maximal-IDF noise dimensions that models overfit.
+    min_df: u32,
+}
+
+impl HashedTfIdf {
+    /// Create an unfit featurizer. `dim` must be positive.
+    pub fn new(dim: usize, ngram_order: usize) -> Self {
+        assert!(dim > 0, "zero feature dim");
+        assert!((1..=3).contains(&ngram_order), "ngram order must be 1..=3");
+        Self {
+            dim,
+            ngram_order,
+            bucket_df: vec![0; dim],
+            num_docs: 0,
+            min_df: 1,
+        }
+    }
+
+    /// Set the minimum document frequency (default 1 = keep everything).
+    pub fn with_min_df(mut self, min_df: u32) -> Self {
+        assert!(min_df >= 1, "min_df must be at least 1");
+        self.min_df = min_df;
+        self
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Fit document frequencies on a corpus of tokenized documents.
+    pub fn fit<'a, I>(&mut self, docs: I)
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        for doc in docs {
+            self.num_docs += 1;
+            let grams = extract_ngrams(doc, self.ngram_order);
+            let mut seen = std::collections::HashSet::with_capacity(grams.len());
+            for g in &grams {
+                let b = self.bucket(g);
+                if seen.insert(b) {
+                    self.bucket_df[b] += 1;
+                }
+            }
+        }
+    }
+
+    /// Transform one tokenized document into an L2-normalized TF-IDF vector.
+    pub fn transform(&self, tokens: &[String]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        for (b, w) in self.transform_sparse(tokens) {
+            v[b] = w;
+        }
+        v
+    }
+
+    /// Sparse transform: `(bucket, weight)` pairs of the L2-normalized
+    /// TF-IDF vector, sorted by bucket. This is the fast path used by
+    /// [`crate::embed::RandomProjection`] — cost is proportional to the
+    /// document length, not the feature dimension.
+    pub fn transform_sparse(&self, tokens: &[String]) -> Vec<(usize, f32)> {
+        let grams = extract_ngrams(tokens, self.ngram_order);
+        let mut entries: Vec<(usize, f32)> = Vec::with_capacity(grams.len());
+        for g in &grams {
+            let b = self.bucket(g);
+            if self.bucket_df[b] < self.min_df {
+                continue;
+            }
+            let sign = if hash_str(g) & 1 == 0 { 1.0 } else { -1.0 };
+            let idf = (((1 + self.num_docs) as f64) / ((1 + self.bucket_df[b] as usize) as f64))
+                .ln()
+                + 1.0;
+            entries.push((b, (sign * idf) as f32));
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        // Merge duplicate buckets.
+        let mut merged: Vec<(usize, f32)> = Vec::with_capacity(entries.len());
+        for (b, w) in entries {
+            match merged.last_mut() {
+                Some((lb, lw)) if *lb == b => *lw += w,
+                _ => merged.push((b, w)),
+            }
+        }
+        let norm: f32 = merged.iter().map(|(_, w)| w * w).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut merged {
+                *w /= norm;
+            }
+        }
+        merged
+    }
+
+    /// Transform a batch of documents into a [`FeatureMatrix`].
+    pub fn transform_batch<'a, I>(&self, docs: I) -> FeatureMatrix
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for doc in docs {
+            data.extend_from_slice(&self.transform(doc));
+            rows += 1;
+        }
+        FeatureMatrix::new(data, rows, self.dim)
+    }
+
+    #[inline]
+    fn bucket(&self, gram: &str) -> usize {
+        (hash_str(gram) >> 1) as usize % self.dim
+    }
+}
+
+/// L2-normalize a vector in place (no-op on the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn transform_is_normalized() {
+        let mut f = HashedTfIdf::new(64, 2);
+        let d = toks("the quick brown fox");
+        f.fit([d.as_slice()]);
+        let v = f.transform(&d);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_doc_is_zero_vector() {
+        let f = HashedTfIdf::new(16, 1);
+        let v = f.transform(&[]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identical_docs_identical_features() {
+        let mut f = HashedTfIdf::new(32, 3);
+        let d1 = toks("spam offer click now");
+        let d2 = toks("spam offer click now");
+        f.fit([d1.as_slice()]);
+        assert_eq!(f.transform(&d1), f.transform(&d2));
+    }
+
+    #[test]
+    fn different_docs_differ() {
+        let mut f = HashedTfIdf::new(256, 1);
+        let d1 = toks("great movie loved it");
+        let d2 = toks("terrible boring waste");
+        f.fit([d1.as_slice(), d2.as_slice()]);
+        assert_ne!(f.transform(&d1), f.transform(&d2));
+    }
+
+    #[test]
+    fn matrix_shape_and_rows() {
+        let mut f = HashedTfIdf::new(8, 1);
+        let docs = [toks("a b"), toks("c d"), toks("e")];
+        f.fit(docs.iter().map(Vec::as_slice));
+        let m = f.transform_batch(docs.iter().map(Vec::as_slice));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 8);
+        assert_eq!(m.row(0).len(), 8);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let m = FeatureMatrix::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let g = m.gather(&[2, 0]);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_panics() {
+        let _ = FeatureMatrix::new(vec![0.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn l2_normalize_zero_vector_noop() {
+        let mut v = vec![0.0f32; 4];
+        l2_normalize(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

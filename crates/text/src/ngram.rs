@@ -1,0 +1,125 @@
+//! N-gram extraction and containment checks.
+//!
+//! DataSculpt's label-function space is keyword n-grams (unigrams, bigrams,
+//! trigrams — §3.1 of the paper). An [`Ngram`] is stored as its tokens joined
+//! by single spaces, which is also the canonical form LF keywords are parsed
+//! into.
+
+/// A space-joined n-gram of lowercase tokens, e.g. `"wake me up"`.
+pub type Ngram = String;
+
+/// Maximum n-gram order accepted by the validity filter (§3.5).
+pub const MAX_NGRAM_ORDER: usize = 3;
+
+/// Extract all n-grams of orders `1..=max_order` from a token sequence.
+///
+/// N-grams are returned in document order, unigrams first at each position.
+/// Duplicates are preserved (callers that want counts or sets can aggregate).
+pub fn extract_ngrams(tokens: &[String], max_order: usize) -> Vec<Ngram> {
+    let mut out = Vec::with_capacity(tokens.len() * max_order);
+    for i in 0..tokens.len() {
+        let mut gram = String::new();
+        for n in 0..max_order.min(tokens.len() - i) {
+            if n > 0 {
+                gram.push(' ');
+            }
+            gram.push_str(&tokens[i + n]);
+            out.push(gram.clone());
+        }
+    }
+    out
+}
+
+/// The order (word count) of an n-gram in canonical space-joined form.
+pub fn ngram_order(ngram: &str) -> usize {
+    if ngram.is_empty() {
+        0
+    } else {
+        ngram.split(' ').count()
+    }
+}
+
+/// Check whether `tokens` contains `ngram` as a contiguous subsequence.
+///
+/// This is the activation test of a keyword LF: token-level containment, not
+/// substring matching, so the keyword `"art"` does not fire on `"artist"`.
+pub fn contains_ngram(tokens: &[String], ngram: &str) -> bool {
+    let parts: Vec<&str> = ngram.split(' ').collect();
+    if parts.is_empty() || parts.len() > tokens.len() {
+        return false;
+    }
+    'outer: for i in 0..=(tokens.len() - parts.len()) {
+        for (j, p) in parts.iter().enumerate() {
+            if tokens[i + j] != *p {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn extracts_all_orders() {
+        let t = toks("a b c");
+        let grams = extract_ngrams(&t, 3);
+        assert_eq!(
+            grams,
+            vec!["a", "a b", "a b c", "b", "b c", "c"]
+        );
+    }
+
+    #[test]
+    fn extract_respects_max_order() {
+        let t = toks("a b c d");
+        let grams = extract_ngrams(&t, 1);
+        assert_eq!(grams, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn extract_from_empty() {
+        assert!(extract_ngrams(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn order_counts_words() {
+        assert_eq!(ngram_order("wake"), 1);
+        assert_eq!(ngram_order("wake me"), 2);
+        assert_eq!(ngram_order("wake me up"), 3);
+        assert_eq!(ngram_order(""), 0);
+    }
+
+    #[test]
+    fn containment_is_token_level() {
+        let t = toks("the artist painted art today");
+        assert!(contains_ngram(&t, "art"));
+        assert!(contains_ngram(&t, "artist painted"));
+        assert!(contains_ngram(&t, "the artist painted"));
+        assert!(!contains_ngram(&t, "painted today"));
+        assert!(!contains_ngram(&t, "arti"));
+    }
+
+    #[test]
+    fn containment_edge_cases() {
+        let t = toks("a");
+        assert!(contains_ngram(&t, "a"));
+        assert!(!contains_ngram(&t, "a b"));
+        assert!(!contains_ngram(&[], "a"));
+    }
+
+    #[test]
+    fn ngram_count_formula() {
+        // For a doc of length L and max order n: sum_{k=1..n} max(0, L-k+1) grams.
+        let t = toks("w x y z v");
+        let grams = extract_ngrams(&t, 3);
+        assert_eq!(grams.len(), 5 + 4 + 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic, lossy tokenization.
+//!
+//! The tokenizer lowercases, strips punctuation, and splits on whitespace.
+//! Entity markers of the form `[A]` / `[B]` (used by relation-classification
+//! datasets such as Spouse) survive tokenization as the special tokens `[a]`
+//! and `[b]` when using [`tokenize_keep_markers`], so keyword label functions
+//! can anchor on them.
+
+/// Normalize a raw string: lowercase and collapse whitespace.
+///
+/// This is the canonical form used for keyword matching — both instance text
+/// and LF keywords are normalized before comparison, so matching is
+/// case-insensitive and whitespace-insensitive.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true;
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Tokenize text into lowercase word tokens, discarding punctuation.
+///
+/// Apostrophes inside words are kept (`don't` stays one token); every other
+/// non-alphanumeric character is a separator. Numbers are kept as tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_impl(text, false)
+}
+
+/// Like [`tokenize`], but `[A]`-style bracketed entity markers are preserved
+/// as single tokens (lowercased, e.g. `[a]`).
+pub fn tokenize_keep_markers(text: &str) -> Vec<String> {
+    tokenize_impl(text, true)
+}
+
+fn tokenize_impl(text: &str, keep_markers: bool) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if keep_markers && ch == '[' {
+            // Try to read a short bracketed marker like [A] or [PER1].
+            let mut marker = String::from("[");
+            let mut ok = false;
+            let mut lookahead = chars.clone();
+            while let Some(&c2) = lookahead.peek() {
+                if c2 == ']' {
+                    marker.push(']');
+                    ok = true;
+                    lookahead.next();
+                    break;
+                }
+                if c2.is_alphanumeric() && marker.len() <= 8 {
+                    for lc in c2.to_lowercase() {
+                        marker.push(lc);
+                    }
+                    lookahead.next();
+                } else {
+                    break;
+                }
+            }
+            if ok && marker.len() > 2 {
+                flush(&mut cur, &mut tokens);
+                tokens.push(marker);
+                chars = lookahead;
+                continue;
+            }
+        }
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if ch == '\'' && !cur.is_empty() && matches!(chars.peek(), Some(c) if c.is_alphanumeric())
+        {
+            cur.push('\'');
+        } else {
+            flush(&mut cur, &mut tokens);
+        }
+    }
+    flush(&mut cur, &mut tokens);
+    tokens
+}
+
+#[inline]
+fn flush(cur: &mut String, tokens: &mut Vec<String>) {
+    if !cur.is_empty() {
+        tokens.push(std::mem::take(cur));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_collapses() {
+        assert_eq!(normalize("  Hello   WORLD \n"), "hello world");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("a"), "a");
+    }
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(tokenize("Hello, world!"), vec!["hello", "world"]);
+        assert_eq!(
+            tokenize("The CGI was horrible... truly."),
+            vec!["the", "cgi", "was", "horrible", "truly"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_apostrophes_inside_words() {
+        assert_eq!(tokenize("don't stop"), vec!["don't", "stop"]);
+        // Trailing apostrophe is punctuation, not part of the word.
+        assert_eq!(tokenize("dogs' toys"), vec!["dogs", "toys"]);
+    }
+
+    #[test]
+    fn tokenize_numbers_and_urls() {
+        assert_eq!(
+            tokenize("visit www.example.com for 50% off"),
+            vec!["visit", "www", "example", "com", "for", "50", "off"]
+        );
+    }
+
+    #[test]
+    fn tokenize_empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ---").is_empty());
+    }
+
+    #[test]
+    fn markers_preserved_when_requested() {
+        assert_eq!(
+            tokenize_keep_markers("[A] married [B] yesterday"),
+            vec!["[a]", "married", "[b]", "yesterday"]
+        );
+        // Without the marker flag, brackets are separators.
+        assert_eq!(
+            tokenize("[A] married [B]"),
+            vec!["a", "married", "b"]
+        );
+    }
+
+    #[test]
+    fn marker_with_long_content_is_not_a_marker() {
+        // More than 8 chars inside the brackets -> treated as plain text.
+        let toks = tokenize_keep_markers("[notamarkeratall] hi");
+        assert!(toks.contains(&"hi".to_string()));
+        assert!(!toks.iter().any(|t| t.starts_with('[')));
+    }
+
+    #[test]
+    fn unclosed_bracket_is_plain_text() {
+        assert_eq!(tokenize_keep_markers("[A married"), vec!["a", "married"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Älter Straße"), vec!["älter", "straße"]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Vocabulary: a bidirectional token ↔ id map with document frequencies.
+
+use std::collections::HashMap;
+
+/// A growable token vocabulary with document-frequency statistics.
+///
+/// Ids are dense and assigned in first-seen order, so a vocabulary built from
+/// the same corpus in the same order is identical across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+    doc_freq: Vec<usize>,
+    num_docs: usize,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a vocabulary from an iterator of tokenized documents, recording
+    /// document frequencies.
+    pub fn from_documents<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut v = Self::new();
+        for doc in docs {
+            v.observe_document(doc);
+        }
+        v
+    }
+
+    /// Record one document: interns unseen tokens and bumps document
+    /// frequency once per distinct token in the document.
+    pub fn observe_document(&mut self, tokens: &[String]) {
+        self.num_docs += 1;
+        let mut seen = std::collections::HashSet::with_capacity(tokens.len());
+        for t in tokens {
+            let id = self.intern(t);
+            if seen.insert(id) {
+                self.doc_freq[id] += 1;
+            }
+        }
+    }
+
+    /// Intern a token, returning its id (allocating a new one if unseen).
+    pub fn intern(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Look up the id of a token without interning.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Look up a token by id.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.id_to_token.get(id).map(String::as_str)
+    }
+
+    /// Document frequency of a token (0 if unseen).
+    pub fn doc_freq(&self, token: &str) -> usize {
+        self.id(token).map_or(0, |id| self.doc_freq[id])
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True if no tokens are interned.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Number of documents observed.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency: `ln((1 + N) / (1 + df)) + 1`.
+    ///
+    /// Unseen tokens get the maximum idf (as if `df = 0`), matching the
+    /// convention of scikit-learn's `TfidfVectorizer(smooth_idf=True)`.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq(token);
+        (((1 + self.num_docs) as f64) / ((1 + df) as f64)).ln() + 1.0
+    }
+
+    /// Iterate `(token, id, doc_freq)` triples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize, usize)> + '_ {
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(move |(id, t)| (t.as_str(), id, self.doc_freq[id]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("hello");
+        let b = v.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let d1 = toks("spam spam spam");
+        let d2 = toks("ham spam");
+        let v = Vocabulary::from_documents([d1.as_slice(), d2.as_slice()]);
+        assert_eq!(v.doc_freq("spam"), 2);
+        assert_eq!(v.doc_freq("ham"), 1);
+        assert_eq!(v.doc_freq("egg"), 0);
+        assert_eq!(v.num_docs(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let d1 = toks("a b c");
+        let v = Vocabulary::from_documents([d1.as_slice()]);
+        assert_eq!(v.id("a"), Some(0));
+        assert_eq!(v.id("b"), Some(1));
+        assert_eq!(v.id("c"), Some(2));
+        assert_eq!(v.token(1), Some("b"));
+        assert_eq!(v.token(9), None);
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let d1 = toks("common rare1");
+        let d2 = toks("common");
+        let d3 = toks("common");
+        let v = Vocabulary::from_documents([d1.as_slice(), d2.as_slice(), d3.as_slice()]);
+        assert!(v.idf("rare1") > v.idf("common"));
+        assert!(v.idf("never-seen") > v.idf("rare1"));
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.num_docs(), 0);
+        assert_eq!(v.doc_freq("x"), 0);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let d1 = toks("x y");
+        let v = Vocabulary::from_documents([d1.as_slice()]);
+        let all: Vec<_> = v.iter().collect();
+        assert_eq!(all, vec![("x", 0, 1), ("y", 1, 1)]);
+    }
+}

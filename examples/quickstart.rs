@@ -1,0 +1,55 @@
+//! Quickstart: run DataSculpt-Base on the Youtube spam dataset and print
+//! the Table 2 metric family for the run.
+//!
+//! ```text
+//! cargo run -p datasculpt --example quickstart --release
+//! ```
+
+use datasculpt::prelude::*;
+
+fn main() {
+    // Load the synthetic Youtube comment-spam dataset at the Table 1
+    // sizes (1586 train / 120 valid / 250 test).
+    let dataset = DatasetName::Youtube.load(42);
+    println!(
+        "dataset: {} ({} train / {} valid / {} test, {} classes)",
+        dataset.spec.name,
+        dataset.train.len(),
+        dataset.valid.len(),
+        dataset.test.len(),
+        dataset.n_classes()
+    );
+
+    // The simulated gpt-3.5-turbo. Swap in any `ChatModel` implementation
+    // — a real API client would plug in here unchanged.
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 7);
+
+    // DataSculpt-Base: 50 query iterations, few-shot prompt, all filters.
+    let config = DataSculptConfig::base(1);
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+
+    println!("\nfirst few synthesized LFs:");
+    for lf in run.lf_set.lfs().iter().take(8) {
+        println!("  {lf}");
+    }
+
+    // Aggregate with the MeTaL-style label model, train the logistic-
+    // regression end model, and score on the test split.
+    let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+
+    let usage = run.ledger.total_usage();
+    println!("\n#LFs:           {}", eval.lf_stats.n_lfs);
+    if let Some(acc) = eval.lf_stats.lf_accuracy {
+        println!("LF accuracy:    {acc:.3}");
+    }
+    println!("LF coverage:    {:.4}", eval.lf_stats.lf_coverage);
+    println!("total coverage: {:.3}", eval.lf_stats.total_coverage);
+    println!("end model {}:  {:.3}", eval.metric, eval.end_metric);
+    println!(
+        "tokens:         {} prompt + {} completion = {}",
+        usage.prompt_tokens,
+        usage.completion_tokens,
+        usage.total()
+    );
+    println!("API cost:       ${:.4}", run.ledger.total_cost_usd());
+}

@@ -1,0 +1,117 @@
+//! Ablation-shape tests: the qualitative findings of Tables 3–5 must hold
+//! on down-scaled data (single seed, so thresholds are generous).
+
+use datasculpt::prelude::*;
+
+fn run(
+    dataset: &TextDataset,
+    model: ModelId,
+    mutate: impl FnOnce(&mut DataSculptConfig),
+) -> (LfSet, UsageLedger) {
+    let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), 31);
+    let mut config = DataSculptConfig::sc(8);
+    config.num_queries = 30;
+    mutate(&mut config);
+    let r = DataSculpt::new(dataset, config).run(&mut llm);
+    (r.lf_set, r.ledger)
+}
+
+fn lf_accuracy(dataset: &TextDataset, set: &LfSet) -> f64 {
+    let labels = dataset.train.labels_opt();
+    datasculpt::core::eval::lf_stats_from_matrix(&set.train_matrix(), Some(&labels))
+        .lf_accuracy
+        .expect("labels available")
+}
+
+#[test]
+fn table3_gpt4_beats_small_llama_on_lf_accuracy() {
+    let d = DatasetName::Imdb.load_scaled(41, 0.05);
+    let (gpt4, _) = run(&d, ModelId::Gpt4, |_| {});
+    let (llama7, _) = run(&d, ModelId::Llama2Chat7b, |c| {
+        // Without the accuracy filter the raw model-quality gap shows.
+        c.filters = FilterConfig::without_accuracy();
+    });
+    let (gpt4_raw, _) = run(&d, ModelId::Gpt4, |c| {
+        c.filters = FilterConfig::without_accuracy();
+    });
+    assert!(
+        lf_accuracy(&d, &gpt4_raw) > lf_accuracy(&d, &llama7),
+        "gpt4 {} vs llama7 {}",
+        lf_accuracy(&d, &gpt4_raw),
+        lf_accuracy(&d, &llama7)
+    );
+    assert!(!gpt4.is_empty());
+}
+
+#[test]
+fn table3_gpt4_costs_more_per_token_than_llama() {
+    let d = DatasetName::Youtube.load_scaled(41, 0.1);
+    let (_, gpt4_ledger) = run(&d, ModelId::Gpt4, |_| {});
+    let (_, llama_ledger) = run(&d, ModelId::Llama2Chat70b, |_| {});
+    let per_token = |l: &UsageLedger| l.total_cost_usd() / l.total_usage().total() as f64;
+    assert!(per_token(&gpt4_ledger) > 10.0 * per_token(&llama_ledger));
+}
+
+#[test]
+fn table4_seu_yields_smaller_lf_sets_than_random() {
+    let d = DatasetName::Youtube.load_scaled(43, 0.15);
+    let (random, _) = run(&d, ModelId::Gpt35Turbo, |c| c.sampler = SamplerKind::Random);
+    let (seu, _) = run(&d, ModelId::Gpt35Turbo, |c| c.sampler = SamplerKind::Seu);
+    // SEU keeps selecting similar high-utility instances, so more of its
+    // candidates are duplicates/redundant (Table 4, #LFs row).
+    assert!(
+        seu.len() < random.len(),
+        "seu {} vs random {}",
+        seu.len(),
+        random.len()
+    );
+}
+
+#[test]
+fn table5_dropping_filters_grows_the_set() {
+    let d = DatasetName::Yelp.load_scaled(47, 0.04);
+    let (all, _) = run(&d, ModelId::Gpt35Turbo, |_| {});
+    let (no_acc, _) = run(&d, ModelId::Gpt35Turbo, |c| {
+        c.filters = FilterConfig::without_accuracy();
+    });
+    let (no_red, _) = run(&d, ModelId::Gpt35Turbo, |c| {
+        c.filters = FilterConfig::without_redundancy();
+    });
+    assert!(no_acc.len() >= all.len(), "no_acc {} vs all {}", no_acc.len(), all.len());
+    assert!(no_red.len() >= all.len(), "no_red {} vs all {}", no_red.len(), all.len());
+}
+
+#[test]
+fn table5_accuracy_filter_protects_lf_quality() {
+    let d = DatasetName::Yelp.load_scaled(47, 0.04);
+    // A weak model makes the filter's effect visible.
+    let (all, _) = run(&d, ModelId::Llama2Chat13b, |_| {});
+    let (no_acc, _) = run(&d, ModelId::Llama2Chat13b, |c| {
+        c.filters = FilterConfig::without_accuracy();
+    });
+    assert!(
+        lf_accuracy(&d, &all) > lf_accuracy(&d, &no_acc),
+        "all {} vs no_acc {}",
+        lf_accuracy(&d, &all),
+        lf_accuracy(&d, &no_acc)
+    );
+}
+
+#[test]
+fn sc_increases_completion_cost_roughly_tenfold() {
+    let d = DatasetName::Youtube.load_scaled(49, 0.1);
+    let (_, base_ledger) = run(&d, ModelId::Gpt35Turbo, |c| {
+        c.samples_per_query = 1;
+    });
+    let (_, sc_ledger) = run(&d, ModelId::Gpt35Turbo, |c| {
+        c.samples_per_query = 10;
+    });
+    let ratio = sc_ledger.total_usage().completion_tokens as f64
+        / base_ledger.total_usage().completion_tokens as f64;
+    assert!((5.0..20.0).contains(&ratio), "completion ratio {ratio}");
+    // Prompt tokens are unchanged by self-consistency.
+    assert_eq!(
+        sc_ledger.total_usage().prompt_tokens,
+        base_ledger.total_usage().prompt_tokens
+    );
+}

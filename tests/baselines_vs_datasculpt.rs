@@ -1,0 +1,148 @@
+//! Cross-system comparisons: the structural relationships of Table 2 and
+//! Figures 3–4 must hold on down-scaled data.
+
+use datasculpt::core::eval::{evaluate_matrix, lf_stats_from_matrix};
+use datasculpt::prelude::*;
+
+fn dataset() -> TextDataset {
+    DatasetName::Youtube.load_scaled(17, 0.15)
+}
+
+fn run_datasculpt(dataset: &TextDataset, seed: u64) -> (LfSet, UsageLedger) {
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), seed);
+    let mut config = DataSculptConfig::sc(seed);
+    config.num_queries = 40;
+    let run = DataSculpt::new(dataset, config).run(&mut llm);
+    (run.lf_set, run.ledger)
+}
+
+#[test]
+fn datasculpt_builds_larger_lf_sets_than_baselines() {
+    let d = dataset();
+    let (lf_set, _) = run_datasculpt(&d, 3);
+    let wrench = wrench_expert_lfs(&d, wrench_lf_count(DatasetName::Youtube));
+    // Table 2: DataSculpt's LF sets are an order of magnitude larger.
+    assert!(
+        lf_set.len() > 3 * wrench.len(),
+        "datasculpt {} vs wrench {}",
+        lf_set.len(),
+        wrench.len()
+    );
+}
+
+#[test]
+fn datasculpt_is_orders_of_magnitude_cheaper_than_promptedlf() {
+    let d = dataset();
+    let (_, sculpt_ledger) = run_datasculpt(&d, 5);
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 5);
+    let prompted = baselines_promptedlf(&d, &mut llm);
+    let ratio = prompted.ledger.total_usage().total() as f64
+        / sculpt_ledger.total_usage().total() as f64;
+    // At full scale the paper reports ~4000x; on a 15% slice we still
+    // expect a large gap.
+    assert!(ratio > 5.0, "cost ratio only {ratio}");
+}
+
+fn baselines_promptedlf(
+    d: &TextDataset,
+    llm: &mut SimulatedLlm,
+) -> datasculpt::baselines::PromptedLfResult {
+    promptedlf_run(d, llm)
+}
+
+#[test]
+fn promptedlf_has_best_lf_accuracy_scriptorium_worst() {
+    let d = dataset();
+    let labels = d.train.labels_opt();
+
+    let (lf_set, _) = run_datasculpt(&d, 7);
+    let sculpt_acc = lf_stats_from_matrix(&lf_set.train_matrix(), Some(&labels))
+        .lf_accuracy
+        .expect("labels");
+
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 7);
+    let prompted = promptedlf_run(&d, &mut llm);
+    let prompted_acc = prompted
+        .lf_stats(Some(&labels))
+        .lf_accuracy
+        .expect("labels");
+
+    let mut llm2 = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 7);
+    let script = scriptorium_run(&d, &mut llm2, 9);
+    let mut script_set = LfSet::new(&d, FilterConfig::validity_only());
+    for lf in script.lfs {
+        script_set.try_add(lf);
+    }
+    let script_acc = lf_stats_from_matrix(&script_set.train_matrix(), Some(&labels))
+        .lf_accuracy
+        .expect("labels");
+
+    // Table 2 ordering: PromptedLF ≥ DataSculpt > ScriptoriumWS.
+    assert!(
+        prompted_acc + 0.05 > sculpt_acc,
+        "prompted {prompted_acc} vs datasculpt {sculpt_acc}"
+    );
+    assert!(
+        sculpt_acc > script_acc - 0.02,
+        "datasculpt {sculpt_acc} vs scriptorium {script_acc}"
+    );
+}
+
+#[test]
+fn all_four_systems_reach_usable_end_models() {
+    let d = dataset();
+    let cfg = EvalConfig::default();
+
+    let (lf_set, _) = run_datasculpt(&d, 11);
+    let sculpt = evaluate_lf_set(&d, &lf_set, &cfg);
+
+    let mut wrench_set = LfSet::new(&d, FilterConfig::validity_only());
+    for lf in wrench_expert_lfs(&d, 10) {
+        wrench_set.try_add(lf);
+    }
+    let wrench = evaluate_lf_set(&d, &wrench_set, &cfg);
+
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 11);
+    let script = scriptorium_run(&d, &mut llm, 9);
+    let mut script_set = LfSet::new(&d, FilterConfig::validity_only());
+    for lf in script.lfs {
+        script_set.try_add(lf);
+    }
+    let scriptorium = evaluate_lf_set(&d, &script_set, &cfg);
+
+    let mut llm2 = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 11);
+    let prompted = promptedlf_run(&d, &mut llm2);
+    let prompted_eval = evaluate_matrix(&d, &prompted.matrix, &cfg);
+
+    for (name, metric) in [
+        ("datasculpt", sculpt.end_metric),
+        ("wrench", wrench.end_metric),
+        ("scriptorium", scriptorium.end_metric),
+        ("promptedlf", prompted_eval.end_metric),
+    ] {
+        assert!(metric > 0.55, "{name} end metric {metric}");
+    }
+}
+
+#[test]
+fn scriptorium_coverage_beats_datasculpt_per_lf() {
+    let d = dataset();
+    let labels = d.train.labels_opt();
+    let (lf_set, _) = run_datasculpt(&d, 13);
+    let sculpt_cov = lf_stats_from_matrix(&lf_set.train_matrix(), Some(&labels)).lf_coverage;
+
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13);
+    let script = scriptorium_run(&d, &mut llm, 9);
+    let mut script_set = LfSet::new(&d, FilterConfig::validity_only());
+    for lf in script.lfs {
+        script_set.try_add(lf);
+    }
+    let script_cov =
+        lf_stats_from_matrix(&script_set.train_matrix(), Some(&labels)).lf_coverage;
+    // Table 2: broad task-level LFs cover far more per LF than
+    // instance-mined keywords.
+    assert!(
+        script_cov > sculpt_cov,
+        "scriptorium {script_cov} vs datasculpt {sculpt_cov}"
+    );
+}

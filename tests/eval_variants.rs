@@ -1,0 +1,146 @@
+//! End-to-end coverage of the evaluation-stack variants: label-model
+//! choices, target/weight knobs, feature orders, and the LF-revision
+//! extension.
+
+use datasculpt::core::eval::evaluate_matrix;
+use datasculpt::prelude::*;
+
+fn fixture() -> (TextDataset, LfSet) {
+    let dataset = DatasetName::Youtube.load_scaled(19, 0.2);
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 23);
+    let mut config = DataSculptConfig::sc(2);
+    config.num_queries = 25;
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    (dataset, run.lf_set)
+}
+
+#[test]
+fn every_label_model_kind_produces_valid_metrics() {
+    let (dataset, lf_set) = fixture();
+    let matrix = lf_set.train_matrix();
+    for kind in [
+        LabelModelKind::Metal(MetalConfig::default()),
+        LabelModelKind::Majority,
+        LabelModelKind::Triplet,
+    ] {
+        let cfg = EvalConfig {
+            label_model: kind,
+            ..EvalConfig::default()
+        };
+        let eval = evaluate_matrix(&dataset, &matrix, &cfg);
+        assert!(
+            (0.0..=1.0).contains(&eval.end_metric),
+            "{kind:?}: {}",
+            eval.end_metric
+        );
+        // On a healthy LF set all aggregators should clearly beat chance.
+        assert!(eval.end_metric > 0.6, "{kind:?}: {}", eval.end_metric);
+    }
+}
+
+#[test]
+fn metal_beats_or_matches_majority_vote_end_to_end() {
+    let (dataset, lf_set) = fixture();
+    let matrix = lf_set.train_matrix();
+    let run = |kind| {
+        evaluate_matrix(
+            &dataset,
+            &matrix,
+            &EvalConfig {
+                label_model: kind,
+                ..EvalConfig::default()
+            },
+        )
+        .end_metric
+    };
+    let metal = run(LabelModelKind::Metal(MetalConfig::default()));
+    let mv = run(LabelModelKind::Majority);
+    assert!(
+        metal >= mv - 0.05,
+        "accuracy weighting should not lose badly: metal {metal} vs mv {mv}"
+    );
+}
+
+#[test]
+fn target_and_weight_knobs_run() {
+    let (dataset, lf_set) = fixture();
+    let matrix = lf_set.train_matrix();
+    for (hard, balanced) in [(true, true), (true, false), (false, true), (false, false)] {
+        let cfg = EvalConfig {
+            hard_targets: hard,
+            balanced_weights: balanced,
+            ..EvalConfig::default()
+        };
+        let eval = evaluate_matrix(&dataset, &matrix, &cfg);
+        assert!(
+            eval.end_metric > 0.55,
+            "hard={hard} balanced={balanced}: {}",
+            eval.end_metric
+        );
+    }
+}
+
+#[test]
+fn mlp_end_model_is_supported() {
+    let (dataset, lf_set) = fixture();
+    let cfg = EvalConfig {
+        end_model: EndModelKind::Mlp { hidden: 32 },
+        ..EvalConfig::default()
+    };
+    let eval = evaluate_lf_set(&dataset, &lf_set, &cfg);
+    assert!(
+        eval.end_metric > 0.55,
+        "MLP end model should beat chance: {}",
+        eval.end_metric
+    );
+}
+
+#[test]
+fn feature_order_two_is_supported() {
+    let (dataset, lf_set) = fixture();
+    let cfg = EvalConfig {
+        feature_order: 2,
+        ..EvalConfig::default()
+    };
+    let eval = evaluate_lf_set(&dataset, &lf_set, &cfg);
+    assert!((0.0..=1.0).contains(&eval.end_metric));
+}
+
+#[test]
+fn metal_config_guards_are_exercised() {
+    let (dataset, lf_set) = fixture();
+    let matrix = lf_set.train_matrix();
+    // Turning each guard off must still yield valid (if possibly worse)
+    // results — the ablation bench depends on this.
+    for mutate in [
+        |m: &mut MetalConfig| m.accuracy_tilt = 1.0,
+        |m: &mut MetalConfig| m.abstain_evidence_scale = 1.0,
+        |m: &mut MetalConfig| m.update_damping = 1.0,
+        |m: &mut MetalConfig| m.smooth_strength = 0.5,
+    ] {
+        let mut mc = MetalConfig::default();
+        mutate(&mut mc);
+        let eval = evaluate_matrix(
+            &dataset,
+            &matrix,
+            &EvalConfig {
+                label_model: LabelModelKind::Metal(mc),
+                ..EvalConfig::default()
+            },
+        );
+        assert!((0.0..=1.0).contains(&eval.end_metric));
+    }
+}
+
+#[test]
+fn revision_extension_full_pipeline() {
+    let dataset = DatasetName::Yelp.load_scaled(31, 0.03);
+    let mut llm = SimulatedLlm::new(ModelId::Llama2Chat70b, dataset.generative.clone(), 11);
+    let mut config = DataSculptConfig::cot(6);
+    config.num_queries = 15;
+    config.revise_rejected = true;
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+    assert!((0.0..=1.0).contains(&eval.end_metric));
+    assert!(!run.lf_set.is_empty());
+}

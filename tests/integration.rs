@@ -1,0 +1,135 @@
+//! End-to-end integration tests: the full DataSculpt pipeline (dataset →
+//! sampler → prompt → simulated LLM → parse → filters → label model → end
+//! model) on small dataset variants.
+
+use datasculpt::prelude::*;
+
+fn small(name: DatasetName, seed: u64) -> TextDataset {
+    name.load_scaled(seed, 0.08)
+}
+
+#[test]
+fn full_pipeline_youtube_base() {
+    // Youtube is already small at full size; 0.5 keeps the validation and
+    // test splits large enough for stable thresholds.
+    let dataset = DatasetName::Youtube.load_scaled(1, 0.5);
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 7);
+    let mut config = DataSculptConfig::base(1);
+    config.num_queries = 30;
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+
+    assert!(run.lf_set.len() >= 10, "LF set too small: {}", run.lf_set.len());
+    assert_eq!(run.iterations.len(), 30);
+    assert!(run.ledger.total_cost_usd() > 0.0);
+
+    let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+    assert!(
+        eval.end_metric > 0.6,
+        "end model should clearly beat chance: {}",
+        eval.end_metric
+    );
+    let lf_acc = eval.lf_stats.lf_accuracy.expect("train labels available");
+    assert!(lf_acc > 0.6, "filtered LFs should be accurate: {lf_acc}");
+    assert!(eval.lf_stats.total_coverage > 0.2);
+    assert!(eval.lf_stats.lf_coverage < eval.lf_stats.total_coverage);
+}
+
+#[test]
+fn full_pipeline_every_dataset_runs() {
+    for name in DatasetName::ALL {
+        let dataset = name.load_scaled(3, 0.03);
+        let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 5);
+        let mut config = DataSculptConfig::cot(2);
+        config.num_queries = 10;
+        let run = DataSculpt::new(&dataset, config).run(&mut llm);
+        let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+        assert!(
+            eval.end_metric >= 0.0 && eval.end_metric <= 1.0,
+            "{name}: metric out of range"
+        );
+        // Spouse must not report train LF accuracy (§4.1).
+        if name == DatasetName::Spouse {
+            assert!(eval.lf_stats.lf_accuracy.is_none());
+            assert_eq!(eval.metric, Metric::F1);
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_reproducible_end_to_end() {
+    let dataset = small(DatasetName::Imdb, 9);
+    let run_once = || {
+        let mut llm = SimulatedLlm::new(ModelId::Gpt4, dataset.generative.clone(), 11);
+        let mut config = DataSculptConfig::sc(4);
+        config.num_queries = 8;
+        let run = DataSculpt::new(&dataset, config).run(&mut llm);
+        let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+        (
+            run.lf_set.len(),
+            run.ledger.total_usage(),
+            eval.end_metric,
+        )
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert!((a.2 - b.2).abs() < 1e-12);
+}
+
+#[test]
+fn kate_pipeline_annotates_and_runs() {
+    let dataset = small(DatasetName::Yelp, 5);
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 13);
+    let mut config = DataSculptConfig::kate(6);
+    config.num_queries = 8;
+    config.n_icl = 5;
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    // KATE pays extra annotation calls beyond the 8 LF-generation queries.
+    assert!(run.ledger.calls() > 8, "calls {}", run.ledger.calls());
+    assert!(!run.lf_set.is_empty());
+}
+
+#[test]
+fn filters_actually_gate_the_pipeline() {
+    let dataset = small(DatasetName::Youtube, 21);
+    let run_with = |filters: FilterConfig| {
+        let mut llm = SimulatedLlm::new(ModelId::Llama2Chat7b, dataset.generative.clone(), 3);
+        let mut config = DataSculptConfig::sc(9);
+        config.num_queries = 20;
+        config.filters = filters;
+        DataSculpt::new(&dataset, config).run(&mut llm)
+    };
+    let strict = run_with(FilterConfig::all());
+    let loose = run_with(FilterConfig::without_accuracy());
+    // Dropping the accuracy filter admits more LFs (Table 5, #LF row).
+    assert!(
+        loose.lf_set.len() >= strict.lf_set.len(),
+        "loose {} vs strict {}",
+        loose.lf_set.len(),
+        strict.lf_set.len()
+    );
+    // And the admitted extras are of lower quality on average.
+    let dataset_labels = dataset.train.labels_opt();
+    let stat = |set: &LfSet| {
+        datasculpt::core::eval::lf_stats_from_matrix(&set.train_matrix(), Some(&dataset_labels))
+            .lf_accuracy
+            .expect("labels")
+    };
+    assert!(
+        stat(&loose.lf_set) <= stat(&strict.lf_set) + 0.02,
+        "accuracy filter should not hurt LF accuracy"
+    );
+}
+
+#[test]
+fn usage_ledger_matches_pricing_table() {
+    let dataset = small(DatasetName::Sms, 2);
+    let mut llm = SimulatedLlm::new(ModelId::Gpt4, dataset.generative.clone(), 1);
+    let mut config = DataSculptConfig::base(1);
+    config.num_queries = 5;
+    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let usage = run.ledger.total_usage();
+    let expected = PricingTable::cost_usd(ModelId::Gpt4, usage.prompt_tokens, usage.completion_tokens);
+    assert!((run.ledger.total_cost_usd() - expected).abs() < 1e-12);
+}
