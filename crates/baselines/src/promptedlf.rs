@@ -31,11 +31,12 @@ pub fn promptedlf_template_count(name: DatasetName) -> usize {
 
 /// Build the annotation templates for a dataset: distinct phrasings of the
 /// same classification question (in the real system these are
-/// hand-designed or translated from WRENCH LFs).
+/// hand-designed or translated from WRENCH LFs). A dataset whose name is
+/// not one of the paper's six gets one template per phrasing.
 pub fn promptedlf_templates(dataset: &TextDataset) -> Vec<String> {
-    let count = promptedlf_template_count(
-        DatasetName::parse(dataset.spec.name).expect("known dataset"),
-    );
+    let count = DatasetName::parse(dataset.spec.name)
+        .map(promptedlf_template_count)
+        .unwrap_or(8);
     let class_list = dataset
         .spec
         .class_names
@@ -71,6 +72,9 @@ pub struct PromptedLfResult {
     pub matrix: LabelMatrix,
     /// Token usage (the expensive part).
     pub ledger: UsageLedger,
+    /// Calls that failed with an [`datasculpt_llm::LlmError`]; their votes
+    /// are recorded as abstains.
+    pub failed_calls: usize,
 }
 
 impl PromptedLfResult {
@@ -89,20 +93,44 @@ impl PromptedLfResult {
 }
 
 /// Annotate every train instance with every template.
+///
+/// Each template's requests are issued as one [`ChatModel::complete_batch`]
+/// call — the natural shape for a bulk annotation job. A failed or empty
+/// response votes [`ABSTAIN`] (and is counted in
+/// [`PromptedLfResult::failed_calls`]) rather than aborting the run:
+/// abstention is exactly what a weak-label column does when it has no
+/// opinion.
 pub fn promptedlf_run<M: ChatModel>(dataset: &TextDataset, llm: &mut M) -> PromptedLfResult {
     let templates = promptedlf_templates(dataset);
     let n = dataset.train.len();
     let n_classes = dataset.n_classes();
     let mut ledger = UsageLedger::new();
+    let mut failed_calls = 0usize;
     let mut columns: Vec<Vec<i32>> = Vec::with_capacity(templates.len());
     for template in &templates {
+        let requests: Vec<ChatRequest> = dataset
+            .train
+            .iter()
+            .map(|inst| {
+                let messages = label_only_messages(&dataset.spec, template, &inst.prompt_text());
+                ChatRequest::new(messages).with_temperature(0.7)
+            })
+            .collect();
         let mut col = Vec::with_capacity(n);
-        for inst in dataset.train.iter() {
-            let messages = label_only_messages(&dataset.spec, template, &inst.prompt_text());
-            let resp = llm.complete(&ChatRequest::new(messages).with_temperature(0.7));
-            ledger.record(resp.model, resp.usage);
-            let vote = parse_label(&resp.choices[0].content, n_classes)
-                .map_or(ABSTAIN, |l| l as i32);
+        for result in llm.complete_batch(&requests) {
+            let vote = match result {
+                Ok(resp) => {
+                    ledger.record(resp.model, resp.usage);
+                    resp.choices
+                        .first()
+                        .and_then(|c| parse_label(&c.content, n_classes))
+                        .map_or(ABSTAIN, |l| l as i32)
+                }
+                Err(_) => {
+                    failed_calls += 1;
+                    ABSTAIN
+                }
+            };
             col.push(vote);
         }
         columns.push(col);
@@ -110,6 +138,7 @@ pub fn promptedlf_run<M: ChatModel>(dataset: &TextDataset, llm: &mut M) -> Promp
     PromptedLfResult {
         matrix: LabelMatrix::from_columns(&columns, n),
         ledger,
+        failed_calls,
     }
 }
 
@@ -146,6 +175,7 @@ mod tests {
         assert_eq!(result.n_lfs(), 10);
         // Calls scale with |train| × |templates|.
         assert_eq!(result.ledger.calls() as usize, d.train.len() * 10);
+        assert_eq!(result.failed_calls, 0);
         let labels = d.train.labels_opt();
         let stats = result.lf_stats(Some(&labels));
         let acc = stats.lf_accuracy.expect("labels available");
@@ -154,6 +184,23 @@ mod tests {
         assert!(stats.lf_coverage > 0.5, "{}", stats.lf_coverage);
         // Cost dwarfs a DataSculpt run on the same data.
         assert!(result.ledger.total_usage().total() > 20_000);
+    }
+
+    #[test]
+    fn failed_calls_vote_abstain() {
+        use datasculpt_llm::FailingModel;
+        let d = DatasetName::Youtube.load_scaled(3, 0.02);
+        let inner = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 4);
+        let mut llm = FailingModel::fail_every(inner, 5);
+        let result = promptedlf_run(&d, &mut llm);
+        let expected_failures = (d.train.len() * 10) / 5;
+        assert_eq!(result.failed_calls, expected_failures);
+        // Failed calls are not billed, the rest are.
+        assert_eq!(
+            result.ledger.calls() as usize,
+            d.train.len() * 10 - expected_failures
+        );
+        assert_eq!(result.matrix.rows(), d.train.len());
     }
 
     #[test]

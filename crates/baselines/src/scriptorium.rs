@@ -13,7 +13,7 @@ use datasculpt_core::lf::KeywordLf;
 use datasculpt_core::parse::parse_response;
 use datasculpt_data::{DatasetName, TextDataset};
 use datasculpt_llm::simulated::GENERIC_KEYWORDS_MARKER;
-use datasculpt_llm::{ChatMessage, ChatModel, ChatRequest, UsageLedger};
+use datasculpt_llm::{ChatMessage, ChatModel, ChatRequest, LlmError, UsageLedger};
 
 /// Number of generated LFs per dataset (Table 2, ScriptoriumWS row).
 pub fn scriptorium_lf_count(name: DatasetName) -> usize {
@@ -37,11 +37,15 @@ pub struct ScriptoriumResult {
 }
 
 /// Run the baseline: one broad prompt per class.
+///
+/// Unlike the bulk-annotation baselines, each of the few calls here is
+/// load-bearing (it produces a whole class's LFs), so any LLM failure
+/// aborts the run.
 pub fn scriptorium_run<M: ChatModel>(
     dataset: &TextDataset,
     llm: &mut M,
     total_lfs: usize,
-) -> ScriptoriumResult {
+) -> Result<ScriptoriumResult, LlmError> {
     let n_classes = dataset.n_classes();
     let per_class = total_lfs.div_ceil(n_classes);
     let mut ledger = UsageLedger::new();
@@ -57,9 +61,14 @@ pub fn scriptorium_run<M: ChatModel>(
                 dataset.spec.class_names[class]
             )),
         ];
-        let resp = llm.complete(&ChatRequest::new(messages).with_temperature(0.7));
+        let resp = llm.complete(&ChatRequest::new(messages).with_temperature(0.7))?;
         ledger.record(resp.model, resp.usage);
-        let parsed = parse_response(&resp.choices[0].content, n_classes);
+        let content = resp
+            .choices
+            .first()
+            .map(|c| c.content.as_str())
+            .ok_or(LlmError::EmptyResponse)?;
+        let parsed = parse_response(content, n_classes);
         for kw in parsed.keywords {
             if lfs.len() >= total_lfs {
                 break;
@@ -70,7 +79,7 @@ pub fn scriptorium_run<M: ChatModel>(
             lfs.push(KeywordLf::new(kw, class));
         }
     }
-    ScriptoriumResult { lfs, ledger }
+    Ok(ScriptoriumResult { lfs, ledger })
 }
 
 #[cfg(test)]
@@ -85,8 +94,12 @@ mod tests {
     fn generates_requested_count_cheaply() {
         let d = DatasetName::Youtube.load_scaled(5, 0.2);
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1);
-        let result = scriptorium_run(&d, &mut llm, 9);
-        assert!(result.lfs.len() <= 9 && result.lfs.len() >= 6, "{}", result.lfs.len());
+        let result = scriptorium_run(&d, &mut llm, 9).unwrap();
+        assert!(
+            result.lfs.len() <= 9 && result.lfs.len() >= 6,
+            "{}",
+            result.lfs.len()
+        );
         // Two prompts only: cost is tiny (Figure 3's ScriptoriumWS bar).
         assert_eq!(result.ledger.calls(), 2);
         assert!(result.ledger.total_usage().total() < 500);
@@ -96,7 +109,7 @@ mod tests {
     fn broad_lfs_have_high_coverage_lower_accuracy() {
         let d = DatasetName::Imdb.load_scaled(5, 0.05);
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1);
-        let result = scriptorium_run(&d, &mut llm, 6);
+        let result = scriptorium_run(&d, &mut llm, 6).unwrap();
         let mut set = LfSet::new(&d, FilterConfig::validity_only());
         for lf in result.lfs {
             set.try_add(lf);
@@ -110,16 +123,19 @@ mod tests {
             },
         );
         // Broad keywords: per-LF coverage well above DataSculpt's ~0.02.
-        assert!(eval.lf_stats.lf_coverage > 0.03, "{}", eval.lf_stats.lf_coverage);
+        assert!(
+            eval.lf_stats.lf_coverage > 0.03,
+            "{}",
+            eval.lf_stats.lf_coverage
+        );
     }
 
     #[test]
     fn covers_all_classes() {
         let d = DatasetName::Agnews.load_scaled(5, 0.01);
         let mut llm = SimulatedLlm::new(ModelId::Gpt4, d.generative.clone(), 2);
-        let result = scriptorium_run(&d, &mut llm, 8);
-        let classes: std::collections::HashSet<_> =
-            result.lfs.iter().map(|l| l.label).collect();
+        let result = scriptorium_run(&d, &mut llm, 8).unwrap();
+        let classes: std::collections::HashSet<_> = result.lfs.iter().map(|l| l.label).collect();
         assert!(classes.len() >= 3, "{classes:?}");
     }
 }

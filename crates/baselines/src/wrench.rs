@@ -137,7 +137,11 @@ mod tests {
         );
         let acc = eval.lf_stats.lf_accuracy.expect("train labels available");
         assert!(acc > 0.75, "expert LF accuracy {acc}");
-        assert!(eval.lf_stats.total_coverage > 0.4, "{}", eval.lf_stats.total_coverage);
+        assert!(
+            eval.lf_stats.total_coverage > 0.4,
+            "{}",
+            eval.lf_stats.total_coverage
+        );
     }
 
     #[test]

@@ -34,12 +34,7 @@ fn bench_index_build_and_apply(c: &mut Criterion) {
 
 fn bench_simulated_llm(c: &mut Criterion) {
     let d = DatasetName::Imdb.load_scaled(1, 0.01);
-    let messages = build_messages(
-        &d.spec,
-        PromptStyle::CoT,
-        &[],
-        &d.train.instances[0].text,
-    );
+    let messages = build_messages(&d.spec, PromptStyle::CoT, &[], &d.train.instances[0].text);
     let req = request(messages, 0.7, 1);
     let req10 = req.clone().with_n(10);
     c.bench_function("llm/complete_n1", |b| {
@@ -53,6 +48,50 @@ fn bench_simulated_llm(c: &mut Criterion) {
         b.iter_batched(
             || SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1),
             |mut llm| llm.complete(black_box(&req10)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache_and_batch(c: &mut Criterion) {
+    let d = DatasetName::Imdb.load_scaled(1, 0.01);
+    let messages = build_messages(&d.spec, PromptStyle::Base, &[], &d.train.instances[0].text);
+    let req = request(messages, 0.7, 1);
+    // Cache middleware overhead on a pure hit path: the inner model is
+    // never consulted after the first call.
+    c.bench_function("llm/cached_hit_lookup", |b| {
+        let inner = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1);
+        let mut llm = CachedModel::new(inner);
+        llm.complete(&req).expect("warm the cache");
+        b.iter(|| llm.complete(black_box(&req)))
+    });
+    // Miss path: key construction + inner call + insert, on a fresh cache.
+    c.bench_function("llm/cached_miss", |b| {
+        b.iter_batched(
+            || {
+                CachedModel::new(SimulatedLlm::new(
+                    ModelId::Gpt35Turbo,
+                    d.generative.clone(),
+                    1,
+                ))
+            },
+            |mut llm| llm.complete(black_box(&req)),
+            BatchSize::SmallInput,
+        )
+    });
+    let requests: Vec<ChatRequest> = d
+        .train
+        .iter()
+        .take(32)
+        .map(|inst| {
+            let messages = build_messages(&d.spec, PromptStyle::Base, &[], &inst.text);
+            request(messages, 0.7, 1)
+        })
+        .collect();
+    c.bench_function("llm/complete_batch_32", |b| {
+        b.iter_batched(
+            || SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 1),
+            |mut llm| llm.complete_batch(black_box(&requests)),
             BatchSize::SmallInput,
         )
     });
@@ -140,6 +179,7 @@ criterion_group!(
     targets = bench_tokenize,
     bench_index_build_and_apply,
     bench_simulated_llm,
+    bench_cache_and_batch,
     bench_label_model,
     bench_end_model,
     bench_dataset_generation

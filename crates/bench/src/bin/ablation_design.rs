@@ -3,13 +3,8 @@
 //! DESIGN.md documents several engineering choices this reproduction had to
 //! make where the paper's substrate (MeTaL, BERT, scikit-learn) was
 //! replaced. This bench quantifies each choice by evaluating the *same*
-//! DataSculpt-SC LF set under variants of the evaluation stack:
-//!
-//! * label model: MeTaL-style EM (default) vs. majority vote vs. triplet,
-//!   and the EM stability guards (accuracy-tilt prior, damped cross-LF
-//!   abstain evidence, damped updates) turned off one at a time;
-//! * end model: hard vs. soft targets, balanced vs. plain sample weights,
-//!   unigram vs. bigram features.
+//! DataSculpt-SC LF set under variants of the evaluation stack (see
+//! [`design_variants`] for the list).
 //!
 //! ```text
 //! DS_SCALE=0.25 cargo run -p datasculpt-bench --release --bin ablation_design
@@ -17,135 +12,30 @@
 
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
-use datasculpt_bench::HarnessConfig;
-use std::io::Write as _;
-
-fn variants() -> Vec<(&'static str, EvalConfig)> {
-    let base = EvalConfig::default();
-    let metal = |f: fn(&mut MetalConfig)| {
-        let mut mc = MetalConfig::default();
-        f(&mut mc);
-        EvalConfig {
-            label_model: LabelModelKind::Metal(mc),
-            ..base
-        }
-    };
-    vec![
-        ("default (EM, guards on)", base),
-        (
-            "EM: no accuracy-tilt prior",
-            metal(|m| m.accuracy_tilt = 1.0),
-        ),
-        (
-            "EM: full abstain evidence",
-            metal(|m| m.abstain_evidence_scale = 1.0),
-        ),
-        ("EM: undamped updates", metal(|m| m.update_damping = 1.0)),
-        (
-            "label model: majority vote",
-            EvalConfig {
-                label_model: LabelModelKind::Majority,
-                ..base
-            },
-        ),
-        (
-            "label model: triplet",
-            EvalConfig {
-                label_model: LabelModelKind::Triplet,
-                ..base
-            },
-        ),
-        (
-            "end model: soft targets",
-            EvalConfig {
-                hard_targets: false,
-                ..base
-            },
-        ),
-        (
-            "end model: unbalanced weights",
-            EvalConfig {
-                balanced_weights: false,
-                ..base
-            },
-        ),
-        (
-            "features: bigrams",
-            EvalConfig {
-                feature_order: 2,
-                ..base
-            },
-        ),
-        (
-            "end model: MLP (64 hidden)",
-            EvalConfig {
-                end_model: EndModelKind::Mlp { hidden: 64 },
-                ..base
-            },
-        ),
-    ]
-}
+use datasculpt_bench::*;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     let datasets = [DatasetName::Youtube, DatasetName::Sms, DatasetName::Imdb];
-    let names = variants();
-
-    // results[variant][dataset]
-    let mut results: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
-    for &name in &datasets {
-        let dataset = cfg.load(name, 0);
-        // One fixed LF set per dataset so only the evaluation stack varies.
-        let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 0);
-        let run = DataSculpt::new(&dataset, DataSculptConfig::sc(0)).run(&mut llm);
-        let matrix = run.lf_set.train_matrix();
-        for (vi, (_, eval_cfg)) in names.iter().enumerate() {
-            let eval = evaluate_matrix(&dataset, &matrix, eval_cfg);
-            results[vi].push(eval.end_metric);
-        }
-        eprintln!("[ablation_design] {name} done");
-    }
-
-    println!(
-        "Design-choice ablations: end-model metric under evaluation-stack variants (scale={})\n",
-        cfg.scale
+    let variants = design_variants();
+    let rows: Vec<String> = variants.iter().map(|(n, _)| n.to_string()).collect();
+    run_scalar_matrix(
+        "ablation_design",
+        &format!(
+            "Design-choice ablations: end-model metric under evaluation-stack variants (scale={})",
+            cfg.scale
+        ),
+        &rows,
+        &datasets,
+        &cfg,
+        |dataset| {
+            // One fixed LF set per dataset so only the evaluation stack varies.
+            let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 0);
+            let run = DataSculpt::new(dataset, DataSculptConfig::sc(0))
+                .run(&mut llm)
+                .expect("the simulated model does not fail");
+            run.lf_set.train_matrix()
+        },
+        |matrix, dataset, vi| evaluate_matrix(dataset, matrix, &variants[vi].1).end_metric,
     );
-    print!("{:<34}", "variant");
-    for d in &datasets {
-        print!("{:>10}", d.as_str());
-    }
-    println!();
-    for (vi, (label, _)) in names.iter().enumerate() {
-        print!("{label:<34}");
-        for v in &results[vi] {
-            print!("{v:>10.3}");
-        }
-        println!();
-    }
-
-    std::fs::create_dir_all("results").expect("results dir");
-    let mut f = std::fs::File::create("results/ablation_design.csv").expect("csv");
-    writeln!(
-        f,
-        "variant,{}",
-        datasets
-            .iter()
-            .map(|d| d.as_str())
-            .collect::<Vec<_>>()
-            .join(",")
-    )
-    .expect("header");
-    for (vi, (label, _)) in names.iter().enumerate() {
-        writeln!(
-            f,
-            "{label},{}",
-            results[vi]
-                .iter()
-                .map(|v| format!("{v:.4}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        )
-        .expect("row");
-    }
-    eprintln!("[ablation_design] wrote results/ablation_design.csv");
 }

@@ -8,73 +8,22 @@
 
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
-use std::io::Write as _;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     let model = ModelId::Gpt35Turbo;
-
-    // tokens[method][dataset]
-    let mut tokens: Vec<Vec<f64>> = vec![Vec::new(); USAGE_METHODS.len()];
-    for &name in &cfg.datasets {
-        let dataset = cfg.load(name, 0);
-        for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let o = run_seeds(cfg.seeds, |s| generation_usage(&dataset, method, model, s));
-            tokens[mi].push(o.tokens());
-        }
-        eprintln!("[fig3] {name} done");
-    }
-
-    let max = tokens
-        .iter()
-        .flatten()
-        .cloned()
-        .fold(0.0f64, f64::max);
-    println!(
-        "Figure 3: Token usage for synthesizing LFs (log scale, scale={}, seeds={})\n",
-        cfg.scale, cfg.seeds
-    );
-    for (di, name) in cfg.datasets.iter().enumerate() {
-        println!("{name}:");
-        for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let v = tokens[mi][di];
-            println!("  {method:<16} {:>12.0} |{}", v, log_bar(v, max, 48));
-        }
-    }
-    let totals: Vec<f64> = USAGE_METHODS
-        .iter()
-        .enumerate()
-        .map(|(mi, _)| tokens[mi].iter().sum())
-        .collect();
-    println!("\ntotals across datasets:");
-    for (method, total) in USAGE_METHODS.iter().zip(&totals) {
-        println!("  {method:<16} {total:>14.0} tokens");
-    }
-
-    std::fs::create_dir_all("results").expect("results dir");
-    let mut f = std::fs::File::create("results/fig3_tokens.csv").expect("csv file");
-    writeln!(
-        f,
-        "method,{},total",
-        cfg.datasets
-            .iter()
-            .map(|d| d.as_str())
-            .collect::<Vec<_>>()
-            .join(",")
-    )
-    .expect("csv header");
-    for (mi, method) in USAGE_METHODS.iter().enumerate() {
-        writeln!(
-            f,
-            "{method},{},{:.0}",
-            tokens[mi]
-                .iter()
-                .map(|v| format!("{v:.0}"))
-                .collect::<Vec<_>>()
-                .join(","),
-            totals[mi]
-        )
-        .expect("csv row");
-    }
-    eprintln!("[fig3] wrote results/fig3_tokens.csv");
+    let spec = FigureSpec {
+        tag: "fig3",
+        csv_stem: "fig3_tokens",
+        title: format!(
+            "Figure 3: Token usage for synthesizing LFs (log scale, scale={}, seeds={})",
+            cfg.scale, cfg.seeds
+        ),
+        value: Outcome::tokens,
+        cell: |v| format!("{v:>12.0}"),
+        bar_scale: 1.0,
+        csv_cell: |v| format!("{v:.0}"),
+        total_cell: |v| format!("{v:>14.0} tokens"),
+    };
+    run_usage_figure(&spec, &cfg, model);
 }

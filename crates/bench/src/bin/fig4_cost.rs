@@ -8,84 +8,32 @@
 
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
-use std::io::Write as _;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     let model = ModelId::Gpt35Turbo;
-
-    // cost[method][dataset] in USD
-    let mut cost: Vec<Vec<f64>> = vec![Vec::new(); USAGE_METHODS.len()];
-    for &name in &cfg.datasets {
-        let dataset = cfg.load(name, 0);
-        for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let o = run_seeds(cfg.seeds, |s| generation_usage(&dataset, method, model, s));
-            cost[mi].push(o.cost_usd);
-        }
-        eprintln!("[fig4] {name} done");
-    }
-
-    // Bars on a micro-dollar log scale so $0.01 and $100 both render.
-    let max = cost.iter().flatten().cloned().fold(0.0f64, f64::max) * 1e6;
-    println!(
-        "Figure 4: API cost for synthesizing LFs (log scale, scale={}, seeds={}, {} rates)\n",
-        cfg.scale,
-        cfg.seeds,
-        model.api_name()
-    );
-    for (di, name) in cfg.datasets.iter().enumerate() {
-        println!("{name}:");
-        for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let v = cost[mi][di];
-            println!(
-                "  {method:<16} ${:>11.4} |{}",
-                v,
-                log_bar(v * 1e6, max, 48)
-            );
-        }
-    }
-    let totals: Vec<f64> = USAGE_METHODS
-        .iter()
-        .enumerate()
-        .map(|(mi, _)| cost[mi].iter().sum())
-        .collect();
-    println!("\ntotals across datasets:");
-    for (method, total) in USAGE_METHODS.iter().zip(&totals) {
-        println!("  {method:<16} ${total:>12.4}");
-    }
-    let sculpt_base = totals[2];
-    let prompted = totals[1];
+    let spec = FigureSpec {
+        tag: "fig4",
+        csv_stem: "fig4_cost",
+        title: format!(
+            "Figure 4: API cost for synthesizing LFs (log scale, scale={}, seeds={}, {} rates)",
+            cfg.scale,
+            cfg.seeds,
+            model.api_name()
+        ),
+        value: |o| o.cost_usd,
+        cell: |v| format!("${v:>11.4}"),
+        // Bars on a micro-dollar log scale so $0.01 and $100 both render.
+        bar_scale: 1e6,
+        csv_cell: |v| format!("{v:.6}"),
+        total_cell: |v| format!("${v:>12.4}"),
+    };
+    let totals = run_usage_figure(&spec, &cfg, model);
+    let (prompted, sculpt_base) = (totals[1], totals[2]);
     if sculpt_base > 0.0 {
         println!(
             "\nPromptedLF / DataSculpt-Base cost ratio: {:.0}x",
             prompted / sculpt_base
         );
     }
-
-    std::fs::create_dir_all("results").expect("results dir");
-    let mut f = std::fs::File::create("results/fig4_cost.csv").expect("csv file");
-    writeln!(
-        f,
-        "method,{},total",
-        cfg.datasets
-            .iter()
-            .map(|d| d.as_str())
-            .collect::<Vec<_>>()
-            .join(",")
-    )
-    .expect("csv header");
-    for (mi, method) in USAGE_METHODS.iter().enumerate() {
-        writeln!(
-            f,
-            "{method},{},{:.6}",
-            cost[mi]
-                .iter()
-                .map(|v| format!("{v:.6}"))
-                .collect::<Vec<_>>()
-                .join(","),
-            totals[mi]
-        )
-        .expect("csv row");
-    }
-    eprintln!("[fig4] wrote results/fig4_cost.csv");
 }

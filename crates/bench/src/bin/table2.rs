@@ -9,70 +9,33 @@
 
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
-use std::time::Instant;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     let model = ModelId::Gpt35Turbo; // §4.1 default
-    let methods: Vec<String> = [
-        "WRENCH",
-        "ScriptoriumWS",
-        "PromptedLF",
-        "DataSculpt-Base",
-        "DataSculpt-CoT",
-        "DataSculpt-SC",
-        "DataSculpt-KATE",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-
-    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); methods.len()];
-    for &name in &cfg.datasets {
-        let t0 = Instant::now();
-        let dataset = cfg.load(name, 0);
-        for (mi, method) in methods.iter().enumerate() {
-            let outcome = match method.as_str() {
-                // WRENCH expert LFs are deterministic given the corpus.
-                "WRENCH" => run_wrench(&dataset),
-                "ScriptoriumWS" => {
-                    run_seeds(cfg.seeds, |s| run_scriptorium(&dataset, model, s))
-                }
-                "PromptedLF" => run_seeds(cfg.seeds, |s| run_promptedlf(&dataset, model, s)),
-                "DataSculpt-Base" => run_seeds(cfg.seeds, |s| {
-                    run_datasculpt(&dataset, DataSculptConfig::base(s), model, s)
-                }),
-                "DataSculpt-CoT" => run_seeds(cfg.seeds, |s| {
-                    run_datasculpt(&dataset, DataSculptConfig::cot(s), model, s)
-                }),
-                "DataSculpt-SC" => run_seeds(cfg.seeds, |s| {
-                    run_datasculpt(&dataset, DataSculptConfig::sc(s), model, s)
-                }),
-                "DataSculpt-KATE" => run_seeds(cfg.seeds, |s| {
-                    run_datasculpt(&dataset, DataSculptConfig::kate(s), model, s)
-                }),
-                other => unreachable!("unknown method {other}"),
-            };
-            results[mi].push(outcome);
-        }
-        eprintln!("[table2] {name} done in {:.1?}", t0.elapsed());
-    }
-
-    let grid = Grid {
-        methods,
-        datasets: cfg.datasets.clone(),
-        results,
+    let sculpt = |config: fn(u64) -> DataSculptConfig| {
+        move |d: &TextDataset, s: u64| run_datasculpt(d, config(s), model, s)
     };
-    println!(
-        "{}",
-        grid.render(&format!(
+    let methods = vec![
+        // WRENCH expert LFs are deterministic given the corpus.
+        MethodSpec::deterministic("WRENCH", run_wrench),
+        MethodSpec::seeded("ScriptoriumWS", |d, s| run_scriptorium(d, model, s)),
+        MethodSpec::seeded("PromptedLF", |d, s| run_promptedlf(d, model, s)),
+        MethodSpec::seeded("DataSculpt-Base", sculpt(DataSculptConfig::base)),
+        MethodSpec::seeded("DataSculpt-CoT", sculpt(DataSculptConfig::cot)),
+        MethodSpec::seeded("DataSculpt-SC", sculpt(DataSculptConfig::sc)),
+        MethodSpec::seeded("DataSculpt-KATE", sculpt(DataSculptConfig::kate)),
+    ];
+    run_matrix(
+        "table2",
+        &format!(
             "Table 2: Statistics of synthesized LFs and end model accuracy \
              (scale={}, seeds={}, model={})",
             cfg.scale,
             cfg.seeds,
             model.label()
-        ))
+        ),
+        methods,
+        &cfg,
     );
-    grid.write_csv("results/table2.csv").expect("write results/table2.csv");
-    eprintln!("[table2] wrote results/table2.csv");
 }

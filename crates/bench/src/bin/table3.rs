@@ -7,38 +7,24 @@
 
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
-use std::time::Instant;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    let models = ModelId::ALL;
-    let methods: Vec<String> = models.iter().map(|m| m.label().to_string()).collect();
-
-    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); models.len()];
-    for &name in &cfg.datasets {
-        let t0 = Instant::now();
-        let dataset = cfg.load(name, 0);
-        for (mi, &model) in models.iter().enumerate() {
-            let outcome = run_seeds(cfg.seeds, |s| {
-                run_datasculpt(&dataset, DataSculptConfig::sc(s), model, s)
-            });
-            results[mi].push(outcome);
-        }
-        eprintln!("[table3] {name} done in {:.1?}", t0.elapsed());
-    }
-
-    let grid = Grid {
-        methods,
-        datasets: cfg.datasets.clone(),
-        results,
-    };
-    println!(
-        "{}",
-        grid.render(&format!(
+    let methods = ModelId::ALL
+        .iter()
+        .map(|&model| {
+            MethodSpec::seeded(model.label(), move |d: &TextDataset, s| {
+                run_datasculpt(d, DataSculptConfig::sc(s), model, s)
+            })
+        })
+        .collect();
+    run_matrix(
+        "table3",
+        &format!(
             "Table 3: Ablation study using different LLMs (DataSculpt-SC, scale={}, seeds={})",
             cfg.scale, cfg.seeds
-        ))
+        ),
+        methods,
+        &cfg,
     );
-    grid.write_csv("results/table3.csv").expect("write results/table3.csv");
-    eprintln!("[table3] wrote results/table3.csv");
 }

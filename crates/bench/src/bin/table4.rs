@@ -7,7 +7,6 @@
 
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
-use std::time::Instant;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -19,35 +18,23 @@ fn main() {
         SamplerKind::Seu,
         SamplerKind::CoreSet,
     ];
-    let methods: Vec<String> = samplers.iter().map(|s| s.label().to_string()).collect();
-
-    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); samplers.len()];
-    for &name in &cfg.datasets {
-        let t0 = Instant::now();
-        let dataset = cfg.load(name, 0);
-        for (si, &sampler) in samplers.iter().enumerate() {
-            let outcome = run_seeds(cfg.seeds, |s| {
+    let methods = samplers
+        .iter()
+        .map(|&sampler| {
+            MethodSpec::seeded(sampler.label(), move |d: &TextDataset, s| {
                 let mut config = DataSculptConfig::sc(s);
                 config.sampler = sampler;
-                run_datasculpt(&dataset, config, model, s)
-            });
-            results[si].push(outcome);
-        }
-        eprintln!("[table4] {name} done in {:.1?}", t0.elapsed());
-    }
-
-    let grid = Grid {
-        methods,
-        datasets: cfg.datasets.clone(),
-        results,
-    };
-    println!(
-        "{}",
-        grid.render(&format!(
+                run_datasculpt(d, config, model, s)
+            })
+        })
+        .collect();
+    run_matrix(
+        "table4",
+        &format!(
             "Table 4: Ablation study using different samplers (DataSculpt-SC, scale={}, seeds={})",
             cfg.scale, cfg.seeds
-        ))
+        ),
+        methods,
+        &cfg,
     );
-    grid.write_csv("results/table4.csv").expect("write results/table4.csv");
-    eprintln!("[table4] wrote results/table4.csv");
 }

@@ -8,7 +8,6 @@
 
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
-use std::time::Instant;
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -18,35 +17,23 @@ fn main() {
         ("no accuracy", FilterConfig::without_accuracy()),
         ("no redundancy", FilterConfig::without_redundancy()),
     ];
-    let methods: Vec<String> = variants.iter().map(|(n, _)| n.to_string()).collect();
-
-    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); variants.len()];
-    for &name in &cfg.datasets {
-        let t0 = Instant::now();
-        let dataset = cfg.load(name, 0);
-        for (vi, (_, filters)) in variants.iter().enumerate() {
-            let outcome = run_seeds(cfg.seeds, |s| {
+    let methods = variants
+        .iter()
+        .map(|&(label, filters)| {
+            MethodSpec::seeded(label, move |d: &TextDataset, s| {
                 let mut config = DataSculptConfig::sc(s);
-                config.filters = *filters;
-                run_datasculpt(&dataset, config, model, s)
-            });
-            results[vi].push(outcome);
-        }
-        eprintln!("[table5] {name} done in {:.1?}", t0.elapsed());
-    }
-
-    let grid = Grid {
-        methods,
-        datasets: cfg.datasets.clone(),
-        results,
-    };
-    println!(
-        "{}",
-        grid.render(&format!(
+                config.filters = filters;
+                run_datasculpt(d, config, model, s)
+            })
+        })
+        .collect();
+    run_matrix(
+        "table5",
+        &format!(
             "Table 5: Ablation study using different LF filters (DataSculpt-SC, scale={}, seeds={})",
             cfg.scale, cfg.seeds
-        ))
+        ),
+        methods,
+        &cfg,
     );
-    grid.write_csv("results/table5.csv").expect("write results/table5.csv");
-    eprintln!("[table5] wrote results/table5.csv");
 }

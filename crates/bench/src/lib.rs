@@ -10,6 +10,12 @@
 //! | `table5` | Table 5 — LF-filter ablation |
 //! | `fig3_tokens` | Figure 3 — token usage per method per dataset |
 //! | `fig4_cost` | Figure 4 — API cost per method per dataset |
+//! | `ablation_design` | design-choice ablations (not a paper table) |
+//!
+//! The binaries are thin: each declares *what* to run (methods, variants,
+//! titles) and hands orchestration to one of the shared drivers here —
+//! [`run_matrix`] for the tables, [`run_usage_figure`] for the figures,
+//! and [`run_scalar_matrix`] for the design ablations.
 //!
 //! Environment knobs (all optional):
 //!
@@ -155,7 +161,8 @@ pub fn run_scriptorium(dataset: &TextDataset, model: ModelId, seed: u64) -> Outc
         dataset,
         &mut llm,
         datasculpt::baselines::scriptorium::scriptorium_lf_count(name),
-    );
+    )
+    .expect("the simulated model does not fail");
     let mut set = LfSet::new(dataset, FilterConfig::validity_only());
     for lf in result.lfs {
         set.try_add(lf);
@@ -181,7 +188,9 @@ pub fn run_datasculpt(
 ) -> Outcome {
     config.seed = seed;
     let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
-    let run = DataSculpt::new(dataset, config).run(&mut llm);
+    let run = DataSculpt::new(dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     let eval = evaluate_lf_set(dataset, &run.lf_set, &EvalConfig::default());
     outcome_from_eval(&eval, Some(&run.ledger))
 }
@@ -193,22 +202,18 @@ where
 {
     let f = &f;
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..seeds)
-            .map(|s| scope.spawn(move || f(s)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("seed run")).collect()
+        let handles: Vec<_> = (0..seeds).map(|s| scope.spawn(move || f(s))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed run"))
+            .collect()
     });
     average(&outcomes)
 }
 
 /// LF generation only (no label-model / end-model evaluation): the token
 /// and cost accounting needed by Figures 3–4.
-pub fn generation_usage(
-    dataset: &TextDataset,
-    method: &str,
-    model: ModelId,
-    seed: u64,
-) -> Outcome {
+pub fn generation_usage(dataset: &TextDataset, method: &str, model: ModelId, seed: u64) -> Outcome {
     let ledger = match method {
         "ScriptoriumWS" => {
             let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
@@ -218,6 +223,7 @@ pub fn generation_usage(
                 &mut llm,
                 datasculpt::baselines::scriptorium::scriptorium_lf_count(name),
             )
+            .expect("the simulated model does not fail")
             .ledger
         }
         "PromptedLF" => {
@@ -233,7 +239,10 @@ pub fn generation_usage(
             };
             config.seed = seed;
             let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
-            DataSculpt::new(dataset, config).run(&mut llm).ledger
+            DataSculpt::new(dataset, config)
+                .run(&mut llm)
+                .expect("the simulated model does not fail")
+                .ledger
         }
         other => panic!("unknown method {other}"),
     };
@@ -327,9 +336,16 @@ impl Grid {
         }
         out.push_str(&format!("{:>12}\n", "AVG"));
         for block in METRIC_BLOCKS {
-            out.push_str(&format!("{}\n", "-".repeat(header_width + 12 * (self.datasets.len() + 1))));
+            out.push_str(&format!(
+                "{}\n",
+                "-".repeat(header_width + 12 * (self.datasets.len() + 1))
+            ));
             for (mi, method) in self.methods.iter().enumerate() {
-                out.push_str(&format!("{:<w$}", format!("{block} {method}"), w = header_width));
+                out.push_str(&format!(
+                    "{:<w$}",
+                    format!("{block} {method}"),
+                    w = header_width
+                ));
                 let mut vals = Vec::new();
                 for (di, _) in self.datasets.iter().enumerate() {
                     let o = &self.results[mi][di];
@@ -392,6 +408,307 @@ impl Grid {
     }
 }
 
+/// A boxed per-cell runner: dataset + seed → averaged outcome.
+type MethodFn<'a> = Box<dyn Fn(&TextDataset, u64) -> Outcome + Sync + 'a>;
+
+/// One row of a Tables 2–5 style experiment: a display label plus the
+/// runner for one cell.
+pub struct MethodSpec<'a> {
+    label: String,
+    run: MethodFn<'a>,
+    seeded: bool,
+}
+
+impl<'a> MethodSpec<'a> {
+    /// A method whose cells are averaged over the harness's seeds.
+    pub fn seeded(
+        label: impl Into<String>,
+        run: impl Fn(&TextDataset, u64) -> Outcome + Sync + 'a,
+    ) -> Self {
+        MethodSpec {
+            label: label.into(),
+            run: Box::new(run),
+            seeded: true,
+        }
+    }
+
+    /// A deterministic method, run once per dataset.
+    pub fn deterministic(
+        label: impl Into<String>,
+        run: impl Fn(&TextDataset) -> Outcome + Sync + 'a,
+    ) -> Self {
+        MethodSpec {
+            label: label.into(),
+            run: Box::new(move |d, _| run(d)),
+            seeded: false,
+        }
+    }
+
+    /// The display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The shared run-matrix driver behind the `table*` binaries: run every
+/// method on every configured dataset (seeded methods averaged over
+/// `cfg.seeds` parallel runs), print the paper-style grid under `title`,
+/// and write `results/<tag>.csv`.
+pub fn run_matrix(
+    tag: &str,
+    title: &str,
+    methods: Vec<MethodSpec<'_>>,
+    cfg: &HarnessConfig,
+) -> Grid {
+    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); methods.len()];
+    for &name in &cfg.datasets {
+        let t0 = std::time::Instant::now();
+        let dataset = cfg.load(name, 0);
+        for (mi, m) in methods.iter().enumerate() {
+            let outcome = if m.seeded {
+                run_seeds(cfg.seeds, |s| (m.run)(&dataset, s))
+            } else {
+                (m.run)(&dataset, 0)
+            };
+            results[mi].push(outcome);
+        }
+        eprintln!("[{tag}] {name} done in {:.1?}", t0.elapsed());
+    }
+    let grid = Grid {
+        methods: methods.into_iter().map(|m| m.label).collect(),
+        datasets: cfg.datasets.clone(),
+        results,
+    };
+    println!("{}", grid.render(title));
+    let path = format!("results/{tag}.csv");
+    grid.write_csv(&path)
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("[{tag}] wrote {path}");
+    grid
+}
+
+/// How a figure binary labels and formats the usage matrix it collects
+/// (Figures 3–4 differ only in the scalar plotted and its rendering).
+pub struct FigureSpec {
+    /// Log prefix, e.g. `fig3`.
+    pub tag: &'static str,
+    /// CSV stem: results land in `results/<csv_stem>.csv`.
+    pub csv_stem: &'static str,
+    /// Console title.
+    pub title: String,
+    /// The scalar plotted per (method, dataset) cell.
+    pub value: fn(&Outcome) -> f64,
+    /// Render one value on a bar-chart line.
+    pub cell: fn(f64) -> String,
+    /// Multiplier applied before the log-scale bar (micro-dollars for
+    /// Figure 4 so $0.01 and $100 both render).
+    pub bar_scale: f64,
+    /// Render one value (and row total) in the CSV.
+    pub csv_cell: fn(f64) -> String,
+    /// Render one per-method total on the console.
+    pub total_cell: fn(f64) -> String,
+}
+
+/// The shared driver behind the `fig*` binaries: collect the
+/// [`USAGE_METHODS`] × datasets usage matrix, print log-scale bars and
+/// per-method totals, write the CSV, and return the totals for any
+/// epilogue (Figure 4 prints a cost ratio).
+pub fn run_usage_figure(spec: &FigureSpec, cfg: &HarnessConfig, model: ModelId) -> Vec<f64> {
+    let mut values: Vec<Vec<f64>> = vec![Vec::new(); USAGE_METHODS.len()];
+    for &name in &cfg.datasets {
+        let dataset = cfg.load(name, 0);
+        for (mi, method) in USAGE_METHODS.iter().enumerate() {
+            let o = run_seeds(cfg.seeds, |s| generation_usage(&dataset, method, model, s));
+            values[mi].push((spec.value)(&o));
+        }
+        eprintln!("[{}] {name} done", spec.tag);
+    }
+
+    let max = values.iter().flatten().cloned().fold(0.0f64, f64::max) * spec.bar_scale;
+    println!("{}\n", spec.title);
+    for (di, name) in cfg.datasets.iter().enumerate() {
+        println!("{name}:");
+        for (mi, method) in USAGE_METHODS.iter().enumerate() {
+            let v = values[mi][di];
+            println!(
+                "  {method:<16} {} |{}",
+                (spec.cell)(v),
+                log_bar(v * spec.bar_scale, max, 48)
+            );
+        }
+    }
+    let totals: Vec<f64> = values.iter().map(|row| row.iter().sum()).collect();
+    println!("\ntotals across datasets:");
+    for (method, total) in USAGE_METHODS.iter().zip(&totals) {
+        println!("  {method:<16} {}", (spec.total_cell)(*total));
+    }
+
+    let path = format!("results/{}.csv", spec.csv_stem);
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut f = std::fs::File::create(&path).expect("csv file");
+    writeln!(
+        f,
+        "method,{},total",
+        cfg.datasets
+            .iter()
+            .map(|d| d.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+    .expect("csv header");
+    for (mi, method) in USAGE_METHODS.iter().enumerate() {
+        writeln!(
+            f,
+            "{method},{},{}",
+            values[mi]
+                .iter()
+                .map(|v| (spec.csv_cell)(*v))
+                .collect::<Vec<_>>()
+                .join(","),
+            (spec.csv_cell)(totals[mi])
+        )
+        .expect("csv row");
+    }
+    eprintln!("[{}] wrote {path}", spec.tag);
+    totals
+}
+
+/// The shared driver behind `ablation_design`: a scalar-valued
+/// rows × datasets matrix where per-dataset setup (an LF set, say) is
+/// computed once and shared across all rows. Prints an aligned table and
+/// writes `results/<tag>.csv`.
+pub fn run_scalar_matrix<S>(
+    tag: &str,
+    title: &str,
+    rows: &[String],
+    datasets: &[DatasetName],
+    cfg: &HarnessConfig,
+    setup: impl Fn(&TextDataset) -> S,
+    cell: impl Fn(&S, &TextDataset, usize) -> f64,
+) -> Vec<Vec<f64>> {
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+    for &name in datasets {
+        let dataset = cfg.load(name, 0);
+        let state = setup(&dataset);
+        for (ri, row) in results.iter_mut().enumerate() {
+            row.push(cell(&state, &dataset, ri));
+        }
+        eprintln!("[{tag}] {name} done");
+    }
+
+    let w = rows.iter().map(|r| r.len()).max().unwrap_or(10).max(10) + 2;
+    println!("{title}\n");
+    print!("{:<w$}", "variant");
+    for d in datasets {
+        print!("{:>10}", d.as_str());
+    }
+    println!();
+    for (ri, label) in rows.iter().enumerate() {
+        print!("{label:<w$}");
+        for v in &results[ri] {
+            print!("{v:>10.3}");
+        }
+        println!();
+    }
+
+    let path = format!("results/{tag}.csv");
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut f = std::fs::File::create(&path).expect("csv file");
+    writeln!(
+        f,
+        "variant,{}",
+        datasets
+            .iter()
+            .map(|d| d.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+    .expect("csv header");
+    for (ri, label) in rows.iter().enumerate() {
+        writeln!(
+            f,
+            "{label},{}",
+            results[ri]
+                .iter()
+                .map(|v| format!("{v:.4}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+        .expect("csv row");
+    }
+    eprintln!("[{tag}] wrote {path}");
+    results
+}
+
+/// The evaluation-stack variants quantified by the `ablation_design`
+/// binary (see DESIGN.md): label-model choices and EM stability guards,
+/// end-model target/weight choices, and the feature order.
+pub fn design_variants() -> Vec<(&'static str, EvalConfig)> {
+    let base = EvalConfig::default();
+    let metal = |f: fn(&mut MetalConfig)| {
+        let mut mc = MetalConfig::default();
+        f(&mut mc);
+        EvalConfig {
+            label_model: LabelModelKind::Metal(mc),
+            ..base
+        }
+    };
+    vec![
+        ("default (EM, guards on)", base),
+        (
+            "EM: no accuracy-tilt prior",
+            metal(|m| m.accuracy_tilt = 1.0),
+        ),
+        (
+            "EM: full abstain evidence",
+            metal(|m| m.abstain_evidence_scale = 1.0),
+        ),
+        ("EM: undamped updates", metal(|m| m.update_damping = 1.0)),
+        (
+            "label model: majority vote",
+            EvalConfig {
+                label_model: LabelModelKind::Majority,
+                ..base
+            },
+        ),
+        (
+            "label model: triplet",
+            EvalConfig {
+                label_model: LabelModelKind::Triplet,
+                ..base
+            },
+        ),
+        (
+            "end model: soft targets",
+            EvalConfig {
+                hard_targets: false,
+                ..base
+            },
+        ),
+        (
+            "end model: unbalanced weights",
+            EvalConfig {
+                balanced_weights: false,
+                ..base
+            },
+        ),
+        (
+            "features: bigrams",
+            EvalConfig {
+                feature_order: 2,
+                ..base
+            },
+        ),
+        (
+            "end model: MLP (64 hidden)",
+            EvalConfig {
+                end_model: EndModelKind::Mlp { hidden: 64 },
+                ..base
+            },
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,7 +767,8 @@ mod tests {
         assert!(rendered.contains("SMS(F1)"));
         assert!(rendered.contains("#LFs A"));
         let path = std::env::temp_dir().join("ds_grid_test.csv");
-        grid.write_csv(path.to_str().expect("utf8 path")).expect("csv written");
+        grid.write_csv(path.to_str().expect("utf8 path"))
+            .expect("csv written");
         let content = std::fs::read_to_string(&path).expect("read back");
         assert!(content.starts_with("metric,method,youtube,sms,avg"));
         std::fs::remove_file(path).ok();

@@ -31,8 +31,7 @@ pub fn aggregate_consistency(
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
-        .expect("non-empty votes");
+        .map(|(i, _)| i)?;
 
     let mut keywords = Vec::new();
     for s in samples {
@@ -73,7 +72,11 @@ mod tests {
 
     #[test]
     fn losing_samples_contribute_no_keywords() {
-        let samples = vec![resp(&["x"], Some(0)), resp(&["y"], Some(1)), resp(&["z"], Some(1))];
+        let samples = vec![
+            resp(&["x"], Some(0)),
+            resp(&["y"], Some(1)),
+            resp(&["z"], Some(1)),
+        ];
         let (_, kws) = aggregate_consistency(&samples, 2).expect("aggregated");
         assert!(!kws.contains(&"x".to_string()));
     }

@@ -322,11 +322,7 @@ pub fn evaluate_matrix(
 /// the anchor span between `[a]` and `[b]` are hashed (salted) into the
 /// same feature space, and the row is re-normalized. No-op for plain
 /// classification instances.
-fn append_window_features(
-    inst: &datasculpt_data::Instance,
-    dim: usize,
-    row: &mut SparseRow,
-) {
+fn append_window_features(inst: &datasculpt_data::Instance, dim: usize, row: &mut SparseRow) {
     use crate::lf::ANCHOR_WINDOW;
     let Some(marked) = &inst.marked_tokens else {
         return;
@@ -348,8 +344,7 @@ fn append_window_features(
     let mean_mag = row.iter().map(|(_, v)| v.abs()).sum::<f32>() / row.len().max(1) as f32;
     let weight = mean_mag.max(0.1);
     for g in grams {
-        let bucket =
-            (datasculpt_text::rng::hash_str(&format!("window:{g}")) >> 1) as usize % dim;
+        let bucket = (datasculpt_text::rng::hash_str(&format!("window:{g}")) >> 1) as usize % dim;
         row.push((bucket as u32, weight));
     }
     // Re-normalize the combined vector.

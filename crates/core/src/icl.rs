@@ -15,7 +15,7 @@
 use crate::parse::parse_response;
 use crate::prompt;
 use datasculpt_data::{Instance, TextDataset};
-use datasculpt_llm::{ChatModel, UsageLedger};
+use datasculpt_llm::{ChatModel, LlmError, UsageLedger};
 use datasculpt_text::embed::top_k_similar;
 use datasculpt_text::rng::derive_seed;
 use datasculpt_text::{Embedder, FeatureMatrix, HashedTfIdf, RandomProjection};
@@ -41,8 +41,10 @@ impl Exemplar {
     /// Simulate the paper's *manual* exemplar annotation: a domain expert
     /// picks the keywords in the text that are most indicative of its
     /// class, with a one-sentence justification.
-    pub fn oracle(instance: &Instance, dataset: &TextDataset) -> Exemplar {
-        let label = instance.label.expect("oracle needs a labeled instance");
+    ///
+    /// Returns `None` for an unlabeled instance (nothing to annotate).
+    pub fn oracle(instance: &Instance, dataset: &TextDataset) -> Option<Exemplar> {
+        let label = instance.label?;
         let tokens = instance.match_tokens();
         let mut grams = datasculpt_text::extract_ngrams(tokens, 3);
         grams.sort_unstable();
@@ -64,21 +66,19 @@ impl Exemplar {
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let keywords: Vec<String> = scored.into_iter().take(2).map(|(g, _)| g).collect();
         let explanation = if keywords.is_empty() {
-            format!(
-                "no single phrase is decisive, but overall the passage reads as class {label}."
-            )
+            format!("no single phrase is decisive, but overall the passage reads as class {label}.")
         } else {
             format!(
                 "the passage mentions {}, which indicates class {label}.",
                 keywords.join(" and ")
             )
         };
-        Exemplar {
+        Some(Exemplar {
             text: instance.prompt_text(),
             keywords,
             label,
             explanation: Some(explanation),
-        }
+        })
     }
 }
 
@@ -91,13 +91,22 @@ pub enum IclStrategy {
     Kate,
 }
 
+/// Strategy-specific selector state, built once per run.
+enum SelectorState {
+    /// Fixed oracle-annotated exemplars.
+    Balanced(Vec<Exemplar>),
+    /// Embedded validation split for nearest-neighbour lookup.
+    Kate {
+        embedder: RandomProjection,
+        valid_embeddings: FeatureMatrix,
+    },
+}
+
 /// Stateful exemplar selector.
 pub struct IclSelector {
     strategy: IclStrategy,
     n_icl: usize,
-    balanced: Vec<Exemplar>,
-    embedder: Option<RandomProjection>,
-    valid_embeddings: Option<FeatureMatrix>,
+    state: SelectorState,
     kate_cache: HashMap<usize, Exemplar>,
 }
 
@@ -106,10 +115,7 @@ impl IclSelector {
     /// drawn (and oracle-annotated) immediately; for KATE the validation
     /// split is embedded up front and annotations are lazy.
     pub fn new(dataset: &TextDataset, strategy: IclStrategy, n_icl: usize, seed: u64) -> Self {
-        let mut balanced = Vec::new();
-        let mut embedder = None;
-        let mut valid_embeddings = None;
-        match strategy {
+        let state = match strategy {
             IclStrategy::ClassBalanced => {
                 let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x1C1));
                 let n_classes = dataset.n_classes();
@@ -122,6 +128,7 @@ impl IclSelector {
                 for c in &mut by_class {
                     c.shuffle(&mut rng);
                 }
+                let mut balanced = Vec::new();
                 let mut round = 0usize;
                 while balanced.len() < n_icl {
                     let mut progressed = false;
@@ -130,9 +137,12 @@ impl IclSelector {
                             break;
                         }
                         if let Some(&idx) = class.get(round) {
-                            balanced
-                                .push(Exemplar::oracle(&dataset.valid.instances[idx], dataset));
-                            progressed = true;
+                            if let Some(ex) =
+                                Exemplar::oracle(&dataset.valid.instances[idx], dataset)
+                            {
+                                balanced.push(ex);
+                                progressed = true;
+                            }
                         }
                     }
                     if !progressed {
@@ -140,22 +150,23 @@ impl IclSelector {
                     }
                     round += 1;
                 }
+                SelectorState::Balanced(balanced)
             }
             IclStrategy::Kate => {
                 let mut tfidf = HashedTfIdf::new(2048, 1);
                 tfidf.fit(dataset.valid.iter().map(|i| i.tokens.as_slice()));
                 let emb = RandomProjection::new(tfidf, 64, derive_seed(seed, 0x4A7E));
                 let matrix = emb.embed_batch(dataset.valid.iter().map(|i| i.tokens.as_slice()));
-                embedder = Some(emb);
-                valid_embeddings = Some(matrix);
+                SelectorState::Kate {
+                    embedder: emb,
+                    valid_embeddings: matrix,
+                }
             }
-        }
+        };
         Self {
             strategy,
             n_icl,
-            balanced,
-            embedder,
-            valid_embeddings,
+            state,
             kate_cache: HashMap::new(),
         }
     }
@@ -171,27 +182,34 @@ impl IclSelector {
     }
 
     /// Select exemplars for a query instance. KATE may call the LLM to
-    /// annotate newly selected examples (token usage is recorded).
+    /// annotate newly selected examples (token usage is recorded), so the
+    /// whole selection is fallible.
     pub fn select<M: ChatModel>(
         &mut self,
         dataset: &TextDataset,
         query: &Instance,
         llm: &mut M,
         ledger: &mut UsageLedger,
-    ) -> Vec<Exemplar> {
-        match self.strategy {
-            IclStrategy::ClassBalanced => self.balanced.clone(),
-            IclStrategy::Kate => {
-                let embedder = self.embedder.as_ref().expect("KATE embedder");
-                let matrix = self.valid_embeddings.as_ref().expect("KATE embeddings");
+    ) -> Result<Vec<Exemplar>, LlmError> {
+        let neighbours = match &self.state {
+            SelectorState::Balanced(exemplars) => return Ok(exemplars.clone()),
+            SelectorState::Kate {
+                embedder,
+                valid_embeddings,
+            } => {
                 let q = embedder.embed(&query.tokens);
-                let neighbours = top_k_similar(matrix, &q, self.n_icl);
-                neighbours
-                    .into_iter()
-                    .map(|idx| self.annotate_kate(dataset, idx, llm, ledger))
-                    .collect()
+                top_k_similar(valid_embeddings, &q, self.n_icl)
             }
+        };
+        let mut out = Vec::with_capacity(neighbours.len());
+        for idx in neighbours {
+            // Unlabeled validation rows cannot serve as exemplars.
+            let Some(label) = dataset.valid.instances[idx].label else {
+                continue;
+            };
+            out.push(self.annotate_kate(dataset, idx, label, llm, ledger)?);
         }
+        Ok(out)
     }
 
     /// LLM-annotate validation example `idx` (cached).
@@ -199,18 +217,23 @@ impl IclSelector {
         &mut self,
         dataset: &TextDataset,
         idx: usize,
+        label: usize,
         llm: &mut M,
         ledger: &mut UsageLedger,
-    ) -> Exemplar {
+    ) -> Result<Exemplar, LlmError> {
         if let Some(e) = self.kate_cache.get(&idx) {
-            return e.clone();
+            return Ok(e.clone());
         }
         let inst = &dataset.valid.instances[idx];
-        let label = inst.label.expect("validation labels are available");
         let msgs = prompt::annotation_messages(&dataset.spec, &inst.prompt_text(), label);
-        let resp = llm.complete(&prompt::request(msgs, 0.7, 1));
+        let resp = llm.complete(&prompt::request(msgs, 0.7, 1))?;
         ledger.record(resp.model, resp.usage);
-        let parsed = parse_response(&resp.choices[0].content, dataset.n_classes());
+        let content = resp
+            .choices
+            .first()
+            .map(|c| c.content.as_str())
+            .ok_or(LlmError::EmptyResponse)?;
+        let parsed = parse_response(content, dataset.n_classes());
         let keywords = if parsed.keywords.is_empty() {
             // Annotation failed: fall back to the longest content word.
             inst.tokens
@@ -229,7 +252,7 @@ impl IclSelector {
             explanation: parsed.explanation,
         };
         self.kate_cache.insert(idx, exemplar.clone());
-        exemplar
+        Ok(exemplar)
     }
 }
 
@@ -241,6 +264,13 @@ mod tests {
 
     fn tiny() -> TextDataset {
         DatasetName::Imdb.load_scaled(42, 0.02)
+    }
+
+    fn balanced_of(sel: &IclSelector) -> &[Exemplar] {
+        match &sel.state {
+            SelectorState::Balanced(b) => b,
+            SelectorState::Kate { .. } => panic!("not a balanced selector"),
+        }
     }
 
     #[test]
@@ -256,7 +286,7 @@ mod tests {
                         .any(|t| d.generative.affinity(t).is_some_and(|p| p[1] > p[0]))
             })
             .expect("a positive instance with an indicative token");
-        let ex = Exemplar::oracle(inst, &d);
+        let ex = Exemplar::oracle(inst, &d).expect("labeled instance");
         assert_eq!(ex.label, 1);
         assert!(!ex.keywords.is_empty());
         for kw in &ex.keywords {
@@ -267,16 +297,30 @@ mod tests {
     }
 
     #[test]
+    fn oracle_skips_unlabeled() {
+        let d = tiny();
+        let mut inst = d.valid.instances[0].clone();
+        inst.label = None;
+        assert!(Exemplar::oracle(&inst, &d).is_none());
+    }
+
+    #[test]
     fn class_balanced_is_balanced_and_deterministic() {
         let d = tiny();
         let a = IclSelector::new(&d, IclStrategy::ClassBalanced, 10, 7);
         let b = IclSelector::new(&d, IclStrategy::ClassBalanced, 10, 7);
-        assert_eq!(a.balanced.len(), 10);
-        let ones = a.balanced.iter().filter(|e| e.label == 1).count();
+        assert_eq!(balanced_of(&a).len(), 10);
+        let ones = balanced_of(&a).iter().filter(|e| e.label == 1).count();
         assert_eq!(ones, 5, "expected perfect balance on a binary task");
         assert_eq!(
-            a.balanced.iter().map(|e| e.text.clone()).collect::<Vec<_>>(),
-            b.balanced.iter().map(|e| e.text.clone()).collect::<Vec<_>>()
+            balanced_of(&a)
+                .iter()
+                .map(|e| e.text.clone())
+                .collect::<Vec<_>>(),
+            balanced_of(&b)
+                .iter()
+                .map(|e| e.text.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -287,12 +331,12 @@ mod tests {
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 3);
         let mut ledger = UsageLedger::new();
         let query = &d.train.instances[0];
-        let ex1 = sel.select(&d, query, &mut llm, &mut ledger);
+        let ex1 = sel.select(&d, query, &mut llm, &mut ledger).unwrap();
         assert_eq!(ex1.len(), 4);
         let calls_after_first = ledger.calls();
         assert!(calls_after_first >= 4, "annotation calls recorded");
         // Same query again: everything cached, no new calls.
-        let ex2 = sel.select(&d, query, &mut llm, &mut ledger);
+        let ex2 = sel.select(&d, query, &mut llm, &mut ledger).unwrap();
         assert_eq!(ledger.calls(), calls_after_first);
         assert_eq!(ex1.len(), ex2.len());
         assert_eq!(sel.cached_annotations(), 4);
@@ -304,10 +348,28 @@ mod tests {
         let mut sel = IclSelector::new(&d, IclStrategy::Kate, 3, 1);
         let mut llm = SimulatedLlm::new(ModelId::Gpt4, d.generative.clone(), 3);
         let mut ledger = UsageLedger::new();
-        let exemplars = sel.select(&d, &d.train.instances[1], &mut llm, &mut ledger);
+        let exemplars = sel
+            .select(&d, &d.train.instances[1], &mut llm, &mut ledger)
+            .unwrap();
         for e in &exemplars {
             assert!(e.label < d.n_classes());
             assert!(!e.keywords.is_empty());
         }
+    }
+
+    #[test]
+    fn kate_select_propagates_llm_errors() {
+        use datasculpt_llm::{FailingModel, ScriptedModel};
+        let d = tiny();
+        let mut sel = IclSelector::new(&d, IclStrategy::Kate, 3, 1);
+        let mut llm = FailingModel::fail_every(ScriptedModel::new(vec!["Label: 1".into()]), 1);
+        let mut ledger = UsageLedger::new();
+        let err = sel.select(&d, &d.train.instances[0], &mut llm, &mut ledger);
+        assert!(err.is_err());
+        assert_eq!(
+            llm.calls_attempted(),
+            1,
+            "fails fast on the first annotation"
+        );
     }
 }

@@ -75,9 +75,19 @@ impl NgramIndex {
     /// The LF's vote column over the indexed split.
     pub fn apply(&self, lf: &KeywordLf) -> Vec<i32> {
         let h = hash_str(&lf.keyword);
-        let sets = if lf.anchored { &self.between } else { &self.full };
+        let sets = if lf.anchored {
+            &self.between
+        } else {
+            &self.full
+        };
         sets.iter()
-            .map(|s| if s.contains(&h) { lf.label as i32 } else { ABSTAIN })
+            .map(|s| {
+                if s.contains(&h) {
+                    lf.label as i32
+                } else {
+                    ABSTAIN
+                }
+            })
             .collect()
     }
 }
@@ -124,9 +134,11 @@ mod tests {
 
     #[test]
     fn anchored_index_matches_direct() {
-        let marked = [vec!["[a]", "married", "[b]", "in", "june"],
+        let marked = [
+            vec!["[a]", "married", "[b]", "in", "june"],
             vec!["[a]", "met", "[b]", "while", "john", "married", "sue"],
-            vec!["no", "markers", "married", "here"]];
+            vec!["no", "markers", "married", "here"],
+        ];
         let s = Split {
             instances: marked
                 .iter()

@@ -55,8 +55,7 @@ impl KeywordLf {
     /// n-gram check, §3.5).
     pub fn is_valid_ngram(&self) -> bool {
         let order = self.order();
-        (1..=MAX_NGRAM_ORDER).contains(&order)
-            && self.keyword.split(' ').all(|w| !w.is_empty())
+        (1..=MAX_NGRAM_ORDER).contains(&order) && self.keyword.split(' ').all(|w| !w.is_empty())
     }
 
     /// Whether the LF fires on an instance.
@@ -165,7 +164,9 @@ mod tests {
         let lf = KeywordLf::anchored("married", 1);
         assert!(lf.fires(&relation_inst(&["[a]", "married", "[b]", "yesterday"])));
         // Keyword outside the span: no fire.
-        assert!(!lf.fires(&relation_inst(&["[a]", "met", "[b]", "john", "married", "mary"])));
+        assert!(!lf.fires(&relation_inst(&[
+            "[a]", "met", "[b]", "john", "married", "mary"
+        ])));
         // Marker order reversed still works.
         assert!(lf.fires(&relation_inst(&["[b]", "and", "married", "[a]"])));
         // Missing marker: no fire.

@@ -120,8 +120,7 @@ impl LfSet {
                     }
                 }
             }
-            if active > 0 && (correct as f64 / active as f64) < self.filters.accuracy_threshold
-            {
+            if active > 0 && (correct as f64 / active as f64) < self.filters.accuracy_threshold {
                 self.rejected.accuracy += 1;
                 return AddOutcome::RejectedAccuracy;
             }
@@ -193,7 +192,10 @@ mod tests {
         let d = tiny();
         let mut set = LfSet::new(&d, FilterConfig::all());
         assert!(set.try_add(KeywordLf::new("great", 1)).accepted());
-        assert_eq!(set.try_add(KeywordLf::new("great", 1)), AddOutcome::Duplicate);
+        assert_eq!(
+            set.try_add(KeywordLf::new("great", 1)),
+            AddOutcome::Duplicate
+        );
         assert_eq!(set.rejections().duplicate, 1);
         assert_eq!(set.len(), 1);
     }

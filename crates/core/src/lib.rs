@@ -41,5 +41,7 @@ pub use index::NgramIndex;
 pub use lf::KeywordLf;
 pub use lfset::LfSet;
 pub use parse::{parse_response, ParsedResponse};
-pub use pipeline::{DataSculpt, DataSculptConfig, IterationLog, PromptStyle, RunResult};
+pub use pipeline::{
+    DataSculpt, DataSculptConfig, IterationLog, PipelineError, PromptStyle, RunResult,
+};
 pub use sampler::SamplerKind;

@@ -106,7 +106,10 @@ mod tests {
             "Explanation: the review praises the film.\nKeywords: brilliant\nLabel: 1",
             2,
         );
-        assert_eq!(r.explanation.as_deref(), Some("the review praises the film."));
+        assert_eq!(
+            r.explanation.as_deref(),
+            Some("the review praises the film.")
+        );
         assert_eq!(r.keywords, vec!["brilliant"]);
     }
 

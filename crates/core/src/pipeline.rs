@@ -1,4 +1,24 @@
-//! The iterative DataSculpt loop (Figure 1).
+//! The iterative DataSculpt loop (Figure 1), decomposed into stages.
+//!
+//! One query iteration runs five explicit stages over a shared
+//! [`RunContext`]:
+//!
+//! 1. [`RunContext::select_query`] — pick the next unlabeled instance
+//!    (§3.4),
+//! 2. [`RunContext::build_prompt`] — choose in-context examples and render
+//!    the Figure 2 prompt (§3.3),
+//! 3. [`RunContext::generate`] — query the LLM, parse every sample, and
+//!    aggregate by self-consistency (§4.1),
+//! 4. [`RunContext::integrate`] — convert keywords to candidate LFs and
+//!    run the validity / accuracy / redundancy filters (§3.5),
+//! 5. [`RunContext::revise`] — optionally re-prompt for accuracy-rejected
+//!    candidates (§5).
+//!
+//! LLM calls are fallible: an iteration that hits an [`LlmError`] is
+//! recorded in its [`IterationLog`] and skipped, and the run aborts with
+//! [`PipelineError::TooManyFailures`] only after
+//! [`DataSculptConfig::max_consecutive_failures`] failed iterations in a
+//! row.
 
 use crate::consistency::aggregate_consistency;
 use crate::filter::FilterConfig;
@@ -8,10 +28,43 @@ use crate::lfset::LfSet;
 use crate::parse::parse_response;
 use crate::prompt;
 pub use crate::prompt::PromptStyle;
-use crate::sampler::{make_sampler, SamplerKind};
+use crate::sampler::{make_sampler, QuerySampler, SamplerKind};
 use datasculpt_data::TextDataset;
-use datasculpt_llm::{ChatModel, UsageLedger};
+use datasculpt_llm::{ChatMessage, ChatModel, LlmError, UsageLedger};
 use std::collections::HashSet;
+
+/// Why a DataSculpt run aborted instead of producing a [`RunResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// `limit` consecutive query iterations failed with LLM errors.
+    TooManyFailures {
+        /// The configured consecutive-failure limit.
+        limit: usize,
+        /// The error that tripped the limit.
+        last: LlmError,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::TooManyFailures { limit, last } => {
+                write!(
+                    f,
+                    "{limit} consecutive iterations failed; last error: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::TooManyFailures { last, .. } => Some(last),
+        }
+    }
+}
 
 /// Configuration of one DataSculpt run (§4.1 defaults).
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +90,9 @@ pub struct DataSculptConfig {
     /// specific phrase from the same passage and offer the revision to the
     /// filters.
     pub revise_rejected: bool,
+    /// Abort the run after this many consecutive iterations fail with LLM
+    /// errors. Failed iterations below the limit are logged and skipped.
+    pub max_consecutive_failures: usize,
     /// Run seed (drives the sampler and exemplar choice; the LLM has its
     /// own seed).
     pub seed: u64,
@@ -55,6 +111,7 @@ impl DataSculptConfig {
             filters: FilterConfig::all(),
             sampler: SamplerKind::Random,
             revise_rejected: false,
+            max_consecutive_failures: 3,
             seed,
         }
     }
@@ -107,6 +164,23 @@ pub struct IterationLog {
     pub accepted: usize,
     /// Candidate LFs rejected this iteration.
     pub rejected: usize,
+    /// The LLM error that cut this iteration short, if any. LFs accepted
+    /// before the error (e.g. when only the revision call failed) stay in
+    /// the set; `accepted`/`rejected` count them.
+    pub error: Option<LlmError>,
+}
+
+impl IterationLog {
+    fn failed(instance_id: usize, error: LlmError) -> Self {
+        IterationLog {
+            instance_id,
+            label: None,
+            keywords: Vec::new(),
+            accepted: 0,
+            rejected: 0,
+            error: Some(error),
+        }
+    }
 }
 
 /// The outcome of a DataSculpt run.
@@ -118,6 +192,226 @@ pub struct RunResult {
     pub ledger: UsageLedger,
     /// Per-iteration diagnostics.
     pub iterations: Vec<IterationLog>,
+}
+
+impl RunResult {
+    /// Iterations that hit an LLM error and were skipped.
+    pub fn failed_iterations(&self) -> usize {
+        self.iterations
+            .iter()
+            .filter(|it| it.error.is_some())
+            .count()
+    }
+}
+
+/// Outcome of the LF-integration stage for one iteration.
+struct Integration {
+    accepted: usize,
+    rejected: usize,
+    /// Candidates that failed the accuracy filter (revision targets).
+    accuracy_rejected: Vec<KeywordLf>,
+}
+
+/// Mutable state shared by the pipeline stages of one run.
+struct RunContext<'d> {
+    dataset: &'d TextDataset,
+    cfg: DataSculptConfig,
+    lf_set: LfSet,
+    ledger: UsageLedger,
+    icl: IclSelector,
+    sampler: Box<dyn QuerySampler>,
+    queried: HashSet<usize>,
+    iterations: Vec<IterationLog>,
+}
+
+impl<'d> RunContext<'d> {
+    fn new(dataset: &'d TextDataset, cfg: DataSculptConfig) -> Self {
+        RunContext {
+            dataset,
+            cfg,
+            lf_set: LfSet::new(dataset, cfg.filters),
+            ledger: UsageLedger::new(),
+            icl: IclSelector::new(dataset, cfg.icl_strategy, cfg.n_icl, cfg.seed),
+            sampler: make_sampler(cfg.sampler, dataset, cfg.seed),
+            queried: HashSet::with_capacity(cfg.num_queries),
+            iterations: Vec::with_capacity(cfg.num_queries),
+        }
+    }
+
+    /// Stage 1 (§3.4): pick the next query instance, or `None` when the
+    /// unlabeled pool is exhausted. The instance counts as queried even if
+    /// a later stage fails.
+    fn select_query(&mut self) -> Option<usize> {
+        let idx = self
+            .sampler
+            .select(self.dataset, &self.lf_set, &self.queried)?;
+        self.queried.insert(idx);
+        Some(idx)
+    }
+
+    /// Stage 2 (§3.3, Figure 2): choose in-context examples (KATE may call
+    /// the LLM) and render the prompt for instance `idx`.
+    fn build_prompt<M: ChatModel>(
+        &mut self,
+        llm: &mut M,
+        idx: usize,
+    ) -> Result<Vec<ChatMessage>, LlmError> {
+        let instance = &self.dataset.train.instances[idx];
+        let exemplars = self
+            .icl
+            .select(self.dataset, instance, llm, &mut self.ledger)?;
+        Ok(prompt::build_messages(
+            &self.dataset.spec,
+            self.cfg.style,
+            &exemplars,
+            &instance.prompt_text(),
+        ))
+    }
+
+    /// Stage 3 (§4.1): run the chat completion, parse every sample, and
+    /// aggregate by self-consistency majority vote. `Ok(None)` means every
+    /// sample was unusable.
+    fn generate<M: ChatModel>(
+        &mut self,
+        llm: &mut M,
+        messages: Vec<ChatMessage>,
+    ) -> Result<Option<(usize, Vec<String>)>, LlmError> {
+        let response = llm.complete(&prompt::request(
+            messages,
+            self.cfg.temperature,
+            self.cfg.samples_per_query,
+        ))?;
+        self.ledger.record(response.model, response.usage);
+        let n_classes = self.dataset.n_classes();
+        let parsed: Vec<_> = response
+            .choices
+            .iter()
+            .map(|c| parse_response(&c.content, n_classes))
+            .collect();
+        Ok(aggregate_consistency(&parsed, n_classes))
+    }
+
+    /// Stage 4 (§3.5): turn the aggregated keywords into candidate LFs
+    /// (entity-anchored variants for relation tasks, §3.1) and offer each
+    /// to the filters.
+    fn integrate(&mut self, label: usize, keywords: &[String]) -> Integration {
+        let relation = self.dataset.spec.relation;
+        let mut out = Integration {
+            accepted: 0,
+            rejected: 0,
+            accuracy_rejected: Vec::new(),
+        };
+        for kw in keywords {
+            let mut candidates = vec![KeywordLf::new(kw.clone(), label)];
+            if relation {
+                candidates.push(KeywordLf::anchored(kw.clone(), label));
+            }
+            for lf in candidates {
+                match self.lf_set.try_add(lf.clone()) {
+                    outcome if outcome.accepted() => out.accepted += 1,
+                    crate::filter::AddOutcome::RejectedAccuracy => {
+                        out.rejected += 1;
+                        out.accuracy_rejected.push(lf);
+                    }
+                    _ => out.rejected += 1,
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage 5 (§5 future work): one more round-trip per accuracy-rejected
+    /// candidate, asking for a more specific phrase from the same passage.
+    /// Updates the accepted/rejected counts in place.
+    fn revise<M: ChatModel>(
+        &mut self,
+        llm: &mut M,
+        idx: usize,
+        integration: &mut Integration,
+    ) -> Result<(), LlmError> {
+        let relation = self.dataset.spec.relation;
+        let n_classes = self.dataset.n_classes();
+        let instance = &self.dataset.train.instances[idx];
+        for lf in std::mem::take(&mut integration.accuracy_rejected)
+            .into_iter()
+            .take(3)
+        {
+            let messages = prompt::revision_messages(
+                &self.dataset.spec,
+                &instance.prompt_text(),
+                &lf.keyword,
+                lf.label,
+            );
+            let resp = llm.complete(&prompt::request(messages, self.cfg.temperature, 1))?;
+            self.ledger.record(resp.model, resp.usage);
+            let content = resp
+                .choices
+                .first()
+                .map(|c| c.content.as_str())
+                .ok_or(LlmError::EmptyResponse)?;
+            let parsed = parse_response(content, n_classes);
+            for kw in parsed.keywords {
+                let mut candidates = vec![KeywordLf::new(kw.clone(), lf.label)];
+                if relation {
+                    candidates.push(KeywordLf::anchored(kw, lf.label));
+                }
+                for revised in candidates {
+                    if self.lf_set.try_add(revised).accepted() {
+                        integration.accepted += 1;
+                    } else {
+                        integration.rejected += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run stages 2–5 for instance `idx`. A returned log with `error` set
+    /// marks the iteration as failed.
+    fn run_iteration<M: ChatModel>(&mut self, llm: &mut M, idx: usize) -> IterationLog {
+        let messages = match self.build_prompt(llm, idx) {
+            Ok(m) => m,
+            Err(e) => return IterationLog::failed(idx, e),
+        };
+        let aggregated = match self.generate(llm, messages) {
+            Ok(a) => a,
+            Err(e) => return IterationLog::failed(idx, e),
+        };
+        let Some((label, keywords)) = aggregated else {
+            return IterationLog {
+                instance_id: idx,
+                label: None,
+                keywords: Vec::new(),
+                accepted: 0,
+                rejected: 0,
+                error: None,
+            };
+        };
+        let mut integration = self.integrate(label, &keywords);
+        let mut error = None;
+        if self.cfg.revise_rejected {
+            // A failed revision keeps the LFs accepted so far but marks
+            // the iteration as failed.
+            error = self.revise(llm, idx, &mut integration).err();
+        }
+        IterationLog {
+            instance_id: idx,
+            label: Some(label),
+            keywords,
+            accepted: integration.accepted,
+            rejected: integration.rejected,
+            error,
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        RunResult {
+            lf_set: self.lf_set,
+            ledger: self.ledger,
+            iterations: self.iterations,
+        }
+    }
 }
 
 /// The DataSculpt framework: ties the sampler, prompt builder, LLM, parser,
@@ -133,125 +427,42 @@ impl<'a> DataSculpt<'a> {
     pub fn new(dataset: &'a TextDataset, config: DataSculptConfig) -> Self {
         assert!(config.num_queries > 0, "need at least one query");
         assert!(config.samples_per_query > 0, "need at least one sample");
+        assert!(
+            config.max_consecutive_failures > 0,
+            "need a nonzero failure limit"
+        );
         Self { dataset, config }
     }
 
     /// Execute the full run against a chat model.
-    pub fn run<M: ChatModel>(&self, llm: &mut M) -> RunResult {
-        let cfg = &self.config;
-        let mut lf_set = LfSet::new(self.dataset, cfg.filters);
-        let mut ledger = UsageLedger::new();
-        let mut icl = IclSelector::new(self.dataset, cfg.icl_strategy, cfg.n_icl, cfg.seed);
-        let mut sampler = make_sampler(cfg.sampler, self.dataset, cfg.seed);
-        let mut queried: HashSet<usize> = HashSet::with_capacity(cfg.num_queries);
-        let mut iterations = Vec::with_capacity(cfg.num_queries);
-        let n_classes = self.dataset.n_classes();
-        let relation = self.dataset.spec.relation;
-
-        for _ in 0..cfg.num_queries {
-            let Some(idx) = sampler.select(self.dataset, &lf_set, &queried) else {
+    ///
+    /// Iterations that fail with an [`LlmError`] are logged and skipped;
+    /// the run only aborts after
+    /// [`DataSculptConfig::max_consecutive_failures`] failures in a row.
+    pub fn run<M: ChatModel>(&self, llm: &mut M) -> Result<RunResult, PipelineError> {
+        let mut ctx = RunContext::new(self.dataset, self.config);
+        let mut consecutive_failures = 0usize;
+        for _ in 0..self.config.num_queries {
+            let Some(idx) = ctx.select_query() else {
                 break; // unlabeled pool exhausted
             };
-            queried.insert(idx);
-            let instance = &self.dataset.train.instances[idx];
-
-            // Build the prompt (Figure 2) and query the LLM.
-            let exemplars = icl.select(self.dataset, instance, llm, &mut ledger);
-            let messages = prompt::build_messages(
-                &self.dataset.spec,
-                cfg.style,
-                &exemplars,
-                &instance.prompt_text(),
-            );
-            let response = llm.complete(&prompt::request(
-                messages,
-                cfg.temperature,
-                cfg.samples_per_query,
-            ));
-            ledger.record(response.model, response.usage);
-
-            // Parse all samples and aggregate by self-consistency.
-            let parsed: Vec<_> = response
-                .choices
-                .iter()
-                .map(|c| parse_response(&c.content, n_classes))
-                .collect();
-            let Some((label, keywords)) = aggregate_consistency(&parsed, n_classes) else {
-                iterations.push(IterationLog {
-                    instance_id: idx,
-                    label: None,
-                    keywords: Vec::new(),
-                    accepted: 0,
-                    rejected: 0,
-                });
-                continue;
-            };
-
-            // Convert keywords to LFs (entity-anchored variants for
-            // relation tasks, §3.1) and filter (§3.5).
-            let mut accepted = 0usize;
-            let mut rejected = 0usize;
-            let mut accuracy_rejected: Vec<KeywordLf> = Vec::new();
-            for kw in &keywords {
-                let mut candidates = vec![KeywordLf::new(kw.clone(), label)];
-                if relation {
-                    candidates.push(KeywordLf::anchored(kw.clone(), label));
-                }
-                for lf in candidates {
-                    match lf_set.try_add(lf.clone()) {
-                        outcome if outcome.accepted() => accepted += 1,
-                        crate::filter::AddOutcome::RejectedAccuracy => {
-                            rejected += 1;
-                            accuracy_rejected.push(lf);
-                        }
-                        _ => rejected += 1,
+            let log = ctx.run_iteration(llm, idx);
+            let error = log.error.clone();
+            ctx.iterations.push(log);
+            match error {
+                Some(last) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures >= self.config.max_consecutive_failures {
+                        return Err(PipelineError::TooManyFailures {
+                            limit: self.config.max_consecutive_failures,
+                            last,
+                        });
                     }
                 }
+                None => consecutive_failures = 0,
             }
-
-            // LF revision (§5 future work): one more round-trip per
-            // accuracy-rejected candidate, asking for a more specific
-            // phrase from the same passage.
-            if cfg.revise_rejected {
-                for lf in accuracy_rejected.into_iter().take(3) {
-                    let messages = prompt::revision_messages(
-                        &self.dataset.spec,
-                        &instance.prompt_text(),
-                        &lf.keyword,
-                        lf.label,
-                    );
-                    let resp = llm.complete(&prompt::request(messages, cfg.temperature, 1));
-                    ledger.record(resp.model, resp.usage);
-                    let parsed = parse_response(&resp.choices[0].content, n_classes);
-                    for kw in parsed.keywords {
-                        let mut candidates = vec![KeywordLf::new(kw.clone(), lf.label)];
-                        if relation {
-                            candidates.push(KeywordLf::anchored(kw, lf.label));
-                        }
-                        for revised in candidates {
-                            if lf_set.try_add(revised).accepted() {
-                                accepted += 1;
-                            } else {
-                                rejected += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            iterations.push(IterationLog {
-                instance_id: idx,
-                label: Some(label),
-                keywords,
-                accepted,
-                rejected,
-            });
         }
-
-        RunResult {
-            lf_set,
-            ledger,
-            iterations,
-        }
+        Ok(ctx.finish())
     }
 }
 
@@ -259,11 +470,11 @@ impl<'a> DataSculpt<'a> {
 mod tests {
     use super::*;
     use datasculpt_data::DatasetName;
-    use datasculpt_llm::{ModelId, SimulatedLlm};
+    use datasculpt_llm::{FailingModel, ModelId, SimulatedLlm};
 
     fn run_config(dataset: &TextDataset, cfg: DataSculptConfig) -> RunResult {
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 13);
-        DataSculpt::new(dataset, cfg).run(&mut llm)
+        DataSculpt::new(dataset, cfg).run(&mut llm).expect("run")
     }
 
     #[test]
@@ -280,6 +491,7 @@ mod tests {
         assert_eq!(result.iterations.len(), 25);
         assert!(result.ledger.calls() >= 25);
         assert!(result.ledger.total_usage().total() > 0);
+        assert_eq!(result.failed_iterations(), 0);
         // No duplicate LFs in the accepted set.
         let mut seen = std::collections::HashSet::new();
         for lf in result.lf_set.lfs() {
@@ -327,6 +539,106 @@ mod tests {
     }
 
     #[test]
+    fn cached_model_is_transparent_to_a_run() {
+        // The acceptance bar for the cache middleware: wrapping the LLM in
+        // `CachedModel` must leave a run byte-identical — same LF names,
+        // same token ledger.
+        use datasculpt_llm::CachedModel;
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::cot(9);
+        cfg.num_queries = 10;
+        let plain = run_config(&d, cfg);
+        let mut cached_llm = CachedModel::new(SimulatedLlm::new(
+            ModelId::Gpt35Turbo,
+            d.generative.clone(),
+            13,
+        ));
+        let cached = DataSculpt::new(&d, cfg).run(&mut cached_llm).expect("run");
+        let names_plain: Vec<_> = plain.lf_set.lfs().iter().map(|l| l.name()).collect();
+        let names_cached: Vec<_> = cached.lf_set.lfs().iter().map(|l| l.name()).collect();
+        assert_eq!(names_plain, names_cached);
+        assert_eq!(
+            plain.ledger.total_usage(),
+            cached.ledger.total_usage(),
+            "ledgers must match with the cache enabled"
+        );
+        assert_eq!(plain.ledger.calls(), cached.ledger.calls());
+    }
+
+    #[test]
+    fn repeated_run_hits_the_cache() {
+        use datasculpt_llm::CachedModel;
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::cot(9);
+        cfg.num_queries = 10;
+        let mut llm = CachedModel::new(SimulatedLlm::new(
+            ModelId::Gpt35Turbo,
+            d.generative.clone(),
+            13,
+        ));
+        let first = DataSculpt::new(&d, cfg).run(&mut llm).expect("run");
+        let misses_after_first = llm.stats().misses;
+        let second = DataSculpt::new(&d, cfg).run(&mut llm).expect("run");
+        assert!(
+            llm.stats().hits > 0,
+            "re-running an identical config should hit the cache"
+        );
+        assert_eq!(
+            llm.stats().misses,
+            misses_after_first,
+            "no new backend calls on the second run"
+        );
+        // And the cached second run reproduces the first exactly.
+        let names_a: Vec<_> = first.lf_set.lfs().iter().map(|l| l.name()).collect();
+        let names_b: Vec<_> = second.lf_set.lfs().iter().map(|l| l.name()).collect();
+        assert_eq!(names_a, names_b);
+        assert_eq!(first.ledger.total_usage(), second.ledger.total_usage());
+    }
+
+    #[test]
+    fn failed_iterations_are_logged_and_skipped() {
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::base(5);
+        cfg.num_queries = 12;
+        // Every 4th call fails: never two in a row, so the run completes.
+        let mut llm = FailingModel::fail_every(
+            SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13),
+            4,
+        );
+        let result = DataSculpt::new(&d, cfg)
+            .run(&mut llm)
+            .expect("run completes");
+        assert_eq!(result.iterations.len(), 12);
+        let failed = result.failed_iterations();
+        assert!(failed > 0, "some iterations should have failed");
+        assert!(failed < 12, "some iterations should have succeeded");
+        for it in result.iterations.iter().filter(|it| it.error.is_some()) {
+            assert_eq!(it.label, None);
+            assert_eq!(it.accepted, 0);
+        }
+        // Failed calls are never recorded in the ledger.
+        assert_eq!(result.ledger.calls() as usize, 12 - failed);
+    }
+
+    #[test]
+    fn consecutive_failures_abort_the_run() {
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::base(5);
+        cfg.num_queries = 10;
+        cfg.max_consecutive_failures = 3;
+        // Every call fails: the run must abort after exactly 3 iterations.
+        let mut llm = FailingModel::fail_every(
+            SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13),
+            1,
+        );
+        let err = DataSculpt::new(&d, cfg).run(&mut llm).unwrap_err();
+        let PipelineError::TooManyFailures { limit, last } = err;
+        assert_eq!(limit, 3);
+        assert!(matches!(last, LlmError::Transport(_)));
+        assert_eq!(llm.calls_attempted(), 3);
+    }
+
+    #[test]
     fn relation_task_emits_anchored_lfs() {
         let d = DatasetName::Spouse.load_scaled(8, 0.02);
         let mut cfg = DataSculptConfig::sc(3);
@@ -353,12 +665,11 @@ mod tests {
         // tokens.
         let d = DatasetName::Imdb.load_scaled(27, 0.03);
         let run_with = |revise: bool| {
-            let mut llm =
-                SimulatedLlm::new(ModelId::Llama2Chat13b, d.generative.clone(), 17);
+            let mut llm = SimulatedLlm::new(ModelId::Llama2Chat13b, d.generative.clone(), 17);
             let mut cfg = DataSculptConfig::base(4);
             cfg.num_queries = 25;
             cfg.revise_rejected = revise;
-            DataSculpt::new(&d, cfg).run(&mut llm)
+            DataSculpt::new(&d, cfg).run(&mut llm).expect("run")
         };
         let plain = run_with(false);
         let revised = run_with(true);

@@ -83,11 +83,7 @@ pub fn build_messages(
 /// Build the KATE auto-annotation request (§3.3): the example's label is
 /// included in the user input and the LLM supplies the reasoning and
 /// keywords.
-pub fn annotation_messages(
-    spec: &DatasetSpec,
-    text: &str,
-    label: usize,
-) -> Vec<ChatMessage> {
+pub fn annotation_messages(spec: &DatasetSpec, text: &str, label: usize) -> Vec<ChatMessage> {
     vec![
         ChatMessage::system(format!(
             "{} The label for the query is already provided; justify it.",
@@ -136,7 +132,9 @@ pub fn revision_messages(
 
 /// Convenience: wrap messages at a temperature/sample count.
 pub fn request(messages: Vec<ChatMessage>, temperature: f64, n: usize) -> ChatRequest {
-    ChatRequest::new(messages).with_temperature(temperature).with_n(n)
+    ChatRequest::new(messages)
+        .with_temperature(temperature)
+        .with_n(n)
 }
 
 #[cfg(test)]
@@ -213,7 +211,9 @@ mod tests {
     #[test]
     fn label_only_messages_request_bare_label() {
         let msgs = label_only_messages(&spec(), "Is this review positive?", "loved it");
-        assert!(msgs[0].content.contains("Respond with only the class label"));
+        assert!(msgs[0]
+            .content
+            .contains("Respond with only the class label"));
         assert!(msgs[1].content.ends_with("Query: loved it"));
     }
 }

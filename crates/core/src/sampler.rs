@@ -56,11 +56,7 @@ pub trait QuerySampler {
 }
 
 /// Build the sampler for a kind.
-pub fn make_sampler(
-    kind: SamplerKind,
-    dataset: &TextDataset,
-    seed: u64,
-) -> Box<dyn QuerySampler> {
+pub fn make_sampler(kind: SamplerKind, dataset: &TextDataset, seed: u64) -> Box<dyn QuerySampler> {
     match kind {
         SamplerKind::Random => Box::new(RandomSampler::new(seed)),
         SamplerKind::Uncertain => Box::new(UncertainSampler::new(dataset, seed)),
@@ -269,11 +265,8 @@ impl SeuSampler {
                 if active == 0 {
                     continue;
                 }
-                let best = *hist.iter().max().expect("non-empty hist");
-                gram_stats.insert(
-                    g,
-                    (best as f64 / active as f64, active as f64 / n_valid),
-                );
+                let best = hist.iter().copied().max().unwrap_or(0);
+                gram_stats.insert(g, (best as f64 / active as f64, active as f64 / n_valid));
             }
         }
 

@@ -115,13 +115,7 @@ impl TextDataset {
     pub fn generate(spec: DatasetSpec, generative: GenerativeModel, seed: u64) -> Self {
         let base = derive_seed(seed, datasculpt_text::rng::hash_str(spec.name));
         let SplitSizes { train, valid, test } = spec.sizes;
-        let train_split = Self::gen_split(
-            &generative,
-            train,
-            base,
-            0,
-            spec.train_labels_available,
-        );
+        let train_split = Self::gen_split(&generative, train, base, 0, spec.train_labels_available);
         let valid_split = Self::gen_split(&generative, valid, base, 1, true);
         let test_split = Self::gen_split(&generative, test, base, 2, true);
         Self {

@@ -6,10 +6,41 @@ use crate::generative::GenerativeModel;
 use crate::spec::{DatasetSpec, Metric, SplitSizes};
 
 const DOMAIN_FILLER: &[&str] = &[
-    "reuters", "ap", "reported", "report", "officials", "according", "yesterday", "monday",
-    "tuesday", "wednesday", "thursday", "friday", "week", "month", "announced", "statement",
-    "press", "news", "country", "city", "national", "group", "percent", "million", "billion",
-    "year", "years", "world", "says", "say", "told", "three", "five", "second", "third",
+    "reuters",
+    "ap",
+    "reported",
+    "report",
+    "officials",
+    "according",
+    "yesterday",
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "week",
+    "month",
+    "announced",
+    "statement",
+    "press",
+    "news",
+    "country",
+    "city",
+    "national",
+    "group",
+    "percent",
+    "million",
+    "billion",
+    "year",
+    "years",
+    "world",
+    "says",
+    "say",
+    "told",
+    "three",
+    "five",
+    "second",
+    "third",
 ];
 
 /// Spec + generative model for the synthetic AG News dataset.
@@ -35,73 +66,287 @@ pub fn build() -> (DatasetSpec, GenerativeModel) {
 
     // World (class 0).
     lx.add_all(0, Tier::Strong, &["president", "minister", "election"]);
-    lx.add_all(0, Tier::Medium, &[
-        "war", "troops", "military", "government", "parliament", "treaty", "embassy",
-        "diplomat", "sanctions", "rebels", "protest", "protesters", "ceasefire", "peace talks",
-        "prime minister", "united nations", "foreign minister", "refugees", "border",
-        "hostage", "coup", "regime", "summit",
-    ]);
-    lx.add_all(0, Tier::Weak, &[
-        "airstrike", "insurgents", "militants", "peacekeepers", "amnesty", "asylum",
-        "extradition", "humanitarian", "genocide", "tribunal", "warlord", "dictator",
-        "opposition leader", "state visit", "bilateral talks", "nuclear program",
-        "security council", "general assembly", "human rights", "election results",
-        "exit polls", "ballots", "referendum", "constitution", "martial law", "curfew",
-        "uprising", "occupied territories", "demilitarized", "envoy", "consulate",
-    ]);
+    lx.add_all(
+        0,
+        Tier::Medium,
+        &[
+            "war",
+            "troops",
+            "military",
+            "government",
+            "parliament",
+            "treaty",
+            "embassy",
+            "diplomat",
+            "sanctions",
+            "rebels",
+            "protest",
+            "protesters",
+            "ceasefire",
+            "peace talks",
+            "prime minister",
+            "united nations",
+            "foreign minister",
+            "refugees",
+            "border",
+            "hostage",
+            "coup",
+            "regime",
+            "summit",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "airstrike",
+            "insurgents",
+            "militants",
+            "peacekeepers",
+            "amnesty",
+            "asylum",
+            "extradition",
+            "humanitarian",
+            "genocide",
+            "tribunal",
+            "warlord",
+            "dictator",
+            "opposition leader",
+            "state visit",
+            "bilateral talks",
+            "nuclear program",
+            "security council",
+            "general assembly",
+            "human rights",
+            "election results",
+            "exit polls",
+            "ballots",
+            "referendum",
+            "constitution",
+            "martial law",
+            "curfew",
+            "uprising",
+            "occupied territories",
+            "demilitarized",
+            "envoy",
+            "consulate",
+        ],
+    );
 
     // Sports (class 1).
     lx.add_all(1, Tier::Strong, &["team", "season", "coach"]);
-    lx.add_all(1, Tier::Medium, &[
-        "game", "championship", "league", "playoffs", "tournament", "finals", "score",
-        "scored", "win", "victory", "defeat", "match", "stadium", "fans", "olympic",
-        "world cup", "grand slam", "home run", "touchdown", "quarterback", "striker",
-        "goalkeeper", "innings",
-    ]);
-    lx.add_all(1, Tier::Weak, &[
-        "halftime", "overtime", "penalty kick", "free throw", "three pointer", "slam dunk",
-        "hat trick", "shutout", "no hitter", "pole position", "grand prix", "medal",
-        "gold medal", "record holder", "personal best", "transfer fee", "draft pick",
-        "rookie", "veteran player", "injury list", "hamstring", "suspension", "doping",
-        "head coach", "locker room", "season opener", "title race", "relegation",
-        "qualifier", "semifinal", "underdog", "comeback win", "buzzer beater",
-    ]);
+    lx.add_all(
+        1,
+        Tier::Medium,
+        &[
+            "game",
+            "championship",
+            "league",
+            "playoffs",
+            "tournament",
+            "finals",
+            "score",
+            "scored",
+            "win",
+            "victory",
+            "defeat",
+            "match",
+            "stadium",
+            "fans",
+            "olympic",
+            "world cup",
+            "grand slam",
+            "home run",
+            "touchdown",
+            "quarterback",
+            "striker",
+            "goalkeeper",
+            "innings",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Weak,
+        &[
+            "halftime",
+            "overtime",
+            "penalty kick",
+            "free throw",
+            "three pointer",
+            "slam dunk",
+            "hat trick",
+            "shutout",
+            "no hitter",
+            "pole position",
+            "grand prix",
+            "medal",
+            "gold medal",
+            "record holder",
+            "personal best",
+            "transfer fee",
+            "draft pick",
+            "rookie",
+            "veteran player",
+            "injury list",
+            "hamstring",
+            "suspension",
+            "doping",
+            "head coach",
+            "locker room",
+            "season opener",
+            "title race",
+            "relegation",
+            "qualifier",
+            "semifinal",
+            "underdog",
+            "comeback win",
+            "buzzer beater",
+        ],
+    );
 
     // Business (class 2).
     lx.add_all(2, Tier::Strong, &["shares", "profit", "market"]);
-    lx.add_all(2, Tier::Medium, &[
-        "stocks", "stock market", "earnings", "revenue", "investors", "quarterly", "shares fell",
-        "shares rose", "wall street", "merger", "acquisition", "ipo", "bankruptcy", "ceo",
-        "oil prices", "interest rates", "inflation", "federal reserve", "economy", "economic",
-        "trade deficit", "exports", "dividend",
-    ]);
-    lx.add_all(2, Tier::Weak, &[
-        "hedge fund", "mutual fund", "bondholders", "shareholders", "stakeholders", "layoffs",
-        "restructuring", "cost cutting", "profit warning", "guidance raised", "forecast cut",
-        "analysts expect", "beat estimates", "missed estimates", "market cap", "valuation",
-        "stock split", "buyback", "takeover bid", "hostile takeover", "antitrust",
-        "regulators approved", "quarterly results", "fiscal year", "balance sheet",
-        "gross margin", "retail sales", "consumer spending", "housing market", "crude futures",
-        "opec", "nasdaq", "dow jones",
-    ]);
+    lx.add_all(
+        2,
+        Tier::Medium,
+        &[
+            "stocks",
+            "stock market",
+            "earnings",
+            "revenue",
+            "investors",
+            "quarterly",
+            "shares fell",
+            "shares rose",
+            "wall street",
+            "merger",
+            "acquisition",
+            "ipo",
+            "bankruptcy",
+            "ceo",
+            "oil prices",
+            "interest rates",
+            "inflation",
+            "federal reserve",
+            "economy",
+            "economic",
+            "trade deficit",
+            "exports",
+            "dividend",
+        ],
+    );
+    lx.add_all(
+        2,
+        Tier::Weak,
+        &[
+            "hedge fund",
+            "mutual fund",
+            "bondholders",
+            "shareholders",
+            "stakeholders",
+            "layoffs",
+            "restructuring",
+            "cost cutting",
+            "profit warning",
+            "guidance raised",
+            "forecast cut",
+            "analysts expect",
+            "beat estimates",
+            "missed estimates",
+            "market cap",
+            "valuation",
+            "stock split",
+            "buyback",
+            "takeover bid",
+            "hostile takeover",
+            "antitrust",
+            "regulators approved",
+            "quarterly results",
+            "fiscal year",
+            "balance sheet",
+            "gross margin",
+            "retail sales",
+            "consumer spending",
+            "housing market",
+            "crude futures",
+            "opec",
+            "nasdaq",
+            "dow jones",
+        ],
+    );
 
     // Sci/Tech (class 3).
     lx.add_all(3, Tier::Strong, &["software", "internet", "research"]);
-    lx.add_all(3, Tier::Medium, &[
-        "computer", "technology", "scientists", "researchers", "space", "nasa", "satellite",
-        "microsoft", "google", "apple", "chip", "processor", "web", "website", "online",
-        "security flaw", "hackers", "virus", "operating system", "broadband", "wireless",
-        "telescope", "spacecraft",
-    ]);
-    lx.add_all(3, Tier::Weak, &[
-        "open source", "linux", "browser", "search engine", "e commerce", "silicon valley",
-        "startup", "beta version", "source code", "encryption", "firewall", "malware",
-        "phishing", "data breach", "patch released", "vulnerability", "server farm",
-        "cloud computing", "artificial intelligence", "machine learning", "robotics",
-        "gene therapy", "stem cells", "dna sequence", "clinical trial", "vaccine research",
-        "particle physics", "mars rover", "space station", "launch pad", "orbit",
-        "asteroid", "climate study", "fossil record", "quantum",
-    ]);
+    lx.add_all(
+        3,
+        Tier::Medium,
+        &[
+            "computer",
+            "technology",
+            "scientists",
+            "researchers",
+            "space",
+            "nasa",
+            "satellite",
+            "microsoft",
+            "google",
+            "apple",
+            "chip",
+            "processor",
+            "web",
+            "website",
+            "online",
+            "security flaw",
+            "hackers",
+            "virus",
+            "operating system",
+            "broadband",
+            "wireless",
+            "telescope",
+            "spacecraft",
+        ],
+    );
+    lx.add_all(
+        3,
+        Tier::Weak,
+        &[
+            "open source",
+            "linux",
+            "browser",
+            "search engine",
+            "e commerce",
+            "silicon valley",
+            "startup",
+            "beta version",
+            "source code",
+            "encryption",
+            "firewall",
+            "malware",
+            "phishing",
+            "data breach",
+            "patch released",
+            "vulnerability",
+            "server farm",
+            "cloud computing",
+            "artificial intelligence",
+            "machine learning",
+            "robotics",
+            "gene therapy",
+            "stem cells",
+            "dna sequence",
+            "clinical trial",
+            "vaccine research",
+            "particle physics",
+            "mars rover",
+            "space station",
+            "launch pad",
+            "orbit",
+            "asteroid",
+            "climate study",
+            "fossil record",
+            "quantum",
+        ],
+    );
 
     let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
     background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
@@ -139,7 +384,10 @@ mod tests {
     fn each_class_has_a_pool() {
         let (_, model) = build();
         for c in 0..4 {
-            assert!(model.class_grams(c).count() >= 40, "class {c} pool too small");
+            assert!(
+                model.class_grams(c).count() >= 40,
+                "class {c} pool too small"
+            );
         }
     }
 

@@ -5,10 +5,37 @@ use crate::generative::GenerativeModel;
 use crate::spec::{DatasetSpec, Metric, SplitSizes};
 
 const DOMAIN_FILLER: &[&str] = &[
-    "movie", "film", "scene", "scenes", "character", "characters", "plot", "story", "actor",
-    "actress", "director", "cast", "screen", "watch", "watched", "watching", "ending",
-    "beginning", "minutes", "hollywood", "cinema", "dvd", "series", "episode", "sequel",
-    "script", "dialogue", "acting", "performance", "role", "camera",
+    "movie",
+    "film",
+    "scene",
+    "scenes",
+    "character",
+    "characters",
+    "plot",
+    "story",
+    "actor",
+    "actress",
+    "director",
+    "cast",
+    "screen",
+    "watch",
+    "watched",
+    "watching",
+    "ending",
+    "beginning",
+    "minutes",
+    "hollywood",
+    "cinema",
+    "dvd",
+    "series",
+    "episode",
+    "sequel",
+    "script",
+    "dialogue",
+    "acting",
+    "performance",
+    "role",
+    "camera",
 ];
 
 /// Spec + generative model for the synthetic IMDB dataset.
@@ -34,47 +61,188 @@ pub fn build() -> (DatasetSpec, GenerativeModel) {
 
     // Positive (class 1).
     lx.add_adjectives(1, Tier::Strong, &["great", "excellent", "wonderful"]);
-    lx.add_adjectives(1, Tier::Medium, &[
-        "funny", "heartwarming", "brilliant", "beautiful", "amazing", "superb", "touching",
-        "charming", "delightful", "gripping", "powerful", "stunning", "hilarious", "memorable",
-        "masterful", "compelling", "captivating", "enjoyable", "entertaining",
-    ]);
-    lx.add_all(1, Tier::Medium, &[
-        "masterpiece", "loved it", "must see", "highly recommend", "well worth", "best movie",
-        "one of the best", "loved every", "a gem", "oscar worthy", "flawless", "perfection",
-    ]);
-    lx.add_all(1, Tier::Weak, &[
-        "laughed out loud", "edge of my seat", "tour de force", "instant classic", "rewatch",
-        "watch it again", "blown away", "exceeded expectations", "pleasant surprise",
-        "beautifully shot", "great chemistry", "strong performances", "career best",
-        "stole the show", "breath of fresh", "fresh air", "heartfelt", "uplifting",
-        "feel good", "crowd pleaser", "never a dull", "dull moment", "kept me hooked",
-        "hooked from", "top notch", "second to none", "rings true", "pitch perfect",
-        "worth every minute", "ten out of ten", "five stars", "bravo", "kudos",
-        "standing ovation", "a triumph", "pure joy", "absolute delight", "cinematic gold",
-    ]);
+    lx.add_adjectives(
+        1,
+        Tier::Medium,
+        &[
+            "funny",
+            "heartwarming",
+            "brilliant",
+            "beautiful",
+            "amazing",
+            "superb",
+            "touching",
+            "charming",
+            "delightful",
+            "gripping",
+            "powerful",
+            "stunning",
+            "hilarious",
+            "memorable",
+            "masterful",
+            "compelling",
+            "captivating",
+            "enjoyable",
+            "entertaining",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Medium,
+        &[
+            "masterpiece",
+            "loved it",
+            "must see",
+            "highly recommend",
+            "well worth",
+            "best movie",
+            "one of the best",
+            "loved every",
+            "a gem",
+            "oscar worthy",
+            "flawless",
+            "perfection",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Weak,
+        &[
+            "laughed out loud",
+            "edge of my seat",
+            "tour de force",
+            "instant classic",
+            "rewatch",
+            "watch it again",
+            "blown away",
+            "exceeded expectations",
+            "pleasant surprise",
+            "beautifully shot",
+            "great chemistry",
+            "strong performances",
+            "career best",
+            "stole the show",
+            "breath of fresh",
+            "fresh air",
+            "heartfelt",
+            "uplifting",
+            "feel good",
+            "crowd pleaser",
+            "never a dull",
+            "dull moment",
+            "kept me hooked",
+            "hooked from",
+            "top notch",
+            "second to none",
+            "rings true",
+            "pitch perfect",
+            "worth every minute",
+            "ten out of ten",
+            "five stars",
+            "bravo",
+            "kudos",
+            "standing ovation",
+            "a triumph",
+            "pure joy",
+            "absolute delight",
+            "cinematic gold",
+        ],
+    );
 
     // Negative (class 0).
     lx.add_adjectives(0, Tier::Strong, &["horrible", "terrible", "boring"]);
-    lx.add_adjectives(0, Tier::Medium, &[
-        "awful", "dreadful", "bland", "dull", "lame", "weak", "silly", "stupid", "annoying",
-        "painful", "forgettable", "predictable", "cheesy", "cheap", "messy", "pointless",
-        "laughable", "clumsy", "tedious",
-    ]);
-    lx.add_all(0, Tier::Medium, &[
-        "worst movie", "waste of time", "the worst", "fell asleep", "walked out", "avoid",
-        "dont bother", "not worth", "skip this", "a mess", "so bad", "bad movies",
-    ]);
-    lx.add_all(0, Tier::Weak, &[
-        "wooden acting", "plot holes", "makes no sense", "made no sense", "poorly written",
-        "poorly acted", "badly directed", "low budget", "b movie", "straight to dvd",
-        "cash grab", "no redeeming", "redeeming qualities", "fast forward", "turned it off",
-        "want my money", "money back", "two hours i", "never get back", "cringe",
-        "cringe worthy", "paper thin", "one dimensional", "overacted", "miscast",
-        "nonsensical", "incoherent", "a chore", "utterly bored", "snooze fest", "train wreck",
-        "dumpster fire", "zero stars", "one star", "insult to", "ruined the", "butchered",
-        "disaster", "flop", "unwatchable", "cgi was horrible", "horrible cgi", "bad cgi",
-    ]);
+    lx.add_adjectives(
+        0,
+        Tier::Medium,
+        &[
+            "awful",
+            "dreadful",
+            "bland",
+            "dull",
+            "lame",
+            "weak",
+            "silly",
+            "stupid",
+            "annoying",
+            "painful",
+            "forgettable",
+            "predictable",
+            "cheesy",
+            "cheap",
+            "messy",
+            "pointless",
+            "laughable",
+            "clumsy",
+            "tedious",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Medium,
+        &[
+            "worst movie",
+            "waste of time",
+            "the worst",
+            "fell asleep",
+            "walked out",
+            "avoid",
+            "dont bother",
+            "not worth",
+            "skip this",
+            "a mess",
+            "so bad",
+            "bad movies",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "wooden acting",
+            "plot holes",
+            "makes no sense",
+            "made no sense",
+            "poorly written",
+            "poorly acted",
+            "badly directed",
+            "low budget",
+            "b movie",
+            "straight to dvd",
+            "cash grab",
+            "no redeeming",
+            "redeeming qualities",
+            "fast forward",
+            "turned it off",
+            "want my money",
+            "money back",
+            "two hours i",
+            "never get back",
+            "cringe",
+            "cringe worthy",
+            "paper thin",
+            "one dimensional",
+            "overacted",
+            "miscast",
+            "nonsensical",
+            "incoherent",
+            "a chore",
+            "utterly bored",
+            "snooze fest",
+            "train wreck",
+            "dumpster fire",
+            "zero stars",
+            "one star",
+            "insult to",
+            "ruined the",
+            "butchered",
+            "disaster",
+            "flop",
+            "unwatchable",
+            "cgi was horrible",
+            "horrible cgi",
+            "bad cgi",
+        ],
+    );
 
     let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
     background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
@@ -117,6 +285,10 @@ mod tests {
     fn large_lexicon_for_large_lf_sets() {
         let (_, model) = build();
         // DataSculpt-KATE reaches 329 LFs on IMDB (Table 2).
-        assert!(model.indicative_grams().len() >= 180, "{}", model.indicative_grams().len());
+        assert!(
+            model.indicative_grams().len() >= 180,
+            "{}",
+            model.indicative_grams().len()
+        );
     }
 }

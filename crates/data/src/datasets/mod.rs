@@ -135,20 +135,168 @@ impl Lexicon {
 
 /// Shared common-English background vocabulary (Zipf-ranked by position).
 pub(crate) const BACKGROUND_COMMON: &[&str] = &[
-    "the", "to", "and", "a", "of", "i", "it", "is", "that", "in", "you", "this", "for", "was",
-    "on", "with", "my", "but", "have", "not", "are", "be", "at", "as", "they", "we", "so", "just",
-    "all", "like", "do", "me", "what", "when", "there", "from", "out", "up", "about", "get",
-    "one", "if", "can", "her", "his", "he", "she", "will", "or", "an", "had", "by", "been",
-    "were", "their", "them", "then", "some", "would", "who", "him", "time", "because", "very",
-    "here", "now", "after", "before", "more", "much", "than", "also", "into", "over", "only",
-    "other", "could", "did", "your", "see", "know", "think", "got", "going", "really", "way",
-    "people", "day", "make", "still", "even", "back", "well", "want", "never", "say", "said",
-    "go", "went", "come", "made", "look", "first", "two", "new", "where", "how", "most", "any",
-    "these", "no", "yes", "us", "our", "being", "has", "its", "which", "while", "down", "off",
-    "again", "too", "thing", "things", "little", "big", "lot", "right", "left", "take", "give",
-    "something", "nothing", "everything", "someone", "around", "through", "during", "another",
-    "same", "last", "next", "each", "few", "many", "those", "such", "own", "both", "between",
-    "under", "why", "does", "every", "once", "since", "found", "part", "place", "long", "seem",
+    "the",
+    "to",
+    "and",
+    "a",
+    "of",
+    "i",
+    "it",
+    "is",
+    "that",
+    "in",
+    "you",
+    "this",
+    "for",
+    "was",
+    "on",
+    "with",
+    "my",
+    "but",
+    "have",
+    "not",
+    "are",
+    "be",
+    "at",
+    "as",
+    "they",
+    "we",
+    "so",
+    "just",
+    "all",
+    "like",
+    "do",
+    "me",
+    "what",
+    "when",
+    "there",
+    "from",
+    "out",
+    "up",
+    "about",
+    "get",
+    "one",
+    "if",
+    "can",
+    "her",
+    "his",
+    "he",
+    "she",
+    "will",
+    "or",
+    "an",
+    "had",
+    "by",
+    "been",
+    "were",
+    "their",
+    "them",
+    "then",
+    "some",
+    "would",
+    "who",
+    "him",
+    "time",
+    "because",
+    "very",
+    "here",
+    "now",
+    "after",
+    "before",
+    "more",
+    "much",
+    "than",
+    "also",
+    "into",
+    "over",
+    "only",
+    "other",
+    "could",
+    "did",
+    "your",
+    "see",
+    "know",
+    "think",
+    "got",
+    "going",
+    "really",
+    "way",
+    "people",
+    "day",
+    "make",
+    "still",
+    "even",
+    "back",
+    "well",
+    "want",
+    "never",
+    "say",
+    "said",
+    "go",
+    "went",
+    "come",
+    "made",
+    "look",
+    "first",
+    "two",
+    "new",
+    "where",
+    "how",
+    "most",
+    "any",
+    "these",
+    "no",
+    "yes",
+    "us",
+    "our",
+    "being",
+    "has",
+    "its",
+    "which",
+    "while",
+    "down",
+    "off",
+    "again",
+    "too",
+    "thing",
+    "things",
+    "little",
+    "big",
+    "lot",
+    "right",
+    "left",
+    "take",
+    "give",
+    "something",
+    "nothing",
+    "everything",
+    "someone",
+    "around",
+    "through",
+    "during",
+    "another",
+    "same",
+    "last",
+    "next",
+    "each",
+    "few",
+    "many",
+    "those",
+    "such",
+    "own",
+    "both",
+    "between",
+    "under",
+    "why",
+    "does",
+    "every",
+    "once",
+    "since",
+    "found",
+    "part",
+    "place",
+    "long",
+    "seem",
 ];
 
 /// Render tokens into display text: capitalize the first token, add a final
@@ -239,7 +387,11 @@ mod tests {
     #[test]
     fn background_vocab_is_nontrivial_and_unique() {
         let set: std::collections::HashSet<_> = BACKGROUND_COMMON.iter().collect();
-        assert_eq!(set.len(), BACKGROUND_COMMON.len(), "duplicate background word");
+        assert_eq!(
+            set.len(),
+            BACKGROUND_COMMON.len(),
+            "duplicate background word"
+        );
         assert!(BACKGROUND_COMMON.len() >= 100);
     }
 }

@@ -11,8 +11,8 @@ use crate::generative::GenerativeModel;
 use crate::spec::{DatasetSpec, Metric, SplitSizes};
 
 const DOMAIN_FILLER: &[&str] = &[
-    "ok", "u", "ur", "im", "dont", "gonna", "pls", "thx", "hey", "yeah", "hmm", "tonight",
-    "today", "tomorrow", "morning", "night", "later", "soon", "home", "work", "phone",
+    "ok", "u", "ur", "im", "dont", "gonna", "pls", "thx", "hey", "yeah", "hmm", "tonight", "today",
+    "tomorrow", "morning", "night", "later", "soon", "home", "work", "phone",
 ];
 
 /// Spec + generative model for the synthetic SMS dataset.
@@ -136,29 +136,114 @@ pub fn build() -> (DatasetSpec, GenerativeModel) {
     // entries rather than a few broad ones, so ham LFs stay narrow (the
     // paper's SMS LFs average 0.007 coverage).
     lx.add_all(0, Tier::Medium, &["lol", "love you", "see you"]);
-    lx.add_all(0, Tier::Weak, &[
-        "meet", "dinner", "lunch", "coffee", "movie", "class", "lecture", "exam", "homework",
-        "mom", "dad", "bro", "mate", "miss you", "good night", "good morning", "on my way",
-        "running late", "be there", "pick you", "pick me", "call me when", "talk later",
-        "how are you", "what time", "are you coming", "at home", "at work", "after work",
-    ]);
-    lx.add_all(0, Tier::Weak, &[
-        "sleepy", "tired", "hungry", "bored", "busy", "sorry", "thanks dear", "no worries",
-        "take care", "drive safe", "happy birthday", "congrats", "good luck", "well done",
-        "see ya", "cya", "brb", "ttyl", "wanna", "lemme", "gimme", "kinda", "dunno",
-        "feeling", "weekend", "holiday", "trip", "beach", "party", "birthday", "wedding dress",
-        "shopping", "groceries", "doctor", "dentist", "appointment", "meeting at", "project",
-        "assignment", "library", "train", "bus", "station", "airport", "flight",
-    ]);
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "meet",
+            "dinner",
+            "lunch",
+            "coffee",
+            "movie",
+            "class",
+            "lecture",
+            "exam",
+            "homework",
+            "mom",
+            "dad",
+            "bro",
+            "mate",
+            "miss you",
+            "good night",
+            "good morning",
+            "on my way",
+            "running late",
+            "be there",
+            "pick you",
+            "pick me",
+            "call me when",
+            "talk later",
+            "how are you",
+            "what time",
+            "are you coming",
+            "at home",
+            "at work",
+            "after work",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "sleepy",
+            "tired",
+            "hungry",
+            "bored",
+            "busy",
+            "sorry",
+            "thanks dear",
+            "no worries",
+            "take care",
+            "drive safe",
+            "happy birthday",
+            "congrats",
+            "good luck",
+            "well done",
+            "see ya",
+            "cya",
+            "brb",
+            "ttyl",
+            "wanna",
+            "lemme",
+            "gimme",
+            "kinda",
+            "dunno",
+            "feeling",
+            "weekend",
+            "holiday",
+            "trip",
+            "beach",
+            "party",
+            "birthday",
+            "wedding dress",
+            "shopping",
+            "groceries",
+            "doctor",
+            "dentist",
+            "appointment",
+            "meeting at",
+            "project",
+            "assignment",
+            "library",
+            "train",
+            "bus",
+            "station",
+            "airport",
+            "flight",
+        ],
+    );
     // Long tail of everyday phrases, composed combinatorially (the same
     // kind of rare personal wording the real corpus is full of).
     for verb in ["call", "text", "meet", "see", "ring", "ping"] {
-        for obj in ["me later", "me tonight", "me tomorrow", "you soon", "you there", "you after"]
-        {
+        for obj in [
+            "me later",
+            "me tonight",
+            "me tomorrow",
+            "you soon",
+            "you there",
+            "you after",
+        ] {
             lx.add_exact(0, &format!("{verb} {obj}"), 0.006, 0.2);
         }
     }
-    for when in ["tonight", "tomorrow", "saturday", "sunday", "next week", "this evening"] {
+    for when in [
+        "tonight",
+        "tomorrow",
+        "saturday",
+        "sunday",
+        "next week",
+        "this evening",
+    ] {
         for what in ["dinner", "drinks", "footy", "cinema", "the gym", "town"] {
             lx.add_exact(0, &format!("{what} {when}"), 0.004, 0.15);
         }

@@ -14,26 +14,125 @@ use crate::generative::{GenerativeModel, RelationConfig};
 use crate::spec::{DatasetSpec, Metric, SplitSizes};
 
 const DOMAIN_FILLER: &[&str] = &[
-    "news", "article", "story", "interview", "reporter", "sources", "family", "home", "house",
-    "event", "ceremony", "met", "meeting", "spoke", "attended", "appeared", "joined",
-    "worked", "career", "company", "film", "show", "friends", "known", "public",
+    "news",
+    "article",
+    "story",
+    "interview",
+    "reporter",
+    "sources",
+    "family",
+    "home",
+    "house",
+    "event",
+    "ceremony",
+    "met",
+    "meeting",
+    "spoke",
+    "attended",
+    "appeared",
+    "joined",
+    "worked",
+    "career",
+    "company",
+    "film",
+    "show",
+    "friends",
+    "known",
+    "public",
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
-    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "daniel", "nancy", "matthew", "lisa", "anthony", "betty", "mark",
-    "margaret", "donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew", "emily",
-    "joshua", "donna", "kenneth", "michelle", "kevin", "carol", "brian", "amanda", "george",
-    "melissa", "edward", "deborah",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "daniel",
+    "nancy",
+    "matthew",
+    "lisa",
+    "anthony",
+    "betty",
+    "mark",
+    "margaret",
+    "donald",
+    "sandra",
+    "steven",
+    "ashley",
+    "paul",
+    "kimberly",
+    "andrew",
+    "emily",
+    "joshua",
+    "donna",
+    "kenneth",
+    "michelle",
+    "kevin",
+    "carol",
+    "brian",
+    "amanda",
+    "george",
+    "melissa",
+    "edward",
+    "deborah",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
 ];
 
 /// Connector patterns that link `[a]` and `[b]` in positive documents.
@@ -111,16 +210,57 @@ pub fn build() -> (DatasetSpec, GenerativeModel) {
     // Non-relation context (class 0): other relationships and professional
     // contexts. Weaker pool — the paper observes LLMs rarely produce
     // negative-class LFs here, and the default class covers the rest.
-    lx.add_all(0, Tier::Medium, &[
-        "brother", "sister", "colleague", "coworker", "boss", "teammate", "rival", "opponent",
-        "business partner", "co star", "classmate", "neighbor", "cousin", "uncle", "aunt",
-    ]);
-    lx.add_all(0, Tier::Weak, &[
-        "press conference", "board meeting", "conference", "campaign", "lawsuit", "court",
-        "testified", "negotiation", "contract", "signed with", "traded to", "interviewed",
-        "succeeded by", "appointed", "nominated", "elected", "hired", "fired", "mentor",
-        "student of", "professor", "research team", "film together", "starred with",
-    ]);
+    lx.add_all(
+        0,
+        Tier::Medium,
+        &[
+            "brother",
+            "sister",
+            "colleague",
+            "coworker",
+            "boss",
+            "teammate",
+            "rival",
+            "opponent",
+            "business partner",
+            "co star",
+            "classmate",
+            "neighbor",
+            "cousin",
+            "uncle",
+            "aunt",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "press conference",
+            "board meeting",
+            "conference",
+            "campaign",
+            "lawsuit",
+            "court",
+            "testified",
+            "negotiation",
+            "contract",
+            "signed with",
+            "traded to",
+            "interviewed",
+            "succeeded by",
+            "appointed",
+            "nominated",
+            "elected",
+            "hired",
+            "fired",
+            "mentor",
+            "student of",
+            "professor",
+            "research team",
+            "film together",
+            "starred with",
+        ],
+    );
 
     let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
     background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
@@ -187,7 +327,9 @@ mod tests {
             let d = model.sample_document(0, 9, s);
             let m = d.marked.expect("marked view");
             // Distractor: a positive connector word present in a negative.
-            if m.iter().any(|t| t == "married" || t == "wife" || t == "wed") {
+            if m.iter()
+                .any(|t| t == "married" || t == "wife" || t == "wed")
+            {
                 distractors += 1;
             }
         }

@@ -5,10 +5,41 @@ use crate::generative::GenerativeModel;
 use crate::spec::{DatasetSpec, Metric, SplitSizes};
 
 const DOMAIN_FILLER: &[&str] = &[
-    "food", "restaurant", "place", "service", "staff", "table", "menu", "order", "ordered",
-    "waiter", "waitress", "server", "dish", "meal", "dinner", "lunch", "breakfast", "drink",
-    "drinks", "bar", "chef", "kitchen", "price", "prices", "came", "asked", "told", "minutes",
-    "location", "parking", "atmosphere", "ambiance", "portion", "portions", "taste",
+    "food",
+    "restaurant",
+    "place",
+    "service",
+    "staff",
+    "table",
+    "menu",
+    "order",
+    "ordered",
+    "waiter",
+    "waitress",
+    "server",
+    "dish",
+    "meal",
+    "dinner",
+    "lunch",
+    "breakfast",
+    "drink",
+    "drinks",
+    "bar",
+    "chef",
+    "kitchen",
+    "price",
+    "prices",
+    "came",
+    "asked",
+    "told",
+    "minutes",
+    "location",
+    "parking",
+    "atmosphere",
+    "ambiance",
+    "portion",
+    "portions",
+    "taste",
 ];
 
 /// Spec + generative model for the synthetic Yelp dataset.
@@ -34,50 +65,194 @@ pub fn build() -> (DatasetSpec, GenerativeModel) {
 
     // Positive (class 1).
     lx.add_adjectives(1, Tier::Strong, &["delicious", "friendly", "amazing"]);
-    lx.add_adjectives(1, Tier::Medium, &[
-        "tasty", "fresh", "cozy", "attentive", "flavorful", "generous", "reasonable", "prompt",
-        "welcoming", "clean", "crispy", "juicy", "tender", "authentic", "lovely", "fantastic",
-        "excellent", "wonderful", "perfect",
-    ]);
-    lx.add_all(1, Tier::Medium, &[
-        "great service", "highly recommend", "will be back", "come back", "best in town",
-        "hidden gem", "to die for", "melt in your", "five stars", "loved the", "great food",
-        "great place", "go to spot", "never disappoints",
-    ]);
-    lx.add_all(1, Tier::Weak, &[
-        "cooked to perfection", "out of this world", "hit the spot", "worth the wait",
-        "worth every penny", "generous portions", "huge portions", "quick service",
-        "fast service", "super friendly", "staff was friendly", "made us feel",
-        "felt welcome", "great value", "good value", "fair prices", "fresh ingredients",
-        "locally sourced", "homemade", "mouth watering", "bursting with flavor", "so flavorful",
-        "my new favorite", "new favorite", "cant wait to", "definitely returning",
-        "definitely recommend", "a must try", "must try", "try the", "get the",
-        "happy hour", "date night", "family friendly", "kid friendly", "great vibe",
-        "nice ambiance", "charming", "delightful", "impeccable", "spotless",
-    ]);
+    lx.add_adjectives(
+        1,
+        Tier::Medium,
+        &[
+            "tasty",
+            "fresh",
+            "cozy",
+            "attentive",
+            "flavorful",
+            "generous",
+            "reasonable",
+            "prompt",
+            "welcoming",
+            "clean",
+            "crispy",
+            "juicy",
+            "tender",
+            "authentic",
+            "lovely",
+            "fantastic",
+            "excellent",
+            "wonderful",
+            "perfect",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Medium,
+        &[
+            "great service",
+            "highly recommend",
+            "will be back",
+            "come back",
+            "best in town",
+            "hidden gem",
+            "to die for",
+            "melt in your",
+            "five stars",
+            "loved the",
+            "great food",
+            "great place",
+            "go to spot",
+            "never disappoints",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Weak,
+        &[
+            "cooked to perfection",
+            "out of this world",
+            "hit the spot",
+            "worth the wait",
+            "worth every penny",
+            "generous portions",
+            "huge portions",
+            "quick service",
+            "fast service",
+            "super friendly",
+            "staff was friendly",
+            "made us feel",
+            "felt welcome",
+            "great value",
+            "good value",
+            "fair prices",
+            "fresh ingredients",
+            "locally sourced",
+            "homemade",
+            "mouth watering",
+            "bursting with flavor",
+            "so flavorful",
+            "my new favorite",
+            "new favorite",
+            "cant wait to",
+            "definitely returning",
+            "definitely recommend",
+            "a must try",
+            "must try",
+            "try the",
+            "get the",
+            "happy hour",
+            "date night",
+            "family friendly",
+            "kid friendly",
+            "great vibe",
+            "nice ambiance",
+            "charming",
+            "delightful",
+            "impeccable",
+            "spotless",
+        ],
+    );
 
     // Negative (class 0).
     lx.add_adjectives(0, Tier::Strong, &["rude", "cold", "slow"]);
-    lx.add_adjectives(0, Tier::Medium, &[
-        "bland", "stale", "greasy", "soggy", "dirty", "overpriced", "mediocre", "tasteless",
-        "dry", "burnt", "salty", "undercooked", "overcooked", "disgusting", "gross", "awful",
-        "terrible", "horrible", "disappointing",
-    ]);
-    lx.add_all(0, Tier::Medium, &[
-        "never again", "waste of money", "worst service", "food poisoning", "sent it back",
-        "long wait", "waited over", "got it wrong", "never coming back", "not coming back",
-        "would not recommend", "do not recommend", "stay away", "avoid this place",
-    ]);
-    lx.add_all(0, Tier::Weak, &[
-        "hair in my", "fly in my", "made me sick", "felt sick", "ignored us", "no apology",
-        "manager was rude", "rolled her eyes", "slammed the", "forgot our", "wrong order",
-        "took forever", "forever to", "an hour for", "still waiting", "walked out",
-        "left hungry", "tiny portions", "small portions", "portion was tiny", "rip off",
-        "ripped off", "overcharged", "charged us", "hidden fees", "health code",
-        "health department", "sticky tables", "dirty bathroom", "smelled like", "lukewarm",
-        "ice cold food", "microwaved", "frozen food", "out of a can", "from a box",
-        "zero stars", "one star", "worst meal", "inedible", "threw it away", "dog food",
-    ]);
+    lx.add_adjectives(
+        0,
+        Tier::Medium,
+        &[
+            "bland",
+            "stale",
+            "greasy",
+            "soggy",
+            "dirty",
+            "overpriced",
+            "mediocre",
+            "tasteless",
+            "dry",
+            "burnt",
+            "salty",
+            "undercooked",
+            "overcooked",
+            "disgusting",
+            "gross",
+            "awful",
+            "terrible",
+            "horrible",
+            "disappointing",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Medium,
+        &[
+            "never again",
+            "waste of money",
+            "worst service",
+            "food poisoning",
+            "sent it back",
+            "long wait",
+            "waited over",
+            "got it wrong",
+            "never coming back",
+            "not coming back",
+            "would not recommend",
+            "do not recommend",
+            "stay away",
+            "avoid this place",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "hair in my",
+            "fly in my",
+            "made me sick",
+            "felt sick",
+            "ignored us",
+            "no apology",
+            "manager was rude",
+            "rolled her eyes",
+            "slammed the",
+            "forgot our",
+            "wrong order",
+            "took forever",
+            "forever to",
+            "an hour for",
+            "still waiting",
+            "walked out",
+            "left hungry",
+            "tiny portions",
+            "small portions",
+            "portion was tiny",
+            "rip off",
+            "ripped off",
+            "overcharged",
+            "charged us",
+            "hidden fees",
+            "health code",
+            "health department",
+            "sticky tables",
+            "dirty bathroom",
+            "smelled like",
+            "lukewarm",
+            "ice cold food",
+            "microwaved",
+            "frozen food",
+            "out of a can",
+            "from a box",
+            "zero stars",
+            "one star",
+            "worst meal",
+            "inedible",
+            "threw it away",
+            "dog food",
+        ],
+    );
 
     let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
     background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));

@@ -32,40 +32,171 @@ pub fn build() -> (DatasetSpec, GenerativeModel) {
     let mut lx = Lexicon::new(2);
 
     // Spam (class 1): self-promotion, links, begging for engagement.
-    lx.add_all(1, Tier::Strong, &[
-        "subscribe", "channel", "check out", "my channel", "subscribe to", "free", "click",
-    ]);
-    lx.add_all(1, Tier::Medium, &[
-        "link", "visit", "website", "win", "giveaway", "follow", "followers", "earn", "money",
-        "cash", "promo", "sub", "subs", "check", "click here", "check out my", "my video",
-        "please subscribe", "sub to", "new video", "share this", "make money", "work from home",
-        "gift card", "free money",
-    ]);
-    lx.add_all(1, Tier::Weak, &[
-        "instagram", "twitter", "facebook", "app", "download", "install", "code", "discount",
-        "offer", "deal", "viral", "spam", "bot", "advertise", "promotion", "shoutout",
-        "like this comment", "thumbs up", "check my", "on my channel", "daily vines",
-        "for daily", "search for", "just search", "go to my", "visit my", "my page",
-        "my profile", "my cover", "my new song", "i make videos", "help me reach", "road to",
-        "1000 subs", "free gift", "no scam", "i swear", "you wont regret", "best cover",
-        "earn cash", "from home", "per day", "easy money", "win a", "to win",
-    ]);
+    lx.add_all(
+        1,
+        Tier::Strong,
+        &[
+            "subscribe",
+            "channel",
+            "check out",
+            "my channel",
+            "subscribe to",
+            "free",
+            "click",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Medium,
+        &[
+            "link",
+            "visit",
+            "website",
+            "win",
+            "giveaway",
+            "follow",
+            "followers",
+            "earn",
+            "money",
+            "cash",
+            "promo",
+            "sub",
+            "subs",
+            "check",
+            "click here",
+            "check out my",
+            "my video",
+            "please subscribe",
+            "sub to",
+            "new video",
+            "share this",
+            "make money",
+            "work from home",
+            "gift card",
+            "free money",
+        ],
+    );
+    lx.add_all(
+        1,
+        Tier::Weak,
+        &[
+            "instagram",
+            "twitter",
+            "facebook",
+            "app",
+            "download",
+            "install",
+            "code",
+            "discount",
+            "offer",
+            "deal",
+            "viral",
+            "spam",
+            "bot",
+            "advertise",
+            "promotion",
+            "shoutout",
+            "like this comment",
+            "thumbs up",
+            "check my",
+            "on my channel",
+            "daily vines",
+            "for daily",
+            "search for",
+            "just search",
+            "go to my",
+            "visit my",
+            "my page",
+            "my profile",
+            "my cover",
+            "my new song",
+            "i make videos",
+            "help me reach",
+            "road to",
+            "1000 subs",
+            "free gift",
+            "no scam",
+            "i swear",
+            "you wont regret",
+            "best cover",
+            "earn cash",
+            "from home",
+            "per day",
+            "easy money",
+            "win a",
+            "to win",
+        ],
+    );
 
     // Ham (class 0): reactions to the actual song/video.
     lx.add_adjectives(0, Tier::Strong, &["love", "beautiful", "amazing"]);
-    lx.add_all(0, Tier::Medium, &[
-        "favorite", "best song", "this song", "the song", "voice", "lyrics", "melody", "beat",
-        "catchy", "masterpiece", "legend", "classic", "childhood", "memories", "remember",
-        "nostalgia", "still listening", "love this", "love this song", "great song",
-        "awesome", "perfect", "talented", "her voice", "his voice",
-    ]);
-    lx.add_all(0, Tier::Weak, &[
-        "chills", "goosebumps", "crying", "feels", "emotional", "anthem", "dance", "dancing",
-        "repeat", "on repeat", "cant stop", "listening in", "who else", "anyone else",
-        "brings back", "takes me back", "grew up", "miss this", "real music", "music was",
-        "pure talent", "so good", "never gets old", "gets old", "million views", "deserves more",
-        "underrated", "timeless", "vibes", "banger",
-    ]);
+    lx.add_all(
+        0,
+        Tier::Medium,
+        &[
+            "favorite",
+            "best song",
+            "this song",
+            "the song",
+            "voice",
+            "lyrics",
+            "melody",
+            "beat",
+            "catchy",
+            "masterpiece",
+            "legend",
+            "classic",
+            "childhood",
+            "memories",
+            "remember",
+            "nostalgia",
+            "still listening",
+            "love this",
+            "love this song",
+            "great song",
+            "awesome",
+            "perfect",
+            "talented",
+            "her voice",
+            "his voice",
+        ],
+    );
+    lx.add_all(
+        0,
+        Tier::Weak,
+        &[
+            "chills",
+            "goosebumps",
+            "crying",
+            "feels",
+            "emotional",
+            "anthem",
+            "dance",
+            "dancing",
+            "repeat",
+            "on repeat",
+            "cant stop",
+            "listening in",
+            "who else",
+            "anyone else",
+            "brings back",
+            "takes me back",
+            "grew up",
+            "miss this",
+            "real music",
+            "music was",
+            "pure talent",
+            "so good",
+            "never gets old",
+            "gets old",
+            "million views",
+            "deserves more",
+            "underrated",
+            "timeless",
+            "vibes",
+            "banger",
+        ],
+    );
 
     let mut background: Vec<String> = BACKGROUND_COMMON.iter().map(|s| s.to_string()).collect();
     background.extend(DOMAIN_FILLER.iter().map(|s| s.to_string()));
@@ -104,7 +235,11 @@ mod tests {
         let (_, model) = build();
         // DataSculpt generates ~70-120 LFs on Youtube (Table 2); the pool of
         // distinct indicative grams must support that diversity.
-        assert!(model.indicative_grams().len() >= 100, "{}", model.indicative_grams().len());
+        assert!(
+            model.indicative_grams().len() >= 100,
+            "{}",
+            model.indicative_grams().len()
+        );
         let spam = model.class_grams(1).count();
         let ham = model.class_grams(0).count();
         assert!(spam >= 40 && ham >= 40, "spam {spam} ham {ham}");
@@ -113,9 +248,13 @@ mod tests {
     #[test]
     fn spammy_keyword_has_spammy_affinity() {
         let (_, model) = build();
-        let a = model.affinity("subscribe").expect("subscribe is indicative");
+        let a = model
+            .affinity("subscribe")
+            .expect("subscribe is indicative");
         assert!(a[1] > a[0]);
-        let b = model.affinity("childhood").expect("childhood is indicative");
+        let b = model
+            .affinity("childhood")
+            .expect("childhood is indicative");
         assert!(b[0] > b[1]);
     }
 }

@@ -43,11 +43,7 @@ impl IndicativeNgram {
     pub fn lf_accuracy(&self, priors: &[f64]) -> f64 {
         let c = self.dominant_class();
         let num = priors[c] * self.probs[c];
-        let den: f64 = priors
-            .iter()
-            .zip(&self.probs)
-            .map(|(pi, p)| pi * p)
-            .sum();
+        let den: f64 = priors.iter().zip(&self.probs).map(|(pi, p)| pi * p).sum();
         if den > 0.0 {
             num / den
         } else {
@@ -57,11 +53,7 @@ impl IndicativeNgram {
 
     /// Marginal coverage of the n-gram under the given priors.
     pub fn coverage(&self, priors: &[f64]) -> f64 {
-        priors
-            .iter()
-            .zip(&self.probs)
-            .map(|(pi, p)| pi * p)
-            .sum()
+        priors.iter().zip(&self.probs).map(|(pi, p)| pi * p).sum()
     }
 }
 
@@ -137,7 +129,10 @@ impl GenerativeModel {
         let sum: f64 = priors.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "priors sum to {sum}");
         assert!(!background.is_empty(), "empty background vocabulary");
-        assert!((0.0..0.5).contains(&label_noise), "label noise {label_noise}");
+        assert!(
+            (0.0..0.5).contains(&label_noise),
+            "label noise {label_noise}"
+        );
         let mut affinity = HashMap::with_capacity(indicative.len());
         let mut by_class = vec![Vec::new(); n_classes];
         for (i, g) in indicative.iter().enumerate() {
@@ -287,8 +282,8 @@ impl GenerativeModel {
         };
 
         // Background tokens.
-        let len = (self.doc_len.sample(&mut rng).round() as i64)
-            .max(self.doc_len_min as i64) as usize;
+        let len =
+            (self.doc_len.sample(&mut rng).round() as i64).max(self.doc_len_min as i64) as usize;
         let mut tokens: Vec<String> = (0..len)
             .map(|_| self.background[self.zipf.sample(&mut rng)].clone())
             .collect();
@@ -358,10 +353,8 @@ impl GenerativeModel {
             // plain keyword LFs fire but the pair is not related.
             if rng.gen::<f64>() < rel.distractor_rate {
                 let third = name(rng);
-                let conn =
-                    rel.positive_connectors[rng.gen_range(0..rel.positive_connectors.len())];
-                let mut pat: Vec<String> =
-                    third.split(' ').map(str::to_string).collect();
+                let conn = rel.positive_connectors[rng.gen_range(0..rel.positive_connectors.len())];
+                let mut pat: Vec<String> = third.split(' ').map(str::to_string).collect();
                 pat.extend(conn.split(' ').map(str::to_string));
                 pat.extend(name(rng).split(' ').map(str::to_string));
                 let pos = rng.gen_range(0..=tokens.len());
@@ -408,7 +401,13 @@ mod tests {
         GenerativeModel::new(
             2,
             vec![0.5, 0.5],
-            vec!["the".into(), "a".into(), "of".into(), "and".into(), "to".into()],
+            vec![
+                "the".into(),
+                "a".into(),
+                "of".into(),
+                "and".into(),
+                "to".into(),
+            ],
             vec![
                 IndicativeNgram {
                     gram: "great".into(),

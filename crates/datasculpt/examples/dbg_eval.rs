@@ -4,11 +4,21 @@ fn main() {
     let d = DatasetName::Spouse.load_scaled(0, 0.25);
     let lfs = wrench_expert_lfs(&d, 9);
     let mut set = LfSet::new(&d, FilterConfig::validity_only());
-    for lf in lfs.iter() { set.try_add(lf.clone()); }
+    for lf in lfs.iter() {
+        set.try_add(lf.clone());
+    }
     let vm = set.valid_matrix();
     for iters in [1usize, 3, 10, 50] {
-        let mut lm = MetalModel::new().with_class_balance(d.valid.class_distribution(2)).with_max_iter(iters);
+        let mut lm = MetalModel::new()
+            .with_class_balance(d.valid.class_distribution(2))
+            .with_max_iter(iters);
         lm.fit(&vm, 2);
-        println!("iters {iters}: alphas {:?}", lm.accuracies().iter().map(|a|(a*100.).round()/100.).collect::<Vec<f64>>());
+        println!(
+            "iters {iters}: alphas {:?}",
+            lm.accuracies()
+                .iter()
+                .map(|a| (a * 100.).round() / 100.)
+                .collect::<Vec<f64>>()
+        );
     }
 }

@@ -26,7 +26,11 @@ fn main() -> ExitCode {
         Some("models") => {
             for m in ModelId::ALL {
                 let (inp, out) = PricingTable::rates(m);
-                println!("{:<16} {:<22} ${inp:.2}/M in, ${out:.2}/M out", m.label(), m.api_name());
+                println!(
+                    "{:<16} {:<22} ${inp:.2}/M in, ${out:.2}/M out",
+                    m.label(),
+                    m.api_name()
+                );
             }
             ExitCode::SUCCESS
         }
@@ -75,7 +79,9 @@ impl<'a> Flags<'a> {
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -175,7 +181,13 @@ fn run(args: &[String]) -> ExitCode {
         config.num_queries
     );
     let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = match DataSculpt::new(&dataset, config).run(&mut llm) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("run aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
 
     let show: usize = flags.parse_or("--show-lfs", 5);
@@ -204,15 +216,24 @@ fn baseline(args: &[String]) -> ExitCode {
             for lf in wrench_expert_lfs(&dataset, wrench_lf_count(name)) {
                 set.try_add(lf);
             }
-            print_eval(&evaluate_lf_set(&dataset, &set, &EvalConfig::default()), None);
+            print_eval(
+                &evaluate_lf_set(&dataset, &set, &EvalConfig::default()),
+                None,
+            );
         }
         "scriptorium" => {
             let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
-            let result = scriptorium_run(
+            let result = match scriptorium_run(
                 &dataset,
                 &mut llm,
                 datasculpt::baselines::scriptorium::scriptorium_lf_count(name),
-            );
+            ) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("run aborted: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let mut set = LfSet::new(&dataset, FilterConfig::validity_only());
             for lf in result.lfs {
                 set.try_add(lf);

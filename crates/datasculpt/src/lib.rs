@@ -29,9 +29,10 @@
 //! let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 7);
 //!
 //! // Run 10 iterations of DataSculpt-Base and evaluate end-to-end.
+//! // `run` is fallible: a real backend can error out mid-run.
 //! let mut config = DataSculptConfig::base(1);
 //! config.num_queries = 10;
-//! let run = DataSculpt::new(&dataset, config).run(&mut llm);
+//! let run = DataSculpt::new(&dataset, config).run(&mut llm).expect("simulated LLM");
 //! let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
 //!
 //! assert!(run.lf_set.len() > 0);
@@ -51,14 +52,12 @@ pub use datasculpt_text as text;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use datasculpt_baselines::{
-        promptedlf_run, promptedlf_templates, scriptorium_run, wrench_expert_lfs,
-        wrench_lf_count,
+        promptedlf_run, promptedlf_templates, scriptorium_run, wrench_expert_lfs, wrench_lf_count,
     };
     pub use datasculpt_core::{
         evaluate_lf_set, AddOutcome, DataSculpt, DataSculptConfig, EndModelKind, EvalConfig,
-        FilterConfig, LabelModelKind,
-        IclStrategy, KeywordLf, LfSet, LfStats, PromptStyle, PwsEvaluation, RunResult,
-        SamplerKind,
+        FilterConfig, IclStrategy, KeywordLf, LabelModelKind, LfSet, LfStats, PipelineError,
+        PromptStyle, PwsEvaluation, RunResult, SamplerKind,
     };
     pub use datasculpt_data::{DatasetName, Instance, Metric, Split, TextDataset};
     pub use datasculpt_endmodel::{SoftmaxRegression, TrainConfig};
@@ -67,6 +66,7 @@ pub mod prelude {
         ABSTAIN,
     };
     pub use datasculpt_llm::{
-        ChatModel, ChatRequest, ModelId, PricingTable, SimulatedLlm, TokenUsage, UsageLedger,
+        CacheStats, CachedModel, ChatModel, ChatRequest, FailingModel, LlmError, ModelId,
+        PricingTable, SimulatedLlm, TokenUsage, UsageLedger,
     };
 }

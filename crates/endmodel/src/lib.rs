@@ -15,5 +15,5 @@ pub mod metrics;
 pub mod mlp;
 
 pub use logreg::{SoftmaxRegression, TrainConfig};
-pub use mlp::MlpClassifier;
 pub use metrics::{accuracy, entropy, f1_positive, log_loss, macro_f1, ConfusionMatrix};
+pub use mlp::MlpClassifier;

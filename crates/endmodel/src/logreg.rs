@@ -91,7 +91,9 @@ impl SoftmaxRegression {
     /// Softmax probabilities for a feature matrix (row-major
     /// `rows × n_classes`).
     pub fn predict_proba(&self, x: &FeatureMatrix) -> Vec<Vec<f64>> {
-        (0..x.rows()).map(|i| self.predict_proba_one(x.row(i))).collect()
+        (0..x.rows())
+            .map(|i| self.predict_proba_one(x.row(i)))
+            .collect()
     }
 
     /// Hard predictions.
@@ -351,8 +353,7 @@ mod tests {
         let mut m = SoftmaxRegression::new(2, 2);
         m.fit(&x, &one_hot(&y, 2), None, &TrainConfig::default());
         let pred = m.predict(&x);
-        let acc =
-            pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.98, "accuracy {acc}");
     }
 
@@ -371,8 +372,7 @@ mod tests {
         let mut m = SoftmaxRegression::new(2, 2);
         m.fit(&x, &targets, None, &TrainConfig::default());
         let pred = m.predict(&x);
-        let acc =
-            pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

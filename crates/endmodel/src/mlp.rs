@@ -215,16 +215,16 @@ mod tests {
         let mut mlp = MlpClassifier::new(3, 16, 2, 3);
         mlp.fit_sparse(&rows, &targets, None, &cfg);
         let pred = mlp.predict_sparse(&rows);
-        let acc = pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64
-            / labels.len() as f64;
+        let acc =
+            pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
         assert!(acc > 0.95, "MLP XOR accuracy {acc}");
 
         // The linear model tops out near chance on XOR.
         let mut lin = crate::SoftmaxRegression::new(3, 2);
         lin.fit_sparse(&rows, &targets, None, &cfg);
         let lpred = lin.predict_sparse(&rows);
-        let lacc = lpred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64
-            / labels.len() as f64;
+        let lacc =
+            lpred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
         assert!(lacc < 0.8, "linear model should fail XOR, got {lacc}");
     }
 

@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn votes_are_normalized_histograms() {
         let m = LabelMatrix::from_columns(
-            &[vec![0, 1, ABSTAIN], vec![0, 1, ABSTAIN], vec![1, 1, ABSTAIN]],
+            &[
+                vec![0, 1, ABSTAIN],
+                vec![0, 1, ABSTAIN],
+                vec![1, 1, ABSTAIN],
+            ],
             3,
         );
         let mut mv = MajorityVote::new();

@@ -87,7 +87,9 @@ impl LabelMatrix {
         if self.rows == 0 {
             return 0.0;
         }
-        let active = (0..self.rows).filter(|&i| self.get(i, j) != ABSTAIN).count();
+        let active = (0..self.rows)
+            .filter(|&i| self.get(i, j) != ABSTAIN)
+            .count();
         active as f64 / self.rows as f64
     }
 

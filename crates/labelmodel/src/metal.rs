@@ -158,9 +158,7 @@ impl MetalModel {
         ltheta: &[f64],
     ) -> (Vec<f64>, bool) {
         let c = self.n_classes;
-        let mut logp: Vec<f64> = (0..c)
-            .map(|y| prior[y].max(1e-12).ln() + base[y])
-            .collect();
+        let mut logp: Vec<f64> = (0..c).map(|y| prior[y].max(1e-12).ln() + base[y]).collect();
         let mut any = false;
         for (j, &v) in votes.iter().enumerate() {
             if v == ABSTAIN {
@@ -458,7 +456,10 @@ mod tests {
         let mut model = MetalModel::new();
         model.fit(&m, 2);
         let est = model.accuracies();
-        assert!(est[0] > est[1] && est[1] > est[2] && est[2] > est[3], "{est:?}");
+        assert!(
+            est[0] > est[1] && est[1] > est[2] && est[2] > est[3],
+            "{est:?}"
+        );
     }
 
     #[test]

@@ -81,8 +81,7 @@ impl ProbLabels {
         assert!(default_class < self.n_classes, "default class out of range");
         for i in 0..self.rows {
             if !self.covered[i] {
-                let row =
-                    &mut self.probs[i * self.n_classes..(i + 1) * self.n_classes];
+                let row = &mut self.probs[i * self.n_classes..(i + 1) * self.n_classes];
                 row.fill(0.0);
                 row[default_class] = 1.0;
                 self.covered[i] = true;

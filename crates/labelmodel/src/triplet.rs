@@ -251,8 +251,8 @@ mod tests {
         let mut t = TripletModel::new();
         t.fit(&m, 2);
         let pred = t.predict_proba(&m).hard_labels();
-        let acc = pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64
-            / truth.len() as f64;
+        let acc =
+            pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64;
         assert!(acc > 0.82, "aggregate accuracy {acc}");
     }
 
@@ -265,11 +265,8 @@ mod tests {
         let p = t.predict_proba(&m);
         let pred = p.hard_labels();
         let covered = p.covered_indices();
-        let acc = covered
-            .iter()
-            .filter(|&&i| pred[i] == truth[i])
-            .count() as f64
-            / covered.len() as f64;
+        let acc =
+            covered.iter().filter(|&&i| pred[i] == truth[i]).count() as f64 / covered.len() as f64;
         assert!(acc > 0.65, "multiclass accuracy {acc}");
     }
 

@@ -1,0 +1,283 @@
+//! Response cache middleware for any [`ChatModel`].
+//!
+//! LLM calls dominate the cost of a DataSculpt run (Figures 3–4), and
+//! experiment grids re-issue many identical prompts across configurations.
+//! [`CachedModel`] wraps any backend and serves repeated requests from
+//! memory, keyed on the full request (messages, temperature, `n`). Hits
+//! replay the recorded response verbatim — choices *and* token usage — so a
+//! cached run is byte-identical to an uncached one, ledgers included.
+//!
+//! Errors are never cached: a failed call stays retryable.
+
+use crate::error::LlmError;
+use crate::message::{ChatRequest, ChatResponse};
+use crate::pricing::ModelId;
+use crate::ChatModel;
+use std::collections::{HashMap, VecDeque};
+
+/// Full structural identity of a request, used as the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// `(role, content)` per message; the role is its display name.
+    messages: Vec<(&'static str, String)>,
+    /// Bit pattern of the sampling temperature (hashable, exact).
+    temperature_bits: u64,
+    /// Requested sample count.
+    n: usize,
+}
+
+impl CacheKey {
+    fn of(request: &ChatRequest) -> Self {
+        CacheKey {
+            messages: request
+                .messages
+                .iter()
+                .map(|m| {
+                    (
+                        match m.role {
+                            crate::Role::System => "system",
+                            crate::Role::User => "user",
+                            crate::Role::Assistant => "assistant",
+                        },
+                        m.content.clone(),
+                    )
+                })
+                .collect(),
+            temperature_bits: request.temperature.to_bits(),
+            n: request.n,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters for one [`CachedModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache without touching the backend.
+    pub hits: u64,
+    /// Requests forwarded to the backend.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from cache (0 when nothing was asked).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Composable response-caching middleware over any [`ChatModel`].
+///
+/// ```
+/// use datasculpt_llm::{CachedModel, ChatMessage, ChatModel, ChatRequest, ScriptedModel};
+///
+/// let inner = ScriptedModel::new(vec!["Label: 1".into()]);
+/// let mut model = CachedModel::new(inner);
+/// let req = ChatRequest::new(vec![ChatMessage::user("Query: great movie")]);
+/// let first = model.complete(&req).unwrap();
+/// let second = model.complete(&req).unwrap();
+/// assert_eq!(first.choices[0].content, second.choices[0].content);
+/// assert_eq!(model.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachedModel<M> {
+    inner: M,
+    entries: HashMap<CacheKey, ChatResponse>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+/// Default capacity: comfortably holds every distinct request of a
+/// full-scale experiment grid run.
+const DEFAULT_CAPACITY: usize = 65_536;
+
+impl<M: ChatModel> CachedModel<M> {
+    /// Wrap `inner` with the default capacity.
+    pub fn new(inner: M) -> Self {
+        Self::with_capacity(inner, DEFAULT_CAPACITY)
+    }
+
+    /// Wrap `inner`, keeping at most `capacity` responses (FIFO eviction).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(inner: M, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        CachedModel {
+            inner,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters since construction (or the last [`clear`](Self::clear)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of responses currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no responses.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all cached responses and reset the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.stats = CacheStats::default();
+    }
+
+    /// The wrapped backend.
+    pub fn get_ref(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the cache.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    fn insert(&mut self, key: CacheKey, response: ChatResponse) {
+        if self.entries.len() == self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.order.push_back(key.clone());
+        self.entries.insert(key, response);
+    }
+}
+
+impl<M: ChatModel> ChatModel for CachedModel<M> {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let key = CacheKey::of(request);
+        if let Some(response) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return Ok(response.clone());
+        }
+        self.stats.misses += 1;
+        let response = self.inner.complete(request)?;
+        self.insert(key, response.clone());
+        Ok(response)
+    }
+
+    fn model_id(&self) -> ModelId {
+        self.inner.model_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ChatMessage;
+    use crate::scripted::{FailingModel, ScriptedModel};
+
+    fn req(text: &str) -> ChatRequest {
+        ChatRequest::new(vec![ChatMessage::user(text)])
+    }
+
+    #[test]
+    fn hit_replays_choices_and_usage() {
+        let inner = ScriptedModel::new(vec!["alpha".into(), "beta".into()]);
+        let mut m = CachedModel::new(inner);
+        let first = m.complete(&req("q")).unwrap();
+        let second = m.complete(&req("q")).unwrap();
+        assert_eq!(first.choices[0].content, second.choices[0].content);
+        assert_eq!(first.usage, second.usage);
+        assert_eq!(
+            m.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        // The scripted backend served only one call.
+        assert_eq!(m.get_ref().calls_served(), 1);
+    }
+
+    #[test]
+    fn key_distinguishes_temperature_n_and_roles() {
+        let inner = ScriptedModel::new(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+        let mut m = CachedModel::new(inner);
+        let base = req("same");
+        m.complete(&base).unwrap();
+        m.complete(&base.clone().with_temperature(0.0)).unwrap();
+        m.complete(&base.clone().with_n(2)).unwrap();
+        m.complete(&ChatRequest::new(vec![ChatMessage::system("same")]))
+            .unwrap();
+        assert_eq!(m.stats().misses, 4);
+        assert_eq!(m.stats().hits, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::with_capacity(inner, 2);
+        m.complete(&req("one")).unwrap();
+        m.complete(&req("two")).unwrap();
+        m.complete(&req("three")).unwrap(); // evicts "one"
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.stats().evictions, 1);
+        m.complete(&req("two")).unwrap(); // still cached
+        assert_eq!(m.stats().hits, 1);
+        m.complete(&req("one")).unwrap(); // evicted, refetches
+        assert_eq!(m.stats().misses, 4);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let inner = FailingModel::fail_on(ScriptedModel::new(vec!["ok".into()]), [0]);
+        let mut m = CachedModel::new(inner);
+        assert!(m.complete(&req("q")).is_err());
+        assert!(m.is_empty());
+        // The retry reaches the backend and succeeds.
+        let resp = m.complete(&req("q")).unwrap();
+        assert_eq!(resp.choices[0].content, "ok");
+        assert_eq!(m.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::new(inner);
+        m.complete(&req("q")).unwrap();
+        m.complete(&req("q")).unwrap();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.stats(), CacheStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = CachedModel::with_capacity(ScriptedModel::new(vec!["r".into()]), 0);
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for chat completion calls.
+
+/// Why a chat completion call failed.
+///
+/// The offline simulator never fails, but the trait surface is written for a
+/// real HTTP client: callers must decide per call whether to retry, skip, or
+/// abort. [`FailingModel`](crate::FailingModel) injects these in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The request never reached the backend (DNS, connect, TLS, timeout).
+    Transport(String),
+    /// The backend throttled the request (HTTP 429).
+    RateLimited,
+    /// The backend answered 200 but the body carried no choices.
+    EmptyResponse,
+    /// The backend rejected the request outright.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// Provider error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::Transport(detail) => write!(f, "transport error: {detail}"),
+            LlmError::RateLimited => write!(f, "rate limited by backend"),
+            LlmError::EmptyResponse => write!(f, "backend returned no choices"),
+            LlmError::Api { status, message } => {
+                write!(f, "backend rejected request ({status}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases = [
+            (
+                LlmError::Transport("connection refused".into()),
+                "transport error: connection refused",
+            ),
+            (LlmError::RateLimited, "rate limited by backend"),
+            (LlmError::EmptyResponse, "backend returned no choices"),
+            (
+                LlmError::Api {
+                    status: 400,
+                    message: "bad request".into(),
+                },
+                "backend rejected request (400): bad request",
+            ),
+        ];
+        for (err, text) in cases {
+            assert_eq!(err.to_string(), text);
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //! small Llama models occasionally hallucinate artificial examples instead
 //! of answering (§4.3).
 
+pub mod cache;
+pub mod error;
 pub mod message;
 pub mod pricing;
 pub mod profile;
@@ -28,10 +30,12 @@ pub mod simulated;
 pub mod tokens;
 pub mod usage;
 
+pub use cache::{CacheStats, CachedModel};
+pub use error::LlmError;
 pub use message::{ChatChoice, ChatMessage, ChatRequest, ChatResponse, Role};
 pub use pricing::{ModelId, PricingTable};
 pub use profile::ModelProfile;
-pub use scripted::ScriptedModel;
+pub use scripted::{FailingModel, ScriptedModel};
 pub use simulated::SimulatedLlm;
 pub use tokens::approx_token_count;
 pub use usage::{TokenUsage, UsageLedger};
@@ -43,7 +47,16 @@ pub use usage::{TokenUsage, UsageLedger};
 /// real client).
 pub trait ChatModel {
     /// Run one chat completion request, returning `request.n` choices.
-    fn complete(&mut self, request: &ChatRequest) -> ChatResponse;
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError>;
+
+    /// Run a batch of requests, returning one result per request in order.
+    ///
+    /// The default implementation completes them sequentially; a real HTTP
+    /// client would override this with a pipelined or bulk endpoint. One
+    /// failed request does not abort the rest of the batch.
+    fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
+        requests.iter().map(|r| self.complete(r)).collect()
+    }
 
     /// The model identity (for pricing and reporting).
     fn model_id(&self) -> ModelId;

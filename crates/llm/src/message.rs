@@ -110,14 +110,14 @@ impl ChatRequest {
 }
 
 /// One returned sample.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChatChoice {
     /// Generated text.
     pub content: String,
 }
 
 /// A chat completion response.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChatResponse {
     /// `request.n` samples.
     pub choices: Vec<ChatChoice>,

@@ -106,8 +106,7 @@ mod tests {
 
     #[test]
     fn labels_and_names_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            ModelId::ALL.iter().map(|m| m.label()).collect();
+        let labels: std::collections::HashSet<_> = ModelId::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), ModelId::ALL.len());
         let names: std::collections::HashSet<_> =
             ModelId::ALL.iter().map(|m| m.api_name()).collect();

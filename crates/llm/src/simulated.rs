@@ -23,6 +23,7 @@
 //! builder in `datasculpt-core`; a real API client would honour the same
 //! contract implicitly by the LLM following instructions.
 
+use crate::error::LlmError;
 use crate::message::{ChatChoice, ChatRequest, ChatResponse};
 use crate::pricing::ModelId;
 use crate::profile::ModelProfile;
@@ -152,10 +153,7 @@ impl SimulatedLlm {
         // Candidate knowledge: believed affinity of every known n-gram.
         let candidates: Vec<(String, Vec<f64>, f64)> = grams
             .iter()
-            .filter_map(|g| {
-                self.believed_affinity(g)
-                    .map(|(w, s)| (g.clone(), w, s))
-            })
+            .filter_map(|g| self.believed_affinity(g).map(|(w, s)| (g.clone(), w, s)))
             .collect();
 
         // Class evidence with per-sample decision noise.
@@ -223,11 +221,7 @@ impl SimulatedLlm {
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
         let k = 1 + poisson(self.profile.keyword_richness * 2.0, rng);
-        let mut keywords: Vec<String> = scored
-            .iter()
-            .take(k)
-            .map(|(g, _)| g.to_string())
-            .collect();
+        let mut keywords: Vec<String> = scored.iter().take(k).map(|(g, _)| g.to_string()).collect();
 
         // Real LLMs often quote a slightly longer span from the passage
         // ("wake me up" instead of "wake me"): extend some keywords with an
@@ -365,13 +359,7 @@ impl SimulatedLlm {
     /// source passage, propose a more specific phrase — the keyword
     /// extended with a neighbouring token, or a stronger alternative from
     /// the same passage.
-    fn respond_revise(
-        &self,
-        query: &str,
-        keyword: &str,
-        class: usize,
-        rng: &mut StdRng,
-    ) -> String {
+    fn respond_revise(&self, query: &str, keyword: &str, class: usize, rng: &mut StdRng) -> String {
         let tokens = tokenize_query(query);
         if let Some(ext) = extend_with_neighbor(&tokens, keyword, rng) {
             return format!("{KEYWORDS_PREFIX} {ext}\n{LABEL_PREFIX} {class}");
@@ -412,7 +400,7 @@ impl SimulatedLlm {
 }
 
 impl ChatModel for SimulatedLlm {
-    fn complete(&mut self, request: &ChatRequest) -> ChatResponse {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
         let call_idx = self.calls;
         self.calls += 1;
 
@@ -429,8 +417,8 @@ impl ChatModel for SimulatedLlm {
             .unwrap_or_default();
 
         let cot = system_text.contains(COT_MARKER);
-        let label_only = system_text.contains(LABEL_ONLY_MARKER)
-            || user_text.contains(LABEL_ONLY_MARKER);
+        let label_only =
+            system_text.contains(LABEL_ONLY_MARKER) || user_text.contains(LABEL_ONLY_MARKER);
         let generic = (system_text.contains(GENERIC_KEYWORDS_MARKER)
             || user_text.contains(GENERIC_KEYWORDS_MARKER))
         .then(|| parse_generic_request(&user_text, &system_text));
@@ -442,10 +430,8 @@ impl ChatModel for SimulatedLlm {
         let mut completion_tokens = 0;
         let mut choices = Vec::with_capacity(request.n);
         for sample in 0..request.n {
-            let mut rng = StdRng::seed_from_u64(derive_seed(
-                self.seed,
-                derive_seed(call_idx, sample as u64),
-            ));
+            let mut rng =
+                StdRng::seed_from_u64(derive_seed(self.seed, derive_seed(call_idx, sample as u64)));
             let content = if let Some((keyword, class)) = &revise {
                 self.respond_revise(&query, keyword, *class, &mut rng)
             } else if let Some((class, count)) = generic {
@@ -463,14 +449,14 @@ impl ChatModel for SimulatedLlm {
             completion_tokens += approx_token_count(&content);
             choices.push(ChatChoice { content });
         }
-        ChatResponse {
+        Ok(ChatResponse {
             choices,
             usage: TokenUsage {
                 prompt_tokens,
                 completion_tokens,
             },
             model: self.profile.model,
-        }
+        })
     }
 
     fn model_id(&self) -> ModelId {
@@ -647,13 +633,15 @@ mod tests {
     }
 
     fn ask(model: &mut SimulatedLlm, system: &str, user: &str, n: usize) -> ChatResponse {
-        model.complete(
-            &ChatRequest::new(vec![
-                ChatMessage::system(system.to_string()),
-                ChatMessage::user(user.to_string()),
-            ])
-            .with_n(n),
-        )
+        model
+            .complete(
+                &ChatRequest::new(vec![
+                    ChatMessage::system(system.to_string()),
+                    ChatMessage::user(user.to_string()),
+                ])
+                .with_n(n),
+            )
+            .unwrap()
     }
 
     const SYS: &str = "You are a helpful assistant who helps users in a sentiment analysis task. After the user provides input, identify a list of keywords that helps making prediction. Finally, provide the class label for the input.";
@@ -676,7 +664,9 @@ mod tests {
             .find(|l| l.starts_with("Keywords:"))
             .expect("keywords line");
         assert!(
-            kw_line.contains("great") || kw_line.contains("heartwarming") || kw_line.contains("loved it"),
+            kw_line.contains("great")
+                || kw_line.contains("heartwarming")
+                || kw_line.contains("loved it"),
             "{kw_line}"
         );
     }
@@ -690,7 +680,11 @@ mod tests {
             "Query: the cgi was horrible and the plot was boring a total waste of time",
             1,
         );
-        assert!(resp.choices[0].content.contains("Label: 0"), "{}", resp.choices[0].content);
+        assert!(
+            resp.choices[0].content.contains("Label: 0"),
+            "{}",
+            resp.choices[0].content
+        );
     }
 
     #[test]
@@ -772,12 +766,7 @@ mod tests {
     fn provided_label_is_respected() {
         // KATE auto-annotation: the label is included in the user input.
         let mut m = sim(ModelId::Gpt35Turbo);
-        let resp = ask(
-            &mut m,
-            SYS,
-            "Query: this movie was horrible\nLabel: 0",
-            1,
-        );
+        let resp = ask(&mut m, SYS, "Query: this movie was horrible\nLabel: 0", 1);
         assert!(resp.choices[0].content.contains("Label: 0"));
     }
 
@@ -807,7 +796,10 @@ mod tests {
             }
         }
         assert!(hallucinated > 0, "7b should hallucinate occasionally");
-        assert!(hallucinated < 60, "but not most of the time: {hallucinated}");
+        assert!(
+            hallucinated < 60,
+            "but not most of the time: {hallucinated}"
+        );
     }
 
     #[test]
@@ -840,9 +832,8 @@ mod tests {
         assert!(kws.len() <= 5 && !kws.is_empty(), "{kws:?}");
         // Broad positive sentiment terms should dominate.
         assert!(
-            kws.iter().any(|k| k.contains("great")
-                || k.contains("excellent")
-                || k.contains("wonderful")),
+            kws.iter()
+                .any(|k| k.contains("great") || k.contains("excellent") || k.contains("wonderful")),
             "{kws:?}"
         );
     }
@@ -869,8 +860,10 @@ mod tests {
 
     #[test]
     fn parse_revise_request_extracts_keyword_and_class() {
-        let (kw, class) =
-            parse_revise_request("The keyword 'waste of time' should be revised for class 0.", "");
+        let (kw, class) = parse_revise_request(
+            "The keyword 'waste of time' should be revised for class 0.",
+            "",
+        );
         assert_eq!(kw, "waste of time");
         assert_eq!(class, 0);
     }
@@ -878,7 +871,10 @@ mod tests {
     #[test]
     fn parse_generic_request_defaults() {
         assert_eq!(parse_generic_request("for class 2.", ""), (2, 8));
-        assert_eq!(parse_generic_request("for class 1. up to 12 keywords", ""), (1, 12));
+        assert_eq!(
+            parse_generic_request("for class 1. up to 12 keywords", ""),
+            (1, 12)
+        );
         assert_eq!(parse_generic_request("no class marker", ""), (0, 8));
     }
 

@@ -69,7 +69,8 @@ mod tests {
 
     #[test]
     fn roughly_1_3_tokens_per_english_word() {
-        let text = "the quick brown fox jumps over the lazy dog near the riverbank every single morning";
+        let text =
+            "the quick brown fox jumps over the lazy dog near the riverbank every single morning";
         let words = text.split_whitespace().count() as f64;
         let toks = approx_token_count(text) as f64;
         let ratio = toks / words;

@@ -33,13 +33,15 @@ proptest! {
     fn simulator_total(sys in "\\PC{0,100}", user in "\\PC{0,200}", n in 1usize..4) {
         let (_, world) = DatasetName::Youtube.spec();
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, world, 1);
-        let resp = llm.complete(
-            &ChatRequest::new(vec![
-                ChatMessage::system(sys),
-                ChatMessage::user(user),
-            ])
-            .with_n(n),
-        );
+        let resp = llm
+            .complete(
+                &ChatRequest::new(vec![
+                    ChatMessage::system(sys),
+                    ChatMessage::user(user),
+                ])
+                .with_n(n),
+            )
+            .unwrap();
         prop_assert_eq!(resp.choices.len(), n);
         prop_assert!(resp.usage.prompt_tokens > 0 || resp.usage.completion_tokens > 0);
     }
@@ -57,6 +59,7 @@ proptest! {
                 )])
                 .with_n(n),
             )
+            .unwrap()
         };
         let one = mk(1, seed);
         let five = mk(5, seed);

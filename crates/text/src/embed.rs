@@ -36,7 +36,11 @@ pub fn top_k_similar(matrix: &FeatureMatrix, query: &[f32], k: usize) -> Vec<usi
     let mut scored: Vec<(usize, f32)> = (0..matrix.rows())
         .map(|i| (i, cosine_similarity(matrix.row(i), query)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     scored.into_iter().take(k).map(|(i, _)| i).collect()
 }
 

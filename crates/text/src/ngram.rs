@@ -71,10 +71,7 @@ mod tests {
     fn extracts_all_orders() {
         let t = toks("a b c");
         let grams = extract_ngrams(&t, 3);
-        assert_eq!(
-            grams,
-            vec!["a", "a b", "a b c", "b", "b c", "c"]
-        );
+        assert_eq!(grams, vec!["a", "a b", "a b c", "b", "b c", "c"]);
     }
 
     #[test]

@@ -84,7 +84,9 @@ fn tokenize_impl(text: &str, keep_markers: bool) -> Vec<String> {
             for lc in ch.to_lowercase() {
                 cur.push(lc);
             }
-        } else if ch == '\'' && !cur.is_empty() && matches!(chars.peek(), Some(c) if c.is_alphanumeric())
+        } else if ch == '\''
+            && !cur.is_empty()
+            && matches!(chars.peek(), Some(c) if c.is_alphanumeric())
         {
             cur.push('\'');
         } else {
@@ -150,10 +152,7 @@ mod tests {
             vec!["[a]", "married", "[b]", "yesterday"]
         );
         // Without the marker flag, brackets are separators.
-        assert_eq!(
-            tokenize("[A] married [B]"),
-            vec!["a", "married", "b"]
-        );
+        assert_eq!(tokenize("[A] married [B]"), vec!["a", "married", "b"]);
     }
 
     #[test]

@@ -23,7 +23,9 @@ fn main() {
         let mut config = DataSculptConfig::base(1);
         config.num_queries = queries;
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 7);
-        let run = DataSculpt::new(&dataset, config).run(&mut llm);
+        let run = DataSculpt::new(&dataset, config)
+            .run(&mut llm)
+            .expect("the simulated model does not fail");
         let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
         println!(
             "{queries:>8} {:>7} {:>9.3} {:>10.3} {:>11} {:>9.4}$",

@@ -22,11 +22,17 @@ fn main() {
     );
 
     let eval_cfg = EvalConfig::default();
-    for sampler in [SamplerKind::Random, SamplerKind::Uncertain, SamplerKind::Seu] {
+    for sampler in [
+        SamplerKind::Random,
+        SamplerKind::Uncertain,
+        SamplerKind::Seu,
+    ] {
         let mut config = DataSculptConfig::sc(5);
         config.sampler = sampler;
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 3);
-        let run = DataSculpt::new(&dataset, config).run(&mut llm);
+        let run = DataSculpt::new(&dataset, config)
+            .run(&mut llm)
+            .expect("the simulated model does not fail");
         let eval = evaluate_lf_set(&dataset, &run.lf_set, &eval_cfg);
         println!(
             "{:>9} sampler: {:>3} LFs, LF acc {}, total cov {:.3}, routing accuracy {:.3}",

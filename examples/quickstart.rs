@@ -26,7 +26,9 @@ fn main() {
 
     // DataSculpt-Base: 50 query iterations, few-shot prompt, all filters.
     let config = DataSculptConfig::base(1);
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = DataSculpt::new(&dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
 
     println!("\nfirst few synthesized LFs:");
     for lf in run.lf_set.lfs().iter().take(8) {

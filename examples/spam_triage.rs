@@ -37,7 +37,9 @@ fn main() {
 
     // --- DataSculpt-SC: 50 LLM queries with self-consistency. ---
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 3);
-    let run = DataSculpt::new(&dataset, DataSculptConfig::sc(5)).run(&mut llm);
+    let run = DataSculpt::new(&dataset, DataSculptConfig::sc(5))
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     let sculpt = evaluate_lf_set(&dataset, &run.lf_set, &eval_cfg);
     println!(
         "DataSculpt-SC:  {:>3} LFs, F1 {:.3}, cost ${:.4} ({} tokens)",

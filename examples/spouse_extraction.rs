@@ -38,7 +38,9 @@ fn main() {
     // Run DataSculpt-SC; keywords become both plain and [A]…[B]-anchored
     // LFs, and the filters keep whichever survive validation.
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 3);
-    let run = DataSculpt::new(&dataset, DataSculptConfig::sc(5)).run(&mut llm);
+    let run = DataSculpt::new(&dataset, DataSculptConfig::sc(5))
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     let anchored_count = run.lf_set.lfs().iter().filter(|l| l.anchored).count();
     println!(
         "synthesized {} LFs ({} entity-anchored), e.g.:",

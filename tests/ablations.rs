@@ -12,7 +12,9 @@ fn run(
     let mut config = DataSculptConfig::sc(8);
     config.num_queries = 30;
     mutate(&mut config);
-    let r = DataSculpt::new(dataset, config).run(&mut llm);
+    let r = DataSculpt::new(dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     (r.lf_set, r.ledger)
 }
 
@@ -77,8 +79,18 @@ fn table5_dropping_filters_grows_the_set() {
     let (no_red, _) = run(&d, ModelId::Gpt35Turbo, |c| {
         c.filters = FilterConfig::without_redundancy();
     });
-    assert!(no_acc.len() >= all.len(), "no_acc {} vs all {}", no_acc.len(), all.len());
-    assert!(no_red.len() >= all.len(), "no_red {} vs all {}", no_red.len(), all.len());
+    assert!(
+        no_acc.len() >= all.len(),
+        "no_acc {} vs all {}",
+        no_acc.len(),
+        all.len()
+    );
+    assert!(
+        no_red.len() >= all.len(),
+        "no_red {} vs all {}",
+        no_red.len(),
+        all.len()
+    );
 }
 
 #[test]

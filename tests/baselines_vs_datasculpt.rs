@@ -12,7 +12,9 @@ fn run_datasculpt(dataset: &TextDataset, seed: u64) -> (LfSet, UsageLedger) {
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), seed);
     let mut config = DataSculptConfig::sc(seed);
     config.num_queries = 40;
-    let run = DataSculpt::new(dataset, config).run(&mut llm);
+    let run = DataSculpt::new(dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     (run.lf_set, run.ledger)
 }
 
@@ -36,8 +38,8 @@ fn datasculpt_is_orders_of_magnitude_cheaper_than_promptedlf() {
     let (_, sculpt_ledger) = run_datasculpt(&d, 5);
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 5);
     let prompted = baselines_promptedlf(&d, &mut llm);
-    let ratio = prompted.ledger.total_usage().total() as f64
-        / sculpt_ledger.total_usage().total() as f64;
+    let ratio =
+        prompted.ledger.total_usage().total() as f64 / sculpt_ledger.total_usage().total() as f64;
     // At full scale the paper reports ~4000x; on a 15% slice we still
     // expect a large gap.
     assert!(ratio > 5.0, "cost ratio only {ratio}");
@@ -68,7 +70,7 @@ fn promptedlf_has_best_lf_accuracy_scriptorium_worst() {
         .expect("labels");
 
     let mut llm2 = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 7);
-    let script = scriptorium_run(&d, &mut llm2, 9);
+    let script = scriptorium_run(&d, &mut llm2, 9).expect("the simulated model does not fail");
     let mut script_set = LfSet::new(&d, FilterConfig::validity_only());
     for lf in script.lfs {
         script_set.try_add(lf);
@@ -103,7 +105,7 @@ fn all_four_systems_reach_usable_end_models() {
     let wrench = evaluate_lf_set(&d, &wrench_set, &cfg);
 
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 11);
-    let script = scriptorium_run(&d, &mut llm, 9);
+    let script = scriptorium_run(&d, &mut llm, 9).expect("the simulated model does not fail");
     let mut script_set = LfSet::new(&d, FilterConfig::validity_only());
     for lf in script.lfs {
         script_set.try_add(lf);
@@ -132,13 +134,12 @@ fn scriptorium_coverage_beats_datasculpt_per_lf() {
     let sculpt_cov = lf_stats_from_matrix(&lf_set.train_matrix(), Some(&labels)).lf_coverage;
 
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13);
-    let script = scriptorium_run(&d, &mut llm, 9);
+    let script = scriptorium_run(&d, &mut llm, 9).expect("the simulated model does not fail");
     let mut script_set = LfSet::new(&d, FilterConfig::validity_only());
     for lf in script.lfs {
         script_set.try_add(lf);
     }
-    let script_cov =
-        lf_stats_from_matrix(&script_set.train_matrix(), Some(&labels)).lf_coverage;
+    let script_cov = lf_stats_from_matrix(&script_set.train_matrix(), Some(&labels)).lf_coverage;
     // Table 2: broad task-level LFs cover far more per LF than
     // instance-mined keywords.
     assert!(

@@ -10,7 +10,9 @@ fn fixture() -> (TextDataset, LfSet) {
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 23);
     let mut config = DataSculptConfig::sc(2);
     config.num_queries = 25;
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = DataSculpt::new(&dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     (dataset, run.lf_set)
 }
 
@@ -139,7 +141,9 @@ fn revision_extension_full_pipeline() {
     let mut config = DataSculptConfig::cot(6);
     config.num_queries = 15;
     config.revise_rejected = true;
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = DataSculpt::new(&dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
     assert!((0.0..=1.0).contains(&eval.end_metric));
     assert!(!run.lf_set.is_empty());

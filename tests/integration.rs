@@ -16,9 +16,15 @@ fn full_pipeline_youtube_base() {
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 7);
     let mut config = DataSculptConfig::base(1);
     config.num_queries = 30;
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = DataSculpt::new(&dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
 
-    assert!(run.lf_set.len() >= 10, "LF set too small: {}", run.lf_set.len());
+    assert!(
+        run.lf_set.len() >= 10,
+        "LF set too small: {}",
+        run.lf_set.len()
+    );
     assert_eq!(run.iterations.len(), 30);
     assert!(run.ledger.total_cost_usd() > 0.0);
 
@@ -41,7 +47,9 @@ fn full_pipeline_every_dataset_runs() {
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 5);
         let mut config = DataSculptConfig::cot(2);
         config.num_queries = 10;
-        let run = DataSculpt::new(&dataset, config).run(&mut llm);
+        let run = DataSculpt::new(&dataset, config)
+            .run(&mut llm)
+            .expect("the simulated model does not fail");
         let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
         assert!(
             eval.end_metric >= 0.0 && eval.end_metric <= 1.0,
@@ -62,13 +70,11 @@ fn pipeline_is_reproducible_end_to_end() {
         let mut llm = SimulatedLlm::new(ModelId::Gpt4, dataset.generative.clone(), 11);
         let mut config = DataSculptConfig::sc(4);
         config.num_queries = 8;
-        let run = DataSculpt::new(&dataset, config).run(&mut llm);
+        let run = DataSculpt::new(&dataset, config)
+            .run(&mut llm)
+            .expect("the simulated model does not fail");
         let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
-        (
-            run.lf_set.len(),
-            run.ledger.total_usage(),
-            eval.end_metric,
-        )
+        (run.lf_set.len(), run.ledger.total_usage(), eval.end_metric)
     };
     let a = run_once();
     let b = run_once();
@@ -84,7 +90,9 @@ fn kate_pipeline_annotates_and_runs() {
     let mut config = DataSculptConfig::kate(6);
     config.num_queries = 8;
     config.n_icl = 5;
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = DataSculpt::new(&dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     // KATE pays extra annotation calls beyond the 8 LF-generation queries.
     assert!(run.ledger.calls() > 8, "calls {}", run.ledger.calls());
     assert!(!run.lf_set.is_empty());
@@ -98,7 +106,9 @@ fn filters_actually_gate_the_pipeline() {
         let mut config = DataSculptConfig::sc(9);
         config.num_queries = 20;
         config.filters = filters;
-        DataSculpt::new(&dataset, config).run(&mut llm)
+        DataSculpt::new(&dataset, config)
+            .run(&mut llm)
+            .expect("the simulated model does not fail")
     };
     let strict = run_with(FilterConfig::all());
     let loose = run_with(FilterConfig::without_accuracy());
@@ -128,8 +138,11 @@ fn usage_ledger_matches_pricing_table() {
     let mut llm = SimulatedLlm::new(ModelId::Gpt4, dataset.generative.clone(), 1);
     let mut config = DataSculptConfig::base(1);
     config.num_queries = 5;
-    let run = DataSculpt::new(&dataset, config).run(&mut llm);
+    let run = DataSculpt::new(&dataset, config)
+        .run(&mut llm)
+        .expect("the simulated model does not fail");
     let usage = run.ledger.total_usage();
-    let expected = PricingTable::cost_usd(ModelId::Gpt4, usage.prompt_tokens, usage.completion_tokens);
+    let expected =
+        PricingTable::cost_usd(ModelId::Gpt4, usage.prompt_tokens, usage.completion_tokens);
     assert!((run.ledger.total_cost_usd() - expected).abs() < 1e-12);
 }

@@ -1,0 +1,195 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This implementation keeps the same bench-authoring surface
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `black_box`) but replaces
+//! the statistical machinery with a plain calibrate-then-sample loop that
+//! prints min/median/max nanoseconds per iteration. Good enough to spot
+//! order-of-magnitude regressions; not a substitute for real criterion's
+//! confidence intervals.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+///
+/// Only a hint in this implementation: inputs are always materialized one
+/// batch ahead of timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per sample.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing helper handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the bencher's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with per-iteration inputs built by `setup` outside
+    /// the timed section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Bound the number of pre-built inputs so calibration can't blow
+        // up memory; time is accumulated across chunks.
+        const MAX_BATCH: u64 = 4096;
+        let mut remaining = self.iters;
+        let mut elapsed = Duration::ZERO;
+        while remaining > 0 {
+            let batch = remaining.min(MAX_BATCH);
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed += start.elapsed();
+            remaining -= batch;
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bench registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (min 10).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Apply command-line arguments (`cargo bench -- <filter>`).
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        if filter.is_some() {
+            self.filter = filter;
+        }
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Calibrate: grow the iteration count until one sample takes at
+        // least ~2ms (capped so pathological benches still terminate).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let max = per_iter.last().copied().unwrap_or(0.0);
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+        self
+    }
+
+    /// No-op; the real crate prints an overall summary here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a group of benchmarks, mirroring the real macro's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

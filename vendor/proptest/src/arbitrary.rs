@@ -1,0 +1,33 @@
+//! `any::<T>()`: full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use core::marker::PhantomData;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over the full domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_impl {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen()
+                }
+            }
+        )+
+    };
+}
+
+any_impl!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);

@@ -1,0 +1,85 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched; this implementation covers exactly the surface the
+//! workspace's property tests use: the `proptest!` macro, `prop_assert*`,
+//! `any`, numeric-range and string-regex strategies, tuples,
+//! `collection::vec`, and the `prop_map`/`prop_flat_map` combinators.
+//!
+//! Semantics differ from the real crate in one deliberate way: cases are
+//! generated from a fixed seed (overridable via `PROPTEST_SEED`) and
+//! failures are reported by ordinary `panic!` without shrinking. For a
+//! passing suite the observable behavior is identical; a failure points at
+//! a concrete reproducible input, just not a minimal one.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Define property tests.
+///
+/// Mirrors the real macro's surface: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose parameters take the form `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::new_rng();
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

@@ -1,0 +1,28 @@
+//! `Option` strategies: `option::of`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Option<S::Value>`, `None` with probability 1/4 (the real
+/// crate's default weighting is 3:1 in favor of `Some`).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Wrap `inner` into an `Option` strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,12 @@
+//! The commonly imported surface, mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Alias matching the real crate's `prelude::prop` module path.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,257 @@
+//! String generation from the small regex subset the workspace's
+//! property tests use:
+//!
+//! - character classes `[a-zA-Z ,.!?]` with ranges and literals
+//! - `\PC` — "any non-control character"
+//! - groups `( ... )`
+//! - quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (bounded)
+//! - literal characters
+//!
+//! Unsupported constructs panic, loudly naming the pattern, so a new test
+//! pattern fails fast instead of silently generating garbage.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Pool of non-ASCII, non-control characters mixed into `\PC` output so
+/// multi-byte UTF-8 handling gets exercised.
+const NON_ASCII_POOL: [char; 8] = ['é', 'ü', 'ß', 'λ', '中', '日', '€', '☃'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    AnyNonControl,
+    /// A parenthesized sub-pattern.
+    Group(Vec<(Atom, Repeat)>),
+    /// One literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse_sequence(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    emit_sequence(&atoms, rng, &mut out);
+    out
+}
+
+type CharStream<'a> = core::iter::Peekable<core::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut CharStream, pattern: &str, in_group: bool) -> Vec<(Atom, Repeat)> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && c == ')' {
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => parse_class(chars, pattern),
+            '(' => {
+                let inner = parse_sequence(chars, pattern, true);
+                match chars.next() {
+                    Some(')') => {}
+                    _ => panic!("unterminated group in pattern {pattern:?}"),
+                }
+                Atom::Group(inner)
+            }
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Atom::AnyNonControl,
+                    other => panic!("unsupported escape \\P{other:?} in pattern {pattern:?}"),
+                },
+                Some(esc @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '+' | '*' | '?')) => {
+                    Atom::Literal(esc)
+                }
+                Some('n') => Atom::Literal('\n'),
+                Some('t') => Atom::Literal('\t'),
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            },
+            '.' => Atom::AnyNonControl,
+            '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$' => {
+                panic!("unsupported bare {c:?} in pattern {pattern:?}")
+            }
+            literal => Atom::Literal(literal),
+        };
+        let repeat = parse_quantifier(chars, pattern);
+        atoms.push((atom, repeat));
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut CharStream, pattern: &str) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some(c) => c,
+            None => panic!("unterminated class in pattern {pattern:?}"),
+        };
+        // A '-' is a range operator only between two chars, not before ']'.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            if lookahead.peek().is_some_and(|&n| n != ']') {
+                chars.next();
+                let hi = chars.next().unwrap_or(c);
+                assert!(c <= hi, "inverted class range in pattern {pattern:?}");
+                ranges.push((c, hi));
+                continue;
+            }
+        }
+        ranges.push((c, c));
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(chars: &mut CharStream, pattern: &str) -> Repeat {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or_else(|_| {
+                                panic!("open-ended repeat in pattern {pattern:?}")
+                            }),
+                        ),
+                        None => {
+                            let n = spec
+                                .trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad repeat in pattern {pattern:?}"));
+                            (n, n)
+                        }
+                    };
+                    assert!(min <= max, "inverted repeat in pattern {pattern:?}");
+                    return Repeat { min, max };
+                }
+                spec.push(c);
+            }
+            panic!("unterminated repeat in pattern {pattern:?}")
+        }
+        Some('?') => {
+            chars.next();
+            Repeat { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.next();
+            Repeat { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.next();
+            Repeat { min: 1, max: 8 }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_sequence(atoms: &[(Atom, Repeat)], rng: &mut StdRng, out: &mut String) {
+    for (atom, repeat) in atoms {
+        let count = rng.gen_range(repeat.min..=repeat.max);
+        for _ in 0..count {
+            emit_atom(atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut StdRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            // Weight ranges by their width for uniformity over the class.
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let width = *hi as u32 - *lo as u32 + 1;
+                if pick < width {
+                    let c = char::from_u32(*lo as u32 + pick)
+                        .expect("class ranges stay inside valid scalar values");
+                    out.push(c);
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("pick fits within the summed class width");
+        }
+        Atom::AnyNonControl => {
+            // Mostly printable ASCII with a sprinkle of multi-byte chars.
+            let pool_len = 95 + NON_ASCII_POOL.len();
+            let idx = rng.gen_range(0..pool_len);
+            if idx < 95 {
+                out.push(char::from_u32(0x20 + idx as u32).expect("printable ASCII"));
+            } else {
+                out.push(NON_ASCII_POOL[idx - 95]);
+            }
+        }
+        Atom::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_with_repeat() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c]{1,2}", &mut r);
+            assert!((1..=2).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_repeat_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c]{1,2}( [a-c]{1,2}){0,2}", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((1..=2).contains(&w.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_class_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z ,.!?]{0,80}", &mut r);
+            assert!(s.chars().count() <= 80);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || " ,.!?".contains(c)));
+        }
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("\\PC{0,40}", &mut r);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Test-runner configuration and RNG construction for the `proptest!`
+//! macro expansion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// RNG used to drive generation.
+///
+/// Deterministic by default so test runs are reproducible; set
+/// `PROPTEST_SEED` to explore a different slice of the input space.
+pub fn new_rng() -> StdRng {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5eed_1e55_u64);
+    StdRng::seed_from_u64(seed)
+}
+
+/// Compatibility re-export: the real crate reports failures through this
+/// type; here it exists only so `use` statements resolve.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was rejected (e.g. by a filter).
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}

@@ -1,0 +1,101 @@
+//! Distributions: `Standard` plus the uniform-range machinery behind
+//! `Rng::gen_range`. Algorithms match `rand` 0.8.5 exactly.
+
+pub mod uniform;
+
+use crate::RngCore;
+
+/// Types that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Sample a value using `rng` as the entropy source.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: full-range integers, `[0, 1)` floats,
+/// fair-coin bools.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Matches rand 0.8: high word sampled first.
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        #[cfg(target_pointer_width = "64")]
+        {
+            rng.next_u64() as usize
+        }
+        #[cfg(not(target_pointer_width = "64"))]
+        {
+            rng.next_u32() as usize
+        }
+    }
+}
+
+macro_rules! signed_standard {
+    ($ty:ty, $uty:ty) => {
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                <Standard as Distribution<$uty>>::sample(self, rng) as $ty
+            }
+        }
+    };
+}
+signed_standard!(i8, u8);
+signed_standard!(i16, u16);
+signed_standard!(i32, u32);
+signed_standard!(i64, u64);
+signed_standard!(isize, usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign test on the most significant bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based [0, 1): 53 most significant bits of a u64.
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Multiply-based [0, 1): 24 most significant bits of a u32.
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}

@@ -1,0 +1,147 @@
+//! Uniform range sampling, matching `rand` 0.8.5's single-sample path
+//! (`UniformInt::sample_single_inclusive`): widening multiply with a
+//! conservative rejection zone for 32/64-bit types, modulus-exact zone for
+//! 8/16-bit types.
+
+use crate::distributions::{Distribution, Standard};
+use crate::RngCore;
+use core::ops::{Range, RangeInclusive};
+
+/// Types that `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Sample from `[low, high)`. Caller guarantees `low < high`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from `[low, high]`. Caller guarantees `low <= high`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Sample a value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+    fn is_empty(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+/// Widening multiply returning `(high_word, low_word)`.
+trait WideningMultiply: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+macro_rules! wmul_impl {
+    ($ty:ty, $wide:ty, $shift:expr) => {
+        impl WideningMultiply for $ty {
+            #[inline]
+            fn wmul(self, other: Self) -> (Self, Self) {
+                let tmp = (self as $wide) * (other as $wide);
+                ((tmp >> $shift) as $ty, tmp as $ty)
+            }
+        }
+    };
+}
+wmul_impl!(u32, u64, 32);
+wmul_impl!(u64, u128, 64);
+#[cfg(target_pointer_width = "64")]
+wmul_impl!(usize, u128, 64);
+#[cfg(not(target_pointer_width = "64"))]
+wmul_impl!(usize, u64, 32);
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "sample_single_inclusive: low > high");
+                let range =
+                    (high.wrapping_sub(low) as $unsigned).wrapping_add(1) as $u_large;
+                // If the range wrapped to zero it spans the whole type.
+                if range == 0 {
+                    return <Standard as Distribution<$ty>>::sample(&Standard, rng);
+                }
+                let zone = if <$unsigned>::MAX as u64 <= u16::MAX as u64 {
+                    // 8/16-bit types: exact zone via modulus (cheap here).
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    // Conservative zone: at most one value rejected per
+                    // power-of-two band.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = <Standard as Distribution<$u_large>>::sample(&Standard, rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32);
+uniform_int_impl!(u16, u16, u32);
+uniform_int_impl!(u32, u32, u32);
+uniform_int_impl!(u64, u64, u64);
+uniform_int_impl!(usize, usize, usize);
+uniform_int_impl!(i8, u8, u32);
+uniform_int_impl!(i16, u16, u32);
+uniform_int_impl!(i32, u32, u32);
+uniform_int_impl!(i64, u64, u64);
+uniform_int_impl!(isize, usize, usize);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let value: $ty = <Standard as Distribution<$ty>>::sample(&Standard, rng);
+                let scale = high - low;
+                let res = value * scale + low;
+                if res < high {
+                    res
+                } else {
+                    // Guard against rounding up to `high` exactly.
+                    low
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let value: $ty = <Standard as Distribution<$ty>>::sample(&Standard, rng);
+                value * (high - low) + low
+            }
+        }
+    };
+}
+uniform_float_impl!(f32);
+uniform_float_impl!(f64);

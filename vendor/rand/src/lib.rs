@@ -1,0 +1,123 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the external `rand` crate cannot be fetched. This
+//! crate re-implements exactly the slice of the 0.8 API the workspace uses
+//! — `Rng`, `SeedableRng`, `rngs::StdRng`, `seq::SliceRandom`, and the
+//! `Standard`/uniform distributions behind `gen`/`gen_range` — and is wired
+//! in via `[patch.crates-io]` in the workspace root.
+//!
+//! Bit-compatibility matters: the workspace's seeded statistical tests
+//! (simulator accuracy bands, Zipf/Gaussian moments, deterministic-run
+//! fixtures) were tuned against the real `rand` 0.8 `StdRng`. `StdRng` here
+//! is therefore a faithful ChaCha12 implementation with the same 256-byte
+//! block buffering as `rand_chacha`, the same PCG32-based `seed_from_u64`
+//! fill as `rand_core` 0.6, and the same widening-multiply uniform sampler
+//! as `rand` 0.8.5, so every seeded sequence matches the real crate
+//! bit-for-bit.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a new instance from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a new instance seeded from a single `u64`.
+    ///
+    /// Matches `rand_core` 0.6: the seed buffer is filled 4 bytes at a
+    /// time from a PCG32 stream advanced from `state`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing extension trait providing `gen`, `gen_range`, etc.
+pub trait Rng: RngCore {
+    /// Sample a value from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample a value uniformly from the given range.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Sample a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Return a bool with probability `p` of being true.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p out of range");
+        // Matches rand 0.8's Bernoulli: compare 64 random bits against a
+        // fixed-point threshold of p * 2^64.
+        if p == 1.0 {
+            // Degenerate case: p * 2^64 overflows; always true.
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub use rngs::StdRng;

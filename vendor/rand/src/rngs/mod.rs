@@ -1,0 +1,6 @@
+//! RNG implementations. Only `StdRng` is provided; it matches `rand`
+//! 0.8's `StdRng` (ChaCha12) bit-for-bit.
+
+mod std_rng;
+
+pub use std_rng::StdRng;

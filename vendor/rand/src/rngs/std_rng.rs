@@ -1,0 +1,214 @@
+//! `StdRng`: ChaCha with 12 rounds, identical output to
+//! `rand_chacha::ChaCha12Rng` as used by `rand` 0.8.
+//!
+//! Two details matter for bit-compatibility beyond the ChaCha core itself:
+//!
+//! 1. `rand_chacha` wraps the core in `rand_core::block::BlockRng`, which
+//!    buffers **four** 64-byte blocks (64 `u32` words) per refill and has
+//!    specific straddling rules for `next_u64` at the buffer boundary.
+//! 2. The djb variant is used: a 64-bit block counter in words 12–13 and a
+//!    64-bit stream id in words 14–15 (zero for seeded construction).
+
+use crate::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[derive(Debug, Clone)]
+struct ChaCha12Core {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+}
+
+impl ChaCha12Core {
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let initial: [u32; 16] = [
+            CHACHA_CONSTANTS[0],
+            CHACHA_CONSTANTS[1],
+            CHACHA_CONSTANTS[2],
+            CHACHA_CONSTANTS[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let mut x = initial;
+        for _ in 0..6 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, (w, i)) in out.iter_mut().zip(x.iter().zip(initial.iter())) {
+            *o = w.wrapping_add(*i);
+        }
+    }
+
+    fn generate(&mut self, results: &mut [u32; BUF_WORDS]) {
+        for blk in 0..4 {
+            let counter = self.counter.wrapping_add(blk as u64);
+            self.block(counter, &mut results[blk * 16..(blk + 1) * 16]);
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+}
+
+#[inline(always)]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// The standard RNG: ChaCha12, bit-compatible with `rand` 0.8's `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    results: [u32; BUF_WORDS],
+    index: usize,
+    core: ChaCha12Core,
+}
+
+impl StdRng {
+    fn generate_and_set(&mut self, index: usize) {
+        self.core.generate(&mut self.results);
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        StdRng {
+            results: [0; BUF_WORDS],
+            // Empty buffer: first use triggers a refill.
+            index: BUF_WORDS,
+            core: ChaCha12Core {
+                key,
+                counter: 0,
+                stream: 0,
+            },
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core's BlockRng::next_u64 buffer-straddling rules.
+        let read_u64 = |results: &[u32; BUF_WORDS], index: usize| {
+            (u64::from(results[index + 1]) << 32) | u64::from(results[index])
+        };
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            let x = u64::from(self.results[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            let y = u64::from(self.results[0]);
+            (y << 32) | x
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Byte-level compatibility with BlockRng::fill_bytes is not needed
+        // by this workspace; a straightforward word-serial fill suffices.
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// ECRYPT/eSTREAM verified test vector for ChaCha12 with a 256-bit
+    /// all-zero key and all-zero IV: the first 64 keystream bytes. This
+    /// pins the core (rounds, constants, counter layout) to the same
+    /// cipher `rand_chacha`'s `ChaCha12Rng` implements.
+    #[test]
+    fn chacha12_zero_key_estream_vector() {
+        let rng = StdRng::from_seed([0u8; 32]);
+        let mut words = [0u32; 16];
+        rng.core.block(0, &mut words);
+        let mut stream = [0u8; 64];
+        for (chunk, w) in stream.chunks_exact_mut(4).zip(words.iter()) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        let expected: [u8; 64] = [
+            0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12, 0x5f, 0x26,
+            0x83, 0xd5, 0x04, 0x29, 0xc3, 0xbb, 0x49, 0xe0, 0x74, 0x14, 0x7e, 0x00, 0x89, 0xa5,
+            0x2e, 0xae, 0x15, 0x5f, 0x05, 0x64, 0xf8, 0x79, 0xd2, 0x7a, 0xe3, 0xc0, 0x2c, 0xe8,
+            0x28, 0x34, 0xac, 0xfa, 0x8c, 0x79, 0x3a, 0x62, 0x9f, 0x2c, 0xa0, 0xde, 0x69, 0x19,
+            0x61, 0x0b, 0xe8, 0x2f, 0x41, 0x13, 0x26, 0xbe,
+        ];
+        assert_eq!(stream, expected);
+    }
+
+    /// The word stream must be a stable function of the u64 seed (this is
+    /// what every downstream determinism test leans on).
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: usize = rng.gen_range(0..=3);
+            assert!(w <= 3);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

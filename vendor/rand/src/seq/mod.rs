@@ -1,0 +1,54 @@
+//! Sequence utilities. Only the pieces the workspace uses: `shuffle` and
+//! `choose`, with the exact per-element RNG consumption of `rand` 0.8
+//! (inclusive-range Fisher–Yates from the back).
+
+use crate::distributions::uniform::SampleUniform;
+use crate::Rng;
+
+/// Extension trait for slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffle the slice in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Return one random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // Matches rand 0.8: uniform over the *inclusive* range 0..=i.
+            let j = usize::sample_single_inclusive(0, i, rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.as_mut_slice().shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
