@@ -12,6 +12,8 @@
 //!   answers form one weak-label column. Accurate but exhaustive — the
 //!   cost side of Figures 3–4.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod promptedlf;
 pub mod scriptorium;
 pub mod wrench;

@@ -3,6 +3,8 @@
 //! label model, and the sparse end model. These are component benches —
 //! the table/figure binaries in `src/bin/` are the experiment harness.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use datasculpt::core::index::NgramIndex;
 use datasculpt::core::prompt::{build_messages, request, PromptStyle};

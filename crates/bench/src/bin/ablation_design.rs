@@ -10,6 +10,8 @@
 //! DS_SCALE=0.25 cargo run -p datasculpt-bench --release --bin ablation_design
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
 use datasculpt_bench::*;

@@ -7,6 +7,8 @@
 //! DS_SCALE=0.1 DS_SEEDS=2 cargo run -p datasculpt-bench --release --bin table2
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
 

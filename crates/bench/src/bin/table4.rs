@@ -5,6 +5,8 @@
 //! cargo run -p datasculpt-bench --release --bin table4
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
 

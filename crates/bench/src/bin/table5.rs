@@ -6,6 +6,8 @@
 //! cargo run -p datasculpt-bench --release --bin table5
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 use datasculpt_bench::*;
 

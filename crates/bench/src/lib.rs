@@ -26,6 +26,9 @@
 //! Results are printed as aligned text tables and also written as CSV under
 //! `results/`.
 
+// Experiment driver, not a library: aborting on a malformed spec is correct.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
 use std::io::Write as _;

@@ -22,7 +22,7 @@ use datasculpt_text::{Embedder, FeatureMatrix, HashedTfIdf, RandomProjection};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One annotated in-context example.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +63,7 @@ impl Exemplar {
                 (own > other).then_some((g, own))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let keywords: Vec<String> = scored.into_iter().take(2).map(|(g, _)| g).collect();
         let explanation = if keywords.is_empty() {
             format!("no single phrase is decisive, but overall the passage reads as class {label}.")
@@ -107,7 +107,7 @@ pub struct IclSelector {
     strategy: IclStrategy,
     n_icl: usize,
     state: SelectorState,
-    kate_cache: HashMap<usize, Exemplar>,
+    kate_cache: BTreeMap<usize, Exemplar>,
 }
 
 impl IclSelector {
@@ -167,7 +167,7 @@ impl IclSelector {
             strategy,
             n_icl,
             state,
-            kate_cache: HashMap::new(),
+            kate_cache: BTreeMap::new(),
         }
     }
 

@@ -12,16 +12,25 @@ use datasculpt_data::Split;
 use datasculpt_labelmodel::ABSTAIN;
 use datasculpt_text::ngram::extract_ngrams;
 use datasculpt_text::rng::hash_str;
-use std::collections::HashSet;
 
-/// Precomputed n-gram hash sets for every instance of a split.
+/// Precomputed n-gram hash sets for every instance of a split, stored as
+/// sorted, deduplicated vectors: containment is a binary search, iteration
+/// order is deterministic, and the memory layout is a single contiguous
+/// allocation per instance.
 #[derive(Debug, Clone)]
 pub struct NgramIndex {
     /// All n-grams (orders 1–3) of the LF-matching token view.
-    full: Vec<HashSet<u64>>,
+    full: Vec<Vec<u64>>,
     /// N-grams inside the anchored window (relation datasets; empty sets
     /// otherwise).
-    between: Vec<HashSet<u64>>,
+    between: Vec<Vec<u64>>,
+}
+
+/// Sort + dedup a hash list into binary-searchable form.
+fn into_sorted_set(mut hashes: Vec<u64>) -> Vec<u64> {
+    hashes.sort_unstable();
+    hashes.dedup();
+    hashes
 }
 
 impl NgramIndex {
@@ -32,8 +41,8 @@ impl NgramIndex {
         for inst in split.iter() {
             let tokens = inst.match_tokens();
             let grams = extract_ngrams(tokens, 3);
-            full.push(grams.iter().map(|g| hash_str(g)).collect());
-            let mut span_set = HashSet::new();
+            full.push(into_sorted_set(grams.iter().map(|g| hash_str(g)).collect()));
+            let mut span_set = Vec::new();
             if inst.marked_tokens.is_some() {
                 let ia = tokens.iter().position(|t| t == "[a]");
                 let ib = tokens.iter().position(|t| t == "[b]");
@@ -41,12 +50,12 @@ impl NgramIndex {
                     let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
                     if hi - lo <= ANCHOR_WINDOW && hi - lo >= 2 {
                         for g in extract_ngrams(&tokens[lo + 1..hi], 3) {
-                            span_set.insert(hash_str(&g));
+                            span_set.push(hash_str(&g));
                         }
                     }
                 }
             }
-            between.push(span_set);
+            between.push(into_sorted_set(span_set));
         }
         Self { full, between }
     }
@@ -65,11 +74,12 @@ impl NgramIndex {
     #[inline]
     pub fn fires(&self, lf: &KeywordLf, i: usize) -> bool {
         let h = hash_str(&lf.keyword);
-        if lf.anchored {
-            self.between[i].contains(&h)
+        let set = if lf.anchored {
+            &self.between
         } else {
-            self.full[i].contains(&h)
-        }
+            &self.full
+        };
+        set.get(i).is_some_and(|s| s.binary_search(&h).is_ok())
     }
 
     /// The LF's vote column over the indexed split.
@@ -82,7 +92,7 @@ impl NgramIndex {
         };
         sets.iter()
             .map(|s| {
-                if s.contains(&h) {
+                if s.binary_search(&h).is_ok() {
                     lf.label as i32
                 } else {
                     ABSTAIN

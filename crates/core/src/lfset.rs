@@ -5,7 +5,7 @@ use crate::index::NgramIndex;
 use crate::lf::KeywordLf;
 use datasculpt_data::TextDataset;
 use datasculpt_labelmodel::{LabelMatrix, ABSTAIN};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The accumulated set of accepted LFs plus their cached vote columns on
 /// the train and validation splits.
@@ -24,7 +24,7 @@ pub struct LfSet {
     valid_labels: Vec<Option<usize>>,
     n_classes: usize,
     filters: FilterConfig,
-    seen: HashSet<(String, usize, bool)>,
+    seen: BTreeSet<(String, usize, bool)>,
     rejected: RejectionCounts,
 }
 
@@ -53,7 +53,7 @@ impl LfSet {
             valid_labels: dataset.valid.labels_opt(),
             n_classes: dataset.n_classes(),
             filters,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             rejected: RejectionCounts::default(),
         }
     }

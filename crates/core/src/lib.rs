@@ -21,6 +21,8 @@
 //! labels (+ the default-class rule of §3.6) → end model → the metrics of
 //! Tables 2–5.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod consistency;
 pub mod eval;
 pub mod filter;

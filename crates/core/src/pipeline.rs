@@ -31,7 +31,7 @@ pub use crate::prompt::PromptStyle;
 use crate::sampler::{make_sampler, QuerySampler, SamplerKind};
 use datasculpt_data::TextDataset;
 use datasculpt_llm::{ChatMessage, ChatModel, LlmError, UsageLedger};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Why a DataSculpt run aborted instead of producing a [`RunResult`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,6 +202,63 @@ impl RunResult {
             .filter(|it| it.error.is_some())
             .count()
     }
+
+    /// Order-stable FNV-1a digest of everything the determinism contract
+    /// promises: the accepted LF set, the per-model token ledger, and every
+    /// iteration's outcome. Two runs with the same dataset, config, and
+    /// seeds must produce equal digests — any divergence is a
+    /// reproducibility bug (see `lint.toml`, rule `hash-order`).
+    pub fn digest(&self) -> u64 {
+        let mut d = Fnv::new();
+        d.eat_usize(self.lf_set.len());
+        for lf in self.lf_set.lfs() {
+            d.eat(lf.keyword.as_bytes());
+            d.eat_usize(lf.label);
+            d.eat(&[u8::from(lf.anchored)]);
+        }
+        d.eat_usize(self.ledger.calls() as usize);
+        for (model, usage) in self.ledger.per_model() {
+            d.eat(model.api_name().as_bytes());
+            d.eat(&usage.prompt_tokens.to_le_bytes());
+            d.eat(&usage.completion_tokens.to_le_bytes());
+        }
+        d.eat_usize(self.iterations.len());
+        for it in &self.iterations {
+            d.eat_usize(it.instance_id);
+            d.eat_usize(it.label.map_or(usize::MAX, |l| l));
+            for kw in &it.keywords {
+                d.eat(kw.as_bytes());
+            }
+            d.eat_usize(it.accepted);
+            d.eat_usize(it.rejected);
+            d.eat(&[u8::from(it.error.is_some())]);
+        }
+        d.finish()
+    }
+}
+
+/// Incremental FNV-1a hasher for [`RunResult::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn eat_usize(&mut self, v: usize) {
+        self.eat(&(v as u64).to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Outcome of the LF-integration stage for one iteration.
@@ -220,7 +277,7 @@ struct RunContext<'d> {
     ledger: UsageLedger,
     icl: IclSelector,
     sampler: Box<dyn QuerySampler>,
-    queried: HashSet<usize>,
+    queried: BTreeSet<usize>,
     iterations: Vec<IterationLog>,
 }
 
@@ -233,7 +290,7 @@ impl<'d> RunContext<'d> {
             ledger: UsageLedger::new(),
             icl: IclSelector::new(dataset, cfg.icl_strategy, cfg.n_icl, cfg.seed),
             sampler: make_sampler(cfg.sampler, dataset, cfg.seed),
-            queried: HashSet::with_capacity(cfg.num_queries),
+            queried: BTreeSet::new(),
             iterations: Vec::with_capacity(cfg.num_queries),
         }
     }
@@ -536,6 +593,25 @@ mod tests {
             a.ledger.total_usage().prompt_tokens,
             b.ledger.total_usage().prompt_tokens
         );
+    }
+
+    #[test]
+    fn same_seed_runs_have_identical_digests() {
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::sc(9);
+        cfg.num_queries = 8;
+        let a = run_config(&d, cfg);
+        let b = run_config(&d, cfg);
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "same seed must reproduce the run bit-for-bit"
+        );
+        // A different run seed must perturb the digest.
+        let mut other = cfg;
+        other.seed = 10;
+        let c = run_config(&d, other);
+        assert_ne!(a.digest(), c.digest(), "different seed, different run");
     }
 
     #[test]

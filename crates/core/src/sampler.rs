@@ -9,7 +9,7 @@ use datasculpt_text::{Embedder, FeatureMatrix, HashedTfIdf, RandomProjection};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which sampler to use (the rows of Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ pub trait QuerySampler {
         &mut self,
         dataset: &TextDataset,
         lf_set: &LfSet,
-        queried: &HashSet<usize>,
+        queried: &BTreeSet<usize>,
     ) -> Option<usize>;
 }
 
@@ -85,7 +85,7 @@ impl QuerySampler for RandomSampler {
         &mut self,
         dataset: &TextDataset,
         _lf_set: &LfSet,
-        queried: &HashSet<usize>,
+        queried: &BTreeSet<usize>,
     ) -> Option<usize> {
         let n = dataset.train.len();
         if queried.len() >= n {
@@ -191,7 +191,7 @@ impl QuerySampler for UncertainSampler {
         &mut self,
         dataset: &TextDataset,
         lf_set: &LfSet,
-        queried: &HashSet<usize>,
+        queried: &BTreeSet<usize>,
     ) -> Option<usize> {
         if self.calls.is_multiple_of(self.refresh_every) {
             self.refresh(dataset, lf_set);
@@ -246,9 +246,9 @@ impl SeuSampler {
         pool.truncate(POOL_CAP);
 
         // Gram statistics from the labeled validation split.
-        let mut gram_stats: HashMap<String, (f64, f64)> = HashMap::new(); // (acc, cov)
+        let mut gram_stats: BTreeMap<String, (f64, f64)> = BTreeMap::new(); // (acc, cov)
         {
-            let mut counts: HashMap<String, Vec<usize>> = HashMap::new();
+            let mut counts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
             let n_classes = dataset.n_classes();
             for inst in dataset.valid.iter() {
                 let Some(y) = inst.label else { continue };
@@ -303,7 +303,7 @@ impl QuerySampler for SeuSampler {
         &mut self,
         dataset: &TextDataset,
         _lf_set: &LfSet,
-        queried: &HashSet<usize>,
+        queried: &BTreeSet<usize>,
     ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (pi, &ti) in self.pool.iter().enumerate() {
@@ -380,7 +380,7 @@ impl QuerySampler for CoreSetSampler {
         &mut self,
         dataset: &TextDataset,
         _lf_set: &LfSet,
-        queried: &HashSet<usize>,
+        queried: &BTreeSet<usize>,
     ) -> Option<usize> {
         if self.min_dist.is_empty() {
             // First pick: closest to the centroid.
@@ -406,9 +406,7 @@ impl QuerySampler for CoreSetSampler {
                             .map(|(v, c)| *v as f64 * c)
                             .sum::<f64>()
                     };
-                    score(a)
-                        .partial_cmp(&score(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    score(a).total_cmp(&score(b))
                 });
             if let Some(pi) = first {
                 self.min_dist = (0..self.pool.len())
@@ -420,11 +418,7 @@ impl QuerySampler for CoreSetSampler {
             // k-center greedy: farthest pool instance from the queried set.
             let next = (0..self.pool.len())
                 .filter(|&pi| !queried.contains(&self.pool[pi]))
-                .max_by(|&a, &b| {
-                    self.min_dist[a]
-                        .partial_cmp(&self.min_dist[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                .max_by(|&a, &b| self.min_dist[a].total_cmp(&self.min_dist[b]));
             if let Some(pi) = next {
                 for qi in 0..self.pool.len() {
                     let d = self.cosine_distance(qi, pi);
@@ -460,7 +454,7 @@ mod tests {
     fn random_sampler_is_deterministic_and_exhaustive() {
         let d = tiny();
         let set = LfSet::new(&d, FilterConfig::all());
-        let mut queried = HashSet::new();
+        let mut queried = BTreeSet::new();
         let mut a = RandomSampler::new(3);
         let mut b = RandomSampler::new(3);
         for _ in 0..20 {
@@ -476,7 +470,7 @@ mod tests {
     fn random_sampler_returns_none_when_exhausted() {
         let d = tiny();
         let set = LfSet::new(&d, FilterConfig::all());
-        let queried: HashSet<usize> = (0..d.train.len()).collect();
+        let queried: BTreeSet<usize> = (0..d.train.len()).collect();
         let mut s = RandomSampler::new(0);
         assert_eq!(s.select(&d, &set, &queried), None);
     }
@@ -488,7 +482,7 @@ mod tests {
         set.try_add(crate::lf::KeywordLf::new("subscribe", 1));
         set.try_add(crate::lf::KeywordLf::new("love", 0));
         let mut s = UncertainSampler::new(&d, 1);
-        let mut queried = HashSet::new();
+        let mut queried = BTreeSet::new();
         for _ in 0..10 {
             let i = s.select(&d, &set, &queried).expect("instances remain");
             assert!(!queried.contains(&i));
@@ -502,7 +496,7 @@ mod tests {
         let set = LfSet::new(&d, FilterConfig::all());
         let mut s = SeuSampler::new(&d, 2);
         let first = s
-            .select(&d, &set, &HashSet::new())
+            .select(&d, &set, &BTreeSet::new())
             .expect("instances remain");
         // The chosen instance should contain at least one indicative gram.
         let inst = &d.train.instances[first];
@@ -519,8 +513,8 @@ mod tests {
         let set = LfSet::new(&d, FilterConfig::all());
         let mut a = SeuSampler::new(&d, 2);
         let mut b = SeuSampler::new(&d, 2);
-        let mut qa = HashSet::new();
-        let mut qb = HashSet::new();
+        let mut qa = BTreeSet::new();
+        let mut qb = BTreeSet::new();
         for _ in 0..5 {
             let ia = a.select(&d, &set, &qa).expect("remain");
             let ib = b.select(&d, &set, &qb).expect("remain");
@@ -543,7 +537,7 @@ mod tests {
         let d = tiny();
         let set = LfSet::new(&d, FilterConfig::all());
         let mut s = CoreSetSampler::new(&d, 4);
-        let mut queried = HashSet::new();
+        let mut queried = BTreeSet::new();
         let mut picks = Vec::new();
         for _ in 0..8 {
             let i = s.select(&d, &set, &queried).expect("instances remain");
@@ -553,7 +547,7 @@ mod tests {
         }
         // All picks distinct and deterministic under the seed.
         let mut s2 = CoreSetSampler::new(&d, 4);
-        let mut q2 = HashSet::new();
+        let mut q2 = BTreeSet::new();
         for &expected in &picks {
             let i = s2.select(&d, &set, &q2).expect("instances remain");
             assert_eq!(i, expected);

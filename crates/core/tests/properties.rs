@@ -1,5 +1,7 @@
 //! Property-based tests for the DataSculpt core.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_core::consistency::aggregate_consistency;
 use datasculpt_core::filter::consensus;
 use datasculpt_core::lf::{anchored_fires, KeywordLf};

@@ -56,7 +56,7 @@ impl Tier {
 pub(crate) struct Lexicon {
     n_classes: usize,
     grams: Vec<IndicativeNgram>,
-    seen: std::collections::HashSet<String>,
+    seen: std::collections::BTreeSet<String>,
 }
 
 impl Lexicon {
@@ -64,7 +64,7 @@ impl Lexicon {
         Self {
             n_classes,
             grams: Vec::new(),
-            seen: std::collections::HashSet::new(),
+            seen: std::collections::BTreeSet::new(),
         }
     }
 

@@ -16,7 +16,7 @@ use datasculpt_text::rng::{derive_seed, Gaussian};
 use datasculpt_text::{Categorical, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An indicative n-gram with per-class appearance probabilities.
 #[derive(Debug, Clone)]
@@ -33,9 +33,9 @@ impl IndicativeNgram {
         self.probs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN prob"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("empty probs")
+            .unwrap_or(0)
     }
 
     /// Bayes-optimal accuracy of the keyword LF `(gram → dominant class)`
@@ -76,11 +76,11 @@ pub struct GenerativeModel {
     background: Vec<String>,
     zipf: Zipf,
     indicative: Vec<IndicativeNgram>,
-    affinity: HashMap<String, usize>,
+    affinity: BTreeMap<String, usize>,
     /// Affinities for n-grams that are not lexicon entries but still carry
     /// class signal — the relation connector patterns inserted by
     /// [`RelationConfig`] (e.g. `"married"` in Spouse positives).
-    extra_affinity: HashMap<String, Vec<f64>>,
+    extra_affinity: BTreeMap<String, Vec<f64>>,
     by_class: Vec<Vec<usize>>,
     class_cat: Vec<Categorical>,
     class_lambda: Vec<f64>,
@@ -133,7 +133,7 @@ impl GenerativeModel {
             (0.0..0.5).contains(&label_noise),
             "label noise {label_noise}"
         );
-        let mut affinity = HashMap::with_capacity(indicative.len());
+        let mut affinity = BTreeMap::new();
         let mut by_class = vec![Vec::new(); n_classes];
         for (i, g) in indicative.iter().enumerate() {
             assert_eq!(g.probs.len(), n_classes, "probs mismatch for {}", g.gram);
@@ -159,7 +159,7 @@ impl GenerativeModel {
         // Relation connectors carry strong class signal but are inserted by
         // the entity scaffolding rather than the lexicon; expose them to
         // `affinity` lookups so the simulated LLM can "know" them.
-        let mut extra_affinity = HashMap::new();
+        let mut extra_affinity = BTreeMap::new();
         if let Some(rel) = &relation {
             assert_eq!(n_classes, 2, "relation tasks are binary");
             let n_conn = rel.positive_connectors.len() as f64;

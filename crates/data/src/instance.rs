@@ -90,7 +90,11 @@ impl Split {
     pub fn labels(&self) -> Vec<Label> {
         self.instances
             .iter()
-            .map(|i| i.label.expect("label unavailable for this split"))
+            .map(|i| {
+                #[allow(clippy::expect_used)]
+                // ds-lint: allow(unwrap): documented precondition — callers gate on train_labels_available
+                i.label.expect("label unavailable for this split")
+            })
             .collect()
     }
 

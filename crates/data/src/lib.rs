@@ -19,6 +19,8 @@
 //! oracle baselines mine it directly. Real-corpus replacements would only
 //! need to implement the same `TextDataset` surface.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dataset;
 pub mod datasets;
 pub mod generative;

@@ -1,5 +1,7 @@
 //! Property-based tests for the dataset substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_data::{DatasetName, IndicativeNgram};
 use proptest::prelude::*;
 

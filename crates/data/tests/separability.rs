@@ -3,6 +3,8 @@
 //! right accuracy range, imbalance where the original is imbalanced, and
 //! enough lexicon diversity to support hundreds of distinct LFs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_data::DatasetName;
 
 #[test]

@@ -209,7 +209,10 @@ fn baseline(args: &[String]) -> ExitCode {
     let flags = Flags { args };
     let seed: u64 = flags.parse_or("--seed", 0);
     let model = parse_model(&flags);
-    let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
+    let Some(name) = DatasetName::parse(dataset.spec.name) else {
+        eprintln!("error: unknown dataset '{}'", dataset.spec.name);
+        return ExitCode::from(2);
+    };
     match flags.get("--system").unwrap_or("wrench") {
         "wrench" => {
             let mut set = LfSet::new(&dataset, FilterConfig::validity_only());

@@ -41,6 +41,8 @@
 //!          run.lf_set.len(), eval.end_metric, run.ledger.total_cost_usd());
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use datasculpt_baselines as baselines;
 pub use datasculpt_core as core;
 pub use datasculpt_data as data;

@@ -10,6 +10,8 @@
 //! F1 for imbalanced datasets, macro-F1, predictive entropy for the
 //! uncertainty sampler, log-loss).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod logreg;
 pub mod metrics;
 pub mod mlp;

@@ -1,5 +1,7 @@
 //! Property-based tests for the end-model substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_endmodel::logreg::{softmax, SparseRow};
 use datasculpt_endmodel::{
     accuracy, entropy, f1_positive, log_loss, macro_f1, ConfusionMatrix, SoftmaxRegression,

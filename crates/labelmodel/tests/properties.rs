@@ -1,5 +1,7 @@
 //! Property-based tests for the label-model substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_labelmodel::{
     LabelMatrix, LabelModel, MajorityVote, MetalModel, TripletModel, ABSTAIN,
 };

@@ -13,10 +13,10 @@ use crate::error::LlmError;
 use crate::message::{ChatRequest, ChatResponse};
 use crate::pricing::ModelId;
 use crate::ChatModel;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Full structural identity of a request, used as the cache key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct CacheKey {
     /// `(role, content)` per message; the role is its display name.
     messages: Vec<(&'static str, String)>,
@@ -88,7 +88,7 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct CachedModel<M> {
     inner: M,
-    entries: HashMap<CacheKey, ChatResponse>,
+    entries: BTreeMap<CacheKey, ChatResponse>,
     /// Insertion order, for FIFO eviction.
     order: VecDeque<CacheKey>,
     capacity: usize,
@@ -113,7 +113,7 @@ impl<M: ChatModel> CachedModel<M> {
         assert!(capacity > 0, "cache capacity must be at least 1");
         CachedModel {
             inner,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: VecDeque::new(),
             capacity,
             stats: CacheStats::default(),
@@ -239,6 +239,46 @@ mod tests {
         assert_eq!(m.stats().hits, 1);
         m.complete(&req("one")).unwrap(); // evicted, refetches
         assert_eq!(m.stats().misses, 4);
+    }
+
+    #[test]
+    fn capacity_one_interleaved_hits_and_misses() {
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::with_capacity(inner, 1);
+        m.complete(&req("a")).unwrap(); // miss, cache = {a}
+        m.complete(&req("a")).unwrap(); // hit
+        m.complete(&req("b")).unwrap(); // miss, evicts a, cache = {b}
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.stats().evictions, 1);
+        m.complete(&req("b")).unwrap(); // hit
+        m.complete(&req("a")).unwrap(); // miss again, evicts b
+        assert_eq!(
+            m.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 3,
+                evictions: 2
+            }
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get_ref().calls_served(), 3);
+    }
+
+    #[test]
+    fn eviction_is_fifo_not_lru() {
+        // A hit on the oldest entry must NOT refresh its position: "one"
+        // is still the first to go when capacity overflows.
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::with_capacity(inner, 2);
+        m.complete(&req("one")).unwrap();
+        m.complete(&req("two")).unwrap();
+        m.complete(&req("one")).unwrap(); // hit; FIFO order unchanged
+        m.complete(&req("three")).unwrap(); // evicts "one", not "two"
+        assert_eq!(m.stats().evictions, 1);
+        m.complete(&req("two")).unwrap();
+        assert_eq!(m.stats().hits, 2, "\"two\" survived the eviction");
+        m.complete(&req("one")).unwrap();
+        assert_eq!(m.stats().misses, 4, "\"one\" was the FIFO victim");
     }
 
     #[test]

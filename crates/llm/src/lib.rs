@@ -20,6 +20,8 @@
 //! small Llama models occasionally hallucinate artificial examples instead
 //! of answering (§4.3).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod error;
 pub mod message;

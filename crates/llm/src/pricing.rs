@@ -1,7 +1,7 @@
 //! Model identities and the API price table used for Figure 4.
 
 /// The language models evaluated in the paper (§4.1, §4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ModelId {
     /// `gpt-3.5-turbo-0613` (OpenAI) — the paper's default.
     Gpt35Turbo,
@@ -54,28 +54,52 @@ impl std::fmt::Display for ModelId {
     }
 }
 
-/// USD prices per million tokens, matching the rates cited by the paper
-/// (footnote 2: gpt-3.5-turbo-0613 was $1.50/M input, $2.00/M output) and
-/// the contemporaneous OpenAI / Anyscale price lists.
+/// API prices, matching the rates cited by the paper (footnote 2:
+/// gpt-3.5-turbo-0613 was $1.50/M input, $2.00/M output) and the
+/// contemporaneous OpenAI / Anyscale price lists.
+///
+/// Rates are stored as integer **nano-USD per token** ($1.50/M tokens =
+/// 1500 nUSD/token), so cost accumulation over a run is exact integer
+/// arithmetic; floating point enters only at the display boundary.
 #[derive(Debug, Clone, Copy)]
 pub struct PricingTable;
 
+/// Nano-USD per USD.
+const NANO_PER_USD: f64 = 1e9;
+
 impl PricingTable {
-    /// `(input $/M, output $/M)` for a model.
-    pub fn rates(model: ModelId) -> (f64, f64) {
+    /// `(input, output)` rates in nano-USD per token.
+    pub fn rates_nanousd(model: ModelId) -> (u64, u64) {
         match model {
-            ModelId::Gpt35Turbo => (1.50, 2.00),
-            ModelId::Gpt4 => (30.00, 60.00),
-            ModelId::Llama2Chat7b => (0.15, 0.15),
-            ModelId::Llama2Chat13b => (0.25, 0.25),
-            ModelId::Llama2Chat70b => (1.00, 1.00),
+            ModelId::Gpt35Turbo => (1_500, 2_000),
+            ModelId::Gpt4 => (30_000, 60_000),
+            ModelId::Llama2Chat7b => (150, 150),
+            ModelId::Llama2Chat13b => (250, 250),
+            ModelId::Llama2Chat70b => (1_000, 1_000),
         }
     }
 
+    /// `(input $/M, output $/M)` for a model (display form of the
+    /// nano-USD rates).
+    pub fn rates(model: ModelId) -> (f64, f64) {
+        let (inp, out) = Self::rates_nanousd(model);
+        // ds-lint: allow(lossy-cast): display boundary; rates are < 2^53, exact in f64
+        (inp as f64 / 1e3, out as f64 / 1e3)
+    }
+
+    /// Exact cost in nano-USD for a token mix under a model's rates.
+    pub fn cost_nanousd(model: ModelId, prompt_tokens: u64, completion_tokens: u64) -> u128 {
+        let (inp, out) = Self::rates_nanousd(model);
+        u128::from(prompt_tokens) * u128::from(inp)
+            + u128::from(completion_tokens) * u128::from(out)
+    }
+
     /// Cost in USD for a token mix under a model's rates.
+    ///
+    /// Exact below 2^53 nano-USD (≈ $9M) — far beyond any experiment grid.
     pub fn cost_usd(model: ModelId, prompt_tokens: u64, completion_tokens: u64) -> f64 {
-        let (inp, out) = Self::rates(model);
-        (prompt_tokens as f64) * inp / 1e6 + (completion_tokens as f64) * out / 1e6
+        // ds-lint: allow(lossy-cast): display boundary; see precision note above
+        Self::cost_nanousd(model, prompt_tokens, completion_tokens) as f64 / NANO_PER_USD
     }
 }
 

@@ -43,7 +43,10 @@ impl ChatModel for ScriptedModel {
         let mut choices = Vec::with_capacity(request.n);
         let mut completion_tokens = 0;
         for _ in 0..request.n {
-            let content = self.responses[self.cursor % self.responses.len()].clone();
+            let slot = self.cursor % self.responses.len().max(1);
+            let Some(content) = self.responses.get(slot).cloned() else {
+                return Err(LlmError::EmptyResponse);
+            };
             self.cursor += 1;
             completion_tokens += approx_token_count(&content);
             choices.push(ChatChoice { content });

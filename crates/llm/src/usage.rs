@@ -1,7 +1,7 @@
 //! Token usage accounting (Figures 3–4).
 
 use crate::pricing::{ModelId, PricingTable};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Token counts for one API call (or an accumulated total).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,7 +38,7 @@ impl std::ops::Add for TokenUsage {
 /// Cumulative per-model usage ledger for one experiment run.
 #[derive(Debug, Clone, Default)]
 pub struct UsageLedger {
-    per_model: HashMap<ModelId, TokenUsage>,
+    per_model: BTreeMap<ModelId, TokenUsage>,
     calls: u64,
 }
 
@@ -73,12 +73,25 @@ impl UsageLedger {
         t
     }
 
-    /// Total cost in USD across models, at the [`PricingTable`] rates.
-    pub fn total_cost_usd(&self) -> f64 {
+    /// Per-model usage in deterministic (model-id) order.
+    pub fn per_model(&self) -> impl Iterator<Item = (ModelId, TokenUsage)> + '_ {
+        self.per_model.iter().map(|(m, u)| (*m, *u))
+    }
+
+    /// Exact total cost in nano-USD across models, at the
+    /// [`PricingTable`] rates.
+    pub fn total_cost_nanousd(&self) -> u128 {
         self.per_model
             .iter()
-            .map(|(m, u)| PricingTable::cost_usd(*m, u.prompt_tokens, u.completion_tokens))
+            .map(|(m, u)| PricingTable::cost_nanousd(*m, u.prompt_tokens, u.completion_tokens))
             .sum()
+    }
+
+    /// Total cost in USD across models (display form of the exact
+    /// nano-USD total).
+    pub fn total_cost_usd(&self) -> f64 {
+        // ds-lint: allow(lossy-cast): display boundary; exact below ~$9M (2^53 nUSD)
+        self.total_cost_nanousd() as f64 / 1e9
     }
 
     /// Merge another ledger into this one.

@@ -1,5 +1,7 @@
 //! Property-based tests for the LLM substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_data::DatasetName;
 use datasculpt_llm::{
     approx_token_count, ChatMessage, ChatModel, ChatRequest, ModelId, PricingTable, SimulatedLlm,

@@ -116,6 +116,7 @@ impl HashedTfIdf {
         for doc in docs {
             self.num_docs += 1;
             let grams = extract_ngrams(doc, self.ngram_order);
+            // ds-lint: allow(hash-order): dedup membership test; never iterated
             let mut seen = std::collections::HashSet::with_capacity(grams.len());
             for g in &grams {
                 let b = self.bucket(g);

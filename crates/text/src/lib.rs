@@ -11,6 +11,8 @@
 //! produces the same tokens, features, and samples, which is what makes the
 //! experiment harness reproducible.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod embed;
 pub mod features;
 pub mod ngram;

@@ -1,5 +1,6 @@
 //! Vocabulary: a bidirectional token ↔ id map with document frequencies.
 
+// ds-lint: allow(hash-order): membership/interning only; iteration never touches the map
 use std::collections::HashMap;
 
 /// A growable token vocabulary with document-frequency statistics.
@@ -8,6 +9,7 @@ use std::collections::HashMap;
 /// the same corpus in the same order is identical across runs.
 #[derive(Debug, Clone, Default)]
 pub struct Vocabulary {
+    // ds-lint: allow(hash-order): lookup-only; ids are assigned in insertion order
     token_to_id: HashMap<String, usize>,
     id_to_token: Vec<String>,
     doc_freq: Vec<usize>,
@@ -37,6 +39,7 @@ impl Vocabulary {
     /// frequency once per distinct token in the document.
     pub fn observe_document(&mut self, tokens: &[String]) {
         self.num_docs += 1;
+        // ds-lint: allow(hash-order): dedup membership test; never iterated
         let mut seen = std::collections::HashSet::with_capacity(tokens.len());
         for t in tokens {
             let id = self.intern(t);

@@ -1,5 +1,7 @@
 //! Property-based tests for the text substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt_text::features::l2_normalize;
 use datasculpt_text::ngram::{contains_ngram, extract_ngrams, ngram_order};
 use datasculpt_text::rng::{derive_seed, hash_str, Categorical, Gaussian, Zipf};

@@ -1,0 +1,30 @@
+//! Fixture: violation-free library code. The engine must report nothing,
+//! even though comments and strings mention HashMap, panic! and unwrap().
+//! NOT compiled — scanned as text by the engine's own test suite.
+
+use std::collections::BTreeMap;
+
+/// Doc comments may say HashMap or panic! freely.
+pub fn lookup(map: &BTreeMap<String, u32>, key: &str) -> Option<u32> {
+    let banner = "call .unwrap() and panic! are fine inside string literals";
+    let _unused_named_binding = banner.len(); // named, so not discarded-result
+    map.get(key).copied()
+}
+
+pub fn safe_get(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("k".to_string(), 1u32);
+        for (k, v) in m.iter() {
+            assert_eq!(v, m.get(k).unwrap());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: suppression annotations — three valid, two malformed.
+//! NOT compiled — scanned as text by the engine's own test suite.
+
+use std::collections::HashMap; // ds-lint: allow(hash-order): lookup-only interning table, never iterated
+
+pub fn checked() {
+    // ds-lint: allow(panic): capacity is validated at construction
+    panic!("unreachable by construction");
+}
+
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.expect("validated upstream") // ds-lint: allow(unwrap): input validated two lines up
+}
+
+pub fn missing_reason() {
+    let m: HashMap<u32, u32> = HashMap::new(); // ds-lint: allow(hash-order):
+    drop(m);
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    x.unwrap() // ds-lint: allow(no-such-rule): confidently wrong
+}

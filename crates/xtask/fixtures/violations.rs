@@ -1,0 +1,49 @@
+//! Fixture: one violation per rule family, on library paths.
+//! NOT compiled — scanned as text by the engine's own test suite.
+
+use std::collections::HashMap; // hash-order
+use std::collections::HashSet; // hash-order
+
+pub fn panics() {
+    panic!("boom"); // panic
+}
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap() // unwrap
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("present") // unwrap
+}
+
+pub fn indexes(v: &[u32], i: usize) -> u32 {
+    v[i] // unchecked-index
+}
+
+pub fn clocks() {
+    let _t = std::time::Instant::now(); // wall-clock
+}
+
+pub fn discards() {
+    let _ = fallible(); // discarded-result
+}
+
+pub fn casts(tokens: u64) -> f64 {
+    tokens as f64 // lossy-cast
+}
+
+fn fallible() -> Result<(), ()> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    // Everything is legal in tests: none of these may be reported.
+    #[test]
+    fn exempt() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.get(&0).is_none());
+        let v = vec![1, 2];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

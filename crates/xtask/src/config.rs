@@ -1,0 +1,232 @@
+//! `lint.toml` — path-scoped rule configuration.
+//!
+//! ds-lint has zero dependencies, so this is a hand-rolled parser for the
+//! small TOML subset the config needs:
+//!
+//! ```toml
+//! # comment
+//! [rule.hash-order]
+//! enabled = true
+//! paths = ["crates/core/src", "crates/llm/src"]
+//! exclude = ["crates/core/src/generated"]
+//! ```
+//!
+//! A rule applies to a file iff it is `enabled` (default), the file path
+//! starts with one of `paths` (default: everything), and starts with none
+//! of `exclude`. Paths are repo-relative with forward slashes.
+
+use crate::rules::Rule;
+
+/// Scoping for one rule.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Rule is entirely off when false.
+    pub enabled: bool,
+    /// Path prefixes the rule applies to; empty = all scanned files.
+    pub paths: Vec<String>,
+    /// Path prefixes the rule skips.
+    pub exclude: Vec<String>,
+}
+
+impl RuleScope {
+    fn on() -> Self {
+        RuleScope {
+            enabled: true,
+            paths: Vec::new(),
+            exclude: Vec::new(),
+        }
+    }
+
+    /// Whether the rule applies to `path`.
+    pub fn applies(&self, path: &str) -> bool {
+        self.enabled
+            && (self.paths.is_empty() || self.paths.iter().any(|p| path.starts_with(p.as_str())))
+            && !self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The full lint configuration: one scope per rule.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    scopes: Vec<(Rule, RuleScope)>,
+}
+
+impl Default for LintConfig {
+    /// Everything on, everywhere.
+    fn default() -> Self {
+        LintConfig {
+            scopes: Rule::ALL.iter().map(|&r| (r, RuleScope::on())).collect(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// The scope for a rule.
+    pub fn scope(&self, rule: Rule) -> &RuleScope {
+        // Rule::ALL and `scopes` are index-aligned by construction.
+        &self.scopes[Rule::ALL.iter().position(|&r| r == rule).unwrap_or(0)].1
+    }
+
+    fn scope_mut(&mut self, rule: Rule) -> &mut RuleScope {
+        &mut self.scopes[Rule::ALL.iter().position(|&r| r == rule).unwrap_or(0)].1
+    }
+
+    /// Parse `lint.toml` text. Unknown rules or malformed lines are hard
+    /// errors: a typo that silently disables a gate is worse than a build
+    /// break.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let mut cfg = LintConfig::default();
+        let mut current: Option<Rule> = None;
+        let mut lines = text.lines().enumerate();
+        while let Some((no, raw)) = lines.next() {
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: splice lines until the bracket closes.
+            while line.contains('[')
+                && !line.contains(']')
+                && line
+                    .split_once('=')
+                    .is_some_and(|(_, v)| v.trim().starts_with('['))
+            {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", no + 1));
+                };
+                line.push(' ');
+                line.push_str(strip_comment(cont).trim());
+            }
+            let line = line.as_str();
+            if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let Some(name) = section.strip_prefix("rule.") else {
+                    return Err(format!("line {}: unknown section [{section}]", no + 1));
+                };
+                let Some(rule) = Rule::parse(name.trim()) else {
+                    return Err(format!("line {}: unknown rule `{name}`", no + 1));
+                };
+                current = Some(rule);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", no + 1));
+            };
+            let Some(rule) = current else {
+                return Err(format!("line {}: key outside a [rule.*] section", no + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "enabled" => match value {
+                    "true" => cfg.scope_mut(rule).enabled = true,
+                    "false" => cfg.scope_mut(rule).enabled = false,
+                    other => {
+                        return Err(format!(
+                            "line {}: enabled must be true/false, got {other}",
+                            no + 1
+                        ))
+                    }
+                },
+                "paths" => cfg.scope_mut(rule).paths = parse_string_array(value, no + 1)?,
+                "exclude" => cfg.scope_mut(rule).exclude = parse_string_array(value, no + 1)?,
+                other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strip a `#` comment, respecting (simple, escape-free) quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `["a", "b"]` into its elements.
+fn parse_string_array(value: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("line {line_no}: expected a [\"...\"] array"))?;
+    let inner = inner.trim().trim_end_matches(',');
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            item.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {line_no}: array items must be quoted strings"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_applies_everywhere() {
+        let cfg = LintConfig::default();
+        assert!(cfg.scope(Rule::Panic).applies("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn paths_and_exclude_scope_rules() {
+        let cfg = LintConfig::parse(
+            "[rule.hash-order]\npaths = [\"crates/core/src\"]\nexclude = [\"crates/core/src/gen\"]\n",
+        )
+        .unwrap();
+        let s = cfg.scope(Rule::HashOrder);
+        assert!(s.applies("crates/core/src/lib.rs"));
+        assert!(!s.applies("crates/llm/src/lib.rs"));
+        assert!(!s.applies("crates/core/src/gen/x.rs"));
+        // Other rules untouched.
+        assert!(cfg.scope(Rule::Panic).applies("crates/llm/src/lib.rs"));
+    }
+
+    #[test]
+    fn enabled_false_disables() {
+        let cfg = LintConfig::parse("[rule.unchecked-index]\nenabled = false\n").unwrap();
+        assert!(!cfg
+            .scope(Rule::UncheckedIndex)
+            .applies("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let cfg = LintConfig::parse(
+            "[rule.hash-order]\npaths = [\n    \"crates/core/src\", # seeded\n    \"crates/llm/src\",\n]\n",
+        )
+        .unwrap();
+        let s = cfg.scope(Rule::HashOrder);
+        assert!(s.applies("crates/core/src/a.rs"));
+        assert!(s.applies("crates/llm/src/a.rs"));
+        assert!(!s.applies("crates/data/src/a.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        assert!(LintConfig::parse("[rule.no-such]\n").is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(LintConfig::parse("[rule.panic]\nfoo = 1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let cfg =
+            LintConfig::parse("# top\n\n[rule.panic] # trailing\npaths = [\"a\"] # why\n").unwrap();
+        assert!(cfg.scope(Rule::Panic).applies("a/b.rs"));
+    }
+}

@@ -1,0 +1,144 @@
+//! `ds-lint`: repo-native static analysis for the DataSculpt workspace.
+//!
+//! Run as `cargo run -p datasculpt-xtask -- lint` (wired into
+//! `scripts/check.sh`). The pass enforces three repo invariants that
+//! rustc/clippy cannot express — panic-freedom on library paths, seeded
+//! determinism (no unordered-map iteration, no wall-clock), and token
+//! ledger integrity — over a scrubbed lexical view of `crates/*/src`.
+//! See DESIGN.md, "Static analysis & invariants", for the rule catalogue
+//! and the `// ds-lint: allow(<rule>): <reason>` suppression syntax.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod config;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use config::LintConfig;
+use rules::{Rule, Violation};
+use std::path::{Path, PathBuf};
+
+/// Result of linting a set of files.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// All violations, ordered by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint already-loaded sources: `(repo-relative path, contents)` pairs.
+///
+/// This is the engine entry point the tests (and fixtures) drive directly;
+/// [`lint_workspace`] wraps it with filesystem discovery.
+pub fn lint_sources<'a, I>(sources: I, cfg: &LintConfig) -> LintOutcome
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut violations = Vec::new();
+    let mut files_scanned = 0;
+    for (path, text) in sources {
+        files_scanned += 1;
+        let prepared = scan::prepare(path, text);
+        let enabled = |rule: Rule| cfg.scope(rule).applies(path);
+        violations.extend(rules::check_file(&prepared, &enabled));
+    }
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    LintOutcome {
+        violations,
+        files_scanned,
+    }
+}
+
+/// Discover every `crates/*/src/**/*.rs` file under `root`, sorted, as
+/// repo-relative forward-slash paths.
+pub fn discover_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted per directory).
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the workspace rooted at `root` under `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<LintOutcome, String> {
+    let files = discover_sources(root)?;
+    let mut loaded = Vec::with_capacity(files.len());
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        loaded.push((rel, text));
+    }
+    Ok(lint_sources(
+        loaded.iter().map(|(p, t)| (p.as_str(), t.as_str())),
+        cfg,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_sources_scopes_by_path() {
+        let cfg = LintConfig::parse("[rule.hash-order]\npaths = [\"crates/core\"]\n").unwrap();
+        let core = ("crates/core/src/a.rs", "use std::collections::HashMap;\n");
+        let llm = ("crates/llm/src/b.rs", "use std::collections::HashMap;\n");
+        let out = lint_sources([core, llm], &cfg);
+        assert_eq!(out.files_scanned, 2);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].file, "crates/core/src/a.rs");
+    }
+
+    #[test]
+    fn violations_sort_stably() {
+        let cfg = LintConfig::default();
+        let a = ("b.rs", "fn f() { x.unwrap() }\n");
+        let b = ("a.rs", "fn g() { panic!(\"x\") }\n");
+        let out = lint_sources([a, b], &cfg);
+        assert_eq!(out.violations[0].file, "a.rs");
+        assert_eq!(out.violations[1].file, "b.rs");
+    }
+}

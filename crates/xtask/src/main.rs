@@ -1,0 +1,109 @@
+//! `cargo run -p datasculpt-xtask -- lint [--json] [--root DIR] [--config FILE]`
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage / IO / config error.
+
+use datasculpt_xtask::config::LintConfig;
+use datasculpt_xtask::report::{render_human, render_json, Summary};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: cargo run -p datasculpt-xtask -- lint [--json] [--root DIR] [--config FILE]";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match it.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(find_repo_root);
+    let explicit_config = config_path.is_some();
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    if explicit_config && !config_path.is_file() {
+        eprintln!("ds-lint: config {} not found", config_path.display());
+        return ExitCode::from(2);
+    }
+    let cfg = if config_path.is_file() {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ds-lint: read {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match LintConfig::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("ds-lint: {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        LintConfig::default()
+    };
+    match datasculpt_xtask::lint_workspace(&root, &cfg) {
+        Ok(outcome) => {
+            let summary = Summary::of(&outcome.violations, outcome.files_scanned);
+            if json {
+                println!("{}", render_json(&outcome.violations, &summary));
+            } else {
+                print!("{}", render_human(&outcome.violations, &summary));
+            }
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("ds-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("ds-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The workspace root: the current directory if it has `crates/`, else two
+/// levels above this crate's manifest (supports running from anywhere in
+/// the workspace).
+fn find_repo_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}

@@ -1,0 +1,155 @@
+//! Human and JSON rendering of lint results.
+
+use crate::rules::{Rule, Violation};
+
+/// Per-rule counts plus totals for one lint run.
+#[derive(Debug)]
+pub struct Summary {
+    /// `(rule, violation count)` for every rule with at least one hit.
+    pub per_rule: Vec<(Rule, usize)>,
+    /// Total violations.
+    pub total: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Summary {
+    /// Tally violations.
+    pub fn of(violations: &[Violation], files_scanned: usize) -> Summary {
+        let per_rule: Vec<(Rule, usize)> = Rule::ALL
+            .iter()
+            .map(|&r| (r, violations.iter().filter(|v| v.rule == r).count()))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        Summary {
+            per_rule,
+            total: violations.len(),
+            files_scanned,
+        }
+    }
+}
+
+/// Render the human-readable report.
+pub fn render_human(violations: &[Violation], summary: &Summary) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.file,
+            v.line,
+            v.rule.name(),
+            v.rule.message(),
+            v.snippet
+        ));
+    }
+    if summary.total == 0 {
+        out.push_str(&format!(
+            "ds-lint: clean ({} files scanned)\n",
+            summary.files_scanned
+        ));
+    } else {
+        let breakdown: Vec<String> = summary
+            .per_rule
+            .iter()
+            .map(|(r, n)| format!("{}: {n}", r.name()))
+            .collect();
+        out.push_str(&format!(
+            "ds-lint: {} violation{} ({}) across {} files\n",
+            summary.total,
+            if summary.total == 1 { "" } else { "s" },
+            breakdown.join(", "),
+            summary.files_scanned
+        ));
+    }
+    out
+}
+
+/// Render the `--json` report (stable field order, one object).
+pub fn render_json(violations: &[Violation], summary: &Summary) -> String {
+    let mut out = String::from("{\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule.name()),
+            json_str(v.rule.message()),
+            json_str(&v.snippet)
+        ));
+    }
+    out.push_str("],\"counts\":{");
+    for (i, (r, n)) in summary.per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{n}", json_str(r.name())));
+    }
+    out.push_str(&format!(
+        "}},\"files_scanned\":{},\"ok\":{}}}",
+        summary.files_scanned,
+        summary.total == 0
+    ));
+    out
+}
+
+/// JSON-escape a string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule) -> Violation {
+        Violation {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            rule,
+            snippet: "let x = \"q\";".into(),
+        }
+    }
+
+    #[test]
+    fn human_report_lists_and_summarizes() {
+        let vs = vec![v(Rule::Panic), v(Rule::Panic), v(Rule::HashOrder)];
+        let s = Summary::of(&vs, 10);
+        let text = render_human(&vs, &s);
+        assert!(text.contains("crates/x/src/lib.rs:3: [panic]"));
+        assert!(text.contains("3 violations (panic: 2, hash-order: 1) across 10 files"));
+    }
+
+    #[test]
+    fn clean_report() {
+        let s = Summary::of(&[], 5);
+        assert!(render_human(&[], &s).contains("clean (5 files scanned)"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let vs = vec![v(Rule::Unwrap)];
+        let s = Summary::of(&vs, 1);
+        let j = render_json(&vs, &s);
+        assert!(j.contains("\"rule\":\"unwrap\""));
+        assert!(j.contains("\\\"q\\\""), "quote escaped: {j}");
+        assert!(j.contains("\"ok\":false"));
+        assert!(j.ends_with('}'));
+    }
+}

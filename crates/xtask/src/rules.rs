@@ -1,0 +1,361 @@
+//! The rule families and the per-line matcher.
+//!
+//! Three invariants back the rules (see DESIGN.md, "Static analysis &
+//! invariants"):
+//!
+//! * **panic-freedom** — library paths must not be able to abort the
+//!   process: no `panic!`-family macros, no `unwrap`/`expect`, and (on
+//!   configured paths) no unchecked `[...]` indexing.
+//! * **determinism** — the seeded crates promise "same seed → same LFs →
+//!   same ledger"; iteration over `HashMap`/`HashSet` and wall-clock /
+//!   OS-entropy sources break that silently.
+//! * **ledger integrity** — token/cost accounting must neither drop
+//!   fallible results (`let _ =`) nor round through lossy `as` casts.
+//!
+//! Every rule can be suppressed inline with a justified annotation:
+//! `// ds-lint: allow(<rule>): <reason>` on the offending line or the line
+//! directly above it. A suppression without a reason, or naming an unknown
+//! rule, is itself a violation (`bad-suppression`).
+
+use crate::scan::ScrubbedFile;
+
+/// One rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` on lib paths.
+    Panic,
+    /// `.unwrap()` / `.expect(` on lib paths.
+    Unwrap,
+    /// `expr[index]` indexing (may panic) on configured paths.
+    UncheckedIndex,
+    /// `HashMap` / `HashSet` in seeded crates (unordered iteration hazard).
+    HashOrder,
+    /// `SystemTime::now` / `Instant::now` / `thread_rng` outside bench.
+    WallClock,
+    /// `let _ =` discarding a (potentially fallible) result.
+    DiscardedResult,
+    /// Lossy `as` casts on accounting paths.
+    LossyCast,
+    /// Malformed `ds-lint` suppression comment.
+    BadSuppression,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 8] = [
+        Rule::Panic,
+        Rule::Unwrap,
+        Rule::UncheckedIndex,
+        Rule::HashOrder,
+        Rule::WallClock,
+        Rule::DiscardedResult,
+        Rule::LossyCast,
+        Rule::BadSuppression,
+    ];
+
+    /// The name used in config sections and `allow(...)` annotations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Unwrap => "unwrap",
+            Rule::UncheckedIndex => "unchecked-index",
+            Rule::HashOrder => "hash-order",
+            Rule::WallClock => "wall-clock",
+            Rule::DiscardedResult => "discarded-result",
+            Rule::LossyCast => "lossy-cast",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// Parse an `allow(...)` / config rule name.
+    pub fn parse(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// The diagnostic shown for a violation of this rule.
+    pub fn message(&self) -> &'static str {
+        match self {
+            Rule::Panic => "panicking macro on a library path; return an error instead",
+            Rule::Unwrap => "unwrap()/expect() on a library path; propagate the error",
+            Rule::UncheckedIndex => "unchecked indexing may panic; use .get() or justify the bound",
+            Rule::HashOrder => {
+                "HashMap/HashSet in a seeded crate: iteration order is nondeterministic; \
+                 use BTreeMap/BTreeSet or a sorted Vec"
+            }
+            Rule::WallClock => {
+                "wall-clock / OS-entropy source breaks seeded reproducibility outside bench"
+            }
+            Rule::DiscardedResult => "`let _ =` may silently drop a fallible result",
+            Rule::LossyCast => "lossy `as` cast on an accounting path; use integer arithmetic",
+            Rule::BadSuppression => {
+                "malformed ds-lint suppression: expected `ds-lint: allow(<rule>): <reason>` \
+                 with a known rule and a non-empty reason"
+            }
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Trimmed source excerpt of the offending line.
+    pub snippet: String,
+}
+
+/// A parsed, well-formed suppression annotation.
+struct Suppression {
+    rule: Rule,
+}
+
+/// Parse the `ds-lint:` annotation of a comment line, if any.
+///
+/// Only a comment that *begins* with `ds-lint:` (after the `//`/`///`/`//!`
+/// marker) is an annotation — prose that merely mentions the syntax, like
+/// this doc comment, is ignored. Returns `(valid, malformed_count)`.
+fn parse_suppressions(comment: &str) -> (Vec<Suppression>, usize) {
+    let mut valid = Vec::new();
+    let mut malformed = 0;
+    let content = comment
+        .trim_start()
+        .trim_start_matches(['/', '!'])
+        .trim_start();
+    let mut rest = content;
+    while rest.starts_with("ds-lint:") {
+        let after = &rest["ds-lint:".len()..];
+        rest = after;
+        let body = after.trim_start();
+        let Some(args) = body.strip_prefix("allow(") else {
+            malformed += 1;
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed += 1;
+            continue;
+        };
+        let name = args[..close].trim();
+        let tail = &args[close + 1..];
+        let Some(reason) = tail.trim_start().strip_prefix(':') else {
+            malformed += 1;
+            continue;
+        };
+        // The reason ends at the next annotation, if any.
+        let (reason, next) = match reason.find("ds-lint:") {
+            Some(at) => (&reason[..at], &reason[at..]),
+            None => (reason, ""),
+        };
+        match Rule::parse(name) {
+            Some(rule) if !reason.trim().is_empty() => valid.push(Suppression { rule }),
+            _ => malformed += 1,
+        }
+        rest = next;
+    }
+    (valid, malformed)
+}
+
+/// Match every enabled rule against one prepared file.
+///
+/// `enabled` decides, per rule, whether it applies to this file (path
+/// scoping happens in [`crate::config`]). Test regions are exempt from all
+/// rules except `bad-suppression` (a malformed annotation is wrong
+/// anywhere).
+pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Pass 1: collect suppressions (and flag malformed ones).
+    let mut allows: Vec<Vec<Rule>> = Vec::with_capacity(file.lines.len());
+    for (idx, line) in file.lines.iter().enumerate() {
+        let (valid, malformed) = parse_suppressions(&line.comment);
+        allows.push(valid.iter().map(|s| s.rule).collect());
+        for _ in 0..malformed {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: idx + 1,
+                rule: Rule::BadSuppression,
+                snippet: line.comment.trim().to_string(),
+            });
+        }
+    }
+    // Pass 2: match rules line by line.
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let suppressed = |rule: Rule| {
+            allows[idx].contains(&rule) || (idx > 0 && allows[idx - 1].contains(&rule))
+        };
+        let mut push = |rule: Rule| {
+            if enabled(rule) && !suppressed(rule) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    rule,
+                    snippet: code.trim().to_string(),
+                });
+            }
+        };
+        if ["panic!", "unreachable!", "todo!", "unimplemented!"]
+            .iter()
+            .any(|p| code.contains(p))
+        {
+            push(Rule::Panic);
+        }
+        if code.contains(".unwrap()") || code.contains(".expect(") {
+            push(Rule::Unwrap);
+        }
+        if has_index_expr(code) {
+            push(Rule::UncheckedIndex);
+        }
+        if code.contains("HashMap") || code.contains("HashSet") {
+            push(Rule::HashOrder);
+        }
+        if ["SystemTime::now", "Instant::now", "thread_rng"]
+            .iter()
+            .any(|p| code.contains(p))
+        {
+            push(Rule::WallClock);
+        }
+        if code.contains("let _ =") {
+            push(Rule::DiscardedResult);
+        }
+        if has_lossy_cast(code) {
+            push(Rule::LossyCast);
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// Whether the scrubbed line contains an index expression `expr[...]`:
+/// a `[` directly preceded by an identifier character, `)`, or `]`.
+/// (`#[attr]`, `vec![...]`, slice types `&[T]`, and array literals never
+/// match: their `[` follows `#`, `!`, `&`, or whitespace.)
+fn has_index_expr(code: &str) -> bool {
+    let b = code.as_bytes();
+    b.iter().enumerate().skip(1).any(|(i, &c)| {
+        c == b'['
+            && (b[i - 1].is_ascii_alphanumeric()
+                || b[i - 1] == b'_'
+                || b[i - 1] == b')'
+                || b[i - 1] == b']')
+    })
+}
+
+/// Whether the scrubbed line contains `as <numeric-type>`.
+fn has_lossy_cast(code: &str) -> bool {
+    const NUMERIC: [&str; 12] = [
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "f32", "f64",
+    ];
+    let mut rest = code;
+    while let Some(at) = rest.find(" as ") {
+        let tail = rest[at + 4..].trim_start();
+        let ident: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if NUMERIC.contains(&ident.as_str()) {
+            return true;
+        }
+        rest = &rest[at + 4..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::prepare;
+
+    fn all(src: &str) -> Vec<Violation> {
+        check_file(&prepare("t.rs", src), &|_| true)
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn panic_family_is_flagged() {
+        let v = all("fn f() { panic!(\"x\") }\nfn g() { todo!() }\n");
+        assert_eq!(rules_of(&v), vec![Rule::Panic, Rule::Panic]);
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let v = all("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hash_order_in_doc_comment_is_exempt() {
+        let v = all("//! Uses a HashMap internally? No.\nfn f() {}\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_suppresses_same_line() {
+        let v = all("use std::collections::HashMap; // ds-lint: allow(hash-order): lookup only\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn suppression_on_previous_line_suppresses() {
+        let v = all("// ds-lint: allow(panic): boot-time invariant\nfn f() { panic!(\"x\") }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_violation() {
+        let v = all("let m = std::collections::HashMap::new(); // ds-lint: allow(hash-order):\n");
+        assert_eq!(rules_of(&v), vec![Rule::HashOrder, Rule::BadSuppression]);
+    }
+
+    #[test]
+    fn suppression_with_unknown_rule_is_a_violation() {
+        let v = all("fn f() { x.unwrap() } // ds-lint: allow(no-such-rule): because\n");
+        assert_eq!(rules_of(&v), vec![Rule::Unwrap, Rule::BadSuppression]);
+    }
+
+    #[test]
+    fn suppression_only_covers_its_rule() {
+        let v = all("// ds-lint: allow(panic): justified\nfn f() { panic!(\"x\"); y.unwrap(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::Unwrap]);
+    }
+
+    #[test]
+    fn index_expression_heuristic() {
+        assert!(has_index_expr("let x = v[i];"));
+        assert!(has_index_expr("m.rows[r * c + 1]"));
+        assert!(has_index_expr("f()[0]"));
+        assert!(!has_index_expr("#[derive(Debug)]"));
+        assert!(!has_index_expr("let v: &[u8] = x;"));
+        assert!(!has_index_expr("vec![1, 2]"));
+        assert!(!has_index_expr("let a = [0u8; 4];"));
+    }
+
+    #[test]
+    fn lossy_cast_detection() {
+        assert!(has_lossy_cast("let x = tokens as f64;"));
+        assert!(has_lossy_cast("(n as u32)"));
+        assert!(!has_lossy_cast("let x = y as Box<dyn Error>;"));
+        assert!(!has_lossy_cast("measured"));
+    }
+
+    #[test]
+    fn wall_clock_and_discarded_result() {
+        let v = all("fn f() { let t = std::time::Instant::now(); let _ = call(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::WallClock, Rule::DiscardedResult]);
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let f = prepare("t.rs", "fn f() { panic!(\"x\") }\n");
+        let v = check_file(&f, &|r| r != Rule::Panic);
+        assert!(v.is_empty());
+    }
+}

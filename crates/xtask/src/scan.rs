@@ -1,0 +1,368 @@
+//! Lexical source preparation for the lint rules.
+//!
+//! `ds-lint` deliberately avoids a full parser: the rules are all
+//! expressible over a *scrubbed* view of the source in which comment and
+//! string-literal contents are blanked out (so `"HashMap"` in a doc comment
+//! or test fixture string never trips a rule), plus a per-line map of which
+//! code lives inside `#[cfg(test)]` / `#[test]` regions (where every rule
+//! is suspended — panics and unordered maps are fine in tests).
+//!
+//! The scrubber is a hand-rolled scanner over the byte stream that tracks
+//! line comments, nested block comments, string / raw-string / byte-string
+//! literals, character literals, and lifetimes (`'a` must not open a
+//! character literal). Both output buffers are byte-for-byte the same
+//! length as the input, so byte offsets & line numbers line up exactly.
+
+/// One prepared source file.
+#[derive(Debug)]
+pub struct ScrubbedFile {
+    /// Repo-relative path with forward slashes (display + scoping key).
+    pub path: String,
+    /// Per-line records, 0-indexed; line numbers in diagnostics are 1-based.
+    pub lines: Vec<Line>,
+}
+
+/// One line of a prepared file.
+#[derive(Debug)]
+pub struct Line {
+    /// Code with comment and string contents blanked (quotes retained).
+    pub code: String,
+    /// Comment text of the line (everything else blanked).
+    pub comment: String,
+    /// True when the line falls inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+}
+
+/// Scanner state for the scrubber.
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Blank `src` into parallel code and comment buffers.
+fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut code = vec![b' '; n];
+    let mut comment = vec![b' '; n];
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            code[i] = b'\n';
+            comment[i] = b'\n';
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comment[i] = c;
+                    comment[i + 1] = b'/';
+                    i += 2;
+                } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == b'"' {
+                    code[i] = b'"';
+                    state = State::Str;
+                    i += 1;
+                } else if (c == b'r' || c == b'b') && is_raw_or_str_start(b, i) {
+                    // r"…", r#"…"#, b"…", br#"…"# — copy the prefix through
+                    // to the opening quote, counting hashes on the way.
+                    let mut j = i;
+                    code[j] = b[j];
+                    j += 1;
+                    if b[j] == b'r' || b[j] == b'b' {
+                        code[j] = b[j];
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while b[j] == b'#' {
+                        code[j] = b'#';
+                        hashes += 1;
+                        j += 1;
+                    }
+                    code[j] = b'"';
+                    state = if hashes == 0 && !raw_prefix(b, i) {
+                        State::Str
+                    } else {
+                        State::RawStr(hashes)
+                    };
+                    i = j + 1;
+                } else if c == b'\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let next_alpha =
+                        i + 1 < n && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_');
+                    let closes = i + 2 < n && b[i + 2] == b'\'';
+                    if next_alpha && !closes {
+                        code[i] = c; // lifetime: leave as code
+                        i += 1;
+                    } else {
+                        code[i] = b'\'';
+                        state = State::CharLit;
+                        i += 1;
+                    }
+                } else {
+                    code[i] = c;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment[i] = c;
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment[i] = c;
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' {
+                    // Skip the escaped byte — unless it is a newline
+                    // (line-continuation), which the top of the loop must
+                    // see to keep line offsets aligned.
+                    i += if i + 1 < n && b[i + 1] == b'\n' { 1 } else { 2 };
+                } else if c == b'"' {
+                    code[i] = b'"';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && closes_raw(b, i, hashes) {
+                    code[i] = b'"';
+                    for k in 0..hashes {
+                        code[i + 1 + k] = b'#';
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == b'\\' {
+                    i += 2;
+                } else if c == b'\'' {
+                    code[i] = b'\'';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Whether `b[i]` (an `r` or `b`) starts a raw/byte string literal rather
+/// than an identifier. The byte before must not be part of an identifier.
+fn is_raw_or_str_start(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    if j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Whether the literal starting at `i` carries an `r` (raw) prefix.
+fn raw_prefix(b: &[u8], i: usize) -> bool {
+    b[i] == b'r' || (i + 1 < b.len() && b[i + 1] == b'r')
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#` bytes.
+fn closes_raw(b: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| i + k < b.len() && b[i + k] == b'#')
+}
+
+/// Byte ranges of the scrubbed code covered by test-only items.
+fn test_ranges(code: &[u8]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for pat in [b"#[cfg(test)]".as_slice(), b"#[test]".as_slice()] {
+        let mut from = 0;
+        while let Some(at) = find(code, pat, from) {
+            let attr_end = at + pat.len();
+            from = attr_end;
+            // The region runs from the attribute to the end of the next
+            // item: the matching close of its first `{`, or a bare `;`.
+            let mut j = attr_end;
+            let mut depth = 0usize;
+            let mut end = code.len();
+            while j < code.len() {
+                match code[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = j + 1;
+                            break;
+                        }
+                    }
+                    b';' if depth == 0 => {
+                        end = j + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            ranges.push((at, end));
+        }
+    }
+    ranges.sort_unstable();
+    ranges
+}
+
+/// First occurrence of `pat` in `hay` at or after `from`.
+fn find(hay: &[u8], pat: &[u8], from: usize) -> Option<usize> {
+    if pat.is_empty() || hay.len() < pat.len() {
+        return None;
+    }
+    (from..=hay.len() - pat.len()).find(|&i| &hay[i..i + pat.len()] == pat)
+}
+
+/// Prepare one source file for rule matching.
+pub fn prepare(path: &str, src: &str) -> ScrubbedFile {
+    let (code, comment) = scrub(src);
+    let ranges = test_ranges(&code);
+    let mut lines = Vec::new();
+    for (start, len) in split_keep_len(&code) {
+        let end = start + len;
+        let in_test = ranges.iter().any(|&(a, b)| start < b && end > a);
+        lines.push(Line {
+            code: String::from_utf8_lossy(&code[start..end]).into_owned(),
+            comment: String::from_utf8_lossy(&comment[start..end]).into_owned(),
+            in_test,
+        });
+    }
+    ScrubbedFile {
+        path: path.to_string(),
+        lines,
+    }
+}
+
+/// `(start, len)` of each `\n`-separated line of `buf`.
+fn split_keep_len(buf: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, &c) in buf.iter().enumerate() {
+        if c == b'\n' {
+            out.push((start, i - start));
+            start = i + 1;
+        }
+    }
+    if start < buf.len() {
+        out.push((start, buf.len() - start));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = prepare(
+            "x.rs",
+            "let a = \"HashMap\"; // HashMap here\nlet b = HashMap::new();\n",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap here"));
+        assert!(f.lines[1].code.contains("HashMap::new"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = prepare("x.rs", "let a = r#\"panic!(HashSet)\"#;\nlet b = 1;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(!f.lines[0].code.contains("HashSet"));
+        assert!(f.lines[1].code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = prepare(
+            "x.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet u = s.unwrap();\n",
+        );
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+        assert!(f.lines[2].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let f = prepare("x.rs", "let q = '\\'';\nlet u = v.unwrap();\n");
+        assert!(f.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = prepare("x.rs", "/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_marks_lines() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn tail() {}\n";
+        let f = prepare("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test, "code after the test mod is live again");
+    }
+
+    #[test]
+    fn test_attr_covers_only_the_fn() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn live() {}\n";
+        let f = prepare("x.rs", src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::Bar;\nfn live() { x.unwrap(); }\n";
+        let f = prepare("x.rs", src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let f = prepare("x.rs", "let a = b\"panic!\";\nlet b = br#\"todo!\"#;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(!f.lines[1].code.contains("todo!"));
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end engine tests over the violation fixtures.
+//!
+//! The acceptance bar for PR 2: the engine must flag every planted
+//! violation in `fixtures/violations.rs`, honour every well-formed
+//! suppression in `fixtures/suppressed.rs` (and flag the malformed ones),
+//! and stay silent on `fixtures/clean.rs`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt_xtask::config::LintConfig;
+use datasculpt_xtask::lint_sources;
+use datasculpt_xtask::rules::Rule;
+
+const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
+const SUPPRESSED: &str = include_str!("../fixtures/suppressed.rs");
+const CLEAN: &str = include_str!("../fixtures/clean.rs");
+
+fn count(outcome: &datasculpt_xtask::LintOutcome, rule: Rule) -> usize {
+    outcome.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn violations_fixture_trips_every_rule_family() {
+    let cfg = LintConfig::default();
+    let out = lint_sources([("crates/fix/src/violations.rs", VIOLATIONS)], &cfg);
+    assert_eq!(count(&out, Rule::HashOrder), 2, "{:?}", out.violations);
+    assert_eq!(count(&out, Rule::Panic), 1);
+    assert_eq!(count(&out, Rule::Unwrap), 2);
+    assert_eq!(count(&out, Rule::UncheckedIndex), 1);
+    assert_eq!(count(&out, Rule::WallClock), 1);
+    assert_eq!(count(&out, Rule::DiscardedResult), 1);
+    assert_eq!(count(&out, Rule::LossyCast), 1);
+    assert_eq!(count(&out, Rule::BadSuppression), 0);
+    assert_eq!(out.violations.len(), 9, "{:?}", out.violations);
+    assert!(!out.is_clean());
+}
+
+#[test]
+fn suppressed_fixture_honours_valid_annotations_and_flags_bad_ones() {
+    let cfg = LintConfig::default();
+    let out = lint_sources([("crates/fix/src/suppressed.rs", SUPPRESSED)], &cfg);
+    // Valid suppressions (hash-order import, panic, trailing unwrap) are
+    // silent; the reason-less and unknown-rule annotations each produce a
+    // bad-suppression AND leave their underlying violation live.
+    assert_eq!(count(&out, Rule::BadSuppression), 2, "{:?}", out.violations);
+    assert_eq!(count(&out, Rule::HashOrder), 1);
+    assert_eq!(count(&out, Rule::Unwrap), 1);
+    assert_eq!(count(&out, Rule::Panic), 0);
+    assert_eq!(out.violations.len(), 4, "{:?}", out.violations);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let cfg = LintConfig::default();
+    let out = lint_sources([("crates/fix/src/clean.rs", CLEAN)], &cfg);
+    assert!(out.is_clean(), "{:?}", out.violations);
+}
+
+#[test]
+fn path_scoping_can_exempt_the_fixture() {
+    let cfg = LintConfig::parse(
+        "[rule.hash-order]\npaths = [\"crates/other\"]\n\
+         [rule.panic]\nenabled = false\n\
+         [rule.unwrap]\nenabled = false\n\
+         [rule.unchecked-index]\nenabled = false\n\
+         [rule.wall-clock]\nenabled = false\n\
+         [rule.discarded-result]\nenabled = false\n\
+         [rule.lossy-cast]\nenabled = false\n",
+    )
+    .expect("config parses");
+    let out = lint_sources([("crates/fix/src/violations.rs", VIOLATIONS)], &cfg);
+    assert!(out.is_clean(), "{:?}", out.violations);
+}
+
+#[test]
+fn json_report_round_trips_counts() {
+    let cfg = LintConfig::default();
+    let out = lint_sources([("crates/fix/src/violations.rs", VIOLATIONS)], &cfg);
+    let summary = datasculpt_xtask::report::Summary::of(&out.violations, out.files_scanned);
+    let json = datasculpt_xtask::report::render_json(&out.violations, &summary);
+    assert!(json.contains("\"hash-order\":2"));
+    assert!(json.contains("\"files_scanned\":1"));
+    assert!(json.contains("\"ok\":false"));
+}
+
+#[test]
+fn missing_reason_is_rejected() {
+    let cfg = LintConfig::default();
+    let src =
+        "fn f(x: Option<u32>) -> u32 {\n    // ds-lint: allow(unwrap):   \n    x.unwrap()\n}\n";
+    let out = lint_sources([("crates/fix/src/a.rs", src)], &cfg);
+    assert_eq!(count(&out, Rule::BadSuppression), 1);
+    assert_eq!(count(&out, Rule::Unwrap), 1, "violation stays live");
+}
+
+#[test]
+fn unknown_rule_name_is_rejected() {
+    let cfg = LintConfig::default();
+    let src = "// ds-lint: allow(determinizm): typo\nuse std::collections::HashMap;\n";
+    let out = lint_sources([("crates/fix/src/b.rs", src)], &cfg);
+    assert_eq!(count(&out, Rule::BadSuppression), 1);
+    assert_eq!(count(&out, Rule::HashOrder), 1);
+}

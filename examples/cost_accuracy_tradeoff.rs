@@ -6,6 +6,8 @@
 //! cargo run -p datasculpt --example cost_accuracy_tradeoff --release
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 
 fn main() {

@@ -9,6 +9,8 @@
 //! cargo run -p datasculpt --example news_routing --release
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 
 fn main() {

@@ -5,6 +5,8 @@
 //! cargo run -p datasculpt --example quickstart --release
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 
 fn main() {

@@ -10,6 +10,8 @@
 //! cargo run -p datasculpt --example spam_triage --release
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
 

@@ -6,6 +6,8 @@
 //! cargo run -p datasculpt --example spouse_extraction --release
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::core::lf::anchored_fires;
 use datasculpt::prelude::*;
 

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ds-lint (panic-freedom / determinism / ledger integrity)"
+cargo run -q -p datasculpt-xtask -- lint
+
 echo "==> cargo test"
 cargo test -q --workspace
 

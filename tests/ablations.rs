@@ -1,6 +1,8 @@
 //! Ablation-shape tests: the qualitative findings of Tables 3–5 must hold
 //! on down-scaled data (single seed, so thresholds are generous).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 
 fn run(

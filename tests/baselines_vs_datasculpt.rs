@@ -1,6 +1,8 @@
 //! Cross-system comparisons: the structural relationships of Table 2 and
 //! Figures 3–4 must hold on down-scaled data.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::core::eval::{evaluate_matrix, lf_stats_from_matrix};
 use datasculpt::prelude::*;
 

@@ -2,6 +2,8 @@
 //! choices, target/weight knobs, feature orders, and the LF-revision
 //! extension.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
 

@@ -2,6 +2,8 @@
 //! sampler → prompt → simulated LLM → parse → filters → label model → end
 //! model) on small dataset variants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 
 fn small(name: DatasetName, seed: u64) -> TextDataset {
