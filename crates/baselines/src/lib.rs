@@ -18,6 +18,8 @@ pub mod promptedlf;
 pub mod scriptorium;
 pub mod wrench;
 
-pub use promptedlf::{promptedlf_run, promptedlf_templates, PromptedLfResult};
+pub use promptedlf::{
+    promptedlf_run, promptedlf_run_observed, promptedlf_templates, PromptedLfResult,
+};
 pub use scriptorium::{scriptorium_run, ScriptoriumResult};
 pub use wrench::{wrench_expert_lfs, wrench_lf_count};

@@ -15,7 +15,8 @@ use datasculpt_core::parse::parse_label;
 use datasculpt_core::prompt::label_only_messages;
 use datasculpt_data::{DatasetName, TextDataset};
 use datasculpt_labelmodel::{LabelMatrix, ABSTAIN};
-use datasculpt_llm::{ChatModel, ChatRequest, UsageLedger};
+use datasculpt_llm::{ChatModel, ChatRequest, PricingTable, UsageLedger};
+use datasculpt_obs::{Counter, Event, NoopObserver, RunObserver, Stage};
 
 /// Number of templates per dataset (Table 2, PromptedLF row).
 pub fn promptedlf_template_count(name: DatasetName) -> usize {
@@ -101,13 +102,39 @@ impl PromptedLfResult {
 /// abstention is exactly what a weak-label column does when it has no
 /// opinion.
 pub fn promptedlf_run<M: ChatModel>(dataset: &TextDataset, llm: &mut M) -> PromptedLfResult {
+    promptedlf_run_observed(dataset, llm, &mut NoopObserver)
+}
+
+/// [`promptedlf_run`] with a [`RunObserver`] attached.
+///
+/// The baseline has no selection/integration loop, so the trace is flat:
+/// one [`Stage::Annotate`] span per template (the `iter` field carries the
+/// template index), [`Event::Usage`] per billed call, and
+/// [`Counter::ParseFailure`] / [`Counter::LlmError`] for responses that
+/// yield no vote.
+pub fn promptedlf_run_observed<M: ChatModel>(
+    dataset: &TextDataset,
+    llm: &mut M,
+    obs: &mut dyn RunObserver,
+) -> PromptedLfResult {
     let templates = promptedlf_templates(dataset);
     let n = dataset.train.len();
     let n_classes = dataset.n_classes();
+    obs.on_event(&Event::RunBegin {
+        label: "PromptedLF".to_string(),
+        dataset: dataset.spec.name.to_string(),
+        model: llm.model_id().api_name().to_string(),
+        queries: (n * templates.len()) as u64,
+        seed: 0,
+    });
     let mut ledger = UsageLedger::new();
     let mut failed_calls = 0usize;
     let mut columns: Vec<Vec<i32>> = Vec::with_capacity(templates.len());
-    for template in &templates {
+    for (t_idx, template) in templates.iter().enumerate() {
+        obs.on_event(&Event::StageBegin {
+            iter: t_idx as u64,
+            stage: Stage::Annotate,
+        });
         let requests: Vec<ChatRequest> = dataset
             .train
             .iter()
@@ -117,24 +144,65 @@ pub fn promptedlf_run<M: ChatModel>(dataset: &TextDataset, llm: &mut M) -> Promp
             })
             .collect();
         let mut col = Vec::with_capacity(n);
+        let mut parse_failures = 0u64;
+        let mut errors = 0u64;
         for result in llm.complete_batch(&requests) {
             let vote = match result {
                 Ok(resp) => {
                     ledger.record(resp.model, resp.usage);
-                    resp.choices
+                    obs.on_event(&Event::Usage {
+                        model: resp.model.api_name().to_string(),
+                        prompt_tokens: resp.usage.prompt_tokens,
+                        completion_tokens: resp.usage.completion_tokens,
+                        cost_nanousd: PricingTable::cost_nanousd(
+                            resp.model,
+                            resp.usage.prompt_tokens,
+                            resp.usage.completion_tokens,
+                        ),
+                    });
+                    match resp
+                        .choices
                         .first()
                         .and_then(|c| parse_label(&c.content, n_classes))
-                        .map_or(ABSTAIN, |l| l as i32)
+                    {
+                        Some(l) => l as i32,
+                        None => {
+                            parse_failures += 1;
+                            ABSTAIN
+                        }
+                    }
                 }
                 Err(_) => {
                     failed_calls += 1;
+                    errors += 1;
                     ABSTAIN
                 }
             };
             col.push(vote);
         }
+        if parse_failures > 0 {
+            obs.on_event(&Event::Counter {
+                counter: Counter::ParseFailure,
+                delta: parse_failures,
+            });
+        }
+        if errors > 0 {
+            obs.on_event(&Event::Counter {
+                counter: Counter::LlmError,
+                delta: errors,
+            });
+        }
+        obs.on_event(&Event::StageEnd {
+            iter: t_idx as u64,
+            stage: Stage::Annotate,
+        });
         columns.push(col);
     }
+    obs.on_event(&Event::RunEnd {
+        iterations: templates.len() as u64,
+        failed: 0,
+        lfs: columns.len() as u64,
+    });
     PromptedLfResult {
         matrix: LabelMatrix::from_columns(&columns, n),
         ledger,
@@ -201,6 +269,35 @@ mod tests {
             d.train.len() * 10 - expected_failures
         );
         assert_eq!(result.matrix.rows(), d.train.len());
+    }
+
+    #[test]
+    fn observer_mirrors_ledger_and_failures() {
+        use datasculpt_llm::FailingModel;
+        use datasculpt_obs::{ManualClock, MetricsRecorder, Tracer};
+        let d = DatasetName::Youtube.load_scaled(3, 0.02);
+        let inner = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 4);
+        let mut llm = FailingModel::fail_every(inner, 5);
+        let metrics = MetricsRecorder::new();
+        let mut tracer = Tracer::new(Box::new(ManualClock::new(10)));
+        tracer.add_sink(Box::new(metrics.clone()));
+        let result = promptedlf_run_observed(&d, &mut llm, &mut tracer);
+        let snap = metrics.snapshot();
+        // One annotate span per template.
+        assert_eq!(snap.stages["annotate"].count, 10);
+        // Usage events mirror the ledger exactly (tokens and exact cost).
+        let total = result.ledger.total_usage();
+        let m = &snap.models["gpt-3.5-turbo-0613"];
+        assert_eq!(m.calls, result.ledger.calls());
+        assert_eq!(m.prompt_tokens, total.prompt_tokens);
+        assert_eq!(m.completion_tokens, total.completion_tokens);
+        assert_eq!(
+            snap.total_cost_nanousd(),
+            result.ledger.total_cost_nanousd()
+        );
+        // Failed calls surface as llm_error counter increments.
+        assert_eq!(snap.counters["llm_error"] as usize, result.failed_calls);
+        assert!(result.failed_calls > 0);
     }
 
     #[test]

@@ -30,12 +30,29 @@ fn main() {
         csv_cell: |v| format!("{v:.6}"),
         total_cell: |v| format!("${v:>12.4}"),
     };
-    let totals = run_usage_figure(&spec, &cfg, model);
-    let (prompted, sculpt_base) = (totals[1], totals[2]);
-    if sculpt_base > 0.0 {
+    let ledgers = run_usage_figure(&spec, &cfg, model);
+
+    // Exact per-model breakdown straight from the merged ledgers: integer
+    // nano-USD until the shared display boundary, no recomputed totals.
+    println!("\nexact cost by model (summed over {} seeds):", cfg.seeds);
+    for (method, ledger) in USAGE_METHODS.iter().zip(&ledgers) {
+        for (m, usage) in ledger.per_model() {
+            let cost = PricingTable::cost_nanousd(m, usage.prompt_tokens, usage.completion_tokens);
+            println!(
+                "  {method:<16} {:<22} {:>12}",
+                m.api_name(),
+                datasculpt::obs::cost::format_usd(cost)
+            );
+        }
+    }
+
+    let prompted = ledgers[1].total_cost_nanousd();
+    let sculpt_base = ledgers[2].total_cost_nanousd();
+    if sculpt_base > 0 {
         println!(
             "\nPromptedLF / DataSculpt-Base cost ratio: {:.0}x",
-            prompted / sculpt_base
+            datasculpt::obs::cost::nanousd_to_usd(prompted)
+                / datasculpt::obs::cost::nanousd_to_usd(sculpt_base)
         );
     }
 }

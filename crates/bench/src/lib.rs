@@ -22,9 +22,14 @@
 //! * `DS_SCALE` — dataset scale factor (default `1.0` = Table 1 sizes).
 //! * `DS_SEEDS` — number of repeated runs to average (default `5`, §4.1).
 //! * `DS_DATASETS` — comma-separated subset, e.g. `youtube,sms`.
+//! * `DS_TRACE` — write a JSONL trace of the driver run to this path
+//!   (schema: `docs/trace-schema.md`; validate with `datasculpt
+//!   trace-check`).
 //!
 //! Results are printed as aligned text tables and also written as CSV under
-//! `results/`.
+//! `results/`. Every driver also observes itself through a [`BenchTrace`]
+//! — one `bench` stage span per dataset cell — and drops the aggregated
+//! per-stage metrics as `results/<tag>.metrics.json` next to the CSV.
 
 // Experiment driver, not a library: aborting on a malformed spec is correct.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -214,10 +219,129 @@ where
     average(&outcomes)
 }
 
-/// LF generation only (no label-model / end-model evaluation): the token
-/// and cost accounting needed by Figures 3–4.
-pub fn generation_usage(dataset: &TextDataset, method: &str, model: ModelId, seed: u64) -> Outcome {
-    let ledger = match method {
+/// Run a ledger-producing `f` for each seed in parallel threads and merge
+/// the exact per-model ledgers (integer nano-USD all the way; floats only
+/// at display).
+pub fn run_seeds_ledger<F>(seeds: u64, f: F) -> UsageLedger
+where
+    F: Fn(u64) -> UsageLedger + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..seeds).map(|s| scope.spawn(move || f(s))).collect();
+        let mut total = UsageLedger::new();
+        for h in handles {
+            total.merge(&h.join().expect("seed run"));
+        }
+        total
+    })
+}
+
+/// Self-observation for a bench driver: one `bench` stage span per dataset
+/// cell feeds a [`MetricsRecorder`] (and, with `DS_TRACE=<path>`, a JSONL
+/// file sink). [`finish`](Self::finish) drops the aggregated metrics as
+/// `results/<tag>.metrics.json` next to the driver's CSV.
+pub struct BenchTrace {
+    tag: String,
+    tracer: Tracer,
+    metrics: MetricsRecorder,
+    cells: u64,
+}
+
+impl BenchTrace {
+    /// Start observing a driver run over `datasets` cells.
+    pub fn begin(tag: &str, model: &str, datasets: &[DatasetName]) -> Self {
+        let metrics = MetricsRecorder::new();
+        let mut tracer = Tracer::new(Box::new(SystemClock::new()));
+        tracer.add_sink(Box::new(metrics.clone()));
+        if let Ok(path) = std::env::var("DS_TRACE") {
+            match JsonlTraceSink::to_file(&path) {
+                Ok(sink) => tracer.add_sink(Box::new(sink)),
+                Err(e) => eprintln!("[{tag}] cannot open DS_TRACE file '{path}': {e}"),
+            }
+        }
+        tracer.on_event(&Event::RunBegin {
+            label: tag.to_string(),
+            dataset: datasets
+                .iter()
+                .map(|d| d.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+            model: model.to_string(),
+            queries: datasets.len() as u64,
+            seed: 0,
+        });
+        BenchTrace {
+            tag: tag.to_string(),
+            tracer,
+            metrics,
+            cells: 0,
+        }
+    }
+
+    /// Open the `bench` span for dataset cell `di`.
+    pub fn cell_begin(&mut self, di: usize) {
+        self.tracer.on_event(&Event::StageBegin {
+            iter: di as u64,
+            stage: Stage::Bench,
+        });
+    }
+
+    /// Close the `bench` span for dataset cell `di`.
+    pub fn cell_end(&mut self, di: usize) {
+        self.tracer.on_event(&Event::StageEnd {
+            iter: di as u64,
+            stage: Stage::Bench,
+        });
+        self.cells += 1;
+    }
+
+    /// Record a cell's merged ledger as per-model usage events.
+    pub fn usage(&mut self, ledger: &UsageLedger) {
+        for (model, usage) in ledger.per_model() {
+            self.tracer.on_event(&Event::Usage {
+                model: model.api_name().to_string(),
+                prompt_tokens: usage.prompt_tokens,
+                completion_tokens: usage.completion_tokens,
+                cost_nanousd: PricingTable::cost_nanousd(
+                    model,
+                    usage.prompt_tokens,
+                    usage.completion_tokens,
+                ),
+            });
+        }
+    }
+
+    /// Close the run span, flush the sinks, and write
+    /// `results/<tag>.metrics.json`.
+    pub fn finish(mut self) {
+        self.tracer.on_event(&Event::RunEnd {
+            iterations: self.cells,
+            failed: 0,
+            lfs: 0,
+        });
+        if let Err(e) = self.tracer.finish() {
+            eprintln!("[{}] trace sink failed: {e}", self.tag);
+        }
+        let path = format!("results/{}.metrics.json", self.tag);
+        let write = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&path, self.metrics.to_json() + "\n"));
+        match write {
+            Ok(()) => eprintln!("[{}] wrote {path}", self.tag),
+            Err(e) => eprintln!("[{}] cannot write {path}: {e}", self.tag),
+        }
+    }
+}
+
+/// LF generation only (no label-model / end-model evaluation): the exact
+/// token and cost ledger needed by Figures 3–4.
+pub fn generation_ledger(
+    dataset: &TextDataset,
+    method: &str,
+    model: ModelId,
+    seed: u64,
+) -> UsageLedger {
+    match method {
         "ScriptoriumWS" => {
             let name = DatasetName::parse(dataset.spec.name).expect("known dataset");
             let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
@@ -248,12 +372,25 @@ pub fn generation_usage(dataset: &TextDataset, method: &str, model: ModelId, see
                 .ledger
         }
         other => panic!("unknown method {other}"),
-    };
+    }
+}
+
+/// [`generation_ledger`] reduced to an [`Outcome`] (token/cost fields
+/// only); the USD figure comes from the ledger's exact nano-USD total via
+/// the shared `datasculpt_obs::cost` display boundary.
+pub fn generation_usage(dataset: &TextDataset, method: &str, model: ModelId, seed: u64) -> Outcome {
+    outcome_from_ledger(&generation_ledger(dataset, method, model, seed), 1)
+}
+
+/// Token/cost [`Outcome`] for a ledger merged over `seeds` runs (per-seed
+/// average; exact integer arithmetic until the final division).
+fn outcome_from_ledger(ledger: &UsageLedger, seeds: u64) -> Outcome {
     let usage = ledger.total_usage();
+    let n = seeds.max(1) as f64;
     Outcome {
-        prompt_tokens: usage.prompt_tokens as f64,
-        completion_tokens: usage.completion_tokens as f64,
-        cost_usd: ledger.total_cost_usd(),
+        prompt_tokens: usage.prompt_tokens as f64 / n,
+        completion_tokens: usage.completion_tokens as f64 / n,
+        cost_usd: datasculpt::obs::cost::nanousd_to_usd(ledger.total_cost_nanousd()) / n,
         ..Default::default()
     }
 }
@@ -464,8 +601,10 @@ pub fn run_matrix(
     cfg: &HarnessConfig,
 ) -> Grid {
     let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); methods.len()];
-    for &name in &cfg.datasets {
+    let mut trace = BenchTrace::begin(tag, "-", &cfg.datasets);
+    for (di, &name) in cfg.datasets.iter().enumerate() {
         let t0 = std::time::Instant::now();
+        trace.cell_begin(di);
         let dataset = cfg.load(name, 0);
         for (mi, m) in methods.iter().enumerate() {
             let outcome = if m.seeded {
@@ -475,6 +614,7 @@ pub fn run_matrix(
             };
             results[mi].push(outcome);
         }
+        trace.cell_end(di);
         eprintln!("[{tag}] {name} done in {:.1?}", t0.elapsed());
     }
     let grid = Grid {
@@ -487,6 +627,7 @@ pub fn run_matrix(
     grid.write_csv(&path)
         .unwrap_or_else(|e| panic!("write {path}: {e}"));
     eprintln!("[{tag}] wrote {path}");
+    trace.finish();
     grid
 }
 
@@ -514,16 +655,28 @@ pub struct FigureSpec {
 
 /// The shared driver behind the `fig*` binaries: collect the
 /// [`USAGE_METHODS`] × datasets usage matrix, print log-scale bars and
-/// per-method totals, write the CSV, and return the totals for any
-/// epilogue (Figure 4 prints a cost ratio).
-pub fn run_usage_figure(spec: &FigureSpec, cfg: &HarnessConfig, model: ModelId) -> Vec<f64> {
+/// per-method totals, write the CSV, and return each method's exact
+/// merged [`UsageLedger`] for any epilogue (Figure 4 prints a per-model
+/// cost breakdown and a cost ratio from it).
+pub fn run_usage_figure(
+    spec: &FigureSpec,
+    cfg: &HarnessConfig,
+    model: ModelId,
+) -> Vec<UsageLedger> {
     let mut values: Vec<Vec<f64>> = vec![Vec::new(); USAGE_METHODS.len()];
-    for &name in &cfg.datasets {
+    let mut ledgers: Vec<UsageLedger> = vec![UsageLedger::new(); USAGE_METHODS.len()];
+    let mut trace = BenchTrace::begin(spec.tag, model.api_name(), &cfg.datasets);
+    for (di, &name) in cfg.datasets.iter().enumerate() {
+        trace.cell_begin(di);
         let dataset = cfg.load(name, 0);
         for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let o = run_seeds(cfg.seeds, |s| generation_usage(&dataset, method, model, s));
-            values[mi].push((spec.value)(&o));
+            let merged =
+                run_seeds_ledger(cfg.seeds, |s| generation_ledger(&dataset, method, model, s));
+            trace.usage(&merged);
+            values[mi].push((spec.value)(&outcome_from_ledger(&merged, cfg.seeds)));
+            ledgers[mi].merge(&merged);
         }
+        trace.cell_end(di);
         eprintln!("[{}] {name} done", spec.tag);
     }
 
@@ -573,7 +726,8 @@ pub fn run_usage_figure(spec: &FigureSpec, cfg: &HarnessConfig, model: ModelId) 
         .expect("csv row");
     }
     eprintln!("[{}] wrote {path}", spec.tag);
-    totals
+    trace.finish();
+    ledgers
 }
 
 /// The shared driver behind `ablation_design`: a scalar-valued
@@ -590,12 +744,15 @@ pub fn run_scalar_matrix<S>(
     cell: impl Fn(&S, &TextDataset, usize) -> f64,
 ) -> Vec<Vec<f64>> {
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
-    for &name in datasets {
+    let mut trace = BenchTrace::begin(tag, "-", datasets);
+    for (di, &name) in datasets.iter().enumerate() {
+        trace.cell_begin(di);
         let dataset = cfg.load(name, 0);
         let state = setup(&dataset);
         for (ri, row) in results.iter_mut().enumerate() {
             row.push(cell(&state, &dataset, ri));
         }
+        trace.cell_end(di);
         eprintln!("[{tag}] {name} done");
     }
 
@@ -640,6 +797,7 @@ pub fn run_scalar_matrix<S>(
         .expect("csv row");
     }
     eprintln!("[{tag}] wrote {path}");
+    trace.finish();
     results
 }
 

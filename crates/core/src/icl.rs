@@ -12,6 +12,7 @@
 //!   keywords and reasoning for each selected (pre-labeled) example, and
 //!   the annotations are cached.
 
+use crate::observe::{self, RunObserver};
 use crate::parse::parse_response;
 use crate::prompt;
 use datasculpt_data::{Instance, TextDataset};
@@ -182,14 +183,15 @@ impl IclSelector {
     }
 
     /// Select exemplars for a query instance. KATE may call the LLM to
-    /// annotate newly selected examples (token usage is recorded), so the
-    /// whole selection is fallible.
+    /// annotate newly selected examples (token usage is recorded in the
+    /// ledger and mirrored to `obs`), so the whole selection is fallible.
     pub fn select<M: ChatModel>(
         &mut self,
         dataset: &TextDataset,
         query: &Instance,
         llm: &mut M,
         ledger: &mut UsageLedger,
+        obs: &mut dyn RunObserver,
     ) -> Result<Vec<Exemplar>, LlmError> {
         let neighbours = match &self.state {
             SelectorState::Balanced(exemplars) => return Ok(exemplars.clone()),
@@ -207,7 +209,7 @@ impl IclSelector {
             let Some(label) = dataset.valid.instances[idx].label else {
                 continue;
             };
-            out.push(self.annotate_kate(dataset, idx, label, llm, ledger)?);
+            out.push(self.annotate_kate(dataset, idx, label, llm, ledger, obs)?);
         }
         Ok(out)
     }
@@ -220,6 +222,7 @@ impl IclSelector {
         label: usize,
         llm: &mut M,
         ledger: &mut UsageLedger,
+        obs: &mut dyn RunObserver,
     ) -> Result<Exemplar, LlmError> {
         if let Some(e) = self.kate_cache.get(&idx) {
             return Ok(e.clone());
@@ -227,7 +230,7 @@ impl IclSelector {
         let inst = &dataset.valid.instances[idx];
         let msgs = prompt::annotation_messages(&dataset.spec, &inst.prompt_text(), label);
         let resp = llm.complete(&prompt::request(msgs, 0.7, 1))?;
-        ledger.record(resp.model, resp.usage);
+        observe::record_usage(ledger, obs, resp.model, resp.usage);
         let content = resp
             .choices
             .first()
@@ -331,12 +334,16 @@ mod tests {
         let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 3);
         let mut ledger = UsageLedger::new();
         let query = &d.train.instances[0];
-        let ex1 = sel.select(&d, query, &mut llm, &mut ledger).unwrap();
+        let ex1 = sel
+            .select(&d, query, &mut llm, &mut ledger, &mut observe::NoopObserver)
+            .unwrap();
         assert_eq!(ex1.len(), 4);
         let calls_after_first = ledger.calls();
         assert!(calls_after_first >= 4, "annotation calls recorded");
         // Same query again: everything cached, no new calls.
-        let ex2 = sel.select(&d, query, &mut llm, &mut ledger).unwrap();
+        let ex2 = sel
+            .select(&d, query, &mut llm, &mut ledger, &mut observe::NoopObserver)
+            .unwrap();
         assert_eq!(ledger.calls(), calls_after_first);
         assert_eq!(ex1.len(), ex2.len());
         assert_eq!(sel.cached_annotations(), 4);
@@ -349,7 +356,13 @@ mod tests {
         let mut llm = SimulatedLlm::new(ModelId::Gpt4, d.generative.clone(), 3);
         let mut ledger = UsageLedger::new();
         let exemplars = sel
-            .select(&d, &d.train.instances[1], &mut llm, &mut ledger)
+            .select(
+                &d,
+                &d.train.instances[1],
+                &mut llm,
+                &mut ledger,
+                &mut observe::NoopObserver,
+            )
             .unwrap();
         for e in &exemplars {
             assert!(e.label < d.n_classes());
@@ -364,7 +377,13 @@ mod tests {
         let mut sel = IclSelector::new(&d, IclStrategy::Kate, 3, 1);
         let mut llm = FailingModel::fail_every(ScriptedModel::new(vec!["Label: 1".into()]), 1);
         let mut ledger = UsageLedger::new();
-        let err = sel.select(&d, &d.train.instances[0], &mut llm, &mut ledger);
+        let err = sel.select(
+            &d,
+            &d.train.instances[0],
+            &mut llm,
+            &mut ledger,
+            &mut observe::NoopObserver,
+        );
         assert!(err.is_err());
         assert_eq!(
             llm.calls_attempted(),

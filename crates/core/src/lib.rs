@@ -30,6 +30,7 @@ pub mod icl;
 pub mod index;
 pub mod lf;
 pub mod lfset;
+pub mod observe;
 pub mod parse;
 pub mod pipeline;
 pub mod prompt;

@@ -1,0 +1,110 @@
+//! Bridge between the pipeline and the `datasculpt-obs` event model.
+//!
+//! The pipeline emits *untimed* typed events; all timing lives on the
+//! observer side (`datasculpt_obs::Tracer` with an injectable clock), which
+//! is what keeps the core crate inside ds-lint's `wall-clock` rule and an
+//! observed run digest-identical to an unobserved one.
+
+pub use datasculpt_obs::{Counter, Event, Multi, NoopObserver, RunObserver, SharedObserver, Stage};
+
+use crate::filter::AddOutcome;
+use datasculpt_llm::{ModelId, PricingTable, TokenUsage, UsageLedger};
+
+/// Record one call's token usage in the ledger and mirror it to the
+/// observer as a usage event carrying the exact nano-USD cost.
+pub(crate) fn record_usage(
+    ledger: &mut UsageLedger,
+    obs: &mut dyn RunObserver,
+    model: ModelId,
+    usage: TokenUsage,
+) {
+    ledger.record(model, usage);
+    obs.on_event(&Event::Usage {
+        model: model.api_name().to_string(),
+        prompt_tokens: usage.prompt_tokens,
+        completion_tokens: usage.completion_tokens,
+        cost_nanousd: PricingTable::cost_nanousd(
+            model,
+            usage.prompt_tokens,
+            usage.completion_tokens,
+        ),
+    });
+}
+
+/// Emit a counter event, skipping zero deltas.
+pub(crate) fn count(obs: &mut dyn RunObserver, counter: Counter, delta: u64) {
+    if delta > 0 {
+        obs.on_event(&Event::Counter { counter, delta });
+    }
+}
+
+/// Per-category tally of filter outcomes, flushed as counter events once
+/// per stage rather than one event per candidate.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct OutcomeTally {
+    added: u64,
+    duplicate: u64,
+    validity: u64,
+    accuracy: u64,
+    redundancy: u64,
+}
+
+impl OutcomeTally {
+    pub(crate) fn note(&mut self, outcome: AddOutcome) {
+        match outcome {
+            AddOutcome::Added => self.added += 1,
+            AddOutcome::Duplicate => self.duplicate += 1,
+            AddOutcome::RejectedValidity => self.validity += 1,
+            AddOutcome::RejectedAccuracy => self.accuracy += 1,
+            AddOutcome::RejectedRedundancy => self.redundancy += 1,
+        }
+    }
+
+    pub(crate) fn emit(&self, obs: &mut dyn RunObserver) {
+        count(obs, Counter::LfAccepted, self.added);
+        count(obs, Counter::LfDuplicate, self.duplicate);
+        count(obs, Counter::LfRejectedValidity, self.validity);
+        count(obs, Counter::LfRejectedAccuracy, self.accuracy);
+        count(obs, Counter::LfRejectedRedundancy, self.redundancy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasculpt_obs::{ManualClock, MetricsRecorder, Tracer};
+
+    #[test]
+    fn record_usage_mirrors_ledger_to_observer_with_exact_cost() {
+        let metrics = MetricsRecorder::new();
+        let mut obs =
+            Tracer::new(Box::new(ManualClock::new(1))).with_sink(Box::new(metrics.clone()));
+        let mut ledger = UsageLedger::new();
+        let usage = TokenUsage {
+            prompt_tokens: 1_000,
+            completion_tokens: 100,
+        };
+        record_usage(&mut ledger, &mut obs, ModelId::Gpt35Turbo, usage);
+        assert_eq!(ledger.calls(), 1);
+        let snap = metrics.snapshot();
+        let m = &snap.models["gpt-3.5-turbo-0613"];
+        assert_eq!(m.prompt_tokens, 1_000);
+        assert_eq!(m.cost_nanousd, ledger.total_cost_nanousd());
+    }
+
+    #[test]
+    fn tally_flushes_nonzero_counters_only() {
+        let metrics = MetricsRecorder::new();
+        let mut obs =
+            Tracer::new(Box::new(ManualClock::new(1))).with_sink(Box::new(metrics.clone()));
+        let mut tally = OutcomeTally::default();
+        tally.note(AddOutcome::Added);
+        tally.note(AddOutcome::Added);
+        tally.note(AddOutcome::RejectedAccuracy);
+        tally.emit(&mut obs);
+        let counters = metrics.snapshot().counters;
+        assert_eq!(counters["lf_accepted"], 2);
+        assert_eq!(counters["lf_rejected_accuracy"], 1);
+        assert!(!counters.contains_key("lf_duplicate"));
+    }
+}

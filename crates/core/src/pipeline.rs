@@ -25,6 +25,7 @@ use crate::filter::FilterConfig;
 use crate::icl::{IclSelector, IclStrategy};
 use crate::lf::KeywordLf;
 use crate::lfset::LfSet;
+use crate::observe::{self, Counter, Event, NoopObserver, OutcomeTally, RunObserver, Stage};
 use crate::parse::parse_response;
 use crate::prompt;
 pub use crate::prompt::PromptStyle;
@@ -270,7 +271,7 @@ struct Integration {
 }
 
 /// Mutable state shared by the pipeline stages of one run.
-struct RunContext<'d> {
+struct RunContext<'d, 'o> {
     dataset: &'d TextDataset,
     cfg: DataSculptConfig,
     lf_set: LfSet,
@@ -279,10 +280,13 @@ struct RunContext<'d> {
     sampler: Box<dyn QuerySampler>,
     queried: BTreeSet<usize>,
     iterations: Vec<IterationLog>,
+    /// Write-only event stream; nothing observed here may feed back into
+    /// the run (the digest tests enforce this).
+    obs: &'o mut dyn RunObserver,
 }
 
-impl<'d> RunContext<'d> {
-    fn new(dataset: &'d TextDataset, cfg: DataSculptConfig) -> Self {
+impl<'d, 'o> RunContext<'d, 'o> {
+    fn new(dataset: &'d TextDataset, cfg: DataSculptConfig, obs: &'o mut dyn RunObserver) -> Self {
         RunContext {
             dataset,
             cfg,
@@ -292,7 +296,16 @@ impl<'d> RunContext<'d> {
             sampler: make_sampler(cfg.sampler, dataset, cfg.seed),
             queried: BTreeSet::new(),
             iterations: Vec::with_capacity(cfg.num_queries),
+            obs,
         }
+    }
+
+    fn stage_begin(&mut self, iter: u64, stage: Stage) {
+        self.obs.on_event(&Event::StageBegin { iter, stage });
+    }
+
+    fn stage_end(&mut self, iter: u64, stage: Stage) {
+        self.obs.on_event(&Event::StageEnd { iter, stage });
     }
 
     /// Stage 1 (§3.4): pick the next query instance, or `None` when the
@@ -316,7 +329,7 @@ impl<'d> RunContext<'d> {
         let instance = &self.dataset.train.instances[idx];
         let exemplars = self
             .icl
-            .select(self.dataset, instance, llm, &mut self.ledger)?;
+            .select(self.dataset, instance, llm, &mut self.ledger, self.obs)?;
         Ok(prompt::build_messages(
             &self.dataset.spec,
             self.cfg.style,
@@ -338,13 +351,15 @@ impl<'d> RunContext<'d> {
             self.cfg.temperature,
             self.cfg.samples_per_query,
         ))?;
-        self.ledger.record(response.model, response.usage);
+        observe::record_usage(&mut self.ledger, self.obs, response.model, response.usage);
         let n_classes = self.dataset.n_classes();
         let parsed: Vec<_> = response
             .choices
             .iter()
             .map(|c| parse_response(&c.content, n_classes))
             .collect();
+        let unusable = parsed.iter().filter(|p| !p.is_usable()).count();
+        observe::count(self.obs, Counter::ParseFailure, unusable as u64);
         Ok(aggregate_consistency(&parsed, n_classes))
     }
 
@@ -358,13 +373,16 @@ impl<'d> RunContext<'d> {
             rejected: 0,
             accuracy_rejected: Vec::new(),
         };
+        let mut tally = OutcomeTally::default();
         for kw in keywords {
             let mut candidates = vec![KeywordLf::new(kw.clone(), label)];
             if relation {
                 candidates.push(KeywordLf::anchored(kw.clone(), label));
             }
             for lf in candidates {
-                match self.lf_set.try_add(lf.clone()) {
+                let outcome = self.lf_set.try_add(lf.clone());
+                tally.note(outcome);
+                match outcome {
                     outcome if outcome.accepted() => out.accepted += 1,
                     crate::filter::AddOutcome::RejectedAccuracy => {
                         out.rejected += 1;
@@ -374,6 +392,7 @@ impl<'d> RunContext<'d> {
                 }
             }
         }
+        tally.emit(self.obs);
         out
     }
 
@@ -389,6 +408,7 @@ impl<'d> RunContext<'d> {
         let relation = self.dataset.spec.relation;
         let n_classes = self.dataset.n_classes();
         let instance = &self.dataset.train.instances[idx];
+        let mut tally = OutcomeTally::default();
         for lf in std::mem::take(&mut integration.accuracy_rejected)
             .into_iter()
             .take(3)
@@ -399,13 +419,25 @@ impl<'d> RunContext<'d> {
                 &lf.keyword,
                 lf.label,
             );
-            let resp = llm.complete(&prompt::request(messages, self.cfg.temperature, 1))?;
-            self.ledger.record(resp.model, resp.usage);
-            let content = resp
-                .choices
-                .first()
-                .map(|c| c.content.as_str())
-                .ok_or(LlmError::EmptyResponse)?;
+            let result = llm.complete(&prompt::request(messages, self.cfg.temperature, 1));
+            let resp = match result {
+                Ok(resp) => resp,
+                Err(e) => {
+                    // Flush outcome counters for the revisions that did
+                    // complete before surfacing the error.
+                    tally.emit(self.obs);
+                    return Err(e);
+                }
+            };
+            observe::count(self.obs, Counter::Revision, 1);
+            observe::record_usage(&mut self.ledger, self.obs, resp.model, resp.usage);
+            let content = match resp.choices.first().map(|c| c.content.as_str()) {
+                Some(c) => c,
+                None => {
+                    tally.emit(self.obs);
+                    return Err(LlmError::EmptyResponse);
+                }
+            };
             let parsed = parse_response(content, n_classes);
             for kw in parsed.keywords {
                 let mut candidates = vec![KeywordLf::new(kw.clone(), lf.label)];
@@ -413,7 +445,9 @@ impl<'d> RunContext<'d> {
                     candidates.push(KeywordLf::anchored(kw, lf.label));
                 }
                 for revised in candidates {
-                    if self.lf_set.try_add(revised).accepted() {
+                    let outcome = self.lf_set.try_add(revised);
+                    tally.note(outcome);
+                    if outcome.accepted() {
                         integration.accepted += 1;
                     } else {
                         integration.rejected += 1;
@@ -421,17 +455,25 @@ impl<'d> RunContext<'d> {
                 }
             }
         }
+        tally.emit(self.obs);
         Ok(())
     }
 
-    /// Run stages 2–5 for instance `idx`. A returned log with `error` set
-    /// marks the iteration as failed.
-    fn run_iteration<M: ChatModel>(&mut self, llm: &mut M, idx: usize) -> IterationLog {
-        let messages = match self.build_prompt(llm, idx) {
+    /// Run stages 2–5 for instance `idx` as iteration `iter`, bracketing
+    /// each stage with span events (ends fire on error paths too). A
+    /// returned log with `error` set marks the iteration as failed.
+    fn run_iteration<M: ChatModel>(&mut self, llm: &mut M, iter: u64, idx: usize) -> IterationLog {
+        self.stage_begin(iter, Stage::Prompt);
+        let messages = self.build_prompt(llm, idx);
+        self.stage_end(iter, Stage::Prompt);
+        let messages = match messages {
             Ok(m) => m,
             Err(e) => return IterationLog::failed(idx, e),
         };
-        let aggregated = match self.generate(llm, messages) {
+        self.stage_begin(iter, Stage::Generate);
+        let aggregated = self.generate(llm, messages);
+        self.stage_end(iter, Stage::Generate);
+        let aggregated = match aggregated {
             Ok(a) => a,
             Err(e) => return IterationLog::failed(idx, e),
         };
@@ -445,12 +487,16 @@ impl<'d> RunContext<'d> {
                 error: None,
             };
         };
+        self.stage_begin(iter, Stage::Integrate);
         let mut integration = self.integrate(label, &keywords);
+        self.stage_end(iter, Stage::Integrate);
         let mut error = None;
         if self.cfg.revise_rejected {
             // A failed revision keeps the LFs accepted so far but marks
             // the iteration as failed.
+            self.stage_begin(iter, Stage::Revise);
             error = self.revise(llm, idx, &mut integration).err();
+            self.stage_end(iter, Stage::Revise);
         }
         IterationLog {
             instance_id: idx,
@@ -460,6 +506,20 @@ impl<'d> RunContext<'d> {
             rejected: integration.rejected,
             error,
         }
+    }
+
+    /// Close the run span (fires on both the success and abort paths).
+    fn emit_run_end(&mut self) {
+        let failed = self
+            .iterations
+            .iter()
+            .filter(|it| it.error.is_some())
+            .count();
+        self.obs.on_event(&Event::RunEnd {
+            iterations: self.iterations.len() as u64,
+            failed: failed as u64,
+            lfs: self.lf_set.len() as u64,
+        });
     }
 
     fn finish(self) -> RunResult {
@@ -491,25 +551,67 @@ impl<'a> DataSculpt<'a> {
         Self { dataset, config }
     }
 
-    /// Execute the full run against a chat model.
+    /// Execute the full run against a chat model, unobserved.
     ///
     /// Iterations that fail with an [`LlmError`] are logged and skipped;
     /// the run only aborts after
     /// [`DataSculptConfig::max_consecutive_failures`] failures in a row.
     pub fn run<M: ChatModel>(&self, llm: &mut M) -> Result<RunResult, PipelineError> {
-        let mut ctx = RunContext::new(self.dataset, self.config);
+        self.run_observed(llm, &mut NoopObserver)
+    }
+
+    /// Execute the full run, streaming typed events into `obs`.
+    ///
+    /// Observation is strictly write-only: an observed run produces a
+    /// [`RunResult`] with a digest identical to the same-seed unobserved
+    /// run. Every iteration emits a `select` stage span, then (for a
+    /// non-exhausted pool) an iteration span wrapping the `prompt`,
+    /// `generate`, `integrate`, and (when enabled) `revise` stage spans,
+    /// plus counter and usage events. A `run_end` event fires on both the
+    /// success and the [`PipelineError::TooManyFailures`] abort path.
+    pub fn run_observed<M: ChatModel>(
+        &self,
+        llm: &mut M,
+        obs: &mut dyn RunObserver,
+    ) -> Result<RunResult, PipelineError> {
+        obs.on_event(&Event::RunBegin {
+            label: self.config.label().to_string(),
+            dataset: self.dataset.spec.name.to_string(),
+            model: llm.model_id().api_name().to_string(),
+            queries: self.config.num_queries as u64,
+            seed: self.config.seed,
+        });
+        let mut ctx = RunContext::new(self.dataset, self.config, obs);
         let mut consecutive_failures = 0usize;
         for _ in 0..self.config.num_queries {
-            let Some(idx) = ctx.select_query() else {
+            let iter = ctx.iterations.len() as u64;
+            ctx.stage_begin(iter, Stage::Select);
+            let selected = ctx.select_query();
+            ctx.stage_end(iter, Stage::Select);
+            let Some(idx) = selected else {
                 break; // unlabeled pool exhausted
             };
-            let log = ctx.run_iteration(llm, idx);
+            ctx.obs.on_event(&Event::IterationBegin {
+                iter,
+                instance: idx as u64,
+            });
+            let log = ctx.run_iteration(llm, iter, idx);
             let error = log.error.clone();
+            if error.is_some() {
+                observe::count(ctx.obs, Counter::LlmError, 1);
+            }
+            ctx.obs.on_event(&Event::IterationEnd {
+                iter,
+                accepted: log.accepted as u64,
+                rejected: log.rejected as u64,
+                failed: error.is_some(),
+            });
             ctx.iterations.push(log);
             match error {
                 Some(last) => {
                     consecutive_failures += 1;
                     if consecutive_failures >= self.config.max_consecutive_failures {
+                        ctx.emit_run_end();
                         return Err(PipelineError::TooManyFailures {
                             limit: self.config.max_consecutive_failures,
                             last,
@@ -519,6 +621,7 @@ impl<'a> DataSculpt<'a> {
                 None => consecutive_failures = 0,
             }
         }
+        ctx.emit_run_end();
         Ok(ctx.finish())
     }
 }

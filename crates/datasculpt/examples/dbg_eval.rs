@@ -1,3 +1,14 @@
+//! Debug harness for label-model convergence: fit the MeTaL model at a few
+//! iteration budgets and watch the learned per-LF accuracies settle.
+//!
+//! All progress output flows through the observer path: one `fit` stage
+//! span per budget (timed by the tracer), with the learned accuracies as
+//! `message` events rendered by [`StderrProgressSink`]. Run with
+//! `DS_TRACE=<path>` to also capture the spans as a JSONL trace.
+
+// Debug harness, not a library: aborting on a bad DS_TRACE path is correct.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datasculpt::prelude::*;
 
 fn main() {
@@ -8,17 +19,39 @@ fn main() {
         set.try_add(lf.clone());
     }
     let vm = set.valid_matrix();
-    for iters in [1usize, 3, 10, 50] {
+
+    let metrics = MetricsRecorder::new();
+    let mut tracer = Tracer::new(Box::new(SystemClock::new()));
+    tracer.add_sink(Box::new(metrics.clone()));
+    if let Ok(path) = std::env::var("DS_TRACE") {
+        let sink = JsonlTraceSink::to_file(&path).expect("open DS_TRACE file");
+        tracer.add_sink(Box::new(sink));
+    }
+    let mut obs = Multi::new().with(StderrProgressSink::new()).with(tracer);
+
+    for (i, iters) in [1usize, 3, 10, 50].into_iter().enumerate() {
+        obs.on_event(&Event::StageBegin {
+            iter: i as u64,
+            stage: Stage::Fit,
+        });
         let mut lm = MetalModel::new()
             .with_class_balance(d.valid.class_distribution(2))
             .with_max_iter(iters);
         lm.fit(&vm, 2);
-        println!(
-            "iters {iters}: alphas {:?}",
-            lm.accuracies()
-                .iter()
-                .map(|a| (a * 100.).round() / 100.)
-                .collect::<Vec<f64>>()
-        );
+        obs.on_event(&Event::StageEnd {
+            iter: i as u64,
+            stage: Stage::Fit,
+        });
+        obs.on_event(&Event::Message {
+            text: format!(
+                "iters {iters}: alphas {:?}",
+                lm.accuracies()
+                    .iter()
+                    .map(|a| (a * 100.).round() / 100.)
+                    .collect::<Vec<f64>>()
+            ),
+        });
     }
+    obs.finish().expect("flush trace sinks");
+    println!("{}", metrics.render_table());
 }

@@ -5,13 +5,19 @@
 //! datasculpt run      <dataset> [--config base|cot|sc|kate] [--model M]
 //!                     [--queries N] [--sampler random|uncertain|seu|coreset]
 //!                     [--scale F] [--seed N] [--revise] [--show-lfs N]
+//!                     [--trace PATH] [--metrics] [--retries N] [--cache N] [--verbose]
 //! datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
-//!                     [--model M] [--scale F] [--seed N]
+//!                     [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
+//! datasculpt trace-check <path>
 //! datasculpt models
 //! ```
 //!
 //! Datasets: youtube, sms, imdb, yelp, agnews, spouse.
 //! Models: gpt-3.5 (default), gpt-4, llama-7b, llama-13b, llama-70b.
+//!
+//! Human-readable progress goes through [`StderrProgressSink`]; `--trace`
+//! writes the machine-readable JSONL trace (schema: `docs/trace-schema.md`,
+//! validated by `datasculpt trace-check`).
 
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
@@ -23,6 +29,7 @@ fn main() -> ExitCode {
         Some("inspect") => inspect(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("baseline") => baseline(&args[1..]),
+        Some("trace-check") => trace_check(&args[1..]),
         Some("models") => {
             for m in ModelId::ALL {
                 let (inp, out) = PricingTable::rates(m);
@@ -53,11 +60,21 @@ USAGE:
   datasculpt run      <dataset> [--config base|cot|sc|kate] [--model M]
                       [--queries N] [--sampler random|uncertain|seu|coreset]
                       [--scale F] [--seed N] [--revise] [--show-lfs N]
+                      [--trace PATH] [--metrics] [--retries N] [--cache N] [--verbose]
   datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
-                      [--model M] [--scale F] [--seed N]
+                      [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
+  datasculpt trace-check <path>
   datasculpt models
 
 Datasets: youtube sms imdb yelp agnews spouse.
+
+Observability:
+  --trace PATH   write a JSONL trace of the run (schema: docs/trace-schema.md)
+  --metrics      print a per-stage latency/count/cost table after the run
+  --retries N    retry transient LLM errors up to N times per call
+  --cache N      wrap the model in a response cache with capacity N
+  --verbose      per-iteration progress lines on stderr
+  trace-check    validate a trace file and print its summary
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
@@ -150,6 +167,57 @@ fn inspect(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The observer stack behind one traced CLI run: human-readable progress
+/// on stderr, an in-memory metrics aggregate, and (with `--trace`) a JSONL
+/// file sink — all reachable through one shareable handle so the pipeline
+/// and the LLM middleware emit into the same trace.
+struct Observability {
+    shared: SharedObserver,
+    metrics: MetricsRecorder,
+    want_metrics: bool,
+}
+
+impl Observability {
+    fn from_flags(flags: &Flags) -> Result<Observability, ExitCode> {
+        let metrics = MetricsRecorder::new();
+        let mut tracer = Tracer::new(Box::new(SystemClock::new()));
+        tracer.add_sink(Box::new(metrics.clone()));
+        if let Some(path) = flags.get("--trace") {
+            match JsonlTraceSink::to_file(path) {
+                Ok(sink) => tracer.add_sink(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("error: cannot open trace file '{path}': {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+        let multi = Multi::new()
+            .with(StderrProgressSink::new().verbose(flags.has("--verbose")))
+            .with(tracer);
+        Ok(Observability {
+            shared: SharedObserver::new(multi),
+            metrics,
+            want_metrics: flags.has("--metrics"),
+        })
+    }
+
+    /// Flush the sinks and, with `--metrics`, print the summary table.
+    /// Returns `false` if a sink failed to flush.
+    fn close(&mut self) -> bool {
+        let flushed = match self.shared.finish() {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("error: trace sink failed: {e}");
+                false
+            }
+        };
+        if self.want_metrics {
+            println!("{}", self.metrics.render_table());
+        }
+        flushed
+    }
+}
+
 fn run(args: &[String]) -> ExitCode {
     let dataset = match load_dataset(args) {
         Ok(d) => d,
@@ -173,22 +241,40 @@ fn run(args: &[String]) -> ExitCode {
     config.revise_rejected = flags.has("--revise");
     let model = parse_model(&flags);
 
-    eprintln!(
-        "running {} on {} with {} ({} queries)…",
-        config.label(),
-        dataset.spec.name,
-        model.label(),
-        config.num_queries
-    );
-    let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
-    let run = match DataSculpt::new(&dataset, config).run(&mut llm) {
+    let mut obs = match Observability::from_flags(&flags) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let sim = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+    let retries: u32 = flags.parse_or("--retries", 0);
+    let retry = RetryModel::new(sim, retries).with_observer(obs.shared.clone());
+    let cache: usize = flags.parse_or("--cache", 0);
+    if cache > 0 {
+        let mut llm = CachedModel::with_capacity(retry, cache).with_observer(obs.shared.clone());
+        execute_run(&dataset, config, &mut llm, &mut obs, &flags)
+    } else {
+        let mut llm = retry;
+        execute_run(&dataset, config, &mut llm, &mut obs, &flags)
+    }
+}
+
+fn execute_run<M: ChatModel>(
+    dataset: &TextDataset,
+    config: DataSculptConfig,
+    llm: &mut M,
+    obs: &mut Observability,
+    flags: &Flags,
+) -> ExitCode {
+    let mut observer = obs.shared.clone();
+    let run = match DataSculpt::new(dataset, config).run_observed(llm, &mut observer) {
         Ok(run) => run,
         Err(e) => {
+            obs.close();
             eprintln!("run aborted: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let eval = evaluate_lf_set(&dataset, &run.lf_set, &EvalConfig::default());
+    let eval = evaluate_lf_set(dataset, &run.lf_set, &EvalConfig::default());
 
     let show: usize = flags.parse_or("--show-lfs", 5);
     if show > 0 {
@@ -198,7 +284,11 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     print_eval(&eval, Some(&run.ledger));
-    ExitCode::SUCCESS
+    if obs.close() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn baseline(args: &[String]) -> ExitCode {
@@ -247,12 +337,20 @@ fn baseline(args: &[String]) -> ExitCode {
             );
         }
         "promptedlf" => {
+            let mut obs = match Observability::from_flags(&flags) {
+                Ok(o) => o,
+                Err(code) => return code,
+            };
             let mut llm = SimulatedLlm::new(model, dataset.generative.clone(), seed);
-            let result = promptedlf_run(&dataset, &mut llm);
+            let mut observer = obs.shared.clone();
+            let result = promptedlf_run_observed(&dataset, &mut llm, &mut observer);
             print_eval(
                 &evaluate_matrix(&dataset, &result.matrix, &EvalConfig::default()),
                 Some(&result.ledger),
             );
+            if !obs.close() {
+                return ExitCode::FAILURE;
+            }
         }
         other => {
             eprintln!("unknown baseline system '{other}' (wrench|scriptorium|promptedlf)");
@@ -260,6 +358,40 @@ fn baseline(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn trace_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("expected a trace file path");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match datasculpt::obs::schema::validate_trace(&text) {
+        Ok(summary) => {
+            println!("{path}: valid trace (schema v1)");
+            println!("events:     {}", summary.events);
+            println!("iterations: {}", summary.iterations);
+            println!("stages:     {}", summary.stages.join(" "));
+            for (counter, total) in &summary.counters {
+                println!("counter:    {counter} = {total}");
+            }
+            println!(
+                "cost:       {}",
+                datasculpt::obs::cost::format_usd(summary.cost_nanousd)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn print_eval(eval: &PwsEvaluation, ledger: Option<&UsageLedger>) {

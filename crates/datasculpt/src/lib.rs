@@ -16,6 +16,7 @@
 //! | [`labelmodel`] | `datasculpt-labelmodel` | majority vote, MeTaL-style EM model, triplet method |
 //! | [`endmodel`] | `datasculpt-endmodel` | softmax regression on soft targets, metrics |
 //! | [`baselines`] | `datasculpt-baselines` | WRENCH experts, ScriptoriumWS, PromptedLF |
+//! | [`obs`] | `datasculpt-obs` | run tracing: observers, span timing, JSONL trace sink, metrics |
 //!
 //! # Quickstart
 //!
@@ -49,12 +50,14 @@ pub use datasculpt_data as data;
 pub use datasculpt_endmodel as endmodel;
 pub use datasculpt_labelmodel as labelmodel;
 pub use datasculpt_llm as llm;
+pub use datasculpt_obs as obs;
 pub use datasculpt_text as text;
 
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use datasculpt_baselines::{
-        promptedlf_run, promptedlf_templates, scriptorium_run, wrench_expert_lfs, wrench_lf_count,
+        promptedlf_run, promptedlf_run_observed, promptedlf_templates, scriptorium_run,
+        wrench_expert_lfs, wrench_lf_count,
     };
     pub use datasculpt_core::{
         evaluate_lf_set, AddOutcome, DataSculpt, DataSculptConfig, EndModelKind, EvalConfig,
@@ -69,6 +72,11 @@ pub mod prelude {
     };
     pub use datasculpt_llm::{
         CacheStats, CachedModel, ChatModel, ChatRequest, FailingModel, LlmError, ModelId,
-        PricingTable, SimulatedLlm, TokenUsage, UsageLedger,
+        PricingTable, RetryModel, SimulatedLlm, TokenUsage, UsageLedger,
+    };
+    pub use datasculpt_obs::{
+        Clock, Counter, Event, JsonlTraceSink, ManualClock, MetricsRecorder, MetricsSnapshot,
+        Multi, NoopObserver, RunObserver, SharedObserver, Stage, StderrProgressSink, SystemClock,
+        TraceSink, Tracer,
     };
 }

@@ -13,6 +13,7 @@ use crate::error::LlmError;
 use crate::message::{ChatRequest, ChatResponse};
 use crate::pricing::ModelId;
 use crate::ChatModel;
+use datasculpt_obs::{Counter, Event, RunObserver, SharedObserver};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Full structural identity of a request, used as the cache key.
@@ -93,6 +94,9 @@ pub struct CachedModel<M> {
     order: VecDeque<CacheKey>,
     capacity: usize,
     stats: CacheStats,
+    /// Optional trace observer: hit/miss/eviction counter events mirror the
+    /// [`CacheStats`] deltas. Clones share the same underlying observer.
+    observer: Option<SharedObserver>,
 }
 
 /// Default capacity: comfortably holds every distinct request of a
@@ -117,6 +121,20 @@ impl<M: ChatModel> CachedModel<M> {
             order: VecDeque::new(),
             capacity,
             stats: CacheStats::default(),
+            observer: None,
+        }
+    }
+
+    /// Attach a trace observer; every hit/miss/eviction is mirrored to it
+    /// as a counter event.
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    fn emit(&mut self, counter: Counter) {
+        if let Some(obs) = &mut self.observer {
+            obs.on_event(&Event::Counter { counter, delta: 1 });
         }
     }
 
@@ -157,6 +175,7 @@ impl<M: ChatModel> CachedModel<M> {
             if let Some(oldest) = self.order.pop_front() {
                 self.entries.remove(&oldest);
                 self.stats.evictions += 1;
+                self.emit(Counter::CacheEviction);
             }
         }
         self.order.push_back(key.clone());
@@ -167,11 +186,13 @@ impl<M: ChatModel> CachedModel<M> {
 impl<M: ChatModel> ChatModel for CachedModel<M> {
     fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
         let key = CacheKey::of(request);
-        if let Some(response) = self.entries.get(&key) {
+        if let Some(response) = self.entries.get(&key).cloned() {
             self.stats.hits += 1;
-            return Ok(response.clone());
+            self.emit(Counter::CacheHit);
+            return Ok(response);
         }
         self.stats.misses += 1;
+        self.emit(Counter::CacheMiss);
         let response = self.inner.complete(request)?;
         self.insert(key, response.clone());
         Ok(response)
@@ -308,6 +329,32 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_rejected() {
         let _ = CachedModel::with_capacity(ScriptedModel::new(vec!["r".into()]), 0);
+    }
+
+    #[test]
+    fn observer_sees_hit_miss_and_eviction_counters() {
+        use datasculpt_obs::{ManualClock, MetricsRecorder, Tracer};
+        let metrics = MetricsRecorder::new();
+        let tracer =
+            Tracer::new(Box::new(ManualClock::new(1))).with_sink(Box::new(metrics.clone()));
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::with_capacity(inner, 1).with_observer(SharedObserver::new(tracer));
+        m.complete(&req("a")).unwrap(); // miss
+        m.complete(&req("a")).unwrap(); // hit
+        m.complete(&req("b")).unwrap(); // miss + eviction
+        let counters = metrics.snapshot().counters;
+        assert_eq!(counters["cache_miss"], 2);
+        assert_eq!(counters["cache_hit"], 1);
+        assert_eq!(counters["cache_eviction"], 1);
+        // The observer mirrors, never replaces, the public stats.
+        assert_eq!(
+            m.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 1
+            }
+        );
     }
 
     #[test]

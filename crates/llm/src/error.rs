@@ -22,6 +22,17 @@ pub enum LlmError {
     },
 }
 
+impl LlmError {
+    /// Whether retrying the same request can plausibly succeed.
+    ///
+    /// Transport failures and throttling are transient; an empty body or an
+    /// outright API rejection will repeat, so middleware like
+    /// [`RetryModel`](crate::RetryModel) must not burn budget on them.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, LlmError::Transport(_) | LlmError::RateLimited)
+    }
+}
+
 impl std::fmt::Display for LlmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -61,5 +72,17 @@ mod tests {
         for (err, text) in cases {
             assert_eq!(err.to_string(), text);
         }
+    }
+
+    #[test]
+    fn only_transient_errors_are_retryable() {
+        assert!(LlmError::Transport("timeout".into()).is_retryable());
+        assert!(LlmError::RateLimited.is_retryable());
+        assert!(!LlmError::EmptyResponse.is_retryable());
+        assert!(!LlmError::Api {
+            status: 400,
+            message: "bad request".into(),
+        }
+        .is_retryable());
     }
 }

@@ -27,6 +27,7 @@ pub mod error;
 pub mod message;
 pub mod pricing;
 pub mod profile;
+pub mod retry;
 pub mod scripted;
 pub mod simulated;
 pub mod tokens;
@@ -37,6 +38,7 @@ pub use error::LlmError;
 pub use message::{ChatChoice, ChatMessage, ChatRequest, ChatResponse, Role};
 pub use pricing::{ModelId, PricingTable};
 pub use profile::ModelProfile;
+pub use retry::RetryModel;
 pub use scripted::{FailingModel, ScriptedModel};
 pub use simulated::SimulatedLlm;
 pub use tokens::approx_token_count;

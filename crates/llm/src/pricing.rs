@@ -64,9 +64,6 @@ impl std::fmt::Display for ModelId {
 #[derive(Debug, Clone, Copy)]
 pub struct PricingTable;
 
-/// Nano-USD per USD.
-const NANO_PER_USD: f64 = 1e9;
-
 impl PricingTable {
     /// `(input, output)` rates in nano-USD per token.
     pub fn rates_nanousd(model: ModelId) -> (u64, u64) {
@@ -94,12 +91,16 @@ impl PricingTable {
             + u128::from(completion_tokens) * u128::from(out)
     }
 
-    /// Cost in USD for a token mix under a model's rates.
+    /// Cost in USD for a token mix under a model's rates (display form via
+    /// the shared `datasculpt_obs::cost` boundary).
     ///
     /// Exact below 2^53 nano-USD (≈ $9M) — far beyond any experiment grid.
     pub fn cost_usd(model: ModelId, prompt_tokens: u64, completion_tokens: u64) -> f64 {
-        // ds-lint: allow(lossy-cast): display boundary; see precision note above
-        Self::cost_nanousd(model, prompt_tokens, completion_tokens) as f64 / NANO_PER_USD
+        datasculpt_obs::cost::nanousd_to_usd(Self::cost_nanousd(
+            model,
+            prompt_tokens,
+            completion_tokens,
+        ))
     }
 }
 

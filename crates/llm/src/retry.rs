@@ -1,0 +1,157 @@
+//! Bounded-retry middleware for any [`ChatModel`].
+//!
+//! A real HTTP backend fails transiently (timeouts, HTTP 429); the paper's
+//! experiment grids should ride those out instead of burning an iteration.
+//! [`RetryModel`] re-issues a failed request up to a bounded number of
+//! times, but only for errors where a retry can help
+//! ([`LlmError::is_retryable`]) — an empty body or an API rejection
+//! surfaces immediately.
+//!
+//! There is no sleep/backoff here: waiting is a transport concern, and the
+//! offline backends fail deterministically. A real client would implement
+//! backoff inside its `complete`.
+//!
+//! Stack order matters: wrap the *backend* in `RetryModel` and the result
+//! in [`CachedModel`](crate::CachedModel), so cache hits skip the retry
+//! layer entirely and retried successes get cached.
+
+use crate::error::LlmError;
+use crate::message::{ChatRequest, ChatResponse};
+use crate::pricing::ModelId;
+use crate::ChatModel;
+use datasculpt_obs::{Counter, Event, RunObserver, SharedObserver};
+
+/// Composable retry middleware over any [`ChatModel`].
+///
+/// ```
+/// use datasculpt_llm::{
+///     ChatMessage, ChatModel, ChatRequest, FailingModel, RetryModel, ScriptedModel,
+/// };
+///
+/// // The backend fails on its first call, then recovers.
+/// let flaky = FailingModel::fail_on(ScriptedModel::new(vec!["Label: 1".into()]), [0]);
+/// let mut model = RetryModel::new(flaky, 2);
+/// let req = ChatRequest::new(vec![ChatMessage::user("Query: great movie")]);
+/// assert!(model.complete(&req).is_ok());
+/// assert_eq!(model.retries_performed(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetryModel<M> {
+    inner: M,
+    max_retries: u32,
+    retries_performed: u64,
+    observer: Option<SharedObserver>,
+}
+
+impl<M: ChatModel> RetryModel<M> {
+    /// Wrap `inner`, re-issuing each failed request at most `max_retries`
+    /// extra times (so a request costs at most `1 + max_retries` calls).
+    pub fn new(inner: M, max_retries: u32) -> Self {
+        RetryModel {
+            inner,
+            max_retries,
+            retries_performed: 0,
+            observer: None,
+        }
+    }
+
+    /// Attach a trace observer; every retry is mirrored to it as a counter
+    /// event.
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Total retries issued since construction (excludes first attempts).
+    pub fn retries_performed(&self) -> u64 {
+        self.retries_performed
+    }
+
+    /// The wrapped backend.
+    pub fn get_ref(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the retry state.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: ChatModel> ChatModel for RetryModel<M> {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.complete(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_retryable() && attempt < self.max_retries => {
+                    attempt += 1;
+                    self.retries_performed += 1;
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_event(&Event::Counter {
+                            counter: Counter::Retry,
+                            delta: 1,
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn model_id(&self) -> ModelId {
+        self.inner.model_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ChatMessage;
+    use crate::scripted::{FailingModel, ScriptedModel};
+    use datasculpt_obs::{ManualClock, MetricsRecorder, Tracer};
+
+    fn req(text: &str) -> ChatRequest {
+        ChatRequest::new(vec![ChatMessage::user(text)])
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let flaky = FailingModel::fail_on(ScriptedModel::new(vec!["ok".into()]), [0, 1]);
+        let mut m = RetryModel::new(flaky, 2);
+        let resp = m.complete(&req("q")).unwrap();
+        assert_eq!(resp.choices[0].content, "ok");
+        assert_eq!(m.retries_performed(), 2);
+        assert_eq!(m.get_ref().calls_attempted(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_error() {
+        let flaky = FailingModel::fail_every(ScriptedModel::new(vec!["ok".into()]), 1);
+        let mut m = RetryModel::new(flaky, 2);
+        let err = m.complete(&req("q")).unwrap_err();
+        assert!(matches!(err, LlmError::Transport(_)));
+        assert_eq!(m.retries_performed(), 2);
+        assert_eq!(m.get_ref().calls_attempted(), 3);
+    }
+
+    #[test]
+    fn zero_budget_never_retries() {
+        let flaky = FailingModel::fail_every(ScriptedModel::new(vec!["ok".into()]), 1);
+        let mut m = RetryModel::new(flaky, 0);
+        assert!(m.complete(&req("q")).is_err());
+        assert_eq!(m.retries_performed(), 0);
+        assert_eq!(m.get_ref().calls_attempted(), 1);
+    }
+
+    #[test]
+    fn observer_counts_retries() {
+        let metrics = MetricsRecorder::new();
+        let tracer =
+            Tracer::new(Box::new(ManualClock::new(1))).with_sink(Box::new(metrics.clone()));
+        let flaky = FailingModel::fail_on(ScriptedModel::new(vec!["ok".into()]), [0]);
+        let mut m = RetryModel::new(flaky, 3).with_observer(SharedObserver::new(tracer));
+        m.complete(&req("q")).unwrap();
+        assert_eq!(metrics.snapshot().counters["retry"], 1);
+    }
+}

@@ -88,10 +88,9 @@ impl UsageLedger {
     }
 
     /// Total cost in USD across models (display form of the exact
-    /// nano-USD total).
+    /// nano-USD total, via the shared `datasculpt_obs::cost` boundary).
     pub fn total_cost_usd(&self) -> f64 {
-        // ds-lint: allow(lossy-cast): display boundary; exact below ~$9M (2^53 nUSD)
-        self.total_cost_nanousd() as f64 / 1e9
+        datasculpt_obs::cost::nanousd_to_usd(self.total_cost_nanousd())
     }
 
     /// Merge another ledger into this one.

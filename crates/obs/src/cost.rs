@@ -1,0 +1,60 @@
+//! The single nano-USD → USD display boundary.
+//!
+//! All cost *accounting* in the workspace is exact integer nano-USD (see
+//! `datasculpt-llm::pricing` and ds-lint's `lossy-cast` rule). Rendering a
+//! cost as a floating-point dollar amount is inherently lossy, so that
+//! conversion lives in exactly one place — here — and every display site
+//! (ledger totals, pricing helpers, the Figure 4 binary, the metrics
+//! table) goes through it.
+
+/// Nano-USD per USD.
+pub const NANO_PER_USD: f64 = 1e9;
+
+/// Convert an exact nano-USD amount to a display USD value.
+///
+/// Exact below ~$9M (2^53 nano-USD); display-only by contract.
+pub fn nanousd_to_usd(nanousd: u128) -> f64 {
+    // ds-lint: allow(lossy-cast): the one sanctioned display-boundary cast
+    nanousd as f64 / NANO_PER_USD
+}
+
+/// Render an exact nano-USD amount as `$x.xxxx`.
+pub fn format_usd(nanousd: u128) -> String {
+    format!("${:.4}", nanousd_to_usd(nanousd))
+}
+
+/// Render a nanosecond duration in a human unit (ns/µs/ms/s).
+pub fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        // ds-lint: allow(lossy-cast): display boundary
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        // ds-lint: allow(lossy-cast): display boundary
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        // ds-lint: allow(lossy-cast): display boundary
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_is_exact_for_small_amounts() {
+        assert_eq!(nanousd_to_usd(0), 0.0);
+        assert_eq!(nanousd_to_usd(1_500_000_000), 1.5);
+        assert_eq!(format_usd(12_345_000_000), "$12.3450");
+    }
+
+    #[test]
+    fn durations_pick_the_right_unit() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.5µs");
+        assert_eq!(format_ns(2_500_000), "2.5ms");
+        assert_eq!(format_ns(3_210_000_000), "3.21s");
+    }
+}

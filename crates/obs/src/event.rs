@@ -1,0 +1,339 @@
+//! The typed event taxonomy (trace schema v1).
+//!
+//! Every observable thing that happens during a run is one [`Event`].
+//! Producers (the pipeline, the LLM middleware, the baselines, the bench
+//! drivers) emit events through a [`RunObserver`](crate::RunObserver);
+//! sinks serialize or aggregate them. The JSONL wire form of each variant
+//! is documented in `docs/trace-schema.md` and pinned by a golden-file
+//! test.
+
+/// A pipeline stage, used to label span begin/end pairs.
+///
+/// The five DataSculpt stages of one query iteration (`select` → `prompt`
+/// → `generate` → `integrate` → `revise`) plus the spans emitted by other
+/// producers: `annotate` (one PromptedLF template pass), `fit` (a
+/// label-model fit), and `bench` (one dataset cell of a bench driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Stage 1: pick the next query instance (§3.4).
+    Select,
+    /// Stage 2: choose in-context examples and render the prompt (§3.3).
+    Prompt,
+    /// Stage 3: chat completion + parsing + self-consistency (§4.1).
+    Generate,
+    /// Stage 4: candidate LFs through the filters (§3.5).
+    Integrate,
+    /// Stage 5: re-prompt for accuracy-rejected candidates (§5).
+    Revise,
+    /// One PromptedLF template annotated over the whole train split.
+    Annotate,
+    /// One label-model fit.
+    Fit,
+    /// One dataset cell of a bench driver.
+    Bench,
+}
+
+impl Stage {
+    /// Every stage, in reporting order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Select,
+        Stage::Prompt,
+        Stage::Generate,
+        Stage::Integrate,
+        Stage::Revise,
+        Stage::Annotate,
+        Stage::Fit,
+        Stage::Bench,
+    ];
+
+    /// Stable wire name (the JSONL `stage` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Select => "select",
+            Stage::Prompt => "prompt",
+            Stage::Generate => "generate",
+            Stage::Integrate => "integrate",
+            Stage::Revise => "revise",
+            Stage::Annotate => "annotate",
+            Stage::Fit => "fit",
+            Stage::Bench => "bench",
+        }
+    }
+
+    /// Parse a wire name back into a stage.
+    pub fn parse(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named monotone counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Counter {
+    /// Candidate LF accepted into the set.
+    LfAccepted,
+    /// Candidate was an exact duplicate of an accepted LF.
+    LfDuplicate,
+    /// Candidate rejected by the validity filter.
+    LfRejectedValidity,
+    /// Candidate rejected by the accuracy filter.
+    LfRejectedAccuracy,
+    /// Candidate rejected by the redundancy filter.
+    LfRejectedRedundancy,
+    /// An LLM response sample that yielded no usable `(label, keywords)`.
+    ParseFailure,
+    /// One §5 revision round-trip issued.
+    Revision,
+    /// Request served from the response cache.
+    CacheHit,
+    /// Request forwarded to the backend by the cache.
+    CacheMiss,
+    /// Cache entry dropped to respect the capacity bound.
+    CacheEviction,
+    /// A failed call re-issued by the retry middleware.
+    Retry,
+    /// An LLM call that failed with an error.
+    LlmError,
+}
+
+impl Counter {
+    /// Every counter, in reporting order.
+    pub const ALL: [Counter; 12] = [
+        Counter::LfAccepted,
+        Counter::LfDuplicate,
+        Counter::LfRejectedValidity,
+        Counter::LfRejectedAccuracy,
+        Counter::LfRejectedRedundancy,
+        Counter::ParseFailure,
+        Counter::Revision,
+        Counter::CacheHit,
+        Counter::CacheMiss,
+        Counter::CacheEviction,
+        Counter::Retry,
+        Counter::LlmError,
+    ];
+
+    /// Stable wire name (the JSONL `counter` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Counter::LfAccepted => "lf_accepted",
+            Counter::LfDuplicate => "lf_duplicate",
+            Counter::LfRejectedValidity => "lf_rejected_validity",
+            Counter::LfRejectedAccuracy => "lf_rejected_accuracy",
+            Counter::LfRejectedRedundancy => "lf_rejected_redundancy",
+            Counter::ParseFailure => "parse_failure",
+            Counter::Revision => "revision",
+            Counter::CacheHit => "cache_hit",
+            Counter::CacheMiss => "cache_miss",
+            Counter::CacheEviction => "cache_eviction",
+            Counter::Retry => "retry",
+            Counter::LlmError => "llm_error",
+        }
+    }
+
+    /// Parse a wire name back into a counter.
+    pub fn parse(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observable occurrence during a run.
+///
+/// `iter` fields are 0-based query-iteration indices. Token counts are
+/// exact `u64`s and costs are exact integer nano-USD, mirroring the
+/// [`UsageLedger`](../../llm) accounting invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A run started.
+    RunBegin {
+        /// Method display label (e.g. `DataSculpt-SC`, `PromptedLF`).
+        label: String,
+        /// Dataset name.
+        dataset: String,
+        /// Backend model API name.
+        model: String,
+        /// Configured query-iteration budget (or template count).
+        queries: u64,
+        /// Run seed.
+        seed: u64,
+    },
+    /// The run finished (also emitted when a run aborts with an error).
+    RunEnd {
+        /// Iterations actually executed.
+        iterations: u64,
+        /// Iterations that failed with an LLM error.
+        failed: u64,
+        /// Accepted LFs (or weak-label columns) at the end.
+        lfs: u64,
+    },
+    /// A query iteration started (its instance is known after `select`).
+    IterationBegin {
+        /// 0-based iteration index.
+        iter: u64,
+        /// Train-split index of the queried instance.
+        instance: u64,
+    },
+    /// A query iteration finished.
+    IterationEnd {
+        /// 0-based iteration index.
+        iter: u64,
+        /// Candidate LFs accepted this iteration.
+        accepted: u64,
+        /// Candidate LFs rejected this iteration.
+        rejected: u64,
+        /// Whether the iteration was cut short by an LLM error.
+        failed: bool,
+    },
+    /// A stage span opened.
+    StageBegin {
+        /// Iteration the stage belongs to.
+        iter: u64,
+        /// The stage.
+        stage: Stage,
+    },
+    /// A stage span closed. The [`Tracer`](crate::Tracer) stamps the
+    /// duration from its clock when forwarding to sinks.
+    StageEnd {
+        /// Iteration the stage belongs to.
+        iter: u64,
+        /// The stage.
+        stage: Stage,
+    },
+    /// A counter increment.
+    Counter {
+        /// Which counter.
+        counter: Counter,
+        /// Increment (≥ 1).
+        delta: u64,
+    },
+    /// Token/cost delta for one recorded LLM call (or a merged batch).
+    Usage {
+        /// Model API name.
+        model: String,
+        /// Prompt tokens billed.
+        prompt_tokens: u64,
+        /// Completion tokens billed.
+        completion_tokens: u64,
+        /// Exact cost in nano-USD at the pricing-table rates.
+        cost_nanousd: u128,
+    },
+    /// A human-readable progress line (free text).
+    Message {
+        /// The text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// Stable wire name (the JSONL `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunBegin { .. } => "run_begin",
+            Event::RunEnd { .. } => "run_end",
+            Event::IterationBegin { .. } => "iter_begin",
+            Event::IterationEnd { .. } => "iter_end",
+            Event::StageBegin { .. } => "stage_begin",
+            Event::StageEnd { .. } => "stage_end",
+            Event::Counter { .. } => "counter",
+            Event::Usage { .. } => "usage",
+            Event::Message { .. } => "message",
+        }
+    }
+
+    /// Every wire kind, in schema order.
+    pub const KINDS: [&'static str; 9] = [
+        "run_begin",
+        "run_end",
+        "iter_begin",
+        "iter_end",
+        "stage_begin",
+        "stage_end",
+        "counter",
+        "usage",
+        "message",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.name()), Some(s));
+        }
+        assert_eq!(Stage::parse("nope"), None);
+    }
+
+    #[test]
+    fn counter_names_round_trip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::parse(c.name()), Some(c));
+        }
+        assert_eq!(Counter::parse("nope"), None);
+    }
+
+    #[test]
+    fn kinds_cover_every_variant() {
+        let samples = [
+            Event::RunBegin {
+                label: String::new(),
+                dataset: String::new(),
+                model: String::new(),
+                queries: 0,
+                seed: 0,
+            },
+            Event::RunEnd {
+                iterations: 0,
+                failed: 0,
+                lfs: 0,
+            },
+            Event::IterationBegin {
+                iter: 0,
+                instance: 0,
+            },
+            Event::IterationEnd {
+                iter: 0,
+                accepted: 0,
+                rejected: 0,
+                failed: false,
+            },
+            Event::StageBegin {
+                iter: 0,
+                stage: Stage::Select,
+            },
+            Event::StageEnd {
+                iter: 0,
+                stage: Stage::Select,
+            },
+            Event::Counter {
+                counter: Counter::CacheHit,
+                delta: 1,
+            },
+            Event::Usage {
+                model: String::new(),
+                prompt_tokens: 0,
+                completion_tokens: 0,
+                cost_nanousd: 0,
+            },
+            Event::Message {
+                text: String::new(),
+            },
+        ];
+        for (e, kind) in samples.iter().zip(Event::KINDS) {
+            assert_eq!(e.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The JSONL trace sink: one self-describing JSON object per event.
+//!
+//! Wire format (schema v1, see `docs/trace-schema.md`): every line starts
+//! with the common header fields `v`, `seq`, `t_ns`, `kind`, followed by
+//! `dur_ns` on span-end kinds, followed by the kind-specific fields —
+//! always in that order, so traces diff cleanly and the golden-file test
+//! can pin the byte-exact encoding.
+//!
+//! Write errors never panic and never disturb the observed run: the first
+//! error is stored, later records become no-ops, and
+//! [`finish`](JsonlTraceSink::finish) surfaces it.
+
+use crate::event::Event;
+use crate::tracer::{Record, TraceSink};
+use crate::TRACE_SCHEMA_VERSION;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Escape a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one stamped record as its JSONL line (without the newline).
+pub fn render_line(record: &Record<'_>) -> String {
+    let mut line = format!(
+        "{{\"v\":{},\"seq\":{},\"t_ns\":{},\"kind\":\"{}\"",
+        TRACE_SCHEMA_VERSION,
+        record.seq,
+        record.t_ns,
+        record.event.kind()
+    );
+    if let Some(d) = record.dur_ns {
+        line.push_str(&format!(",\"dur_ns\":{d}"));
+    }
+    match record.event {
+        Event::RunBegin {
+            label,
+            dataset,
+            model,
+            queries,
+            seed,
+        } => {
+            line.push_str(&format!(
+                ",\"label\":\"{}\",\"dataset\":\"{}\",\"model\":\"{}\",\"queries\":{queries},\"seed\":{seed}",
+                escape_json(label),
+                escape_json(dataset),
+                escape_json(model)
+            ));
+        }
+        Event::RunEnd {
+            iterations,
+            failed,
+            lfs,
+        } => {
+            line.push_str(&format!(
+                ",\"iterations\":{iterations},\"failed\":{failed},\"lfs\":{lfs}"
+            ));
+        }
+        Event::IterationBegin { iter, instance } => {
+            line.push_str(&format!(",\"iter\":{iter},\"instance\":{instance}"));
+        }
+        Event::IterationEnd {
+            iter,
+            accepted,
+            rejected,
+            failed,
+        } => {
+            line.push_str(&format!(
+                ",\"iter\":{iter},\"accepted\":{accepted},\"rejected\":{rejected},\"failed\":{failed}"
+            ));
+        }
+        Event::StageBegin { iter, stage } | Event::StageEnd { iter, stage } => {
+            line.push_str(&format!(",\"iter\":{iter},\"stage\":\"{}\"", stage.name()));
+        }
+        Event::Counter { counter, delta } => {
+            line.push_str(&format!(
+                ",\"counter\":\"{}\",\"delta\":{delta}",
+                counter.name()
+            ));
+        }
+        Event::Usage {
+            model,
+            prompt_tokens,
+            completion_tokens,
+            cost_nanousd,
+        } => {
+            line.push_str(&format!(
+                ",\"model\":\"{}\",\"prompt_tokens\":{prompt_tokens},\"completion_tokens\":{completion_tokens},\"cost_nanousd\":{cost_nanousd}",
+                escape_json(model)
+            ));
+        }
+        Event::Message { text } => {
+            line.push_str(&format!(",\"text\":\"{}\"", escape_json(text)));
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// A [`TraceSink`] that writes one JSON object per record to any
+/// [`Write`] target.
+pub struct JsonlTraceSink<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlTraceSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        JsonlTraceSink { out, error: None }
+    }
+
+    /// The wrapped writer (e.g. to inspect an in-memory buffer in tests).
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+
+    /// Unwrap, discarding any stored error.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl JsonlTraceSink<BufWriter<std::fs::File>> {
+    /// A sink writing to a (created/truncated) file, buffered.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTraceSink::new(BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTraceSink<W> {
+    fn record(&mut self, record: &Record<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = render_line(record);
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Counter, Stage};
+
+    fn record(event: &Event) -> String {
+        render_line(&Record {
+            seq: 7,
+            t_ns: 1234,
+            dur_ns: None,
+            event,
+        })
+    }
+
+    #[test]
+    fn header_fields_come_first_in_stable_order() {
+        let line = record(&Event::Message { text: "hi".into() });
+        assert_eq!(
+            line,
+            "{\"v\":1,\"seq\":7,\"t_ns\":1234,\"kind\":\"message\",\"text\":\"hi\"}"
+        );
+    }
+
+    #[test]
+    fn span_end_carries_duration() {
+        let line = render_line(&Record {
+            seq: 2,
+            t_ns: 500,
+            dur_ns: Some(400),
+            event: &Event::StageEnd {
+                iter: 1,
+                stage: Stage::Generate,
+            },
+        });
+        assert_eq!(
+            line,
+            "{\"v\":1,\"seq\":2,\"t_ns\":500,\"kind\":\"stage_end\",\"dur_ns\":400,\"iter\":1,\"stage\":\"generate\"}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = record(&Event::Message {
+            text: "a\"b\\c\nd\u{1}".into(),
+        });
+        assert!(line.contains("a\\\"b\\\\c\\nd\\u0001"));
+    }
+
+    #[test]
+    fn usage_renders_exact_integers() {
+        let line = record(&Event::Usage {
+            model: "gpt-4-0613".into(),
+            prompt_tokens: 10,
+            completion_tokens: 3,
+            cost_nanousd: 480_000_u128,
+        });
+        assert!(line.ends_with(
+            "\"model\":\"gpt-4-0613\",\"prompt_tokens\":10,\"completion_tokens\":3,\"cost_nanousd\":480000}"
+        ));
+    }
+
+    #[test]
+    fn write_errors_are_stored_not_panicked() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("boom"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlTraceSink::new(Broken);
+        sink.record(&Record {
+            seq: 0,
+            t_ns: 0,
+            dur_ns: None,
+            event: &Event::Counter {
+                counter: Counter::Retry,
+                delta: 1,
+            },
+        });
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_record() {
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        for seq in 0..3u64 {
+            sink.record(&Record {
+                seq,
+                t_ns: seq * 10,
+                dur_ns: None,
+                event: &Event::Counter {
+                    counter: Counter::CacheMiss,
+                    delta: 1,
+                },
+            });
+        }
+        assert!(sink.finish().is_ok());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with("{\"v\":1,")));
+    }
+}

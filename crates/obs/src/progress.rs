@@ -1,0 +1,133 @@
+//! Human-readable progress lines on stderr.
+//!
+//! This observer replaces the ad-hoc `eprintln!` calls that used to live in
+//! the CLI and examples: producers emit the same typed events whether a
+//! human is watching or a trace is being written, and *this* sink decides
+//! what a human wants to see. Write failures on stderr are ignored — losing
+//! a progress line must never disturb the run.
+
+use crate::cost::format_usd;
+use crate::event::Event;
+use crate::RunObserver;
+use std::io::Write;
+
+/// Renders selected events as progress lines on stderr.
+///
+/// Quiet by default about per-stage detail; per-iteration lines can be
+/// enabled with [`verbose`](Self::verbose).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrProgressSink {
+    verbose: bool,
+}
+
+impl StderrProgressSink {
+    /// A sink printing run begin/end, messages, and usage totals.
+    pub fn new() -> Self {
+        StderrProgressSink::default()
+    }
+
+    /// Also print one line per finished iteration.
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    fn line(&self, text: &str) {
+        // Losing a progress line is acceptable; disturbing the run is not.
+        // ds-lint: allow(discarded-result): stderr progress is best-effort
+        let _ = writeln!(std::io::stderr(), "{text}");
+    }
+}
+
+impl RunObserver for StderrProgressSink {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::RunBegin {
+                label,
+                dataset,
+                model,
+                queries,
+                seed,
+            } => {
+                self.line(&format!(
+                    "[{label}] dataset={dataset} model={model} queries={queries} seed={seed}"
+                ));
+            }
+            Event::RunEnd {
+                iterations,
+                failed,
+                lfs,
+            } => {
+                self.line(&format!(
+                    "[done] iterations={iterations} failed={failed} lfs={lfs}"
+                ));
+            }
+            Event::IterationEnd {
+                iter,
+                accepted,
+                rejected,
+                failed,
+            } if self.verbose => {
+                let status = if *failed { " FAILED" } else { "" };
+                self.line(&format!(
+                    "  iter {iter}: +{accepted} lf, -{rejected} rejected{status}"
+                ));
+            }
+            Event::Usage {
+                model,
+                prompt_tokens,
+                completion_tokens,
+                cost_nanousd,
+            } if self.verbose => {
+                self.line(&format!(
+                    "  usage {model}: {prompt_tokens}+{completion_tokens} tok, {}",
+                    format_usd(*cost_nanousd)
+                ));
+            }
+            Event::Message { text } => self.line(text),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accepts_every_event_kind_without_panicking() {
+        let mut sink = StderrProgressSink::new().verbose(true);
+        // Progress output goes to stderr (not captured for assertion); the
+        // contract under test is only that no event kind panics.
+        for event in [
+            Event::RunBegin {
+                label: "run".into(),
+                dataset: "youtube".into(),
+                model: "sim".into(),
+                queries: 1,
+                seed: 0,
+            },
+            Event::IterationEnd {
+                iter: 0,
+                accepted: 1,
+                rejected: 0,
+                failed: false,
+            },
+            Event::Usage {
+                model: "sim".into(),
+                prompt_tokens: 1,
+                completion_tokens: 1,
+                cost_nanousd: 1,
+            },
+            Event::Message { text: "hi".into() },
+            Event::RunEnd {
+                iterations: 1,
+                failed: 0,
+                lfs: 1,
+            },
+        ] {
+            sink.on_event(&event);
+        }
+        assert!(sink.finish().is_ok());
+    }
+}

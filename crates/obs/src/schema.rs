@@ -1,0 +1,572 @@
+//! Trace validation: checks that a JSONL trace conforms to schema v1.
+//!
+//! Used by the `datasculpt trace-check` subcommand and by `scripts/check.sh`
+//! to prove that every emitted trace line-parses, carries only known event
+//! kinds/stages/counters with their required fields, keeps `seq`/`t_ns`
+//! monotone, and nests spans strictly (every end event closes the innermost
+//! open span; nothing left open at EOF).
+//!
+//! The parser here is deliberately tiny: traces are flat JSON objects whose
+//! values are strings, unsigned integers, or booleans — exactly what
+//! [`crate::jsonl::render_line`] emits — so a full JSON implementation
+//! (and the external dependency it would drag in) is unnecessary.
+
+use crate::event::{Counter, Event, Stage};
+use crate::TRACE_SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value in a trace line: the flat subset of JSON the writer emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// A string literal.
+    Str(String),
+    /// An unsigned integer (covers `cost_nanousd` up to u128).
+    UInt(u128),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Str(_) => "string",
+            JsonValue::UInt(_) => "integer",
+            JsonValue::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// A validation failure, with the 1-based line it occurred on (0 = EOF).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// 1-based trace line, or 0 for end-of-trace errors.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace: {}", self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(line: usize, message: impl Into<String>) -> ValidateError {
+    ValidateError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse one flat JSON object, preserving key order.
+///
+/// Accepts exactly the subset [`crate::jsonl::render_line`] emits: string,
+/// unsigned-integer, and boolean values; no nesting, no floats, no null.
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = line.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("invalid codepoint \\u{hex}"))?,
+                            );
+                            *pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 character, not one byte.
+                    let rest = &line[*pos..];
+                    let ch = rest.chars().next().ok_or("invalid utf-8 position")?;
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err("expected '{'".into());
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(bytes, &mut pos);
+            let key = parse_string(line, bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if bytes.get(pos) != Some(&b':') {
+                return Err(format!("expected ':' after key '{key}'"));
+            }
+            pos += 1;
+            skip_ws(bytes, &mut pos);
+            let value = match bytes.get(pos) {
+                Some(b'"') => JsonValue::Str(parse_string(line, bytes, &mut pos)?),
+                Some(b't') if line[pos..].starts_with("true") => {
+                    pos += 4;
+                    JsonValue::Bool(true)
+                }
+                Some(b'f') if line[pos..].starts_with("false") => {
+                    pos += 5;
+                    JsonValue::Bool(false)
+                }
+                Some(c) if c.is_ascii_digit() => {
+                    let start = pos;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                    let n: u128 = line[start..pos]
+                        .parse()
+                        .map_err(|_| format!("integer out of range at byte {start}"))?;
+                    JsonValue::UInt(n)
+                }
+                other => {
+                    return Err(format!(
+                        "unsupported value {other:?} for key '{key}' (flat traces only)"
+                    ))
+                }
+            };
+            fields.push((key, value));
+            skip_ws(bytes, &mut pos);
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content after object at byte {pos}"));
+    }
+    Ok(fields)
+}
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total lines (= events).
+    pub events: u64,
+    /// Events per kind.
+    pub kinds: BTreeMap<String, u64>,
+    /// Distinct stages that completed at least one span.
+    pub stages: Vec<String>,
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Iterations completed.
+    pub iterations: u64,
+    /// Total cost across usage events, exact nano-USD.
+    pub cost_nanousd: u128,
+}
+
+/// Required non-header fields per kind, with expected types.
+fn required_fields(kind: &str) -> &'static [(&'static str, &'static str)] {
+    match kind {
+        "run_begin" => &[
+            ("label", "string"),
+            ("dataset", "string"),
+            ("model", "string"),
+            ("queries", "integer"),
+            ("seed", "integer"),
+        ],
+        "run_end" => &[
+            ("iterations", "integer"),
+            ("failed", "integer"),
+            ("lfs", "integer"),
+        ],
+        "iter_begin" => &[("iter", "integer"), ("instance", "integer")],
+        "iter_end" => &[
+            ("iter", "integer"),
+            ("accepted", "integer"),
+            ("rejected", "integer"),
+            ("failed", "boolean"),
+        ],
+        "stage_begin" | "stage_end" => &[("iter", "integer"), ("stage", "string")],
+        "counter" => &[("counter", "string"), ("delta", "integer")],
+        "usage" => &[
+            ("model", "string"),
+            ("prompt_tokens", "integer"),
+            ("completion_tokens", "integer"),
+            ("cost_nanousd", "integer"),
+        ],
+        "message" => &[("text", "string")],
+        _ => &[],
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum OpenSpan {
+    Run,
+    Iteration(u128),
+    Stage(u128, String),
+}
+
+impl fmt::Display for OpenSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenSpan::Run => write!(f, "run"),
+            OpenSpan::Iteration(i) => write!(f, "iteration {i}"),
+            OpenSpan::Stage(i, s) => write!(f, "stage {s} (iter {i})"),
+        }
+    }
+}
+
+struct LineView<'a> {
+    no: usize,
+    fields: &'a [(String, JsonValue)],
+}
+
+impl LineView<'_> {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn uint(&self, key: &str) -> Result<u128, ValidateError> {
+        match self.get(key) {
+            Some(JsonValue::UInt(n)) => Ok(*n),
+            _ => Err(err(self.no, format!("missing integer field '{key}'"))),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ValidateError> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s),
+            _ => Err(err(self.no, format!("missing string field '{key}'"))),
+        }
+    }
+}
+
+/// Validate a whole trace (the concatenated JSONL text).
+///
+/// Checks, per line: it parses as a flat JSON object; the header fields
+/// `v`, `seq`, `t_ns`, `kind` lead in that order; `v` matches
+/// [`TRACE_SCHEMA_VERSION`]; `seq` increments from 0; `t_ns` never
+/// decreases; the kind, any stage, and any counter name are known; every
+/// required field is present with the right type; `dur_ns` appears on end
+/// kinds and only there. Across lines: every end event closes the
+/// *innermost* open span (strict nesting) and no span is left open at EOF.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, ValidateError> {
+    let mut summary = TraceSummary::default();
+    let mut stack: Vec<OpenSpan> = Vec::new();
+    let mut last_t_ns: u128 = 0;
+    let mut stages_seen: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let no = idx + 1;
+        if raw.trim().is_empty() {
+            return Err(err(no, "blank line in trace"));
+        }
+        let fields = parse_object(raw).map_err(|e| err(no, e))?;
+        let line = LineView {
+            no,
+            fields: &fields,
+        };
+
+        // Header: v, seq, t_ns, kind — present, typed, and leading in order.
+        let header: Vec<&str> = fields.iter().take(4).map(|(k, _)| k.as_str()).collect();
+        if header != ["v", "seq", "t_ns", "kind"] {
+            return Err(err(
+                no,
+                format!("header must start with v,seq,t_ns,kind (got {header:?})"),
+            ));
+        }
+        let v = line.uint("v")?;
+        if v != u128::from(TRACE_SCHEMA_VERSION) {
+            return Err(err(no, format!("unsupported schema version {v}")));
+        }
+        let seq = line.uint("seq")?;
+        let expected = idx as u128;
+        if seq != expected {
+            return Err(err(no, format!("seq {seq}, expected {expected}")));
+        }
+        let t_ns = line.uint("t_ns")?;
+        if t_ns < last_t_ns {
+            return Err(err(
+                no,
+                format!("t_ns went backwards ({t_ns} after {last_t_ns})"),
+            ));
+        }
+        last_t_ns = t_ns;
+
+        let kind = line.str("kind")?.to_string();
+        if !Event::KINDS.contains(&kind.as_str()) {
+            return Err(err(no, format!("unknown event kind '{kind}'")));
+        }
+
+        // dur_ns on end kinds, and only there.
+        let is_end = matches!(kind.as_str(), "run_end" | "iter_end" | "stage_end");
+        match (is_end, line.get("dur_ns")) {
+            (true, Some(JsonValue::UInt(_))) | (false, None) => {}
+            (true, _) => return Err(err(no, format!("'{kind}' requires integer dur_ns"))),
+            (false, Some(_)) => return Err(err(no, format!("'{kind}' must not carry dur_ns"))),
+        }
+
+        for (field, ty) in required_fields(&kind) {
+            match line.get(field) {
+                Some(v) if v.type_name() == *ty => {}
+                Some(v) => {
+                    return Err(err(
+                        no,
+                        format!("field '{field}' must be {ty}, got {}", v.type_name()),
+                    ))
+                }
+                None => return Err(err(no, format!("'{kind}' missing field '{field}'"))),
+            }
+        }
+
+        // Domain checks + span nesting.
+        match kind.as_str() {
+            "run_begin" => stack.push(OpenSpan::Run),
+            "iter_begin" => stack.push(OpenSpan::Iteration(line.uint("iter")?)),
+            "stage_begin" | "stage_end" => {
+                let stage = line.str("stage")?;
+                if Stage::parse(stage).is_none() {
+                    return Err(err(no, format!("unknown stage '{stage}'")));
+                }
+                let iter = line.uint("iter")?;
+                if kind == "stage_begin" {
+                    stack.push(OpenSpan::Stage(iter, stage.to_string()));
+                } else {
+                    let expected = OpenSpan::Stage(iter, stage.to_string());
+                    match stack.pop() {
+                        Some(top) if top == expected => {}
+                        Some(top) => {
+                            return Err(err(
+                                no,
+                                format!("stage_end for {expected} while {top} is innermost"),
+                            ))
+                        }
+                        None => {
+                            return Err(err(
+                                no,
+                                format!("stage_end for {expected} with no open span"),
+                            ))
+                        }
+                    }
+                    if !stages_seen.iter().any(|s| s == stage) {
+                        stages_seen.push(stage.to_string());
+                    }
+                }
+            }
+            "iter_end" => {
+                let expected = OpenSpan::Iteration(line.uint("iter")?);
+                match stack.pop() {
+                    Some(top) if top == expected => {}
+                    Some(top) => {
+                        return Err(err(
+                            no,
+                            format!("iter_end for {expected} while {top} is innermost"),
+                        ))
+                    }
+                    None => return Err(err(no, "iter_end with no open span".to_string())),
+                }
+                summary.iterations += 1;
+            }
+            "run_end" => match stack.pop() {
+                Some(OpenSpan::Run) => {}
+                Some(top) => return Err(err(no, format!("run_end while {top} is innermost"))),
+                None => return Err(err(no, "run_end with no open span".to_string())),
+            },
+            "counter" => {
+                let counter = line.str("counter")?;
+                if Counter::parse(counter).is_none() {
+                    return Err(err(no, format!("unknown counter '{counter}'")));
+                }
+                let delta = line.uint("delta")?;
+                *summary.counters.entry(counter.to_string()).or_default() +=
+                    u64::try_from(delta).map_err(|_| err(no, "delta out of range"))?;
+            }
+            "usage" => {
+                summary.cost_nanousd += line.uint("cost_nanousd")?;
+            }
+            _ => {}
+        }
+
+        *summary.kinds.entry(kind).or_default() += 1;
+        summary.events += 1;
+    }
+
+    if let Some(top) = stack.last() {
+        return Err(err(0, format!("unclosed span at end of trace: {top}")));
+    }
+    summary.stages = stages_seen;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"v\":1,\"seq\":0,\"t_ns\":0,\"kind\":\"run_begin\",\"label\":\"run\",\"dataset\":\"youtube\",\"model\":\"sim\",\"queries\":1,\"seed\":7}\n",
+        "{\"v\":1,\"seq\":1,\"t_ns\":10,\"kind\":\"stage_begin\",\"iter\":0,\"stage\":\"select\"}\n",
+        "{\"v\":1,\"seq\":2,\"t_ns\":20,\"kind\":\"stage_end\",\"dur_ns\":10,\"iter\":0,\"stage\":\"select\"}\n",
+        "{\"v\":1,\"seq\":3,\"t_ns\":30,\"kind\":\"iter_begin\",\"iter\":0,\"instance\":42}\n",
+        "{\"v\":1,\"seq\":4,\"t_ns\":40,\"kind\":\"stage_begin\",\"iter\":0,\"stage\":\"generate\"}\n",
+        "{\"v\":1,\"seq\":5,\"t_ns\":50,\"kind\":\"counter\",\"counter\":\"cache_miss\",\"delta\":1}\n",
+        "{\"v\":1,\"seq\":6,\"t_ns\":60,\"kind\":\"usage\",\"model\":\"sim\",\"prompt_tokens\":10,\"completion_tokens\":2,\"cost_nanousd\":190000}\n",
+        "{\"v\":1,\"seq\":7,\"t_ns\":70,\"kind\":\"stage_end\",\"dur_ns\":30,\"iter\":0,\"stage\":\"generate\"}\n",
+        "{\"v\":1,\"seq\":8,\"t_ns\":80,\"kind\":\"iter_end\",\"dur_ns\":50,\"iter\":0,\"accepted\":1,\"rejected\":0,\"failed\":false}\n",
+        "{\"v\":1,\"seq\":9,\"t_ns\":90,\"kind\":\"run_end\",\"dur_ns\":90,\"iterations\":1,\"failed\":0,\"lfs\":1}\n",
+    );
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let summary = validate_trace(GOOD).unwrap();
+        assert_eq!(summary.events, 10);
+        assert_eq!(summary.iterations, 1);
+        assert_eq!(summary.kinds["stage_begin"], 2);
+        assert_eq!(summary.counters["cache_miss"], 1);
+        assert_eq!(summary.cost_nanousd, 190_000);
+        assert_eq!(summary.stages, vec!["select", "generate"]);
+    }
+
+    #[test]
+    fn select_before_iteration_is_valid_nesting() {
+        // The pipeline opens/closes the select span before iter_begin (the
+        // instance is unknown until selection returns); the validator must
+        // accept that shape — GOOD encodes it.
+        assert!(validate_trace(GOOD).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_seq() {
+        let bad = GOOD.replace("\"seq\":3", "\"seq\":9");
+        let e = validate_trace(&bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("seq"));
+    }
+
+    #[test]
+    fn rejects_time_going_backwards() {
+        let bad = GOOD.replace("\"t_ns\":90", "\"t_ns\":5");
+        assert!(validate_trace(&bad)
+            .unwrap_err()
+            .message
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn rejects_unknown_kind_stage_and_counter() {
+        let bad = GOOD.replace("\"kind\":\"counter\"", "\"kind\":\"telemetry\"");
+        assert!(validate_trace(&bad).unwrap_err().message.contains("kind"));
+        let bad = GOOD.replace("\"stage\":\"select\"", "\"stage\":\"warmup\"");
+        assert!(validate_trace(&bad).unwrap_err().message.contains("stage"));
+        let bad = GOOD.replace("\"counter\":\"cache_miss\"", "\"counter\":\"frobs\"");
+        assert!(validate_trace(&bad)
+            .unwrap_err()
+            .message
+            .contains("counter"));
+    }
+
+    #[test]
+    fn rejects_broken_nesting_and_unclosed_spans() {
+        // Close the run while the select stage is still open.
+        let broken = concat!(
+            "{\"v\":1,\"seq\":0,\"t_ns\":0,\"kind\":\"run_begin\",\"label\":\"r\",\"dataset\":\"d\",\"model\":\"m\",\"queries\":1,\"seed\":0}\n",
+            "{\"v\":1,\"seq\":1,\"t_ns\":10,\"kind\":\"stage_begin\",\"iter\":0,\"stage\":\"select\"}\n",
+            "{\"v\":1,\"seq\":2,\"t_ns\":20,\"kind\":\"run_end\",\"dur_ns\":20,\"iterations\":0,\"failed\":0,\"lfs\":0}\n",
+        );
+        let e = validate_trace(broken).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("innermost"), "{}", e.message);
+
+        let lines: Vec<&str> = GOOD.lines().collect();
+        let unclosed = [lines[0], lines[1]].join("\n");
+        let e = validate_trace(&unclosed).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("unclosed"));
+    }
+
+    #[test]
+    fn rejects_missing_required_field_and_wrong_type() {
+        let bad = GOOD.replace(",\"instance\":42", "");
+        assert!(validate_trace(&bad)
+            .unwrap_err()
+            .message
+            .contains("instance"));
+        let bad = GOOD.replace("\"failed\":false", "\"failed\":0");
+        assert!(validate_trace(&bad)
+            .unwrap_err()
+            .message
+            .contains("boolean"));
+    }
+
+    #[test]
+    fn rejects_dur_ns_misuse() {
+        let bad = GOOD.replace(",\"dur_ns\":90", "");
+        assert!(validate_trace(&bad).unwrap_err().message.contains("dur_ns"));
+        let bad = GOOD.replace(
+            "\"kind\":\"iter_begin\",",
+            "\"kind\":\"iter_begin\",\"dur_ns\":1,",
+        );
+        assert!(validate_trace(&bad)
+            .unwrap_err()
+            .message
+            .contains("must not carry dur_ns"));
+    }
+
+    #[test]
+    fn parser_round_trips_escapes() {
+        let fields =
+            parse_object("{\"text\":\"a\\\"b\\\\c\\nd\\u0041\",\"n\":12,\"ok\":true}").unwrap();
+        assert_eq!(fields[0].1, JsonValue::Str("a\"b\\c\ndA".into()));
+        assert_eq!(fields[1].1, JsonValue::UInt(12));
+        assert_eq!(fields[2].1, JsonValue::Bool(true));
+    }
+
+    #[test]
+    fn parser_rejects_nested_and_trailing_content() {
+        assert!(parse_object("{\"a\":{}}").is_err());
+        assert!(parse_object("{\"a\":1} extra").is_err());
+        assert!(parse_object("{\"a\":-1}").is_err());
+    }
+}

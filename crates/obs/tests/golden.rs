@@ -1,0 +1,120 @@
+//! Golden-file test pinning the JSONL trace wire format (schema v1).
+//!
+//! If this test fails because the encoding changed on purpose, bump
+//! `TRACE_SCHEMA_VERSION`, regenerate the golden file from the printed
+//! actual output, and update `docs/trace-schema.md`.
+
+#![allow(clippy::unwrap_used)]
+
+use datasculpt_obs::{
+    schema, Counter, Event, JsonlTraceSink, ManualClock, RunObserver, Stage, Tracer,
+};
+
+const GOLDEN: &str = include_str!("golden/trace_v1.jsonl");
+
+/// One event of every kind, in a validly-nested order (note the select
+/// stage span completing *before* `iter_begin` — the pipeline's shape).
+fn golden_events() -> Vec<Event> {
+    vec![
+        Event::RunBegin {
+            label: "golden".into(),
+            dataset: "youtube".into(),
+            model: "sim-gpt".into(),
+            queries: 2,
+            seed: 7,
+        },
+        Event::StageBegin {
+            iter: 0,
+            stage: Stage::Select,
+        },
+        Event::StageEnd {
+            iter: 0,
+            stage: Stage::Select,
+        },
+        Event::IterationBegin {
+            iter: 0,
+            instance: 42,
+        },
+        Event::StageBegin {
+            iter: 0,
+            stage: Stage::Generate,
+        },
+        Event::Counter {
+            counter: Counter::CacheMiss,
+            delta: 1,
+        },
+        Event::Usage {
+            model: "sim-gpt".into(),
+            prompt_tokens: 120,
+            completion_tokens: 16,
+            cost_nanousd: 204_000,
+        },
+        Event::Message {
+            text: "hello \"trace\"".into(),
+        },
+        Event::StageEnd {
+            iter: 0,
+            stage: Stage::Generate,
+        },
+        Event::IterationEnd {
+            iter: 0,
+            accepted: 1,
+            rejected: 0,
+            failed: false,
+        },
+        Event::RunEnd {
+            iterations: 1,
+            failed: 0,
+            lfs: 1,
+        },
+    ]
+}
+
+/// A writer whose buffer stays readable after the sink is boxed into the
+/// tracer.
+#[derive(Clone, Default)]
+struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn render_golden_trace() -> String {
+    let buf = SharedBuf::default();
+    let mut tracer = Tracer::new(Box::new(ManualClock::new(100)))
+        .with_sink(Box::new(JsonlTraceSink::new(buf.clone())));
+    for event in golden_events() {
+        tracer.on_event(&event);
+    }
+    tracer.finish().unwrap();
+    let bytes = buf.0.borrow().clone();
+    String::from_utf8(bytes).unwrap()
+}
+
+#[test]
+fn trace_encoding_matches_golden_file() {
+    let actual = render_golden_trace();
+    assert_eq!(
+        actual, GOLDEN,
+        "trace encoding drifted from tests/golden/trace_v1.jsonl;\nactual:\n{actual}"
+    );
+}
+
+#[test]
+fn golden_trace_passes_the_validator() {
+    let summary = schema::validate_trace(GOLDEN).unwrap();
+    assert_eq!(summary.events, 11);
+    assert_eq!(summary.iterations, 1);
+    assert_eq!(summary.cost_nanousd, 204_000);
+    assert_eq!(summary.stages, vec!["select", "generate"]);
+    // Every event kind appears exactly once — except stage spans, twice.
+    for kind in Event::KINDS {
+        assert!(summary.kinds.contains_key(kind), "kind {kind} missing");
+    }
+}

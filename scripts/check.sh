@@ -16,4 +16,12 @@ cargo run -q -p datasculpt-xtask -- lint
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> trace smoke test (emit a JSONL trace, validate it against the schema)"
+trace_file="$(mktemp /tmp/ds-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run -q -p datasculpt --bin datasculpt -- \
+  run youtube --scale 0.05 --queries 5 --revise --cache 256 \
+  --trace "$trace_file" --metrics > /dev/null
+cargo run -q -p datasculpt --bin datasculpt -- trace-check "$trace_file"
+
 echo "==> all checks passed"

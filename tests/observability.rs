@@ -1,0 +1,113 @@
+//! End-to-end observability contract: attaching the full observer stack
+//! (tracer + JSONL sink + metrics, on a deterministic clock) must leave a
+//! run digest-identical to an unobserved same-seed run, and the emitted
+//! trace must pass the schema validator with every pipeline stage, cache
+//! counter, and usage event present.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt::prelude::*;
+
+fn config() -> DataSculptConfig {
+    let mut config = DataSculptConfig::base(7);
+    config.num_queries = 6;
+    config.revise_rejected = true;
+    config
+}
+
+fn dataset() -> TextDataset {
+    DatasetName::Youtube.load_scaled(7, 0.05)
+}
+
+fn model_stack(d: &TextDataset) -> CachedModel<SimulatedLlm> {
+    CachedModel::new(SimulatedLlm::new(
+        ModelId::Gpt35Turbo,
+        d.generative.clone(),
+        7,
+    ))
+}
+
+#[test]
+fn observed_run_is_digest_identical_and_trace_validates() {
+    let d = dataset();
+
+    // Reference: same seed, same model stack, no observer attached.
+    let mut llm = model_stack(&d);
+    let unobserved = DataSculpt::new(&d, config()).run(&mut llm).unwrap();
+
+    // Observed: JSONL file sink + metrics recorder on a manual clock,
+    // shared between the pipeline and the cache middleware.
+    let path = std::env::temp_dir().join("ds_observability_trace.jsonl");
+    let metrics = MetricsRecorder::new();
+    let mut tracer = Tracer::new(Box::new(ManualClock::new(100)));
+    tracer.add_sink(Box::new(JsonlTraceSink::to_file(&path).unwrap()));
+    tracer.add_sink(Box::new(metrics.clone()));
+    let shared = SharedObserver::new(tracer);
+    let mut llm = model_stack(&d).with_observer(shared.clone());
+    let mut obs = shared.clone();
+    let observed = DataSculpt::new(&d, config())
+        .run_observed(&mut llm, &mut obs)
+        .unwrap();
+    obs.finish().unwrap();
+
+    // Observation never perturbs the run.
+    assert_eq!(observed.digest(), unobserved.digest());
+    assert_eq!(
+        observed.ledger.total_cost_nanousd(),
+        unobserved.ledger.total_cost_nanousd()
+    );
+
+    // The trace validates and covers the whole pipeline.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let summary = datasculpt::obs::schema::validate_trace(&text).unwrap();
+    assert_eq!(summary.iterations, 6);
+    for stage in ["select", "prompt", "generate", "integrate", "revise"] {
+        assert!(
+            summary.stages.iter().any(|s| s == stage),
+            "stage {stage} missing from {:?}",
+            summary.stages
+        );
+    }
+    assert!(summary.kinds["usage"] > 0, "usage events missing");
+    assert!(
+        summary.counters.contains_key("cache_miss"),
+        "cache counters missing: {:?}",
+        summary.counters
+    );
+    assert!(summary.counters["lf_accepted"] > 0);
+
+    // The metrics aggregate mirrors the run's exact ledger.
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.total_cost_nanousd(),
+        observed.ledger.total_cost_nanousd()
+    );
+    assert_eq!(summary.cost_nanousd, observed.ledger.total_cost_nanousd());
+    assert_eq!(snap.iterations, 6);
+}
+
+#[test]
+fn cache_hits_reach_the_trace_and_match_cache_stats() {
+    let d = dataset();
+    let metrics = MetricsRecorder::new();
+    let mut tracer = Tracer::new(Box::new(ManualClock::new(1)));
+    tracer.add_sink(Box::new(metrics.clone()));
+    let shared = SharedObserver::new(tracer);
+    let mut llm = model_stack(&d).with_observer(shared.clone());
+    let mut obs = shared.clone();
+
+    // Re-issuing the identical request set forces cache hits.
+    let request = ChatRequest::new(vec![]).with_temperature(0.0);
+    for _ in 0..3 {
+        llm.complete(&request).unwrap();
+    }
+    drop(obs.finish());
+
+    let stats: CacheStats = llm.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 2);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["cache_miss"], stats.misses);
+    assert_eq!(snap.counters["cache_hit"], stats.hits);
+}
