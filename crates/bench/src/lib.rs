@@ -22,6 +22,8 @@
 //! * `DS_SCALE` — dataset scale factor (default `1.0` = Table 1 sizes).
 //! * `DS_SEEDS` — number of repeated runs to average (default `5`, §4.1).
 //! * `DS_DATASETS` — comma-separated subset, e.g. `youtube,sms`.
+//! * `DS_THREADS` — worker threads for the drivers (default: all cores).
+//!   Results are identical at every thread count; only wall-clock changes.
 //! * `DS_TRACE` — write a JSONL trace of the driver run to this path
 //!   (schema: `docs/trace-schema.md`; validate with `datasculpt
 //!   trace-check`).
@@ -96,10 +98,12 @@ pub struct HarnessConfig {
     pub seeds: u64,
     /// Datasets to run.
     pub datasets: Vec<DatasetName>,
+    /// Worker threads for the drivers (`DS_THREADS`, default all cores).
+    pub threads: usize,
 }
 
 impl HarnessConfig {
-    /// Read `DS_SCALE`, `DS_SEEDS`, `DS_DATASETS`.
+    /// Read `DS_SCALE`, `DS_SEEDS`, `DS_DATASETS`, `DS_THREADS`.
     pub fn from_env() -> Self {
         let scale = std::env::var("DS_SCALE")
             .ok()
@@ -119,11 +123,21 @@ impl HarnessConfig {
             })
             .filter(|v: &Vec<_>| !v.is_empty())
             .unwrap_or_else(|| DatasetName::ALL.to_vec());
+        let threads = std::env::var("DS_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| Pool::auto().threads());
         Self {
             scale,
             seeds,
             datasets,
+            threads,
         }
+    }
+
+    /// The worker pool the drivers fan out on.
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.threads)
     }
 
     /// Load a dataset at the configured scale.
@@ -203,38 +217,32 @@ pub fn run_datasculpt(
     outcome_from_eval(&eval, Some(&run.ledger))
 }
 
-/// Run `f` for each seed in parallel threads and average.
+/// Run `f` for each seed on the exec pool and average in seed order.
 pub fn run_seeds<F>(seeds: u64, f: F) -> Outcome
 where
     F: Fn(u64) -> Outcome + Sync,
 {
-    let f = &f;
-    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..seeds).map(|s| scope.spawn(move || f(s))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed run"))
-            .collect()
-    });
+    let outcomes = Pool::auto()
+        .try_run(seeds as usize, |s| f(s as u64))
+        .unwrap_or_else(|e| panic!("seed run: {e}"));
     average(&outcomes)
 }
 
-/// Run a ledger-producing `f` for each seed in parallel threads and merge
-/// the exact per-model ledgers (integer nano-USD all the way; floats only
-/// at display).
+/// Run a ledger-producing `f` for each seed on the exec pool and merge
+/// the exact per-model ledgers in seed order (integer nano-USD all the
+/// way; floats only at display).
 pub fn run_seeds_ledger<F>(seeds: u64, f: F) -> UsageLedger
 where
     F: Fn(u64) -> UsageLedger + Sync,
 {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..seeds).map(|s| scope.spawn(move || f(s))).collect();
-        let mut total = UsageLedger::new();
-        for h in handles {
-            total.merge(&h.join().expect("seed run"));
-        }
-        total
-    })
+    let ledgers = Pool::auto()
+        .try_run(seeds as usize, |s| f(s as u64))
+        .unwrap_or_else(|e| panic!("seed run: {e}"));
+    let mut total = UsageLedger::new();
+    for l in &ledgers {
+        total.merge(l);
+    }
+    total
 }
 
 /// Self-observation for a bench driver: one `bench` stage span per dataset
@@ -600,23 +608,58 @@ pub fn run_matrix(
     methods: Vec<MethodSpec<'_>>,
     cfg: &HarnessConfig,
 ) -> Grid {
-    let mut results: Vec<Vec<Outcome>> = vec![Vec::new(); methods.len()];
+    let pool = cfg.pool();
+    let t0 = std::time::Instant::now();
+    // Datasets are loaded up-front so the parallel region below is pure
+    // compute over shared immutable state.
+    let datasets: Vec<TextDataset> = cfg.datasets.iter().map(|&n| cfg.load(n, 0)).collect();
+    // Flatten every (dataset, method, seed) run into one task list: whole
+    // grid cells fan out, not just the seeds within a cell.
+    let mut tasks: Vec<(usize, usize, u64)> = Vec::new();
+    for di in 0..datasets.len() {
+        for (mi, m) in methods.iter().enumerate() {
+            let seeds = if m.seeded { cfg.seeds } else { 1 };
+            for s in 0..seeds {
+                tasks.push((di, mi, s));
+            }
+        }
+    }
+    let outcomes = pool
+        .try_map(&tasks, |_, &(di, mi, s)| {
+            (methods[mi].run)(&datasets[di], s)
+        })
+        .unwrap_or_else(|e| panic!("bench worker: {e}"));
+    // Regroup the flat outcomes: tasks were emitted in (dataset, method,
+    // seed) order and `try_map` preserves input order, so per-cell seed
+    // lists come back in seed order and the averages match a serial run.
+    let mut per_cell: Vec<Vec<Vec<Outcome>>> =
+        vec![vec![Vec::new(); methods.len()]; datasets.len()];
+    for (&(di, mi, _), o) in tasks.iter().zip(outcomes) {
+        per_cell[di][mi].push(o);
+    }
+    let results: Vec<Vec<Outcome>> = (0..methods.len())
+        .map(|mi| {
+            (0..datasets.len())
+                .map(|di| average(&per_cell[di][mi]))
+                .collect()
+        })
+        .collect();
+    // Trace replay happens after the parallel region, in dataset order —
+    // the documented merge order (docs/trace-schema.md). The event
+    // sequence (and so every seq number) is identical at every thread
+    // count, including serial.
     let mut trace = BenchTrace::begin(tag, "-", &cfg.datasets);
     for (di, &name) in cfg.datasets.iter().enumerate() {
-        let t0 = std::time::Instant::now();
         trace.cell_begin(di);
-        let dataset = cfg.load(name, 0);
-        for (mi, m) in methods.iter().enumerate() {
-            let outcome = if m.seeded {
-                run_seeds(cfg.seeds, |s| (m.run)(&dataset, s))
-            } else {
-                (m.run)(&dataset, 0)
-            };
-            results[mi].push(outcome);
-        }
         trace.cell_end(di);
-        eprintln!("[{tag}] {name} done in {:.1?}", t0.elapsed());
+        eprintln!("[{tag}] {name} done");
     }
+    eprintln!(
+        "[{tag}] {} runs done in {:.1?} on {} thread(s)",
+        tasks.len(),
+        t0.elapsed(),
+        pool.threads()
+    );
     let grid = Grid {
         methods: methods.into_iter().map(|m| m.label).collect(),
         datasets: cfg.datasets.clone(),
@@ -663,18 +706,41 @@ pub fn run_usage_figure(
     cfg: &HarnessConfig,
     model: ModelId,
 ) -> Vec<UsageLedger> {
+    let pool = cfg.pool();
+    let datasets: Vec<TextDataset> = cfg.datasets.iter().map(|&n| cfg.load(n, 0)).collect();
+    // Fan out every (dataset, method, seed) generation run, then merge
+    // each cell's ledgers in seed order (exact integer arithmetic, same
+    // totals as the serial loop).
+    let mut tasks: Vec<(usize, usize, u64)> = Vec::new();
+    for di in 0..datasets.len() {
+        for mi in 0..USAGE_METHODS.len() {
+            for s in 0..cfg.seeds {
+                tasks.push((di, mi, s));
+            }
+        }
+    }
+    let run_ledgers = pool
+        .try_map(&tasks, |_, &(di, mi, s)| {
+            generation_ledger(&datasets[di], USAGE_METHODS[mi], model, s)
+        })
+        .unwrap_or_else(|e| panic!("bench worker: {e}"));
+    let mut merged_cells: Vec<Vec<UsageLedger>> =
+        vec![vec![UsageLedger::new(); USAGE_METHODS.len()]; datasets.len()];
+    for (&(di, mi, _), l) in tasks.iter().zip(&run_ledgers) {
+        merged_cells[di][mi].merge(l);
+    }
+    // Post-parallel trace replay in dataset order (the documented merge
+    // order, docs/trace-schema.md): usage events sit inside their cell
+    // span exactly as in a serial run.
     let mut values: Vec<Vec<f64>> = vec![Vec::new(); USAGE_METHODS.len()];
     let mut ledgers: Vec<UsageLedger> = vec![UsageLedger::new(); USAGE_METHODS.len()];
     let mut trace = BenchTrace::begin(spec.tag, model.api_name(), &cfg.datasets);
     for (di, &name) in cfg.datasets.iter().enumerate() {
         trace.cell_begin(di);
-        let dataset = cfg.load(name, 0);
-        for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let merged =
-                run_seeds_ledger(cfg.seeds, |s| generation_ledger(&dataset, method, model, s));
-            trace.usage(&merged);
-            values[mi].push((spec.value)(&outcome_from_ledger(&merged, cfg.seeds)));
-            ledgers[mi].merge(&merged);
+        for (mi, merged) in merged_cells[di].iter().enumerate() {
+            trace.usage(merged);
+            values[mi].push((spec.value)(&outcome_from_ledger(merged, cfg.seeds)));
+            ledgers[mi].merge(merged);
         }
         trace.cell_end(di);
         eprintln!("[{}] {name} done", spec.tag);
@@ -740,18 +806,31 @@ pub fn run_scalar_matrix<S>(
     rows: &[String],
     datasets: &[DatasetName],
     cfg: &HarnessConfig,
-    setup: impl Fn(&TextDataset) -> S,
-    cell: impl Fn(&S, &TextDataset, usize) -> f64,
+    setup: impl Fn(&TextDataset) -> S + Sync,
+    cell: impl Fn(&S, &TextDataset, usize) -> f64 + Sync,
 ) -> Vec<Vec<f64>> {
+    let pool = cfg.pool();
+    let loaded: Vec<TextDataset> = datasets.iter().map(|&n| cfg.load(n, 0)).collect();
+    // One task per dataset: the shared per-dataset state never crosses a
+    // thread, so `S` needs no Send/Sync bound.
+    let columns = pool
+        .try_map(&loaded, |_, dataset| {
+            let state = setup(dataset);
+            (0..rows.len())
+                .map(|ri| cell(&state, dataset, ri))
+                .collect::<Vec<f64>>()
+        })
+        .unwrap_or_else(|e| panic!("bench worker: {e}"));
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+    for column in &columns {
+        for (ri, v) in column.iter().enumerate() {
+            results[ri].push(*v);
+        }
+    }
+    // Post-parallel trace replay in dataset order (docs/trace-schema.md).
     let mut trace = BenchTrace::begin(tag, "-", datasets);
     for (di, &name) in datasets.iter().enumerate() {
         trace.cell_begin(di);
-        let dataset = cfg.load(name, 0);
-        let state = setup(&dataset);
-        for (ri, row) in results.iter_mut().enumerate() {
-            row.push(cell(&state, &dataset, ri));
-        }
         trace.cell_end(di);
         eprintln!("[{tag}] {name} done");
     }
@@ -942,6 +1021,8 @@ mod tests {
         assert!(cfg.seeds >= 1);
         assert!(cfg.scale > 0.0);
         assert!(!cfg.datasets.is_empty());
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.pool().threads(), cfg.threads);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Tier-1 determinism contract of the parallel execution engine: a run is
+//! digest-identical and ledger-identical to the serial run at every thread
+//! count, and the bench grid driver emits the same schema-valid trace
+//! whether its cells ran serially or fanned out.
+//!
+//! Everything lives in ONE `#[test]` because the grid half mutates the
+//! `DS_TRACE` process environment; parallel test functions would race on
+//! it.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt::prelude::*;
+use datasculpt_bench::{run_datasculpt, run_matrix, HarnessConfig, MethodSpec};
+
+/// Bitwise equality for the f64 fields of two outcomes (averages must be
+/// exactly reproduced, not merely close).
+fn assert_outcome_bits(a: &datasculpt_bench::Outcome, b: &datasculpt_bench::Outcome, ctx: &str) {
+    assert_eq!(a.n_lfs.to_bits(), b.n_lfs.to_bits(), "n_lfs {ctx}");
+    assert_eq!(
+        a.lf_acc.map(f64::to_bits),
+        b.lf_acc.map(f64::to_bits),
+        "lf_acc {ctx}"
+    );
+    assert_eq!(a.lf_cov.to_bits(), b.lf_cov.to_bits(), "lf_cov {ctx}");
+    assert_eq!(
+        a.total_cov.to_bits(),
+        b.total_cov.to_bits(),
+        "total_cov {ctx}"
+    );
+    assert_eq!(
+        a.end_metric.to_bits(),
+        b.end_metric.to_bits(),
+        "end_metric {ctx}"
+    );
+    assert_eq!(
+        a.prompt_tokens.to_bits(),
+        b.prompt_tokens.to_bits(),
+        "prompt_tokens {ctx}"
+    );
+    assert_eq!(
+        a.completion_tokens.to_bits(),
+        b.completion_tokens.to_bits(),
+        "completion_tokens {ctx}"
+    );
+    assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits(), "cost_usd {ctx}");
+}
+
+#[test]
+fn parallel_runs_match_serial_at_every_thread_count() {
+    // --- One Table-2 cell (DataSculpt-Base on scaled Youtube), run with
+    // --- the full parallel stack at 1, 2, and 8 threads.
+    let dataset = DatasetName::Youtube.load_scaled(0, 0.3);
+    let mut baseline: Option<(u64, u64, TokenUsage, u128)> = None;
+    for threads in [1usize, 2, 8] {
+        let mut config = DataSculptConfig::base(7);
+        config.num_queries = 12;
+        config.threads = threads;
+        let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), 7)
+            .with_pool(Pool::new(threads));
+        let run = DataSculpt::new(&dataset, config)
+            .run(&mut llm)
+            .expect("the simulated model does not fail");
+        let eval = evaluate_lf_set(
+            &dataset,
+            &run.lf_set,
+            &EvalConfig {
+                threads,
+                ..EvalConfig::default()
+            },
+        );
+        assert!(eval.end_metric > 0.0);
+        let fingerprint = (
+            run.digest(),
+            run.ledger.calls(),
+            run.ledger.total_usage(),
+            run.ledger.total_cost_nanousd(),
+        );
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(first) => assert_eq!(
+                *first, fingerprint,
+                "run diverged from serial at {threads} threads"
+            ),
+        }
+    }
+
+    // --- The grid driver: the same cell through `run_matrix`, serial vs
+    // --- fanned out, with a JSONL trace. Results must be bit-identical
+    // --- and the trace must validate against the schema either way.
+    let trace_path = std::env::temp_dir().join("ds_parallel_det_trace.jsonl");
+    std::env::set_var("DS_TRACE", &trace_path);
+    let mut grids = Vec::new();
+    for threads in [1usize, 8] {
+        let cfg = HarnessConfig {
+            scale: 0.2,
+            seeds: 2,
+            datasets: vec![DatasetName::Youtube],
+            threads,
+        };
+        let methods = vec![MethodSpec::seeded("DataSculpt-Base", |d, s| {
+            let mut config = DataSculptConfig::base(s);
+            config.num_queries = 8;
+            run_datasculpt(d, config, ModelId::Gpt35Turbo, s)
+        })];
+        grids.push(run_matrix("parallel_det_test", "parallel", methods, &cfg));
+
+        let text = std::fs::read_to_string(&trace_path).expect("trace written");
+        let summary = datasculpt::obs::schema::validate_trace(&text)
+            .unwrap_or_else(|e| panic!("invalid trace at {threads} threads: {e}"));
+        assert_eq!(summary.stages, vec!["bench"]);
+        assert_eq!(
+            summary.kinds["stage_begin"], 1,
+            "one bench cell span per dataset"
+        );
+    }
+    std::env::remove_var("DS_TRACE");
+    assert_outcome_bits(
+        &grids[0].results[0][0],
+        &grids[1].results[0][0],
+        "grid cell serial vs 8 threads",
+    );
+
+    // The driver writes result artifacts relative to the test CWD; drop
+    // them so test runs leave no litter.
+    std::fs::remove_file("results/parallel_det_test.csv").ok();
+    std::fs::remove_file("results/parallel_det_test.metrics.json").ok();
+    std::fs::remove_dir("results").ok();
+    std::fs::remove_file(&trace_path).ok();
+}

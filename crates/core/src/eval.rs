@@ -81,6 +81,9 @@ pub struct EvalConfig {
     pub label_model_iters: usize,
     /// Seed for featurization and training.
     pub seed: u64,
+    /// Worker threads for the label-model E-step and prediction passes
+    /// (1 = serial). Results are bit-identical at every thread count.
+    pub threads: usize,
 }
 
 /// Which downstream classifier [`evaluate_matrix`] trains.
@@ -128,6 +131,7 @@ impl Default for EvalConfig {
             },
             label_model_iters: 50,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -189,7 +193,8 @@ pub fn evaluate_matrix(
             let mut lm = MetalModel::new()
                 .with_config(metal_config)
                 .with_class_balance(balance)
-                .with_max_iter(config.label_model_iters);
+                .with_max_iter(config.label_model_iters)
+                .with_pool(datasculpt_exec::Pool::new(config.threads));
             lm.fit(matrix, n_classes);
             (lm.predict_proba(matrix), lm.accuracies().to_vec())
         }

@@ -11,12 +11,15 @@ pub struct FilterConfig {
     /// every validation instance pass.
     pub accuracy: bool,
     /// Reject LFs whose activation consensus (intersection-over-union of
-    /// agreeing activations) with an already-accepted LF exceeds
-    /// [`redundancy_threshold`](Self::redundancy_threshold).
+    /// agreeing activations) with an already-accepted LF reaches
+    /// [`redundancy_threshold`](Self::redundancy_threshold). The
+    /// comparison is inclusive (`consensus ≥ threshold`, per the paper's
+    /// "consensus ≥ 0.95" rule), so at a threshold of 1.0 a byte-identical
+    /// vote column is still pruned.
     pub redundancy: bool,
     /// Validation-accuracy cutoff (paper default 0.6).
     pub accuracy_threshold: f64,
-    /// Consensus cutoff (paper default 0.95).
+    /// Consensus cutoff, inclusive (paper default 0.95).
     pub redundancy_threshold: f64,
 }
 

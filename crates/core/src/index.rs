@@ -9,6 +9,7 @@
 
 use crate::lf::{KeywordLf, ANCHOR_WINDOW};
 use datasculpt_data::Split;
+use datasculpt_exec::Pool;
 use datasculpt_labelmodel::ABSTAIN;
 use datasculpt_text::ngram::extract_ngrams;
 use datasculpt_text::rng::hash_str;
@@ -100,6 +101,44 @@ impl NgramIndex {
             })
             .collect()
     }
+
+    /// The LF's vote column, computed in chunked shards on `pool`.
+    ///
+    /// Per-instance votes are independent and the shard structure depends
+    /// only on the split length, so the concatenated result is
+    /// byte-identical to [`apply`](Self::apply) at every thread count.
+    pub fn apply_with(&self, lf: &KeywordLf, pool: &Pool) -> Vec<i32> {
+        let h = hash_str(&lf.keyword);
+        let sets = if lf.anchored {
+            &self.between
+        } else {
+            &self.full
+        };
+        let shards = pool.map_shards(sets.len(), |range| {
+            sets[range]
+                .iter()
+                .map(|s| {
+                    if s.binary_search(&h).is_ok() {
+                        lf.label as i32
+                    } else {
+                        ABSTAIN
+                    }
+                })
+                .collect::<Vec<i32>>()
+        });
+        match shards {
+            Ok(cols) => {
+                let mut out = Vec::with_capacity(sets.len());
+                for col in cols {
+                    out.extend(col);
+                }
+                out
+            }
+            // A worker panic here is unreachable in practice; degrade to
+            // the serial path rather than surfacing an error.
+            Err(_) => self.apply(lf),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -174,5 +213,21 @@ mod tests {
         let idx = NgramIndex::build(&Split::default());
         assert!(idx.is_empty());
         assert_eq!(idx.apply(&KeywordLf::new("x", 0)), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn parallel_apply_matches_serial_at_every_thread_count() {
+        let s = split(&[
+            "this movie was a waste of time",
+            "a great and funny movie",
+            "nothing to say here",
+            "another movie about nothing",
+        ]);
+        let idx = NgramIndex::build(&s);
+        for lf in [KeywordLf::new("movie", 1), KeywordLf::new("absent", 0)] {
+            for threads in [1, 2, 8] {
+                assert_eq!(idx.apply_with(&lf, &Pool::new(threads)), idx.apply(&lf));
+            }
+        }
     }
 }

@@ -4,8 +4,9 @@ use crate::filter::{consensus, AddOutcome, FilterConfig};
 use crate::index::NgramIndex;
 use crate::lf::KeywordLf;
 use datasculpt_data::TextDataset;
+use datasculpt_exec::Pool;
 use datasculpt_labelmodel::{LabelMatrix, ABSTAIN};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The accumulated set of accepted LFs plus their cached vote columns on
 /// the train and validation splits.
@@ -25,10 +26,20 @@ pub struct LfSet {
     n_classes: usize,
     filters: FilterConfig,
     seen: BTreeSet<(String, usize, bool)>,
+    /// Keys already rejected, with the outcome of their first offer.
+    /// Sound to memoize: validity and accuracy do not depend on the set,
+    /// and redundancy is monotone — the set only grows, so a redundant
+    /// candidate can never become acceptable later.
+    rejected_seen: BTreeMap<(String, usize, bool), AddOutcome>,
     rejected: RejectionCounts,
+    pool: Pool,
 }
 
 /// How many candidates each filter rejected (for run diagnostics).
+///
+/// The per-filter counters count *distinct* candidates; an LF the LLM
+/// re-proposes after a rejection increments only
+/// [`repeat`](Self::repeat).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RejectionCounts {
     /// Duplicates of already-accepted LFs.
@@ -39,6 +50,9 @@ pub struct RejectionCounts {
     pub accuracy: usize,
     /// Redundancy-filter rejections.
     pub redundancy: usize,
+    /// Repeat offers of already-rejected candidates (answered from the
+    /// memo, without re-running any filter).
+    pub repeat: usize,
 }
 
 impl LfSet {
@@ -54,8 +68,18 @@ impl LfSet {
             n_classes: dataset.n_classes(),
             filters,
             seen: BTreeSet::new(),
+            rejected_seen: BTreeMap::new(),
             rejected: RejectionCounts::default(),
+            pool: Pool::serial(),
         }
+    }
+
+    /// Use `pool` for chunked-parallel vote-column construction. Vote
+    /// columns are integer-valued and per-instance independent, so the
+    /// set's contents are identical at every thread count.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Number of accepted LFs.
@@ -84,28 +108,39 @@ impl LfSet {
     }
 
     /// Offer a candidate LF; apply filters; keep it if it survives.
+    ///
+    /// Repeat offers are answered from memos: an accepted key comes back
+    /// as [`AddOutcome::Duplicate`], and a rejected key returns the same
+    /// outcome as its first offer without re-running the O(|set| · n)
+    /// filter scan (counted under [`RejectionCounts::repeat`]).
     pub fn try_add(&mut self, lf: KeywordLf) -> AddOutcome {
         let key = (lf.keyword.clone(), lf.label, lf.anchored);
         if self.seen.contains(&key) {
             self.rejected.duplicate += 1;
             return AddOutcome::Duplicate;
         }
+        if let Some(&outcome) = self.rejected_seen.get(&key) {
+            self.rejected.repeat += 1;
+            return outcome;
+        }
 
         // Validity: 1–3-gram keyword, label within range (§3.5).
         if self.filters.validity && !(lf.is_valid_ngram() && lf.label < self.n_classes) {
             self.rejected.validity += 1;
+            self.rejected_seen.insert(key, AddOutcome::RejectedValidity);
             return AddOutcome::RejectedValidity;
         }
         // Even with the validity filter off, out-of-range labels cannot be
         // represented in the vote matrix.
         if lf.label >= self.n_classes || lf.keyword.is_empty() {
             self.rejected.validity += 1;
+            self.rejected_seen.insert(key, AddOutcome::RejectedValidity);
             return AddOutcome::RejectedValidity;
         }
 
         // Accuracy on the labeled validation split (§3.5): prune below the
         // threshold; inactive-everywhere LFs pass.
-        let valid_col = self.valid_index.apply(&lf);
+        let valid_col = self.valid_index.apply_with(&lf, &self.pool);
         if self.filters.accuracy {
             let mut active = 0usize;
             let mut correct = 0usize;
@@ -122,16 +157,21 @@ impl LfSet {
             }
             if active > 0 && (correct as f64 / active as f64) < self.filters.accuracy_threshold {
                 self.rejected.accuracy += 1;
+                self.rejected_seen.insert(key, AddOutcome::RejectedAccuracy);
                 return AddOutcome::RejectedAccuracy;
             }
         }
 
-        // Redundancy against accepted LFs, on the train split (§3.5).
-        let train_col = self.train_index.apply(&lf);
+        // Redundancy against accepted LFs, on the train split (§3.5):
+        // prune when consensus *reaches* the threshold (inclusive, so a
+        // byte-identical column is pruned even at threshold 1.0).
+        let train_col = self.train_index.apply_with(&lf, &self.pool);
         if self.filters.redundancy {
             for existing in &self.train_cols {
-                if consensus(&train_col, existing) > self.filters.redundancy_threshold {
+                if consensus(&train_col, existing) >= self.filters.redundancy_threshold {
                     self.rejected.redundancy += 1;
+                    self.rejected_seen
+                        .insert(key, AddOutcome::RejectedRedundancy);
                     return AddOutcome::RejectedRedundancy;
                 }
             }
@@ -263,6 +303,121 @@ mod tests {
         let bad = KeywordLf::new("great", 0);
         assert_eq!(strict.try_add(bad.clone()), AddOutcome::RejectedAccuracy);
         assert!(loose.try_add(bad).accepted());
+    }
+
+    /// Find a (trigram, leading-bigram) pair in the corpus whose vote
+    /// columns are byte-identical: every occurrence of the bigram lies
+    /// inside an occurrence of the trigram.
+    fn identical_column_pair(d: &TextDataset) -> (KeywordLf, KeywordLf) {
+        let index = NgramIndex::build(&d.train);
+        for inst in d.train.iter() {
+            let toks = inst.match_tokens();
+            for w in toks.windows(3) {
+                let tri = KeywordLf::new(w.join(" "), 1);
+                let bi = KeywordLf::new(w[..2].join(" "), 1);
+                let tri_col = index.apply(&tri);
+                if tri_col.iter().any(|&v| v != ABSTAIN) && tri_col == index.apply(&bi) {
+                    return (tri, bi);
+                }
+            }
+        }
+        unreachable!("corpus has no trigram whose prefix bigram is co-extensive");
+    }
+
+    #[test]
+    fn identical_column_is_pruned_even_at_threshold_one() {
+        let d = tiny();
+        let filters = FilterConfig {
+            accuracy: false, // isolate the redundancy filter
+            redundancy_threshold: 1.0,
+            ..FilterConfig::all()
+        };
+        let (tri, bi) = identical_column_pair(&d);
+        let mut set = LfSet::new(&d, filters);
+        assert_eq!(set.try_add(tri), AddOutcome::Added);
+        // The bigram's column is byte-identical (consensus exactly 1.0);
+        // the inclusive comparison must prune it even at threshold 1.0.
+        assert_eq!(set.try_add(bi), AddOutcome::RejectedRedundancy);
+        assert_eq!(set.rejections().redundancy, 1);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn consensus_exactly_at_threshold_is_pruned() {
+        let d = tiny();
+        // Find a second keyword with partial consensus against "great".
+        let index = NgramIndex::build(&d.train);
+        let base = KeywordLf::new("great", 1);
+        let base_col = index.apply(&base);
+        let (partner, c) = ["good", "movie", "film", "really", "very", "a", "the", "and"]
+            .iter()
+            .find_map(|kw| {
+                let c = consensus(&base_col, &index.apply(&KeywordLf::new(*kw, 1)));
+                (c > 0.0 && c < 1.0).then(|| (KeywordLf::new(*kw, 1), c))
+            })
+            .expect("some keyword shares partial activation with 'great'");
+        // With the threshold set to that exact consensus, the inclusive
+        // comparison prunes the partner; the pre-fix strict `>` accepted it.
+        let filters = FilterConfig {
+            accuracy: false,
+            redundancy_threshold: c,
+            ..FilterConfig::all()
+        };
+        let mut set = LfSet::new(&d, filters);
+        assert_eq!(set.try_add(base.clone()), AddOutcome::Added);
+        assert_eq!(set.try_add(partner.clone()), AddOutcome::RejectedRedundancy);
+        // Just below the exact-consensus threshold the same pair is kept.
+        let mut looser = LfSet::new(
+            &d,
+            FilterConfig {
+                redundancy_threshold: c + 1e-9,
+                ..filters
+            },
+        );
+        assert_eq!(looser.try_add(base), AddOutcome::Added);
+        assert_eq!(looser.try_add(partner), AddOutcome::Added);
+    }
+
+    #[test]
+    fn rejected_candidates_are_memoized_not_recounted() {
+        let d = tiny();
+        let mut set = LfSet::new(&d, FilterConfig::all());
+        let bad = KeywordLf::new("great", 0); // wrong label: accuracy reject
+        assert_eq!(set.try_add(bad.clone()), AddOutcome::RejectedAccuracy);
+        assert_eq!(set.rejections().accuracy, 1);
+        assert_eq!(set.rejections().repeat, 0);
+        // Re-offering returns the memoized outcome, counts a repeat, and
+        // leaves the per-filter counter pinned at one distinct rejection.
+        for round in 1..=3u64 {
+            assert_eq!(set.try_add(bad.clone()), AddOutcome::RejectedAccuracy);
+            assert_eq!(set.rejections().accuracy, 1);
+            assert_eq!(set.rejections().repeat, round as usize);
+        }
+        // Invalid candidates are memoized the same way.
+        let invalid = KeywordLf::new("one two three four", 1);
+        assert_eq!(set.try_add(invalid.clone()), AddOutcome::RejectedValidity);
+        assert_eq!(set.try_add(invalid), AddOutcome::RejectedValidity);
+        assert_eq!(set.rejections().validity, 1);
+        assert_eq!(set.rejections().repeat, 4);
+    }
+
+    #[test]
+    fn pooled_set_accepts_the_same_lfs() {
+        let d = tiny();
+        let mut serial = LfSet::new(&d, FilterConfig::all());
+        let mut pooled = LfSet::new(&d, FilterConfig::all()).with_pool(Pool::new(4));
+        for lf in [
+            KeywordLf::new("great", 1),
+            KeywordLf::new("horrible", 0),
+            KeywordLf::new("great", 0),
+            KeywordLf::new("so great", 1),
+        ] {
+            assert_eq!(serial.try_add(lf.clone()), pooled.try_add(lf));
+        }
+        assert_eq!(serial.train_matrix().rows(), pooled.train_matrix().rows());
+        for j in 0..serial.len() {
+            assert_eq!(serial.train_column(j), pooled.train_column(j));
+        }
     }
 
     #[test]

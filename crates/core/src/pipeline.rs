@@ -97,6 +97,9 @@ pub struct DataSculptConfig {
     /// Run seed (drives the sampler and exemplar choice; the LLM has its
     /// own seed).
     pub seed: u64,
+    /// Worker threads for the LF-set vote-column loops (1 = serial). Any
+    /// value produces the same digest — parallelism never changes results.
+    pub threads: usize,
 }
 
 impl DataSculptConfig {
@@ -114,6 +117,7 @@ impl DataSculptConfig {
             revise_rejected: false,
             max_consecutive_failures: 3,
             seed,
+            threads: 1,
         }
     }
 
@@ -290,7 +294,8 @@ impl<'d, 'o> RunContext<'d, 'o> {
         RunContext {
             dataset,
             cfg,
-            lf_set: LfSet::new(dataset, cfg.filters),
+            lf_set: LfSet::new(dataset, cfg.filters)
+                .with_pool(datasculpt_exec::Pool::new(cfg.threads)),
             ledger: UsageLedger::new(),
             icl: IclSelector::new(dataset, cfg.icl_strategy, cfg.n_icl, cfg.seed),
             sampler: make_sampler(cfg.sampler, dataset, cfg.seed),

@@ -5,7 +5,8 @@
 //! datasculpt run      <dataset> [--config base|cot|sc|kate] [--model M]
 //!                     [--queries N] [--sampler random|uncertain|seu|coreset]
 //!                     [--scale F] [--seed N] [--revise] [--show-lfs N]
-//!                     [--trace PATH] [--metrics] [--retries N] [--cache N] [--verbose]
+//!                     [--threads N] [--trace PATH] [--metrics] [--retries N]
+//!                     [--cache N] [--verbose]
 //! datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
 //!                     [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
 //! datasculpt trace-check <path>
@@ -60,13 +61,18 @@ USAGE:
   datasculpt run      <dataset> [--config base|cot|sc|kate] [--model M]
                       [--queries N] [--sampler random|uncertain|seu|coreset]
                       [--scale F] [--seed N] [--revise] [--show-lfs N]
-                      [--trace PATH] [--metrics] [--retries N] [--cache N] [--verbose]
+                      [--threads N] [--trace PATH] [--metrics] [--retries N]
+                      [--cache N] [--verbose]
   datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
                       [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
   datasculpt trace-check <path>
   datasculpt models
 
 Datasets: youtube sms imdb yelp agnews spouse.
+
+Execution:
+  --threads N    worker threads for vote columns, label model, and LLM
+                 batches (default 1; any value yields the same run digest)
 
 Observability:
   --trace PATH   write a JSONL trace of the run (schema: docs/trace-schema.md)
@@ -239,13 +245,15 @@ fn run(args: &[String]) -> ExitCode {
         _ => SamplerKind::Random,
     };
     config.revise_rejected = flags.has("--revise");
+    config.threads = flags.parse_or("--threads", 1usize).max(1);
     let model = parse_model(&flags);
 
     let mut obs = match Observability::from_flags(&flags) {
         Ok(o) => o,
         Err(code) => return code,
     };
-    let sim = SimulatedLlm::new(model, dataset.generative.clone(), seed);
+    let sim = SimulatedLlm::new(model, dataset.generative.clone(), seed)
+        .with_pool(Pool::new(config.threads));
     let retries: u32 = flags.parse_or("--retries", 0);
     let retry = RetryModel::new(sim, retries).with_observer(obs.shared.clone());
     let cache: usize = flags.parse_or("--cache", 0);
@@ -274,7 +282,11 @@ fn execute_run<M: ChatModel>(
             return ExitCode::FAILURE;
         }
     };
-    let eval = evaluate_lf_set(dataset, &run.lf_set, &EvalConfig::default());
+    let eval_config = EvalConfig {
+        threads: config.threads,
+        ..EvalConfig::default()
+    };
+    let eval = evaluate_lf_set(dataset, &run.lf_set, &eval_config);
 
     let show: usize = flags.parse_or("--show-lfs", 5);
     if show > 0 {
@@ -283,6 +295,7 @@ fn execute_run<M: ChatModel>(
             println!("  {lf}");
         }
     }
+    println!("run digest:     {:016x}", run.digest());
     print_eval(&eval, Some(&run.ledger));
     if obs.close() {
         ExitCode::SUCCESS

@@ -48,6 +48,7 @@ pub use datasculpt_baselines as baselines;
 pub use datasculpt_core as core;
 pub use datasculpt_data as data;
 pub use datasculpt_endmodel as endmodel;
+pub use datasculpt_exec as exec;
 pub use datasculpt_labelmodel as labelmodel;
 pub use datasculpt_llm as llm;
 pub use datasculpt_obs as obs;
@@ -66,6 +67,7 @@ pub mod prelude {
     };
     pub use datasculpt_data::{DatasetName, Instance, Metric, Split, TextDataset};
     pub use datasculpt_endmodel::{SoftmaxRegression, TrainConfig};
+    pub use datasculpt_exec::Pool;
     pub use datasculpt_labelmodel::{
         LabelMatrix, LabelModel, MajorityVote, MetalConfig, MetalModel, ProbLabels, TripletModel,
         ABSTAIN,

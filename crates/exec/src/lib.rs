@@ -1,0 +1,345 @@
+//! Deterministic scoped worker pool for the DataSculpt workspace.
+//!
+//! Every parallel path in the reproduction — bench grid cells, LF
+//! vote-column application, the MeTaL EM E-step, batched chat completions —
+//! runs through this crate, and all of them obey one contract:
+//!
+//! **work decomposition never depends on the thread count.**
+//!
+//! A computation is split into *shards* whose structure is a pure function
+//! of the input length ([`shard_ranges`]); threads only decide how many
+//! shards execute concurrently. Results are collected *in input order*, so
+//! reductions that merge shard results left-to-right (including float
+//! accumulation) produce bit-identical output at every `--threads` value.
+//! Parallelism is purely a wall-clock optimization: `RunResult::digest()`
+//! and ledger totals are invariant under it, which is what the tier-1
+//! determinism tests in `datasculpt-bench` enforce.
+//!
+//! The pool is zero-dependency (std scoped threads), contains worker
+//! panics and surfaces them as a [`PanicError`] instead of poisoning the
+//! process, and degrades to a plain serial loop at one thread.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default upper bound on shard count for [`Pool::map_shards`].
+///
+/// Chosen to be comfortably larger than any realistic core count so the
+/// shard structure (and therefore every shard-ordered reduction) never
+/// changes when the hardware does, while still keeping per-shard work
+/// large enough to amortize dispatch.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// A worker panicked while executing one job.
+///
+/// The panic is contained: remaining work is cancelled, the scope joins,
+/// and the payload message is carried here instead of unwinding through
+/// the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicError {
+    /// Index of the job (or shard) that panicked.
+    pub shard: usize,
+    /// Stringified panic payload, when the payload was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for PanicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on shard {}: {}",
+            self.shard, self.message
+        )
+    }
+}
+
+impl std::error::Error for PanicError {}
+
+/// A fixed-width scoped worker pool.
+///
+/// Cheap to copy (it is only a thread budget; scoped threads are spawned
+/// per call and joined before returning), so it can be embedded in config
+/// structs and cloned into long-lived components. [`Pool::serial`] is the
+/// `Default`, which keeps every existing construction path single-threaded
+/// unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::serial()
+    }
+}
+
+impl Pool {
+    /// A pool running up to `threads` jobs concurrently (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded pool: all work runs on the caller's thread.
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Pool::new(std::thread::available_parallelism().map_or(1, usize::from))
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `jobs` independent jobs and collect their results **in job
+    /// order**.
+    ///
+    /// Jobs are handed to workers through a shared counter, so scheduling
+    /// is nondeterministic — but the output `Vec` is always
+    /// `[f(0), f(1), …, f(jobs-1)]`, and each job sees only its own index,
+    /// so the result is identical at every thread count. A panicking job
+    /// cancels remaining work and is reported as [`PanicError`]; the serial
+    /// path contains panics the same way so behavior does not differ by
+    /// thread count.
+    pub fn try_run<R, F>(&self, jobs: usize, f: F) -> Result<Vec<R>, PanicError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if jobs == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(jobs);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(jobs);
+            for i in 0..jobs {
+                out.push(contain(i, || f(i))?);
+            }
+            return Ok(out);
+        }
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let first_panic: Mutex<Option<PanicError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    match contain(i, || f(i)) {
+                        Ok(r) => *lock(&slots[i]) = Some(r),
+                        Err(e) => {
+                            lock(&first_panic).get_or_insert(e);
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = lock(&first_panic).take() {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(jobs);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(r) => out.push(r),
+                // Unreachable unless a worker died without reporting; keep
+                // the error path rather than panicking in a library.
+                None => {
+                    return Err(PanicError {
+                        shard: i,
+                        message: "worker exited without a result".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Map `f` over a slice, preserving input order in the output.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PanicError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.try_run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Map `f` over the [`shard_ranges`] of `0..len` (at most
+    /// [`DEFAULT_SHARDS`] shards), returning one result per shard **in
+    /// shard order**.
+    ///
+    /// Because the shard structure depends only on `len`, a reduction that
+    /// folds the returned shard results left-to-right is bit-identical at
+    /// every thread count — this is the primitive behind the parallel EM
+    /// E-step and vote-column construction.
+    pub fn map_shards<R, F>(&self, len: usize, f: F) -> Result<Vec<R>, PanicError>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = shard_ranges(len, DEFAULT_SHARDS);
+        self.try_run(ranges.len(), |s| f(ranges[s].clone()))
+    }
+}
+
+/// Split `0..len` into at most `max_shards` contiguous, balanced, ordered
+/// ranges.
+///
+/// The decomposition is a pure function of `(len, max_shards)`: shard
+/// count is `min(len, max(1, max_shards))`, sizes differ by at most one,
+/// and larger shards come first. It never depends on thread count or
+/// scheduling, which is what keeps shard-ordered reductions deterministic.
+pub fn shard_ranges(len: usize, max_shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = max_shards.max(1).min(len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Run `f`, converting a panic into a [`PanicError`] tagged with `shard`.
+fn contain<R>(shard: usize, f: impl FnOnce() -> R) -> Result<R, PanicError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| PanicError {
+        shard,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lock a mutex, ignoring poisoning: a poisoned guard only means another
+/// worker panicked, and panics are already surfaced through [`PanicError`].
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let pool = Pool::new(threads);
+            let items: Vec<usize> = (0..100).collect();
+            let out = pool
+                .try_map(&items, |i, &x| {
+                    // Make late jobs finish first to stress ordering.
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                    x * 2
+                })
+                .expect("no panics");
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::new(4);
+        let out: Vec<u32> = pool.try_map::<u32, u32, _>(&[], |_, &x| x).expect("empty");
+        assert!(out.is_empty());
+        assert!(pool.map_shards(0, |r| r.len()).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn panic_is_contained_and_reported() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let err = pool
+                .try_run(10, |i| {
+                    if i == 3 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .expect_err("job 3 panics");
+            // Under concurrency any panicking job may be reported first;
+            // with these inputs only job 3 panics.
+            assert_eq!(err.shard, 3);
+            assert!(err.message.contains("boom at 3"), "got: {}", err.message);
+            assert!(err.to_string().contains("worker panicked on shard 3"));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..257).map(|i| i * 31 % 97).collect();
+        let f = |_: usize, &x: &u64| (x as f64).sqrt().sin();
+        let serial = Pool::serial().try_map(&items, f).expect("serial");
+        for threads in [2, 5, 16] {
+            let par = Pool::new(threads).try_map(&items, f).expect("parallel");
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_and_balance() {
+        for len in [0usize, 1, 2, 63, 64, 65, 1000] {
+            let ranges = shard_ranges(len, DEFAULT_SHARDS);
+            assert_eq!(ranges.len(), len.min(DEFAULT_SHARDS));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous and ordered");
+                assert!(!r.is_empty(), "no empty shards");
+                next = r.end;
+            }
+            assert_eq!(next, len, "full coverage");
+            if let (Some(min), Some(max)) = (
+                ranges.iter().map(|r| r.len()).min(),
+                ranges.iter().map(|r| r.len()).max(),
+            ) {
+                assert!(max - min <= 1, "balanced within one");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_structure_is_thread_count_independent() {
+        // map_shards output depends only on len, never on pool width.
+        let a = Pool::new(1).map_shards(1000, |r| r).expect("a");
+        let b = Pool::new(8).map_shards(1000, |r| r).expect("b");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::auto().threads() >= 1);
+        assert_eq!(Pool::default(), Pool::serial());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the deterministic worker pool.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt_exec::{shard_ranges, Pool};
+use proptest::prelude::*;
+
+proptest! {
+    /// `try_map` preserves input order for arbitrary inputs and thread
+    /// counts: the output is always `[f(x_0), f(x_1), …]`.
+    #[test]
+    fn try_map_preserves_input_order(
+        items in proptest::collection::vec(0u32..1_000_000, 0..200),
+        threads in 1usize..17,
+    ) {
+        let out = Pool::new(threads)
+            .try_map(&items, |i, &x| (i, u64::from(x) * 3 + 1))
+            .unwrap();
+        let expected: Vec<(usize, u64)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i, u64::from(x) * 3 + 1))
+            .collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// `shard_ranges` is an ordered partition of `0..len` for arbitrary
+    /// shard counts: contiguous, non-empty, balanced within one.
+    #[test]
+    fn shard_ranges_partition_the_input(len in 0usize..5_000, max_shards in 0usize..200) {
+        let ranges = shard_ranges(len, max_shards);
+        if len == 0 {
+            prop_assert!(ranges.is_empty());
+        } else {
+            prop_assert_eq!(ranges.len(), len.min(max_shards.max(1)));
+            let mut next = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, next);
+                prop_assert!(r.end > r.start);
+                next = r.end;
+            }
+            prop_assert_eq!(next, len);
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    /// Concatenating `map_shards` results in shard order reproduces the
+    /// serial computation exactly, at any thread count.
+    #[test]
+    fn map_shards_concat_matches_serial(len in 0usize..2_000, threads in 1usize..17) {
+        let shards = Pool::new(threads)
+            .map_shards(len, |r| r.collect::<Vec<usize>>())
+            .unwrap();
+        let flat: Vec<usize> = shards.into_iter().flatten().collect();
+        prop_assert_eq!(flat, (0..len).collect::<Vec<usize>>());
+    }
+}

@@ -21,6 +21,8 @@
 use crate::matrix::{LabelMatrix, ABSTAIN};
 use crate::probs::ProbLabels;
 use crate::LabelModel;
+use datasculpt_exec::{shard_ranges, Pool, DEFAULT_SHARDS};
+use std::ops::Range;
 
 /// Strength of the Dirichlet smoothing toward the marginal vote rates.
 const SMOOTH_STRENGTH: f64 = 5.0;
@@ -77,6 +79,7 @@ pub struct MetalModel {
     tol: f64,
     fixed_balance: Option<Vec<f64>>,
     config: MetalConfig,
+    pool: Pool,
 }
 
 impl Default for MetalModel {
@@ -97,7 +100,17 @@ impl MetalModel {
             tol: 1e-5,
             fixed_balance: None,
             config: MetalConfig::default(),
+            pool: Pool::serial(),
         }
+    }
+
+    /// Run the E-step and prediction passes on `pool`. Accumulation is
+    /// always per-shard with a fixed shard count and a left-to-right merge
+    /// (see [`fit`](LabelModel::fit)), so the fitted model and posteriors
+    /// are bit-identical at every thread count, including serial.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Override the EM stability configuration.
@@ -299,21 +312,48 @@ impl LabelModel for MetalModel {
         for _ in 0..self.max_iter {
             let ltheta: Vec<f64> = self.theta.iter().map(|t| t.max(1e-12).ln()).collect();
             let base = self.abstain_base(&ltheta);
-            // Accumulators: active-vote posterior mass and total mass.
+            // E-step: per-shard partial accumulators merged in shard
+            // order. The shard decomposition depends only on `n` (never on
+            // the thread count) and the merge is a fixed left-to-right
+            // sum, so the accumulated floats — and therefore the fit — are
+            // identical at every thread count, including serial.
+            let this = &*self;
+            let estep_shard = |range: Range<usize>| {
+                let mut vm = vec![0.0f64; m * c * (c + 1)];
+                let mut tm = vec![0.0f64; c];
+                for votes in &rows[range] {
+                    let (post, _any) = this.posterior_row(votes, &fit_prior, &base, &ltheta);
+                    for (y, p) in post.iter().enumerate() {
+                        tm[y] += p;
+                    }
+                    for (j, &v) in votes.iter().enumerate() {
+                        if v == ABSTAIN {
+                            continue;
+                        }
+                        for (y, p) in post.iter().enumerate() {
+                            vm[j * c * (c + 1) + y * (c + 1) + v as usize] += p;
+                        }
+                    }
+                }
+                (vm, tm)
+            };
+            let parts = match this.pool.map_shards(n, estep_shard) {
+                Ok(parts) => parts,
+                // A worker panicked (impossible for this pure arithmetic):
+                // replay the identical shards serially rather than abort.
+                Err(_) => shard_ranges(n, DEFAULT_SHARDS)
+                    .into_iter()
+                    .map(&estep_shard)
+                    .collect(),
+            };
             let mut vote_mass = vec![0.0f64; m * c * (c + 1)];
             let mut total_mass = vec![0.0f64; c];
-            for votes in &rows {
-                let (post, _any) = self.posterior_row(votes, &fit_prior, &base, &ltheta);
-                for (y, p) in post.iter().enumerate() {
-                    total_mass[y] += p;
+            for (vm, tm) in parts {
+                for (acc, p) in vote_mass.iter_mut().zip(&vm) {
+                    *acc += p;
                 }
-                for (j, &v) in votes.iter().enumerate() {
-                    if v == ABSTAIN {
-                        continue;
-                    }
-                    for (y, p) in post.iter().enumerate() {
-                        vote_mass[j * c * (c + 1) + y * (c + 1) + v as usize] += p;
-                    }
+                for (acc, p) in total_mass.iter_mut().zip(&tm) {
+                    *acc += p;
                 }
             }
             // M-step: damped, smoothed table update. Abstain mass is the
@@ -359,17 +399,35 @@ impl LabelModel for MetalModel {
         let c = self.n_classes;
         let ltheta: Vec<f64> = self.theta.iter().map(|t| t.max(1e-12).ln()).collect();
         let base = self.abstain_base(&ltheta);
+        // Rows are independent, so sharding + in-order concatenation is
+        // bit-identical to the serial loop at every thread count.
+        let row_shard = |range: Range<usize>| {
+            let mut probs = Vec::with_capacity(range.len() * c);
+            let mut covered = Vec::with_capacity(range.len());
+            for i in range {
+                let (post, any) = self.posterior_row(matrix.row(i), &self.prior, &base, &ltheta);
+                if any {
+                    probs.extend(post);
+                    covered.push(true);
+                } else {
+                    probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
+                    covered.push(false);
+                }
+            }
+            (probs, covered)
+        };
+        let parts = match self.pool.map_shards(matrix.rows(), row_shard) {
+            Ok(parts) => parts,
+            Err(_) => shard_ranges(matrix.rows(), DEFAULT_SHARDS)
+                .into_iter()
+                .map(&row_shard)
+                .collect(),
+        };
         let mut probs = Vec::with_capacity(matrix.rows() * c);
         let mut covered = Vec::with_capacity(matrix.rows());
-        for i in 0..matrix.rows() {
-            let (post, any) = self.posterior_row(matrix.row(i), &self.prior, &base, &ltheta);
-            if any {
-                probs.extend(post);
-                covered.push(true);
-            } else {
-                probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
-                covered.push(false);
-            }
+        for (p, cov) in parts {
+            probs.extend(p);
+            covered.extend(cov);
         }
         ProbLabels::new(probs, matrix.rows(), c, covered)
     }
@@ -542,6 +600,30 @@ mod tests {
         let mut model = MetalModel::new().with_class_balance(vec![0.9, 0.1]);
         model.fit(&m, 2);
         assert_eq!(model.prior(), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_at_every_thread_count() {
+        let accs = [0.9, 0.75, 0.6];
+        let (m, _) = synth(1500, &accs, 0.5, 3, 13);
+        let mut serial = MetalModel::new();
+        serial.fit(&m, 3);
+        let want = serial.predict_proba(&m);
+        for threads in [1, 2, 8] {
+            let mut model = MetalModel::new().with_pool(Pool::new(threads));
+            model.fit(&m, 3);
+            assert_eq!(model.theta, serial.theta, "theta, threads={threads}");
+            assert_eq!(
+                model.accuracies(),
+                serial.accuracies(),
+                "alpha, threads={threads}"
+            );
+            let got = model.predict_proba(&m);
+            for i in 0..m.rows() {
+                assert_eq!(got.row(i), want.row(i), "row {i}, threads={threads}");
+                assert_eq!(got.is_covered(i), want.is_covered(i));
+            }
+        }
     }
 
     #[test]

@@ -171,6 +171,14 @@ impl<M: ChatModel> CachedModel<M> {
     }
 
     fn insert(&mut self, key: CacheKey, response: ChatResponse) {
+        // Re-inserting a present key only refreshes the stored response.
+        // Pushing a second `order` entry here would desynchronize the FIFO
+        // queue from `entries`: a later eviction would pop a stale key,
+        // double-count `evictions`, and could silently evict a live entry.
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = response;
+            return;
+        }
         if self.entries.len() == self.capacity {
             if let Some(oldest) = self.order.pop_front() {
                 self.entries.remove(&oldest);
@@ -196,6 +204,71 @@ impl<M: ChatModel> ChatModel for CachedModel<M> {
         let response = self.inner.complete(request)?;
         self.insert(key, response.clone());
         Ok(response)
+    }
+
+    /// Batched completion with in-batch deduplication.
+    ///
+    /// Cached requests are replayed immediately; the remaining *distinct*
+    /// misses are forwarded to the backend as one smaller batch (so a
+    /// sharded backend underneath still parallelizes them), and duplicates
+    /// of a pending miss share the first occurrence's outcome instead of
+    /// re-calling the backend. Counters follow the sequential semantics:
+    /// the first occurrence of a missing key is a miss, every later
+    /// occurrence in the batch a hit. The one divergence from the
+    /// sequential default: when the first occurrence *errors*, its in-batch
+    /// duplicates share that error rather than re-calling the backend.
+    fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
+        /// Where each request's result comes from: the cache, or slot `i`
+        /// of the forwarded miss batch.
+        enum Slot {
+            Hit(ChatResponse),
+            Miss(usize),
+        }
+        let mut slots = Vec::with_capacity(requests.len());
+        let mut miss_keys: Vec<CacheKey> = Vec::new();
+        let mut miss_requests: Vec<ChatRequest> = Vec::new();
+        let mut pending: BTreeMap<CacheKey, usize> = BTreeMap::new();
+        for request in requests {
+            let key = CacheKey::of(request);
+            if let Some(response) = self.entries.get(&key).cloned() {
+                self.stats.hits += 1;
+                self.emit(Counter::CacheHit);
+                slots.push(Slot::Hit(response));
+            } else if let Some(&at) = pending.get(&key) {
+                self.stats.hits += 1;
+                self.emit(Counter::CacheHit);
+                slots.push(Slot::Miss(at));
+            } else {
+                self.stats.misses += 1;
+                self.emit(Counter::CacheMiss);
+                pending.insert(key.clone(), miss_requests.len());
+                slots.push(Slot::Miss(miss_requests.len()));
+                miss_keys.push(key);
+                miss_requests.push(request.clone());
+            }
+        }
+        let miss_results = if miss_requests.is_empty() {
+            Vec::new()
+        } else {
+            self.inner.complete_batch(&miss_requests)
+        };
+        for (key, result) in miss_keys.into_iter().zip(&miss_results) {
+            if let Ok(response) = result {
+                self.insert(key, response.clone());
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Hit(response) => Ok(response),
+                // A backend honoring the one-result-per-request contract
+                // always fills the slot; a short reply maps to an error.
+                Slot::Miss(at) => miss_results
+                    .get(at)
+                    .cloned()
+                    .unwrap_or(Err(LlmError::EmptyResponse)),
+            })
+            .collect()
     }
 
     fn model_id(&self) -> ModelId {
@@ -329,6 +402,92 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_rejected() {
         let _ = CachedModel::with_capacity(ScriptedModel::new(vec!["r".into()]), 0);
+    }
+
+    #[test]
+    fn reinsert_of_present_key_keeps_fifo_and_entries_in_sync() {
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::with_capacity(inner, 2);
+        m.complete(&req("one")).unwrap();
+        m.complete(&req("two")).unwrap(); // cache full: {one, two}
+
+        // Re-insert a present key directly, as a batched path may do.
+        let key = CacheKey::of(&req("one"));
+        let resp = m.entries[&key].clone();
+        m.insert(key, resp);
+        // Pre-fix this pushed a duplicate `order` entry without growing
+        // `entries`, so later evictions popped stale keys.
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.order.len(), 2, "order queue must mirror entries");
+        assert_eq!(m.stats().evictions, 0);
+        // The next overflow evicts the true oldest key exactly once.
+        m.complete(&req("three")).unwrap();
+        assert_eq!(m.stats().evictions, 1);
+        assert_eq!(m.len(), 2);
+        m.complete(&req("two")).unwrap();
+        assert_eq!(m.stats().hits, 1, "\"two\" is still live");
+    }
+
+    #[test]
+    fn reinsert_at_capacity_one_never_overflows_or_doublecounts() {
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::with_capacity(inner, 1);
+        m.complete(&req("a")).unwrap(); // cache = {a}
+        let key = CacheKey::of(&req("a"));
+        let resp = m.entries[&key].clone();
+        m.insert(key, resp); // refresh in place
+        m.complete(&req("b")).unwrap(); // evicts "a"
+        m.complete(&req("c")).unwrap(); // evicts "b"
+
+        // Pre-fix the stale duplicate made the second eviction pop "a"
+        // again: "b" survived past capacity and evictions double-counted.
+        assert_eq!(m.len(), 1, "capacity bound respected");
+        assert_eq!(m.order.len(), 1);
+        assert_eq!(m.stats().evictions, 2);
+        m.complete(&req("b")).unwrap();
+        assert_eq!(m.stats().hits, 0, "\"b\" was truly evicted");
+    }
+
+    #[test]
+    fn batch_mixes_hits_misses_and_in_batch_duplicates() {
+        let inner = ScriptedModel::new(vec!["r".into()]);
+        let mut m = CachedModel::new(inner);
+        m.complete(&req("warm")).unwrap(); // pre-cached: 1 miss
+        let results = m.complete_batch(&[req("warm"), req("x"), req("x"), req("y")]);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.is_ok()));
+        // "warm" hits; first "x" and "y" miss; second "x" dedups to a hit.
+        assert_eq!(
+            m.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 3,
+                evictions: 0
+            }
+        );
+        // The backend saw only the distinct misses.
+        assert_eq!(m.get_ref().calls_served(), 3);
+        // Duplicate slots replay the same response.
+        assert_eq!(
+            results[1].as_ref().unwrap().choices[0].content,
+            results[2].as_ref().unwrap().choices[0].content
+        );
+        // Everything missing got cached.
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn batch_does_not_cache_errors() {
+        let inner = FailingModel::fail_on(ScriptedModel::new(vec!["ok".into()]), [0]);
+        let mut m = CachedModel::new(inner);
+        let results = m.complete_batch(&[req("bad"), req("good")]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert_eq!(m.len(), 1, "only the success was cached");
+        // The failed key stays a miss on the next batch.
+        let retry = m.complete_batch(&[req("bad")]);
+        assert!(retry[0].is_ok());
+        assert_eq!(m.stats().misses, 3);
     }
 
     #[test]

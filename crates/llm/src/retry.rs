@@ -99,6 +99,34 @@ impl<M: ChatModel> ChatModel for RetryModel<M> {
         }
     }
 
+    /// Forward the whole batch to the backend (so a sharded or pipelined
+    /// `complete_batch` underneath is preserved), then re-issue each
+    /// retryable failure individually within the per-request budget.
+    ///
+    /// Attempt counts, result order, and retry counters are identical to
+    /// the sequential default implementation.
+    fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
+        let mut results = self.inner.complete_batch(requests);
+        for (request, slot) in requests.iter().zip(results.iter_mut()) {
+            let mut attempt = 0u32;
+            while let Err(e) = slot {
+                if !e.is_retryable() || attempt >= self.max_retries {
+                    break;
+                }
+                attempt += 1;
+                self.retries_performed += 1;
+                if let Some(obs) = &mut self.observer {
+                    obs.on_event(&Event::Counter {
+                        counter: Counter::Retry,
+                        delta: 1,
+                    });
+                }
+                *slot = self.inner.complete(request);
+            }
+        }
+        results
+    }
+
     fn model_id(&self) -> ModelId {
         self.inner.model_id()
     }
@@ -142,6 +170,31 @@ mod tests {
         assert!(m.complete(&req("q")).is_err());
         assert_eq!(m.retries_performed(), 0);
         assert_eq!(m.get_ref().calls_attempted(), 1);
+    }
+
+    #[test]
+    fn batch_retries_failures_individually() {
+        let flaky = FailingModel::fail_on(
+            ScriptedModel::new(vec!["ok".into()]),
+            [1, 2], // both tail requests fail on their first attempt
+        );
+        let mut m = RetryModel::new(flaky, 2);
+        let reqs = vec![req("a"), req("b"), req("c")];
+        let results = m.complete_batch(&reqs);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(m.retries_performed(), 2);
+        assert_eq!(m.get_ref().calls_attempted(), 5);
+    }
+
+    #[test]
+    fn batch_surfaces_errors_after_budget() {
+        let flaky = FailingModel::fail_every(ScriptedModel::new(vec!["ok".into()]), 1);
+        let mut m = RetryModel::new(flaky, 1);
+        let results = m.complete_batch(&[req("a"), req("b")]);
+        assert!(results.iter().all(|r| r.is_err()));
+        assert_eq!(m.retries_performed(), 2);
+        assert_eq!(m.get_ref().calls_attempted(), 4);
     }
 
     #[test]

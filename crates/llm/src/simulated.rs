@@ -31,6 +31,7 @@ use crate::tokens::approx_token_count;
 use crate::usage::TokenUsage;
 use crate::ChatModel;
 use datasculpt_data::GenerativeModel;
+use datasculpt_exec::Pool;
 use datasculpt_text::rng::{derive_seed, hash_str};
 use datasculpt_text::{extract_ngrams, tokenize_keep_markers};
 use rand::rngs::StdRng;
@@ -65,6 +66,7 @@ pub struct SimulatedLlm {
     world: GenerativeModel,
     seed: u64,
     calls: u64,
+    pool: Pool,
 }
 
 impl SimulatedLlm {
@@ -75,6 +77,7 @@ impl SimulatedLlm {
             world,
             seed: derive_seed(seed, hash_str(model.api_name())),
             calls: 0,
+            pool: Pool::serial(),
         }
     }
 
@@ -85,7 +88,17 @@ impl SimulatedLlm {
             profile,
             world,
             calls: 0,
+            pool: Pool::serial(),
         }
+    }
+
+    /// Serve [`ChatModel::complete_batch`] through `pool`. Responses are a
+    /// pure function of `(seed, call index, request)`, so sharding a batch
+    /// across threads with positional call indices reproduces the
+    /// sequential transcript exactly at every thread count.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Number of completion calls served.
@@ -399,11 +412,13 @@ impl SimulatedLlm {
     }
 }
 
-impl ChatModel for SimulatedLlm {
-    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
-        let call_idx = self.calls;
-        self.calls += 1;
-
+impl SimulatedLlm {
+    /// Serve one completion at an explicit call index. This is the whole
+    /// response logic; it takes `&self` because the response is a pure
+    /// function of `(seed, call_idx, request)` — which is what lets
+    /// [`ChatModel::complete_batch`] assign indices positionally and fan
+    /// the batch out across threads.
+    fn complete_at(&self, call_idx: u64, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
         let system_text: String = request
             .messages
             .iter()
@@ -457,6 +472,36 @@ impl ChatModel for SimulatedLlm {
             },
             model: self.profile.model,
         })
+    }
+}
+
+impl ChatModel for SimulatedLlm {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let call_idx = self.calls;
+        self.calls += 1;
+        self.complete_at(call_idx, request)
+    }
+
+    /// Serve the batch in parallel on the configured [`Pool`]. Request `i`
+    /// gets call index `calls + i` — exactly the index it would get from
+    /// sequential `complete` calls — so the responses and the final call
+    /// counter are identical to the serial transcript.
+    fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
+        let base = self.calls;
+        let this = &*self;
+        let outcome = this.pool.try_map(requests, |i, request| {
+            this.complete_at(base + i as u64, request)
+        });
+        self.calls = base + requests.len() as u64;
+        match outcome {
+            Ok(results) => results,
+            // A worker panic cannot happen for this pure backend, but keep
+            // the failure visible instead of unwinding through the pool.
+            Err(e) => requests
+                .iter()
+                .map(|_| Err(LlmError::Transport(format!("batch worker panicked: {e}"))))
+                .collect(),
+        }
     }
 
     fn model_id(&self) -> ModelId {
@@ -645,6 +690,38 @@ mod tests {
     }
 
     const SYS: &str = "You are a helpful assistant who helps users in a sentiment analysis task. After the user provides input, identify a list of keywords that helps making prediction. Finally, provide the class label for the input.";
+
+    #[test]
+    fn parallel_batch_matches_sequential_at_every_thread_count() {
+        let queries = [
+            "Query: this movie was great and heartwarming i loved it",
+            "Query: the cgi was horrible and the plot was boring",
+            "Query: a really wonderful film with a great cast",
+            "Query: dull characters and a total waste of time",
+            "Query: the acting was superb and the story moving",
+        ];
+        let reqs: Vec<ChatRequest> = queries
+            .iter()
+            .map(|q| {
+                ChatRequest::new(vec![
+                    ChatMessage::system(SYS.to_string()),
+                    ChatMessage::user((*q).to_string()),
+                ])
+                .with_n(2)
+            })
+            .collect();
+        // Reference transcript: sequential `complete` calls.
+        let mut serial = sim(ModelId::Gpt4);
+        let expected: Vec<_> = reqs.iter().map(|r| serial.complete(r).unwrap()).collect();
+        for threads in [1, 2, 8] {
+            let mut m = sim(ModelId::Gpt4).with_pool(Pool::new(threads));
+            let results = m.complete_batch(&reqs);
+            assert_eq!(m.calls_served(), reqs.len() as u64, "threads={threads}");
+            for (got, want) in results.into_iter().zip(&expected) {
+                assert_eq!(&got.unwrap(), want, "threads={threads}");
+            }
+        }
+    }
 
     #[test]
     fn positive_review_gets_positive_label_and_keywords() {

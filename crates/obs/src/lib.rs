@@ -62,8 +62,8 @@ pub use metrics::{MetricsRecorder, MetricsSnapshot};
 pub use progress::StderrProgressSink;
 pub use tracer::{Record, TraceSink, Tracer};
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Version of the JSONL trace schema emitted by this crate.
 pub const TRACE_SCHEMA_VERSION: u64 = 1;
@@ -92,9 +92,12 @@ impl RunObserver for NoopObserver {
 }
 
 /// Fan-out: forwards every event to each child observer, in order.
+///
+/// Children are `Send` so a `Multi` can sit behind a [`SharedObserver`]
+/// that worker threads emit into.
 #[derive(Default)]
 pub struct Multi {
-    children: Vec<Box<dyn RunObserver>>,
+    children: Vec<Box<dyn RunObserver + Send>>,
 }
 
 impl Multi {
@@ -104,12 +107,12 @@ impl Multi {
     }
 
     /// Add a child observer.
-    pub fn push(&mut self, child: impl RunObserver + 'static) {
+    pub fn push(&mut self, child: impl RunObserver + Send + 'static) {
         self.children.push(Box::new(child));
     }
 
     /// Builder form of [`push`](Self::push).
-    pub fn with(mut self, child: impl RunObserver + 'static) -> Self {
+    pub fn with(mut self, child: impl RunObserver + Send + 'static) -> Self {
         self.push(child);
         self
     }
@@ -146,23 +149,72 @@ impl RunObserver for Multi {
     }
 }
 
-/// A cloneable handle to one observer, so the pipeline and the model
-/// middleware (cache, retry) can emit into the same trace during a single
-/// run.
+/// A cloneable, thread-safe handle to one observer, so the pipeline, the
+/// model middleware (cache, retry), and `exec`-pool workers can all emit
+/// into the same trace during a single run.
 ///
-/// Re-entrant emission (an observer emitting while already handling an
-/// event) is silently dropped rather than panicking.
+/// Cross-thread emission serializes through a mutex: concurrent events are
+/// never dropped, they are delivered one at a time in lock-acquisition
+/// order. Re-entrant emission (an observer emitting while *the same
+/// thread* is already handling an event) is silently dropped rather than
+/// deadlocking, preserving the old single-threaded contract.
 #[derive(Clone)]
 pub struct SharedObserver {
-    inner: Rc<RefCell<dyn RunObserver>>,
+    inner: Arc<SharedInner>,
+}
+
+struct SharedInner {
+    observer: Mutex<Box<dyn RunObserver + Send>>,
+    /// Token of the thread currently inside the observer (0 = none), used
+    /// to tell same-thread re-entrancy apart from cross-thread contention.
+    holder: AtomicU64,
+}
+
+/// A nonzero per-thread token (hashed [`std::thread::ThreadId`]).
+fn thread_token() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish() | 1
+}
+
+/// Clears the holder token even if the wrapped observer panics.
+struct HolderReset<'a>(&'a AtomicU64);
+
+impl Drop for HolderReset<'_> {
+    fn drop(&mut self) {
+        self.0.store(0, Ordering::Release);
+    }
 }
 
 impl SharedObserver {
     /// Wrap an observer in a shareable handle.
-    pub fn new(observer: impl RunObserver + 'static) -> Self {
+    pub fn new(observer: impl RunObserver + Send + 'static) -> Self {
         SharedObserver {
-            inner: Rc::new(RefCell::new(observer)),
+            inner: Arc::new(SharedInner {
+                observer: Mutex::new(Box::new(observer)),
+                holder: AtomicU64::new(0),
+            }),
         }
+    }
+
+    /// Run `f` on the inner observer unless this thread is already inside
+    /// it (re-entrancy), in which case `f` is skipped and `fallback`
+    /// returned. Poisoning is ignored: a panicking observer must not take
+    /// the run down with it.
+    fn with_inner<R>(&self, fallback: R, f: impl FnOnce(&mut dyn RunObserver) -> R) -> R {
+        let me = thread_token();
+        if self.inner.holder.load(Ordering::Acquire) == me {
+            return fallback;
+        }
+        let mut guard = self
+            .inner
+            .observer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.inner.holder.store(me, Ordering::Release);
+        let _reset = HolderReset(&self.inner.holder);
+        f(guard.as_mut())
     }
 }
 
@@ -174,16 +226,11 @@ impl std::fmt::Debug for SharedObserver {
 
 impl RunObserver for SharedObserver {
     fn on_event(&mut self, event: &Event) {
-        if let Ok(mut inner) = self.inner.try_borrow_mut() {
-            inner.on_event(event);
-        }
+        self.with_inner((), |inner| inner.on_event(event));
     }
 
     fn finish(&mut self) -> std::io::Result<()> {
-        match self.inner.try_borrow_mut() {
-            Ok(mut inner) => inner.finish(),
-            Err(_) => Ok(()),
-        }
+        self.with_inner(Ok(()), |inner| inner.finish())
     }
 }
 

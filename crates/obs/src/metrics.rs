@@ -10,9 +10,8 @@ use crate::cost::{format_ns, format_usd};
 use crate::event::Event;
 use crate::tracer::{Record, TraceSink};
 use crate::TRACE_SCHEMA_VERSION;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Aggregates for one stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -166,10 +165,11 @@ impl MetricsSnapshot {
 }
 
 /// A [`TraceSink`] that aggregates records in memory. Clones share the
-/// accumulator.
+/// accumulator, and the handle is `Send`, so one clone can sit inside a
+/// worker-side tracer while another renders the summary afterwards.
 #[derive(Clone, Default)]
 pub struct MetricsRecorder {
-    inner: Rc<RefCell<MetricsSnapshot>>,
+    inner: Arc<Mutex<MetricsSnapshot>>,
 }
 
 impl MetricsRecorder {
@@ -180,7 +180,13 @@ impl MetricsRecorder {
 
     /// Copy out everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.borrow().clone()
+        self.lock().clone()
+    }
+
+    /// Lock the shared accumulator, ignoring poisoning: a panicking
+    /// recorder thread must not lose the metrics gathered so far.
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsSnapshot> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Shorthand: render the summary table of the current snapshot.
@@ -202,9 +208,7 @@ impl std::fmt::Debug for MetricsRecorder {
 
 impl TraceSink for MetricsRecorder {
     fn record(&mut self, record: &Record<'_>) {
-        let Ok(mut m) = self.inner.try_borrow_mut() else {
-            return; // re-entrant recording: drop rather than panic
-        };
+        let mut m = self.lock();
         m.events += 1;
         match record.event {
             Event::StageEnd { stage, .. } => {

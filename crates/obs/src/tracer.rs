@@ -43,16 +43,21 @@ enum SpanKey {
 /// The clock is injected: [`SystemClock`](crate::SystemClock) for real
 /// runs, [`ManualClock`](crate::ManualClock) for deterministic tests and
 /// golden traces.
+///
+/// Clock and sinks are `Send` so a tracer can live behind a
+/// [`SharedObserver`](crate::SharedObserver) that worker threads emit
+/// into; sequence numbers are assigned under that handle's lock, so `seq`
+/// stays strictly sequential even under concurrent emission.
 pub struct Tracer {
-    clock: Box<dyn Clock>,
-    sinks: Vec<Box<dyn TraceSink>>,
+    clock: Box<dyn Clock + Send>,
+    sinks: Vec<Box<dyn TraceSink + Send>>,
     seq: u64,
     open: Vec<(SpanKey, u64)>,
 }
 
 impl Tracer {
     /// A tracer with no sinks (attach them with [`add_sink`](Self::add_sink)).
-    pub fn new(clock: Box<dyn Clock>) -> Self {
+    pub fn new(clock: Box<dyn Clock + Send>) -> Self {
         Tracer {
             clock,
             sinks: Vec::new(),
@@ -62,12 +67,12 @@ impl Tracer {
     }
 
     /// Attach a sink.
-    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink + Send>) {
         self.sinks.push(sink);
     }
 
     /// Builder form of [`add_sink`](Self::add_sink).
-    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
         self.add_sink(sink);
         self
     }
@@ -149,19 +154,19 @@ mod tests {
     use super::*;
     use crate::clock::ManualClock;
     use crate::RunObserver;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[derive(Default)]
     struct Captured(Vec<(u64, u64, Option<u64>, String)>);
 
     #[derive(Clone, Default)]
-    struct CaptureSink(Rc<RefCell<Captured>>);
+    struct CaptureSink(Arc<Mutex<Captured>>);
 
     impl TraceSink for CaptureSink {
         fn record(&mut self, r: &Record<'_>) {
             self.0
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .0
                 .push((r.seq, r.t_ns, r.dur_ns, r.event.kind().to_string()));
         }
@@ -184,7 +189,7 @@ mod tests {
             iter: 0,
             stage: Stage::Select,
         }); // t = 200, dur = 200
-        let got = cap.0.borrow();
+        let got = cap.0.lock().unwrap();
         assert_eq!(got.0[0], (0, 0, None, "stage_begin".into()));
         assert_eq!(got.0[1], (1, 100, None, "counter".into()));
         assert_eq!(got.0[2], (2, 200, Some(200), "stage_end".into()));
@@ -213,7 +218,7 @@ mod tests {
             rejected: 0,
             failed: false,
         }); // t=30 dur=30
-        let got = cap.0.borrow();
+        let got = cap.0.lock().unwrap();
         assert_eq!(got.0[2].2, Some(10));
         assert_eq!(got.0[3].2, Some(30));
     }
@@ -227,6 +232,6 @@ mod tests {
             iter: 9,
             stage: Stage::Revise,
         });
-        assert_eq!(cap.0.borrow().0[0].2, Some(0));
+        assert_eq!(cap.0.lock().unwrap().0[0].2, Some(0));
     }
 }

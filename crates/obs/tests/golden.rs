@@ -73,11 +73,11 @@ fn golden_events() -> Vec<Event> {
 /// A writer whose buffer stays readable after the sink is boxed into the
 /// tracer.
 #[derive(Clone, Default)]
-struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
 
 impl std::io::Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -93,7 +93,7 @@ fn render_golden_trace() -> String {
         tracer.on_event(&event);
     }
     tracer.finish().unwrap();
-    let bytes = buf.0.borrow().clone();
+    let bytes = buf.0.lock().unwrap().clone();
     String::from_utf8(bytes).unwrap()
 }
 

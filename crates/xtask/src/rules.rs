@@ -36,13 +36,16 @@ pub enum Rule {
     DiscardedResult,
     /// Lossy `as` casts on accounting paths.
     LossyCast,
+    /// Raw `std::thread::spawn` / `std::thread::scope` outside the exec
+    /// crate (bypasses the deterministic pool).
+    RawThread,
     /// Malformed `ds-lint` suppression comment.
     BadSuppression,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::Panic,
         Rule::Unwrap,
         Rule::UncheckedIndex,
@@ -50,6 +53,7 @@ impl Rule {
         Rule::WallClock,
         Rule::DiscardedResult,
         Rule::LossyCast,
+        Rule::RawThread,
         Rule::BadSuppression,
     ];
 
@@ -63,6 +67,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::DiscardedResult => "discarded-result",
             Rule::LossyCast => "lossy-cast",
+            Rule::RawThread => "raw-thread",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -87,6 +92,10 @@ impl Rule {
             }
             Rule::DiscardedResult => "`let _ =` may silently drop a fallible result",
             Rule::LossyCast => "lossy `as` cast on an accounting path; use integer arithmetic",
+            Rule::RawThread => {
+                "raw thread::spawn/thread::scope outside crates/exec; use the exec Pool so \
+                 results stay deterministic and panics are contained"
+            }
             Rule::BadSuppression => {
                 "malformed ds-lint suppression: expected `ds-lint: allow(<rule>): <reason>` \
                  with a known rule and a non-empty reason"
@@ -226,6 +235,9 @@ pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Vi
         if has_lossy_cast(code) {
             push(Rule::LossyCast);
         }
+        if code.contains("thread::spawn") || code.contains("thread::scope") {
+            push(Rule::RawThread);
+        }
     }
     out.sort_by_key(|a| (a.line, a.rule));
     out
@@ -350,6 +362,19 @@ mod tests {
     fn wall_clock_and_discarded_result() {
         let v = all("fn f() { let t = std::time::Instant::now(); let _ = call(); }\n");
         assert_eq!(rules_of(&v), vec![Rule::WallClock, Rule::DiscardedResult]);
+    }
+
+    #[test]
+    fn raw_thread_is_flagged() {
+        let v =
+            all("fn f() { std::thread::spawn(|| {}); }\nfn g() { std::thread::scope(|s| {}); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::RawThread, Rule::RawThread]);
+    }
+
+    #[test]
+    fn raw_thread_suppression_works() {
+        let v = all("// ds-lint: allow(raw-thread): pool internals\nfn f() { std::thread::scope(|s| {}); }\n");
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -24,4 +24,20 @@ cargo run -q -p datasculpt --bin datasculpt -- \
   --trace "$trace_file" --metrics > /dev/null
 cargo run -q -p datasculpt --bin datasculpt -- trace-check "$trace_file"
 
+echo "==> parallel determinism smoke test (serial vs 8-thread run digest)"
+digest_at() {
+  cargo run -q -p datasculpt --bin datasculpt -- \
+    run youtube --scale 0.1 --queries 8 --threads "$1" --show-lfs 0 \
+    | sed -n 's/^run digest: *//p'
+}
+serial_digest="$(digest_at 1)"
+parallel_digest="$(digest_at 8)"
+if [ -z "$serial_digest" ] || [ "$serial_digest" != "$parallel_digest" ]; then
+  echo "FAIL: run digest differs across thread counts" >&2
+  echo "  --threads 1: ${serial_digest:-<missing>}" >&2
+  echo "  --threads 8: ${parallel_digest:-<missing>}" >&2
+  exit 1
+fi
+echo "    digest ${serial_digest} identical at --threads 1 and 8"
+
 echo "==> all checks passed"
