@@ -109,20 +109,20 @@ fn bench_label_model(c: &mut Criterion) {
     c.bench_function("labelmodel/metal_fit_1586x40", |b| {
         b.iter(|| {
             let mut lm = MetalModel::new().with_max_iter(25);
-            lm.fit(black_box(&matrix), 2);
+            lm.fit(black_box(matrix), 2);
             lm
         })
     });
     let mut lm = MetalModel::new().with_max_iter(25);
-    lm.fit(&matrix, 2);
+    lm.fit(matrix, 2);
     c.bench_function("labelmodel/metal_predict_1586x40", |b| {
-        b.iter(|| lm.predict_proba(black_box(&matrix)))
+        b.iter(|| lm.predict_proba(black_box(matrix)))
     });
     c.bench_function("labelmodel/majority_vote_1586x40", |b| {
         b.iter(|| {
             let mut mv = MajorityVote::new();
-            mv.fit(black_box(&matrix), 2);
-            mv.predict_proba(black_box(&matrix))
+            mv.fit(black_box(matrix), 2);
+            mv.predict_proba(black_box(matrix))
         })
     });
 }
@@ -175,6 +175,35 @@ fn bench_dataset_generation(c: &mut Criterion) {
     });
 }
 
+/// Columnar hot-path kernels vs their pre-refactor row-major baselines,
+/// on an Agnews slice (the full-size comparison is `scripts/bench.sh` →
+/// `BENCH_hotpath.json`). Shares fixtures and the baseline port with the
+/// `hotpath` binary via `datasculpt_bench::hotpath`.
+fn bench_hotpath_columnar_vs_rowmajor(c: &mut Criterion) {
+    use datasculpt_bench::hotpath::{HotpathFixture, ESTEP_ITERS};
+    let fx = HotpathFixture::load(DatasetName::Agnews, 0.05);
+    c.bench_function("hotpath/index_build_agnews", |b| {
+        b.iter(|| fx.kernel_index_build())
+    });
+    c.bench_function("hotpath/lf_apply_indexed_agnews", |b| {
+        b.iter(|| fx.kernel_lf_apply())
+    });
+    c.bench_function("hotpath/lf_apply_rowscan_baseline_agnews", |b| {
+        b.iter(|| fx.kernel_lf_apply_rowscan())
+    });
+    c.bench_function(
+        &format!("hotpath/metal_estep_{ESTEP_ITERS}it_columnar_agnews"),
+        |b| b.iter(|| fx.kernel_metal_estep()),
+    );
+    c.bench_function(
+        &format!("hotpath/metal_estep_{ESTEP_ITERS}it_rowmajor_baseline_agnews"),
+        |b| b.iter(|| fx.kernel_metal_estep_rowmajor()),
+    );
+    c.bench_function("hotpath/tfidf_featurize_agnews", |b| {
+        b.iter(|| fx.kernel_tfidf())
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -184,6 +213,7 @@ criterion_group!(
     bench_cache_and_batch,
     bench_label_model,
     bench_end_model,
-    bench_dataset_generation
+    bench_dataset_generation,
+    bench_hotpath_columnar_vs_rowmajor
 );
 criterion_main!(benches);

@@ -36,7 +36,7 @@ fn main() {
             let run = DataSculpt::new(dataset, DataSculptConfig::sc(0))
                 .run(&mut llm)
                 .expect("the simulated model does not fail");
-            run.lf_set.train_matrix()
+            run.lf_set.train_matrix().clone()
         },
         |matrix, dataset, vi| evaluate_matrix(dataset, matrix, &variants[vi].1).end_metric,
     );

@@ -40,6 +40,8 @@ use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
 use std::io::Write as _;
 
+pub mod hotpath;
+
 /// One method's averaged outcome on one dataset (a column of a table).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Outcome {

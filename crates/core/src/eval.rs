@@ -155,7 +155,7 @@ pub fn evaluate_lf_set(
     lf_set: &LfSet,
     config: &EvalConfig,
 ) -> PwsEvaluation {
-    evaluate_matrix(dataset, &lf_set.train_matrix(), config)
+    evaluate_matrix(dataset, lf_set.train_matrix(), config)
 }
 
 /// Evaluate a raw weak-label matrix end-to-end (used by PromptedLF, whose

@@ -98,7 +98,8 @@ enum SelectorState {
     Balanced(Vec<Exemplar>),
     /// Embedded validation split for nearest-neighbour lookup.
     Kate {
-        embedder: RandomProjection,
+        // Boxed: the arena-backed embedder dwarfs the Balanced variant.
+        embedder: Box<RandomProjection>,
         valid_embeddings: FeatureMatrix,
     },
 }
@@ -159,7 +160,7 @@ impl IclSelector {
                 let emb = RandomProjection::new(tfidf, 64, derive_seed(seed, 0x4A7E));
                 let matrix = emb.embed_batch(dataset.valid.iter().map(|i| i.tokens.as_slice()));
                 SelectorState::Kate {
-                    embedder: emb,
+                    embedder: Box::new(emb),
                     valid_embeddings: matrix,
                 }
             }

@@ -2,98 +2,156 @@
 //!
 //! Applying hundreds of keyword LFs to a 96k-instance corpus by scanning
 //! tokens is quadratic pain; instead each instance's n-grams (orders 1–3)
-//! are hashed once into a per-instance set, making LF application an O(1)
-//! lookup. Relation datasets get a second set restricted to the short
-//! window between the `[a]`/`[b]` entity markers, which answers anchored-LF
-//! activation in O(1) as well.
+//! are interned once into a split-local [`TokenArena`] and stored as a
+//! sorted symbol run in one flat CSR buffer (a contiguous symbol vector
+//! plus per-instance offsets), making LF application one arena lookup plus
+//! a binary search per instance. Relation datasets get a second CSR
+//! restricted to the short window between the `[a]`/`[b]` entity markers,
+//! which answers anchored-LF activation the same way; on classification
+//! datasets that CSR is all empty ranges — adjacent equal offsets, no
+//! per-instance allocation at all.
 
 use crate::lf::{KeywordLf, ANCHOR_WINDOW};
 use datasculpt_data::Split;
 use datasculpt_exec::Pool;
 use datasculpt_labelmodel::ABSTAIN;
-use datasculpt_text::ngram::extract_ngrams;
-use datasculpt_text::rng::hash_str;
+use datasculpt_text::ngram::for_each_ngram;
+use datasculpt_text::TokenArena;
 
-/// Precomputed n-gram hash sets for every instance of a split, stored as
-/// sorted, deduplicated vectors: containment is a binary search, iteration
-/// order is deterministic, and the memory layout is a single contiguous
-/// allocation per instance.
-#[derive(Debug, Clone)]
-pub struct NgramIndex {
-    /// All n-grams (orders 1–3) of the LF-matching token view.
-    full: Vec<Vec<u64>>,
-    /// N-grams inside the anchored window (relation datasets; empty sets
-    /// otherwise).
-    between: Vec<Vec<u64>>,
+/// Flat CSR gram storage: instance `i`'s sorted, deduplicated gram symbols
+/// live at `syms[offsets[i]..offsets[i + 1]]`.
+#[derive(Debug, Clone, Default)]
+struct GramCsr {
+    syms: Vec<u32>,
+    offsets: Vec<usize>,
 }
 
-/// Sort + dedup a hash list into binary-searchable form.
-fn into_sorted_set(mut hashes: Vec<u64>) -> Vec<u64> {
-    hashes.sort_unstable();
-    hashes.dedup();
-    hashes
+impl GramCsr {
+    fn with_capacity(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        Self {
+            syms: Vec::new(),
+            offsets,
+        }
+    }
+
+    /// Append one instance's symbols: sort + dedup the tail in place, then
+    /// seal the row with the next offset.
+    fn push_row(&mut self, mut row: Vec<u32>) {
+        row.sort_unstable();
+        row.dedup();
+        self.syms.extend_from_slice(&row);
+        self.offsets.push(self.syms.len());
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.syms[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    #[inline]
+    fn contains(&self, i: usize, sym: u32) -> bool {
+        self.row(i).binary_search(&sym).is_ok()
+    }
+}
+
+/// Precomputed n-gram symbol sets for every instance of a split. Symbols
+/// come from one shared arena (first-seen order, so builds are
+/// deterministic), containment is a binary search over a contiguous row,
+/// and the whole index is three flat allocations instead of two
+/// `Vec<Vec<u64>>` jungles.
+#[derive(Debug, Clone)]
+pub struct NgramIndex {
+    arena: TokenArena,
+    /// All n-grams (orders 1–3) of the LF-matching token view.
+    full: GramCsr,
+    /// N-grams inside the anchored window (relation datasets; empty offset
+    /// ranges otherwise).
+    between: GramCsr,
 }
 
 impl NgramIndex {
     /// Build the index for a split.
     pub fn build(split: &Split) -> Self {
-        let mut full = Vec::with_capacity(split.len());
-        let mut between = Vec::with_capacity(split.len());
+        let mut arena = TokenArena::new();
+        let mut full = GramCsr::with_capacity(split.len());
+        let mut between = GramCsr::with_capacity(split.len());
+        let mut row = Vec::new();
         for inst in split.iter() {
             let tokens = inst.match_tokens();
-            let grams = extract_ngrams(tokens, 3);
-            full.push(into_sorted_set(grams.iter().map(|g| hash_str(g)).collect()));
-            let mut span_set = Vec::new();
+            row.clear();
+            for_each_ngram(tokens, 3, |g| row.push(arena.intern(g)));
+            full.push_row(std::mem::take(&mut row));
             if inst.marked_tokens.is_some() {
                 let ia = tokens.iter().position(|t| t == "[a]");
                 let ib = tokens.iter().position(|t| t == "[b]");
                 if let (Some(ia), Some(ib)) = (ia, ib) {
                     let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
                     if hi - lo <= ANCHOR_WINDOW && hi - lo >= 2 {
-                        for g in extract_ngrams(&tokens[lo + 1..hi], 3) {
-                            span_set.push(hash_str(&g));
-                        }
+                        for_each_ngram(&tokens[lo + 1..hi], 3, |g| row.push(arena.intern(g)));
                     }
                 }
             }
-            between.push(into_sorted_set(span_set));
+            between.push_row(std::mem::take(&mut row));
         }
-        Self { full, between }
+        Self {
+            arena,
+            full,
+            between,
+        }
     }
 
     /// Number of instances indexed.
     pub fn len(&self) -> usize {
-        self.full.len()
+        self.full.offsets.len() - 1
     }
 
     /// True if no instances are indexed.
     pub fn is_empty(&self) -> bool {
-        self.full.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of distinct grams interned across the split.
+    pub fn vocab_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total anchored-window gram entries across all instances (0 on
+    /// classification datasets: every between-range is empty).
+    pub fn anchored_grams(&self) -> usize {
+        self.between.syms.len()
+    }
+
+    #[inline]
+    fn csr(&self, anchored: bool) -> &GramCsr {
+        if anchored {
+            &self.between
+        } else {
+            &self.full
+        }
     }
 
     /// Whether an LF fires on instance `i`.
     #[inline]
     pub fn fires(&self, lf: &KeywordLf, i: usize) -> bool {
-        let h = hash_str(&lf.keyword);
-        let set = if lf.anchored {
-            &self.between
-        } else {
-            &self.full
-        };
-        set.get(i).is_some_and(|s| s.binary_search(&h).is_ok())
+        match self.arena.lookup(&lf.keyword) {
+            None => false,
+            Some(sym) => i < self.len() && self.csr(lf.anchored).contains(i, sym),
+        }
     }
 
     /// The LF's vote column over the indexed split.
     pub fn apply(&self, lf: &KeywordLf) -> Vec<i32> {
-        let h = hash_str(&lf.keyword);
-        let sets = if lf.anchored {
-            &self.between
-        } else {
-            &self.full
+        let n = self.len();
+        let Some(sym) = self.arena.lookup(&lf.keyword) else {
+            // Keyword never seen in the split: the column is all abstain.
+            return vec![ABSTAIN; n];
         };
-        sets.iter()
-            .map(|s| {
-                if s.binary_search(&h).is_ok() {
+        let csr = self.csr(lf.anchored);
+        (0..n)
+            .map(|i| {
+                if csr.contains(i, sym) {
                     lf.label as i32
                 } else {
                     ABSTAIN
@@ -108,17 +166,15 @@ impl NgramIndex {
     /// only on the split length, so the concatenated result is
     /// byte-identical to [`apply`](Self::apply) at every thread count.
     pub fn apply_with(&self, lf: &KeywordLf, pool: &Pool) -> Vec<i32> {
-        let h = hash_str(&lf.keyword);
-        let sets = if lf.anchored {
-            &self.between
-        } else {
-            &self.full
+        let n = self.len();
+        let Some(sym) = self.arena.lookup(&lf.keyword) else {
+            return vec![ABSTAIN; n];
         };
-        let shards = pool.map_shards(sets.len(), |range| {
-            sets[range]
-                .iter()
-                .map(|s| {
-                    if s.binary_search(&h).is_ok() {
+        let csr = self.csr(lf.anchored);
+        let shards = pool.map_shards(n, |range| {
+            range
+                .map(|i| {
+                    if csr.contains(i, sym) {
                         lf.label as i32
                     } else {
                         ABSTAIN
@@ -128,7 +184,7 @@ impl NgramIndex {
         });
         match shards {
             Ok(cols) => {
-                let mut out = Vec::with_capacity(sets.len());
+                let mut out = Vec::with_capacity(n);
                 for col in cols {
                     out.extend(col);
                 }
@@ -206,6 +262,27 @@ mod tests {
         let lf = KeywordLf::anchored("married", 1);
         assert_eq!(idx.apply(&lf), lf.apply(&s));
         assert_eq!(idx.apply(&lf), vec![1, ABSTAIN, ABSTAIN]);
+        assert!(idx.anchored_grams() > 0);
+    }
+
+    #[test]
+    fn classification_split_stores_no_anchored_grams() {
+        // Regression: the old index built a per-instance between-set even
+        // when no instance had entity markers. The CSR must hold zero
+        // anchored entries — every between-range an empty slice — and
+        // anchored LFs must abstain everywhere.
+        let s = split(&[
+            "this movie was a waste of time",
+            "a great and funny movie",
+            "nothing to say here",
+        ]);
+        let idx = NgramIndex::build(&s);
+        assert_eq!(idx.anchored_grams(), 0);
+        let lf = KeywordLf::anchored("movie", 1);
+        assert_eq!(idx.apply(&lf), vec![ABSTAIN; 3]);
+        assert!(!idx.fires(&lf, 0));
+        // The full index is untouched by the anchored fast path.
+        assert!(idx.vocab_len() > 0);
     }
 
     #[test]
@@ -213,6 +290,16 @@ mod tests {
         let idx = NgramIndex::build(&Split::default());
         assert!(idx.is_empty());
         assert_eq!(idx.apply(&KeywordLf::new("x", 0)), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn unseen_keyword_abstains_on_both_paths() {
+        let s = split(&["alpha beta", "gamma delta"]);
+        let idx = NgramIndex::build(&s);
+        let lf = KeywordLf::new("omega", 1);
+        assert_eq!(idx.apply(&lf), vec![ABSTAIN, ABSTAIN]);
+        assert_eq!(idx.apply_with(&lf, &Pool::new(2)), vec![ABSTAIN, ABSTAIN]);
+        assert!(!idx.fires(&lf, 0));
     }
 
     #[test]

@@ -6,10 +6,17 @@ use crate::lf::KeywordLf;
 use datasculpt_data::TextDataset;
 use datasculpt_exec::Pool;
 use datasculpt_labelmodel::{LabelMatrix, ABSTAIN};
+use datasculpt_text::TokenArena;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A candidate memo key: interned keyword symbol, label, anchoring flag.
+type CandidateKey = (u32, usize, bool);
+
 /// The accumulated set of accepted LFs plus their cached vote columns on
-/// the train and validation splits.
+/// the train and validation splits, held directly as LF-major
+/// [`LabelMatrix`] values: accepting an LF appends one contiguous column,
+/// and the label model consumes the matrices by reference with no
+/// per-call rebuild.
 ///
 /// Candidates are offered through [`try_add`](LfSet::try_add), which applies
 /// the §3.5 filters incrementally: validity structurally, accuracy against
@@ -18,19 +25,22 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone)]
 pub struct LfSet {
     lfs: Vec<KeywordLf>,
-    train_cols: Vec<Vec<i32>>,
-    valid_cols: Vec<Vec<i32>>,
+    train_votes: LabelMatrix,
+    valid_votes: LabelMatrix,
     train_index: NgramIndex,
     valid_index: NgramIndex,
     valid_labels: Vec<Option<usize>>,
     n_classes: usize,
     filters: FilterConfig,
-    seen: BTreeSet<(String, usize, bool)>,
+    /// Interns candidate keywords once; memo keys carry the `u32` symbol
+    /// instead of an owned `String` per offer.
+    memo_arena: TokenArena,
+    seen: BTreeSet<CandidateKey>,
     /// Keys already rejected, with the outcome of their first offer.
     /// Sound to memoize: validity and accuracy do not depend on the set,
     /// and redundancy is monotone — the set only grows, so a redundant
     /// candidate can never become acceptable later.
-    rejected_seen: BTreeMap<(String, usize, bool), AddOutcome>,
+    rejected_seen: BTreeMap<CandidateKey, AddOutcome>,
     rejected: RejectionCounts,
     pool: Pool,
 }
@@ -58,15 +68,18 @@ pub struct RejectionCounts {
 impl LfSet {
     /// An empty set over a dataset (indexes the train and valid splits).
     pub fn new(dataset: &TextDataset, filters: FilterConfig) -> Self {
+        let train_index = NgramIndex::build(&dataset.train);
+        let valid_index = NgramIndex::build(&dataset.valid);
         Self {
             lfs: Vec::new(),
-            train_cols: Vec::new(),
-            valid_cols: Vec::new(),
-            train_index: NgramIndex::build(&dataset.train),
-            valid_index: NgramIndex::build(&dataset.valid),
+            train_votes: LabelMatrix::empty(train_index.len(), 0),
+            valid_votes: LabelMatrix::empty(valid_index.len(), 0),
+            train_index,
+            valid_index,
             valid_labels: dataset.valid.labels_opt(),
             n_classes: dataset.n_classes(),
             filters,
+            memo_arena: TokenArena::new(),
             seen: BTreeSet::new(),
             rejected_seen: BTreeMap::new(),
             rejected: RejectionCounts::default(),
@@ -114,7 +127,7 @@ impl LfSet {
     /// outcome as its first offer without re-running the O(|set| · n)
     /// filter scan (counted under [`RejectionCounts::repeat`]).
     pub fn try_add(&mut self, lf: KeywordLf) -> AddOutcome {
-        let key = (lf.keyword.clone(), lf.label, lf.anchored);
+        let key = (self.memo_arena.intern(&lf.keyword), lf.label, lf.anchored);
         if self.seen.contains(&key) {
             self.rejected.duplicate += 1;
             return AddOutcome::Duplicate;
@@ -164,10 +177,11 @@ impl LfSet {
 
         // Redundancy against accepted LFs, on the train split (§3.5):
         // prune when consensus *reaches* the threshold (inclusive, so a
-        // byte-identical column is pruned even at threshold 1.0).
+        // byte-identical column is pruned even at threshold 1.0). Each
+        // existing column is a contiguous slice of the vote matrix.
         let train_col = self.train_index.apply_with(&lf, &self.pool);
         if self.filters.redundancy {
-            for existing in &self.train_cols {
+            for existing in self.train_votes.columns() {
                 if consensus(&train_col, existing) >= self.filters.redundancy_threshold {
                     self.rejected.redundancy += 1;
                     self.rejected_seen
@@ -177,28 +191,39 @@ impl LfSet {
             }
         }
 
+        // The columns come from the split indexes (right length) with
+        // votes in {abstain, label < n_classes}, so the pushes cannot
+        // fail; if that invariant ever breaks, keep the two matrices
+        // aligned and refuse the candidate instead of panicking.
+        if self.train_votes.try_push_column(&train_col).is_err()
+            || self.valid_votes.try_push_column(&valid_col).is_err()
+        {
+            while self.train_votes.cols() > self.lfs.len() {
+                self.train_votes.pop_column();
+            }
+            self.rejected.validity += 1;
+            self.rejected_seen.insert(key, AddOutcome::RejectedValidity);
+            return AddOutcome::RejectedValidity;
+        }
         self.seen.insert(key);
         self.lfs.push(lf);
-        self.train_cols.push(train_col);
-        self.valid_cols.push(valid_col);
         AddOutcome::Added
     }
 
-    /// The weak-label matrix over the train split.
-    pub fn train_matrix(&self) -> LabelMatrix {
-        let rows = self.train_index.len();
-        LabelMatrix::from_columns(&self.train_cols, rows)
+    /// The weak-label matrix over the train split (held columnar; no
+    /// per-call rebuild).
+    pub fn train_matrix(&self) -> &LabelMatrix {
+        &self.train_votes
     }
 
     /// The weak-label matrix over the validation split.
-    pub fn valid_matrix(&self) -> LabelMatrix {
-        let rows = self.valid_index.len();
-        LabelMatrix::from_columns(&self.valid_cols, rows)
+    pub fn valid_matrix(&self) -> &LabelMatrix {
+        &self.valid_votes
     }
 
     /// Vote column of accepted LF `j` on the train split.
     pub fn train_column(&self, j: usize) -> &[i32] {
-        &self.train_cols[j]
+        self.train_votes.column(j)
     }
 
     /// Number of classes of the underlying task.

@@ -151,8 +151,8 @@ impl UncertainSampler {
         // Weak labels on the pool via majority vote (cheap, refreshed often).
         let matrix = lf_set.train_matrix();
         let mut mv = MajorityVote::new();
-        mv.fit(&matrix, dataset.n_classes());
-        let probs = mv.predict_proba(&matrix);
+        mv.fit(matrix, dataset.n_classes());
+        let probs = mv.predict_proba(matrix);
         // Train a small model on covered pool instances.
         let covered: Vec<usize> = self
             .pool

@@ -37,7 +37,7 @@ fn main() {
         let mut lm = MetalModel::new()
             .with_class_balance(d.valid.class_distribution(2))
             .with_max_iter(iters);
-        lm.fit(&vm, 2);
+        lm.fit(vm, 2);
         obs.on_event(&Event::StageEnd {
             iter: i as u64,
             stage: Stage::Fit,

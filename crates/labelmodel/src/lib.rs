@@ -23,12 +23,14 @@ pub mod majority;
 pub mod matrix;
 pub mod metal;
 pub mod probs;
+pub mod reference;
 pub mod triplet;
 
 pub use majority::MajorityVote;
-pub use matrix::{LabelMatrix, ABSTAIN};
+pub use matrix::{LabelMatrix, MatrixError, ABSTAIN};
 pub use metal::{MetalConfig, MetalModel};
 pub use probs::ProbLabels;
+pub use reference::RowMajorMatrix;
 pub use triplet::TripletModel;
 
 /// A label model: fit on a weak-label matrix, emit probabilistic labels.

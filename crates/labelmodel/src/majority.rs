@@ -28,28 +28,34 @@ impl LabelModel for MajorityVote {
     fn predict_proba(&self, matrix: &LabelMatrix) -> ProbLabels {
         assert!(self.n_classes >= 2, "fit before predict");
         let c = self.n_classes;
-        let mut probs = Vec::with_capacity(matrix.rows() * c);
-        let mut covered = Vec::with_capacity(matrix.rows());
-        for i in 0..matrix.rows() {
-            let mut hist = vec![0.0f64; c];
-            let mut active = 0usize;
-            for &v in matrix.row(i) {
+        let n = matrix.rows();
+        // One branch-light sweep per LF column fills integer vote
+        // histograms; the exact counts make the result independent of the
+        // sweep order (and identical to the old per-row histogram loop).
+        let mut hist = vec![0u32; n * c];
+        let mut active = vec![0u32; n];
+        for j in 0..matrix.cols() {
+            for (i, &v) in matrix.column(j).iter().enumerate() {
                 if v != ABSTAIN {
-                    hist[v as usize] += 1.0;
-                    active += 1;
+                    hist[i * c + v as usize] += 1;
+                    active[i] += 1;
                 }
             }
-            if active == 0 {
+        }
+        let mut probs = Vec::with_capacity(n * c);
+        let mut covered = Vec::with_capacity(n);
+        for (i, &a) in active.iter().enumerate() {
+            if a == 0 {
                 probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
                 covered.push(false);
             } else {
-                for h in &hist {
-                    probs.push(h / active as f64);
+                for &h in &hist[i * c..(i + 1) * c] {
+                    probs.push(f64::from(h) / f64::from(a));
                 }
                 covered.push(true);
             }
         }
-        ProbLabels::new(probs, matrix.rows(), c, covered)
+        ProbLabels::new(probs, n, c, covered)
     }
 }
 

@@ -1,44 +1,132 @@
-//! The weak-label matrix.
+//! The weak-label matrix, stored LF-major (columnar).
+//!
+//! Every consumer of the matrix sweeps it one LF at a time: the MeTaL
+//! E-step, majority vote, the coverage/accuracy statistics, and the
+//! redundancy filter all ask "what did LF `j` vote across the split" —
+//! never "what is the full vote row of instance `i`" (rows are only ever
+//! *reduced*, into per-row accumulators). The storage matches that access
+//! pattern: one contiguous `rows`-long column per LF, so a column sweep is
+//! a linear scan, appending an LF is a memcpy, and the old row-major
+//! scatter in `from_columns` does not exist.
 
 /// The abstain vote: the LF did not fire on this instance.
 pub const ABSTAIN: i32 = -1;
 
+/// Why a matrix could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Buffer or column length does not match the declared shape.
+    ShapeMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Actual number of entries.
+        got: usize,
+    },
+    /// A vote below [`ABSTAIN`].
+    InvalidVote {
+        /// The offending vote value.
+        value: i32,
+    },
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected} entries, got {got}")
+            }
+            MatrixError::InvalidVote { value } => write!(f, "invalid vote {value}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
 /// An `n × m` matrix of weak labels: entry `(i, j)` is LF `j`'s vote on
 /// instance `i` — a class index, or [`ABSTAIN`].
+///
+/// Storage is LF-major: `data[j * rows + i]`, one contiguous column per LF.
 #[derive(Debug, Clone)]
 pub struct LabelMatrix {
+    /// Column-major (LF-major) vote buffer.
     data: Vec<i32>,
     rows: usize,
     cols: usize,
 }
 
 impl LabelMatrix {
+    /// Build from a flat **row-major** buffer (entry `(i, j)` at
+    /// `i * cols + j`), validating shape and vote range. The buffer is
+    /// transposed once into the columnar layout.
+    pub fn try_new(data: Vec<i32>, rows: usize, cols: usize) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        if let Some(&value) = data.iter().find(|&&v| v < ABSTAIN) {
+            return Err(MatrixError::InvalidVote { value });
+        }
+        let mut columnar = vec![ABSTAIN; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                columnar[j * rows + i] = data[i * cols + j];
+            }
+        }
+        Ok(Self {
+            data: columnar,
+            rows,
+            cols,
+        })
+    }
+
     /// Build from a flat row-major buffer.
     ///
     /// # Panics
-    /// Panics on shape mismatch or votes below [`ABSTAIN`].
+    /// Panics on shape mismatch or votes below [`ABSTAIN`]; test/bench
+    /// convenience — library paths use [`try_new`](Self::try_new).
     pub fn new(data: Vec<i32>, rows: usize, cols: usize) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape mismatch");
-        assert!(data.iter().all(|&v| v >= ABSTAIN), "invalid vote");
-        Self { data, rows, cols }
+        match Self::try_new(data, rows, cols) {
+            Ok(m) => m,
+            // ds-lint: allow(panic): documented test/bench constructor
+            Err(e @ MatrixError::ShapeMismatch { .. }) => panic!("shape mismatch: {e}"),
+            // ds-lint: allow(panic): documented test/bench constructor
+            Err(e @ MatrixError::InvalidVote { .. }) => panic!("invalid vote: {e}"),
+        }
+    }
+
+    /// Build from per-LF columns (each of length `rows`). With the
+    /// columnar layout this is a straight concatenation — no scatter.
+    pub fn try_from_columns(columns: &[Vec<i32>], rows: usize) -> Result<Self, MatrixError> {
+        let mut m = Self::empty(rows, 0);
+        for col in columns {
+            m.try_push_column(col)?;
+        }
+        Ok(m)
     }
 
     /// Build from per-LF columns (each of length `rows`).
+    ///
+    /// # Panics
+    /// Panics on column length mismatch or invalid votes; test/bench
+    /// convenience — library paths use
+    /// [`try_from_columns`](Self::try_from_columns).
     pub fn from_columns(columns: &[Vec<i32>], rows: usize) -> Self {
-        let cols = columns.len();
-        let mut data = vec![ABSTAIN; rows * cols];
-        for (j, col) in columns.iter().enumerate() {
-            assert_eq!(col.len(), rows, "column {j} length mismatch");
-            for (i, &v) in col.iter().enumerate() {
-                data[i * cols + j] = v;
-            }
+        match Self::try_from_columns(columns, rows) {
+            Ok(m) => m,
+            // ds-lint: allow(panic): documented test/bench constructor
+            Err(e) => panic!("column mismatch: {e}"),
         }
-        Self::new(data, rows, cols)
     }
 
     /// An all-abstain matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self::new(vec![ABSTAIN; rows * cols], rows, cols)
+        Self {
+            data: vec![ABSTAIN; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Number of instances.
@@ -54,19 +142,42 @@ impl LabelMatrix {
     /// Vote of LF `j` on instance `i`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> i32 {
-        self.data[i * self.cols + j]
+        self.data[j * self.rows + i]
     }
 
     /// Set a vote.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: i32) {
         assert!(v >= ABSTAIN, "invalid vote {v}");
-        self.data[i * self.cols + j] = v;
+        self.data[j * self.rows + i] = v;
     }
 
-    /// The votes on instance `i`.
-    pub fn row(&self, i: usize) -> &[i32] {
-        &self.data[i * self.cols..(i + 1) * self.cols]
+    /// The contiguous vote column of LF `j` (the hot-path accessor).
+    #[inline]
+    pub fn column(&self, j: usize) -> &[i32] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Iterate the LF columns in order.
+    pub fn columns(&self) -> impl Iterator<Item = &[i32]> + '_ {
+        (0..self.cols).map(move |j| self.column(j))
+    }
+
+    /// The votes on instance `i`, gathered across columns (allocates; for
+    /// tests and diagnostics — hot paths sweep columns instead).
+    pub fn row_vec(&self, i: usize) -> Vec<i32> {
+        (0..self.cols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Per-instance count of non-abstain votes, as one column sweep.
+    pub fn active_counts(&self) -> Vec<u32> {
+        let mut active = vec![0u32; self.rows];
+        for j in 0..self.cols {
+            for (a, &v) in active.iter_mut().zip(self.column(j)) {
+                *a += u32::from(v != ABSTAIN);
+            }
+        }
+        active
     }
 
     /// Fraction of instances with at least one non-abstain vote
@@ -75,21 +186,22 @@ impl LabelMatrix {
         if self.rows == 0 {
             return 0.0;
         }
-        let covered = (0..self.rows)
-            .filter(|&i| self.row(i).iter().any(|&v| v != ABSTAIN))
-            .count();
+        let covered = self.active_counts().iter().filter(|&&a| a > 0).count();
         covered as f64 / self.rows as f64
     }
 
     /// Per-LF coverage: fraction of instances where LF `j` fires
-    /// ("LF Cov." in Table 2 averages this over LFs).
+    /// ("LF Cov." in Table 2 averages this over LFs). A single
+    /// branch-free column scan.
     pub fn lf_coverage(&self, j: usize) -> f64 {
         if self.rows == 0 {
             return 0.0;
         }
-        let active = (0..self.rows)
-            .filter(|&i| self.get(i, j) != ABSTAIN)
-            .count();
+        let active: u32 = self
+            .column(j)
+            .iter()
+            .map(|&v| u32::from(v != ABSTAIN))
+            .sum();
         active as f64 / self.rows as f64
     }
 
@@ -101,14 +213,37 @@ impl LabelMatrix {
         (0..self.cols).map(|j| self.lf_coverage(j)).sum::<f64>() / self.cols as f64
     }
 
+    /// Fraction of instances carrying at least two *distinct* non-abstain
+    /// votes (the standard weak-supervision conflict statistic), as one
+    /// column sweep with per-row first-vote accumulators.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let mut first = vec![ABSTAIN; self.rows];
+        let mut conflicted = vec![false; self.rows];
+        for j in 0..self.cols {
+            for (i, &v) in self.column(j).iter().enumerate() {
+                if v == ABSTAIN {
+                    continue;
+                }
+                if first[i] == ABSTAIN {
+                    first[i] = v;
+                } else if first[i] != v {
+                    conflicted[i] = true;
+                }
+            }
+        }
+        conflicted.iter().filter(|&&c| c).count() as f64 / self.rows as f64
+    }
+
     /// Accuracy of LF `j` against ground truth, over the instances where it
     /// fires and a label is known. `None` if it never fires on labeled data.
     pub fn lf_accuracy(&self, j: usize, labels: &[Option<usize>]) -> Option<f64> {
         assert_eq!(labels.len(), self.rows, "label length mismatch");
         let mut active = 0usize;
         let mut correct = 0usize;
-        for (i, y) in labels.iter().enumerate() {
-            let v = self.get(i, j);
+        for (&v, y) in self.column(j).iter().zip(labels) {
             if v == ABSTAIN {
                 continue;
             }
@@ -126,27 +261,59 @@ impl LabelMatrix {
         }
     }
 
-    /// Keep only the given columns (LF pruning).
+    /// Keep only the given columns (LF pruning). Each kept column is one
+    /// contiguous copy.
     pub fn select_columns(&self, keep: &[usize]) -> LabelMatrix {
         let mut data = Vec::with_capacity(self.rows * keep.len());
-        for i in 0..self.rows {
-            for &j in keep {
-                data.push(self.get(i, j));
-            }
+        for &j in keep {
+            data.extend_from_slice(self.column(j));
         }
-        LabelMatrix::new(data, self.rows, keep.len())
+        LabelMatrix {
+            data,
+            rows: self.rows,
+            cols: keep.len(),
+        }
+    }
+
+    /// Append one LF column (an `O(rows)` contiguous append), validating
+    /// length and vote range.
+    pub fn try_push_column(&mut self, col: &[i32]) -> Result<(), MatrixError> {
+        if col.len() != self.rows {
+            return Err(MatrixError::ShapeMismatch {
+                expected: self.rows,
+                got: col.len(),
+            });
+        }
+        if let Some(&value) = col.iter().find(|&&v| v < ABSTAIN) {
+            return Err(MatrixError::InvalidVote { value });
+        }
+        self.data.extend_from_slice(col);
+        self.cols += 1;
+        Ok(())
     }
 
     /// Append one LF column.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or invalid votes; test/bench convenience —
+    /// library paths use [`try_push_column`](Self::try_push_column).
     pub fn push_column(&mut self, col: &[i32]) {
-        assert_eq!(col.len(), self.rows, "column length mismatch");
-        let mut data = Vec::with_capacity(self.rows * (self.cols + 1));
-        for (i, &v) in col.iter().enumerate() {
-            data.extend_from_slice(self.row(i));
-            data.push(v);
+        match self.try_push_column(col) {
+            Ok(()) => {}
+            // ds-lint: allow(panic): documented test/bench constructor
+            Err(e) => panic!("column mismatch: {e}"),
         }
-        self.cols += 1;
-        self.data = data;
+    }
+
+    /// Remove the last LF column (an `O(1)` truncate in this layout).
+    /// Returns `false` on an empty matrix.
+    pub fn pop_column(&mut self) -> bool {
+        if self.cols == 0 {
+            return false;
+        }
+        self.cols -= 1;
+        self.data.truncate(self.cols * self.rows);
+        true
     }
 }
 
@@ -172,7 +339,29 @@ mod tests {
         assert_eq!((m.rows(), m.cols()), (4, 3));
         assert_eq!(m.get(0, 0), 0);
         assert_eq!(m.get(3, 2), ABSTAIN);
-        assert_eq!(m.row(2), &[1, ABSTAIN, 1]);
+        assert_eq!(m.row_vec(2), vec![1, ABSTAIN, 1]);
+        assert_eq!(m.column(1), &[0, 0, ABSTAIN, ABSTAIN]);
+    }
+
+    #[test]
+    fn row_major_constructor_transposes() {
+        // Same matrix as `sample`, given row-major.
+        let m = LabelMatrix::new(
+            vec![
+                0, 0, 1, //
+                ABSTAIN, 0, ABSTAIN, //
+                1, ABSTAIN, 1, //
+                ABSTAIN, ABSTAIN, ABSTAIN,
+            ],
+            4,
+            3,
+        );
+        let s = sample();
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), s.get(i, j), "({i},{j})");
+            }
+        }
     }
 
     #[test]
@@ -181,6 +370,16 @@ mod tests {
         assert!((m.total_coverage() - 0.75).abs() < 1e-12);
         assert!((m.lf_coverage(0) - 0.5).abs() < 1e-12);
         assert!((m.mean_lf_coverage() - (0.5 + 0.5 + 0.5) / 3.0).abs() < 1e-12);
+        assert_eq!(m.active_counts(), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn conflict_rate_counts_distinct_disagreement() {
+        let m = sample();
+        // Row 0 has votes {0, 0, 1}: conflicted. Rows 1, 2 are unanimous.
+        assert!((m.conflict_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(LabelMatrix::empty(0, 2).conflict_rate(), 0.0);
+        assert_eq!(LabelMatrix::empty(4, 2).conflict_rate(), 0.0);
     }
 
     #[test]
@@ -208,6 +407,7 @@ mod tests {
         assert_eq!((s.rows(), s.cols()), (4, 2));
         assert_eq!(s.get(0, 0), 1); // old column 2
         assert_eq!(s.get(0, 1), 0); // old column 0
+        assert_eq!(s.column(0), m.column(2));
     }
 
     #[test]
@@ -217,6 +417,38 @@ mod tests {
         assert_eq!(m.cols(), 4);
         assert_eq!(m.get(3, 3), 0);
         assert!((m.total_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pop_column_undoes_push() {
+        let mut m = sample();
+        let before = m.clone();
+        m.push_column(&[ABSTAIN, 1, 1, 0]);
+        assert!(m.pop_column());
+        assert_eq!(m.cols(), before.cols());
+        for j in 0..m.cols() {
+            assert_eq!(m.column(j), before.column(j));
+        }
+        let mut e = LabelMatrix::empty(3, 0);
+        assert!(!e.pop_column());
+    }
+
+    #[test]
+    fn try_push_column_validates() {
+        let mut m = LabelMatrix::empty(2, 0);
+        assert_eq!(
+            m.try_push_column(&[0, 1, 0]),
+            Err(MatrixError::ShapeMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        assert_eq!(
+            m.try_push_column(&[0, -2]),
+            Err(MatrixError::InvalidVote { value: -2 })
+        );
+        assert!(m.try_push_column(&[0, ABSTAIN]).is_ok());
+        assert_eq!(m.cols(), 1);
     }
 
     #[test]
@@ -232,5 +464,19 @@ mod tests {
     #[should_panic(expected = "invalid vote")]
     fn negative_votes_rejected() {
         let _ = LabelMatrix::new(vec![-2], 1, 1);
+    }
+
+    #[test]
+    fn try_new_reports_errors() {
+        let shape = LabelMatrix::try_new(vec![0; 5], 2, 3);
+        assert_eq!(
+            shape.err(),
+            Some(MatrixError::ShapeMismatch {
+                expected: 6,
+                got: 5
+            })
+        );
+        let vote = LabelMatrix::try_new(vec![0, -3], 2, 1);
+        assert_eq!(vote.err(), Some(MatrixError::InvalidVote { value: -3 }));
     }
 }

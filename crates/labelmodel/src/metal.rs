@@ -160,37 +160,82 @@ impl MetalModel {
         self.theta[j * c * (c + 1) + y * (c + 1) + v]
     }
 
-    /// Log-posterior over classes for one row, under `prior`, including
-    /// the abstain evidence of inactive LFs (via the precomputed per-class
-    /// abstain log-sums `base`).
-    fn posterior_row(
+    /// Precomputed active-vote contribution tables:
+    /// `w[j·C² + v·C + y] = ln θ_j[y][v] − κ · ln θ_j[y][abstain]`, the
+    /// exact term a non-abstain vote `v` of LF `j` adds to class `y`'s
+    /// log-posterior. Hoisting it out of the instance sweep makes the
+    /// per-vote work a `C`-long table add.
+    fn vote_weights(&self, ltheta: &[f64]) -> Vec<f64> {
+        let c = self.n_classes;
+        let m = ltheta.len() / (c * (c + 1));
+        let mut w = vec![0.0f64; m * c * c];
+        for j in 0..m {
+            for y in 0..c {
+                let off = j * c * (c + 1) + y * (c + 1);
+                for v in 0..c {
+                    w[j * c * c + v * c + y] =
+                        ltheta[off + v] - self.config.abstain_evidence_scale * ltheta[off + c];
+                }
+            }
+        }
+        w
+    }
+
+    /// Columnar posterior kernel over the instance range `range`: one
+    /// LF-major sweep filling a row-major `len × C` log-posterior block,
+    /// then a row-wise softmax. Returns the posteriors and per-row
+    /// any-vote flags.
+    ///
+    /// Bit-exactness: each logp cell receives its active-LF contributions
+    /// in ascending-`j` order with operands identical to the historical
+    /// per-row loop (the `w` table entries are computed from the same
+    /// expressions), and the softmax matches it term for term — so the
+    /// posteriors, the fit, and the pinned run digests are unchanged.
+    fn posterior_block(
         &self,
-        votes: &[i32],
+        matrix: &LabelMatrix,
+        range: Range<usize>,
         prior: &[f64],
         base: &[f64],
-        ltheta: &[f64],
-    ) -> (Vec<f64>, bool) {
+        w: &[f64],
+    ) -> (Vec<f64>, Vec<bool>) {
         let c = self.n_classes;
-        let mut logp: Vec<f64> = (0..c).map(|y| prior[y].max(1e-12).ln() + base[y]).collect();
-        let mut any = false;
-        for (j, &v) in votes.iter().enumerate() {
-            if v == ABSTAIN {
-                continue;
-            }
-            any = true;
-            let v = v as usize;
-            for (y, lp) in logp.iter_mut().enumerate() {
-                let off = j * c * (c + 1) + y * (c + 1);
-                *lp += ltheta[off + v] - self.config.abstain_evidence_scale * ltheta[off + c];
+        let len = range.len();
+        let mut logp = vec![0.0f64; len * c];
+        for (y, (&p, &b)) in prior.iter().zip(base).enumerate() {
+            let init = p.max(1e-12).ln() + b;
+            for i in 0..len {
+                logp[i * c + y] = init;
             }
         }
-        let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = logp.iter().map(|lp| (lp - m).exp()).collect();
-        let z: f64 = probs.iter().sum();
-        for p in &mut probs {
-            *p /= z;
+        let mut any = vec![false; len];
+        for j in 0..matrix.cols() {
+            let col = &matrix.column(j)[range.clone()];
+            let wj = &w[j * c * c..(j + 1) * c * c];
+            for (i, &v) in col.iter().enumerate() {
+                if v == ABSTAIN {
+                    continue;
+                }
+                any[i] = true;
+                let wv = &wj[v as usize * c..(v as usize + 1) * c];
+                for (lp, &t) in logp[i * c..(i + 1) * c].iter_mut().zip(wv) {
+                    *lp += t;
+                }
+            }
         }
-        (probs, any)
+        for i in 0..len {
+            let lp = &mut logp[i * c..(i + 1) * c];
+            let mx = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0f64;
+            for p in lp.iter_mut() {
+                *p = (*p - mx).exp();
+                z += *p;
+            }
+            for p in lp.iter_mut() {
+                *p /= z;
+            }
+        }
+        (logp, any)
     }
 
     /// Per-class damped abstain log-sums
@@ -215,10 +260,9 @@ impl MetalModel {
         let m = matrix.cols();
         self.alpha = (0..m)
             .map(|j| {
-                // Dominant vote of this LF.
+                // Dominant vote of this LF: one column scan.
                 let mut counts = vec![0usize; c];
-                for i in 0..matrix.rows() {
-                    let v = matrix.get(i, j);
+                for &v in matrix.column(j) {
                     if v != ABSTAIN {
                         counts[v as usize] += 1;
                     }
@@ -258,12 +302,15 @@ impl LabelModel for MetalModel {
             return;
         }
 
-        // Empirical marginal vote rates per LF (abstain at index c).
+        // Empirical marginal vote rates per LF (abstain at index c),
+        // counted in one pass over each contiguous column. The counts are
+        // exact small integers in f64, so the sweep order is immaterial.
         let mut marginal = vec![0.0f64; m * (c + 1)];
-        for i in 0..n {
-            for (j, &v) in matrix.row(i).iter().enumerate() {
+        for j in 0..m {
+            let off = j * (c + 1);
+            for &v in matrix.column(j) {
                 let v = if v == ABSTAIN { c } else { v as usize };
-                marginal[j * (c + 1) + v] += 1.0;
+                marginal[off + v] += 1.0;
             }
         }
         for e in marginal.iter_mut() {
@@ -306,32 +353,42 @@ impl LabelModel for MetalModel {
 
         // Fit-time prior: the supplied class balance (see module docs).
         let fit_prior = self.prior.clone();
-        let rows: Vec<&[i32]> = (0..n).map(|i| matrix.row(i)).collect();
         let mut prior_estimate = fit_prior.clone();
 
         for _ in 0..self.max_iter {
             let ltheta: Vec<f64> = self.theta.iter().map(|t| t.max(1e-12).ln()).collect();
             let base = self.abstain_base(&ltheta);
+            let w = self.vote_weights(&ltheta);
             // E-step: per-shard partial accumulators merged in shard
             // order. The shard decomposition depends only on `n` (never on
             // the thread count) and the merge is a fixed left-to-right
             // sum, so the accumulated floats — and therefore the fit — are
-            // identical at every thread count, including serial.
+            // identical at every thread count, including serial. Within a
+            // shard, each `tm`/`vm` cell accumulates its posterior mass in
+            // ascending-instance order, exactly as the historical per-row
+            // loop did, so the fit is also bit-identical to it.
             let this = &*self;
             let estep_shard = |range: Range<usize>| {
-                let mut vm = vec![0.0f64; m * c * (c + 1)];
+                let (posts, _any) =
+                    this.posterior_block(matrix, range.clone(), &fit_prior, &base, &w);
+                let len = range.len();
                 let mut tm = vec![0.0f64; c];
-                for votes in &rows[range] {
-                    let (post, _any) = this.posterior_row(votes, &fit_prior, &base, &ltheta);
-                    for (y, p) in post.iter().enumerate() {
-                        tm[y] += p;
+                for i in 0..len {
+                    for (t, &p) in tm.iter_mut().zip(&posts[i * c..(i + 1) * c]) {
+                        *t += p;
                     }
-                    for (j, &v) in votes.iter().enumerate() {
+                }
+                let mut vm = vec![0.0f64; m * c * (c + 1)];
+                for j in 0..m {
+                    let col = &matrix.column(j)[range.clone()];
+                    let off_j = j * c * (c + 1);
+                    for (i, &v) in col.iter().enumerate() {
                         if v == ABSTAIN {
                             continue;
                         }
-                        for (y, p) in post.iter().enumerate() {
-                            vm[j * c * (c + 1) + y * (c + 1) + v as usize] += p;
+                        let v = v as usize;
+                        for y in 0..c {
+                            vm[off_j + y * (c + 1) + v] += posts[i * c + y];
                         }
                     }
                 }
@@ -399,18 +456,21 @@ impl LabelModel for MetalModel {
         let c = self.n_classes;
         let ltheta: Vec<f64> = self.theta.iter().map(|t| t.max(1e-12).ln()).collect();
         let base = self.abstain_base(&ltheta);
+        let w = self.vote_weights(&ltheta);
         // Rows are independent, so sharding + in-order concatenation is
-        // bit-identical to the serial loop at every thread count.
+        // bit-identical to the serial loop at every thread count. Each
+        // shard is one columnar posterior sweep; rows with no votes are
+        // overwritten with the uniform fallback.
         let row_shard = |range: Range<usize>| {
-            let mut probs = Vec::with_capacity(range.len() * c);
-            let mut covered = Vec::with_capacity(range.len());
-            for i in range {
-                let (post, any) = self.posterior_row(matrix.row(i), &self.prior, &base, &ltheta);
-                if any {
-                    probs.extend(post);
+            let (mut probs, any) = self.posterior_block(matrix, range, &self.prior, &base, &w);
+            let mut covered = Vec::with_capacity(any.len());
+            for (i, &active) in any.iter().enumerate() {
+                if active {
                     covered.push(true);
                 } else {
-                    probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
+                    for p in &mut probs[i * c..(i + 1) * c] {
+                        *p = 1.0 / c as f64;
+                    }
                     covered.push(false);
                 }
             }

@@ -1,0 +1,194 @@
+//! Row-major reference vote matrix.
+//!
+//! The pre-columnar `LabelMatrix` layout (`data[i * cols + j]`), kept as an
+//! independently-implemented oracle: the property tests check that the
+//! LF-major [`LabelMatrix`](crate::LabelMatrix) agrees with it on every
+//! accessor and statistic, and the `hotpath` bench uses it as the row-major
+//! baseline the columnar kernels are measured against. Not used on any
+//! library path.
+
+use crate::matrix::{LabelMatrix, ABSTAIN};
+
+/// Row-major weak-label matrix: entry `(i, j)` at `data[i * cols + j]`.
+#[derive(Debug, Clone)]
+pub struct RowMajorMatrix {
+    data: Vec<i32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl RowMajorMatrix {
+    /// Build from per-LF columns (each of length `rows`), scattering into
+    /// the row-major buffer — the layout conversion the columnar
+    /// `from_columns` no longer pays.
+    pub fn from_columns(columns: &[Vec<i32>], rows: usize) -> Self {
+        let cols = columns.len();
+        let mut data = vec![ABSTAIN; rows * cols];
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), rows, "column length mismatch");
+            for (i, &v) in col.iter().enumerate() {
+                assert!(v >= ABSTAIN, "invalid vote {v}");
+                data[i * cols + j] = v;
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// An all-abstain matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![ABSTAIN; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of instances.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of LFs.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Vote of LF `j` on instance `i`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set a vote.
+    pub fn set(&mut self, i: usize, j: usize, v: i32) {
+        assert!(v >= ABSTAIN, "invalid vote {v}");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The contiguous vote row of instance `i` (contiguous in *this*
+    /// layout; the columnar matrix has to gather it).
+    pub fn row(&self, i: usize) -> &[i32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Fraction of instances with at least one non-abstain vote.
+    pub fn total_coverage(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let covered = (0..self.rows)
+            .filter(|&i| self.row(i).iter().any(|&v| v != ABSTAIN))
+            .count();
+        covered as f64 / self.rows as f64
+    }
+
+    /// Fraction of instances where LF `j` fires (strided scan).
+    pub fn lf_coverage(&self, j: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let active = (0..self.rows)
+            .filter(|&i| self.get(i, j) != ABSTAIN)
+            .count();
+        active as f64 / self.rows as f64
+    }
+
+    /// Mean per-LF coverage.
+    pub fn mean_lf_coverage(&self) -> f64 {
+        if self.cols == 0 {
+            return 0.0;
+        }
+        (0..self.cols).map(|j| self.lf_coverage(j)).sum::<f64>() / self.cols as f64
+    }
+
+    /// Fraction of instances with at least two distinct non-abstain votes.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let conflicted = (0..self.rows)
+            .filter(|&i| {
+                let row = self.row(i);
+                let first = row.iter().find(|&&v| v != ABSTAIN);
+                match first {
+                    None => false,
+                    Some(&f) => row.iter().any(|&v| v != ABSTAIN && v != f),
+                }
+            })
+            .count();
+        conflicted as f64 / self.rows as f64
+    }
+
+    /// Accuracy of LF `j` against ground truth where it fires.
+    pub fn lf_accuracy(&self, j: usize, labels: &[Option<usize>]) -> Option<f64> {
+        assert_eq!(labels.len(), self.rows, "label length mismatch");
+        let mut active = 0usize;
+        let mut correct = 0usize;
+        for (i, y) in labels.iter().enumerate() {
+            let v = self.get(i, j);
+            if v == ABSTAIN {
+                continue;
+            }
+            if let Some(y) = y {
+                active += 1;
+                if v as usize == *y {
+                    correct += 1;
+                }
+            }
+        }
+        if active == 0 {
+            None
+        } else {
+            Some(correct as f64 / active as f64)
+        }
+    }
+
+    /// Convert into the columnar layout.
+    pub fn to_columnar(&self) -> LabelMatrix {
+        let cols: Vec<Vec<i32>> = (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self.get(i, j)).collect())
+            .collect();
+        LabelMatrix::from_columns(&cols, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_columnar_on_a_fixed_case() {
+        let cols = vec![
+            vec![0, ABSTAIN, 1, 1],
+            vec![ABSTAIN, ABSTAIN, 0, 1],
+            vec![0, 0, ABSTAIN, ABSTAIN],
+        ];
+        let r = RowMajorMatrix::from_columns(&cols, 4);
+        let c = LabelMatrix::from_columns(&cols, 4);
+        for i in 0..4 {
+            assert_eq!(r.row(i).to_vec(), c.row_vec(i), "row {i}");
+        }
+        assert_eq!(r.total_coverage(), c.total_coverage());
+        assert_eq!(r.mean_lf_coverage(), c.mean_lf_coverage());
+        assert_eq!(r.conflict_rate(), c.conflict_rate());
+        for j in 0..3 {
+            assert_eq!(r.lf_coverage(j), c.lf_coverage(j), "lf {j}");
+        }
+        let labels = vec![Some(0), Some(0), Some(1), None];
+        for j in 0..3 {
+            assert_eq!(r.lf_accuracy(j, &labels), c.lf_accuracy(j, &labels));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_columnar() {
+        let cols = vec![vec![1, ABSTAIN, 0], vec![ABSTAIN, 2, 2]];
+        let r = RowMajorMatrix::from_columns(&cols, 3);
+        let c = r.to_columnar();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(r.get(i, j), c.get(i, j));
+            }
+        }
+    }
+}

@@ -116,11 +116,13 @@ impl LabelModel for TripletModel {
         let mut acc_sum = vec![0.0f64; m];
         let mut acc_cnt = vec![0usize; m];
         for c in 0..n_classes {
+            // Binarize straight off the contiguous LF columns.
             let signed: Vec<Vec<i8>> = (0..m)
                 .map(|j| {
-                    (0..n)
-                        .map(|i| {
-                            let v = matrix.get(i, j);
+                    matrix
+                        .column(j)
+                        .iter()
+                        .map(|&v| {
                             if v == ABSTAIN {
                                 0
                             } else if v as usize == c {
@@ -156,30 +158,48 @@ impl LabelModel for TripletModel {
         assert!(self.n_classes >= 2, "fit before predict");
         assert_eq!(matrix.cols(), self.alpha.len(), "LF count mismatch");
         let c = self.n_classes;
-        let mut probs = Vec::with_capacity(matrix.rows() * c);
-        let mut covered = Vec::with_capacity(matrix.rows());
-        for i in 0..matrix.rows() {
-            let votes = matrix.row(i);
-            let mut logp: Vec<f64> = self.prior.iter().map(|p| p.max(1e-12).ln()).collect();
-            let mut any = false;
-            for (j, &v) in votes.iter().enumerate() {
+        let n = matrix.rows();
+        // Per-LF log-likelihood terms, hoisted out of the instance sweep
+        // (same expressions the old per-row loop evaluated per vote, so
+        // the posteriors are bit-identical).
+        let ln_own: Vec<f64> = self.alpha.iter().map(|a| a.max(1e-12).ln()).collect();
+        let ln_wrong: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|a| ((1.0 - a) / (c as f64 - 1.0)).max(1e-12).ln())
+            .collect();
+        // Columnar accumulation: each logp cell receives its vote terms in
+        // ascending-LF order, matching the old row loop.
+        let mut logp = vec![0.0f64; n * c];
+        for (y, p) in self.prior.iter().enumerate() {
+            let init = p.max(1e-12).ln();
+            for i in 0..n {
+                logp[i * c + y] = init;
+            }
+        }
+        let mut any = vec![false; n];
+        for j in 0..matrix.cols() {
+            for (i, &v) in matrix.column(j).iter().enumerate() {
                 if v == ABSTAIN {
                     continue;
                 }
-                any = true;
-                let a = self.alpha[j];
-                let wrong = ((1.0 - a) / (c as f64 - 1.0)).max(1e-12);
-                for (y, lp) in logp.iter_mut().enumerate() {
+                any[i] = true;
+                for (y, lp) in logp[i * c..(i + 1) * c].iter_mut().enumerate() {
                     *lp += if v as usize == y {
-                        a.max(1e-12).ln()
+                        ln_own[j]
                     } else {
-                        wrong.ln()
+                        ln_wrong[j]
                     };
                 }
             }
-            if any {
-                let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let mut post: Vec<f64> = logp.iter().map(|lp| (lp - mx).exp()).collect();
+        }
+        let mut probs = Vec::with_capacity(n * c);
+        let mut covered = Vec::with_capacity(n);
+        for (i, &active) in any.iter().enumerate() {
+            if active {
+                let lp = &logp[i * c..(i + 1) * c];
+                let mx = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut post: Vec<f64> = lp.iter().map(|l| (l - mx).exp()).collect();
                 let z: f64 = post.iter().sum();
                 for p in &mut post {
                     *p /= z;
@@ -191,7 +211,7 @@ impl LabelModel for TripletModel {
                 covered.push(false);
             }
         }
-        ProbLabels::new(probs, matrix.rows(), c, covered)
+        ProbLabels::new(probs, n, c, covered)
     }
 }
 

@@ -3,7 +3,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use datasculpt_labelmodel::{
-    LabelMatrix, LabelModel, MajorityVote, MetalModel, TripletModel, ABSTAIN,
+    LabelMatrix, LabelModel, MajorityVote, MetalModel, RowMajorMatrix, TripletModel, ABSTAIN,
 };
 use proptest::prelude::*;
 
@@ -43,7 +43,7 @@ proptest! {
             let sum: f64 = row.iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-9);
             prop_assert!(row.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
-            let any_active = m.row(i).iter().any(|&v| v != ABSTAIN);
+            let any_active = m.row_vec(i).iter().any(|&v| v != ABSTAIN);
             prop_assert_eq!(p.is_covered(i), any_active);
         }
     }
@@ -89,6 +89,64 @@ proptest! {
             for (new_j, &old_j) in keep.iter().enumerate() {
                 prop_assert_eq!(s.get(i, new_j), m.get(i, old_j));
             }
+        }
+    }
+
+    /// The columnar matrix agrees with the row-major reference oracle on
+    /// every accessor and statistic, for arbitrary vote columns (including
+    /// multiclass votes and all-abstain rows/columns).
+    #[test]
+    fn columnar_matches_row_major_reference(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(-1i32..4, 1..=24),
+            0..=6,
+        ),
+        label_seed in proptest::collection::vec(proptest::option::of(0usize..4), 24),
+    ) {
+        let rows = cols.first().map_or(5, Vec::len);
+        let cols: Vec<Vec<i32>> = cols
+            .into_iter()
+            .map(|mut c| {
+                c.resize(rows, ABSTAIN);
+                c
+            })
+            .collect();
+        let oracle = RowMajorMatrix::from_columns(&cols, rows);
+        let m = LabelMatrix::from_columns(&cols, rows);
+        prop_assert_eq!(m.rows(), oracle.rows());
+        prop_assert_eq!(m.cols(), oracle.cols());
+        let labels: Vec<Option<usize>> = label_seed.into_iter().take(rows).collect();
+        let labels = {
+            let mut l = labels;
+            l.resize(rows, None);
+            l
+        };
+        for i in 0..rows {
+            prop_assert_eq!(m.row_vec(i), oracle.row(i).to_vec(), "row {}", i);
+            for j in 0..m.cols() {
+                prop_assert_eq!(m.get(i, j), oracle.get(i, j));
+            }
+        }
+        for (j, col) in cols.iter().enumerate() {
+            prop_assert_eq!(m.column(j), &col[..]);
+            prop_assert_eq!(m.lf_coverage(j), oracle.lf_coverage(j));
+            prop_assert_eq!(m.lf_accuracy(j, &labels), oracle.lf_accuracy(j, &labels));
+        }
+        prop_assert_eq!(m.total_coverage(), oracle.total_coverage());
+        prop_assert_eq!(m.mean_lf_coverage(), oracle.mean_lf_coverage());
+        prop_assert_eq!(m.conflict_rate(), oracle.conflict_rate());
+        // Mutation round-trip: set the same cells in both layouts.
+        let mut m2 = m.clone();
+        let mut o2 = oracle.clone();
+        if rows > 0 && m.cols() > 0 {
+            m2.set(rows / 2, 0, 2);
+            o2.set(rows / 2, 0, 2);
+            prop_assert_eq!(m2.get(rows / 2, 0), o2.get(rows / 2, 0));
+        }
+        // And through the converter.
+        let back = o2.to_columnar();
+        for i in 0..rows {
+            prop_assert_eq!(back.row_vec(i), m2.row_vec(i));
         }
     }
 

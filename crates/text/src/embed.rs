@@ -61,7 +61,8 @@ pub trait Embedder {
             data.extend_from_slice(&self.embed(d));
             rows += 1;
         }
-        FeatureMatrix::new(data, rows, self.dim())
+        let dim = self.dim();
+        FeatureMatrix::try_new(data, rows, dim).unwrap_or_else(|_| FeatureMatrix::zeros(rows, dim))
     }
 }
 

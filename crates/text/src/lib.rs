@@ -13,6 +13,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 pub mod embed;
 pub mod features;
 pub mod ngram;
@@ -20,9 +21,10 @@ pub mod rng;
 pub mod tokenize;
 pub mod vocab;
 
+pub use arena::TokenArena;
 pub use embed::{cosine_similarity, Embedder, RandomProjection};
-pub use features::{FeatureMatrix, HashedTfIdf};
-pub use ngram::{contains_ngram, extract_ngrams, Ngram};
+pub use features::{FeatureMatrix, HashedTfIdf, ShapeError};
+pub use ngram::{contains_ngram, extract_ngrams, for_each_ngram, Ngram};
 pub use rng::{Categorical, Gaussian, Zipf};
 pub use tokenize::{normalize, tokenize, tokenize_keep_markers};
 pub use vocab::Vocabulary;

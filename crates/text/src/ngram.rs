@@ -17,17 +17,29 @@ pub const MAX_NGRAM_ORDER: usize = 3;
 /// Duplicates are preserved (callers that want counts or sets can aggregate).
 pub fn extract_ngrams(tokens: &[String], max_order: usize) -> Vec<Ngram> {
     let mut out = Vec::with_capacity(tokens.len() * max_order);
+    for_each_ngram(tokens, max_order, |g| out.push(g.to_string()));
+    out
+}
+
+/// Visit every n-gram of orders `1..=max_order` without allocating one
+/// `String` per gram: each gram is built in a single scratch buffer and
+/// handed to `f` as a borrowed `&str`.
+///
+/// Visit order is identical to [`extract_ngrams`] (document order,
+/// unigrams first at each position) — this is the hot-path form the arena
+/// interners and the hashed featurizer consume.
+pub fn for_each_ngram<F: FnMut(&str)>(tokens: &[String], max_order: usize, mut f: F) {
+    let mut gram = String::new();
     for i in 0..tokens.len() {
-        let mut gram = String::new();
+        gram.clear();
         for n in 0..max_order.min(tokens.len() - i) {
             if n > 0 {
                 gram.push(' ');
             }
             gram.push_str(&tokens[i + n]);
-            out.push(gram.clone());
+            f(&gram);
         }
     }
-    out
 }
 
 /// The order (word count) of an n-gram in canonical space-joined form.
@@ -110,6 +122,19 @@ mod tests {
         assert!(contains_ngram(&t, "a"));
         assert!(!contains_ngram(&t, "a b"));
         assert!(!contains_ngram(&[], "a"));
+    }
+
+    #[test]
+    fn for_each_matches_extract() {
+        let t = toks("w x y z v");
+        for order in 1..=3 {
+            let mut seen = Vec::new();
+            for_each_ngram(&t, order, |g| seen.push(g.to_string()));
+            assert_eq!(seen, extract_ngrams(&t, order));
+        }
+        let mut none = 0;
+        for_each_ngram(&[], 3, |_| none += 1);
+        assert_eq!(none, 0);
     }
 
     #[test]

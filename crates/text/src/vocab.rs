@@ -1,17 +1,16 @@
 //! Vocabulary: a bidirectional token ↔ id map with document frequencies.
 
-// ds-lint: allow(hash-order): membership/interning only; iteration never touches the map
-use std::collections::HashMap;
+use crate::arena::TokenArena;
 
 /// A growable token vocabulary with document-frequency statistics.
 ///
 /// Ids are dense and assigned in first-seen order, so a vocabulary built from
-/// the same corpus in the same order is identical across runs.
+/// the same corpus in the same order is identical across runs. Token storage
+/// and lookup ride on the shared [`TokenArena`] (one contiguous buffer, no
+/// per-token `String` allocations, no `String`-keyed map).
 #[derive(Debug, Clone, Default)]
 pub struct Vocabulary {
-    // ds-lint: allow(hash-order): lookup-only; ids are assigned in insertion order
-    token_to_id: HashMap<String, usize>,
-    id_to_token: Vec<String>,
+    arena: TokenArena,
     doc_freq: Vec<usize>,
     num_docs: usize,
 }
@@ -39,36 +38,33 @@ impl Vocabulary {
     /// frequency once per distinct token in the document.
     pub fn observe_document(&mut self, tokens: &[String]) {
         self.num_docs += 1;
-        // ds-lint: allow(hash-order): dedup membership test; never iterated
-        let mut seen = std::collections::HashSet::with_capacity(tokens.len());
-        for t in tokens {
-            let id = self.intern(t);
-            if seen.insert(id) {
-                self.doc_freq[id] += 1;
-            }
+        // Dedup within the document without a hash set: collect this
+        // document's symbols, sort, and bump each distinct one once.
+        let mut syms: Vec<usize> = tokens.iter().map(|t| self.intern(t)).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        for sym in syms {
+            self.doc_freq[sym] += 1;
         }
     }
 
     /// Intern a token, returning its id (allocating a new one if unseen).
     pub fn intern(&mut self, token: &str) -> usize {
-        if let Some(&id) = self.token_to_id.get(token) {
-            return id;
+        let sym = self.arena.intern(token) as usize;
+        if sym == self.doc_freq.len() {
+            self.doc_freq.push(0);
         }
-        let id = self.id_to_token.len();
-        self.token_to_id.insert(token.to_string(), id);
-        self.id_to_token.push(token.to_string());
-        self.doc_freq.push(0);
-        id
+        sym
     }
 
     /// Look up the id of a token without interning.
     pub fn id(&self, token: &str) -> Option<usize> {
-        self.token_to_id.get(token).copied()
+        self.arena.lookup(token).map(|s| s as usize)
     }
 
     /// Look up a token by id.
     pub fn token(&self, id: usize) -> Option<&str> {
-        self.id_to_token.get(id).map(String::as_str)
+        self.arena.get(id as u32)
     }
 
     /// Document frequency of a token (0 if unseen).
@@ -78,12 +74,12 @@ impl Vocabulary {
 
     /// Number of distinct tokens.
     pub fn len(&self) -> usize {
-        self.id_to_token.len()
+        self.arena.len()
     }
 
     /// True if no tokens are interned.
     pub fn is_empty(&self) -> bool {
-        self.id_to_token.is_empty()
+        self.arena.is_empty()
     }
 
     /// Number of documents observed.
@@ -102,10 +98,9 @@ impl Vocabulary {
 
     /// Iterate `(token, id, doc_freq)` triples in id order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, usize, usize)> + '_ {
-        self.id_to_token
+        self.arena
             .iter()
-            .enumerate()
-            .map(move |(id, t)| (t.as_str(), id, self.doc_freq[id]))
+            .map(move |(sym, t)| (t, sym as usize, self.doc_freq[sym as usize]))
     }
 }
 

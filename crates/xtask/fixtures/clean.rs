@@ -5,10 +5,11 @@
 use std::collections::BTreeMap;
 
 /// Doc comments may say HashMap or panic! freely.
-pub fn lookup(map: &BTreeMap<String, u32>, key: &str) -> Option<u32> {
+/// A map with a String *value* (key is a symbol) is also fine.
+pub fn lookup(map: &BTreeMap<u32, String>, key: u32) -> Option<&String> {
     let banner = "call .unwrap() and panic! are fine inside string literals";
     let _unused_named_binding = banner.len(); // named, so not discarded-result
-    map.get(key).copied()
+    map.get(&key)
 }
 
 pub fn safe_get(v: &[u32], i: usize) -> Option<u32> {

@@ -32,6 +32,10 @@ pub fn casts(tokens: u64) -> f64 {
     tokens as f64 // lossy-cast
 }
 
+pub struct Memo {
+    pub seen: std::collections::BTreeMap<String, u32>, // string-keyed-map
+}
+
 fn fallible() -> Result<(), ()> {
     Ok(())
 }

@@ -39,13 +39,16 @@ pub enum Rule {
     /// Raw `std::thread::spawn` / `std::thread::scope` outside the exec
     /// crate (bypasses the deterministic pool).
     RawThread,
+    /// `String`-keyed map/set in an arena-migrated module (per-key heap
+    /// allocations on the hot path; intern into a `TokenArena` instead).
+    StringKeyedMap,
     /// Malformed `ds-lint` suppression comment.
     BadSuppression,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::Panic,
         Rule::Unwrap,
         Rule::UncheckedIndex,
@@ -54,6 +57,7 @@ impl Rule {
         Rule::DiscardedResult,
         Rule::LossyCast,
         Rule::RawThread,
+        Rule::StringKeyedMap,
         Rule::BadSuppression,
     ];
 
@@ -68,6 +72,7 @@ impl Rule {
             Rule::DiscardedResult => "discarded-result",
             Rule::LossyCast => "lossy-cast",
             Rule::RawThread => "raw-thread",
+            Rule::StringKeyedMap => "string-keyed-map",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -95,6 +100,10 @@ impl Rule {
             Rule::RawThread => {
                 "raw thread::spawn/thread::scope outside crates/exec; use the exec Pool so \
                  results stay deterministic and panics are contained"
+            }
+            Rule::StringKeyedMap => {
+                "String-keyed map/set in an arena-migrated module allocates per key; \
+                 intern through TokenArena and key by u32 symbol"
             }
             Rule::BadSuppression => {
                 "malformed ds-lint suppression: expected `ds-lint: allow(<rule>): <reason>` \
@@ -238,6 +247,9 @@ pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Vi
         if code.contains("thread::spawn") || code.contains("thread::scope") {
             push(Rule::RawThread);
         }
+        if has_string_keyed_map(code) {
+            push(Rule::StringKeyedMap);
+        }
     }
     out.sort_by_key(|a| (a.line, a.rule));
     out
@@ -255,6 +267,24 @@ fn has_index_expr(code: &str) -> bool {
                 || b[i - 1] == b'_'
                 || b[i - 1] == b')'
                 || b[i - 1] == b']')
+    })
+}
+
+/// Whether the scrubbed line declares a map or set keyed by an owned
+/// `String` (directly, or as the first element of a tuple key):
+/// `HashMap<String, _>`, `BTreeMap<(String, ...), _>`, `BTreeSet<String>`,
+/// and friends. A `String` *value* (`Map<u32, String>`) never matches.
+fn has_string_keyed_map(code: &str) -> bool {
+    ["Map<", "Set<"].iter().any(|kind| {
+        let mut rest = code;
+        while let Some(at) = rest.find(kind) {
+            let key = rest[at + kind.len()..].trim_start();
+            if key.starts_with("String") || key.starts_with("(String") {
+                return true;
+            }
+            rest = &rest[at + kind.len()..];
+        }
+        false
     })
 }
 
@@ -356,6 +386,29 @@ mod tests {
         assert!(has_lossy_cast("(n as u32)"));
         assert!(!has_lossy_cast("let x = y as Box<dyn Error>;"));
         assert!(!has_lossy_cast("measured"));
+    }
+
+    #[test]
+    fn string_keyed_map_heuristic() {
+        assert!(has_string_keyed_map(
+            "seen: BTreeSet<(String, usize, bool)>,"
+        ));
+        assert!(has_string_keyed_map("m: HashMap<String, u32>,"));
+        assert!(has_string_keyed_map(
+            "x: BTreeMap<(String, bool), Outcome>,"
+        ));
+        assert!(!has_string_keyed_map("m: BTreeMap<u32, String>,"));
+        assert!(!has_string_keyed_map("s: BTreeSet<(u32, usize, bool)>,"));
+        assert!(!has_string_keyed_map("let s = String::new();"));
+    }
+
+    #[test]
+    fn string_keyed_map_is_flagged_and_suppressible() {
+        let v = all("struct S { m: std::collections::BTreeMap<String, u32> }\n");
+        assert_eq!(rules_of(&v), vec![Rule::StringKeyedMap]);
+        let v = all("// ds-lint: allow(string-keyed-map): cold config path\n\
+             struct S { m: std::collections::BTreeMap<String, u32> }\n");
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

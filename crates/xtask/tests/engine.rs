@@ -30,8 +30,9 @@ fn violations_fixture_trips_every_rule_family() {
     assert_eq!(count(&out, Rule::WallClock), 1);
     assert_eq!(count(&out, Rule::DiscardedResult), 1);
     assert_eq!(count(&out, Rule::LossyCast), 1);
+    assert_eq!(count(&out, Rule::StringKeyedMap), 1);
     assert_eq!(count(&out, Rule::BadSuppression), 0);
-    assert_eq!(out.violations.len(), 9, "{:?}", out.violations);
+    assert_eq!(out.violations.len(), 10, "{:?}", out.violations);
     assert!(!out.is_clean());
 }
 
@@ -65,7 +66,8 @@ fn path_scoping_can_exempt_the_fixture() {
          [rule.unchecked-index]\nenabled = false\n\
          [rule.wall-clock]\nenabled = false\n\
          [rule.discarded-result]\nenabled = false\n\
-         [rule.lossy-cast]\nenabled = false\n",
+         [rule.lossy-cast]\nenabled = false\n\
+         [rule.string-keyed-map]\nenabled = false\n",
     )
     .expect("config parses");
     let out = lint_sources([("crates/fix/src/violations.rs", VIOLATIONS)], &cfg);

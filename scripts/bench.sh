@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Hot-path kernel benchmark: regenerates BENCH_hotpath.json at the repo
+# root (schema: docs/perf.md) and validates the emitted document.
+#
+#   ./scripts/bench.sh            full run (Agnews, 5 iterations/kernel)
+#   ./scripts/bench.sh --check    smoke mode: one short iteration per
+#                                 kernel into a temp file, schema check
+#                                 only, no timing thresholds (wired into
+#                                 scripts/check.sh)
+#
+# Extra arguments after the mode are passed through to the hotpath
+# binary (e.g. --dataset youtube --scale 0.5 --iters 9).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="full"
+if [ "${1:-}" = "--check" ]; then
+  mode="check"
+  shift
+fi
+
+if [ "$mode" = "check" ]; then
+  out="$(mktemp /tmp/ds-bench-hotpath.XXXXXX.json)"
+  trap 'rm -f "$out"' EXIT
+  cargo run -q --release -p datasculpt-bench --bin hotpath -- \
+    --check --out "$out" "$@"
+else
+  out="BENCH_hotpath.json"
+  cargo run -q --release -p datasculpt-bench --bin hotpath -- \
+    --out "$out" "$@"
+fi
+
+# Schema validation: the v1 document marker, the RSS field, and one entry
+# per required kernel (columnar kernels and their row-major baselines).
+fail() { echo "FAIL: $1 (in $out)" >&2; exit 1; }
+grep -q '"schema": "datasculpt-bench-hotpath/v1"' "$out" \
+  || fail "missing schema marker datasculpt-bench-hotpath/v1"
+grep -q '"peak_rss_kb": [0-9]' "$out" || fail "missing peak_rss_kb"
+for kernel in index-build lf-apply lf-apply-rowscan-baseline \
+              metal-e-step metal-e-step-rowmajor-baseline tfidf; do
+  grep -q "\"name\": \"$kernel\", \"median_ns_per_op\": [0-9]" "$out" \
+    || fail "missing kernel entry $kernel"
+done
+echo "bench.sh: $out valid (schema datasculpt-bench-hotpath/v1)"

@@ -24,6 +24,9 @@ cargo run -q -p datasculpt --bin datasculpt -- \
   --trace "$trace_file" --metrics > /dev/null
 cargo run -q -p datasculpt --bin datasculpt -- trace-check "$trace_file"
 
+echo "==> hot-path bench smoke test (one iteration per kernel + JSON schema)"
+./scripts/bench.sh --check
+
 echo "==> parallel determinism smoke test (serial vs 8-thread run digest)"
 digest_at() {
   cargo run -q -p datasculpt --bin datasculpt -- \

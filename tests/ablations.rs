@@ -22,7 +22,7 @@ fn run(
 
 fn lf_accuracy(dataset: &TextDataset, set: &LfSet) -> f64 {
     let labels = dataset.train.labels_opt();
-    datasculpt::core::eval::lf_stats_from_matrix(&set.train_matrix(), Some(&labels))
+    datasculpt::core::eval::lf_stats_from_matrix(set.train_matrix(), Some(&labels))
         .lf_accuracy
         .expect("labels available")
 }

@@ -60,7 +60,7 @@ fn promptedlf_has_best_lf_accuracy_scriptorium_worst() {
     let labels = d.train.labels_opt();
 
     let (lf_set, _) = run_datasculpt(&d, 7);
-    let sculpt_acc = lf_stats_from_matrix(&lf_set.train_matrix(), Some(&labels))
+    let sculpt_acc = lf_stats_from_matrix(lf_set.train_matrix(), Some(&labels))
         .lf_accuracy
         .expect("labels");
 
@@ -77,7 +77,7 @@ fn promptedlf_has_best_lf_accuracy_scriptorium_worst() {
     for lf in script.lfs {
         script_set.try_add(lf);
     }
-    let script_acc = lf_stats_from_matrix(&script_set.train_matrix(), Some(&labels))
+    let script_acc = lf_stats_from_matrix(script_set.train_matrix(), Some(&labels))
         .lf_accuracy
         .expect("labels");
 
@@ -133,7 +133,7 @@ fn scriptorium_coverage_beats_datasculpt_per_lf() {
     let d = dataset();
     let labels = d.train.labels_opt();
     let (lf_set, _) = run_datasculpt(&d, 13);
-    let sculpt_cov = lf_stats_from_matrix(&lf_set.train_matrix(), Some(&labels)).lf_coverage;
+    let sculpt_cov = lf_stats_from_matrix(lf_set.train_matrix(), Some(&labels)).lf_coverage;
 
     let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13);
     let script = scriptorium_run(&d, &mut llm, 9).expect("the simulated model does not fail");
@@ -141,7 +141,7 @@ fn scriptorium_coverage_beats_datasculpt_per_lf() {
     for lf in script.lfs {
         script_set.try_add(lf);
     }
-    let script_cov = lf_stats_from_matrix(&script_set.train_matrix(), Some(&labels)).lf_coverage;
+    let script_cov = lf_stats_from_matrix(script_set.train_matrix(), Some(&labels)).lf_coverage;
     // Table 2: broad task-level LFs cover far more per LF than
     // instance-mined keywords.
     assert!(

@@ -1,0 +1,47 @@
+//! Digest pinning across the columnar-refactor boundary.
+//!
+//! One seeded DataSculpt run per dataset family, with its `RunResult`
+//! digest pinned to the value produced by the pre-refactor (row-major,
+//! string-keyed) implementation. Any representation change that alters
+//! LF selection, the cost ledger, or iteration outcomes shows up here as
+//! a digest mismatch.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt::prelude::*;
+
+/// Run one seeded config and return the run digest.
+fn digest_for(dataset: DatasetName, scale: f64, seed: u64, num_queries: usize) -> u64 {
+    let data = dataset.load_scaled(0, scale);
+    let mut config = DataSculptConfig::base(seed);
+    config.num_queries = num_queries;
+    let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, data.generative.clone(), seed);
+    let run = DataSculpt::new(&data, config)
+        .run(&mut llm)
+        .expect("simulated model does not fail");
+    run.digest()
+}
+
+#[test]
+fn digests_are_pinned_per_dataset_family() {
+    // (family representative, scale, seed, queries, pinned digest)
+    let cases: &[(DatasetName, f64, u64, usize, u64)] = &[
+        (DatasetName::Imdb, 0.2, 7, 8, 0x9b17_d636_2215_9ded),
+        (DatasetName::Agnews, 0.02, 7, 8, 0x230f_97af_3a31_979d),
+        (DatasetName::Youtube, 0.3, 7, 8, 0xf8bf_80de_6552_4b14),
+        (DatasetName::Spouse, 0.3, 7, 8, 0x47e6_e624_0b3f_96ae),
+    ];
+    let mut drifted = Vec::new();
+    for &(name, scale, seed, queries, pinned) in cases {
+        let got = digest_for(name, scale, seed, queries);
+        println!("GOLDEN {name:?} {got:#018x}");
+        if got != pinned {
+            drifted.push(format!("{name:?}: got {got:#018x}, pinned {pinned:#018x}"));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "digests drifted from the pre-refactor pins:\n{}",
+        drifted.join("\n")
+    );
+}

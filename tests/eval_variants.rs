@@ -31,7 +31,7 @@ fn every_label_model_kind_produces_valid_metrics() {
             label_model: kind,
             ..EvalConfig::default()
         };
-        let eval = evaluate_matrix(&dataset, &matrix, &cfg);
+        let eval = evaluate_matrix(&dataset, matrix, &cfg);
         assert!(
             (0.0..=1.0).contains(&eval.end_metric),
             "{kind:?}: {}",
@@ -49,7 +49,7 @@ fn metal_beats_or_matches_majority_vote_end_to_end() {
     let run = |kind| {
         evaluate_matrix(
             &dataset,
-            &matrix,
+            matrix,
             &EvalConfig {
                 label_model: kind,
                 ..EvalConfig::default()
@@ -75,7 +75,7 @@ fn target_and_weight_knobs_run() {
             balanced_weights: balanced,
             ..EvalConfig::default()
         };
-        let eval = evaluate_matrix(&dataset, &matrix, &cfg);
+        let eval = evaluate_matrix(&dataset, matrix, &cfg);
         assert!(
             eval.end_metric > 0.55,
             "hard={hard} balanced={balanced}: {}",
@@ -126,7 +126,7 @@ fn metal_config_guards_are_exercised() {
         mutate(&mut mc);
         let eval = evaluate_matrix(
             &dataset,
-            &matrix,
+            matrix,
             &EvalConfig {
                 label_model: LabelModelKind::Metal(mc),
                 ..EvalConfig::default()

@@ -124,7 +124,7 @@ fn filters_actually_gate_the_pipeline() {
     // And the admitted extras are of lower quality on average.
     let dataset_labels = dataset.train.labels_opt();
     let stat = |set: &LfSet| {
-        datasculpt::core::eval::lf_stats_from_matrix(&set.train_matrix(), Some(&dataset_labels))
+        datasculpt::core::eval::lf_stats_from_matrix(set.train_matrix(), Some(&dataset_labels))
             .lf_accuracy
             .expect("labels")
     };
