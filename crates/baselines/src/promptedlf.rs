@@ -60,7 +60,7 @@ pub fn promptedlf_templates(dataset: &TextDataset) -> Vec<String> {
         .map(|k| {
             format!(
                 "Template {k}: {} ({class_list}).",
-                phrasings[k % phrasings.len()]
+                phrasings.get(k % phrasings.len()).copied().unwrap_or("")
             )
         })
         .collect()

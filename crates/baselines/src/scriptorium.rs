@@ -58,7 +58,7 @@ pub fn scriptorium_run<M: ChatModel>(
             )),
             ChatMessage::user(format!(
                 "{GENERIC_KEYWORDS_MARKER} for class {class} ({}). Return up to {per_class} keywords.",
-                dataset.spec.class_names[class]
+                dataset.spec.class_names.get(class).copied().unwrap_or("?")
             )),
         ];
         let resp = llm.complete(&ChatRequest::new(messages).with_temperature(0.7))?;

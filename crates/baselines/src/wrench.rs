@@ -41,7 +41,9 @@ pub fn wrench_expert_lfs(dataset: &TextDataset, n_lfs: usize) -> Vec<KeywordLf> 
             continue; // an expert would not ship a sub-threshold LF
         }
         let score = acc * acc * cov.sqrt();
-        per_class[c].push((score, KeywordLf::new(g.gram.clone(), c)));
+        if let Some(list) = per_class.get_mut(c) {
+            list.push((score, KeywordLf::new(g.gram.clone(), c)));
+        }
     }
     // Relation experts write entity-anchored rules from the linking
     // patterns themselves (`[A] married [B]`, §3.1) — these dominate the
@@ -49,20 +51,27 @@ pub fn wrench_expert_lfs(dataset: &TextDataset, n_lfs: usize) -> Vec<KeywordLf> 
     if relation {
         for conn in gen.relation_connectors() {
             let lf = KeywordLf::anchored(conn, 1);
-            if lf.is_valid_ngram() {
-                per_class[1].push((10.0, lf));
+            let anchored = if lf.is_valid_ngram() {
+                Some(lf)
             } else {
                 // Longer patterns: anchor their trailing trigram.
                 let words: Vec<&str> = conn.split(' ').collect();
-                if words.len() > 3 {
-                    let tail = words[words.len() - 3..].join(" ");
-                    per_class[1].push((10.0, KeywordLf::anchored(tail, 1)));
+                words
+                    .len()
+                    .checked_sub(3)
+                    .filter(|_| words.len() > 3)
+                    .and_then(|start| words.get(start..))
+                    .map(|tail| KeywordLf::anchored(tail.join(" "), 1))
+            };
+            if let Some(lf) = anchored {
+                if let Some(list) = per_class.get_mut(1) {
+                    list.push((10.0, lf));
                 }
             }
         }
     }
     for list in &mut per_class {
-        list.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        list.sort_by(|a, b| b.0.total_cmp(&a.0));
     }
 
     // Relation tasks: spend the budget on the anchored linking rules first
@@ -70,12 +79,14 @@ pub fn wrench_expert_lfs(dataset: &TextDataset, n_lfs: usize) -> Vec<KeywordLf> 
     // default class catches the rest).
     let mut out = Vec::with_capacity(n_lfs);
     if relation {
-        for (score, lf) in per_class[1].iter() {
+        for (score, lf) in per_class.get(1).map(Vec::as_slice).unwrap_or(&[]) {
             if *score >= 10.0 && out.len() + 1 < n_lfs {
                 out.push(lf.clone());
             }
         }
-        per_class[1].retain(|(score, _)| *score < 10.0);
+        if let Some(list) = per_class.get_mut(1) {
+            list.retain(|(score, _)| *score < 10.0);
+        }
     }
 
     // Round-robin across classes until the budget is filled.

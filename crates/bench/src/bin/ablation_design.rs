@@ -38,6 +38,9 @@ fn main() {
                 .expect("the simulated model does not fail");
             run.lf_set.train_matrix().clone()
         },
-        |matrix, dataset, vi| evaluate_matrix(dataset, matrix, &variants[vi].1).end_metric,
+        |matrix, dataset, vi| match variants.get(vi) {
+            Some((_, cfg)) => evaluate_matrix(dataset, matrix, cfg).end_metric,
+            None => 0.0,
+        },
     );
 }

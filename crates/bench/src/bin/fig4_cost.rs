@@ -46,8 +46,8 @@ fn main() {
         }
     }
 
-    let prompted = ledgers[1].total_cost_nanousd();
-    let sculpt_base = ledgers[2].total_cost_nanousd();
+    let prompted = ledgers.get(1).map_or(0, |l| l.total_cost_nanousd());
+    let sculpt_base = ledgers.get(2).map_or(0, |l| l.total_cost_nanousd());
     if sculpt_base > 0 {
         println!(
             "\nPromptedLF / DataSculpt-Base cost ratio: {:.0}x",

@@ -60,15 +60,23 @@ impl RowMajorMetal {
         ltheta: &[f64],
     ) -> Vec<f64> {
         let c = self.n_classes;
-        let mut logp: Vec<f64> = (0..c).map(|y| prior[y].max(1e-12).ln() + base[y]).collect();
+        let mut logp: Vec<f64> = prior
+            .iter()
+            .zip(base)
+            .map(|(&p, &b)| p.max(1e-12).ln() + b)
+            .collect();
         for (j, &v) in votes.iter().enumerate() {
             if v == ABSTAIN {
                 continue;
             }
             let v = v as usize;
-            for (y, lp) in logp.iter_mut().enumerate() {
-                let off = j * c * (c + 1) + y * (c + 1);
-                *lp += ltheta[off + v] - ABSTAIN_EVIDENCE_SCALE * ltheta[off + c];
+            let off = j * c * (c + 1);
+            let lt_j = ltheta.get(off..off + c * (c + 1)).unwrap_or(&[]);
+            for (lp, row) in logp.iter_mut().zip(lt_j.chunks_exact(c + 1)) {
+                let Some((&labst, active)) = row.split_last() else {
+                    continue;
+                };
+                *lp += active.get(v).copied().unwrap_or(0.0) - ABSTAIN_EVIDENCE_SCALE * labst;
             }
         }
         let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -96,7 +104,9 @@ impl RowMajorMetal {
         for i in 0..n {
             for (j, &v) in matrix.row(i).iter().enumerate() {
                 let v = if v == ABSTAIN { c } else { v as usize };
-                marginal[j * (c + 1) + v] += 1.0;
+                if let Some(slot) = marginal.get_mut(j * (c + 1) + v) {
+                    *slot += 1.0;
+                }
             }
         }
         for e in marginal.iter_mut() {
@@ -113,17 +123,22 @@ impl RowMajorMetal {
                     } else {
                         1.0
                     };
-                    pseudo[j * c * (c + 1) + y * (c + 1) + v] =
-                        SMOOTH_STRENGTH * marginal[j * (c + 1) + v] * tilt;
+                    let mrg = marginal.get(j * (c + 1) + v).copied().unwrap_or(0.0);
+                    if let Some(slot) = pseudo.get_mut(j * c * (c + 1) + y * (c + 1) + v) {
+                        *slot = SMOOTH_STRENGTH * mrg * tilt;
+                    }
                 }
             }
         }
         for j in 0..m {
             for y in 0..c {
                 let off = j * c * (c + 1) + y * (c + 1);
-                let z: f64 = pseudo[off..off + c + 1].iter().sum();
-                for v in 0..=c {
-                    self.theta[off + v] = pseudo[off + v] / z;
+                let prow = pseudo.get(off..off + c + 1).unwrap_or(&[]);
+                let z: f64 = prow.iter().sum();
+                if let Some(trow) = self.theta.get_mut(off..off + c + 1) {
+                    for (t, p) in trow.iter_mut().zip(prow) {
+                        *t = p / z;
+                    }
                 }
             }
         }
@@ -135,7 +150,12 @@ impl RowMajorMetal {
                 .map(|y| {
                     ABSTAIN_EVIDENCE_SCALE
                         * (0..m)
-                            .map(|j| ltheta[j * c * (c + 1) + y * (c + 1) + c])
+                            .map(|j| {
+                                ltheta
+                                    .get(j * c * (c + 1) + y * (c + 1) + c)
+                                    .copied()
+                                    .unwrap_or(0.0)
+                            })
                             .sum::<f64>()
                 })
                 .collect();
@@ -150,15 +170,18 @@ impl RowMajorMetal {
                 for i in range {
                     let votes = matrix.row(i);
                     let post = self.posterior_row(votes, &fit_prior, &base, &ltheta);
-                    for (y, p) in post.iter().enumerate() {
-                        tm[y] += p;
+                    for (t, p) in tm.iter_mut().zip(&post) {
+                        *t += p;
                     }
                     for (j, &v) in votes.iter().enumerate() {
                         if v == ABSTAIN {
                             continue;
                         }
                         for (y, p) in post.iter().enumerate() {
-                            vm[j * c * (c + 1) + y * (c + 1) + v as usize] += p;
+                            let off = j * c * (c + 1) + y * (c + 1) + v as usize;
+                            if let Some(slot) = vm.get_mut(off) {
+                                *slot += p;
+                            }
                         }
                     }
                 }
@@ -173,19 +196,25 @@ impl RowMajorMetal {
             for j in 0..m {
                 for (y, &tmass) in total_mass.iter().enumerate() {
                     let off = j * c * (c + 1) + y * (c + 1);
-                    let active_mass: f64 = (0..c).map(|v| vote_mass[off + v]).sum();
+                    let vrow = vote_mass.get(off..off + c + 1).unwrap_or(&[]);
+                    let prow = pseudo.get(off..off + c + 1).unwrap_or(&[]);
+                    let votes_v = vrow.get(..c).unwrap_or(&[]);
+                    let active_mass: f64 = votes_v.iter().sum();
                     let abst = (tmass - active_mass).max(0.0);
-                    let mut counts: Vec<f64> = (0..c)
-                        .map(|v| vote_mass[off + v] + pseudo[off + v])
+                    let mut counts: Vec<f64> = votes_v
+                        .iter()
+                        .zip(prow.get(..c).unwrap_or(&[]))
+                        .map(|(v, p)| v + p)
                         .collect();
-                    counts.push(abst + pseudo[off + c]);
+                    counts.push(abst + prow.get(c).copied().unwrap_or(0.0));
                     let z: f64 = counts.iter().sum();
-                    for (v, cnt) in counts.iter().enumerate() {
-                        let hat = cnt / z;
-                        let new =
-                            (1.0 - UPDATE_DAMPING) * self.theta[off + v] + UPDATE_DAMPING * hat;
-                        delta += (new - self.theta[off + v]).abs();
-                        self.theta[off + v] = new;
+                    if let Some(trow) = self.theta.get_mut(off..off + c + 1) {
+                        for (cnt, t) in counts.iter().zip(trow.iter_mut()) {
+                            let hat = cnt / z;
+                            let new = (1.0 - UPDATE_DAMPING) * *t + UPDATE_DAMPING * hat;
+                            delta += (new - *t).abs();
+                            *t = new;
+                        }
                     }
                 }
             }
@@ -207,7 +236,12 @@ impl RowMajorMetal {
             .map(|y| {
                 ABSTAIN_EVIDENCE_SCALE
                     * (0..matrix.cols())
-                        .map(|j| ltheta[j * c * (c + 1) + y * (c + 1) + c])
+                        .map(|j| {
+                            ltheta
+                                .get(j * c * (c + 1) + y * (c + 1) + c)
+                                .copied()
+                                .unwrap_or(0.0)
+                        })
                         .sum::<f64>()
             })
             .collect();
@@ -348,7 +382,7 @@ pub fn time_kernel(name: &str, iters: usize, mut f: impl FnMut()) -> KernelTimin
     samples.sort_unstable();
     KernelTiming {
         name: name.to_string(),
-        median_ns_per_op: samples[samples.len() / 2],
+        median_ns_per_op: samples.get(samples.len() / 2).copied().unwrap_or(0),
         iters,
     }
 }

@@ -498,7 +498,9 @@ impl Grid {
                 ));
                 let mut vals = Vec::new();
                 for (di, _) in self.datasets.iter().enumerate() {
-                    let o = &self.results[mi][di];
+                    let Some(o) = self.results.get(mi).and_then(|r| r.get(di)) else {
+                        continue;
+                    };
                     out.push_str(&format!("{:>12}", metric_cell(block, o)));
                     if let Some(v) = metric_value(block, o) {
                         vals.push(v);
@@ -540,7 +542,9 @@ impl Grid {
                 let mut cells = Vec::new();
                 let mut vals = Vec::new();
                 for (di, _) in self.datasets.iter().enumerate() {
-                    let o = &self.results[mi][di];
+                    let Some(o) = self.results.get(mi).and_then(|r| r.get(di)) else {
+                        continue;
+                    };
                     cells.push(metric_cell(block, o));
                     if let Some(v) = metric_value(block, o) {
                         vals.push(v);
@@ -628,7 +632,10 @@ pub fn run_matrix(
     }
     let outcomes = pool
         .try_map(&tasks, |_, &(di, mi, s)| {
-            (methods[mi].run)(&datasets[di], s)
+            match (datasets.get(di), methods.get(mi)) {
+                (Some(d), Some(m)) => (m.run)(d, s),
+                _ => Outcome::default(),
+            }
         })
         .unwrap_or_else(|e| panic!("bench worker: {e}"));
     // Regroup the flat outcomes: tasks were emitted in (dataset, method,
@@ -637,12 +644,20 @@ pub fn run_matrix(
     let mut per_cell: Vec<Vec<Vec<Outcome>>> =
         vec![vec![Vec::new(); methods.len()]; datasets.len()];
     for (&(di, mi, _), o) in tasks.iter().zip(outcomes) {
-        per_cell[di][mi].push(o);
+        if let Some(cell) = per_cell.get_mut(di).and_then(|r| r.get_mut(mi)) {
+            cell.push(o);
+        }
     }
     let results: Vec<Vec<Outcome>> = (0..methods.len())
         .map(|mi| {
             (0..datasets.len())
-                .map(|di| average(&per_cell[di][mi]))
+                .map(|di| {
+                    per_cell
+                        .get(di)
+                        .and_then(|r| r.get(mi))
+                        .map(|c| average(c))
+                        .unwrap_or_default()
+                })
                 .collect()
         })
         .collect();
@@ -723,13 +738,18 @@ pub fn run_usage_figure(
     }
     let run_ledgers = pool
         .try_map(&tasks, |_, &(di, mi, s)| {
-            generation_ledger(&datasets[di], USAGE_METHODS[mi], model, s)
+            match (datasets.get(di), USAGE_METHODS.get(mi)) {
+                (Some(d), Some(&m)) => generation_ledger(d, m, model, s),
+                _ => UsageLedger::new(),
+            }
         })
         .unwrap_or_else(|e| panic!("bench worker: {e}"));
     let mut merged_cells: Vec<Vec<UsageLedger>> =
         vec![vec![UsageLedger::new(); USAGE_METHODS.len()]; datasets.len()];
     for (&(di, mi, _), l) in tasks.iter().zip(&run_ledgers) {
-        merged_cells[di][mi].merge(l);
+        if let Some(cell) = merged_cells.get_mut(di).and_then(|r| r.get_mut(mi)) {
+            cell.merge(l);
+        }
     }
     // Post-parallel trace replay in dataset order (the documented merge
     // order, docs/trace-schema.md): usage events sit inside their cell
@@ -739,10 +759,15 @@ pub fn run_usage_figure(
     let mut trace = BenchTrace::begin(spec.tag, model.api_name(), &cfg.datasets);
     for (di, &name) in cfg.datasets.iter().enumerate() {
         trace.cell_begin(di);
-        for (mi, merged) in merged_cells[di].iter().enumerate() {
+        let cell_row = merged_cells.get(di).map(Vec::as_slice).unwrap_or(&[]);
+        for (mi, merged) in cell_row.iter().enumerate() {
             trace.usage(merged);
-            values[mi].push((spec.value)(&outcome_from_ledger(merged, cfg.seeds)));
-            ledgers[mi].merge(merged);
+            if let Some(col) = values.get_mut(mi) {
+                col.push((spec.value)(&outcome_from_ledger(merged, cfg.seeds)));
+            }
+            if let Some(l) = ledgers.get_mut(mi) {
+                l.merge(merged);
+            }
         }
         trace.cell_end(di);
         eprintln!("[{}] {name} done", spec.tag);
@@ -753,7 +778,11 @@ pub fn run_usage_figure(
     for (di, name) in cfg.datasets.iter().enumerate() {
         println!("{name}:");
         for (mi, method) in USAGE_METHODS.iter().enumerate() {
-            let v = values[mi][di];
+            let v = values
+                .get(mi)
+                .and_then(|c| c.get(di))
+                .copied()
+                .unwrap_or(0.0);
             println!(
                 "  {method:<16} {} |{}",
                 (spec.cell)(v),
@@ -784,12 +813,15 @@ pub fn run_usage_figure(
         writeln!(
             f,
             "{method},{},{}",
-            values[mi]
+            values
+                .get(mi)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
                 .iter()
                 .map(|v| (spec.csv_cell)(*v))
                 .collect::<Vec<_>>()
                 .join(","),
-            (spec.csv_cell)(totals[mi])
+            (spec.csv_cell)(totals.get(mi).copied().unwrap_or(0.0))
         )
         .expect("csv row");
     }
@@ -826,7 +858,9 @@ pub fn run_scalar_matrix<S>(
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
     for column in &columns {
         for (ri, v) in column.iter().enumerate() {
-            results[ri].push(*v);
+            if let Some(row) = results.get_mut(ri) {
+                row.push(*v);
+            }
         }
     }
     // Post-parallel trace replay in dataset order (docs/trace-schema.md).
@@ -844,9 +878,9 @@ pub fn run_scalar_matrix<S>(
         print!("{:>10}", d.as_str());
     }
     println!();
-    for (ri, label) in rows.iter().enumerate() {
+    for (label, rvals) in rows.iter().zip(&results) {
         print!("{label:<w$}");
-        for v in &results[ri] {
+        for v in rvals {
             print!("{v:>10.3}");
         }
         println!();
@@ -865,11 +899,11 @@ pub fn run_scalar_matrix<S>(
             .join(",")
     )
     .expect("csv header");
-    for (ri, label) in rows.iter().enumerate() {
+    for (label, rvals) in rows.iter().zip(&results) {
         writeln!(
             f,
             "{label},{}",
-            results[ri]
+            rvals
                 .iter()
                 .map(|v| format!("{v:.4}"))
                 .collect::<Vec<_>>()

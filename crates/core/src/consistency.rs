@@ -19,8 +19,8 @@ pub fn aggregate_consistency(
 ) -> Option<(usize, Vec<String>)> {
     let mut votes = vec![0usize; n_classes];
     for s in samples {
-        if let Some(l) = s.label {
-            votes[l] += 1;
+        if let Some(v) = s.label.and_then(|l| votes.get_mut(l)) {
+            *v += 1;
         }
     }
     let total: usize = votes.iter().sum();

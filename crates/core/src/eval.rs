@@ -238,7 +238,11 @@ pub fn evaluate_matrix(
             row
         };
         match indices {
-            Some(idx) => idx.iter().map(|&i| to_row(&split.instances[i])).collect(),
+            Some(idx) => idx
+                .iter()
+                .filter_map(|&i| split.instances.get(i))
+                .map(&to_row)
+                .collect(),
             None => split.iter().map(to_row).collect(),
         }
     };
@@ -255,13 +259,17 @@ pub fn evaluate_matrix(
                 return row.to_vec();
             }
             let mut best = 0;
-            for c in 1..n_classes {
-                if row[c] > row[best] {
+            let mut best_p = f64::NEG_INFINITY;
+            for (c, &p) in row.iter().enumerate() {
+                if p > best_p {
                     best = c;
+                    best_p = p;
                 }
             }
             let mut t = vec![0.0; n_classes];
-            t[best] = 1.0;
+            if let Some(slot) = t.get_mut(best) {
+                *slot = 1.0;
+            }
             t
         })
         .collect();
@@ -275,9 +283,11 @@ pub fn evaluate_matrix(
             .iter()
             .map(|t| {
                 let mut best = 0;
-                for c in 1..n_classes {
-                    if t[c] > t[best] {
+                let mut best_p = f64::NEG_INFINITY;
+                for (c, &p) in t.iter().enumerate() {
+                    if p > best_p {
                         best = c;
+                        best_p = p;
                     }
                 }
                 best
@@ -285,11 +295,16 @@ pub fn evaluate_matrix(
             .collect();
         let mut counts = vec![0usize; n_classes];
         for &h in &hard {
-            counts[h] += 1;
+            if let Some(slot) = counts.get_mut(h) {
+                *slot += 1;
+            }
         }
         let n_cov = covered.len().max(1) as f64;
         hard.iter()
-            .map(|&h| n_cov / (n_classes as f64 * counts[h].max(1) as f64))
+            .map(|&h| {
+                let cnt = counts.get(h).copied().unwrap_or(0).max(1);
+                n_cov / (n_classes as f64 * cnt as f64)
+            })
             .collect()
     });
 
@@ -341,7 +356,7 @@ fn append_window_features(inst: &datasculpt_data::Instance, dim: usize, row: &mu
     if hi - lo > ANCHOR_WINDOW || hi - lo < 2 {
         return;
     }
-    let grams = datasculpt_text::extract_ngrams(&marked[lo + 1..hi], 2);
+    let grams = datasculpt_text::extract_ngrams(marked.get(lo + 1..hi).unwrap_or(&[]), 2);
     if grams.is_empty() {
         return;
     }

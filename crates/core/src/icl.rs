@@ -54,7 +54,7 @@ impl Exemplar {
             .into_iter()
             .filter_map(|g| {
                 let probs = dataset.generative.affinity(&g)?;
-                let own = probs[label];
+                let own = probs.get(label).copied().unwrap_or(0.0);
                 let other = probs
                     .iter()
                     .enumerate()
@@ -123,8 +123,8 @@ impl IclSelector {
                 let n_classes = dataset.n_classes();
                 let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
                 for (i, inst) in dataset.valid.iter().enumerate() {
-                    if let Some(y) = inst.label {
-                        by_class[y].push(i);
+                    if let Some(bucket) = inst.label.and_then(|y| by_class.get_mut(y)) {
+                        bucket.push(i);
                     }
                 }
                 for c in &mut by_class {
@@ -139,8 +139,11 @@ impl IclSelector {
                             break;
                         }
                         if let Some(&idx) = class.get(round) {
-                            if let Some(ex) =
-                                Exemplar::oracle(&dataset.valid.instances[idx], dataset)
+                            if let Some(ex) = dataset
+                                .valid
+                                .instances
+                                .get(idx)
+                                .and_then(|inst| Exemplar::oracle(inst, dataset))
                             {
                                 balanced.push(ex);
                                 progressed = true;
@@ -207,7 +210,7 @@ impl IclSelector {
         let mut out = Vec::with_capacity(neighbours.len());
         for idx in neighbours {
             // Unlabeled validation rows cannot serve as exemplars.
-            let Some(label) = dataset.valid.instances[idx].label else {
+            let Some(label) = dataset.valid.instances.get(idx).and_then(|i| i.label) else {
                 continue;
             };
             out.push(self.annotate_kate(dataset, idx, label, llm, ledger, obs)?);
@@ -228,7 +231,9 @@ impl IclSelector {
         if let Some(e) = self.kate_cache.get(&idx) {
             return Ok(e.clone());
         }
-        let inst = &dataset.valid.instances[idx];
+        let Some(inst) = dataset.valid.instances.get(idx) else {
+            return Err(LlmError::EmptyResponse);
+        };
         let msgs = prompt::annotation_messages(&dataset.spec, &inst.prompt_text(), label);
         let resp = llm.complete(&prompt::request(msgs, 0.7, 1))?;
         observe::record_usage(ledger, obs, resp.model, resp.usage);

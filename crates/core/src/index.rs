@@ -47,7 +47,30 @@ impl GramCsr {
 
     #[inline]
     fn row(&self, i: usize) -> &[u32] {
-        &self.syms[self.offsets[i]..self.offsets[i + 1]]
+        let lo = self.offsets.get(i).copied().unwrap_or(0);
+        let hi = self.offsets.get(i + 1).copied().unwrap_or(lo);
+        self.syms.get(lo..hi).unwrap_or(&[])
+    }
+
+    /// Rows `range.start..range.end` in order, as one pass over the offset
+    /// pairs. The hot path for LF application: per row this is a single
+    /// slice-of-`syms` extraction, with none of the per-index fallback
+    /// branches of [`row`](Self::row) inside the scan loop.
+    #[inline]
+    fn rows_in(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = &[u32]> + '_ {
+        let hi = range.end.saturating_add(1).min(self.offsets.len());
+        let offs = self.offsets.get(range.start..hi).unwrap_or(&[]);
+        let mut prev = offs.first().copied().unwrap_or(0);
+        let mut rest = self.syms.get(prev..).unwrap_or(&[]);
+        offs.iter().skip(1).map(move |&end| {
+            // Offsets are non-decreasing and end at syms.len(), so the clamp
+            // never bites; it just makes the split provably in-bounds.
+            let len = end.saturating_sub(prev).min(rest.len());
+            prev = end;
+            let (row, tail) = rest.split_at(len);
+            rest = tail;
+            row
+        })
     }
 
     #[inline]
@@ -89,7 +112,9 @@ impl NgramIndex {
                 if let (Some(ia), Some(ib)) = (ia, ib) {
                     let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
                     if hi - lo <= ANCHOR_WINDOW && hi - lo >= 2 {
-                        for_each_ngram(&tokens[lo + 1..hi], 3, |g| row.push(arena.intern(g)));
+                        for_each_ngram(tokens.get(lo + 1..hi).unwrap_or(&[]), 3, |g| {
+                            row.push(arena.intern(g))
+                        });
                     }
                 }
             }
@@ -149,9 +174,9 @@ impl NgramIndex {
             return vec![ABSTAIN; n];
         };
         let csr = self.csr(lf.anchored);
-        (0..n)
-            .map(|i| {
-                if csr.contains(i, sym) {
+        csr.rows_in(0..n)
+            .map(|row| {
+                if row.binary_search(&sym).is_ok() {
                     lf.label as i32
                 } else {
                     ABSTAIN
@@ -172,9 +197,9 @@ impl NgramIndex {
         };
         let csr = self.csr(lf.anchored);
         let shards = pool.map_shards(n, |range| {
-            range
-                .map(|i| {
-                    if csr.contains(i, sym) {
+            csr.rows_in(range)
+                .map(|row| {
+                    if row.binary_search(&sym).is_ok() {
                         lf.label as i32
                     } else {
                         ABSTAIN

@@ -111,7 +111,7 @@ pub fn anchored_fires(tokens: &[String], keyword: &str) -> bool {
     if hi - lo > ANCHOR_WINDOW || hi - lo < 2 {
         return false;
     }
-    contains_ngram(&tokens[lo + 1..hi], keyword)
+    contains_ngram(tokens.get(lo + 1..hi).unwrap_or(&[]), keyword)
 }
 
 #[cfg(test)]

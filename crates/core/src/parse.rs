@@ -34,7 +34,7 @@ pub fn parse_response(text: &str, n_classes: usize) -> ParsedResponse {
     let keywords = text
         .rfind(KEYWORDS_PREFIX)
         .map(|p| {
-            let after = &text[p + KEYWORDS_PREFIX.len()..];
+            let after = text.get(p + KEYWORDS_PREFIX.len()..).unwrap_or("");
             let line = after.lines().next().unwrap_or("");
             let mut out = Vec::new();
             for raw in line.split(',') {
@@ -51,7 +51,8 @@ pub fn parse_response(text: &str, n_classes: usize) -> ParsedResponse {
     let label = parse_label(text, n_classes);
 
     let explanation = text.rfind(EXPLANATION_PREFIX).map(|p| {
-        text[p + EXPLANATION_PREFIX.len()..]
+        text.get(p + EXPLANATION_PREFIX.len()..)
+            .unwrap_or("")
             .lines()
             .next()
             .unwrap_or("")
@@ -71,7 +72,9 @@ pub fn parse_response(text: &str, n_classes: usize) -> ParsedResponse {
 /// yield `None`.
 pub fn parse_label(text: &str, n_classes: usize) -> Option<usize> {
     let candidate: Option<usize> = match text.rfind(LABEL_PREFIX) {
-        Some(p) => text[p + LABEL_PREFIX.len()..]
+        Some(p) => text
+            .get(p + LABEL_PREFIX.len()..)
+            .unwrap_or("")
             .split_whitespace()
             .next()
             .and_then(|tok| tok.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok()),

@@ -331,7 +331,9 @@ impl<'d, 'o> RunContext<'d, 'o> {
         llm: &mut M,
         idx: usize,
     ) -> Result<Vec<ChatMessage>, LlmError> {
-        let instance = &self.dataset.train.instances[idx];
+        let Some(instance) = self.dataset.train.instances.get(idx) else {
+            return Err(LlmError::EmptyResponse);
+        };
         let exemplars = self
             .icl
             .select(self.dataset, instance, llm, &mut self.ledger, self.obs)?;
@@ -412,7 +414,9 @@ impl<'d, 'o> RunContext<'d, 'o> {
     ) -> Result<(), LlmError> {
         let relation = self.dataset.spec.relation;
         let n_classes = self.dataset.n_classes();
-        let instance = &self.dataset.train.instances[idx];
+        let Some(instance) = self.dataset.train.instances.get(idx) else {
+            return Ok(());
+        };
         let mut tally = OutcomeTally::default();
         for lf in std::mem::take(&mut integration.accuracy_rejected)
             .into_iter()

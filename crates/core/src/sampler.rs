@@ -123,16 +123,18 @@ impl UncertainSampler {
         let mut pool: Vec<usize> = (0..dataset.train.len()).collect();
         pool.shuffle(&mut rng);
         pool.truncate(POOL_CAP);
+        let toks = |&i: &usize| {
+            dataset
+                .train
+                .instances
+                .get(i)
+                .map(|inst| inst.tokens.as_slice())
+                .unwrap_or(&[])
+        };
         let mut tfidf = HashedTfIdf::new(2048, 1);
-        tfidf.fit(
-            pool.iter()
-                .map(|&i| dataset.train.instances[i].tokens.as_slice()),
-        );
+        tfidf.fit(pool.iter().map(toks));
         let embedder = RandomProjection::new(tfidf, 64, derive_seed(seed, 0x0CE3));
-        let embeddings = embedder.embed_batch(
-            pool.iter()
-                .map(|&i| dataset.train.instances[i].tokens.as_slice()),
-        );
+        let embeddings = embedder.embed_batch(pool.iter().map(toks));
         let entropy_cache = vec![f64::MAX; pool.len()];
         Self {
             rng,
@@ -154,20 +156,21 @@ impl UncertainSampler {
         mv.fit(matrix, dataset.n_classes());
         let probs = mv.predict_proba(matrix);
         // Train a small model on covered pool instances.
-        let covered: Vec<usize> = self
+        let covered: Vec<(usize, usize)> = self
             .pool
             .iter()
             .enumerate()
-            .filter(|(_, &ti)| probs.is_covered(ti))
-            .map(|(pi, _)| pi)
+            .filter(|&(_, &ti)| probs.is_covered(ti))
+            .map(|(pi, &ti)| (pi, ti))
             .collect();
         if covered.len() < dataset.n_classes() * 2 {
             return;
         }
-        let x = self.embeddings.gather(&covered);
+        let pool_rows: Vec<usize> = covered.iter().map(|&(pi, _)| pi).collect();
+        let x = self.embeddings.gather(&pool_rows);
         let targets: Vec<Vec<f64>> = covered
             .iter()
-            .map(|&pi| probs.row(self.pool[pi]).to_vec())
+            .map(|&(_, ti)| probs.row(ti).to_vec())
             .collect();
         let mut model = SoftmaxRegression::new(64, dataset.n_classes());
         model.fit(
@@ -179,9 +182,9 @@ impl UncertainSampler {
                 ..TrainConfig::default()
             },
         );
-        for pi in 0..self.pool.len() {
+        for (pi, e) in self.entropy_cache.iter_mut().enumerate() {
             let p = model.predict_proba_one(self.embeddings.row(pi));
-            self.entropy_cache[pi] = entropy(&p);
+            *e = entropy(&p);
         }
     }
 }
@@ -198,11 +201,10 @@ impl QuerySampler for UncertainSampler {
         }
         self.calls += 1;
         let mut best: Option<(usize, f64)> = None;
-        for (pi, &ti) in self.pool.iter().enumerate() {
+        for (&ti, &e) in self.pool.iter().zip(&self.entropy_cache) {
             if queried.contains(&ti) {
                 continue;
             }
-            let e = self.entropy_cache[pi];
             if best.is_none_or(|(_, be)| e > be) {
                 best = Some((ti, e));
             }
@@ -256,7 +258,13 @@ impl SeuSampler {
                 grams.sort_unstable();
                 grams.dedup();
                 for g in grams {
-                    counts.entry(g).or_insert_with(|| vec![0; n_classes])[y] += 1;
+                    if let Some(slot) = counts
+                        .entry(g)
+                        .or_insert_with(|| vec![0; n_classes])
+                        .get_mut(y)
+                    {
+                        *slot += 1;
+                    }
                 }
             }
             let n_valid = dataset.valid.len().max(1) as f64;
@@ -275,7 +283,9 @@ impl SeuSampler {
         let scores: Vec<f64> = pool
             .iter()
             .map(|&ti| {
-                let inst = &dataset.train.instances[ti];
+                let Some(inst) = dataset.train.instances.get(ti) else {
+                    return 0.0;
+                };
                 let mut grams = datasculpt_text::extract_ngrams(inst.match_tokens(), 3);
                 grams.sort_unstable();
                 grams.dedup();
@@ -306,11 +316,10 @@ impl QuerySampler for SeuSampler {
         queried: &BTreeSet<usize>,
     ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for (pi, &ti) in self.pool.iter().enumerate() {
+        for (&ti, &s) in self.pool.iter().zip(&self.scores) {
             if queried.contains(&ti) {
                 continue;
             }
-            let s = self.scores[pi];
             if best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((ti, s));
             }
@@ -350,16 +359,18 @@ impl CoreSetSampler {
         let mut pool: Vec<usize> = (0..dataset.train.len()).collect();
         pool.shuffle(&mut rng);
         pool.truncate(POOL_CAP);
+        let toks = |&i: &usize| {
+            dataset
+                .train
+                .instances
+                .get(i)
+                .map(|inst| inst.tokens.as_slice())
+                .unwrap_or(&[])
+        };
         let mut tfidf = HashedTfIdf::new(2048, 1);
-        tfidf.fit(
-            pool.iter()
-                .map(|&i| dataset.train.instances[i].tokens.as_slice()),
-        );
+        tfidf.fit(pool.iter().map(toks));
         let embedder = RandomProjection::new(tfidf, 64, derive_seed(seed, 0xC0DF));
-        let embeddings = embedder.embed_batch(
-            pool.iter()
-                .map(|&i| dataset.train.instances[i].tokens.as_slice()),
-        );
+        let embeddings = embedder.embed_batch(pool.iter().map(toks));
         Self {
             rng,
             pool,
@@ -396,7 +407,7 @@ impl QuerySampler for CoreSetSampler {
                 *c /= n;
             }
             let first = (0..self.pool.len())
-                .filter(|&pi| !queried.contains(&self.pool[pi]))
+                .filter(|&pi| self.pool.get(pi).is_some_and(|ti| !queried.contains(ti)))
                 .max_by(|&a, &b| {
                     let score = |pi: usize| {
                         self.embeddings
@@ -412,21 +423,24 @@ impl QuerySampler for CoreSetSampler {
                 self.min_dist = (0..self.pool.len())
                     .map(|qi| self.cosine_distance(qi, pi))
                     .collect();
-                return Some(self.pool[pi]);
+                return self.pool.get(pi).copied();
             }
         } else {
             // k-center greedy: farthest pool instance from the queried set.
+            let dist = |pi: usize| self.min_dist.get(pi).copied().unwrap_or(f64::NEG_INFINITY);
             let next = (0..self.pool.len())
-                .filter(|&pi| !queried.contains(&self.pool[pi]))
-                .max_by(|&a, &b| self.min_dist[a].total_cmp(&self.min_dist[b]));
+                .filter(|&pi| self.pool.get(pi).is_some_and(|ti| !queried.contains(ti)))
+                .max_by(|&a, &b| dist(a).total_cmp(&dist(b)));
             if let Some(pi) = next {
                 for qi in 0..self.pool.len() {
                     let d = self.cosine_distance(qi, pi);
-                    if d < self.min_dist[qi] {
-                        self.min_dist[qi] = d;
+                    if let Some(md) = self.min_dist.get_mut(qi) {
+                        if d < *md {
+                            *md = d;
+                        }
                     }
                 }
-                return Some(self.pool[pi]);
+                return self.pool.get(pi).copied();
             }
         }
         // Pool exhausted: fall back to random over the full split.

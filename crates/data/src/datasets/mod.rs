@@ -93,7 +93,9 @@ impl Lexicon {
         let leak = Self::keyed(&gram, 0xB2, tier.leak_range());
         let other = own * leak / (self.n_classes - 1).max(1) as f64;
         let mut probs = vec![other; self.n_classes];
-        probs[class] = own;
+        if let Some(slot) = probs.get_mut(class) {
+            *slot = own;
+        }
         self.grams.push(IndicativeNgram { gram, probs });
     }
 
@@ -124,7 +126,9 @@ impl Lexicon {
         }
         let other = own * leak / (self.n_classes - 1).max(1) as f64;
         let mut probs = vec![other; self.n_classes];
-        probs[class] = own;
+        if let Some(slot) = probs.get_mut(class) {
+            *slot = own;
+        }
         self.grams.push(IndicativeNgram { gram, probs });
     }
 

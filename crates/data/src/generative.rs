@@ -42,7 +42,7 @@ impl IndicativeNgram {
     /// under the given class priors: `P(y = ĉ | gram present)`.
     pub fn lf_accuracy(&self, priors: &[f64]) -> f64 {
         let c = self.dominant_class();
-        let num = priors[c] * self.probs[c];
+        let num = priors.get(c).copied().unwrap_or(0.0) * self.probs.get(c).copied().unwrap_or(0.0);
         let den: f64 = priors.iter().zip(&self.probs).map(|(pi, p)| pi * p).sum();
         if den > 0.0 {
             num / den
@@ -144,12 +144,17 @@ impl GenerativeModel {
             );
             let prev = affinity.insert(g.gram.clone(), i);
             assert!(prev.is_none(), "duplicate indicative n-gram {}", g.gram);
-            by_class[g.dominant_class()].push(i);
+            if let Some(bucket) = by_class.get_mut(g.dominant_class()) {
+                bucket.push(i);
+            }
         }
         let mut class_cat = Vec::with_capacity(n_classes);
         let mut class_lambda = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
-            let weights: Vec<f64> = indicative.iter().map(|g| g.probs[c]).collect();
+            let weights: Vec<f64> = indicative
+                .iter()
+                .map(|g| g.probs.get(c).copied().unwrap_or(0.0))
+                .collect();
             let lambda: f64 = weights.iter().sum();
             assert!(lambda > 0.0, "class {c} has no indicative mass");
             class_cat.push(Categorical::new(&weights));
@@ -217,7 +222,12 @@ impl GenerativeModel {
 
     /// Indicative n-grams whose dominant class is `c`.
     pub fn class_grams(&self, c: usize) -> impl Iterator<Item = &IndicativeNgram> + '_ {
-        self.by_class[c].iter().map(move |&i| &self.indicative[i])
+        self.by_class
+            .get(c)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |&i| self.indicative.get(i))
     }
 
     /// Per-class appearance probabilities of an n-gram, if it is indicative.
@@ -227,7 +237,8 @@ impl GenerativeModel {
     pub fn affinity(&self, gram: &str) -> Option<&[f64]> {
         self.affinity
             .get(gram)
-            .map(|&i| self.indicative[i].probs.as_slice())
+            .and_then(|&i| self.indicative.get(i))
+            .map(|g| g.probs.as_slice())
             .or_else(|| self.extra_affinity.get(gram).map(Vec::as_slice))
     }
 
@@ -285,22 +296,30 @@ impl GenerativeModel {
         let len =
             (self.doc_len.sample(&mut rng).round() as i64).max(self.doc_len_min as i64) as usize;
         let mut tokens: Vec<String> = (0..len)
-            .map(|_| self.background[self.zipf.sample(&mut rng)].clone())
+            .map(|_| {
+                let bi = self.zipf.sample(&mut rng);
+                self.background.get(bi).cloned().unwrap_or_default()
+            })
             .collect();
 
         // Indicative n-grams: Poisson(λ_c) draws from the class categorical,
         // preserving per-gram marginal appearance probabilities.
-        let k = sample_poisson(self.class_lambda[content_class], &mut rng);
+        let lambda = self.class_lambda.get(content_class).copied().unwrap_or(0.0);
+        let k = sample_poisson(lambda, &mut rng);
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
-        for _ in 0..k {
-            chosen.push(self.class_cat[content_class].sample(&mut rng));
+        if let Some(cat) = self.class_cat.get(content_class) {
+            for _ in 0..k {
+                chosen.push(cat.sample(&mut rng));
+            }
         }
         chosen.sort_unstable();
         chosen.dedup();
         for gi in &chosen {
-            let gram = &self.indicative[*gi].gram;
+            let Some(g) = self.indicative.get(*gi) else {
+                continue;
+            };
             let pos = rng.gen_range(0..=tokens.len());
-            let parts: Vec<String> = gram.split(' ').map(str::to_string).collect();
+            let parts: Vec<String> = g.gram.split(' ').map(str::to_string).collect();
             tokens.splice(pos..pos, parts);
         }
 
@@ -323,10 +342,12 @@ impl GenerativeModel {
         rng: &mut StdRng,
     ) -> GeneratedDoc {
         let name = |rng: &mut StdRng| -> String {
+            let fi = rng.gen_range(0..rel.first_names.len());
+            let li = rng.gen_range(0..rel.last_names.len());
             format!(
                 "{} {}",
-                rel.first_names[rng.gen_range(0..rel.first_names.len())],
-                rel.last_names[rng.gen_range(0..rel.last_names.len())]
+                rel.first_names.get(fi).copied().unwrap_or(""),
+                rel.last_names.get(li).copied().unwrap_or("")
             )
         };
         let ent_a = name(rng);
@@ -337,7 +358,8 @@ impl GenerativeModel {
 
         if label == 1 {
             // Positive: a connector pattern directly links [a] and [b].
-            let conn = rel.positive_connectors[rng.gen_range(0..rel.positive_connectors.len())];
+            let ci = rng.gen_range(0..rel.positive_connectors.len());
+            let conn = rel.positive_connectors.get(ci).copied().unwrap_or("");
             let mut pat: Vec<String> = vec!["[a]".to_string()];
             pat.extend(conn.split(' ').map(str::to_string));
             pat.push("[b]".to_string());
@@ -353,7 +375,8 @@ impl GenerativeModel {
             // plain keyword LFs fire but the pair is not related.
             if rng.gen::<f64>() < rel.distractor_rate {
                 let third = name(rng);
-                let conn = rel.positive_connectors[rng.gen_range(0..rel.positive_connectors.len())];
+                let ci = rng.gen_range(0..rel.positive_connectors.len());
+                let conn = rel.positive_connectors.get(ci).copied().unwrap_or("");
                 let mut pat: Vec<String> = third.split(' ').map(str::to_string).collect();
                 pat.extend(conn.split(' ').map(str::to_string));
                 pat.extend(name(rng).split(' ').map(str::to_string));

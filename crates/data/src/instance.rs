@@ -108,8 +108,8 @@ impl Split {
         let mut counts = vec![0usize; n_classes];
         let mut total = 0usize;
         for inst in &self.instances {
-            if let Some(y) = inst.label {
-                counts[y] += 1;
+            if let Some(slot) = inst.label.and_then(|y| counts.get_mut(y)) {
+                *slot += 1;
                 total += 1;
             }
         }

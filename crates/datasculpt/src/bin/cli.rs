@@ -27,10 +27,10 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("inspect") => inspect(&args[1..]),
-        Some("run") => run(&args[1..]),
-        Some("baseline") => baseline(&args[1..]),
-        Some("trace-check") => trace_check(&args[1..]),
+        Some("inspect") => inspect(args.get(1..).unwrap_or(&[])),
+        Some("run") => run(args.get(1..).unwrap_or(&[])),
+        Some("baseline") => baseline(args.get(1..).unwrap_or(&[])),
+        Some("trace-check") => trace_check(args.get(1..).unwrap_or(&[])),
         Some("models") => {
             for m in ModelId::ALL {
                 let (inp, out) = PricingTable::rates(m);
@@ -151,7 +151,11 @@ fn inspect(args: &[String]) -> ExitCode {
     println!("metric:        {}", spec.metric);
     println!("relation task: {}", spec.relation);
     if let Some(dc) = spec.default_class {
-        println!("default class: {} ({})", dc, spec.class_names[dc]);
+        println!(
+            "default class: {} ({})",
+            dc,
+            spec.class_names.get(dc).copied().unwrap_or("?")
+        );
     }
     println!(
         "class balance (valid): {:?}",
@@ -166,7 +170,7 @@ fn inspect(args: &[String]) -> ExitCode {
     for inst in dataset.train.iter().take(3) {
         let label = inst
             .label
-            .map(|y| spec.class_names[y])
+            .and_then(|y| spec.class_names.get(y).copied())
             .unwrap_or("<hidden>");
         println!("  [{label:>9}] {}", inst.prompt_text());
     }

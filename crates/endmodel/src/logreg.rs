@@ -72,8 +72,7 @@ impl SoftmaxRegression {
     fn logits(&self, x: &[f32]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.dim);
         let mut z = self.bias.clone();
-        for (c, zc) in z.iter_mut().enumerate() {
-            let row = &self.weights[c * self.dim..(c + 1) * self.dim];
+        for (zc, row) in z.iter_mut().zip(self.weights.chunks_exact(self.dim)) {
             let mut acc = 0.0f64;
             for (w, v) in row.iter().zip(x) {
                 acc += w * (*v as f64);
@@ -144,13 +143,17 @@ impl SoftmaxRegression {
                 for &i in chunk {
                     let xi = x.row(i);
                     let p = softmax(&self.logits(xi));
-                    let wi = sample_weights.map_or(1.0, |w| w[i]);
+                    let wi = sample_weights.map_or(1.0, |w| w.get(i).copied().unwrap_or(1.0));
                     total_w += wi;
-                    for c in 0..self.n_classes {
-                        let err = wi * (p[c] - targets[i][c]);
-                        gb[c] += err;
+                    let ti = targets.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                    for ((gbc, grow), (&pc, &tc)) in gb
+                        .iter_mut()
+                        .zip(gw.chunks_exact_mut(self.dim))
+                        .zip(p.iter().zip(ti))
+                    {
+                        let err = wi * (pc - tc);
+                        *gbc += err;
                         if err != 0.0 {
-                            let grow = &mut gw[c * self.dim..(c + 1) * self.dim];
                             for (g, v) in grow.iter_mut().zip(xi) {
                                 *g += err * (*v as f64);
                             }
@@ -179,11 +182,10 @@ impl SoftmaxRegression {
     /// Class logits for a sparse feature row.
     fn logits_sparse(&self, row: &[(u32, f32)]) -> Vec<f64> {
         let mut z = self.bias.clone();
-        for (c, zc) in z.iter_mut().enumerate() {
-            let w = &self.weights[c * self.dim..(c + 1) * self.dim];
+        for (zc, w) in z.iter_mut().zip(self.weights.chunks_exact(self.dim)) {
             let mut acc = 0.0f64;
             for &(d, v) in row {
-                acc += w[d as usize] * (v as f64);
+                acc += w.get(d as usize).copied().unwrap_or(0.0) * (v as f64);
             }
             *zc += acc;
         }
@@ -245,22 +247,22 @@ impl SoftmaxRegression {
                 let mut gw: Vec<(usize, u32, f64)> = Vec::new();
                 let mut total_w = 0.0f64;
                 for &i in chunk {
-                    let row = &rows[i];
+                    let row = rows.get(i).map(Vec::as_slice).unwrap_or(&[]);
                     let mut z = self.bias.clone();
-                    for (c, zc) in z.iter_mut().enumerate() {
-                        let w = &self.weights[c * self.dim..(c + 1) * self.dim];
+                    for (zc, w) in z.iter_mut().zip(self.weights.chunks_exact(self.dim)) {
                         let mut acc = 0.0f64;
                         for &(d, v) in row.iter() {
-                            acc += w[d as usize] * (v as f64);
+                            acc += w.get(d as usize).copied().unwrap_or(0.0) * (v as f64);
                         }
                         *zc += acc * scale;
                     }
                     let p = softmax(&z);
-                    let wi = sample_weights.map_or(1.0, |w| w[i]);
+                    let wi = sample_weights.map_or(1.0, |w| w.get(i).copied().unwrap_or(1.0));
                     total_w += wi;
-                    for c in 0..self.n_classes {
-                        let err = wi * (p[c] - targets[i][c]);
-                        gb[c] += err;
+                    let ti = targets.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                    for (c, (gbc, (&pc, &tc))) in gb.iter_mut().zip(p.iter().zip(ti)).enumerate() {
+                        let err = wi * (pc - tc);
+                        *gbc += err;
                         if err != 0.0 {
                             for &(d, v) in row.iter() {
                                 gw.push((c, d, err * (v as f64)));
@@ -282,7 +284,9 @@ impl SoftmaxRegression {
                     scale = 1.0;
                 }
                 for (c, d, g) in gw {
-                    self.weights[c * self.dim + d as usize] -= step * g / scale;
+                    if let Some(slot) = self.weights.get_mut(c * self.dim + d as usize) {
+                        *slot -= step * g / scale;
+                    }
                 }
                 for (b, g) in self.bias.iter_mut().zip(&gb) {
                     *b -= step * g;
@@ -308,9 +312,11 @@ pub fn softmax(z: &[f64]) -> Vec<f64> {
 
 fn argmax(xs: &[f64]) -> usize {
     let mut best = 0;
-    for i in 1..xs.len() {
-        if xs[i] > xs[best] {
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
             best = i;
+            best_v = v;
         }
     }
     best

@@ -63,7 +63,7 @@ pub fn log_loss(probs: &[Vec<f64>], truth: &[usize]) -> f64 {
     probs
         .iter()
         .zip(truth)
-        .map(|(p, &t)| -(p[t].max(1e-12)).ln())
+        .map(|(p, &t)| -(p.get(t).copied().unwrap_or(0.0).max(1e-12)).ln())
         .sum::<f64>()
         / probs.len() as f64
 }
@@ -82,14 +82,19 @@ impl ConfusionMatrix {
         let mut counts = vec![0usize; n_classes * n_classes];
         for (&p, &t) in pred.iter().zip(truth) {
             assert!(p < n_classes && t < n_classes, "class out of range");
-            counts[t * n_classes + p] += 1;
+            if let Some(slot) = counts.get_mut(t * n_classes + p) {
+                *slot += 1;
+            }
         }
         Self { counts, n_classes }
     }
 
-    /// Count of `(truth, predicted)`.
+    /// Count of `(truth, predicted)` (zero when out of range).
     pub fn get(&self, truth: usize, pred: usize) -> usize {
-        self.counts[truth * self.n_classes + pred]
+        self.counts
+            .get(truth * self.n_classes + pred)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of classes.

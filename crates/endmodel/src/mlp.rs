@@ -58,8 +58,8 @@ impl MlpClassifier {
         for &(d, v) in row {
             debug_assert!((d as usize) < self.dim, "dimension out of range");
             let col = d as usize;
-            for (u, hu) in h.iter_mut().enumerate() {
-                *hu += self.w1[u * self.dim + col] * v as f64;
+            for (hu, wrow) in h.iter_mut().zip(self.w1.chunks_exact(self.dim)) {
+                *hu += wrow.get(col).copied().unwrap_or(0.0) * v as f64;
             }
         }
         for hu in h.iter_mut() {
@@ -74,8 +74,7 @@ impl MlpClassifier {
     pub fn predict_proba_sparse_one(&self, row: &[(u32, f32)]) -> Vec<f64> {
         let h = self.hidden_forward(row);
         let mut z = self.b2.clone();
-        for (c, zc) in z.iter_mut().enumerate() {
-            let w = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+        for (zc, w) in z.iter_mut().zip(self.w2.chunks_exact(self.hidden)) {
             *zc += w.iter().zip(&h).map(|(a, b)| a * b).sum::<f64>();
         }
         softmax(&z)
@@ -87,9 +86,11 @@ impl MlpClassifier {
             .map(|r| {
                 let p = self.predict_proba_sparse_one(r);
                 let mut best = 0;
-                for c in 1..p.len() {
-                    if p[c] > p[best] {
+                let mut best_p = f64::NEG_INFINITY;
+                for (c, &pc) in p.iter().enumerate() {
+                    if pc > best_p {
                         best = c;
+                        best_p = pc;
                     }
                 }
                 best
@@ -123,50 +124,56 @@ impl MlpClassifier {
             order.shuffle(&mut rng);
             let lr = config.learning_rate / (1.0 + 0.3 * (epoch as f64).sqrt());
             for &i in &order {
-                let wi = sample_weights.map_or(1.0, |w| w[i]);
+                let wi = sample_weights.map_or(1.0, |w| w.get(i).copied().unwrap_or(1.0));
                 if wi == 0.0 {
                     continue;
                 }
-                let row = &rows[i];
+                let row = rows.get(i).map(Vec::as_slice).unwrap_or(&[]);
                 let h = self.hidden_forward(row);
                 let mut z = self.b2.clone();
-                for (c, zc) in z.iter_mut().enumerate() {
-                    let w = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+                for (zc, w) in z.iter_mut().zip(self.w2.chunks_exact(self.hidden)) {
                     *zc += w.iter().zip(&h).map(|(a, b)| a * b).sum::<f64>();
                 }
                 let p = softmax(&z);
                 // Output-layer gradient.
-                let err: Vec<f64> = (0..self.n_classes)
-                    .map(|c| wi * (p[c] - targets[i][c]))
-                    .collect();
+                let ti = targets.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                let err: Vec<f64> = p.iter().zip(ti).map(|(&pc, &tc)| wi * (pc - tc)).collect();
                 // Hidden gradient (before ReLU mask).
                 let mut gh = vec![0.0f64; self.hidden];
-                for (c, &e) in err.iter().enumerate() {
-                    let w = &self.w2[c * self.hidden..(c + 1) * self.hidden];
-                    for (u, ghu) in gh.iter_mut().enumerate() {
-                        *ghu += e * w[u];
+                for (&e, w) in err.iter().zip(self.w2.chunks_exact(self.hidden)) {
+                    for (ghu, &wu) in gh.iter_mut().zip(w) {
+                        *ghu += e * wu;
                     }
                 }
                 // Update output layer.
-                for (c, &e) in err.iter().enumerate() {
-                    let w = &mut self.w2[c * self.hidden..(c + 1) * self.hidden];
-                    for (u, wu) in w.iter_mut().enumerate() {
-                        *wu -= lr * (e * h[u] + config.l2 * *wu);
+                for ((&e, w), b2c) in err
+                    .iter()
+                    .zip(self.w2.chunks_exact_mut(self.hidden))
+                    .zip(self.b2.iter_mut())
+                {
+                    for (wu, &hu) in w.iter_mut().zip(&h) {
+                        *wu -= lr * (e * hu + config.l2 * *wu);
                     }
-                    self.b2[c] -= lr * e;
+                    *b2c -= lr * e;
                 }
                 // Update hidden layer (leaky-ReLU derivative).
-                for (u, &ghu) in gh.iter().enumerate() {
+                for (((&ghu, &hu), wrow), b1u) in gh
+                    .iter()
+                    .zip(&h)
+                    .zip(self.w1.chunks_exact_mut(self.dim))
+                    .zip(self.b1.iter_mut())
+                {
                     if ghu == 0.0 {
                         continue;
                     }
-                    let slope = if h[u] > 0.0 { 1.0 } else { LEAK };
+                    let slope = if hu > 0.0 { 1.0 } else { LEAK };
                     let g = ghu * slope;
                     for &(d, v) in row {
-                        let w = &mut self.w1[u * self.dim + d as usize];
-                        *w -= lr * (g * v as f64 + config.l2 * *w);
+                        if let Some(w) = wrow.get_mut(d as usize) {
+                            *w -= lr * (g * v as f64 + config.l2 * *w);
+                        }
                     }
-                    self.b1[u] -= lr * g;
+                    *b1u -= lr * g;
                 }
             }
         }

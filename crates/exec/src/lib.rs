@@ -140,7 +140,11 @@ impl Pool {
                         break;
                     }
                     match contain(i, || f(i)) {
-                        Ok(r) => *lock(&slots[i]) = Some(r),
+                        Ok(r) => {
+                            if let Some(slot) = slots.get(i) {
+                                *lock(slot) = Some(r);
+                            }
+                        }
                         Err(e) => {
                             lock(&first_panic).get_or_insert(e);
                             stop.store(true, Ordering::Relaxed);
@@ -177,6 +181,7 @@ impl Pool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        // ds-lint: allow(unchecked-index): try_run only passes i < items.len()
         self.try_run(items.len(), |i| f(i, &items[i]))
     }
 
@@ -194,7 +199,7 @@ impl Pool {
         F: Fn(Range<usize>) -> R + Sync,
     {
         let ranges = shard_ranges(len, DEFAULT_SHARDS);
-        self.try_run(ranges.len(), |s| f(ranges[s].clone()))
+        self.try_run(ranges.len(), |s| f(ranges.get(s).cloned().unwrap_or(0..0)))
     }
 }
 

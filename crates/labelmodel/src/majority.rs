@@ -35,21 +35,30 @@ impl LabelModel for MajorityVote {
         let mut hist = vec![0u32; n * c];
         let mut active = vec![0u32; n];
         for j in 0..matrix.cols() {
-            for (i, &v) in matrix.column(j).iter().enumerate() {
-                if v != ABSTAIN {
-                    hist[i * c + v as usize] += 1;
-                    active[i] += 1;
+            for ((row, a), &v) in hist
+                .chunks_exact_mut(c)
+                .zip(active.iter_mut())
+                .zip(matrix.column(j))
+            {
+                if v == ABSTAIN {
+                    continue;
+                }
+                // Out-of-range votes contribute nothing (the matrix
+                // validates votes at construction).
+                if let Some(slot) = row.get_mut(v as usize) {
+                    *slot += 1;
+                    *a += 1;
                 }
             }
         }
         let mut probs = Vec::with_capacity(n * c);
         let mut covered = Vec::with_capacity(n);
-        for (i, &a) in active.iter().enumerate() {
+        for (row, &a) in hist.chunks_exact(c).zip(&active) {
             if a == 0 {
                 probs.extend(std::iter::repeat_n(1.0 / c as f64, c));
                 covered.push(false);
             } else {
-                for &h in &hist[i * c..(i + 1) * c] {
+                for &h in row {
                     probs.push(f64::from(h) / f64::from(a));
                 }
                 covered.push(true);

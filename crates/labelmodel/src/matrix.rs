@@ -68,11 +68,15 @@ impl LabelMatrix {
         if let Some(&value) = data.iter().find(|&&v| v < ABSTAIN) {
             return Err(MatrixError::InvalidVote { value });
         }
-        let mut columnar = vec![ABSTAIN; rows * cols];
-        for i in 0..rows {
-            for j in 0..cols {
-                columnar[j * rows + i] = data[i * cols + j];
-            }
+        // Transpose by gathering column `j` from every row-major row;
+        // `chunks_exact` is only reached with `cols > 0`, and `row` always
+        // has `cols` entries, so the fallback never fires.
+        let mut columnar = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            columnar.extend(
+                data.chunks_exact(cols)
+                    .map(|row| row.get(j).copied().unwrap_or(ABSTAIN)),
+            );
         }
         Ok(Self {
             data: columnar,
@@ -139,23 +143,28 @@ impl LabelMatrix {
         self.cols
     }
 
-    /// Vote of LF `j` on instance `i`.
+    /// Vote of LF `j` on instance `i`; [`ABSTAIN`] out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> i32 {
-        self.data[j * self.rows + i]
+        self.data.get(j * self.rows + i).copied().unwrap_or(ABSTAIN)
     }
 
-    /// Set a vote.
+    /// Set a vote. Out-of-bounds coordinates are a no-op.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: i32) {
         assert!(v >= ABSTAIN, "invalid vote {v}");
-        self.data[j * self.rows + i] = v;
+        if let Some(slot) = self.data.get_mut(j * self.rows + i) {
+            *slot = v;
+        }
     }
 
-    /// The contiguous vote column of LF `j` (the hot-path accessor).
+    /// The contiguous vote column of LF `j` (the hot-path accessor);
+    /// empty out of bounds.
     #[inline]
     pub fn column(&self, j: usize) -> &[i32] {
-        &self.data[j * self.rows..(j + 1) * self.rows]
+        self.data
+            .get(j * self.rows..(j + 1) * self.rows)
+            .unwrap_or(&[])
     }
 
     /// Iterate the LF columns in order.
@@ -223,14 +232,18 @@ impl LabelMatrix {
         let mut first = vec![ABSTAIN; self.rows];
         let mut conflicted = vec![false; self.rows];
         for j in 0..self.cols {
-            for (i, &v) in self.column(j).iter().enumerate() {
+            for ((f, c), &v) in first
+                .iter_mut()
+                .zip(conflicted.iter_mut())
+                .zip(self.column(j))
+            {
                 if v == ABSTAIN {
                     continue;
                 }
-                if first[i] == ABSTAIN {
-                    first[i] = v;
-                } else if first[i] != v {
-                    conflicted[i] = true;
+                if *f == ABSTAIN {
+                    *f = v;
+                } else if *f != v {
+                    *c = true;
                 }
             }
         }

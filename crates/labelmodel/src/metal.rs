@@ -157,7 +157,10 @@ impl MetalModel {
     #[inline]
     fn th(&self, j: usize, y: usize, v: usize) -> f64 {
         let c = self.n_classes;
-        self.theta[j * c * (c + 1) + y * (c + 1) + v]
+        self.theta
+            .get(j * c * (c + 1) + y * (c + 1) + v)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Precomputed active-vote contribution tables:
@@ -169,12 +172,22 @@ impl MetalModel {
         let c = self.n_classes;
         let m = ltheta.len() / (c * (c + 1));
         let mut w = vec![0.0f64; m * c * c];
-        for j in 0..m {
-            for y in 0..c {
-                let off = j * c * (c + 1) + y * (c + 1);
-                for v in 0..c {
-                    w[j * c * c + v * c + y] =
-                        ltheta[off + v] - self.config.abstain_evidence_scale * ltheta[off + c];
+        // Per LF, `ltheta` rows are `[ln θ(v=0) … ln θ(v=c-1), ln θ(abst)]`
+        // per class `y`; the table transposes to `[v][y]`. Each cell is the
+        // same expression as the historical indexed loop, in the same
+        // `(j, y, v)` write order.
+        for (wj, ltj) in w
+            .chunks_exact_mut(c * c)
+            .zip(ltheta.chunks_exact(c * (c + 1)))
+        {
+            for (y, row) in ltj.chunks_exact(c + 1).enumerate() {
+                let Some((&labst, votes)) = row.split_last() else {
+                    continue;
+                };
+                for (v, &lv) in votes.iter().enumerate() {
+                    if let Some(slot) = wj.get_mut(v * c + y) {
+                        *slot = lv - self.config.abstain_evidence_scale * labst;
+                    }
                 }
             }
         }
@@ -201,30 +214,33 @@ impl MetalModel {
     ) -> (Vec<f64>, Vec<bool>) {
         let c = self.n_classes;
         let len = range.len();
-        let mut logp = vec![0.0f64; len * c];
-        for (y, (&p, &b)) in prior.iter().zip(base).enumerate() {
-            let init = p.max(1e-12).ln() + b;
-            for i in 0..len {
-                logp[i * c + y] = init;
-            }
+        let init: Vec<f64> = prior
+            .iter()
+            .zip(base)
+            .map(|(&p, &b)| p.max(1e-12).ln() + b)
+            .collect();
+        let mut logp = Vec::with_capacity(len * c);
+        for _ in 0..len {
+            logp.extend_from_slice(&init);
         }
         let mut any = vec![false; len];
         for j in 0..matrix.cols() {
-            let col = &matrix.column(j)[range.clone()];
-            let wj = &w[j * c * c..(j + 1) * c * c];
-            for (i, &v) in col.iter().enumerate() {
+            let col = matrix.column(j).get(range.clone()).unwrap_or(&[]);
+            let wj = w.get(j * c * c..(j + 1) * c * c).unwrap_or(&[]);
+            for ((row, a), &v) in logp.chunks_exact_mut(c).zip(any.iter_mut()).zip(col) {
                 if v == ABSTAIN {
                     continue;
                 }
-                any[i] = true;
-                let wv = &wj[v as usize * c..(v as usize + 1) * c];
-                for (lp, &t) in logp[i * c..(i + 1) * c].iter_mut().zip(wv) {
+                *a = true;
+                let Some(wv) = wj.get(v as usize * c..(v as usize + 1) * c) else {
+                    continue;
+                };
+                for (lp, &t) in row.iter_mut().zip(wv) {
                     *lp += t;
                 }
             }
         }
-        for i in 0..len {
-            let lp = &mut logp[i * c..(i + 1) * c];
+        for lp in logp.chunks_exact_mut(c) {
             let mx = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut z = 0.0f64;
             for p in lp.iter_mut() {
@@ -248,7 +264,12 @@ impl MetalModel {
             .map(|y| {
                 self.config.abstain_evidence_scale
                     * (0..m)
-                        .map(|j| ltheta[j * c * (c + 1) + y * (c + 1) + c])
+                        .map(|j| {
+                            ltheta
+                                .get(j * c * (c + 1) + y * (c + 1) + c)
+                                .copied()
+                                .unwrap_or(0.0)
+                        })
                         .sum::<f64>()
             })
             .collect()
@@ -263,8 +284,11 @@ impl MetalModel {
                 // Dominant vote of this LF: one column scan.
                 let mut counts = vec![0usize; c];
                 for &v in matrix.column(j) {
-                    if v != ABSTAIN {
-                        counts[v as usize] += 1;
+                    if v == ABSTAIN {
+                        continue;
+                    }
+                    if let Some(slot) = counts.get_mut(v as usize) {
+                        *slot += 1;
                     }
                 }
                 let v = counts
@@ -273,8 +297,13 @@ impl MetalModel {
                     .max_by_key(|(_, &n)| n)
                     .map(|(i, _)| i)
                     .unwrap_or(0);
-                let num = self.prior[v] * self.th(j, v, v);
-                let den: f64 = (0..c).map(|y| self.prior[y] * self.th(j, y, v)).sum();
+                let num = self.prior.get(v).copied().unwrap_or(0.0) * self.th(j, v, v);
+                let den: f64 = self
+                    .prior
+                    .iter()
+                    .enumerate()
+                    .map(|(y, &pr)| pr * self.th(j, y, v))
+                    .sum();
                 if den > 0.0 {
                     (num / den).clamp(0.0, 1.0)
                 } else {
@@ -307,10 +336,14 @@ impl LabelModel for MetalModel {
         // exact small integers in f64, so the sweep order is immaterial.
         let mut marginal = vec![0.0f64; m * (c + 1)];
         for j in 0..m {
-            let off = j * (c + 1);
+            let mrow = marginal
+                .get_mut(j * (c + 1)..(j + 1) * (c + 1))
+                .unwrap_or_default();
             for &v in matrix.column(j) {
                 let v = if v == ABSTAIN { c } else { v as usize };
-                marginal[off + v] += 1.0;
+                if let Some(slot) = mrow.get_mut(v) {
+                    *slot += 1.0;
+                }
             }
         }
         for e in marginal.iter_mut() {
@@ -321,9 +354,12 @@ impl LabelModel for MetalModel {
         // class is a-priori likelier under its own class. This anchors θ
         // and prevents the winner-takes-all runaway of unsmoothed EM.
         let mut pseudo = vec![0.0f64; m * c * (c + 1)];
-        for j in 0..m {
-            for y in 0..c {
-                for v in 0..=c {
+        for (pj, mrow) in pseudo
+            .chunks_exact_mut(c * (c + 1))
+            .zip(marginal.chunks_exact(c + 1))
+        {
+            for (y, prow) in pj.chunks_exact_mut(c + 1).enumerate() {
+                for (v, (p, &mv)) in prow.iter_mut().zip(mrow).enumerate() {
                     // Own-class vote cells get ACCURACY_TILT; the other
                     // vote cells share the remaining mass; abstain is
                     // untilted.
@@ -334,20 +370,20 @@ impl LabelModel for MetalModel {
                     } else {
                         1.0
                     };
-                    pseudo[j * c * (c + 1) + y * (c + 1) + v] =
-                        self.config.smooth_strength * marginal[j * (c + 1) + v] * tilt;
+                    *p = self.config.smooth_strength * mv * tilt;
                 }
             }
         }
 
         // Initialize θ at the (normalized) pseudo-counts.
-        for j in 0..m {
-            for y in 0..c {
-                let off = j * c * (c + 1) + y * (c + 1);
-                let z: f64 = pseudo[off..off + c + 1].iter().sum();
-                for v in 0..=c {
-                    self.theta[off + v] = pseudo[off + v] / z;
-                }
+        for (trow, prow) in self
+            .theta
+            .chunks_exact_mut(c + 1)
+            .zip(pseudo.chunks_exact(c + 1))
+        {
+            let z: f64 = prow.iter().sum();
+            for (t, &ps) in trow.iter_mut().zip(prow) {
+                *t = ps / z;
             }
         }
 
@@ -371,24 +407,27 @@ impl LabelModel for MetalModel {
             let estep_shard = |range: Range<usize>| {
                 let (posts, _any) =
                     this.posterior_block(matrix, range.clone(), &fit_prior, &base, &w);
-                let len = range.len();
                 let mut tm = vec![0.0f64; c];
-                for i in 0..len {
-                    for (t, &p) in tm.iter_mut().zip(&posts[i * c..(i + 1) * c]) {
+                for row in posts.chunks_exact(c) {
+                    for (t, &p) in tm.iter_mut().zip(row) {
                         *t += p;
                     }
                 }
                 let mut vm = vec![0.0f64; m * c * (c + 1)];
                 for j in 0..m {
-                    let col = &matrix.column(j)[range.clone()];
-                    let off_j = j * c * (c + 1);
-                    for (i, &v) in col.iter().enumerate() {
+                    let col = matrix.column(j).get(range.clone()).unwrap_or(&[]);
+                    let vmj = vm
+                        .get_mut(j * c * (c + 1)..(j + 1) * c * (c + 1))
+                        .unwrap_or_default();
+                    for (row, &v) in posts.chunks_exact(c).zip(col) {
                         if v == ABSTAIN {
                             continue;
                         }
                         let v = v as usize;
-                        for y in 0..c {
-                            vm[off_j + y * (c + 1) + v] += posts[i * c + y];
+                        for (y, &p) in row.iter().enumerate() {
+                            if let Some(slot) = vmj.get_mut(y * (c + 1) + v) {
+                                *slot += p;
+                            }
                         }
                     }
                 }
@@ -416,22 +455,29 @@ impl LabelModel for MetalModel {
             // M-step: damped, smoothed table update. Abstain mass is the
             // remainder of the class total.
             let mut delta = 0.0f64;
-            for j in 0..m {
-                for (y, &tmass) in total_mass.iter().enumerate() {
-                    let off = j * c * (c + 1) + y * (c + 1);
-                    let active_mass: f64 = (0..c).map(|v| vote_mass[off + v]).sum();
+            let d = self.config.update_damping;
+            for (tj, (vj, pj)) in self.theta.chunks_exact_mut(c * (c + 1)).zip(
+                vote_mass
+                    .chunks_exact(c * (c + 1))
+                    .zip(pseudo.chunks_exact(c * (c + 1))),
+            ) {
+                for ((trow, (vrow, prow)), &tmass) in tj
+                    .chunks_exact_mut(c + 1)
+                    .zip(vj.chunks_exact(c + 1).zip(pj.chunks_exact(c + 1)))
+                    .zip(total_mass.iter())
+                {
+                    let votes = vrow.get(..c).unwrap_or(&[]);
+                    let active_mass: f64 = votes.iter().sum();
                     let abst = (tmass - active_mass).max(0.0);
-                    let mut counts: Vec<f64> = (0..c)
-                        .map(|v| vote_mass[off + v] + pseudo[off + v])
-                        .collect();
-                    counts.push(abst + pseudo[off + c]);
+                    let mut counts: Vec<f64> =
+                        votes.iter().zip(prow).map(|(&vm_, &ps)| vm_ + ps).collect();
+                    counts.push(abst + prow.get(c).copied().unwrap_or(0.0));
                     let z: f64 = counts.iter().sum();
-                    for (v, cnt) in counts.iter().enumerate() {
+                    for (cnt, t) in counts.iter().zip(trow.iter_mut()) {
                         let hat = cnt / z;
-                        let d = self.config.update_damping;
-                        let new = (1.0 - d) * self.theta[off + v] + d * hat;
-                        delta += (new - self.theta[off + v]).abs();
-                        self.theta[off + v] = new;
+                        let new = (1.0 - d) * *t + d * hat;
+                        delta += (new - *t).abs();
+                        *t = new;
                     }
                 }
             }
@@ -464,13 +510,11 @@ impl LabelModel for MetalModel {
         let row_shard = |range: Range<usize>| {
             let (mut probs, any) = self.posterior_block(matrix, range, &self.prior, &base, &w);
             let mut covered = Vec::with_capacity(any.len());
-            for (i, &active) in any.iter().enumerate() {
+            for (row, &active) in probs.chunks_exact_mut(c).zip(&any) {
                 if active {
                     covered.push(true);
                 } else {
-                    for p in &mut probs[i * c..(i + 1) * c] {
-                        *p = 1.0 / c as f64;
-                    }
+                    row.fill(1.0 / c as f64);
                     covered.push(false);
                 }
             }

@@ -18,8 +18,7 @@ impl ProbLabels {
     pub fn new(probs: Vec<f64>, rows: usize, n_classes: usize, covered: Vec<bool>) -> Self {
         assert_eq!(probs.len(), rows * n_classes, "shape mismatch");
         assert_eq!(covered.len(), rows, "mask length mismatch");
-        for i in 0..rows {
-            let row = &probs[i * n_classes..(i + 1) * n_classes];
+        for (i, row) in probs.chunks_exact(n_classes.max(1)).enumerate() {
             let sum: f64 = row.iter().sum();
             assert!(
                 (sum - 1.0).abs() < 1e-6 && row.iter().all(|p| *p >= -1e-12),
@@ -44,30 +43,40 @@ impl ProbLabels {
         self.n_classes
     }
 
-    /// Posterior of instance `i`.
+    /// Posterior of instance `i` (empty slice when `i` is out of range).
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.probs[i * self.n_classes..(i + 1) * self.n_classes]
+        self.probs
+            .get(i * self.n_classes..(i + 1) * self.n_classes)
+            .unwrap_or(&[])
     }
 
-    /// Whether instance `i` had at least one active LF.
+    /// Whether instance `i` had at least one active LF (`false` when `i`
+    /// is out of range).
     pub fn is_covered(&self, i: usize) -> bool {
-        self.covered[i]
+        self.covered.get(i).copied().unwrap_or(false)
     }
 
     /// Indices of covered instances.
     pub fn covered_indices(&self) -> Vec<usize> {
-        (0..self.rows).filter(|&i| self.covered[i]).collect()
+        self.covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &cov)| cov)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Hard labels (argmax per row; ties to the lowest class index).
     pub fn hard_labels(&self) -> Vec<usize> {
-        (0..self.rows)
-            .map(|i| {
-                let row = self.row(i);
+        self.probs
+            .chunks_exact(self.n_classes.max(1))
+            .map(|row| {
                 let mut best = 0;
-                for c in 1..self.n_classes {
-                    if row[c] > row[best] {
+                let mut best_p = f64::NEG_INFINITY;
+                for (c, &p) in row.iter().enumerate() {
+                    if p > best_p {
                         best = c;
+                        best_p = p;
                     }
                 }
                 best
@@ -79,12 +88,17 @@ impl ProbLabels {
     /// one-hot distribution on `default_class` and are marked covered.
     pub fn apply_default_class(&mut self, default_class: usize) {
         assert!(default_class < self.n_classes, "default class out of range");
-        for i in 0..self.rows {
-            if !self.covered[i] {
-                let row = &mut self.probs[i * self.n_classes..(i + 1) * self.n_classes];
+        for (row, cov) in self
+            .probs
+            .chunks_exact_mut(self.n_classes.max(1))
+            .zip(self.covered.iter_mut())
+        {
+            if !*cov {
                 row.fill(0.0);
-                row[default_class] = 1.0;
-                self.covered[i] = true;
+                if let Some(slot) = row.get_mut(default_class) {
+                    *slot = 1.0;
+                }
+                *cov = true;
             }
         }
     }

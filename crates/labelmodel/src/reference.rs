@@ -28,7 +28,9 @@ impl RowMajorMatrix {
             assert_eq!(col.len(), rows, "column length mismatch");
             for (i, &v) in col.iter().enumerate() {
                 assert!(v >= ABSTAIN, "invalid vote {v}");
-                data[i * cols + j] = v;
+                if let Some(slot) = data.get_mut(i * cols + j) {
+                    *slot = v;
+                }
             }
         }
         Self { data, rows, cols }
@@ -53,22 +55,28 @@ impl RowMajorMatrix {
         self.cols
     }
 
-    /// Vote of LF `j` on instance `i`.
+    /// Vote of LF `j` on instance `i` ([`ABSTAIN`] when out of range, like
+    /// the columnar matrix).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> i32 {
-        self.data[i * self.cols + j]
+        self.data.get(i * self.cols + j).copied().unwrap_or(ABSTAIN)
     }
 
-    /// Set a vote.
+    /// Set a vote (no-op when out of range, like the columnar matrix).
     pub fn set(&mut self, i: usize, j: usize, v: i32) {
         assert!(v >= ABSTAIN, "invalid vote {v}");
-        self.data[i * self.cols + j] = v;
+        if let Some(slot) = self.data.get_mut(i * self.cols + j) {
+            *slot = v;
+        }
     }
 
     /// The contiguous vote row of instance `i` (contiguous in *this*
-    /// layout; the columnar matrix has to gather it).
+    /// layout; the columnar matrix has to gather it). Empty when out of
+    /// range.
     pub fn row(&self, i: usize) -> &[i32] {
-        &self.data[i * self.cols..(i + 1) * self.cols]
+        self.data
+            .get(i * self.cols..(i + 1) * self.cols)
+            .unwrap_or(&[])
     }
 
     /// Fraction of instances with at least one non-abstain vote.

@@ -46,54 +46,65 @@ impl TripletModel {
         // Pairwise products over co-active rows.
         let mut e = vec![vec![0.0f64; m]; m];
         for i in 0..m {
-            for j in (i + 1)..m {
+            let Some((si, tail)) = signed.get(i..).and_then(<[_]>::split_first) else {
+                continue;
+            };
+            for (dj, sj) in tail.iter().enumerate() {
+                let j = i + 1 + dj;
                 let mut acc = 0.0;
                 let mut cnt = 0usize;
-                for (vi, vj) in signed[i].iter().zip(&signed[j]) {
+                for (vi, vj) in si.iter().zip(sj) {
                     if *vi != 0 && *vj != 0 {
                         acc += (*vi as f64) * (*vj as f64);
                         cnt += 1;
                     }
                 }
                 let v = if cnt > 0 { acc / cnt as f64 } else { 0.0 };
-                e[i][j] = v;
-                e[j][i] = v;
+                if let Some(slot) = e.get_mut(i).and_then(|row| row.get_mut(j)) {
+                    *slot = v;
+                }
+                if let Some(slot) = e.get_mut(j).and_then(|row| row.get_mut(i)) {
+                    *slot = v;
+                }
             }
         }
         let mut a = vec![0.0f64; m];
-        for i in 0..m {
+        for (i, ai) in a.iter_mut().enumerate() {
+            let ei = e.get(i).map(Vec::as_slice).unwrap_or(&[]);
             let mut est = 0.0;
             let mut n_est = 0usize;
             for j in 0..m {
                 if j == i {
                     continue;
                 }
+                let eij = ei.get(j).copied().unwrap_or(0.0);
+                let ej = e.get(j).map(Vec::as_slice).unwrap_or(&[]);
                 for k in (j + 1)..m {
                     if k == i {
                         continue;
                     }
-                    let denom = e[j][k];
+                    let denom = ej.get(k).copied().unwrap_or(0.0);
                     if denom.abs() < 1e-3 {
                         continue;
                     }
-                    let val = (e[i][j] * e[i][k] / denom).abs();
+                    let val = (eij * ei.get(k).copied().unwrap_or(0.0) / denom).abs();
                     if val.is_finite() {
                         est += val.sqrt().min(1.0);
                         n_est += 1;
                     }
                 }
             }
-            a[i] = if n_est > 0 { est / n_est as f64 } else { 0.3 };
+            *ai = if n_est > 0 { est / n_est as f64 } else { 0.3 };
             // Sign: LFs are assumed better than chance on their own class;
             // a negative average agreement with the pool flips the sign.
-            let agree: f64 = e[i]
+            let agree: f64 = ei
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
                 .map(|(_, v)| v)
                 .sum();
             if agree < 0.0 {
-                a[i] = -a[i];
+                *ai = -*ai;
             }
         }
         a
@@ -135,21 +146,22 @@ impl LabelModel for TripletModel {
                 })
                 .collect();
             let a = Self::signed_accuracies(&signed);
-            for j in 0..m {
+            for (&aj, (s, cnt)) in a.iter().zip(acc_sum.iter_mut().zip(acc_cnt.iter_mut())) {
                 // Convert signed accuracy on the OvR problem back to a
                 // multiclass accuracy estimate.
-                let acc = ((a[j] + 1.0) / 2.0).clamp(0.05, 0.99);
-                acc_sum[j] += acc;
-                acc_cnt[j] += 1;
+                let acc = ((aj + 1.0) / 2.0).clamp(0.05, 0.99);
+                *s += acc;
+                *cnt += 1;
             }
             if n_classes == 2 {
                 break; // both OvR problems are identical in binary
             }
         }
-        self.alpha = (0..m)
-            .map(|j| {
-                (acc_sum[j] / acc_cnt[j].max(1) as f64)
-                    .clamp(1.0 / n_classes as f64 * 0.5 + 0.01, 0.99)
+        self.alpha = acc_sum
+            .iter()
+            .zip(&acc_cnt)
+            .map(|(&s, &cnt)| {
+                (s / cnt.max(1) as f64).clamp(1.0 / n_classes as f64 * 0.5 + 0.01, 0.99)
             })
             .collect();
     }
@@ -170,34 +182,33 @@ impl LabelModel for TripletModel {
             .collect();
         // Columnar accumulation: each logp cell receives its vote terms in
         // ascending-LF order, matching the old row loop.
-        let mut logp = vec![0.0f64; n * c];
-        for (y, p) in self.prior.iter().enumerate() {
-            let init = p.max(1e-12).ln();
-            for i in 0..n {
-                logp[i * c + y] = init;
-            }
+        let init: Vec<f64> = self.prior.iter().map(|p| p.max(1e-12).ln()).collect();
+        let mut logp = Vec::with_capacity(n * c);
+        for _ in 0..n {
+            logp.extend_from_slice(&init);
         }
         let mut any = vec![false; n];
         for j in 0..matrix.cols() {
-            for (i, &v) in matrix.column(j).iter().enumerate() {
+            let own = ln_own.get(j).copied().unwrap_or(0.0);
+            let wrong = ln_wrong.get(j).copied().unwrap_or(0.0);
+            for ((row, a), &v) in logp
+                .chunks_exact_mut(c)
+                .zip(any.iter_mut())
+                .zip(matrix.column(j))
+            {
                 if v == ABSTAIN {
                     continue;
                 }
-                any[i] = true;
-                for (y, lp) in logp[i * c..(i + 1) * c].iter_mut().enumerate() {
-                    *lp += if v as usize == y {
-                        ln_own[j]
-                    } else {
-                        ln_wrong[j]
-                    };
+                *a = true;
+                for (y, lp) in row.iter_mut().enumerate() {
+                    *lp += if v as usize == y { own } else { wrong };
                 }
             }
         }
         let mut probs = Vec::with_capacity(n * c);
         let mut covered = Vec::with_capacity(n);
-        for (i, &active) in any.iter().enumerate() {
+        for (lp, &active) in logp.chunks_exact(c).zip(&any) {
             if active {
-                let lp = &logp[i * c..(i + 1) * c];
                 let mx = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut post: Vec<f64> = lp.iter().map(|l| (l - mx).exp()).collect();
                 let z: f64 = post.iter().sum();

@@ -176,8 +176,8 @@ impl SimulatedLlm {
         let mut evidence = vec![0.0f64; n_classes];
         if candidates.is_empty() {
             // Nothing recognized: fall back to prior plausibility.
-            for (c, e) in evidence.iter_mut().enumerate() {
-                *e = self.world.priors()[c];
+            for (e, &p) in evidence.iter_mut().zip(self.world.priors()) {
+                *e = p;
             }
         } else {
             // Each recognized n-gram contributes its believed class
@@ -186,8 +186,8 @@ impl SimulatedLlm {
             // grows with the number of agreeing cues, not with how common
             // the cues are).
             for (_, w, _) in &candidates {
-                for c in 0..n_classes {
-                    evidence[c] += w[c] - 1.0 / n_classes as f64;
+                for (e, &wc) in evidence.iter_mut().zip(w.iter()) {
+                    *e += wc - 1.0 / n_classes as f64;
                 }
             }
             let norm = (candidates.len() as f64).sqrt();
@@ -214,11 +214,14 @@ impl SimulatedLlm {
         let mut scored: Vec<(&str, f64)> = candidates
             .iter()
             .map(|(g, w, s)| {
-                let other = (0..n_classes)
-                    .filter(|&c| c != label)
-                    .map(|c| w[c])
+                let other = w
+                    .iter()
+                    .take(n_classes)
+                    .enumerate()
+                    .filter(|&(c, _)| c != label)
+                    .map(|(_, &wc)| wc)
                     .fold(f64::NEG_INFINITY, f64::max);
-                let support = w[label] - other;
+                let support = w.get(label).copied().unwrap_or(0.0) - other;
                 // Specificity bonus: LLMs reading an instance surface its
                 // distinctive phrases, not the most common ones — this is
                 // what keeps DataSculpt's per-LF coverage an order of
@@ -231,7 +234,7 @@ impl SimulatedLlm {
             })
             .filter(|(_, score)| *score > 0.0)
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let k = 1 + poisson(self.profile.keyword_richness * 2.0, rng);
         let mut keywords: Vec<String> = scored.iter().take(k).map(|(g, _)| g.to_string()).collect();
@@ -258,9 +261,13 @@ impl SimulatedLlm {
                 .filter(|t| t.len() >= 3 && !t.starts_with('['))
                 .collect();
             if !plain.is_empty() {
-                let junk = plain[rng.gen_range(0..plain.len())].clone();
-                if !keywords.contains(&junk) {
-                    keywords.push(junk);
+                if let Some(junk) = plain
+                    .get(rng.gen_range(0..plain.len()))
+                    .map(|t| (*t).clone())
+                {
+                    if !keywords.contains(&junk) {
+                        keywords.push(junk);
+                    }
                 }
             }
         }
@@ -328,7 +335,7 @@ impl SimulatedLlm {
             .iter()
             .filter_map(|g| {
                 let (w, s) = self.believed_affinity(&g.gram)?;
-                if w[class] < 0.3 {
+                if w.get(class).copied().unwrap_or(0.0) < 0.3 {
                     return None;
                 }
                 // Coverage-first ranking: a broad prompt surfaces the most
@@ -338,7 +345,7 @@ impl SimulatedLlm {
                 Some((g.gram.clone(), s + 0.03 * gauss(rng)))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut ranked = scored.into_iter().map(|(g, _)| g);
         // Without an instance to ground it, the model pads the list with
         // plausible-sounding generic words — broad coverage, no signal
@@ -348,7 +355,9 @@ impl SimulatedLlm {
         let mut keywords: Vec<String> = Vec::with_capacity(count);
         while keywords.len() < count {
             let pick = if rng.gen::<f64>() < 0.2 && !background.is_empty() {
-                Some(background[rng.gen_range(0..background.len().min(40))].clone())
+                background
+                    .get(rng.gen_range(0..background.len().min(40)))
+                    .cloned()
             } else {
                 ranked.next()
             };
@@ -387,9 +396,9 @@ impl SimulatedLlm {
             .filter(|g| g.as_str() != keyword)
             .filter_map(|g| {
                 let (w, _) = self.believed_affinity(g)?;
-                Some((g, w[class]))
+                Some((g, w.get(class).copied().unwrap_or(0.0)))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some((g, support)) if support > 0.5 => {
                 format!("{KEYWORDS_PREFIX} {g}\n{LABEL_PREFIX} {class}")
@@ -403,8 +412,11 @@ impl SimulatedLlm {
     /// addressing the query directly").
     fn hallucinate(&self, rng: &mut StdRng) -> String {
         let grams = self.world.indicative_grams();
-        let g = &grams[rng.gen_range(0..grams.len())];
+        let gi = rng.gen_range(0..grams.len().max(1));
         let invented_label = rng.gen_range(0..self.world.n_classes());
+        let Some(g) = grams.get(gi) else {
+            return format!("Here is another example for you:\n{QUERY_PREFIX} this text talks about nothing\n{KEYWORDS_PREFIX} none\n{LABEL_PREFIX} {invented_label}");
+        };
         format!(
             "Here is another example for you:\n{QUERY_PREFIX} this text talks about {}\n{KEYWORDS_PREFIX} {}\n{LABEL_PREFIX} {}",
             g.gram, g.gram, invented_label
@@ -515,8 +527,11 @@ fn parse_revise_request(user_text: &str, system_text: &str) -> (String, usize) {
     let keyword = text
         .find("keyword '")
         .and_then(|p| {
-            let after = &text[p + "keyword '".len()..];
-            after.find('\'').map(|end| after[..end].to_string())
+            let after = text.get(p + "keyword '".len()..).unwrap_or("");
+            after
+                .find('\'')
+                .and_then(|end| after.get(..end))
+                .map(str::to_string)
         })
         .unwrap_or_default();
     let (class, _) = parse_generic_request(user_text, system_text);
@@ -530,7 +545,8 @@ fn parse_generic_request(user_text: &str, system_text: &str) -> (usize, usize) {
     let class = text
         .find("for class ")
         .and_then(|p| {
-            text[p + "for class ".len()..]
+            text.get(p + "for class ".len()..)
+                .unwrap_or("")
                 .split_whitespace()
                 .next()
                 .and_then(|t| t.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok())
@@ -539,7 +555,8 @@ fn parse_generic_request(user_text: &str, system_text: &str) -> (usize, usize) {
     let count = text
         .find("up to ")
         .and_then(|p| {
-            text[p + "up to ".len()..]
+            text.get(p + "up to ".len()..)
+                .unwrap_or("")
                 .split_whitespace()
                 .next()
                 .and_then(|t| t.parse().ok())
@@ -555,7 +572,7 @@ fn extract_query(user_text: &str) -> (String, Option<usize>) {
     let Some(qpos) = user_text.rfind(QUERY_PREFIX) else {
         return (user_text.to_string(), None);
     };
-    let after = &user_text[qpos + QUERY_PREFIX.len()..];
+    let after = user_text.get(qpos + QUERY_PREFIX.len()..).unwrap_or("");
     // Query runs to the next structural marker (or message end).
     let mut end = after.len();
     for marker in [KEYWORDS_PREFIX, LABEL_PREFIX, EXPLANATION_PREFIX] {
@@ -563,12 +580,16 @@ fn extract_query(user_text: &str) -> (String, Option<usize>) {
             end = end.min(p);
         }
     }
-    let query = after[..end].trim().to_string();
-    let provided_label = after[end..]
+    let query = after.get(..end).unwrap_or("").trim().to_string();
+    let provided_label = after
+        .get(end..)
+        .unwrap_or("")
         .find(LABEL_PREFIX)
         .map(|p| end + p + LABEL_PREFIX.len())
         .and_then(|start| {
-            after[start..]
+            after
+                .get(start..)
+                .unwrap_or("")
                 .split_whitespace()
                 .next()
                 .and_then(|tok| tok.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok())
@@ -589,15 +610,16 @@ fn tokenize_query(query: &str) -> Vec<String> {
             (None, Some(b)) => b,
             (None, None) => break,
         };
-        let is_a = rest[start..].starts_with("[A:");
-        rewritten.push_str(&rest[..start]);
-        match rest[start..].find(']') {
+        let tail = rest.get(start..).unwrap_or("");
+        let is_a = tail.starts_with("[A:");
+        rewritten.push_str(rest.get(..start).unwrap_or(""));
+        match tail.find(']') {
             Some(close) => {
                 rewritten.push_str(if is_a { " [a] " } else { " [b] " });
-                rest = &rest[start + close + 1..];
+                rest = rest.get(start + close + 1..).unwrap_or("");
             }
             None => {
-                rewritten.push_str(&rest[start..]);
+                rewritten.push_str(tail);
                 rest = "";
             }
         }
@@ -615,9 +637,12 @@ fn extend_with_neighbor(tokens: &[String], keyword: &str, rng: &mut StdRng) -> O
     if parts.len() >= 3 {
         return None;
     }
-    let start = (0..tokens.len().checked_sub(parts.len() - 1)?)
-        .find(|&i| (0..parts.len()).all(|j| tokens[i + j] == parts[j]))?;
-    let before = start.checked_sub(1).map(|i| &tokens[i]);
+    let start = (0..tokens.len().checked_sub(parts.len() - 1)?).find(|&i| {
+        tokens
+            .get(i..i + parts.len())
+            .is_some_and(|w| w.iter().zip(&parts).all(|(t, p)| t == p))
+    })?;
+    let before = start.checked_sub(1).and_then(|i| tokens.get(i));
     let after = tokens.get(start + parts.len());
     let valid = |t: &&String| !t.starts_with('[');
     let (prepend, tok) = match (before.filter(valid), after.filter(valid)) {
@@ -642,7 +667,7 @@ fn extend_with_neighbor(tokens: &[String], keyword: &str, rng: &mut StdRng) -> O
 fn argmax(xs: &[f64]) -> usize {
     xs.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }

@@ -74,7 +74,7 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
     let mut pos = 0usize;
 
     fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t') {
+        while matches!(bytes.get(*pos), Some(&(b' ' | b'\t'))) {
             *pos += 1;
         }
     }
@@ -117,7 +117,7 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
                 }
                 Some(_) => {
                     // Advance one whole UTF-8 character, not one byte.
-                    let rest = &line[*pos..];
+                    let rest = line.get(*pos..).unwrap_or("");
                     let ch = rest.chars().next().ok_or("invalid utf-8 position")?;
                     out.push(ch);
                     *pos += ch.len_utf8();
@@ -147,20 +147,22 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
             skip_ws(bytes, &mut pos);
             let value = match bytes.get(pos) {
                 Some(b'"') => JsonValue::Str(parse_string(line, bytes, &mut pos)?),
-                Some(b't') if line[pos..].starts_with("true") => {
+                Some(b't') if line.get(pos..).is_some_and(|r| r.starts_with("true")) => {
                     pos += 4;
                     JsonValue::Bool(true)
                 }
-                Some(b'f') if line[pos..].starts_with("false") => {
+                Some(b'f') if line.get(pos..).is_some_and(|r| r.starts_with("false")) => {
                     pos += 5;
                     JsonValue::Bool(false)
                 }
                 Some(c) if c.is_ascii_digit() => {
                     let start = pos;
-                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    while bytes.get(pos).is_some_and(|b| b.is_ascii_digit()) {
                         pos += 1;
                     }
-                    let n: u128 = line[start..pos]
+                    let n: u128 = line
+                        .get(start..pos)
+                        .unwrap_or("")
                         .parse()
                         .map_err(|_| format!("integer out of range at byte {start}"))?;
                     JsonValue::UInt(n)

@@ -82,7 +82,7 @@ impl TokenArena {
     pub fn get(&self, sym: u32) -> Option<&str> {
         self.spans
             .get(sym as usize)
-            .map(|&(start, end)| &self.bytes[start as usize..end as usize])
+            .and_then(|&(start, end)| self.bytes.get(start as usize..end as usize))
     }
 
     /// The string of a symbol, or `""` for an out-of-range symbol.
@@ -98,10 +98,12 @@ impl TokenArena {
 
     /// Iterate `(symbol, string)` pairs in symbol (= first-seen) order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> + '_ {
-        self.spans
-            .iter()
-            .enumerate()
-            .map(|(sym, &(start, end))| (sym as u32, &self.bytes[start as usize..end as usize]))
+        self.spans.iter().enumerate().map(|(sym, &(start, end))| {
+            (
+                sym as u32,
+                self.bytes.get(start as usize..end as usize).unwrap_or(""),
+            )
+        })
     }
 
     /// Probe the table for `s` (with its precomputed hash).
@@ -112,11 +114,11 @@ impl TokenArena {
         let mask = self.table.len() - 1;
         let mut slot = (hash as usize) & mask;
         loop {
-            let sym = self.table[slot];
+            let sym = self.table.get(slot).copied().unwrap_or(EMPTY);
             if sym == EMPTY {
                 return None;
             }
-            if self.hashes[sym as usize] == hash && self.resolve(sym) == s {
+            if self.hashes.get(sym as usize) == Some(&hash) && self.resolve(sym) == s {
                 return Some(sym);
             }
             slot = (slot + 1) & mask;
@@ -137,10 +139,12 @@ impl TokenArena {
         self.hashes.push(hash);
         let mask = self.table.len() - 1;
         let mut slot = (hash as usize) & mask;
-        while self.table[slot] != EMPTY {
+        while self.table.get(slot).is_some_and(|&t| t != EMPTY) {
             slot = (slot + 1) & mask;
         }
-        self.table[slot] = sym;
+        if let Some(t) = self.table.get_mut(slot) {
+            *t = sym;
+        }
         sym
     }
 
@@ -152,10 +156,12 @@ impl TokenArena {
         let mask = capacity - 1;
         for (sym, &hash) in self.hashes.iter().enumerate() {
             let mut slot = (hash as usize) & mask;
-            while self.table[slot] != EMPTY {
+            while self.table.get(slot).is_some_and(|&t| t != EMPTY) {
                 slot = (slot + 1) & mask;
             }
-            self.table[slot] = sym as u32;
+            if let Some(t) = self.table.get_mut(slot) {
+                *t = sym as u32;
+            }
         }
     }
 }

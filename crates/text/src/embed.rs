@@ -36,11 +36,7 @@ pub fn top_k_similar(matrix: &FeatureMatrix, query: &[f32], k: usize) -> Vec<usi
     let mut scored: Vec<(usize, f32)> = (0..matrix.rows())
         .map(|i| (i, cosine_similarity(matrix.row(i), query)))
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().take(k).map(|(i, _)| i).collect()
 }
 
@@ -114,7 +110,10 @@ impl Embedder for RandomProjection {
     fn embed(&self, tokens: &[String]) -> Vec<f32> {
         let mut out = vec![0.0f32; self.out_dim];
         for (bucket, w) in self.tfidf.transform_sparse(tokens) {
-            let row = &self.proj[bucket * self.out_dim..(bucket + 1) * self.out_dim];
+            let row = self
+                .proj
+                .get(bucket * self.out_dim..(bucket + 1) * self.out_dim)
+                .unwrap_or(&[]);
             for (o, p) in out.iter_mut().zip(row) {
                 *o += w * p;
             }

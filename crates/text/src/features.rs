@@ -82,14 +82,18 @@ impl FeatureMatrix {
         self.dim
     }
 
-    /// Borrow row `i`.
+    /// Borrow row `i` (empty slice when out of range).
     pub fn row(&self, i: usize) -> &[f32] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        self.data
+            .get(i * self.dim..(i + 1) * self.dim)
+            .unwrap_or(&[])
     }
 
-    /// Mutably borrow row `i`.
+    /// Mutably borrow row `i` (empty slice when out of range).
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        &mut self.data[i * self.dim..(i + 1) * self.dim]
+        self.data
+            .get_mut(i * self.dim..(i + 1) * self.dim)
+            .unwrap_or_default()
     }
 
     /// Iterate over rows.
@@ -193,13 +197,17 @@ impl HashedTfIdf {
                     self.sym_bucket.push(((h >> 1) as usize % self.dim) as u32);
                     self.sym_sign.push(if h & 1 == 0 { 1.0 } else { -1.0 });
                 }
-                doc_buckets.push(self.sym_bucket[sym]);
+                if let Some(&b) = self.sym_bucket.get(sym) {
+                    doc_buckets.push(b);
+                }
             });
             // Bump each bucket once per document.
             doc_buckets.sort_unstable();
             doc_buckets.dedup();
             for &b in doc_buckets.iter() {
-                self.bucket_df[b as usize] += 1;
+                if let Some(df) = self.bucket_df.get_mut(b as usize) {
+                    *df += 1;
+                }
             }
         }
     }
@@ -208,7 +216,9 @@ impl HashedTfIdf {
     pub fn transform(&self, tokens: &[String]) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim];
         for (b, w) in self.transform_sparse(tokens) {
-            v[b] = w;
+            if let Some(slot) = v.get_mut(b) {
+                *slot = w;
+            }
         }
         v
     }
@@ -224,8 +234,8 @@ impl HashedTfIdf {
             // the fly to the identical (bucket, sign).
             let (b, sign) = match self.arena.lookup(g) {
                 Some(sym) => (
-                    self.sym_bucket[sym as usize] as usize,
-                    self.sym_sign[sym as usize],
+                    self.sym_bucket.get(sym as usize).copied().unwrap_or(0) as usize,
+                    self.sym_sign.get(sym as usize).copied().unwrap_or(1.0),
                 ),
                 None => {
                     let h = hash_str(g);
@@ -235,12 +245,11 @@ impl HashedTfIdf {
                     )
                 }
             };
-            if self.bucket_df[b] < self.min_df {
+            let df = self.bucket_df.get(b).copied().unwrap_or(0);
+            if df < self.min_df {
                 return;
             }
-            let idf = (((1 + self.num_docs) as f64) / ((1 + self.bucket_df[b] as usize) as f64))
-                .ln()
-                + 1.0;
+            let idf = (((1 + self.num_docs) as f64) / ((1 + df as usize) as f64)).ln() + 1.0;
             entries.push((b, sign * idf as f32));
         });
         entries.sort_unstable_by_key(|e| e.0);

@@ -32,11 +32,11 @@ pub fn for_each_ngram<F: FnMut(&str)>(tokens: &[String], max_order: usize, mut f
     let mut gram = String::new();
     for i in 0..tokens.len() {
         gram.clear();
-        for n in 0..max_order.min(tokens.len() - i) {
+        for (n, tok) in tokens.iter().skip(i).take(max_order).enumerate() {
             if n > 0 {
                 gram.push(' ');
             }
-            gram.push_str(&tokens[i + n]);
+            gram.push_str(tok);
             f(&gram);
         }
     }
@@ -60,15 +60,9 @@ pub fn contains_ngram(tokens: &[String], ngram: &str) -> bool {
     if parts.is_empty() || parts.len() > tokens.len() {
         return false;
     }
-    'outer: for i in 0..=(tokens.len() - parts.len()) {
-        for (j, p) in parts.iter().enumerate() {
-            if tokens[i + j] != *p {
-                continue 'outer;
-            }
-        }
-        return true;
-    }
-    false
+    tokens
+        .windows(parts.len())
+        .any(|w| w.iter().zip(&parts).all(|(t, p)| t == p))
 }
 
 #[cfg(test)]

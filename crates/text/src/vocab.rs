@@ -44,7 +44,9 @@ impl Vocabulary {
         syms.sort_unstable();
         syms.dedup();
         for sym in syms {
-            self.doc_freq[sym] += 1;
+            if let Some(df) = self.doc_freq.get_mut(sym) {
+                *df += 1;
+            }
         }
     }
 
@@ -69,7 +71,9 @@ impl Vocabulary {
 
     /// Document frequency of a token (0 if unseen).
     pub fn doc_freq(&self, token: &str) -> usize {
-        self.id(token).map_or(0, |id| self.doc_freq[id])
+        self.id(token)
+            .and_then(|id| self.doc_freq.get(id).copied())
+            .unwrap_or(0)
     }
 
     /// Number of distinct tokens.
@@ -98,9 +102,10 @@ impl Vocabulary {
 
     /// Iterate `(token, id, doc_freq)` triples in id order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, usize, usize)> + '_ {
-        self.arena
-            .iter()
-            .map(move |(sym, t)| (t, sym as usize, self.doc_freq[sym as usize]))
+        self.arena.iter().map(move |(sym, t)| {
+            let df = self.doc_freq.get(sym as usize).copied().unwrap_or(0);
+            (t, sym as usize, df)
+        })
     }
 }
 

@@ -29,3 +29,28 @@ mod tests {
         }
     }
 }
+
+pub fn total_orders(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn merges_in_order(pool: &Pool, n: usize) -> Vec<u32> {
+    let shards = pool.map_shards(n, work);
+    let mut merged = Vec::new();
+    for shard in shards {
+        merged.extend(shard);
+    }
+    merged
+}
+
+pub fn destructures(xs: &[u32; 2]) -> u32 {
+    let [a, b] = *xs;
+    a + b
+}
+
+pub fn matches_slices(xs: &[u32]) -> u32 {
+    match xs {
+        [first, ..] => *first,
+        [] => 0,
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: only *fixable* unchecked-index sites. `--fix` must rewrite
+//! every one of them, and re-linting the rewritten text must be clean.
+//! NOT compiled — scanned as text by the engine's own test suite.
+
+pub fn reads(v: &[f64], i: usize) -> f64 {
+    let a = v[i];
+    let b = v[i + 1];
+    a + b
+}
+
+pub fn field_chain(m: &Matrix, r: usize) -> f64 {
+    m.data[r]
+}
+
+pub fn wrapped(xs: &[u32]) -> u32 {
+    xs[0] + xs[xs.len() - 1]
+}
+
+pub fn across_lines(long_binding_name: &[u32], index: usize) -> u32 {
+    long_binding_name
+        [index]
+}

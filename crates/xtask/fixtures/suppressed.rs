@@ -20,3 +20,8 @@ pub fn missing_reason() {
 pub fn unknown_rule(x: Option<u32>) -> u32 {
     x.unwrap() // ds-lint: allow(no-such-rule): confidently wrong
 }
+
+pub fn multi(x: Option<u32>, table: &[u32]) -> u32 {
+    // ds-lint: allow(unwrap, unchecked-index): caller guarantees Some and a non-empty table
+    x.unwrap() + table[0]
+}

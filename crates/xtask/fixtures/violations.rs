@@ -51,3 +51,12 @@ mod tests {
         assert_eq!(v[0], Some(1).unwrap());
     }
 }
+
+pub fn partial_orders(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); // float-total-order
+}
+
+pub fn merges_backwards(pool: &Pool, n: usize) -> Vec<u32> {
+    let shards = pool.map_shards(n, work);
+    shards.into_iter().rev().flatten().collect() // exec-merge-order
+}

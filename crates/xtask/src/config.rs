@@ -63,12 +63,60 @@ impl Default for LintConfig {
 impl LintConfig {
     /// The scope for a rule.
     pub fn scope(&self, rule: Rule) -> &RuleScope {
-        // Rule::ALL and `scopes` are index-aligned by construction.
-        &self.scopes[Rule::ALL.iter().position(|&r| r == rule).unwrap_or(0)].1
+        // `scopes` holds every rule by construction; the fallback covers
+        // the (unreachable) miss without a panic path.
+        const FALLBACK: &RuleScope = &RuleScope {
+            enabled: true,
+            paths: Vec::new(),
+            exclude: Vec::new(),
+        };
+        self.scopes
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, s)| s)
+            .unwrap_or(FALLBACK)
     }
 
-    fn scope_mut(&mut self, rule: Rule) -> &mut RuleScope {
-        &mut self.scopes[Rule::ALL.iter().position(|&r| r == rule).unwrap_or(0)].1
+    fn scope_mut(&mut self, rule: Rule) -> Option<&mut RuleScope> {
+        self.scopes
+            .iter_mut()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, s)| s)
+    }
+
+    /// Every configured `(rule, "paths"|"exclude", entry)` triple, for
+    /// dead-entry validation against the scanned file set.
+    pub fn path_entries(&self) -> impl Iterator<Item = (Rule, &'static str, &str)> {
+        self.scopes.iter().flat_map(|(rule, scope)| {
+            let paths = scope.paths.iter().map(|p| (*rule, "paths", p.as_str()));
+            let excludes = scope.exclude.iter().map(|p| (*rule, "exclude", p.as_str()));
+            paths.chain(excludes)
+        })
+    }
+
+    /// Validate that every `paths` / `exclude` entry matches at least one
+    /// scanned file: a dead entry usually means a typo or a moved
+    /// directory, silently widening (or narrowing) a gate.
+    pub fn validate_against<'a, I>(&self, scanned: I) -> Result<(), String>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let files: Vec<&str> = scanned.into_iter().collect();
+        let dead: Vec<String> = self
+            .path_entries()
+            .filter(|(_, _, entry)| !files.iter().any(|f| f.starts_with(entry)))
+            .map(|(rule, key, entry)| {
+                format!(
+                    "[rule.{}] {key} entry \"{entry}\" matches no scanned file",
+                    rule.name()
+                )
+            })
+            .collect();
+        if dead.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("config error:\n  {}", dead.join("\n  ")))
+        }
     }
 
     /// Parse `lint.toml` text. Unknown rules or malformed lines are hard
@@ -114,10 +162,13 @@ impl LintConfig {
                 return Err(format!("line {}: key outside a [rule.*] section", no + 1));
             };
             let (key, value) = (key.trim(), value.trim());
+            let Some(scope) = cfg.scope_mut(rule) else {
+                continue; // unreachable: every rule has a scope
+            };
             match key {
                 "enabled" => match value {
-                    "true" => cfg.scope_mut(rule).enabled = true,
-                    "false" => cfg.scope_mut(rule).enabled = false,
+                    "true" => scope.enabled = true,
+                    "false" => scope.enabled = false,
                     other => {
                         return Err(format!(
                             "line {}: enabled must be true/false, got {other}",
@@ -125,8 +176,8 @@ impl LintConfig {
                         ))
                     }
                 },
-                "paths" => cfg.scope_mut(rule).paths = parse_string_array(value, no + 1)?,
-                "exclude" => cfg.scope_mut(rule).exclude = parse_string_array(value, no + 1)?,
+                "paths" => scope.paths = parse_string_array(value, no + 1)?,
+                "exclude" => scope.exclude = parse_string_array(value, no + 1)?,
                 other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
             }
         }
@@ -140,7 +191,7 @@ fn strip_comment(line: &str) -> &str {
     for (i, c) in line.char_indices() {
         match c {
             '"' => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
             _ => {}
         }
     }
@@ -216,6 +267,33 @@ mod tests {
     #[test]
     fn unknown_rule_is_an_error() {
         assert!(LintConfig::parse("[rule.no-such]\n").is_err());
+    }
+
+    #[test]
+    fn dead_path_entry_is_a_config_error() {
+        let cfg = LintConfig::parse("[rule.hash-order]\npaths = [\"crates/nope/src\"]\n").unwrap();
+        let err = cfg
+            .validate_against(["crates/core/src/lib.rs"])
+            .unwrap_err();
+        assert!(err.contains("crates/nope/src"), "{err}");
+        assert!(err.contains("matches no scanned file"), "{err}");
+    }
+
+    #[test]
+    fn dead_exclude_entry_is_a_config_error() {
+        let cfg = LintConfig::parse("[rule.panic]\nexclude = [\"crates/gone/src\"]\n").unwrap();
+        assert!(cfg.validate_against(["crates/core/src/lib.rs"]).is_err());
+    }
+
+    #[test]
+    fn live_entries_validate() {
+        let cfg = LintConfig::parse(
+            "[rule.hash-order]\npaths = [\"crates/core/src\"]\nexclude = [\"crates/core/src/gen\"]\n",
+        )
+        .unwrap();
+        assert!(cfg
+            .validate_against(["crates/core/src/lib.rs", "crates/core/src/gen/x.rs"])
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Mechanical `--fix` rewrites.
+//!
+//! A fixable `unchecked-index` violation carries the byte offsets of its
+//! `[` / `]` pair ([`crate::rules::Fix`]); the rewrite replaces them with
+//! `.get(` / `)`. Offsets point at ASCII bytes, every edit replaces
+//! exactly one byte, and edits never overlap, so applying them in offset
+//! order is a single left-to-right splice. `--fix-dry-run` renders the
+//! would-be edits as a `-`/`+` line diff instead of writing anything.
+
+use crate::rules::Violation;
+
+/// Apply every fix span in `violations` (all for the same file) to `src`.
+/// Returns the rewritten text and the number of index expressions fixed.
+pub fn apply_fixes(src: &str, violations: &[Violation]) -> (String, usize) {
+    let mut edits: Vec<(usize, &str)> = Vec::new();
+    for v in violations {
+        if let Some(f) = v.fix {
+            edits.push((f.open, ".get("));
+            edits.push((f.close, ")"));
+        }
+    }
+    edits.sort_by_key(|&(off, _)| off);
+    edits.dedup_by_key(|&mut (off, _)| off);
+    let mut out = String::with_capacity(src.len() + edits.len() * 4);
+    let mut cursor = 0usize;
+    let mut applied = 0usize;
+    for (off, rep) in edits {
+        if off < cursor || off >= src.len() {
+            continue;
+        }
+        out.push_str(src.get(cursor..off).unwrap_or(""));
+        out.push_str(rep);
+        cursor = off + 1;
+        applied += 1;
+    }
+    out.push_str(src.get(cursor..).unwrap_or(""));
+    (out, applied / 2)
+}
+
+/// Render the changed lines between `before` and `after` as a compact
+/// `-`/`+` diff. Fixes never add or remove lines, so a line-wise zip is a
+/// complete diff.
+pub fn render_diff(path: &str, before: &str, after: &str) -> String {
+    let mut out = String::new();
+    for (i, (a, b)) in before.lines().zip(after.lines()).enumerate() {
+        if a != b {
+            out.push_str(&format!("{path}:{}:\n-{a}\n+{b}\n", i + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::lint_sources;
+
+    fn fixes_for(path: &str, src: &str) -> Vec<Violation> {
+        lint_sources([(path, src)], &LintConfig::default()).violations
+    }
+
+    #[test]
+    fn rewrites_index_to_get() {
+        let src = "fn f(v: &[u8], i: usize) -> Option<&u8> { let x = v[i]; x }\n";
+        let (fixed, n) = apply_fixes(src, &fixes_for("a.rs", src));
+        assert_eq!(n, 1);
+        assert!(fixed.contains("v.get(i)"), "{fixed}");
+        assert!(!fixed.contains("v[i]"));
+    }
+
+    #[test]
+    fn nested_indexes_both_rewrite() {
+        let src = "fn f() { let x = a[b[i]]; }\n";
+        let (fixed, n) = apply_fixes(src, &fixes_for("a.rs", src));
+        assert_eq!(n, 2);
+        assert!(fixed.contains("a.get(b.get(i))"), "{fixed}");
+    }
+
+    #[test]
+    fn unfixable_sites_are_left_alone() {
+        let src = "fn f() { v[i] = 3; }\n";
+        let (fixed, n) = apply_fixes(src, &fixes_for("a.rs", src));
+        assert_eq!(n, 0);
+        assert_eq!(fixed, src);
+    }
+
+    #[test]
+    fn fix_round_trips_to_zero_findings() {
+        let src =
+            "fn f(v: &[f64], i: usize) {\n    let a = v[i];\n    let b = v\n        [i + 1];\n}\n";
+        let vs = fixes_for("a.rs", src);
+        assert!(!vs.is_empty());
+        let (fixed, n) = apply_fixes(src, &vs);
+        assert_eq!(n, 2);
+        let again = fixes_for("a.rs", &fixed);
+        assert!(again.is_empty(), "{again:?}\n{fixed}");
+    }
+
+    #[test]
+    fn diff_lists_changed_lines_only() {
+        let before = "a\nb\nc\n";
+        let after = "a\nB\nc\n";
+        let d = render_diff("x.rs", before, after);
+        assert_eq!(d, "x.rs:2:\n-b\n+B\n");
+    }
+}

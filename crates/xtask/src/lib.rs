@@ -11,9 +11,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
+pub mod fix;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod tokens;
 
 use config::LintConfig;
 use rules::{Rule, Violation};
@@ -111,6 +113,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<LintOutcome, Stri
             .replace('\\', "/");
         loaded.push((rel, text));
     }
+    cfg.validate_against(loaded.iter().map(|(p, _)| p.as_str()))?;
     Ok(lint_sources(
         loaded.iter().map(|(p, t)| (p.as_str(), t.as_str())),
         cfg,

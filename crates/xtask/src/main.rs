@@ -1,16 +1,20 @@
-//! `cargo run -p datasculpt-xtask -- lint [--json] [--root DIR] [--config FILE]`
+//! `cargo run -p datasculpt-xtask -- lint [--json|--github|--sarif]
+//! [--fix|--fix-dry-run] [--root DIR] [--config FILE]`
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage / IO / config error.
+//! Exit codes: 0 clean, 1 violations found (or, under `--fix-dry-run`,
+//! fixes available), 2 usage / IO / config error.
 
 use datasculpt_xtask::config::LintConfig;
-use datasculpt_xtask::report::{render_human, render_json, Summary};
-use std::path::PathBuf;
+use datasculpt_xtask::fix::{apply_fixes, render_diff};
+use datasculpt_xtask::report::{render_github, render_human, render_json, render_sarif, Summary};
+use datasculpt_xtask::rules::Violation;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(&args[1..]),
+        Some("lint") => lint(args.get(1..).unwrap_or(&[])),
         Some(other) => {
             eprintln!("unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -22,17 +26,37 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str =
-    "usage: cargo run -p datasculpt-xtask -- lint [--json] [--root DIR] [--config FILE]";
+const USAGE: &str = "usage: cargo run -p datasculpt-xtask -- lint \
+     [--json|--github|--sarif] [--fix|--fix-dry-run] [--root DIR] [--config FILE]";
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+    Github,
+    Sarif,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum FixMode {
+    Off,
+    Apply,
+    DryRun,
+}
 
 fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
+    let mut fix_mode = FixMode::Off;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
+            "--sarif" => format = Format::Sarif,
+            "--fix" => fix_mode = FixMode::Apply,
+            "--fix-dry-run" => fix_mode = FixMode::DryRun,
             "--root" => match it.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => return usage_error("--root needs a value"),
@@ -71,11 +95,15 @@ fn lint(args: &[String]) -> ExitCode {
     };
     match datasculpt_xtask::lint_workspace(&root, &cfg) {
         Ok(outcome) => {
+            if fix_mode != FixMode::Off {
+                return run_fixes(&root, &outcome.violations, fix_mode);
+            }
             let summary = Summary::of(&outcome.violations, outcome.files_scanned);
-            if json {
-                println!("{}", render_json(&outcome.violations, &summary));
-            } else {
-                print!("{}", render_human(&outcome.violations, &summary));
+            match format {
+                Format::Human => print!("{}", render_human(&outcome.violations, &summary)),
+                Format::Json => println!("{}", render_json(&outcome.violations, &summary)),
+                Format::Github => print!("{}", render_github(&outcome.violations)),
+                Format::Sarif => println!("{}", render_sarif(&outcome.violations, &summary)),
             }
             if outcome.is_clean() {
                 ExitCode::SUCCESS
@@ -86,6 +114,65 @@ fn lint(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("ds-lint: {e}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Apply (or preview) the mechanical fixes carried by the violations.
+/// `--fix-dry-run` exits 1 when edits are available so CI can assert a
+/// clean tree proposes none.
+fn run_fixes(root: &Path, violations: &[Violation], mode: FixMode) -> ExitCode {
+    let mut files: Vec<&str> = violations
+        .iter()
+        .filter(|v| v.fix.is_some())
+        .map(|v| v.file.as_str())
+        .collect();
+    files.dedup();
+    let mut total = 0usize;
+    let mut touched = 0usize;
+    for file in files {
+        let per_file: Vec<Violation> = violations
+            .iter()
+            .filter(|v| v.file == file)
+            .cloned()
+            .collect();
+        let path = root.join(file);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ds-lint: read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let (fixed, n) = apply_fixes(&src, &per_file);
+        if n == 0 {
+            continue;
+        }
+        total += n;
+        touched += 1;
+        match mode {
+            FixMode::Apply => {
+                if let Err(e) = std::fs::write(&path, &fixed) {
+                    eprintln!("ds-lint: write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            FixMode::DryRun | FixMode::Off => print!("{}", render_diff(file, &src, &fixed)),
+        }
+    }
+    match mode {
+        FixMode::Apply => {
+            println!("ds-lint: applied {total} fixes in {touched} files");
+            ExitCode::SUCCESS
+        }
+        FixMode::DryRun | FixMode::Off => {
+            if total == 0 {
+                println!("ds-lint: no fixes available");
+                ExitCode::SUCCESS
+            } else {
+                println!("ds-lint: {total} fixes available in {touched} files (dry run)");
+                ExitCode::from(1)
+            }
         }
     }
 }

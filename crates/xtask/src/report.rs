@@ -95,6 +95,67 @@ pub fn render_json(violations: &[Violation], summary: &Summary) -> String {
     out
 }
 
+/// Render GitHub workflow-command annotations, one `::warning` per
+/// violation, so findings surface inline on PR diffs.
+pub fn render_github(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        // Workflow-command property values escape `%`, CR, LF, `:`, `,`.
+        let esc = |s: &str| {
+            s.replace('%', "%25")
+                .replace('\r', "%0D")
+                .replace('\n', "%0A")
+                .replace(':', "%3A")
+                .replace(',', "%2C")
+        };
+        out.push_str(&format!(
+            "::warning file={},line={},title=ds-lint/{}::{}\n",
+            esc(&v.file),
+            v.line,
+            v.rule.name(),
+            v.rule.message().replace('\n', " ")
+        ));
+    }
+    out
+}
+
+/// Render a SARIF 2.1.0 report (the subset CI code-scanning uploads need:
+/// one run, one rule descriptor per fired rule, one result per violation).
+pub fn render_sarif(violations: &[Violation], summary: &Summary) -> String {
+    let mut out = String::from(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"ds-lint\",\"rules\":[",
+    );
+    for (i, (r, _)) in summary.per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(r.name()),
+            json_str(r.message())
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":\"warning\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(v.rule.name()),
+            json_str(v.rule.message()),
+            json_str(&v.file),
+            v.line
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
 /// JSON-escape a string.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -124,6 +185,7 @@ mod tests {
             line: 3,
             rule,
             snippet: "let x = \"q\";".into(),
+            fix: None,
         }
     }
 
@@ -140,6 +202,27 @@ mod tests {
     fn clean_report() {
         let s = Summary::of(&[], 5);
         assert!(render_human(&[], &s).contains("clean (5 files scanned)"));
+    }
+
+    #[test]
+    fn github_annotations_escape_properties() {
+        let mut viol = v(Rule::Panic);
+        viol.file = "crates/x:y,z.rs".into();
+        let text = render_github(&[viol]);
+        assert!(text.starts_with("::warning file=crates/x%3Ay%2Cz.rs,line=3,"));
+        assert!(text.contains("title=ds-lint/panic::"));
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let vs = vec![v(Rule::Unwrap), v(Rule::Panic)];
+        let s = Summary::of(&vs, 2);
+        let j = render_sarif(&vs, &s);
+        assert!(j.contains("\"version\":\"2.1.0\""));
+        assert!(j.contains("\"id\":\"unwrap\""));
+        assert!(j.contains("\"ruleId\":\"panic\""));
+        assert!(j.contains("\"startLine\":3"));
+        assert!(j.ends_with("]}]}"));
     }
 
     #[test]

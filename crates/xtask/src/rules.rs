@@ -1,23 +1,32 @@
-//! The rule families and the per-line matcher.
+//! The rule families and the per-file matcher.
 //!
 //! Three invariants back the rules (see DESIGN.md, "Static analysis &
-//! invariants"):
+//! invariants", and docs/lint.md for the full catalogue):
 //!
 //! * **panic-freedom** — library paths must not be able to abort the
-//!   process: no `panic!`-family macros, no `unwrap`/`expect`, and (on
-//!   configured paths) no unchecked `[...]` indexing.
+//!   process: no `panic!`-family macros, no `unwrap`/`expect`, and no
+//!   unchecked `[...]` indexing.
 //! * **determinism** — the seeded crates promise "same seed → same LFs →
-//!   same ledger"; iteration over `HashMap`/`HashSet` and wall-clock /
-//!   OS-entropy sources break that silently.
+//!   same ledger"; iteration over `HashMap`/`HashSet`, wall-clock /
+//!   OS-entropy sources, partial float orderings, and out-of-order shard
+//!   merges break that silently.
 //! * **ledger integrity** — token/cost accounting must neither drop
 //!   fallible results (`let _ =`) nor round through lossy `as` casts.
 //!
+//! Most rules are line-lexical over the scrubbed view; `unchecked-index`,
+//! `float-total-order`, and `exec-merge-order` run on the token stream
+//! from [`crate::tokens`], which distinguishes index *expressions* from
+//! array patterns / attributes / macro brackets and can follow a method
+//! chain across lines.
+//!
 //! Every rule can be suppressed inline with a justified annotation:
-//! `// ds-lint: allow(<rule>): <reason>` on the offending line or the line
+//! `// ds-lint: allow(<rule>): <reason>` (or several rules at once:
+//! `allow(rule-a, rule-b): <reason>`) on the offending line or the line
 //! directly above it. A suppression without a reason, or naming an unknown
 //! rule, is itself a violation (`bad-suppression`).
 
 use crate::scan::ScrubbedFile;
+use crate::tokens::{is_non_expr_keyword, Delim, TokKind, TokenStream};
 
 /// One rule family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -26,10 +35,17 @@ pub enum Rule {
     Panic,
     /// `.unwrap()` / `.expect(` on lib paths.
     Unwrap,
-    /// `expr[index]` indexing (may panic) on configured paths.
+    /// Index *expression* `expr[...]` (may panic) on configured paths.
     UncheckedIndex,
     /// `HashMap` / `HashSet` in seeded crates (unordered iteration hazard).
     HashOrder,
+    /// `.partial_cmp(` on seeded paths: partial float orderings make
+    /// sorts/maxima input-order-dependent around NaN; use `total_cmp`.
+    FloatTotalOrder,
+    /// Shard results from `map_shards` reduced out of order (`rev`,
+    /// `rfold`, `sort*` on the result binding): merges must fold
+    /// left-to-right to stay bit-identical across thread counts.
+    ExecMergeOrder,
     /// `SystemTime::now` / `Instant::now` / `thread_rng` outside bench.
     WallClock,
     /// `let _ =` discarding a (potentially fallible) result.
@@ -48,11 +64,13 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 12] = [
         Rule::Panic,
         Rule::Unwrap,
         Rule::UncheckedIndex,
         Rule::HashOrder,
+        Rule::FloatTotalOrder,
+        Rule::ExecMergeOrder,
         Rule::WallClock,
         Rule::DiscardedResult,
         Rule::LossyCast,
@@ -68,6 +86,8 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::UncheckedIndex => "unchecked-index",
             Rule::HashOrder => "hash-order",
+            Rule::FloatTotalOrder => "float-total-order",
+            Rule::ExecMergeOrder => "exec-merge-order",
             Rule::WallClock => "wall-clock",
             Rule::DiscardedResult => "discarded-result",
             Rule::LossyCast => "lossy-cast",
@@ -87,10 +107,20 @@ impl Rule {
         match self {
             Rule::Panic => "panicking macro on a library path; return an error instead",
             Rule::Unwrap => "unwrap()/expect() on a library path; propagate the error",
-            Rule::UncheckedIndex => "unchecked indexing may panic; use .get() or justify the bound",
+            Rule::UncheckedIndex => {
+                "unchecked index expression may panic; use .get()/iterators or justify the bound"
+            }
             Rule::HashOrder => {
                 "HashMap/HashSet in a seeded crate: iteration order is nondeterministic; \
                  use BTreeMap/BTreeSet or a sorted Vec"
+            }
+            Rule::FloatTotalOrder => {
+                "partial float comparison on a seeded path; use f64::total_cmp so \
+                 ordering is total and NaN-stable"
+            }
+            Rule::ExecMergeOrder => {
+                "shard results must merge left-to-right: rev/rfold/sort on a map_shards \
+                 result makes the reduction depend on shard count"
             }
             Rule::WallClock => {
                 "wall-clock / OS-entropy source breaks seeded reproducibility outside bench"
@@ -107,10 +137,20 @@ impl Rule {
             }
             Rule::BadSuppression => {
                 "malformed ds-lint suppression: expected `ds-lint: allow(<rule>): <reason>` \
-                 with a known rule and a non-empty reason"
+                 with known rule(s) and a non-empty reason"
             }
         }
     }
+}
+
+/// A mechanical fix for one violation: byte offsets (into the original
+/// source) of the `[` and `]` to rewrite as `.get(` / `)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fix {
+    /// Offset of the opening `[`.
+    pub open: usize,
+    /// Offset of the matching `]`.
+    pub close: usize,
 }
 
 /// One finding.
@@ -124,19 +164,18 @@ pub struct Violation {
     pub rule: Rule,
     /// Trimmed source excerpt of the offending line.
     pub snippet: String,
-}
-
-/// A parsed, well-formed suppression annotation.
-struct Suppression {
-    rule: Rule,
+    /// Mechanical rewrite, when one is known (`--fix` consumes this).
+    pub fix: Option<Fix>,
 }
 
 /// Parse the `ds-lint:` annotation of a comment line, if any.
 ///
 /// Only a comment that *begins* with `ds-lint:` (after the `//`/`///`/`//!`
 /// marker) is an annotation — prose that merely mentions the syntax, like
-/// this doc comment, is ignored. Returns `(valid, malformed_count)`.
-fn parse_suppressions(comment: &str) -> (Vec<Suppression>, usize) {
+/// this doc comment, is ignored. One annotation may allow several rules:
+/// `allow(rule-a, rule-b): reason`. Returns `(allowed rules, malformed
+/// annotation count)`.
+fn parse_suppressions(comment: &str) -> (Vec<Rule>, usize) {
     let mut valid = Vec::new();
     let mut malformed = 0;
     let content = comment
@@ -144,8 +183,7 @@ fn parse_suppressions(comment: &str) -> (Vec<Suppression>, usize) {
         .trim_start_matches(['/', '!'])
         .trim_start();
     let mut rest = content;
-    while rest.starts_with("ds-lint:") {
-        let after = &rest["ds-lint:".len()..];
+    while let Some(after) = rest.strip_prefix("ds-lint:") {
         rest = after;
         let body = after.trim_start();
         let Some(args) = body.strip_prefix("allow(") else {
@@ -156,19 +194,25 @@ fn parse_suppressions(comment: &str) -> (Vec<Suppression>, usize) {
             malformed += 1;
             continue;
         };
-        let name = args[..close].trim();
-        let tail = &args[close + 1..];
+        let (names, tail) = args.split_at(close);
+        let tail = tail.trim_start_matches(')');
         let Some(reason) = tail.trim_start().strip_prefix(':') else {
             malformed += 1;
             continue;
         };
         // The reason ends at the next annotation, if any.
         let (reason, next) = match reason.find("ds-lint:") {
-            Some(at) => (&reason[..at], &reason[at..]),
+            Some(at) => reason.split_at(at),
             None => (reason, ""),
         };
-        match Rule::parse(name) {
-            Some(rule) if !reason.trim().is_empty() => valid.push(Suppression { rule }),
+        let rules: Option<Vec<Rule>> = names
+            .split(',')
+            .map(|name| Rule::parse(name.trim()))
+            .collect();
+        match rules {
+            Some(rules) if !rules.is_empty() && !reason.trim().is_empty() => {
+                valid.extend(rules);
+            }
             _ => malformed += 1,
         }
         rest = next;
@@ -188,32 +232,41 @@ pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Vi
     let mut allows: Vec<Vec<Rule>> = Vec::with_capacity(file.lines.len());
     for (idx, line) in file.lines.iter().enumerate() {
         let (valid, malformed) = parse_suppressions(&line.comment);
-        allows.push(valid.iter().map(|s| s.rule).collect());
+        allows.push(valid);
         for _ in 0..malformed {
             out.push(Violation {
                 file: file.path.clone(),
                 line: idx + 1,
                 rule: Rule::BadSuppression,
                 snippet: line.comment.trim().to_string(),
+                fix: None,
             });
         }
     }
-    // Pass 2: match rules line by line.
+    let allow_at = |idx: usize| allows.get(idx).map(Vec::as_slice).unwrap_or(&[]);
+    // A violation on 1-based `line` is suppressed by an allow on the same
+    // line or the line directly above.
+    let suppressed = |line: usize, rule: Rule| {
+        line.checked_sub(1)
+            .is_some_and(|i| allow_at(i).contains(&rule))
+            || line
+                .checked_sub(2)
+                .is_some_and(|i| allow_at(i).contains(&rule))
+    };
+    // Pass 2: line-lexical rules.
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let code = line.code.as_str();
-        let suppressed = |rule: Rule| {
-            allows[idx].contains(&rule) || (idx > 0 && allows[idx - 1].contains(&rule))
-        };
         let mut push = |rule: Rule| {
-            if enabled(rule) && !suppressed(rule) {
+            if enabled(rule) && !suppressed(idx + 1, rule) {
                 out.push(Violation {
                     file: file.path.clone(),
                     line: idx + 1,
                     rule,
                     snippet: code.trim().to_string(),
+                    fix: None,
                 });
             }
         };
@@ -225,9 +278,6 @@ pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Vi
         }
         if code.contains(".unwrap()") || code.contains(".expect(") {
             push(Rule::Unwrap);
-        }
-        if has_index_expr(code) {
-            push(Rule::UncheckedIndex);
         }
         if code.contains("HashMap") || code.contains("HashSet") {
             push(Rule::HashOrder);
@@ -251,23 +301,202 @@ pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Vi
             push(Rule::StringKeyedMap);
         }
     }
+    // Pass 3: token-stream rules.
+    let in_test = |line: usize| {
+        line.checked_sub(1)
+            .and_then(|i| file.lines.get(i))
+            .is_some_and(|l| l.in_test)
+    };
+    let snippet_of = |line: usize| {
+        line.checked_sub(1)
+            .and_then(|i| file.lines.get(i))
+            .map(|l| l.code.trim().to_string())
+            .unwrap_or_default()
+    };
+    let ts = TokenStream::lex(&file.code);
+    let mut tok_hits: Vec<(Rule, usize, Option<Fix>)> = Vec::new();
+    if enabled(Rule::UncheckedIndex) {
+        unchecked_index_pass(&ts, &mut tok_hits);
+    }
+    if enabled(Rule::FloatTotalOrder) {
+        float_total_order_pass(&ts, &mut tok_hits);
+    }
+    if enabled(Rule::ExecMergeOrder) {
+        exec_merge_order_pass(&ts, &mut tok_hits);
+    }
+    for (rule, line, fix) in tok_hits {
+        if !in_test(line) && !suppressed(line, rule) {
+            out.push(Violation {
+                file: file.path.clone(),
+                line,
+                rule,
+                snippet: snippet_of(line),
+                fix,
+            });
+        }
+    }
     out.sort_by_key(|a| (a.line, a.rule));
     out
 }
 
-/// Whether the scrubbed line contains an index expression `expr[...]`:
-/// a `[` directly preceded by an identifier character, `)`, or `]`.
-/// (`#[attr]`, `vec![...]`, slice types `&[T]`, and array literals never
-/// match: their `[` follows `#`, `!`, `&`, or whitespace.)
-fn has_index_expr(code: &str) -> bool {
-    let b = code.as_bytes();
-    b.iter().enumerate().skip(1).any(|(i, &c)| {
-        c == b'['
-            && (b[i - 1].is_ascii_alphanumeric()
-                || b[i - 1] == b'_'
-                || b[i - 1] == b')'
-                || b[i - 1] == b']')
+/// Token-level `unchecked-index`: a `[` whose previous token can end an
+/// expression — a non-keyword identifier, a number (tuple field), a string
+/// literal, `)`, `]`, or `?`. Array patterns (`let [a, b] = …`), attribute
+/// brackets (`#[…]`), macro brackets (`vec![…]`), and slice/array *types*
+/// (`&[u8]`, `[u8; 4]`) never match: their `[` follows a keyword,
+/// punctuation, or nothing.
+fn unchecked_index_pass(ts: &TokenStream, out: &mut Vec<(Rule, usize, Option<Fix>)>) {
+    for (idx, t) in ts.toks.iter().enumerate() {
+        if t.kind != TokKind::Open(Delim::Bracket) {
+            continue;
+        }
+        let Some(prev) = ts.prev(idx) else { continue };
+        let is_receiver = match prev.kind {
+            TokKind::Ident => !is_non_expr_keyword(&prev.text),
+            TokKind::Number | TokKind::StrLit => true,
+            TokKind::Close(Delim::Paren) | TokKind::Close(Delim::Bracket) => true,
+            TokKind::Punct => prev.text == "?",
+            _ => false,
+        };
+        if !is_receiver {
+            continue;
+        }
+        out.push((Rule::UncheckedIndex, t.line, index_fix(ts, idx)));
+    }
+}
+
+/// The mechanical rewrite for an index expression, when it is safe to
+/// propose one: not an assignment target (`x[i] = …`, `x[i] += …`) and not
+/// behind an `&mut` borrow of the receiver chain.
+fn index_fix(ts: &TokenStream, open_idx: usize) -> Option<Fix> {
+    let open = ts.get(open_idx)?;
+    let close_idx = open.partner?;
+    let close = ts.get(close_idx)?;
+    const ASSIGN_OPS: [&str; 11] = [
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+    ];
+    if ts
+        .next(close_idx)
+        .is_some_and(|t| t.kind == TokKind::Punct && ASSIGN_OPS.contains(&t.text.as_str()))
+    {
+        return None;
+    }
+    // Walk the receiver chain head-ward (`a.b.c[i]` → `a`) and refuse if it
+    // is `&mut`-borrowed: `&mut a.b[i]` cannot become `&mut a.b.get(i)`.
+    let mut head = open_idx.checked_sub(1)?;
+    while head >= 2
+        && ts.get(head).is_some_and(|t| t.kind == TokKind::Ident)
+        && ts
+            .get(head - 1)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == ".")
+    {
+        head -= 2;
+    }
+    if ts
+        .prev(head)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "mut")
+    {
+        return None;
+    }
+    Some(Fix {
+        open: open.start,
+        close: close.start,
     })
+}
+
+/// Token-level `float-total-order`: any `.partial_cmp(` call. This also
+/// catches `sort_by` / `max_by` with a partial comparator, whose closure
+/// necessarily contains the `partial_cmp` call.
+fn float_total_order_pass(ts: &TokenStream, out: &mut Vec<(Rule, usize, Option<Fix>)>) {
+    for (idx, t) in ts.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "partial_cmp"
+            && ts
+                .prev(idx)
+                .is_some_and(|p| p.kind == TokKind::Punct && p.text == ".")
+        {
+            out.push((Rule::FloatTotalOrder, t.line, None));
+        }
+    }
+}
+
+/// Methods that reorder a shard-result reduction.
+const BAD_MERGE: [&str; 8] = [
+    "rev",
+    "rfold",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Token-level `exec-merge-order`: find `let <name> = … map_shards(…)`
+/// bindings, then flag any method chain on `<name>` that calls a
+/// reordering method (`rev`, `rfold`, `sort*`). Left-to-right merges
+/// (`for r in results`, `into_iter().flatten()`) stay silent.
+fn exec_merge_order_pass(ts: &TokenStream, out: &mut Vec<(Rule, usize, Option<Fix>)>) {
+    // Sweep 1: collect shard-result binding names.
+    let mut bindings: Vec<&str> = Vec::new();
+    let mut awaiting_name = false;
+    let mut current_binding: Option<&str> = None;
+    for t in &ts.toks {
+        match t.kind {
+            TokKind::Ident if t.text == "let" => awaiting_name = true,
+            TokKind::Ident if awaiting_name && t.text != "mut" => {
+                current_binding = Some(t.text.as_str());
+                awaiting_name = false;
+            }
+            TokKind::Ident if t.text == "map_shards" => {
+                if let Some(name) = current_binding {
+                    if !bindings.contains(&name) {
+                        bindings.push(name);
+                    }
+                }
+            }
+            TokKind::Punct if t.text == ";" => {
+                current_binding = None;
+                awaiting_name = false;
+            }
+            _ => {}
+        }
+    }
+    if bindings.is_empty() {
+        return;
+    }
+    // Sweep 2: follow method chains rooted at a binding occurrence.
+    for (idx, t) in ts.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !bindings.contains(&t.text.as_str()) {
+            continue;
+        }
+        let mut j = idx + 1;
+        loop {
+            match ts.get(j) {
+                Some(q) if q.kind == TokKind::Punct && q.text == "?" => j += 1,
+                Some(dot) if dot.kind == TokKind::Punct && dot.text == "." => {
+                    let Some(m) = ts.get(j + 1) else { break };
+                    if m.kind != TokKind::Ident {
+                        break;
+                    }
+                    if BAD_MERGE.contains(&m.text.as_str()) {
+                        out.push((Rule::ExecMergeOrder, m.line, None));
+                        break;
+                    }
+                    // Method call: hop over the argument list; field
+                    // access: step to the next chain link.
+                    match ts.get(j + 2) {
+                        Some(p) if p.kind == TokKind::Open(Delim::Paren) => match p.partner {
+                            Some(close) => j = close + 1,
+                            None => break,
+                        },
+                        _ => j += 2,
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
 }
 
 /// Whether the scrubbed line declares a map or set keyed by an owned
@@ -278,11 +507,12 @@ fn has_string_keyed_map(code: &str) -> bool {
     ["Map<", "Set<"].iter().any(|kind| {
         let mut rest = code;
         while let Some(at) = rest.find(kind) {
-            let key = rest[at + kind.len()..].trim_start();
+            let (_, tail) = rest.split_at(at + kind.len());
+            let key = tail.trim_start();
             if key.starts_with("String") || key.starts_with("(String") {
                 return true;
             }
-            rest = &rest[at + kind.len()..];
+            rest = tail;
         }
         false
     })
@@ -295,15 +525,16 @@ fn has_lossy_cast(code: &str) -> bool {
     ];
     let mut rest = code;
     while let Some(at) = rest.find(" as ") {
-        let tail = rest[at + 4..].trim_start();
+        let (_, tail) = rest.split_at(at + 4);
         let ident: String = tail
+            .trim_start()
             .chars()
             .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
             .collect();
         if NUMERIC.contains(&ident.as_str()) {
             return true;
         }
-        rest = &rest[at + 4..];
+        rest = tail;
     }
     false
 }
@@ -352,6 +583,20 @@ mod tests {
     }
 
     #[test]
+    fn multi_rule_suppression_covers_all_named_rules() {
+        let v = all("// ds-lint: allow(panic, unwrap): asserted invariant\n\
+             fn f() { panic!(\"x\"); y.unwrap(); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multi_rule_suppression_with_unknown_member_is_malformed() {
+        let v = all("// ds-lint: allow(panic, no-such): reason\n\
+             fn f() { panic!(\"x\") }\n");
+        assert_eq!(rules_of(&v), vec![Rule::BadSuppression, Rule::Panic]);
+    }
+
+    #[test]
     fn suppression_without_reason_is_a_violation() {
         let v = all("let m = std::collections::HashMap::new(); // ds-lint: allow(hash-order):\n");
         assert_eq!(rules_of(&v), vec![Rule::HashOrder, Rule::BadSuppression]);
@@ -370,14 +615,88 @@ mod tests {
     }
 
     #[test]
-    fn index_expression_heuristic() {
-        assert!(has_index_expr("let x = v[i];"));
-        assert!(has_index_expr("m.rows[r * c + 1]"));
-        assert!(has_index_expr("f()[0]"));
-        assert!(!has_index_expr("#[derive(Debug)]"));
-        assert!(!has_index_expr("let v: &[u8] = x;"));
-        assert!(!has_index_expr("vec![1, 2]"));
-        assert!(!has_index_expr("let a = [0u8; 4];"));
+    fn index_expressions_are_flagged() {
+        assert_eq!(
+            rules_of(&all("fn f() { let x = v[i]; }\n")),
+            vec![Rule::UncheckedIndex]
+        );
+        assert_eq!(
+            rules_of(&all("fn f() { m.rows[r * c + 1]; }\n")),
+            vec![Rule::UncheckedIndex]
+        );
+        assert_eq!(
+            rules_of(&all("fn f() { f()[0]; }\n")),
+            vec![Rule::UncheckedIndex]
+        );
+        assert_eq!(
+            rules_of(&all("fn f() { x.0[i]; }\n")),
+            vec![Rule::UncheckedIndex]
+        );
+    }
+
+    #[test]
+    fn patterns_types_macros_are_not_index_expressions() {
+        assert!(all("#[derive(Debug)]\nfn f(v: &[u8]) {}\n").is_empty());
+        assert!(all("fn f() { let v = vec![1, 2]; }\n").is_empty());
+        assert!(all("fn f() { let a = [0u8; 4]; }\n").is_empty());
+        assert!(all("fn f(xs: &[u8]) { let [a, b] = xs; }\n").is_empty());
+        assert!(all("fn f(x: T) { if let [a] = x {} }\n").is_empty());
+        assert!(all("fn f(x: T) { match x { [a, ..] => {} } }\n").is_empty());
+    }
+
+    #[test]
+    fn multi_line_index_is_flagged_once() {
+        let v = all("fn f() {\n    let x = long_name\n        [i];\n}\n");
+        assert_eq!(rules_of(&v), vec![Rule::UncheckedIndex]);
+        assert_eq!(v.iter().map(|x| x.line).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn index_fix_spans_point_at_brackets() {
+        let src = "fn f() { let x = v[i]; }\n";
+        let v = all(src);
+        let fix = v.first().and_then(|x| x.fix).expect("fixable");
+        assert_eq!(&src[fix.open..fix.open + 1], "[");
+        assert_eq!(&src[fix.close..fix.close + 1], "]");
+    }
+
+    #[test]
+    fn assignment_lhs_and_mut_borrow_have_no_fix() {
+        let v = all("fn f() { v[i] = 3; }\n");
+        assert_eq!(rules_of(&v), vec![Rule::UncheckedIndex]);
+        assert!(v.first().is_some_and(|x| x.fix.is_none()));
+        let v = all("fn f() { g(&mut v[i]); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::UncheckedIndex]);
+        assert!(v.first().is_some_and(|x| x.fix.is_none()));
+        let v = all("fn f() { v[i] += 1.0; }\n");
+        assert!(v.first().is_some_and(|x| x.fix.is_none()));
+    }
+
+    #[test]
+    fn float_total_order_flags_partial_cmp() {
+        let v = all("fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n");
+        assert!(rules_of(&v).contains(&Rule::FloatTotalOrder), "{v:?}");
+        let v = all("fn f() { xs.sort_by(|a, b| a.total_cmp(b)); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn exec_merge_order_flags_reversed_reduction() {
+        let v = all("fn f() { let shards = pool.map_shards(n, |r| work(r));\n\
+             let out = shards.into_iter().rev().flatten().collect(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::ExecMergeOrder]);
+        let v = all("fn f() { let shards = pool.map_shards(n, |r| work(r));\n\
+             let out = shards.into_iter().flatten().collect(); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn exec_merge_order_flags_sorted_shards() {
+        let v = all(
+            "fn f() { let mut parts = pool.map_shards(n, |r| work(r));\n\
+             parts.sort();\nmerge(parts); }\n",
+        );
+        assert_eq!(rules_of(&v), vec![Rule::ExecMergeOrder]);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct ScrubbedFile {
     pub path: String,
     /// Per-line records, 0-indexed; line numbers in diagnostics are 1-based.
     pub lines: Vec<Line>,
+    /// The whole scrubbed code buffer (same byte length as the input), for
+    /// the token-stream passes in [`crate::tokens`]. Byte offsets into this
+    /// buffer are valid offsets into the original source.
+    pub code: String,
 }
 
 /// One line of a prepared file.
@@ -43,8 +47,27 @@ enum State {
     CharLit,
 }
 
+/// Byte at `i`, or NUL past the end. NUL never matches any byte the
+/// scanner tests for, so `at(b, i + 1) == X` is equivalent to the guarded
+/// `i + 1 < n && b[i + 1] == X`.
+#[inline]
+fn at(b: &[u8], i: usize) -> u8 {
+    b.get(i).copied().unwrap_or(0)
+}
+
+/// Write `c` at `i`; silently ignores out-of-range writes.
+#[inline]
+fn put(buf: &mut [u8], i: usize, c: u8) {
+    if let Some(slot) = buf.get_mut(i) {
+        *slot = c;
+    }
+}
+
 /// Blank `src` into parallel code and comment buffers.
-fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
+///
+/// Public for the property tests: both returned buffers are guaranteed to
+/// be byte-for-byte the same length as `src`, whatever the input.
+pub fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
     let b = src.as_bytes();
     let n = b.len();
     let mut code = vec![b' '; n];
@@ -52,10 +75,10 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
     let mut state = State::Code;
     let mut i = 0;
     while i < n {
-        let c = b[i];
+        let c = at(b, i);
         if c == b'\n' {
-            code[i] = b'\n';
-            comment[i] = b'\n';
+            put(&mut code, i, b'\n');
+            put(&mut comment, i, b'\n');
             if matches!(state, State::LineComment) {
                 state = State::Code;
             }
@@ -64,35 +87,35 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
         }
         match state {
             State::Code => {
-                if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+                if c == b'/' && at(b, i + 1) == b'/' {
                     state = State::LineComment;
-                    comment[i] = c;
-                    comment[i + 1] = b'/';
+                    put(&mut comment, i, c);
+                    put(&mut comment, i + 1, b'/');
                     i += 2;
-                } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                } else if c == b'/' && at(b, i + 1) == b'*' {
                     state = State::BlockComment(1);
                     i += 2;
                 } else if c == b'"' {
-                    code[i] = b'"';
+                    put(&mut code, i, b'"');
                     state = State::Str;
                     i += 1;
                 } else if (c == b'r' || c == b'b') && is_raw_or_str_start(b, i) {
                     // r"…", r#"…"#, b"…", br#"…"# — copy the prefix through
                     // to the opening quote, counting hashes on the way.
                     let mut j = i;
-                    code[j] = b[j];
+                    put(&mut code, j, at(b, j));
                     j += 1;
-                    if b[j] == b'r' || b[j] == b'b' {
-                        code[j] = b[j];
+                    if at(b, j) == b'r' || at(b, j) == b'b' {
+                        put(&mut code, j, at(b, j));
                         j += 1;
                     }
                     let mut hashes = 0;
-                    while b[j] == b'#' {
-                        code[j] = b'#';
+                    while at(b, j) == b'#' {
+                        put(&mut code, j, b'#');
                         hashes += 1;
                         j += 1;
                     }
-                    code[j] = b'"';
+                    put(&mut code, j, b'"');
                     state = if hashes == 0 && !raw_prefix(b, i) {
                         State::Str
                     } else {
@@ -101,39 +124,39 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
                     i = j + 1;
                 } else if c == b'\'' {
                     // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                    let next_alpha =
-                        i + 1 < n && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_');
-                    let closes = i + 2 < n && b[i + 2] == b'\'';
+                    let nxt = at(b, i + 1);
+                    let next_alpha = nxt.is_ascii_alphanumeric() || nxt == b'_';
+                    let closes = at(b, i + 2) == b'\'';
                     if next_alpha && !closes {
-                        code[i] = c; // lifetime: leave as code
+                        put(&mut code, i, c); // lifetime: leave as code
                         i += 1;
                     } else {
-                        code[i] = b'\'';
+                        put(&mut code, i, b'\'');
                         state = State::CharLit;
                         i += 1;
                     }
                 } else {
-                    code[i] = c;
+                    put(&mut code, i, c);
                     i += 1;
                 }
             }
             State::LineComment => {
-                comment[i] = c;
+                put(&mut comment, i, c);
                 i += 1;
             }
             State::BlockComment(depth) => {
-                if c == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                if c == b'*' && at(b, i + 1) == b'/' {
                     state = if depth == 1 {
                         State::Code
                     } else {
                         State::BlockComment(depth - 1)
                     };
                     i += 2;
-                } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                } else if c == b'/' && at(b, i + 1) == b'*' {
                     state = State::BlockComment(depth + 1);
                     i += 2;
                 } else {
-                    comment[i] = c;
+                    put(&mut comment, i, c);
                     i += 1;
                 }
             }
@@ -142,9 +165,9 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
                     // Skip the escaped byte — unless it is a newline
                     // (line-continuation), which the top of the loop must
                     // see to keep line offsets aligned.
-                    i += if i + 1 < n && b[i + 1] == b'\n' { 1 } else { 2 };
+                    i += if at(b, i + 1) == b'\n' { 1 } else { 2 };
                 } else if c == b'"' {
-                    code[i] = b'"';
+                    put(&mut code, i, b'"');
                     state = State::Code;
                     i += 1;
                 } else {
@@ -153,9 +176,9 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
             }
             State::RawStr(hashes) => {
                 if c == b'"' && closes_raw(b, i, hashes) {
-                    code[i] = b'"';
+                    put(&mut code, i, b'"');
                     for k in 0..hashes {
-                        code[i + 1 + k] = b'#';
+                        put(&mut code, i + 1 + k, b'#');
                     }
                     state = State::Code;
                     i += 1 + hashes;
@@ -167,7 +190,7 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
                 if c == b'\\' {
                     i += 2;
                 } else if c == b'\'' {
-                    code[i] = b'\'';
+                    put(&mut code, i, b'\'');
                     state = State::Code;
                     i += 1;
                 } else {
@@ -182,27 +205,30 @@ fn scrub(src: &str) -> (Vec<u8>, Vec<u8>) {
 /// Whether `b[i]` (an `r` or `b`) starts a raw/byte string literal rather
 /// than an identifier. The byte before must not be part of an identifier.
 fn is_raw_or_str_start(b: &[u8], i: usize) -> bool {
-    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
-        return false;
+    if i > 0 {
+        let prev = at(b, i - 1);
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
     }
     let mut j = i + 1;
-    if j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+    if at(b, j) == b'r' || at(b, j) == b'b' {
         j += 1;
     }
-    while j < b.len() && b[j] == b'#' {
+    while at(b, j) == b'#' {
         j += 1;
     }
-    j < b.len() && b[j] == b'"'
+    at(b, j) == b'"'
 }
 
 /// Whether the literal starting at `i` carries an `r` (raw) prefix.
 fn raw_prefix(b: &[u8], i: usize) -> bool {
-    b[i] == b'r' || (i + 1 < b.len() && b[i + 1] == b'r')
+    at(b, i) == b'r' || at(b, i + 1) == b'r'
 }
 
 /// Whether the `"` at `i` is followed by `hashes` `#` bytes.
 fn closes_raw(b: &[u8], i: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| i + k < b.len() && b[i + k] == b'#')
+    (1..=hashes).all(|k| at(b, i + k) == b'#')
 }
 
 /// Byte ranges of the scrubbed code covered by test-only items.
@@ -210,8 +236,8 @@ fn test_ranges(code: &[u8]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     for pat in [b"#[cfg(test)]".as_slice(), b"#[test]".as_slice()] {
         let mut from = 0;
-        while let Some(at) = find(code, pat, from) {
-            let attr_end = at + pat.len();
+        while let Some(hit) = find(code, pat, from) {
+            let attr_end = hit + pat.len();
             from = attr_end;
             // The region runs from the attribute to the end of the next
             // item: the matching close of its first `{`, or a bare `;`.
@@ -219,7 +245,7 @@ fn test_ranges(code: &[u8]) -> Vec<(usize, usize)> {
             let mut depth = 0usize;
             let mut end = code.len();
             while j < code.len() {
-                match code[j] {
+                match at(code, j) {
                     b'{' => depth += 1,
                     b'}' => {
                         depth = depth.saturating_sub(1);
@@ -236,7 +262,7 @@ fn test_ranges(code: &[u8]) -> Vec<(usize, usize)> {
                 }
                 j += 1;
             }
-            ranges.push((at, end));
+            ranges.push((hit, end));
         }
     }
     ranges.sort_unstable();
@@ -248,7 +274,7 @@ fn find(hay: &[u8], pat: &[u8], from: usize) -> Option<usize> {
     if pat.is_empty() || hay.len() < pat.len() {
         return None;
     }
-    (from..=hay.len() - pat.len()).find(|&i| &hay[i..i + pat.len()] == pat)
+    (from..=hay.len() - pat.len()).find(|&i| hay.get(i..i + pat.len()) == Some(pat))
 }
 
 /// Prepare one source file for rule matching.
@@ -260,14 +286,15 @@ pub fn prepare(path: &str, src: &str) -> ScrubbedFile {
         let end = start + len;
         let in_test = ranges.iter().any(|&(a, b)| start < b && end > a);
         lines.push(Line {
-            code: String::from_utf8_lossy(&code[start..end]).into_owned(),
-            comment: String::from_utf8_lossy(&comment[start..end]).into_owned(),
+            code: String::from_utf8_lossy(code.get(start..end).unwrap_or(&[])).into_owned(),
+            comment: String::from_utf8_lossy(comment.get(start..end).unwrap_or(&[])).into_owned(),
             in_test,
         });
     }
     ScrubbedFile {
         path: path.to_string(),
         lines,
+        code: String::from_utf8_lossy(&code).into_owned(),
     }
 }
 

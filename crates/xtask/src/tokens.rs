@@ -1,0 +1,363 @@
+//! A Rust token-stream layer over the scrubbed code buffer.
+//!
+//! The lexical rules of PR 2 match byte patterns line by line; that is
+//! enough for `panic!`-style macros but not for expression analysis: an
+//! index expression can be separated from its receiver by whitespace or a
+//! line break, an array *pattern* (`let [a, b] = xs`) is not an index at
+//! all, and a fix needs the exact byte span of the `[` and its matching
+//! `]`. This module lexes the scrubbed buffer (comments and literal
+//! contents already blanked by [`crate::scan::scrub`], so the token stream
+//! contains only real code) into a flat token list with byte spans,
+//! 1-based line numbers, and matched bracket partners.
+//!
+//! The lexer never panics: unbalanced delimiters simply have no partner,
+//! and truncated literals run to end of input.
+
+/// Delimiter flavor of an [`TokKind::Open`] / [`TokKind::Close`] token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// Kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are classified by text).
+    Ident,
+    /// `'a`-style lifetime.
+    Lifetime,
+    /// Numeric literal (integer or float, including suffixes).
+    Number,
+    /// String literal (contents blanked by the scrubber).
+    StrLit,
+    /// Char literal (contents blanked by the scrubber).
+    CharLit,
+    /// Punctuation, maximal-munch (`::`, `=>`, `+=`, ...).
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte (valid into the original source).
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+    /// Token text (scrubbed view — literal contents are blank).
+    pub text: String,
+    /// Index of the matching delimiter for `Open`/`Close`, when balanced.
+    pub partner: Option<usize>,
+}
+
+/// The lexed token stream of one file.
+#[derive(Debug)]
+pub struct TokenStream {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+}
+
+/// Multi-char punctuation, longest first (maximal munch).
+const PUNCT3: [&str; 4] = ["<<=", ">>=", "..=", "..."];
+const PUNCT2: [&str; 19] = [
+    "==", "=>", "<=", ">=", "!=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "..", "::", "->",
+    "&&", "||", "<<",
+];
+
+/// Rust keywords that can directly precede a `[` without making it an
+/// index expression (pattern, type, or statement position).
+const NON_EXPR_KEYWORDS: [&str; 27] = [
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "type", "where",
+];
+
+/// Whether `word` is a keyword that cannot end an indexable expression.
+pub fn is_non_expr_keyword(word: &str) -> bool {
+    NON_EXPR_KEYWORDS.contains(&word)
+}
+
+fn byte_at(b: &[u8], i: usize) -> u8 {
+    b.get(i).copied().unwrap_or(0)
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+impl TokenStream {
+    /// Lex the scrubbed code buffer of one file.
+    pub fn lex(code: &str) -> TokenStream {
+        let b = code.as_bytes();
+        let n = b.len();
+        // Line starts, for offset -> line mapping.
+        let mut line_starts = vec![0usize];
+        for (i, &c) in b.iter().enumerate() {
+            if c == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let line_of = |off: usize| line_starts.partition_point(|&s| s <= off);
+
+        let mut toks: Vec<Tok> = Vec::new();
+        let mut stack: Vec<(Delim, usize)> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let c = byte_at(b, i);
+            if c.is_ascii_whitespace() || c == 0 {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let kind;
+            if is_ident_start(c) && !c.is_ascii_digit() {
+                while i < n && is_ident_cont(byte_at(b, i)) {
+                    i += 1;
+                }
+                kind = TokKind::Ident;
+            } else if c.is_ascii_digit() {
+                while i < n && is_ident_cont(byte_at(b, i)) {
+                    i += 1;
+                }
+                // Float part: `.` followed by a digit (so `0..n` stays a
+                // range), then an optional signed exponent.
+                if byte_at(b, i) == b'.' && byte_at(b, i + 1).is_ascii_digit() {
+                    i += 1;
+                    while i < n && is_ident_cont(byte_at(b, i)) {
+                        i += 1;
+                    }
+                }
+                if matches!(byte_at(b, i.wrapping_sub(1)), b'e' | b'E')
+                    && matches!(byte_at(b, i), b'+' | b'-')
+                    && byte_at(b, i + 1).is_ascii_digit()
+                {
+                    i += 1;
+                    while i < n && is_ident_cont(byte_at(b, i)) {
+                        i += 1;
+                    }
+                }
+                kind = TokKind::Number;
+            } else if c == b'"' {
+                i += 1;
+                while i < n && byte_at(b, i) != b'"' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                kind = TokKind::StrLit;
+            } else if c == b'\'' {
+                if is_ident_start(byte_at(b, i + 1)) || byte_at(b, i + 1).is_ascii_digit() {
+                    // Lifetime: the scrubber leaves `'a` intact and blanks
+                    // char-literal contents, so ident chars here mean a
+                    // lifetime.
+                    i += 1;
+                    while i < n && is_ident_cont(byte_at(b, i)) {
+                        i += 1;
+                    }
+                    kind = TokKind::Lifetime;
+                } else {
+                    i += 1;
+                    while i < n && byte_at(b, i) != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    kind = TokKind::CharLit;
+                }
+            } else if let Some(d) = open_delim(c) {
+                i += 1;
+                kind = TokKind::Open(d);
+                stack.push((d, toks.len()));
+            } else if let Some(d) = close_delim(c) {
+                i += 1;
+                kind = TokKind::Close(d);
+                if stack.last().is_some_and(|&(od, _)| od == d) {
+                    if let Some((_, open_idx)) = stack.pop() {
+                        let close_idx = toks.len();
+                        if let Some(open_tok) = toks.get_mut(open_idx) {
+                            open_tok.partner = Some(close_idx);
+                        }
+                        let text = String::from_utf8_lossy(&[c]).into_owned();
+                        toks.push(Tok {
+                            kind,
+                            start,
+                            end: i,
+                            line: line_of(start),
+                            text,
+                            partner: Some(open_idx),
+                        });
+                        continue;
+                    }
+                }
+            } else {
+                // Punctuation, maximal munch.
+                let rest = code.get(start..).unwrap_or("");
+                let munch = PUNCT3
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .or_else(|| PUNCT2.iter().find(|p| rest.starts_with(**p)))
+                    .map_or(1, |p| p.len());
+                i = (start + munch).min(n);
+                kind = TokKind::Punct;
+            }
+            let text = String::from_utf8_lossy(b.get(start..i).unwrap_or(&[])).into_owned();
+            toks.push(Tok {
+                kind,
+                start,
+                end: i,
+                line: line_of(start),
+                text,
+                partner: None,
+            });
+        }
+        TokenStream { toks }
+    }
+
+    /// The token at `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Tok> {
+        self.toks.get(idx)
+    }
+
+    /// The token before `idx`, if any.
+    pub fn prev(&self, idx: usize) -> Option<&Tok> {
+        idx.checked_sub(1).and_then(|p| self.toks.get(p))
+    }
+
+    /// The token after `idx`, if any.
+    pub fn next(&self, idx: usize) -> Option<&Tok> {
+        self.toks.get(idx + 1)
+    }
+}
+
+fn open_delim(c: u8) -> Option<Delim> {
+    match c {
+        b'(' => Some(Delim::Paren),
+        b'[' => Some(Delim::Bracket),
+        b'{' => Some(Delim::Brace),
+        _ => None,
+    }
+}
+
+fn close_delim(c: u8) -> Option<Delim> {
+    match c {
+        b')' => Some(Delim::Paren),
+        b']' => Some(Delim::Bracket),
+        b'}' => Some(Delim::Brace),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scrub;
+
+    fn lex(src: &str) -> TokenStream {
+        let (code, _) = scrub(src);
+        TokenStream::lex(&String::from_utf8_lossy(&code))
+    }
+
+    fn texts(ts: &TokenStream) -> Vec<&str> {
+        ts.toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let ts = lex("let x = v[i] + 1.5e-3;");
+        assert_eq!(
+            texts(&ts),
+            vec!["let", "x", "=", "v", "[", "i", "]", "+", "1.5e-3", ";"]
+        );
+        assert_eq!(ts.toks.first().map(|t| t.line), Some(1));
+    }
+
+    #[test]
+    fn brackets_are_matched() {
+        let ts = lex("a[f(b)[0]]");
+        // a [ f ( b ) [ 0 ] ]
+        let open_outer = 1;
+        let close_outer = 9;
+        assert_eq!(
+            ts.get(open_outer).and_then(|t| t.partner),
+            Some(close_outer)
+        );
+        assert_eq!(
+            ts.get(close_outer).and_then(|t| t.partner),
+            Some(open_outer)
+        );
+        assert_eq!(ts.get(6).and_then(|t| t.partner), Some(8));
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let ts = lex(")]}} [[(");
+        assert!(ts.toks.iter().take(4).all(|t| t.partner.is_none()));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals() {
+        let ts = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(ts
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(ts.toks.iter().any(|t| t.kind == TokKind::CharLit));
+    }
+
+    #[test]
+    fn multi_char_punct_munches() {
+        let ts = lex("a += b; c ..= d; e => f; x..y");
+        let puncts: Vec<&str> = ts
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&".."));
+    }
+
+    #[test]
+    fn multi_line_spans_and_lines() {
+        let ts = lex("let a = xs\n    [i];\n");
+        let open = ts
+            .toks
+            .iter()
+            .position(|t| t.kind == TokKind::Open(Delim::Bracket));
+        let open = open.and_then(|i| ts.get(i));
+        assert_eq!(open.map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn strings_lex_as_single_tokens() {
+        let ts = lex("let s = \"a [b] c\"; t[0]");
+        assert_eq!(
+            ts.toks.iter().filter(|t| t.kind == TokKind::StrLit).count(),
+            1
+        );
+        // The bracket inside the string never becomes a token.
+        assert_eq!(
+            ts.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Open(Delim::Bracket))
+                .count(),
+            1
+        );
+    }
+}

@@ -14,6 +14,7 @@ use datasculpt_xtask::rules::Rule;
 const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
 const SUPPRESSED: &str = include_str!("../fixtures/suppressed.rs");
 const CLEAN: &str = include_str!("../fixtures/clean.rs");
+const FIXABLE: &str = include_str!("../fixtures/fixable.rs");
 
 fn count(outcome: &datasculpt_xtask::LintOutcome, rule: Rule) -> usize {
     outcome.violations.iter().filter(|v| v.rule == rule).count()
@@ -27,12 +28,14 @@ fn violations_fixture_trips_every_rule_family() {
     assert_eq!(count(&out, Rule::Panic), 1);
     assert_eq!(count(&out, Rule::Unwrap), 2);
     assert_eq!(count(&out, Rule::UncheckedIndex), 1);
+    assert_eq!(count(&out, Rule::FloatTotalOrder), 1);
+    assert_eq!(count(&out, Rule::ExecMergeOrder), 1);
     assert_eq!(count(&out, Rule::WallClock), 1);
     assert_eq!(count(&out, Rule::DiscardedResult), 1);
     assert_eq!(count(&out, Rule::LossyCast), 1);
     assert_eq!(count(&out, Rule::StringKeyedMap), 1);
     assert_eq!(count(&out, Rule::BadSuppression), 0);
-    assert_eq!(out.violations.len(), 10, "{:?}", out.violations);
+    assert_eq!(out.violations.len(), 12, "{:?}", out.violations);
     assert!(!out.is_clean());
 }
 
@@ -64,6 +67,8 @@ fn path_scoping_can_exempt_the_fixture() {
          [rule.panic]\nenabled = false\n\
          [rule.unwrap]\nenabled = false\n\
          [rule.unchecked-index]\nenabled = false\n\
+         [rule.float-total-order]\nenabled = false\n\
+         [rule.exec-merge-order]\nenabled = false\n\
          [rule.wall-clock]\nenabled = false\n\
          [rule.discarded-result]\nenabled = false\n\
          [rule.lossy-cast]\nenabled = false\n\
@@ -83,6 +88,65 @@ fn json_report_round_trips_counts() {
     assert!(json.contains("\"hash-order\":2"));
     assert!(json.contains("\"files_scanned\":1"));
     assert!(json.contains("\"ok\":false"));
+}
+
+#[test]
+fn clean_fixture_has_non_firing_cases_for_token_rules() {
+    // The clean fixture deliberately contains a `total_cmp` sort, a
+    // left-to-right `map_shards` merge, slice patterns, and `.get()`
+    // access — the non-firing counterparts of the token-stream rules.
+    assert!(CLEAN.contains("total_cmp"));
+    assert!(CLEAN.contains("map_shards"));
+    assert!(CLEAN.contains("let [a, b]"));
+    let out = lint_sources([("crates/fix/src/clean.rs", CLEAN)], &LintConfig::default());
+    assert!(out.is_clean(), "{:?}", out.violations);
+}
+
+#[test]
+fn multi_rule_suppression_in_fixture_is_honoured() {
+    let out = lint_sources(
+        [("crates/fix/src/suppressed.rs", SUPPRESSED)],
+        &LintConfig::default(),
+    );
+    // `multi()` carries allow(unwrap, unchecked-index) over a line with
+    // both: neither may be reported, and the annotation is well-formed.
+    let in_multi: Vec<_> = out
+        .violations
+        .iter()
+        .filter(|v| v.snippet.contains("table[0]"))
+        .collect();
+    assert!(in_multi.is_empty(), "{in_multi:?}");
+}
+
+#[test]
+fn fix_round_trips_to_zero_findings() {
+    let cfg = LintConfig::default();
+    let out = lint_sources([("crates/fix/src/fixable.rs", FIXABLE)], &cfg);
+    assert!(!out.violations.is_empty());
+    assert!(
+        out.violations
+            .iter()
+            .all(|v| v.rule == Rule::UncheckedIndex && v.fix.is_some()),
+        "{:?}",
+        out.violations
+    );
+    let (fixed, n) = datasculpt_xtask::fix::apply_fixes(FIXABLE, &out.violations);
+    assert_eq!(n, out.violations.len());
+    let again = lint_sources([("crates/fix/src/fixable.rs", fixed.as_str())], &cfg);
+    assert!(again.is_clean(), "{:?}\n{fixed}", again.violations);
+}
+
+#[test]
+fn dead_config_path_is_an_error_against_the_fixture_set() {
+    let cfg = LintConfig::parse("[rule.panic]\npaths = [\"crates/typo/src\"]\n").unwrap();
+    let err = cfg
+        .validate_against(["crates/fix/src/violations.rs"])
+        .unwrap_err();
+    assert!(err.contains("crates/typo/src"), "{err}");
+    let ok = LintConfig::parse("[rule.panic]\npaths = [\"crates/fix/src\"]\n").unwrap();
+    assert!(ok
+        .validate_against(["crates/fix/src/violations.rs"])
+        .is_ok());
 }
 
 #[test]

@@ -1,0 +1,72 @@
+//! Property tests for the scanner core: `prepare`/`scrub` must accept
+//! arbitrary input without panicking, and the scrubbed code/comment
+//! buffers must stay byte-length-identical to the input — the token
+//! layer's byte offsets are only valid under that invariant.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt_xtask::scan::{prepare, scrub};
+use datasculpt_xtask::tokens::TokenStream;
+use proptest::prelude::*;
+
+/// The scrubber's own state-machine triggers: unterminated strings,
+/// nested raw-string fences, stray escapes, half-open comments.
+const FRAGMENTS: [&str; 16] = [
+    "\"",
+    "'",
+    "//",
+    "/*",
+    "*/",
+    "r#\"",
+    "\"#",
+    "r##\"",
+    "\\",
+    "\n",
+    "[",
+    "]",
+    "#[cfg(test)]",
+    "ds-lint: allow(",
+    "b\"",
+    "xs 0 ",
+];
+
+proptest! {
+    #[test]
+    fn scrub_preserves_byte_length_on_any_text(src in "\\PC{0,300}") {
+        let (code, comment) = scrub(&src);
+        prop_assert_eq!(code.len(), src.len());
+        prop_assert_eq!(comment.len(), src.len());
+    }
+
+    #[test]
+    fn scrub_preserves_byte_length_on_lossy_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Arbitrary bytes arrive via the same lossy decoding the file
+        // loader would apply.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let (code, comment) = scrub(&src);
+        prop_assert_eq!(code.len(), src.len());
+        prop_assert_eq!(comment.len(), src.len());
+    }
+
+    #[test]
+    fn prepare_never_panics_on_adversarial_fragments(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..32),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let file = prepare("t.rs", &src);
+        prop_assert_eq!(file.code.len(), src.len());
+        prop_assert_eq!(file.lines.len(), src.lines().count());
+        // The token layer downstream must tolerate whatever survives,
+        // with spans that stay inside the input.
+        let ts = TokenStream::lex(&file.code);
+        prop_assert!(ts.toks.iter().all(|t| t.start < t.end && t.end <= src.len()));
+    }
+
+    #[test]
+    fn prepare_never_panics_on_any_text(src in "\\PC{0,200}") {
+        let file = prepare("t.rs", &src);
+        prop_assert_eq!(file.code.len(), src.len());
+    }
+}

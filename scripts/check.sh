@@ -11,7 +11,17 @@ echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> ds-lint (panic-freedom / determinism / ledger integrity)"
-cargo run -q -p datasculpt-xtask -- lint
+mkdir -p results
+if ! cargo run -q -p datasculpt-xtask -- lint --json > results/lint.json; then
+  echo "FAIL: ds-lint reported findings (see results/lint.json)" >&2
+  exit 1
+fi
+
+echo "==> ds-lint --fix-dry-run (a clean tree must propose zero edits)"
+if ! cargo run -q -p datasculpt-xtask -- lint --fix-dry-run; then
+  echo "FAIL: ds-lint --fix-dry-run proposed edits on a clean tree" >&2
+  exit 1
+fi
 
 echo "==> cargo test"
 cargo test -q --workspace
