@@ -45,6 +45,7 @@ pub use lf::KeywordLf;
 pub use lfset::LfSet;
 pub use parse::{parse_response, ParsedResponse};
 pub use pipeline::{
-    DataSculpt, DataSculptConfig, IterationLog, PipelineError, PromptStyle, RunResult,
+    run_state_digest, CheckpointSink, DataSculpt, DataSculptConfig, IterationCheckpoint,
+    IterationLog, PipelineError, PromptStyle, RunResult,
 };
 pub use sampler::SamplerKind;

@@ -44,6 +44,14 @@ pub enum PipelineError {
         /// The error that tripped the limit.
         last: LlmError,
     },
+    /// The attached [`CheckpointSink`] rejected an iteration snapshot
+    /// (a persistence failure, or a resume-verification divergence).
+    Checkpoint {
+        /// 0-based iteration whose snapshot was rejected.
+        iter: u64,
+        /// The sink's error description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -55,6 +63,9 @@ impl std::fmt::Display for PipelineError {
                     "{limit} consecutive iterations failed; last error: {last}"
                 )
             }
+            PipelineError::Checkpoint { iter, message } => {
+                write!(f, "checkpoint sink failed at iteration {iter}: {message}")
+            }
         }
     }
 }
@@ -63,6 +74,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::TooManyFailures { last, .. } => Some(last),
+            PipelineError::Checkpoint { .. } => None,
         }
     }
 }
@@ -214,32 +226,75 @@ impl RunResult {
     /// seeds must produce equal digests — any divergence is a
     /// reproducibility bug (see `lint.toml`, rule `hash-order`).
     pub fn digest(&self) -> u64 {
-        let mut d = Fnv::new();
-        d.eat_usize(self.lf_set.len());
-        for lf in self.lf_set.lfs() {
-            d.eat(lf.keyword.as_bytes());
-            d.eat_usize(lf.label);
-            d.eat(&[u8::from(lf.anchored)]);
-        }
-        d.eat_usize(self.ledger.calls() as usize);
-        for (model, usage) in self.ledger.per_model() {
-            d.eat(model.api_name().as_bytes());
-            d.eat(&usage.prompt_tokens.to_le_bytes());
-            d.eat(&usage.completion_tokens.to_le_bytes());
-        }
-        d.eat_usize(self.iterations.len());
-        for it in &self.iterations {
-            d.eat_usize(it.instance_id);
-            d.eat_usize(it.label.map_or(usize::MAX, |l| l));
-            for kw in &it.keywords {
-                d.eat(kw.as_bytes());
-            }
-            d.eat_usize(it.accepted);
-            d.eat_usize(it.rejected);
-            d.eat(&[u8::from(it.error.is_some())]);
-        }
-        d.finish()
+        run_state_digest(&self.lf_set, &self.ledger, &self.iterations)
     }
+}
+
+/// The [`RunResult::digest`] function applied to mid-run state: the digest
+/// of the run as it stands after some prefix of its iterations. Durable
+/// runs checkpoint this per iteration, so a resume can verify — iteration
+/// by iteration — that its replay reproduces the crashed run exactly.
+pub fn run_state_digest(lf_set: &LfSet, ledger: &UsageLedger, iterations: &[IterationLog]) -> u64 {
+    let mut d = Fnv::new();
+    d.eat_usize(lf_set.len());
+    for lf in lf_set.lfs() {
+        d.eat(lf.keyword.as_bytes());
+        d.eat_usize(lf.label);
+        d.eat(&[u8::from(lf.anchored)]);
+    }
+    d.eat_usize(ledger.calls() as usize);
+    for (model, usage) in ledger.per_model() {
+        d.eat(model.api_name().as_bytes());
+        d.eat(&usage.prompt_tokens.to_le_bytes());
+        d.eat(&usage.completion_tokens.to_le_bytes());
+    }
+    d.eat_usize(iterations.len());
+    for it in iterations {
+        d.eat_usize(it.instance_id);
+        d.eat_usize(it.label.map_or(usize::MAX, |l| l));
+        for kw in &it.keywords {
+            d.eat(kw.as_bytes());
+        }
+        d.eat_usize(it.accepted);
+        d.eat_usize(it.rejected);
+        d.eat(&[u8::from(it.error.is_some())]);
+    }
+    d.finish()
+}
+
+/// One iteration's durable snapshot, handed to a [`CheckpointSink`] after
+/// the iteration completes (successfully or not).
+///
+/// The snapshot is a *verifiable summary*, not a serialized `RunContext`:
+/// resume replays the run from iteration 0 against the durable response
+/// store (so sampler/ICL/LLM state never needs serializing) and checks
+/// each replayed iteration against `state_digest`. See
+/// `docs/persistence.md` for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationCheckpoint {
+    /// 0-based iteration index.
+    pub iter: u64,
+    /// [`run_state_digest`] over the run state after this iteration.
+    pub state_digest: u64,
+    /// Accepted LFs so far.
+    pub lfs: u64,
+    /// Recorded LLM calls so far.
+    pub calls: u64,
+    /// Exact cumulative cost so far, in nano-USD.
+    pub cost_nanousd: u128,
+    /// Whether this iteration failed with an LLM error.
+    pub failed: bool,
+}
+
+/// Receives one [`IterationCheckpoint`] per completed iteration of a
+/// durable run ([`DataSculpt::run_durable`]).
+///
+/// Returning `Err` aborts the run with [`PipelineError::Checkpoint`]: a
+/// sink that cannot persist (or that detects a resume divergence) must
+/// stop the run rather than let it continue un-checkpointed.
+pub trait CheckpointSink {
+    /// Persist or verify one iteration snapshot.
+    fn on_iteration(&mut self, snapshot: &IterationCheckpoint) -> Result<(), String>;
 }
 
 /// Incremental FNV-1a hasher for [`RunResult::digest`].
@@ -583,6 +638,33 @@ impl<'a> DataSculpt<'a> {
         llm: &mut M,
         obs: &mut dyn RunObserver,
     ) -> Result<RunResult, PipelineError> {
+        self.run_inner(llm, obs, None)
+    }
+
+    /// Execute the full run, streaming one [`IterationCheckpoint`] per
+    /// completed iteration into `sink` (in addition to the event stream).
+    ///
+    /// The sink is called after the iteration's `iter_end` event, with the
+    /// cumulative [`run_state_digest`] — the hook a durable store uses to
+    /// persist resumable state. A sink error aborts the run with
+    /// [`PipelineError::Checkpoint`]. The sink is write-only with respect
+    /// to the run: a sinked run produces a digest identical to the
+    /// same-seed plain run.
+    pub fn run_durable<M: ChatModel>(
+        &self,
+        llm: &mut M,
+        obs: &mut dyn RunObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<RunResult, PipelineError> {
+        self.run_inner(llm, obs, Some(sink))
+    }
+
+    fn run_inner<M: ChatModel>(
+        &self,
+        llm: &mut M,
+        obs: &mut dyn RunObserver,
+        mut sink: Option<&mut dyn CheckpointSink>,
+    ) -> Result<RunResult, PipelineError> {
         obs.on_event(&Event::RunBegin {
             label: self.config.label().to_string(),
             dataset: self.dataset.spec.name.to_string(),
@@ -616,6 +698,20 @@ impl<'a> DataSculpt<'a> {
                 failed: error.is_some(),
             });
             ctx.iterations.push(log);
+            if let Some(sink) = sink.as_deref_mut() {
+                let snapshot = IterationCheckpoint {
+                    iter,
+                    state_digest: run_state_digest(&ctx.lf_set, &ctx.ledger, &ctx.iterations),
+                    lfs: ctx.lf_set.len() as u64,
+                    calls: ctx.ledger.calls(),
+                    cost_nanousd: ctx.ledger.total_cost_nanousd(),
+                    failed: error.is_some(),
+                };
+                if let Err(message) = sink.on_iteration(&snapshot) {
+                    ctx.emit_run_end();
+                    return Err(PipelineError::Checkpoint { iter, message });
+                }
+            }
             match error {
                 Some(last) => {
                     consecutive_failures += 1;
@@ -820,10 +916,71 @@ mod tests {
             1,
         );
         let err = DataSculpt::new(&d, cfg).run(&mut llm).unwrap_err();
-        let PipelineError::TooManyFailures { limit, last } = err;
+        let PipelineError::TooManyFailures { limit, last } = err else {
+            panic!("expected TooManyFailures, got {err}");
+        };
         assert_eq!(limit, 3);
         assert!(matches!(last, LlmError::Transport(_)));
         assert_eq!(llm.calls_attempted(), 3);
+    }
+
+    #[test]
+    fn checkpoint_sink_sees_every_iteration_and_prefix_digests() {
+        struct Capture(Vec<IterationCheckpoint>);
+        impl CheckpointSink for Capture {
+            fn on_iteration(&mut self, snapshot: &IterationCheckpoint) -> Result<(), String> {
+                self.0.push(*snapshot);
+                Ok(())
+            }
+        }
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::cot(9);
+        cfg.num_queries = 6;
+        let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13);
+        let mut sink = Capture(Vec::new());
+        let result = DataSculpt::new(&d, cfg)
+            .run_durable(&mut llm, &mut NoopObserver, &mut sink)
+            .expect("run");
+        assert_eq!(sink.0.len(), result.iterations.len());
+        let last = sink.0.last().expect("at least one iteration");
+        assert_eq!(last.state_digest, result.digest(), "final prefix = run");
+        assert_eq!(last.calls, result.ledger.calls());
+        assert_eq!(last.cost_nanousd, result.ledger.total_cost_nanousd());
+        for (i, snap) in sink.0.iter().enumerate() {
+            assert_eq!(snap.iter, i as u64);
+            assert!(!snap.failed);
+        }
+        // The sinked run is byte-identical to the plain run.
+        assert_eq!(result.digest(), run_config(&d, cfg).digest());
+    }
+
+    #[test]
+    fn checkpoint_sink_error_aborts_with_typed_error() {
+        struct FailAt(u64);
+        impl CheckpointSink for FailAt {
+            fn on_iteration(&mut self, snapshot: &IterationCheckpoint) -> Result<(), String> {
+                if snapshot.iter == self.0 {
+                    Err("disk full".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let d = DatasetName::Youtube.load_scaled(21, 0.1);
+        let mut cfg = DataSculptConfig::base(5);
+        cfg.num_queries = 8;
+        let mut llm = SimulatedLlm::new(ModelId::Gpt35Turbo, d.generative.clone(), 13);
+        let err = DataSculpt::new(&d, cfg)
+            .run_durable(&mut llm, &mut NoopObserver, &mut FailAt(2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::Checkpoint {
+                iter: 2,
+                message: "disk full".into()
+            }
+        );
+        assert!(err.to_string().contains("iteration 2"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!                     [--scale F] [--seed N] [--revise] [--show-lfs N]
 //!                     [--threads N] [--trace PATH] [--metrics] [--retries N]
 //!                     [--cache N] [--verbose]
+//!                     [--store DIR] [--resume DIR] [--checkpoint-every N]
+//!                     [--inject-crash-after N]
 //! datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
 //!                     [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
 //! datasculpt trace-check <path>
@@ -63,6 +65,8 @@ USAGE:
                       [--scale F] [--seed N] [--revise] [--show-lfs N]
                       [--threads N] [--trace PATH] [--metrics] [--retries N]
                       [--cache N] [--verbose]
+                      [--store DIR] [--resume DIR] [--checkpoint-every N]
+                      [--inject-crash-after N]
   datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
                       [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
   datasculpt trace-check <path>
@@ -81,6 +85,17 @@ Observability:
   --cache N      wrap the model in a response cache with capacity N
   --verbose      per-iteration progress lines on stderr
   trace-check    validate a trace file and print its summary
+
+Durability (docs/persistence.md):
+  --store DIR            run durably in DIR: every LLM response is persisted
+                         before use and each iteration is checkpointed, so a
+                         crashed run can be resumed with zero re-billing
+                         (--cache is ignored; the disk store subsumes it)
+  --resume DIR           like --store, but refuse to start fresh: DIR must
+                         already hold a checkpoint from the same config
+  --checkpoint-every N   checkpoint every N iterations (default 1)
+  --inject-crash-after N crash-injection smoke knob: abort the process after
+                         N backend LLM calls
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
@@ -260,6 +275,9 @@ fn run(args: &[String]) -> ExitCode {
         .with_pool(Pool::new(config.threads));
     let retries: u32 = flags.parse_or("--retries", 0);
     let retry = RetryModel::new(sim, retries).with_observer(obs.shared.clone());
+    if flags.get("--store").or(flags.get("--resume")).is_some() {
+        return run_durably(&dataset, config, model, seed, retry, &mut obs, &flags);
+    }
     let cache: usize = flags.parse_or("--cache", 0);
     if cache > 0 {
         let mut llm = CachedModel::with_capacity(retry, cache).with_observer(obs.shared.clone());
@@ -268,6 +286,68 @@ fn run(args: &[String]) -> ExitCode {
         let mut llm = retry;
         execute_run(&dataset, config, &mut llm, &mut obs, &flags)
     }
+}
+
+/// The `--store`/`--resume` path: wrap the backend in the disk store and
+/// checkpointer (`docs/persistence.md`) and run via the durable runner.
+fn run_durably<M: ChatModel>(
+    dataset: &TextDataset,
+    config: DataSculptConfig,
+    model: ModelId,
+    seed: u64,
+    backend: M,
+    obs: &mut Observability,
+    flags: &Flags,
+) -> ExitCode {
+    let resume = flags.get("--resume");
+    let dir = match resume.or(flags.get("--store")) {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => return ExitCode::FAILURE,
+    };
+    let scale: f64 = flags.parse_or("--scale", 1.0);
+    let fingerprint = RunFingerprint {
+        dataset: dataset.spec.name.to_string(),
+        dataset_seed: seed,
+        scale_bits: scale.to_bits(),
+        model: model.api_name().to_string(),
+        llm_seed: seed,
+        config,
+    };
+    let opts = DurableOptions {
+        checkpoint_every: flags.parse_or("--checkpoint-every", 1u64),
+        kill: None,
+        require_existing: resume.is_some(),
+    };
+    let observer = Some(obs.shared.clone());
+    let outcome = match flags.get("--inject-crash-after") {
+        Some(n) => {
+            let budget: u64 = n.parse().unwrap_or(0);
+            let doomed = KillAfter::aborting_process(backend, budget);
+            run_durable(dataset, &fingerprint, doomed, &dir, &opts, observer)
+        }
+        None => run_durable(dataset, &fingerprint, backend, &dir, &opts, observer),
+    };
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            obs.close();
+            eprintln!("run aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if outcome.recovered {
+        println!(
+            "resumed:        {} checkpointed iterations verified against the replay",
+            outcome.replayed_iterations
+        );
+    }
+    println!(
+        "store:          {} hits / {} misses, billed {} this process",
+        outcome.store_stats.hits,
+        outcome.store_stats.misses,
+        datasculpt::obs::cost::format_usd(outcome.billed_nanousd)
+    );
+    report_run(dataset, config, &outcome.result, obs, flags)
 }
 
 fn execute_run<M: ChatModel>(
@@ -286,6 +366,18 @@ fn execute_run<M: ChatModel>(
             return ExitCode::FAILURE;
         }
     };
+    report_run(dataset, config, &run, obs, flags)
+}
+
+/// Evaluate and print one finished run (shared by the plain and durable
+/// paths).
+fn report_run(
+    dataset: &TextDataset,
+    config: DataSculptConfig,
+    run: &RunResult,
+    obs: &mut Observability,
+    flags: &Flags,
+) -> ExitCode {
     let eval_config = EvalConfig {
         threads: config.threads,
         ..EvalConfig::default()

@@ -17,6 +17,7 @@
 //! | [`endmodel`] | `datasculpt-endmodel` | softmax regression on soft targets, metrics |
 //! | [`baselines`] | `datasculpt-baselines` | WRENCH experts, ScriptoriumWS, PromptedLF |
 //! | [`obs`] | `datasculpt-obs` | run tracing: observers, span timing, JSONL trace sink, metrics |
+//! | [`store`] | `datasculpt-store` | durable runs: disk response store, checkpoint/resume, crash injection |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use datasculpt_exec as exec;
 pub use datasculpt_labelmodel as labelmodel;
 pub use datasculpt_llm as llm;
 pub use datasculpt_obs as obs;
+pub use datasculpt_store as store;
 pub use datasculpt_text as text;
 
 /// The names most programs need, in one import.
@@ -80,5 +82,10 @@ pub mod prelude {
         Clock, Counter, Event, JsonlTraceSink, ManualClock, MetricsRecorder, MetricsSnapshot,
         Multi, NoopObserver, RunObserver, SharedObserver, Stage, StderrProgressSink, SystemClock,
         TraceSink, Tracer,
+    };
+    pub use datasculpt_store::{
+        run_durable, CheckpointError, CheckpointLog, DiskCachedModel, DiskCheckpointer,
+        DurableError, DurableOptions, DurableOutcome, KillAfter, KillSwitch, ResponseStore,
+        RunFingerprint, StoreError,
     };
 }

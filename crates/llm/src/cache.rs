@@ -143,6 +143,14 @@ impl<M: ChatModel> CachedModel<M> {
         self.stats
     }
 
+    /// Alias for [`stats`](Self::stats), matching the shared
+    /// cache-reporting surface of the disk-backed
+    /// [`DiskCachedModel`](../../datasculpt_store) middleware so ledger
+    /// tests can assert hit/miss counts at any layer of the stack.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
     /// Number of responses currently held.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -273,6 +281,15 @@ impl<M: ChatModel> ChatModel for CachedModel<M> {
 
     fn model_id(&self) -> ModelId {
         self.inner.model_id()
+    }
+
+    /// Forwarded to the backend. Note that in-memory *hits* deliberately
+    /// do not advance the backend's call index: this cache is transparent
+    /// within a single process, and the uncached comparison run never saw
+    /// those calls either. Only durable replays (requests answered in a
+    /// *previous* process) advance it, via the disk layer.
+    fn advance_replayed(&mut self, calls: u64) {
+        self.inner.advance_replayed(calls);
     }
 }
 

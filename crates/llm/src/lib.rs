@@ -64,4 +64,15 @@ pub trait ChatModel {
 
     /// The model identity (for pricing and reporting).
     fn model_id(&self) -> ModelId;
+
+    /// Inform the model that `calls` requests were replayed from durable
+    /// storage instead of reaching it.
+    ///
+    /// Stateful backends whose responses depend on a logical call index
+    /// (notably [`SimulatedLlm`], a pure function of `(seed, call index,
+    /// request)`) must advance that index so a resumed run issues the
+    /// *same* post-crash requests at the *same* indices as an
+    /// uninterrupted one. Middleware forwards to its inner model; true
+    /// stateless backends (a real HTTP client) keep the default no-op.
+    fn advance_replayed(&mut self, _calls: u64) {}
 }

@@ -130,6 +130,10 @@ impl<M: ChatModel> ChatModel for RetryModel<M> {
     fn model_id(&self) -> ModelId {
         self.inner.model_id()
     }
+
+    fn advance_replayed(&mut self, calls: u64) {
+        self.inner.advance_replayed(calls);
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,11 @@ impl ChatModel for ScriptedModel {
     fn model_id(&self) -> ModelId {
         self.model
     }
+
+    /// A replayed call consumes one scripted response, as if served live.
+    fn advance_replayed(&mut self, calls: u64) {
+        self.cursor = self.cursor.saturating_add(calls as usize);
+    }
 }
 
 /// Fault-injecting wrapper: fails calls on a fixed schedule, forwarding the
@@ -144,6 +149,13 @@ impl<M: ChatModel> ChatModel for FailingModel<M> {
 
     fn model_id(&self) -> ModelId {
         self.inner.model_id()
+    }
+
+    /// Replays count toward the failure schedule exactly as the original
+    /// live calls did, so a resumed schedule stays aligned.
+    fn advance_replayed(&mut self, calls: u64) {
+        self.calls += calls as usize;
+        self.inner.advance_replayed(calls);
     }
 }
 

@@ -519,6 +519,14 @@ impl ChatModel for SimulatedLlm {
     fn model_id(&self) -> ModelId {
         self.profile.model
     }
+
+    /// The simulator is a pure function of `(seed, call index, request)`,
+    /// so replayed calls must consume their original indices: a resumed
+    /// run then serves every *new* request at exactly the index an
+    /// uninterrupted run would have used.
+    fn advance_replayed(&mut self, calls: u64) {
+        self.calls += calls;
+    }
 }
 
 /// Parse `keyword '<kw>'` and `for class <digit>` from a revision request.

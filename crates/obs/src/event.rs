@@ -31,11 +31,16 @@ pub enum Stage {
     Fit,
     /// One dataset cell of a bench driver.
     Bench,
+    /// One durable-run checkpoint written to disk.
+    Checkpoint,
+    /// Restoring durable-run state from disk (store open + checkpoint
+    /// load + verified replay).
+    Restore,
 }
 
 impl Stage {
     /// Every stage, in reporting order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Select,
         Stage::Prompt,
         Stage::Generate,
@@ -44,6 +49,8 @@ impl Stage {
         Stage::Annotate,
         Stage::Fit,
         Stage::Bench,
+        Stage::Checkpoint,
+        Stage::Restore,
     ];
 
     /// Stable wire name (the JSONL `stage` field).
@@ -57,6 +64,8 @@ impl Stage {
             Stage::Annotate => "annotate",
             Stage::Fit => "fit",
             Stage::Bench => "bench",
+            Stage::Checkpoint => "checkpoint",
+            Stage::Restore => "restore",
         }
     }
 
@@ -99,11 +108,19 @@ pub enum Counter {
     Retry,
     /// An LLM call that failed with an error.
     LlmError,
+    /// Request served from the on-disk response store.
+    StoreHit,
+    /// Request forwarded to the backend by the disk store.
+    StoreMiss,
+    /// One checkpoint record appended to the checkpoint log.
+    CheckpointWrite,
+    /// One already-checkpointed iteration verified during a resume replay.
+    RestoreReplay,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::LfAccepted,
         Counter::LfDuplicate,
         Counter::LfRejectedValidity,
@@ -116,6 +133,10 @@ impl Counter {
         Counter::CacheEviction,
         Counter::Retry,
         Counter::LlmError,
+        Counter::StoreHit,
+        Counter::StoreMiss,
+        Counter::CheckpointWrite,
+        Counter::RestoreReplay,
     ];
 
     /// Stable wire name (the JSONL `counter` field).
@@ -133,6 +154,10 @@ impl Counter {
             Counter::CacheEviction => "cache_eviction",
             Counter::Retry => "retry",
             Counter::LlmError => "llm_error",
+            Counter::StoreHit => "store_hit",
+            Counter::StoreMiss => "store_miss",
+            Counter::CheckpointWrite => "checkpoint_write",
+            Counter::RestoreReplay => "restore_replay",
         }
     }
 

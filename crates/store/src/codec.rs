@@ -1,0 +1,244 @@
+//! Fixed-endian binary encoding for store payloads.
+//!
+//! Hand-rolled (the workspace vendors no serde): every field is written
+//! little-endian with length-prefixed strings, so a payload encodes to the
+//! same bytes on every platform — a requirement for the golden checkpoint
+//! fixtures under `tests/fixtures/`.
+
+/// A decode failure. Decoding never panics: corrupted payloads surface as
+/// typed errors and the caller decides whether to recover or abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the announced field did.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes left in the payload.
+        available: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A bool field held a byte other than 0 or 1.
+    BadBool(u8),
+    /// Decoding finished with unconsumed bytes left over.
+    Trailing(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "payload truncated: needed {needed} bytes, had {available}"
+                )
+            }
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::BadBool(b) => write!(f, "bool field holds {b}, expected 0 or 1"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes after the last field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a length-prefixed (`u32`) UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Cursor-based decoder over one payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read one raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?.first().copied().unwrap_or_default())
+    }
+
+    /// Read a bool byte, rejecting anything but 0/1.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::BadBool(other)),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self.take(4)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        let bytes = self.take(16)?;
+        let mut arr = [0u8; 16];
+        arr.copy_from_slice(bytes);
+        Ok(u128::from_le_bytes(arr))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Assert the payload is fully consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing(self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_type() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(u128::MAX / 3);
+        w.put_str("über-keyword");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.str().unwrap(), "über-keyword");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert_eq!(
+            r.u64(),
+            Err(CodecError::Truncated {
+                needed: 8,
+                available: 5
+            })
+        );
+    }
+
+    #[test]
+    fn string_length_beyond_payload_is_truncated_not_panicking() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1000); // announced length far past the end
+        w.put_u8(b'x');
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.str(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_trailing_bytes_are_rejected() {
+        let mut r = ByteReader::new(&[9]);
+        assert_eq!(r.bool(), Err(CodecError::BadBool(9)));
+        let r = ByteReader::new(&[0, 0]);
+        assert_eq!(r.finish(), Err(CodecError::Trailing(2)));
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str(), Err(CodecError::BadUtf8));
+    }
+}

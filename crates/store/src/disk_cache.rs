@@ -1,0 +1,261 @@
+//! Disk-backed response-cache middleware.
+
+use crate::response::request_digest;
+use crate::store::ResponseStore;
+use crate::StoreError;
+use datasculpt_llm::cache::CacheStats;
+use datasculpt_llm::{ChatModel, ChatRequest, ChatResponse, LlmError, ModelId, PricingTable};
+use datasculpt_obs::{Counter, Event, RunObserver, SharedObserver};
+
+/// [`ChatModel`] middleware over a [`ResponseStore`]: requests whose
+/// prompt digest is already on disk replay the stored response (choices
+/// *and* token usage, so ledgers reproduce exactly); everything else goes
+/// to the backend and is persisted before being acknowledged.
+///
+/// Two invariants make resumed runs bit-identical:
+///
+/// * **Call-index alignment** — every disk hit calls
+///   [`advance_replayed`](ChatModel::advance_replayed) on the backend, so
+///   a backend whose responses depend on its logical call index (the
+///   simulator) sees each request consume exactly one index whether it
+///   was served live or from disk.
+/// * **Store-before-acknowledge** — a backend response is appended (and
+///   synced) to the log before the caller sees it; a crash can lose at
+///   most the one in-flight call, never an acknowledged one.
+///
+/// Composes under the in-memory
+/// [`CachedModel`](datasculpt_llm::CachedModel): stack
+/// `CachedModel(DiskCachedModel(backend))` so purely intra-process
+/// duplicate prompts stay off the disk path.
+#[derive(Debug)]
+pub struct DiskCachedModel<M> {
+    inner: M,
+    store: ResponseStore,
+    stats: CacheStats,
+    /// Exact nano-USD sent to the backend *by this process* (replays are
+    /// free — that is the point of the store).
+    billed_nanousd: u128,
+    observer: Option<SharedObserver>,
+}
+
+impl<M: ChatModel> DiskCachedModel<M> {
+    /// Wrap `inner` over an open store.
+    pub fn new(inner: M, store: ResponseStore) -> Self {
+        DiskCachedModel {
+            inner,
+            store,
+            stats: CacheStats::default(),
+            billed_nanousd: 0,
+            observer: None,
+        }
+    }
+
+    /// Attach a trace observer; hits and misses are mirrored to it as
+    /// `store_hit` / `store_miss` counter events.
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Hit/miss counters since construction. (Evictions are always 0:
+    /// the store is append-only.)
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Exact nano-USD billed by the backend through this middleware since
+    /// construction. Replayed (disk-hit) calls bill nothing.
+    pub fn billed_nanousd(&self) -> u128 {
+        self.billed_nanousd
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ResponseStore {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store (compaction).
+    pub fn store_mut(&mut self) -> &mut ResponseStore {
+        &mut self.store
+    }
+
+    /// The wrapped backend.
+    pub fn get_ref(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwrap, returning the backend and the store.
+    pub fn into_parts(self) -> (M, ResponseStore) {
+        (self.inner, self.store)
+    }
+
+    fn emit(&mut self, counter: Counter) {
+        if let Some(obs) = &mut self.observer {
+            obs.on_event(&Event::Counter { counter, delta: 1 });
+        }
+    }
+
+    fn store_failure(e: &StoreError) -> LlmError {
+        LlmError::Transport(format!("response store: {e}"))
+    }
+}
+
+impl<M: ChatModel> ChatModel for DiskCachedModel<M> {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let digest = request_digest(request);
+        if let Some(response) = self.store.get(digest).cloned() {
+            self.stats.hits += 1;
+            self.emit(Counter::StoreHit);
+            self.inner.advance_replayed(1);
+            return Ok(response);
+        }
+        self.stats.misses += 1;
+        self.emit(Counter::StoreMiss);
+        let response = self.inner.complete(request)?;
+        self.billed_nanousd += PricingTable::cost_nanousd(
+            response.model,
+            response.usage.prompt_tokens,
+            response.usage.completion_tokens,
+        );
+        self.store
+            .put(digest, &response)
+            .map_err(|e| Self::store_failure(&e))?;
+        Ok(response)
+    }
+
+    /// Strictly sequential on purpose: interleaving hits (which advance
+    /// the backend's replay index) with forwarded misses must preserve
+    /// the exact per-request call indices of the uninterrupted run, which
+    /// a regrouped sub-batch would not.
+    fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
+        requests.iter().map(|r| self.complete(r)).collect()
+    }
+
+    fn model_id(&self) -> ModelId {
+        self.inner.model_id()
+    }
+
+    fn advance_replayed(&mut self, calls: u64) {
+        self.inner.advance_replayed(calls);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::tests::tempdir;
+    use datasculpt_llm::{ChatMessage, ScriptedModel};
+
+    fn req(text: &str) -> ChatRequest {
+        ChatRequest::new(vec![ChatMessage::user(text)])
+    }
+
+    #[test]
+    fn second_process_replays_from_disk_and_bills_zero() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+
+        let first_response;
+        let first_billed;
+        {
+            let store = ResponseStore::open(&path).unwrap();
+            let mut m = DiskCachedModel::new(ScriptedModel::new(vec!["answer".into()]), store);
+            first_response = m.complete(&req("q")).unwrap();
+            first_billed = m.billed_nanousd();
+            assert!(first_billed > 0);
+            assert_eq!(m.cache_stats().misses, 1);
+        }
+        // A fresh process over the same directory.
+        {
+            let store = ResponseStore::open(&path).unwrap();
+            let mut m = DiskCachedModel::new(ScriptedModel::new(vec!["WRONG".into()]), store);
+            let replayed = m.complete(&req("q")).unwrap();
+            assert_eq!(replayed, first_response, "choices and usage replay");
+            assert_eq!(m.cache_stats().hits, 1);
+            assert_eq!(m.cache_stats().misses, 0);
+            assert_eq!(m.billed_nanousd(), 0, "replays are free");
+            // The hit consumed one scripted slot via advance_replayed.
+            assert_eq!(m.get_ref().calls_served(), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hits_advance_the_backend_call_index() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        {
+            let store = ResponseStore::open(&path).unwrap();
+            let mut m = DiskCachedModel::new(
+                ScriptedModel::new(vec!["a".into(), "b".into(), "c".into()]),
+                store,
+            );
+            m.complete(&req("one")).unwrap(); // serves "a"
+            m.complete(&req("two")).unwrap(); // serves "b"
+        }
+        let store = ResponseStore::open(&path).unwrap();
+        let mut m = DiskCachedModel::new(
+            ScriptedModel::new(vec!["a".into(), "b".into(), "c".into()]),
+            store,
+        );
+        m.complete(&req("one")).unwrap(); // hit: index 0 consumed
+        m.complete(&req("two")).unwrap(); // hit: index 1 consumed
+        let live = m.complete(&req("three")).unwrap(); // live at index 2
+        assert_eq!(live.choices[0].content, "c", "post-replay index aligned");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses_sequentially() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        {
+            let store = ResponseStore::open(&path).unwrap();
+            let mut m = DiskCachedModel::new(ScriptedModel::new(vec!["r".into()]), store);
+            m.complete(&req("warm")).unwrap();
+        }
+        let store = ResponseStore::open(&path).unwrap();
+        let mut m = DiskCachedModel::new(ScriptedModel::new(vec!["r".into()]), store);
+        let results = m.complete_batch(&[req("warm"), req("cold")]);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(m.cache_stats().hits, 1);
+        assert_eq!(m.cache_stats().misses, 1);
+        assert_eq!(m.store().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observer_sees_store_counters() {
+        use datasculpt_obs::{ManualClock, MetricsRecorder, Tracer};
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        let metrics = MetricsRecorder::new();
+        let tracer =
+            Tracer::new(Box::new(ManualClock::new(1))).with_sink(Box::new(metrics.clone()));
+        let store = ResponseStore::open(&path).unwrap();
+        let mut m = DiskCachedModel::new(ScriptedModel::new(vec!["r".into()]), store)
+            .with_observer(SharedObserver::new(tracer));
+        m.complete(&req("a")).unwrap(); // miss
+        m.complete(&req("a")).unwrap(); // hit (same process, already stored)
+        let counters = metrics.snapshot().counters;
+        assert_eq!(counters["store_miss"], 1);
+        assert_eq!(counters["store_hit"], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_not_stored() {
+        use datasculpt_llm::FailingModel;
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        let store = ResponseStore::open(&path).unwrap();
+        let inner = FailingModel::fail_on(ScriptedModel::new(vec!["ok".into()]), [0]);
+        let mut m = DiskCachedModel::new(inner, store);
+        assert!(m.complete(&req("q")).is_err());
+        assert!(m.store().is_empty());
+        assert_eq!(m.billed_nanousd(), 0);
+        assert!(m.complete(&req("q")).is_ok());
+        assert_eq!(m.store().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,331 @@
+//! CRC-framed append-only log records.
+//!
+//! Both durable files (`responses.log`, `checkpoint.log`) share one frame:
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! A process killed mid-append leaves a *torn tail*: a partial header, a
+//! partial payload, or a payload whose CRC does not match. Recovery scans
+//! from the start, keeps the longest clean prefix of whole records, and
+//! truncates the file back to it — an acknowledged record earlier in the
+//! file is never lost, and a corrupted record is never returned.
+
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Frame header size: `len` + `crc`.
+pub const HEADER_LEN: usize = 8;
+
+/// Payloads above this are rejected at append time and treated as frame
+/// corruption at read time (a torn `len` field can announce gigabytes).
+pub const MAX_PAYLOAD_LEN: usize = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for b in bytes {
+        crc ^= u32::from(*b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encode one framed record.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Why recovery stopped before the end of the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornTail {
+    /// Fewer than [`HEADER_LEN`] bytes left: a partial frame header.
+    PartialHeader,
+    /// The header announced more payload bytes than the file holds.
+    PartialPayload,
+    /// The payload is complete but its CRC does not match.
+    CrcMismatch,
+    /// The header announced a payload above [`MAX_PAYLOAD_LEN`].
+    ImplausibleLength,
+}
+
+impl std::fmt::Display for TornTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TornTail::PartialHeader => write!(f, "partial frame header"),
+            TornTail::PartialPayload => write!(f, "partial payload"),
+            TornTail::CrcMismatch => write!(f, "payload CRC mismatch"),
+            TornTail::ImplausibleLength => write!(f, "implausible payload length"),
+        }
+    }
+}
+
+/// Outcome of scanning a log: the clean records plus what (if anything)
+/// was dropped from the tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Every record in the clean prefix, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the clean prefix.
+    pub valid_len: u64,
+    /// Bytes past the clean prefix that were dropped.
+    pub dropped_bytes: u64,
+    /// Why the scan stopped early, when it did.
+    pub torn: Option<TornTail>,
+}
+
+/// Scan `bytes` as a framed log.
+pub fn scan_records(bytes: &[u8]) -> ScanOutcome {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = None;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + HEADER_LEN) else {
+            torn = Some(TornTail::PartialHeader);
+            break;
+        };
+        let (len_bytes, crc_bytes) = header.split_at(4);
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(len_bytes);
+        let len = u32::from_le_bytes(arr) as usize;
+        arr.copy_from_slice(crc_bytes);
+        let expected_crc = u32::from_le_bytes(arr);
+        if len > MAX_PAYLOAD_LEN {
+            torn = Some(TornTail::ImplausibleLength);
+            break;
+        }
+        let Some(payload) = bytes.get(pos + HEADER_LEN..pos + HEADER_LEN + len) else {
+            torn = Some(TornTail::PartialPayload);
+            break;
+        };
+        if crc32(payload) != expected_crc {
+            torn = Some(TornTail::CrcMismatch);
+            break;
+        }
+        records.push(payload.to_vec());
+        pos += HEADER_LEN + len;
+    }
+    ScanOutcome {
+        records,
+        valid_len: pos as u64,
+        dropped_bytes: (bytes.len() - pos) as u64,
+        torn,
+    }
+}
+
+/// An open framed log: recovered on open, appended in place.
+#[derive(Debug)]
+pub struct FramedLog {
+    file: File,
+    path: PathBuf,
+}
+
+impl FramedLog {
+    /// Open (creating if absent) and recover the log at `path`.
+    ///
+    /// Returns the writer positioned after the clean prefix, plus the scan
+    /// outcome. A torn tail is physically truncated away so later appends
+    /// start on a frame boundary.
+    pub fn open(path: &Path) -> Result<(FramedLog, ScanOutcome), StoreError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::io(path, "read", &e)),
+        };
+        let outcome = scan_records(&bytes);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "open", &e))?;
+        if outcome.dropped_bytes > 0 {
+            file.set_len(outcome.valid_len)
+                .map_err(|e| StoreError::io(path, "truncate torn tail", &e))?;
+        }
+        Ok((
+            FramedLog {
+                file,
+                path: path.to_path_buf(),
+            },
+            outcome,
+        ))
+    }
+
+    /// Append one record and flush it to the OS.
+    ///
+    /// The record is acknowledged (and so must survive recovery) only when
+    /// this returns `Ok`.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() > MAX_PAYLOAD_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "refusing to append a {} byte payload (max {MAX_PAYLOAD_LEN})",
+                payload.len()
+            )));
+        }
+        let frame = encode_record(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io(&self.path, "append", &e))?;
+        self.file
+            .flush()
+            .map_err(|e| StoreError::io(&self.path, "flush", &e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io(&self.path, "sync", &e))?;
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Atomically replace the log at `path` with `records`: write a sibling
+/// temp file, sync it, then rename over the original.
+pub fn rewrite_atomic<'r>(
+    path: &Path,
+    records: impl Iterator<Item = &'r [u8]>,
+) -> Result<(), StoreError> {
+    let tmp_path = path.with_extension("tmp");
+    let mut tmp = File::create(&tmp_path).map_err(|e| StoreError::io(&tmp_path, "create", &e))?;
+    for payload in records {
+        let frame = encode_record(payload);
+        tmp.write_all(&frame)
+            .map_err(|e| StoreError::io(&tmp_path, "write", &e))?;
+    }
+    tmp.flush()
+        .map_err(|e| StoreError::io(&tmp_path, "flush", &e))?;
+    tmp.sync_data()
+        .map_err(|e| StoreError::io(&tmp_path, "sync", &e))?;
+    drop(tmp);
+    std::fs::rename(&tmp_path, path).map_err(|e| StoreError::io(path, "rename", &e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record(b"alpha"));
+        bytes.extend_from_slice(&encode_record(b""));
+        bytes.extend_from_slice(&encode_record(b"beta"));
+        let out = scan_records(&bytes);
+        assert_eq!(
+            out.records,
+            vec![b"alpha".to_vec(), Vec::new(), b"beta".to_vec()]
+        );
+        assert_eq!(out.valid_len as usize, bytes.len());
+        assert_eq!(out.dropped_bytes, 0);
+        assert_eq!(out.torn, None);
+    }
+
+    #[test]
+    fn torn_tail_variants_are_detected_and_prefix_kept() {
+        let mut clean = Vec::new();
+        clean.extend_from_slice(&encode_record(b"keep me"));
+        let clean_len = clean.len();
+
+        // Partial header.
+        let mut bytes = clean.clone();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let out = scan_records(&bytes);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.valid_len as usize, clean_len);
+        assert_eq!(out.torn, Some(TornTail::PartialHeader));
+
+        // Partial payload.
+        let mut bytes = clean.clone();
+        let torn = encode_record(b"lost record");
+        bytes.extend_from_slice(&torn[..torn.len() - 3]);
+        let out = scan_records(&bytes);
+        assert_eq!(out.records, vec![b"keep me".to_vec()]);
+        assert_eq!(out.torn, Some(TornTail::PartialPayload));
+
+        // Flipped payload byte -> CRC mismatch.
+        let mut bytes = clean.clone();
+        let mut bad = encode_record(b"bitrot");
+        *bad.last_mut().unwrap() ^= 0x40;
+        bytes.extend_from_slice(&bad);
+        let out = scan_records(&bytes);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.torn, Some(TornTail::CrcMismatch));
+
+        // Absurd announced length.
+        let mut bytes = clean.clone();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0; 4]);
+        let out = scan_records(&bytes);
+        assert_eq!(out.torn, Some(TornTail::ImplausibleLength));
+        assert_eq!(out.valid_len as usize, clean_len);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_appends_cleanly() {
+        let dir = tempdir();
+        let path = dir.join("log");
+        let mut bytes = encode_record(b"one");
+        let torn = encode_record(b"two");
+        bytes.extend_from_slice(&torn[..torn.len() - 1]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut log, outcome) = FramedLog::open(&path).unwrap();
+        assert_eq!(outcome.records, vec![b"one".to_vec()]);
+        assert_eq!(outcome.torn, Some(TornTail::PartialPayload));
+        log.append(b"three").unwrap();
+        drop(log);
+
+        let (_, outcome) = FramedLog::open(&path).unwrap();
+        assert_eq!(outcome.records, vec![b"one".to_vec(), b"three".to_vec()]);
+        assert_eq!(outcome.torn, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_atomic_replaces_content() {
+        let dir = tempdir();
+        let path = dir.join("log");
+        let (mut log, _) = FramedLog::open(&path).unwrap();
+        log.append(b"a").unwrap();
+        log.append(b"a").unwrap();
+        drop(log);
+        rewrite_atomic(&path, [b"a".as_slice()].into_iter()).unwrap();
+        let (_, outcome) = FramedLog::open(&path).unwrap();
+        assert_eq!(outcome.records, vec![b"a".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A fresh per-test temp dir under the target-adjacent tmp root.
+    pub(crate) fn tempdir() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "ds-store-{}-{}-{n}",
+            std::process::id(),
+            module_path!().replace("::", "-"),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -1,0 +1,196 @@
+//! Crash injection: the harness behind the `durable_resume` proof.
+//!
+//! Two failure surfaces are emulated:
+//!
+//! * **Process death after N LLM calls** — [`KillAfter`] wraps any
+//!   [`ChatModel`]; once its budget is spent it trips a shared
+//!   [`KillSwitch`] and every further call fails. The
+//!   [`DiskCheckpointer`](crate::DiskCheckpointer) watches the same
+//!   switch and silently drops all writes once it is tripped, so the
+//!   on-disk state is *exactly* what a SIGKILL at that moment would have
+//!   left: nothing that happens in the dying process after the kill point
+//!   reaches disk.
+//! * **A write torn mid-record** — [`tear_tail`] chops bytes off the end
+//!   of a log file, simulating a crash inside `write(2)` itself.
+//!
+//! The CLI exposes the first knob as `--inject-crash-after N`, where the
+//! trip calls [`std::process::abort`] for a real mid-process death that
+//! `check.sh` can observe.
+
+use datasculpt_llm::{ChatModel, ChatRequest, ChatResponse, LlmError, ModelId};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared "the process is dead" flag.
+///
+/// Cloning shares the flag. Once [`kill`](Self::kill)ed it never resets:
+/// everything holding the switch must behave as if the process no longer
+/// exists (fail calls, drop writes).
+#[derive(Debug, Clone, Default)]
+pub struct KillSwitch(Arc<AtomicBool>);
+
+impl KillSwitch {
+    /// A live switch.
+    pub fn new() -> Self {
+        KillSwitch::default()
+    }
+
+    /// Trip the switch (idempotent).
+    pub fn kill(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the switch has been tripped.
+    pub fn is_dead(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// What happens when a [`KillAfter`] budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Fail the call with a transport error (in-process emulation; the
+    /// run aborts via its consecutive-failure limit).
+    Error,
+    /// Abort the process — an actual mid-run death for end-to-end smoke
+    /// tests (`check.sh`).
+    AbortProcess,
+}
+
+/// [`ChatModel`] wrapper that lets `budget` calls through, then trips its
+/// [`KillSwitch`] and fails (or aborts) every call from that point on.
+///
+/// Replayed calls ([`advance_replayed`](ChatModel::advance_replayed)) are
+/// free: they were paid for before the crash being simulated.
+#[derive(Debug, Clone)]
+pub struct KillAfter<M> {
+    inner: M,
+    remaining: u64,
+    switch: KillSwitch,
+    mode: KillMode,
+}
+
+impl<M: ChatModel> KillAfter<M> {
+    /// Let `budget` calls through, then fail with transport errors.
+    pub fn new(inner: M, budget: u64, switch: KillSwitch) -> Self {
+        KillAfter {
+            inner,
+            remaining: budget,
+            switch,
+            mode: KillMode::Error,
+        }
+    }
+
+    /// Let `budget` calls through, then [`std::process::abort`].
+    pub fn aborting_process(inner: M, budget: u64) -> Self {
+        KillAfter {
+            inner,
+            remaining: budget,
+            switch: KillSwitch::new(),
+            mode: KillMode::AbortProcess,
+        }
+    }
+
+    /// The shared switch this wrapper trips.
+    pub fn switch(&self) -> KillSwitch {
+        self.switch.clone()
+    }
+
+    /// The wrapped model.
+    pub fn get_ref(&self) -> &M {
+        &self.inner
+    }
+
+    fn die(&self) -> LlmError {
+        self.switch.kill();
+        if self.mode == KillMode::AbortProcess {
+            // A genuine ungraceful death: no unwinding, no Drop, no
+            // flushes — the closest in-process stand-in for SIGKILL.
+            std::process::abort();
+        }
+        LlmError::Transport("injected crash: kill switch tripped".into())
+    }
+}
+
+impl<M: ChatModel> ChatModel for KillAfter<M> {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        if self.switch.is_dead() || self.remaining == 0 {
+            return Err(self.die());
+        }
+        self.remaining -= 1;
+        self.inner.complete(request)
+    }
+
+    fn model_id(&self) -> ModelId {
+        self.inner.model_id()
+    }
+
+    fn advance_replayed(&mut self, calls: u64) {
+        self.inner.advance_replayed(calls);
+    }
+}
+
+/// Chop `drop_bytes` off the end of the file at `path` (clamped to the
+/// file length), simulating a crash mid-`write(2)`. Returns the new
+/// length.
+pub fn tear_tail(path: &Path, drop_bytes: u64) -> std::io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    let new_len = len.saturating_sub(drop_bytes);
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(new_len)?;
+    file.sync_data()?;
+    Ok(new_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::tests::tempdir;
+    use datasculpt_llm::{ChatMessage, ScriptedModel};
+
+    fn req(text: &str) -> ChatRequest {
+        ChatRequest::new(vec![ChatMessage::user(text)])
+    }
+
+    #[test]
+    fn budget_spent_trips_the_switch_and_fails_forever() {
+        let switch = KillSwitch::new();
+        let mut m = KillAfter::new(ScriptedModel::new(vec!["ok".into()]), 2, switch.clone());
+        assert!(m.complete(&req("a")).is_ok());
+        assert!(m.complete(&req("b")).is_ok());
+        assert!(!switch.is_dead());
+        assert!(m.complete(&req("c")).is_err());
+        assert!(switch.is_dead());
+        assert!(m.complete(&req("d")).is_err(), "dead stays dead");
+        assert_eq!(m.get_ref().calls_served(), 2);
+    }
+
+    #[test]
+    fn zero_budget_dies_immediately() {
+        let switch = KillSwitch::new();
+        let mut m = KillAfter::new(ScriptedModel::new(vec!["ok".into()]), 0, switch.clone());
+        assert!(m.complete(&req("a")).is_err());
+        assert!(switch.is_dead());
+    }
+
+    #[test]
+    fn replays_do_not_consume_the_budget() {
+        let switch = KillSwitch::new();
+        let mut m = KillAfter::new(ScriptedModel::new(vec!["ok".into()]), 1, switch);
+        m.advance_replayed(10);
+        assert!(m.complete(&req("a")).is_ok(), "budget untouched by replays");
+        assert!(m.complete(&req("b")).is_err());
+    }
+
+    #[test]
+    fn tear_tail_truncates_and_clamps() {
+        let dir = tempdir();
+        let path = dir.join("log");
+        std::fs::write(&path, b"0123456789").unwrap();
+        assert_eq!(tear_tail(&path, 4).unwrap(), 6);
+        assert_eq!(std::fs::read(&path).unwrap(), b"012345");
+        assert_eq!(tear_tail(&path, 100).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,241 @@
+//! The append-only, digest-keyed response store.
+
+use crate::framing::{rewrite_atomic, FramedLog, ScanOutcome};
+use crate::response::{decode_entry, encode_entry};
+use crate::StoreError;
+use datasculpt_llm::ChatResponse;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a [`ResponseStore::compact`]: what the rewrite removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records in the log before the rewrite.
+    pub records_before: u64,
+    /// Distinct entries after the rewrite.
+    pub records_after: u64,
+}
+
+/// An append-only log of LLM responses keyed by 128-bit prompt digests
+/// ([`request_digest`](crate::request_digest)).
+///
+/// Opening recovers from a torn tail (CRC-framed records, see
+/// [`framing`](crate::framing)): the longest clean prefix is kept and the
+/// tail is truncated away, so an acknowledged `put` from a previous
+/// process is never lost and a corrupted record is never served. Duplicate
+/// digests (a crash between backend success and run progress can re-store
+/// one response) are deduplicated on load — last record wins — and
+/// physically removed by [`compact`](Self::compact).
+#[derive(Debug)]
+pub struct ResponseStore {
+    path: PathBuf,
+    log: FramedLog,
+    entries: BTreeMap<u128, ChatResponse>,
+    /// Records scanned at open, before dedupe.
+    records_on_open: u64,
+    recovery: ScanOutcome,
+}
+
+impl ResponseStore {
+    /// Open (creating if absent) the store at `path`, recovering the log.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let (log, outcome) = FramedLog::open(path)?;
+        let mut entries = BTreeMap::new();
+        for payload in &outcome.records {
+            let (digest, response) = decode_entry(payload)
+                .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?;
+            entries.insert(digest, response);
+        }
+        let records_on_open = outcome.records.len() as u64;
+        let recovery = ScanOutcome {
+            records: Vec::new(), // raw payloads are not retained
+            ..outcome
+        };
+        Ok(ResponseStore {
+            path: path.to_path_buf(),
+            log,
+            entries,
+            records_on_open,
+            recovery,
+        })
+    }
+
+    /// The response stored for `digest`, if any.
+    pub fn get(&self, digest: u128) -> Option<&ChatResponse> {
+        self.entries.get(&digest)
+    }
+
+    /// Persist `response` under `digest`.
+    ///
+    /// The entry is durable (survives a crash and recovery) once this
+    /// returns `Ok`. Re-putting an existing digest appends a superseding
+    /// record; [`compact`](Self::compact) removes the shadowed one.
+    pub fn put(&mut self, digest: u128, response: &ChatResponse) -> Result<(), StoreError> {
+        self.log.append(&encode_entry(digest, response))?;
+        self.entries.insert(digest, response.clone());
+        Ok(())
+    }
+
+    /// Number of distinct entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All live entries, in digest order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, &ChatResponse)> {
+        self.entries
+            .iter()
+            .map(|(digest, response)| (*digest, response))
+    }
+
+    /// How the log scan went at open (torn-tail recovery details).
+    pub fn recovery(&self) -> &ScanOutcome {
+        &self.recovery
+    }
+
+    /// Rewrite the log to exactly the live entries (dedupe), atomically:
+    /// the new log is written beside the old and renamed over it, so a
+    /// crash mid-compaction leaves either the old or the new log intact.
+    pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
+        let payloads: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .map(|(digest, response)| encode_entry(*digest, response))
+            .collect();
+        rewrite_atomic(&self.path, payloads.iter().map(Vec::as_slice))?;
+        // Reopen the handle on the new inode; the rename invalidated the
+        // old append handle's position guarantees.
+        let (log, outcome) = FramedLog::open(&self.path)?;
+        self.log = log;
+        let report = CompactionReport {
+            records_before: self.records_on_open,
+            records_after: outcome.records.len() as u64,
+        };
+        self.records_on_open = outcome.records.len() as u64;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::encode_record;
+    use crate::framing::tests::tempdir;
+    use datasculpt_llm::{ChatChoice, ModelId, TokenUsage};
+
+    fn resp(text: &str) -> ChatResponse {
+        ChatResponse {
+            choices: vec![ChatChoice {
+                content: text.to_string(),
+            }],
+            usage: TokenUsage {
+                prompt_tokens: 10,
+                completion_tokens: 3,
+            },
+            model: ModelId::Gpt35Turbo,
+        }
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        {
+            let mut store = ResponseStore::open(&path).unwrap();
+            store.put(1, &resp("one")).unwrap();
+            store.put(2, &resp("two")).unwrap();
+            assert_eq!(store.len(), 2);
+        }
+        let store = ResponseStore::open(&path).unwrap();
+        assert_eq!(store.get(1).unwrap().choices[0].content, "one");
+        assert_eq!(store.get(2).unwrap().choices[0].content, "two");
+        assert_eq!(store.get(3), None);
+        assert_eq!(store.recovery().dropped_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_record_is_recovered_without_losing_acknowledged_entries() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        {
+            let mut store = ResponseStore::open(&path).unwrap();
+            store.put(1, &resp("durable")).unwrap();
+        }
+        // Simulate a crash mid-append of a second record.
+        let torn = encode_record(&crate::response::encode_entry(2, &resp("lost")));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut store = ResponseStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "acknowledged entry survives");
+        assert_eq!(store.get(2), None, "torn entry is gone, not corrupted");
+        assert!(store.recovery().dropped_bytes > 0);
+        // The truncated log accepts appends again.
+        store.put(2, &resp("again")).unwrap();
+        drop(store);
+        let store = ResponseStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_digests_dedupe_last_wins_and_compact_drops_them() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        let mut store = ResponseStore::open(&path).unwrap();
+        store.put(7, &resp("first")).unwrap();
+        store.put(7, &resp("second")).unwrap();
+        store.put(8, &resp("other")).unwrap();
+        drop(store);
+
+        let mut store = ResponseStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(7).unwrap().choices[0].content, "second");
+        let report = store.compact().unwrap();
+        assert_eq!(report.records_before, 3);
+        assert_eq!(report.records_after, 2);
+        drop(store);
+
+        let store = ResponseStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(7).unwrap().choices[0].content, "second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_non_tail_payload_is_a_typed_error() {
+        // CRC-valid frame whose *payload* doesn't decode: Corrupt, not a
+        // panic and not a silent skip.
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        std::fs::write(&path, encode_record(b"not a store entry")).unwrap();
+        let err = ResponseStore::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_survives_reopen_after_append() {
+        let dir = tempdir();
+        let path = dir.join("responses.log");
+        let mut store = ResponseStore::open(&path).unwrap();
+        store.put(1, &resp("a")).unwrap();
+        store.put(1, &resp("b")).unwrap();
+        store.compact().unwrap();
+        // Appends after compaction land in the new log.
+        store.put(2, &resp("c")).unwrap();
+        drop(store);
+        let store = ResponseStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1).unwrap().choices[0].content, "b");
+        assert_eq!(store.get(2).unwrap().choices[0].content, "c");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

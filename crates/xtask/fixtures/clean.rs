@@ -43,6 +43,11 @@ pub fn merges_in_order(pool: &Pool, n: usize) -> Vec<u32> {
     merged
 }
 
+pub fn flushes_handled(w: &mut Writer) -> Result<(), Error> {
+    w.write_all(payload())?;
+    w.flush()
+}
+
 pub fn destructures(xs: &[u32; 2]) -> u32 {
     let [a, b] = *xs;
     a + b

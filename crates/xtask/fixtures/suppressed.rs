@@ -1,4 +1,4 @@
-//! Fixture: suppression annotations — three valid, two malformed.
+//! Fixture: suppression annotations — four valid, two malformed.
 //! NOT compiled — scanned as text by the engine's own test suite.
 
 use std::collections::HashMap; // ds-lint: allow(hash-order): lookup-only interning table, never iterated
@@ -19,6 +19,10 @@ pub fn missing_reason() {
 
 pub fn unknown_rule(x: Option<u32>) -> u32 {
     x.unwrap() // ds-lint: allow(no-such-rule): confidently wrong
+}
+
+pub fn best_effort(w: &mut Writer) {
+    w.flush().ok(); // ds-lint: allow(discarded-io-result): warm-up hint; losing it costs a reread, not data
 }
 
 pub fn multi(x: Option<u32>, table: &[u32]) -> u32 {

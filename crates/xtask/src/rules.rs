@@ -50,6 +50,10 @@ pub enum Rule {
     WallClock,
     /// `let _ =` discarding a (potentially fallible) result.
     DiscardedResult,
+    /// A statement-position write/flush/sync call whose `io::Result` is
+    /// dropped on a durability path: the caller believes the bytes are on
+    /// disk when the kernel may have said otherwise.
+    DiscardedIoResult,
     /// Lossy `as` casts on accounting paths.
     LossyCast,
     /// Raw `std::thread::spawn` / `std::thread::scope` outside the exec
@@ -64,7 +68,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::Panic,
         Rule::Unwrap,
         Rule::UncheckedIndex,
@@ -73,6 +77,7 @@ impl Rule {
         Rule::ExecMergeOrder,
         Rule::WallClock,
         Rule::DiscardedResult,
+        Rule::DiscardedIoResult,
         Rule::LossyCast,
         Rule::RawThread,
         Rule::StringKeyedMap,
@@ -90,6 +95,7 @@ impl Rule {
             Rule::ExecMergeOrder => "exec-merge-order",
             Rule::WallClock => "wall-clock",
             Rule::DiscardedResult => "discarded-result",
+            Rule::DiscardedIoResult => "discarded-io-result",
             Rule::LossyCast => "lossy-cast",
             Rule::RawThread => "raw-thread",
             Rule::StringKeyedMap => "string-keyed-map",
@@ -126,6 +132,10 @@ impl Rule {
                 "wall-clock / OS-entropy source breaks seeded reproducibility outside bench"
             }
             Rule::DiscardedResult => "`let _ =` may silently drop a fallible result",
+            Rule::DiscardedIoResult => {
+                "write/flush/sync result dropped on a durability path: a failed append \
+                 becomes silent data loss at the next crash; propagate with `?` or bind it"
+            }
             Rule::LossyCast => "lossy `as` cast on an accounting path; use integer arithmetic",
             Rule::RawThread => {
                 "raw thread::spawn/thread::scope outside crates/exec; use the exec Pool so \
@@ -324,6 +334,9 @@ pub fn check_file(file: &ScrubbedFile, enabled: &dyn Fn(Rule) -> bool) -> Vec<Vi
     if enabled(Rule::ExecMergeOrder) {
         exec_merge_order_pass(&ts, &mut tok_hits);
     }
+    if enabled(Rule::DiscardedIoResult) {
+        discarded_io_result_pass(&ts, &mut tok_hits);
+    }
     for (rule, line, fix) in tok_hits {
         if !in_test(line) && !suppressed(line, rule) {
             out.push(Violation {
@@ -496,6 +509,111 @@ fn exec_merge_order_pass(ts: &TokenStream, out: &mut Vec<(Rule, usize, Option<Fi
                 _ => break,
             }
         }
+    }
+}
+
+/// IO methods whose `Result` must not be dropped on durability paths.
+const IO_RESULT_METHODS: [&str; 6] = [
+    "write",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "set_len",
+];
+
+/// Token-level `discarded-io-result`: a statement-position method call to
+/// a write/flush/sync method whose `Result` runs straight into `;` with
+/// nothing binding it. `?`, a `let` binding, a `return`, and a consuming
+/// method chain all count as handled; a bare `.ok()` merely swallows the
+/// error, so the statement stays discarded.
+fn discarded_io_result_pass(ts: &TokenStream, out: &mut Vec<(Rule, usize, Option<Fix>)>) {
+    for (idx, t) in ts.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !IO_RESULT_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let is_method = ts
+            .prev(idx)
+            .is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+        let Some(open) = ts.get(idx + 1) else {
+            continue;
+        };
+        if !is_method || open.kind != TokKind::Open(Delim::Paren) {
+            continue;
+        }
+        let Some(close_idx) = open.partner else {
+            continue;
+        };
+        if io_reaches_semicolon_unconsumed(ts, close_idx) && !io_result_is_bound(ts, idx) {
+            out.push((Rule::DiscardedIoResult, t.line, None));
+        }
+    }
+}
+
+/// Forward from the call's `)`: true when the value reaches `;` unused —
+/// directly, or through bare `.ok()` hops (which drop the error rather
+/// than handle it). Any other continuation (`?`, a consuming method, an
+/// operator, a closing delimiter) counts as handled.
+fn io_reaches_semicolon_unconsumed(ts: &TokenStream, close_idx: usize) -> bool {
+    let mut j = close_idx + 1;
+    loop {
+        match ts.get(j) {
+            Some(semi) if semi.kind == TokKind::Punct && semi.text == ";" => return true,
+            Some(dot) if dot.kind == TokKind::Punct && dot.text == "." => {
+                let swallows = ts
+                    .get(j + 1)
+                    .is_some_and(|m| m.kind == TokKind::Ident && m.text == "ok");
+                if !swallows {
+                    return false;
+                }
+                match ts.get(j + 2) {
+                    Some(p) if p.kind == TokKind::Open(Delim::Paren) => match p.partner {
+                        Some(close) => j = close + 1,
+                        None => return false,
+                    },
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Backward from the method name: walk to the head of the receiver chain
+/// and inspect what precedes it. Statement position — a `;`, a brace, or
+/// the start of the file — leaves the `Result` unbound; anything else
+/// (`let … =`, `return`, an argument list, a match arm) consumes it.
+fn io_result_is_bound(ts: &TokenStream, method_idx: usize) -> bool {
+    // Start before the `.` that makes this a method call.
+    let Some(mut p) = method_idx.checked_sub(2) else {
+        return false;
+    };
+    loop {
+        let Some(t) = ts.get(p) else { return false };
+        match t.kind {
+            TokKind::Ident if is_non_expr_keyword(&t.text) => return true,
+            TokKind::Ident | TokKind::Number | TokKind::StrLit => {}
+            TokKind::Punct if t.text == "." || t.text == "::" || t.text == "?" => {}
+            TokKind::Close(Delim::Paren) | TokKind::Close(Delim::Bracket) => {
+                // Hop an argument list / subscript back to its opener.
+                let Some(open) = t.partner else { return true };
+                let Some(before) = open.checked_sub(1) else {
+                    return false;
+                };
+                p = before;
+                continue;
+            }
+            // End of a preceding block, end of a statement, or the first
+            // statement of a block: nothing binds the value.
+            TokKind::Close(Delim::Brace) | TokKind::Open(Delim::Brace) => return false,
+            TokKind::Punct if t.text == ";" => return false,
+            // `=`, `(`, `,`, `=>`, operators: the expression is consumed.
+            _ => return true,
+        }
+        let Some(prev) = p.checked_sub(1) else {
+            return false;
+        };
+        p = prev;
     }
 }
 
@@ -734,6 +852,53 @@ mod tests {
     fn wall_clock_and_discarded_result() {
         let v = all("fn f() { let t = std::time::Instant::now(); let _ = call(); }\n");
         assert_eq!(rules_of(&v), vec![Rule::WallClock, Rule::DiscardedResult]);
+    }
+
+    #[test]
+    fn discarded_io_result_flags_statement_position_calls() {
+        let v = all("fn f(w: &mut W) { w.flush(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::DiscardedIoResult]);
+        let v = all("fn f(&mut self) { self.file.sync_all(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::DiscardedIoResult]);
+        let v = all("fn g(w: &mut W, buf: &Buf) { w.write_all(buf.bytes()); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::DiscardedIoResult]);
+    }
+
+    #[test]
+    fn discarded_io_result_flags_ok_swallow() {
+        let v = all("fn f(w: &mut W) { w.flush().ok(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::DiscardedIoResult]);
+        // Across a line break, too.
+        let v = all("fn f(w: &mut W) {\n    w.sync_data()\n        .ok();\n}\n");
+        assert_eq!(rules_of(&v), vec![Rule::DiscardedIoResult]);
+    }
+
+    #[test]
+    fn handled_io_results_are_silent() {
+        assert!(all("fn f(w: &mut W) -> R { w.flush()?; Ok(()) }\n").is_empty());
+        assert!(all("fn f(w: &mut W) -> R { let n = w.write(b)?; Ok(n) }\n").is_empty());
+        assert!(all("fn f(w: &mut W) -> R { return w.flush(); }\n").is_empty());
+        assert!(all("fn f(w: &mut W) -> R { w.flush().map_err(tag)?; Ok(()) }\n").is_empty());
+        assert!(all("fn f(w: &mut W) -> bool { w.flush().is_ok() }\n").is_empty());
+        assert!(all("fn f(w: &mut W) { if w.sync_all().is_err() { log(); } }\n").is_empty());
+        // A free function or macro named `write` is not a method call.
+        assert!(all("fn f() { write(fd, buf); }\n").is_empty());
+    }
+
+    #[test]
+    fn let_underscore_io_is_the_generic_discard_rule() {
+        // `let _ =` stays discarded-result's business; no double report.
+        let v = all("fn f(w: &mut W) { let _ = w.flush(); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::DiscardedResult]);
+    }
+
+    #[test]
+    fn discarded_io_result_suppression_works() {
+        let v = all(
+            "// ds-lint: allow(discarded-io-result): best-effort readahead\n\
+             fn f(w: &mut W) { w.flush(); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -32,10 +32,11 @@ fn violations_fixture_trips_every_rule_family() {
     assert_eq!(count(&out, Rule::ExecMergeOrder), 1);
     assert_eq!(count(&out, Rule::WallClock), 1);
     assert_eq!(count(&out, Rule::DiscardedResult), 1);
+    assert_eq!(count(&out, Rule::DiscardedIoResult), 1);
     assert_eq!(count(&out, Rule::LossyCast), 1);
     assert_eq!(count(&out, Rule::StringKeyedMap), 1);
     assert_eq!(count(&out, Rule::BadSuppression), 0);
-    assert_eq!(out.violations.len(), 12, "{:?}", out.violations);
+    assert_eq!(out.violations.len(), 13, "{:?}", out.violations);
     assert!(!out.is_clean());
 }
 
@@ -43,9 +44,10 @@ fn violations_fixture_trips_every_rule_family() {
 fn suppressed_fixture_honours_valid_annotations_and_flags_bad_ones() {
     let cfg = LintConfig::default();
     let out = lint_sources([("crates/fix/src/suppressed.rs", SUPPRESSED)], &cfg);
-    // Valid suppressions (hash-order import, panic, trailing unwrap) are
-    // silent; the reason-less and unknown-rule annotations each produce a
-    // bad-suppression AND leave their underlying violation live.
+    // Valid suppressions (hash-order import, panic, trailing unwrap,
+    // best-effort flush) are silent; the reason-less and unknown-rule
+    // annotations each produce a bad-suppression AND leave their
+    // underlying violation live.
     assert_eq!(count(&out, Rule::BadSuppression), 2, "{:?}", out.violations);
     assert_eq!(count(&out, Rule::HashOrder), 1);
     assert_eq!(count(&out, Rule::Unwrap), 1);
@@ -71,6 +73,7 @@ fn path_scoping_can_exempt_the_fixture() {
          [rule.exec-merge-order]\nenabled = false\n\
          [rule.wall-clock]\nenabled = false\n\
          [rule.discarded-result]\nenabled = false\n\
+         [rule.discarded-io-result]\nenabled = false\n\
          [rule.lossy-cast]\nenabled = false\n\
          [rule.string-keyed-map]\nenabled = false\n",
     )

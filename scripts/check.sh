@@ -28,7 +28,9 @@ cargo test -q --workspace
 
 echo "==> trace smoke test (emit a JSONL trace, validate it against the schema)"
 trace_file="$(mktemp /tmp/ds-trace.XXXXXX.jsonl)"
-trap 'rm -f "$trace_file"' EXIT
+store_a="$(mktemp -d /tmp/ds-store-a.XXXXXX)"
+store_b="$(mktemp -d /tmp/ds-store-b.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$store_a" "$store_b"' EXIT
 cargo run -q -p datasculpt --bin datasculpt -- \
   run youtube --scale 0.05 --queries 5 --revise --cache 256 \
   --trace "$trace_file" --metrics > /dev/null
@@ -52,5 +54,26 @@ if [ -z "$serial_digest" ] || [ "$serial_digest" != "$parallel_digest" ]; then
   exit 1
 fi
 echo "    digest ${serial_digest} identical at --threads 1 and 8"
+
+echo "==> durable run smoke test (run, crash via injection, resume, compare digests)"
+durable_run() { # durable_run <flag> <dir> [extra args...]
+  local flag="$1" dir="$2"
+  shift 2
+  cargo run -q -p datasculpt --bin datasculpt -- \
+    run youtube --scale 0.1 --queries 8 --show-lfs 0 "$flag" "$dir" "$@" \
+    | sed -n 's/^run digest: *//p'
+}
+baseline_digest="$(durable_run --store "$store_a")"
+# The same run, killed mid-flight by the injected abort; the directory it
+# leaves behind must resume to the exact baseline digest.
+durable_run --store "$store_b" --inject-crash-after 3 > /dev/null 2>&1 || true
+resumed_digest="$(durable_run --resume "$store_b")"
+if [ -z "$baseline_digest" ] || [ "$baseline_digest" != "$resumed_digest" ]; then
+  echo "FAIL: resumed run digest differs from the uninterrupted run" >&2
+  echo "  uninterrupted: ${baseline_digest:-<missing>}" >&2
+  echo "  crash+resume:  ${resumed_digest:-<missing>}" >&2
+  exit 1
+fi
+echo "    digest ${baseline_digest} identical for uninterrupted and crash+resume"
 
 echo "==> all checks passed"

@@ -1,0 +1,186 @@
+//! Checkpoint schema evolution: golden fixture files under
+//! `tests/fixtures/` pin the v1 on-disk layout, and loading a log from an
+//! unknown schema version or a different run configuration must fail with
+//! the matching typed [`CheckpointError`] — never a guess.
+//!
+//! Regenerate the fixtures after an *intentional* schema change with:
+//! `DS_REGEN_FIXTURES=1 cargo test --test checkpoint_schema` (then update
+//! `CHECKPOINT_VERSION` and `docs/persistence.md`).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt::core::IterationCheckpoint;
+use datasculpt::prelude::*;
+use datasculpt::store::checkpoint::{encode_header, encode_iteration, CheckpointHeader};
+use datasculpt::store::framing::encode_record;
+use datasculpt::store::CHECKPOINT_VERSION;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures"))
+}
+
+/// The fingerprint all fixtures were written against.
+fn fixture_fingerprint() -> RunFingerprint {
+    let mut config = DataSculptConfig::cot(9);
+    config.num_queries = 8;
+    RunFingerprint {
+        dataset: "youtube".into(),
+        dataset_seed: 21,
+        scale_bits: 0.1f64.to_bits(),
+        model: ModelId::Gpt35Turbo.api_name().into(),
+        llm_seed: 13,
+        config,
+    }
+}
+
+fn fixture_iterations() -> Vec<IterationCheckpoint> {
+    vec![
+        IterationCheckpoint {
+            iter: 0,
+            state_digest: 0x1122_3344_5566_7788,
+            lfs: 2,
+            calls: 1,
+            cost_nanousd: 123_456,
+            failed: false,
+        },
+        IterationCheckpoint {
+            iter: 1,
+            state_digest: 0x99aa_bbcc_ddee_ff00,
+            lfs: 3,
+            calls: 2,
+            cost_nanousd: 456_789,
+            failed: true,
+        },
+    ]
+}
+
+fn header(version: u64, fingerprint: u64) -> CheckpointHeader {
+    CheckpointHeader {
+        version,
+        fingerprint,
+        dataset: "youtube".into(),
+        model: "gpt-3.5-turbo-0613".into(),
+        queries: 8,
+    }
+}
+
+/// The exact bytes each committed fixture must hold.
+fn fixture_bytes() -> Vec<(&'static str, Vec<u8>)> {
+    let fp = fixture_fingerprint().digest();
+    let valid: Vec<u8> = std::iter::once(encode_record(&encode_header(&header(
+        CHECKPOINT_VERSION,
+        fp,
+    ))))
+    .chain(
+        fixture_iterations()
+            .iter()
+            .map(|s| encode_record(&encode_iteration(s))),
+    )
+    .flatten()
+    .collect();
+    let unknown_version = encode_record(&encode_header(&header(99, fp)));
+    let other_config = encode_record(&encode_header(&header(
+        CHECKPOINT_VERSION,
+        fp ^ 0xdead_beef,
+    )));
+    let missing_header = encode_record(&encode_iteration(&fixture_iterations()[0]));
+    vec![
+        ("checkpoint_v1_valid.bin", valid),
+        ("checkpoint_v99_unknown.bin", unknown_version),
+        ("checkpoint_other_config.bin", other_config),
+        ("checkpoint_missing_header.bin", missing_header),
+    ]
+}
+
+/// With `DS_REGEN_FIXTURES=1`, (re)write the fixture files; otherwise
+/// assert the committed bytes still match what this build would write —
+/// any unintentional layout change fails here first.
+#[test]
+fn fixtures_match_this_builds_encoding() {
+    let dir = fixtures_dir();
+    let regen = std::env::var("DS_REGEN_FIXTURES").is_ok();
+    if regen {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, bytes) in fixture_bytes() {
+        let path = dir.join(name);
+        if regen {
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let on_disk = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("fixture {name} unreadable ({e}); see module docs"));
+        assert_eq!(on_disk, bytes, "fixture {name} drifted from the v1 layout");
+    }
+}
+
+#[test]
+fn valid_v1_fixture_loads_and_verifies() {
+    let log = CheckpointLog::load(&fixtures_dir().join("checkpoint_v1_valid.bin"))
+        .unwrap()
+        .expect("fixture holds a checkpoint");
+    assert_eq!(log.header.version, CHECKPOINT_VERSION);
+    assert_eq!(log.header.dataset, "youtube");
+    assert_eq!(log.header.queries, 8);
+    assert_eq!(log.iterations, fixture_iterations());
+    log.verify(&fixture_fingerprint()).unwrap();
+}
+
+#[test]
+fn unknown_version_is_a_typed_error() {
+    let err = CheckpointLog::load(&fixtures_dir().join("checkpoint_v99_unknown.bin")).unwrap_err();
+    assert_eq!(
+        err,
+        CheckpointError::UnknownVersion {
+            found: 99,
+            supported: CHECKPOINT_VERSION,
+        }
+    );
+    // The message tells the operator what refused and why.
+    let text = err.to_string();
+    assert!(
+        text.contains("99") && text.contains("not supported"),
+        "{text}"
+    );
+}
+
+#[test]
+fn mismatched_config_is_a_typed_error() {
+    let log = CheckpointLog::load(&fixtures_dir().join("checkpoint_other_config.bin"))
+        .unwrap()
+        .expect("loads fine; only verify rejects it");
+    let fp = fixture_fingerprint();
+    let err = log.verify(&fp).unwrap_err();
+    assert_eq!(
+        err,
+        CheckpointError::ConfigMismatch {
+            expected: fp.digest(),
+            found: fp.digest() ^ 0xdead_beef,
+        }
+    );
+
+    // Any drifted config field produces the same typed refusal end to end:
+    // resuming a directory with a different temperature must not start.
+    let mut drifted = fixture_fingerprint();
+    drifted.config.temperature = 0.9;
+    let valid = CheckpointLog::load(&fixtures_dir().join("checkpoint_v1_valid.bin"))
+        .unwrap()
+        .unwrap();
+    assert!(matches!(
+        valid.verify(&drifted),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+}
+
+#[test]
+fn missing_header_is_a_typed_error() {
+    let err =
+        CheckpointLog::load(&fixtures_dir().join("checkpoint_missing_header.bin")).unwrap_err();
+    assert_eq!(err, CheckpointError::MissingHeader);
+}
+
+#[test]
+fn absent_log_is_a_fresh_start_not_an_error() {
+    let absent = fixtures_dir().join("no_such_checkpoint.bin");
+    assert_eq!(CheckpointLog::load(&absent).unwrap(), None);
+}
