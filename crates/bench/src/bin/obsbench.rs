@@ -1,0 +1,71 @@
+//! Observability-overhead timing report: `BENCH_obs.json`.
+//!
+//! Times a schema-faithful synthetic event stream through the real
+//! observer stacks (noop floor, tracer+metrics, tracer+JSONL, full
+//! shared stack) and writes the `datasculpt-bench-obs/v1` JSON document.
+//! Run through `scripts/bench.sh obs`, which also validates the output;
+//! `--check` is the one-iteration smoke mode wired into
+//! `scripts/check.sh`.
+//!
+//! Flags:
+//!
+//! * `--check` — quick mode: tiny workload, one iteration per stack
+//!   (schema smoke test, timings meaningless).
+//! * `--out <path>` — output path (default `BENCH_obs.json`).
+//! * `--blocks <n>` — iteration blocks per workload (default 20000,
+//!   i.e. ~120k events per timed invocation).
+//! * `--iters <n>` — timed iterations per stack (default 5).
+
+// Experiment driver, not a library: aborting on a malformed spec is correct.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt_bench::obsbench::run_report;
+
+fn main() {
+    let mut out = "BENCH_obs.json".to_string();
+    let mut blocks = 20_000u64;
+    let mut iters = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {
+                blocks = 200;
+                iters = 1;
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--blocks" => {
+                blocks = args
+                    .next()
+                    .expect("--blocks needs a value")
+                    .parse()
+                    .expect("--blocks must be an integer");
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters must be an integer");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!("[obsbench] blocks={blocks} iters={iters}");
+    let report = run_report(blocks, iters);
+    let noop = report.ns_per_event("noop").unwrap_or(0);
+    for k in &report.kernels {
+        let per_event = report.ns_per_event(&k.name).unwrap_or(0);
+        eprintln!(
+            "[obsbench] {:<16} {:>12} ns/op  {:>6} ns/event  (+{} ns/event vs noop, median of {})",
+            k.name,
+            k.median_ns_per_op,
+            per_event,
+            per_event.saturating_sub(noop),
+            k.iters
+        );
+    }
+    eprintln!("[obsbench] peak RSS {} kB", report.peak_rss_kb);
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("[obsbench] wrote {out}");
+}

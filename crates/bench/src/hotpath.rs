@@ -370,14 +370,17 @@ pub struct KernelTiming {
     pub iters: usize,
 }
 
-/// Time `f` for `iters` iterations and return the median ns/op.
+/// Time `f` for `iters` iterations and return the median ns/op. Time is
+/// read through the obs [`Clock`] — [`SystemClock`] is the workspace's
+/// single wall-clock site (ds-lint `wall-clock` rule).
 pub fn time_kernel(name: &str, iters: usize, mut f: impl FnMut()) -> KernelTiming {
     let iters = iters.max(1);
+    let mut clock = SystemClock::new();
     let mut samples: Vec<u128> = Vec::with_capacity(iters);
     for _ in 0..iters {
-        let t0 = std::time::Instant::now();
+        let t0 = clock.now_ns();
         f();
-        samples.push(t0.elapsed().as_nanos());
+        samples.push(u128::from(clock.now_ns().saturating_sub(t0)));
     }
     samples.sort_unstable();
     KernelTiming {

@@ -41,6 +41,7 @@ use datasculpt::prelude::*;
 use std::io::Write as _;
 
 pub mod hotpath;
+pub mod obsbench;
 
 /// One method's averaged outcome on one dataset (a column of a table).
 #[derive(Debug, Clone, Copy, Default)]
@@ -615,7 +616,10 @@ pub fn run_matrix(
     cfg: &HarnessConfig,
 ) -> Grid {
     let pool = cfg.pool();
-    let t0 = std::time::Instant::now();
+    // Wall time flows through the obs Clock (ds-lint wall-clock rule):
+    // SystemClock is the workspace's single raw-clock site.
+    let mut clock = SystemClock::new();
+    let t0_ns = clock.now_ns();
     // Datasets are loaded up-front so the parallel region below is pure
     // compute over shared immutable state.
     let datasets: Vec<TextDataset> = cfg.datasets.iter().map(|&n| cfg.load(n, 0)).collect();
@@ -674,7 +678,7 @@ pub fn run_matrix(
     eprintln!(
         "[{tag}] {} runs done in {:.1?} on {} thread(s)",
         tasks.len(),
-        t0.elapsed(),
+        std::time::Duration::from_nanos(clock.now_ns().saturating_sub(t0_ns)),
         pool.threads()
     );
     let grid = Grid {

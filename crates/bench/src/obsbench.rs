@@ -1,0 +1,229 @@
+//! Observability-overhead microbench: `BENCH_obs.json`.
+//!
+//! Measures the cost of observation itself — events/second through the
+//! real observer stacks a CLI run wires up — against the
+//! [`NoopObserver`] floor. The workload is a synthetic but
+//! schema-faithful event stream (run → iterations → generate spans with
+//! usage and counter events), so every layer does its real work: the
+//! tracer stamps and matches spans, the metrics recorder aggregates and
+//! feeds histograms, the JSONL sink serializes every record.
+//!
+//! Stacks timed, cheapest to fullest:
+//!
+//! * `noop` — [`NoopObserver`]: the do-nothing floor.
+//! * `tracer-metrics` — [`Tracer`] + [`MetricsRecorder`].
+//! * `tracer-jsonl` — [`Tracer`] + [`JsonlTraceSink`] over [`std::io::sink`]
+//!   (serialization cost without disk noise).
+//! * `tracer-full` — the CLI `--trace --metrics` stack behind a
+//!   [`SharedObserver`]: tracer fanning out to metrics *and* JSONL.
+//!
+//! Per-event overhead = (stack median − noop median) / events; the
+//! current measured numbers are recorded in `docs/observability.md`.
+
+use crate::hotpath::{peak_rss_kb, time_kernel, KernelTiming};
+use datasculpt::prelude::*;
+
+/// Kernel names every report must contain (schema contract).
+pub const REQUIRED_KERNELS: [&str; 4] = ["noop", "tracer-metrics", "tracer-jsonl", "tracer-full"];
+
+/// Events emitted per workload invocation for `blocks` iteration blocks:
+/// run span + per-block iteration span, generate span, usage, counter.
+pub fn events_per_workload(blocks: u64) -> u64 {
+    2 + blocks * 6
+}
+
+/// Emit the synthetic workload: one run of `blocks` iterations, each with
+/// a generate span enclosing a usage event plus one counter bump.
+pub fn emit_workload(observer: &mut impl RunObserver, blocks: u64) {
+    observer.on_event(&Event::RunBegin {
+        label: "obsbench".into(),
+        dataset: "synthetic".into(),
+        model: "sim".into(),
+        queries: blocks,
+        seed: 0,
+    });
+    for iter in 0..blocks {
+        observer.on_event(&Event::IterationBegin {
+            iter,
+            instance: iter,
+        });
+        observer.on_event(&Event::StageBegin {
+            iter,
+            stage: Stage::Generate,
+        });
+        observer.on_event(&Event::Usage {
+            model: "sim".into(),
+            prompt_tokens: 120,
+            completion_tokens: 16,
+            cost_nanousd: 9_500,
+        });
+        observer.on_event(&Event::Counter {
+            counter: Counter::LfAccepted,
+            delta: 1,
+        });
+        observer.on_event(&Event::StageEnd {
+            iter,
+            stage: Stage::Generate,
+        });
+        observer.on_event(&Event::IterationEnd {
+            iter,
+            accepted: 1,
+            rejected: 0,
+            failed: false,
+        });
+    }
+    observer.on_event(&Event::RunEnd {
+        iterations: blocks,
+        failed: 0,
+        lfs: blocks,
+    });
+}
+
+/// The full obs-overhead report written as `BENCH_obs.json`.
+#[derive(Debug)]
+pub struct ObsReport {
+    /// Iteration blocks per workload invocation.
+    pub blocks: u64,
+    /// Events per workload invocation (what `median_ns_per_op` covers).
+    pub events: u64,
+    /// Timed stacks, in run order.
+    pub kernels: Vec<KernelTiming>,
+    /// Peak RSS of the benchmarking process in kB.
+    pub peak_rss_kb: u64,
+}
+
+/// Run every observer stack, `iters` timed iterations each over
+/// `blocks`-iteration workloads.
+pub fn run_report(blocks: u64, iters: usize) -> ObsReport {
+    let kernels = vec![
+        time_kernel("noop", iters, || {
+            let mut obs = NoopObserver;
+            emit_workload(&mut obs, blocks);
+        }),
+        time_kernel("tracer-metrics", iters, || {
+            let metrics = MetricsRecorder::new();
+            let mut tracer = Tracer::new(Box::new(SystemClock::new()));
+            tracer.add_sink(Box::new(metrics.clone()));
+            emit_workload(&mut tracer, blocks);
+            tracer.finish().expect("metrics sink cannot fail");
+        }),
+        time_kernel("tracer-jsonl", iters, || {
+            let mut tracer = Tracer::new(Box::new(SystemClock::new()));
+            tracer.add_sink(Box::new(JsonlTraceSink::new(std::io::sink())));
+            emit_workload(&mut tracer, blocks);
+            tracer.finish().expect("io::sink cannot fail");
+        }),
+        time_kernel("tracer-full", iters, || {
+            let metrics = MetricsRecorder::new();
+            let mut tracer = Tracer::new(Box::new(SystemClock::new()));
+            tracer.add_sink(Box::new(metrics.clone()));
+            tracer.add_sink(Box::new(JsonlTraceSink::new(std::io::sink())));
+            let mut shared = SharedObserver::new(tracer);
+            emit_workload(&mut shared, blocks);
+            shared.finish().expect("in-memory sinks cannot fail");
+        }),
+    ];
+    for required in REQUIRED_KERNELS {
+        assert!(
+            kernels.iter().any(|k| k.name == required),
+            "report is missing required kernel {required}"
+        );
+    }
+    ObsReport {
+        blocks,
+        events: events_per_workload(blocks),
+        kernels,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+impl ObsReport {
+    /// Median ns per single event for kernel `name`, if present.
+    pub fn ns_per_event(&self, name: &str) -> Option<u128> {
+        self.kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map(|k| k.median_ns_per_op / u128::from(self.events.max(1)))
+    }
+
+    /// Render the report as the `datasculpt-bench-obs/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"datasculpt-bench-obs/v1\",\n");
+        out.push_str(&format!("  \"blocks\": {},\n", self.blocks));
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!("  \"peak_rss_kb\": {},\n", self.peak_rss_kb));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns_per_op\": {}, \"ns_per_event\": {}, \"iters\": {}}}{}\n",
+                k.name,
+                k.median_ns_per_op,
+                self.ns_per_event(&k.name).unwrap_or(0),
+                k.iters,
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_every_required_stack() {
+        let report = run_report(50, 1);
+        assert_eq!(report.events, 302);
+        for k in REQUIRED_KERNELS {
+            assert!(report.ns_per_event(k).is_some(), "missing {k}");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"datasculpt-bench-obs/v1\""));
+        assert!(json.contains("\"name\": \"tracer-full\""));
+        assert!(json.contains("\"ns_per_event\""));
+    }
+
+    #[test]
+    fn workload_is_schema_faithful() {
+        // The synthetic stream must satisfy the v1 trace validator — the
+        // overhead numbers are only meaningful if every layer does the
+        // work a real run would make it do.
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let mut tracer = Tracer::new(Box::new(ManualClock::new(10)));
+        tracer.add_sink(Box::new(JsonlTraceSink::new(buf.clone())));
+        let metrics = MetricsRecorder::new();
+        tracer.add_sink(Box::new(metrics.clone()));
+        emit_workload(&mut tracer, 3);
+        tracer.finish().unwrap();
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let summary = datasculpt::obs::schema::validate_trace(&text).expect("valid v1 trace");
+        assert_eq!(summary.events, events_per_workload(3));
+
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.events, events_per_workload(3));
+        assert_eq!(snapshot.iterations, 3);
+        assert_eq!(snapshot.models["sim"].calls, 3);
+        assert_eq!(snapshot.span_hists["generate"].count(), 3);
+        assert_eq!(snapshot.model_call_hists["sim"].count(), 3);
+    }
+}

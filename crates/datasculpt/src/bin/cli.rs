@@ -11,7 +11,11 @@
 //!                     [--inject-crash-after N]
 //! datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
 //!                     [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
-//! datasculpt trace-check <path>
+//! datasculpt trace analyze <path> [--json]
+//! datasculpt trace diff <a> <b> [--timing]
+//! datasculpt trace flame <path>
+//! datasculpt trace expo <path>
+//! datasculpt trace check <path>       (alias: datasculpt trace-check)
 //! datasculpt models
 //! ```
 //!
@@ -19,8 +23,9 @@
 //! Models: gpt-3.5 (default), gpt-4, llama-7b, llama-13b, llama-70b.
 //!
 //! Human-readable progress goes through [`StderrProgressSink`]; `--trace`
-//! writes the machine-readable JSONL trace (schema: `docs/trace-schema.md`,
-//! validated by `datasculpt trace-check`).
+//! writes the machine-readable JSONL trace (schema: `docs/trace-schema.md`),
+//! which the `trace` subcommand family analyzes (see
+//! `docs/observability.md`).
 
 use datasculpt::core::eval::evaluate_matrix;
 use datasculpt::prelude::*;
@@ -32,6 +37,8 @@ fn main() -> ExitCode {
         Some("inspect") => inspect(args.get(1..).unwrap_or(&[])),
         Some("run") => run(args.get(1..).unwrap_or(&[])),
         Some("baseline") => baseline(args.get(1..).unwrap_or(&[])),
+        Some("trace") => trace_family(args.get(1..).unwrap_or(&[])),
+        // Pre-PR-9 spelling of `trace check`, kept as an alias.
         Some("trace-check") => trace_check(args.get(1..).unwrap_or(&[])),
         Some("models") => {
             for m in ModelId::ALL {
@@ -69,7 +76,11 @@ USAGE:
                       [--inject-crash-after N]
   datasculpt baseline <dataset> --system wrench|scriptorium|promptedlf
                       [--model M] [--scale F] [--seed N] [--trace PATH] [--metrics]
-  datasculpt trace-check <path>
+  datasculpt trace analyze <path> [--json]
+  datasculpt trace diff <a> <b> [--timing]
+  datasculpt trace flame <path>
+  datasculpt trace expo <path>
+  datasculpt trace check <path>
   datasculpt models
 
 Datasets: youtube sms imdb yelp agnews spouse.
@@ -84,7 +95,18 @@ Observability:
   --retries N    retry transient LLM errors up to N times per call
   --cache N      wrap the model in a response cache with capacity N
   --verbose      per-iteration progress lines on stderr
-  trace-check    validate a trace file and print its summary
+
+Trace analytics (docs/observability.md):
+  trace analyze  attribution tree (self/total time + exact nano-USD per
+                 span), hot paths, latency histograms, counter/usage
+                 rollup; --json emits the stable machine-readable form
+  trace diff     structural diff of two traces: counters, costs, span
+                 tree, digests — empty (exit 0) for two same-seed runs at
+                 any thread count; add --timing to also compare durations
+  trace flame    folded-stacks export (flamegraph.pl / speedscope input)
+  trace expo     Prometheus text exposition of the trace's metrics
+  trace check    validate a trace file and print its summary
+                 (alias: `datasculpt trace-check`, the pre-PR-9 spelling)
 
 Durability (docs/persistence.md):
   --store DIR            run durably in DIR: every LLM response is persisted
@@ -467,6 +489,114 @@ fn baseline(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Dispatch `datasculpt trace <analyze|diff|flame|expo|check>`.
+fn trace_family(args: &[String]) -> ExitCode {
+    let rest = args.get(1..).unwrap_or(&[]);
+    match args.first().map(String::as_str) {
+        Some("analyze") => trace_analyze(rest),
+        Some("diff") => trace_diff(rest),
+        Some("flame") => trace_flame(rest),
+        Some("expo") => trace_expo(rest),
+        Some("check") => trace_check(rest),
+        other => {
+            eprintln!(
+                "unknown trace subcommand {:?} (analyze|diff|flame|expo|check)",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Read and analyze one trace file, or print the error and fail.
+fn load_analysis(path: &str) -> Result<datasculpt::obs::TraceAnalysis, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{path}': {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match datasculpt::obs::TraceAnalysis::from_trace(&text) {
+        Ok(analysis) => Ok(analysis),
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn trace_analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: datasculpt trace analyze <path> [--json]");
+        return ExitCode::FAILURE;
+    };
+    let analysis = match load_analysis(path) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let flags = Flags { args };
+    if flags.has("--json") {
+        println!(
+            "{}",
+            datasculpt::obs::report::render_analyze_json(&analysis)
+        );
+    } else {
+        print!("{}", datasculpt::obs::report::render_analyze(&analysis));
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace_diff(args: &[String]) -> ExitCode {
+    let (Some(path_a), Some(path_b)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: datasculpt trace diff <a> <b> [--timing]");
+        return ExitCode::FAILURE;
+    };
+    let (a, b) = match (load_analysis(path_a), load_analysis(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let flags = Flags { args };
+    let entries = datasculpt::obs::report::diff(&a, &b, flags.has("--timing"));
+    print!("{}", datasculpt::obs::report::render_diff(&entries));
+    if entries.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn trace_flame(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: datasculpt trace flame <path>");
+        return ExitCode::FAILURE;
+    };
+    match load_analysis(path) {
+        Ok(analysis) => {
+            print!("{}", datasculpt::obs::report::folded_stacks(&analysis));
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn trace_expo(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: datasculpt trace expo <path>");
+        return ExitCode::FAILURE;
+    };
+    match load_analysis(path) {
+        Ok(analysis) => {
+            print!(
+                "{}",
+                datasculpt::obs::render_prometheus(&analysis.to_metrics_snapshot())
+            );
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
 }
 
 fn trace_check(args: &[String]) -> ExitCode {

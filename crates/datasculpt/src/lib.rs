@@ -79,8 +79,9 @@ pub mod prelude {
         PricingTable, RetryModel, SimulatedLlm, TokenUsage, UsageLedger,
     };
     pub use datasculpt_obs::{
-        Clock, Counter, Event, JsonlTraceSink, ManualClock, MetricsRecorder, MetricsSnapshot,
-        Multi, NoopObserver, RunObserver, SharedObserver, Stage, StderrProgressSink, SystemClock,
+        render_prometheus, Clock, Counter, Event, JsonlTraceSink, LatencyHistogram, ManualClock,
+        MetricsRecorder, MetricsSnapshot, Multi, NoopObserver, RunObserver, SharedObserver,
+        SpanNode, SpanTreeBuilder, Stage, StderrProgressSink, SystemClock, TraceAnalysis,
         TraceSink, Tracer,
     };
     pub use datasculpt_store::{

@@ -1,0 +1,272 @@
+//! Prometheus-style text exposition (version 0.0.4) over a
+//! [`MetricsSnapshot`].
+//!
+//! The snapshot's maps are all `BTreeMap`s, so the rendered page is
+//! stably ordered: identical snapshots produce identical bytes, which
+//! keeps the exposition diffable and golden-testable like every other
+//! serialization in this crate. Latency histograms render as native
+//! Prometheus histograms (cumulative `le` buckets plus `_sum`/`_count`),
+//! using the fixed power-of-two bucket bounds from
+//! [`hist`](crate::hist).
+//!
+//! This is the `/metrics` payload for the future serve daemon (ROADMAP
+//! item 2); nothing here does I/O — the caller writes the returned
+//! string wherever it likes.
+
+use crate::hist::LatencyHistogram;
+use crate::metrics::MetricsSnapshot;
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+fn histogram(out: &mut String, name: &str, label: &str, value: &str, h: &LatencyHistogram) {
+    let labels = format!("{label}=\"{}\"", escape_label(value));
+    for (upper, cumulative) in h.cumulative_buckets() {
+        out.push_str(&format!(
+            "{name}_bucket{{{labels},le=\"{upper}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {}\n",
+        h.count()
+    ));
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum_ns()));
+    out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count()));
+}
+
+/// Render the snapshot as a Prometheus text-format page. Stable order:
+/// byte-identical output for identical snapshots.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    if !snapshot.stages.is_empty() {
+        header(
+            &mut out,
+            "datasculpt_stage_duration_ns_total",
+            "Total nanoseconds spent per pipeline stage",
+            "counter",
+        );
+        for (name, s) in &snapshot.stages {
+            out.push_str(&format!(
+                "datasculpt_stage_duration_ns_total{{stage=\"{}\"}} {}\n",
+                escape_label(name),
+                s.total_ns
+            ));
+        }
+        header(
+            &mut out,
+            "datasculpt_stage_spans_total",
+            "Completed spans per pipeline stage",
+            "counter",
+        );
+        for (name, s) in &snapshot.stages {
+            out.push_str(&format!(
+                "datasculpt_stage_spans_total{{stage=\"{}\"}} {}\n",
+                escape_label(name),
+                s.count
+            ));
+        }
+    }
+
+    if !snapshot.counters.is_empty() {
+        header(
+            &mut out,
+            "datasculpt_counter_total",
+            "Pipeline event counters",
+            "counter",
+        );
+        for (name, v) in &snapshot.counters {
+            out.push_str(&format!(
+                "datasculpt_counter_total{{counter=\"{}\"}} {v}\n",
+                escape_label(name)
+            ));
+        }
+    }
+
+    if !snapshot.models.is_empty() {
+        header(
+            &mut out,
+            "datasculpt_model_calls_total",
+            "Billed model calls per backend model",
+            "counter",
+        );
+        for (name, m) in &snapshot.models {
+            out.push_str(&format!(
+                "datasculpt_model_calls_total{{model=\"{}\"}} {}\n",
+                escape_label(name),
+                m.calls
+            ));
+        }
+        header(
+            &mut out,
+            "datasculpt_model_tokens_total",
+            "Billed tokens per backend model and direction",
+            "counter",
+        );
+        for (name, m) in &snapshot.models {
+            let model = escape_label(name);
+            out.push_str(&format!(
+                "datasculpt_model_tokens_total{{model=\"{model}\",direction=\"prompt\"}} {}\n",
+                m.prompt_tokens
+            ));
+            out.push_str(&format!(
+                "datasculpt_model_tokens_total{{model=\"{model}\",direction=\"completion\"}} {}\n",
+                m.completion_tokens
+            ));
+        }
+        header(
+            &mut out,
+            "datasculpt_model_cost_nanousd_total",
+            "Exact cost per backend model in nano-USD",
+            "counter",
+        );
+        for (name, m) in &snapshot.models {
+            out.push_str(&format!(
+                "datasculpt_model_cost_nanousd_total{{model=\"{}\"}} {}\n",
+                escape_label(name),
+                m.cost_nanousd
+            ));
+        }
+    }
+
+    if !snapshot.span_hists.is_empty() {
+        header(
+            &mut out,
+            "datasculpt_span_duration_ns",
+            "Span duration per span kind, log2 nanosecond buckets",
+            "histogram",
+        );
+        for (name, h) in &snapshot.span_hists {
+            histogram(&mut out, "datasculpt_span_duration_ns", "span", name, h);
+        }
+    }
+    if !snapshot.model_call_hists.is_empty() {
+        header(
+            &mut out,
+            "datasculpt_model_call_duration_ns",
+            "Innermost enclosing span duration per billed model call",
+            "histogram",
+        );
+        for (name, h) in &snapshot.model_call_hists {
+            histogram(
+                &mut out,
+                "datasculpt_model_call_duration_ns",
+                "model",
+                name,
+                h,
+            );
+        }
+    }
+
+    header(
+        &mut out,
+        "datasculpt_iterations_total",
+        "Iterations completed",
+        "counter",
+    );
+    out.push_str(&format!(
+        "datasculpt_iterations_total {}\n",
+        snapshot.iterations
+    ));
+    header(
+        &mut out,
+        "datasculpt_failed_iterations_total",
+        "Iterations that failed",
+        "counter",
+    );
+    out.push_str(&format!(
+        "datasculpt_failed_iterations_total {}\n",
+        snapshot.failed_iterations
+    ));
+    header(
+        &mut out,
+        "datasculpt_events_total",
+        "Observer events recorded",
+        "counter",
+    );
+    out.push_str(&format!("datasculpt_events_total {}\n", snapshot.events));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Counter, Event, Stage};
+    use crate::{ManualClock, MetricsRecorder, RunObserver, Tracer};
+
+    fn snapshot() -> MetricsSnapshot {
+        let metrics = MetricsRecorder::new();
+        let mut tracer = Tracer::new(Box::new(ManualClock::new(1_000)));
+        tracer.add_sink(Box::new(metrics.clone()));
+        for e in [
+            Event::StageBegin {
+                iter: 0,
+                stage: Stage::Generate,
+            },
+            Event::Usage {
+                model: "si\"m".into(),
+                prompt_tokens: 10,
+                completion_tokens: 2,
+                cost_nanousd: 5_000,
+            },
+            Event::StageEnd {
+                iter: 0,
+                stage: Stage::Generate,
+            },
+            Event::Counter {
+                counter: Counter::CacheHit,
+                delta: 3,
+            },
+        ] {
+            tracer.on_event(&e);
+        }
+        metrics.snapshot()
+    }
+
+    #[test]
+    fn renders_stable_prometheus_text() {
+        let s = snapshot();
+        let a = render_prometheus(&s);
+        let b = render_prometheus(&s);
+        assert_eq!(a, b, "identical snapshots must render identical bytes");
+        assert!(a.contains("# TYPE datasculpt_stage_duration_ns_total counter"));
+        assert!(a.contains("datasculpt_stage_duration_ns_total{stage=\"generate\"} 2000\n"));
+        assert!(a.contains("datasculpt_counter_total{counter=\"cache_hit\"} 3\n"));
+        assert!(a.contains("datasculpt_events_total 4\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_with_inf() {
+        let a = render_prometheus(&snapshot());
+        // The generate span took 2000ns (two ticks of 1000): bucket upper
+        // bound 2047, cumulative count 1, then +Inf.
+        assert!(a.contains("datasculpt_span_duration_ns_bucket{span=\"generate\",le=\"2047\"} 1\n"));
+        assert!(a.contains("datasculpt_span_duration_ns_bucket{span=\"generate\",le=\"+Inf\"} 1\n"));
+        assert!(a.contains("datasculpt_span_duration_ns_sum{span=\"generate\"} 2000\n"));
+        assert!(a.contains("datasculpt_span_duration_ns_count{span=\"generate\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let a = render_prometheus(&snapshot());
+        assert!(a.contains("datasculpt_model_calls_total{model=\"si\\\"m\"} 1\n"));
+        assert!(a.contains(
+            "datasculpt_model_tokens_total{model=\"si\\\"m\",direction=\"prompt\"} 10\n"
+        ));
+    }
+}

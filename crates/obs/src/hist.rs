@@ -1,0 +1,309 @@
+//! Deterministic log-bucketed latency histograms.
+//!
+//! Buckets are fixed powers of two over integer nanoseconds: bucket `k`
+//! covers `[2^(k-1), 2^k - 1]` (bucket 0 holds exactly 0, bucket 64 tops
+//! out at `u64::MAX`). The boundaries are a schema constant — they never
+//! depend on the data — so two histograms are mergeable bucket-for-bucket
+//! and the merge is commutative and associative (it is integer addition
+//! per bucket plus min/max/sum folds). Fed by the injectable
+//! [`Clock`](crate::Clock), a [`ManualClock`](crate::ManualClock) test
+//! pins every count exactly.
+//!
+//! Serialization ([`to_json`](LatencyHistogram::to_json)) is stable: only
+//! non-empty buckets are emitted, keyed by their inclusive upper bound in
+//! ascending order, so identical inputs yield identical bytes.
+
+use crate::cost::format_ns;
+
+/// Number of buckets: one for zero plus one per bit width of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-boundary, log2-bucketed histogram of `u64` durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, otherwise the value's bit width.
+pub fn bucket_index(value_ns: u64) -> usize {
+    (u64::BITS - value_ns.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `index` (`2^index - 1`; bucket 0 is
+/// exactly 0, bucket 64 is `u64::MAX`).
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, value_ns: u64) {
+        if let Some(b) = self.buckets.get_mut(bucket_index(value_ns)) {
+            *b += 1;
+        }
+        self.count += 1;
+        self.sum_ns += u128::from(value_ns);
+        self.min_ns = self.min_ns.min(value_ns);
+        self.max_ns = self.max_ns.max(value_ns);
+    }
+
+    /// Fold another histogram into this one, bucket-for-bucket.
+    ///
+    /// Commutative and associative: `merge(a, b) == merge(b, a)` for every
+    /// bucket, count, sum, min, and max.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations, nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Smallest recorded duration (`None` when empty).
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest recorded duration (`None` when empty).
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u128 {
+        self.sum_ns.checked_div(u128::from(self.count)).unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`,
+    /// ascending — the shape a Prometheus exposition needs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut cum = 0u64;
+        self.nonzero_buckets()
+            .map(|(upper, c)| {
+                cum += c;
+                (upper, cum)
+            })
+            .collect()
+    }
+
+    /// Smallest recorded-bucket upper bound that covers at least `q`
+    /// (0..=100) percent of the samples — a deterministic, bucket-resolution
+    /// quantile estimate. `None` when empty.
+    pub fn quantile_upper_ns(&self, q: u8) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let need = (u128::from(self.count) * u128::from(q.min(100))).div_ceil(100);
+        let mut cum = 0u128;
+        for (upper, c) in self.nonzero_buckets() {
+            cum += u128::from(c);
+            if cum >= need {
+                return Some(upper);
+            }
+        }
+        self.max_ns().map(|_| u64::MAX)
+    }
+
+    /// Stable JSON rendering: summary fields plus the non-empty buckets
+    /// keyed by inclusive upper bound, ascending.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":{{",
+            self.count,
+            self.sum_ns,
+            self.min_ns().unwrap_or(0),
+            self.max_ns().unwrap_or(0)
+        );
+        for (i, (upper, c)) in self.nonzero_buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{upper}\":{c}"));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable bucket rows, one `≤ <bound>  <count>  <bar>` line per
+    /// non-empty bucket, for the analyze report.
+    pub fn render_rows(&self, indent: &str) -> String {
+        let mut out = String::new();
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (upper, c) in self.nonzero_buckets() {
+            let bar = "#".repeat(((c * 24).div_ceil(peak)) as usize);
+            out.push_str(&format!(
+                "{indent}<= {:>9} {:>8}  {bar}\n",
+                format_ns(upper),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_fixed_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value falls inside its bucket's range.
+        for v in [0u64, 1, 2, 3, 7, 8, 1_000_000, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i));
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn records_aggregate_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 106);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), Some(100));
+        assert_eq!(h.mean_ns(), 21);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (127, 1)]);
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(0, 1), (1, 2), (3, 4), (127, 5)]
+        );
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let mut h = LatencyHistogram::new();
+        for v in [1, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_ns(50), Some(1));
+        assert_eq!(h.quantile_upper_ns(90), Some(1));
+        assert_eq!(h.quantile_upper_ns(100), Some(1023));
+        assert_eq!(LatencyHistogram::new().quantile_upper_ns(50), None);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in [1u64, 5, 5, 1 << 20] {
+            a.record(v);
+        }
+        for v in [0u64, 3, u64::MAX] {
+            b.record(v);
+        }
+        for v in [7u64, 7, 7, 9000] {
+            c.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative bucket-for-bucket");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative bucket-for-bucket");
+        assert_eq!(ab_c.count(), 11);
+    }
+
+    #[test]
+    fn json_is_stable_and_sparse() {
+        let mut h = LatencyHistogram::new();
+        h.record(2);
+        h.record(3);
+        h.record(900);
+        assert_eq!(
+            h.to_json(),
+            concat!(
+                "{\"count\":3,\"sum_ns\":905,\"min_ns\":2,\"max_ns\":900,",
+                "\"buckets\":{\"3\":2,\"1023\":1}}"
+            )
+        );
+        assert_eq!(
+            LatencyHistogram::new().to_json(),
+            "{\"count\":0,\"sum_ns\":0,\"min_ns\":0,\"max_ns\":0,\"buckets\":{}}"
+        );
+    }
+
+    #[test]
+    fn render_rows_lists_nonzero_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(12);
+        let rows = h.render_rows("  ");
+        assert_eq!(rows.lines().count(), 1);
+        assert!(rows.contains("15ns"));
+        assert!(rows.contains('#'));
+    }
+}

@@ -49,17 +49,24 @@
 pub mod clock;
 pub mod cost;
 pub mod event;
+pub mod expo;
+pub mod hist;
 pub mod jsonl;
 pub mod metrics;
 pub mod progress;
+pub mod report;
 pub mod schema;
+pub mod spantree;
 pub mod tracer;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use event::{Counter, Event, Stage};
+pub use expo::render_prometheus;
+pub use hist::LatencyHistogram;
 pub use jsonl::JsonlTraceSink;
 pub use metrics::{MetricsRecorder, MetricsSnapshot};
 pub use progress::StderrProgressSink;
+pub use spantree::{SpanNode, SpanTreeBuilder, TraceAnalysis};
 pub use tracer::{Record, TraceSink, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};

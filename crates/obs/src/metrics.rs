@@ -8,6 +8,7 @@
 
 use crate::cost::{format_ns, format_usd};
 use crate::event::Event;
+use crate::hist::LatencyHistogram;
 use crate::tracer::{Record, TraceSink};
 use crate::TRACE_SCHEMA_VERSION;
 use std::collections::BTreeMap;
@@ -59,6 +60,11 @@ pub struct MetricsSnapshot {
     pub failed_iterations: u64,
     /// Total events recorded.
     pub events: u64,
+    /// Latency histogram per span kind (`run`, `iteration`, stage names).
+    pub span_hists: BTreeMap<String, LatencyHistogram>,
+    /// Latency histogram per model: the duration of the innermost span
+    /// enclosing each billed call.
+    pub model_call_hists: BTreeMap<String, LatencyHistogram>,
 }
 
 impl MetricsSnapshot {
@@ -156,6 +162,28 @@ impl MetricsSnapshot {
                 m.cost_nanousd
             ));
         }
+        out.push_str("},\"span_hists\":{");
+        for (i, (name, h)) in self.span_hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                crate::jsonl::escape_json(name),
+                h.to_json()
+            ));
+        }
+        out.push_str("},\"model_call_hists\":{");
+        for (i, (name, h)) in self.model_call_hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                crate::jsonl::escape_json(name),
+                h.to_json()
+            ));
+        }
         out.push_str(&format!(
             "}},\"iterations\":{},\"failed_iterations\":{},\"events\":{}}}",
             self.iterations, self.failed_iterations, self.events
@@ -164,12 +192,24 @@ impl MetricsSnapshot {
     }
 }
 
+/// Shared recorder state: the snapshot being built plus the span stack
+/// used to attribute each `usage` event to the innermost open span (model
+/// calls carry no span of their own in the v1 schema, so their latency is
+/// the duration of the span they run under — typically `generate`).
+#[derive(Debug, Default)]
+struct RecorderState {
+    snapshot: MetricsSnapshot,
+    /// Usage-event models pending per open span, innermost last; drained
+    /// into `model_call_hists` when the span closes.
+    pending_models: Vec<Vec<String>>,
+}
+
 /// A [`TraceSink`] that aggregates records in memory. Clones share the
 /// accumulator, and the handle is `Send`, so one clone can sit inside a
 /// worker-side tracer while another renders the summary afterwards.
 #[derive(Clone, Default)]
 pub struct MetricsRecorder {
-    inner: Arc<Mutex<MetricsSnapshot>>,
+    inner: Arc<Mutex<RecorderState>>,
 }
 
 impl MetricsRecorder {
@@ -180,12 +220,12 @@ impl MetricsRecorder {
 
     /// Copy out everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.lock().clone()
+        self.lock().snapshot.clone()
     }
 
     /// Lock the shared accumulator, ignoring poisoning: a panicking
     /// recorder thread must not lose the metrics gathered so far.
-    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsSnapshot> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderState> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -206,26 +246,56 @@ impl std::fmt::Debug for MetricsRecorder {
     }
 }
 
+impl RecorderState {
+    /// A span closed with duration `dur`: sample the span-kind histogram
+    /// and attribute any usage events it enclosed to the model-call
+    /// histograms.
+    fn close_span(&mut self, label: &str, dur: u64) {
+        self.snapshot
+            .span_hists
+            .entry(label.to_string())
+            .or_default()
+            .record(dur);
+        if let Some(pending) = self.pending_models.pop() {
+            for model in pending {
+                self.snapshot
+                    .model_call_hists
+                    .entry(model)
+                    .or_default()
+                    .record(dur);
+            }
+        }
+    }
+}
+
 impl TraceSink for MetricsRecorder {
     fn record(&mut self, record: &Record<'_>) {
-        let mut m = self.lock();
-        m.events += 1;
+        let mut state = self.lock();
+        state.snapshot.events += 1;
         match record.event {
+            Event::RunBegin { .. } | Event::IterationBegin { .. } | Event::StageBegin { .. } => {
+                state.pending_models.push(Vec::new());
+            }
+            Event::RunEnd { .. } => {
+                state.close_span(crate::spantree::RUN_LABEL, record.dur_ns.unwrap_or(0));
+            }
             Event::StageEnd { stage, .. } => {
                 let dur = record.dur_ns.unwrap_or(0);
-                let s = m.stages.entry(stage.name()).or_default();
+                let s = state.snapshot.stages.entry(stage.name()).or_default();
                 s.count += 1;
                 s.total_ns += dur;
                 s.max_ns = s.max_ns.max(dur);
+                state.close_span(stage.name(), dur);
             }
             Event::IterationEnd { failed, .. } => {
-                m.iterations += 1;
+                state.snapshot.iterations += 1;
                 if *failed {
-                    m.failed_iterations += 1;
+                    state.snapshot.failed_iterations += 1;
                 }
+                state.close_span(crate::spantree::ITERATION_LABEL, record.dur_ns.unwrap_or(0));
             }
             Event::Counter { counter, delta } => {
-                *m.counters.entry(counter.name()).or_default() += delta;
+                *state.snapshot.counters.entry(counter.name()).or_default() += delta;
             }
             Event::Usage {
                 model,
@@ -233,13 +303,16 @@ impl TraceSink for MetricsRecorder {
                 completion_tokens,
                 cost_nanousd,
             } => {
-                let u = m.models.entry(model.clone()).or_default();
+                let u = state.snapshot.models.entry(model.clone()).or_default();
                 u.calls += 1;
                 u.prompt_tokens += prompt_tokens;
                 u.completion_tokens += completion_tokens;
                 u.cost_nanousd += cost_nanousd;
+                if let Some(pending) = state.pending_models.last_mut() {
+                    pending.push(model.clone());
+                }
             }
-            _ => {}
+            Event::Message { .. } => {}
         }
     }
 }

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Hot-path kernel benchmark: regenerates BENCH_hotpath.json at the repo
-# root (schema: docs/perf.md) and validates the emitted document.
+# Benchmark driver: regenerates the tracked BENCH_*.json documents at the
+# repo root and validates each emitted document.
 #
-#   ./scripts/bench.sh            full run (Agnews, 5 iterations/kernel)
-#   ./scripts/bench.sh --check    smoke mode: one short iteration per
-#                                 kernel into a temp file, schema check
-#                                 only, no timing thresholds (wired into
-#                                 scripts/check.sh)
+#   ./scripts/bench.sh                 full run of every bench:
+#                                      BENCH_hotpath.json (Agnews,
+#                                      5 iterations/kernel, docs/perf.md)
+#                                      and BENCH_obs.json (observer
+#                                      overhead, docs/observability.md)
+#   ./scripts/bench.sh hotpath [...]   just the hot-path kernels
+#   ./scripts/bench.sh obs [...]       just the observer-overhead bench
+#   ./scripts/bench.sh --check         smoke mode: one short iteration of
+#                                      every bench into temp files, schema
+#                                      check only, no timing thresholds
+#                                      (wired into scripts/check.sh)
 #
-# Extra arguments after the mode are passed through to the hotpath
-# binary (e.g. --dataset youtube --scale 0.5 --iters 9).
+# Extra arguments after a bench name are passed through to that binary
+# (e.g. ./scripts/bench.sh hotpath --dataset youtube --scale 0.5).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,26 +25,74 @@ if [ "${1:-}" = "--check" ]; then
   shift
 fi
 
-if [ "$mode" = "check" ]; then
-  out="$(mktemp /tmp/ds-bench-hotpath.XXXXXX.json)"
-  trap 'rm -f "$out"' EXIT
-  cargo run -q --release -p datasculpt-bench --bin hotpath -- \
-    --check --out "$out" "$@"
-else
-  out="BENCH_hotpath.json"
-  cargo run -q --release -p datasculpt-bench --bin hotpath -- \
-    --out "$out" "$@"
-fi
+bench="${1:-all}"
+if [ $# -gt 0 ]; then shift; fi
+
+fail() { echo "FAIL: $1 (in $2)" >&2; exit 1; }
 
 # Schema validation: the v1 document marker, the RSS field, and one entry
 # per required kernel (columnar kernels and their row-major baselines).
-fail() { echo "FAIL: $1 (in $out)" >&2; exit 1; }
-grep -q '"schema": "datasculpt-bench-hotpath/v1"' "$out" \
-  || fail "missing schema marker datasculpt-bench-hotpath/v1"
-grep -q '"peak_rss_kb": [0-9]' "$out" || fail "missing peak_rss_kb"
-for kernel in index-build lf-apply lf-apply-rowscan-baseline \
-              metal-e-step metal-e-step-rowmajor-baseline tfidf; do
-  grep -q "\"name\": \"$kernel\", \"median_ns_per_op\": [0-9]" "$out" \
-    || fail "missing kernel entry $kernel"
-done
-echo "bench.sh: $out valid (schema datasculpt-bench-hotpath/v1)"
+validate_hotpath() {
+  local out="$1"
+  grep -q '"schema": "datasculpt-bench-hotpath/v1"' "$out" \
+    || fail "missing schema marker datasculpt-bench-hotpath/v1" "$out"
+  grep -q '"peak_rss_kb": [0-9]' "$out" || fail "missing peak_rss_kb" "$out"
+  for kernel in index-build lf-apply lf-apply-rowscan-baseline \
+                metal-e-step metal-e-step-rowmajor-baseline tfidf; do
+    grep -q "\"name\": \"$kernel\", \"median_ns_per_op\": [0-9]" "$out" \
+      || fail "missing kernel entry $kernel" "$out"
+  done
+  echo "bench.sh: $out valid (schema datasculpt-bench-hotpath/v1)"
+}
+
+# Schema validation: one entry per observer stack, each with a derived
+# per-event cost.
+validate_obs() {
+  local out="$1"
+  grep -q '"schema": "datasculpt-bench-obs/v1"' "$out" \
+    || fail "missing schema marker datasculpt-bench-obs/v1" "$out"
+  grep -q '"events": [0-9]' "$out" || fail "missing events" "$out"
+  for kernel in noop tracer-metrics tracer-jsonl tracer-full; do
+    grep -q "\"name\": \"$kernel\", \"median_ns_per_op\": [0-9]" "$out" \
+      || fail "missing kernel entry $kernel" "$out"
+  done
+  grep -q '"ns_per_event": [0-9]' "$out" || fail "missing ns_per_event" "$out"
+  echo "bench.sh: $out valid (schema datasculpt-bench-obs/v1)"
+}
+
+run_hotpath() {
+  if [ "$mode" = "check" ]; then
+    local out
+    out="$(mktemp /tmp/ds-bench-hotpath.XXXXXX.json)"
+    cargo run -q --release -p datasculpt-bench --bin hotpath -- \
+      --check --out "$out" "$@"
+    validate_hotpath "$out"
+    rm -f "$out"
+  else
+    cargo run -q --release -p datasculpt-bench --bin hotpath -- \
+      --out BENCH_hotpath.json "$@"
+    validate_hotpath BENCH_hotpath.json
+  fi
+}
+
+run_obs() {
+  if [ "$mode" = "check" ]; then
+    local out
+    out="$(mktemp /tmp/ds-bench-obs.XXXXXX.json)"
+    cargo run -q --release -p datasculpt-bench --bin obsbench -- \
+      --check --out "$out" "$@"
+    validate_obs "$out"
+    rm -f "$out"
+  else
+    cargo run -q --release -p datasculpt-bench --bin obsbench -- \
+      --out BENCH_obs.json "$@"
+    validate_obs BENCH_obs.json
+  fi
+}
+
+case "$bench" in
+  all)     run_hotpath; run_obs ;;
+  hotpath) run_hotpath "$@" ;;
+  obs)     run_obs "$@" ;;
+  *)       echo "unknown bench '$bench' (all|hotpath|obs)" >&2; exit 2 ;;
+esac

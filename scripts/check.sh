@@ -28,13 +28,38 @@ cargo test -q --workspace
 
 echo "==> trace smoke test (emit a JSONL trace, validate it against the schema)"
 trace_file="$(mktemp /tmp/ds-trace.XXXXXX.jsonl)"
+trace_file_b="$(mktemp /tmp/ds-trace-b.XXXXXX.jsonl)"
 store_a="$(mktemp -d /tmp/ds-store-a.XXXXXX)"
 store_b="$(mktemp -d /tmp/ds-store-b.XXXXXX)"
-trap 'rm -f "$trace_file"; rm -rf "$store_a" "$store_b"' EXIT
+trap 'rm -f "$trace_file" "$trace_file_b"; rm -rf "$store_a" "$store_b"' EXIT
 cargo run -q -p datasculpt --bin datasculpt -- \
   run youtube --scale 0.05 --queries 5 --revise --cache 256 \
   --trace "$trace_file" --metrics > /dev/null
-cargo run -q -p datasculpt --bin datasculpt -- trace-check "$trace_file"
+cargo run -q -p datasculpt --bin datasculpt -- trace check "$trace_file"
+# trace-check is the pre-PR-9 spelling, kept as an alias; exercise it too.
+cargo run -q -p datasculpt --bin datasculpt -- trace-check "$trace_file" > /dev/null
+
+echo "==> trace diff smoke test (same-seed runs at --threads 1 vs 8 diff empty)"
+cargo run -q -p datasculpt --bin datasculpt -- \
+  run youtube --scale 0.05 --queries 5 --revise --cache 256 --threads 8 \
+  --trace "$trace_file_b" > /dev/null
+if ! cargo run -q -p datasculpt --bin datasculpt -- \
+    trace diff "$trace_file" "$trace_file_b"; then
+  echo "FAIL: trace diff of same-seed runs is non-empty" >&2
+  exit 1
+fi
+
+echo "==> trace analyze golden fixture (CLI output matches tests/fixtures/)"
+analyze_out="$(mktemp /tmp/ds-analyze.XXXXXX.json)"
+cargo run -q -p datasculpt --bin datasculpt -- \
+  trace analyze tests/fixtures/trace_small.jsonl --json > "$analyze_out"
+if ! diff -u tests/fixtures/trace_small_analyze.json "$analyze_out"; then
+  echo "FAIL: trace analyze --json drifted from the golden fixture" >&2
+  echo "  (intentional change? DS_REGEN_FIXTURES=1 cargo test --test trace_analytics)" >&2
+  rm -f "$analyze_out"
+  exit 1
+fi
+rm -f "$analyze_out"
 
 echo "==> hot-path bench smoke test (one iteration per kernel + JSON schema)"
 ./scripts/bench.sh --check
