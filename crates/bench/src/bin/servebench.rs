@@ -1,0 +1,79 @@
+//! Multi-tenant serve traffic simulation: `BENCH_serve.json`.
+//!
+//! Submits one Zipfian-sized labeling job per simulated tenant (mixed
+//! zero/shoestring/ample budgets) to an in-process [`Service`] over the
+//! scripted simulated backend, drains it round by round, and writes the
+//! `datasculpt-bench-serve/v1` JSON document with throughput, round
+//! latency percentiles, and the budget-violation audit. Run through
+//! `scripts/bench.sh serve`, which also validates the output.
+//!
+//! Flags:
+//!
+//! * `--check` — quick mode: a 48-tenant fleet (schema smoke test,
+//!   timings meaningless).
+//! * `--out <path>` — output path (default `BENCH_serve.json`).
+//! * `--tenants <n>` — fleet size (default 2000).
+//! * `--slots <n>` — concurrent execution slots (default 8).
+//! * `--seed <n>` — workload seed (default 1).
+
+// Experiment driver, not a library: aborting on a malformed spec is correct.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt_bench::servebench::run_report;
+
+fn main() {
+    let mut out = "BENCH_serve.json".to_string();
+    let mut tenants = 2_000usize;
+    let mut slots = 8usize;
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => tenants = 48,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--tenants" => {
+                tenants = args
+                    .next()
+                    .expect("--tenants needs a value")
+                    .parse()
+                    .expect("--tenants must be an integer");
+            }
+            "--slots" => {
+                slots = args
+                    .next()
+                    .expect("--slots needs a value")
+                    .parse()
+                    .expect("--slots must be an integer");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!("[servebench] tenants={tenants} slots={slots} seed={seed}");
+    let report = run_report(tenants, slots, seed);
+    eprintln!(
+        "[servebench] {} completed, {} rejected, {} paused over {} rounds",
+        report.completed, report.rejected, report.paused, report.rounds
+    );
+    eprintln!(
+        "[servebench] throughput {}.{:03} jobs/s, round p50 {} ns, p95 {} ns",
+        report.jobs_per_sec_milli / 1_000,
+        report.jobs_per_sec_milli % 1_000,
+        report.round_p50_ns,
+        report.round_p95_ns
+    );
+    eprintln!(
+        "[servebench] budget audit: {} overdrawn tenant(s), worst {} nano-USD, fleet total {} nano-USD",
+        report.budget_violation_tenants, report.max_overdraft_nanousd, report.total_cost_nanousd
+    );
+    eprintln!("[servebench] peak RSS {} kB", report.peak_rss_kb);
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("[servebench] wrote {out}");
+}

@@ -42,6 +42,7 @@ use std::io::Write as _;
 
 pub mod hotpath;
 pub mod obsbench;
+pub mod servebench;
 
 /// One method's averaged outcome on one dataset (a column of a table).
 #[derive(Debug, Clone, Copy, Default)]

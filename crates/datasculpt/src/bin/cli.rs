@@ -16,11 +16,25 @@
 //! datasculpt trace flame <path>
 //! datasculpt trace expo <path>
 //! datasculpt trace check <path>       (alias: datasculpt trace-check)
+//! datasculpt serve start  --socket PATH|tcp:PORT --state DIR [--slots N]
+//!                         [--checkpoint-every N] [--trace PATH]
+//! datasculpt serve submit <dataset> --socket S --tenant T [--budget NANOUSD]
+//!                         [--queries N] [--scale F] [--seed N]
+//!                         [--config C] [--model M]
+//! datasculpt serve status --socket S [--job N]
+//! datasculpt serve cancel --socket S --job N
+//! datasculpt serve drain  --socket S
+//! datasculpt serve ping   --socket S
 //! datasculpt models
 //! ```
 //!
 //! Datasets: youtube, sms, imdb, yelp, agnews, spouse.
 //! Models: gpt-3.5 (default), gpt-4, llama-7b, llama-13b, llama-70b.
+//!
+//! Every subcommand validates its full argument vector: unknown flags,
+//! missing values, unparseable numbers, and invalid flag combinations
+//! (e.g. `--store` with `--resume`, or `--checkpoint-every` without
+//! either) are usage errors (exit 2), never silently ignored.
 //!
 //! Human-readable progress goes through [`StderrProgressSink`]; `--trace`
 //! writes the machine-readable JSONL trace (schema: `docs/trace-schema.md`),
@@ -40,6 +54,7 @@ fn main() -> ExitCode {
         Some("trace") => trace_family(args.get(1..).unwrap_or(&[])),
         // Pre-PR-9 spelling of `trace check`, kept as an alias.
         Some("trace-check") => trace_check(args.get(1..).unwrap_or(&[])),
+        Some("serve") => serve_family(args.get(1..).unwrap_or(&[])),
         Some("models") => {
             for m in ModelId::ALL {
                 let (inp, out) = PricingTable::rates(m);
@@ -81,6 +96,14 @@ USAGE:
   datasculpt trace flame <path>
   datasculpt trace expo <path>
   datasculpt trace check <path>
+  datasculpt serve start  --socket PATH|tcp:PORT --state DIR [--slots N]
+                      [--checkpoint-every N] [--trace PATH] [--metrics] [--verbose]
+  datasculpt serve submit <dataset> --socket S --tenant T [--budget NANOUSD]
+                      [--queries N] [--scale F] [--seed N] [--config C] [--model M]
+  datasculpt serve status --socket S [--job N]
+  datasculpt serve cancel --socket S --job N
+  datasculpt serve drain  --socket S
+  datasculpt serve ping   --socket S
   datasculpt models
 
 Datasets: youtube sms imdb yelp agnews spouse.
@@ -118,6 +141,22 @@ Durability (docs/persistence.md):
   --checkpoint-every N   checkpoint every N iterations (default 1)
   --inject-crash-after N crash-injection smoke knob: abort the process after
                          N backend LLM calls
+
+Serving (docs/serving.md):
+  serve start    run the multi-tenant labeling daemon: jobs live durably
+                 under --state DIR, are scheduled fairly across tenants,
+                 and are admission-controlled against exact per-tenant
+                 nano-USD budgets; a killed daemon restarted on the same
+                 DIR resumes every in-flight job bit-identically
+  serve submit   queue a labeling job for --tenant; --budget NANOUSD tops
+                 up the tenant's budget (nano-USD, 10^9 per dollar)
+  serve status   one JSON line per job (or just --job N)
+  serve cancel   request cancellation of a queued or running job
+  serve drain    finish all runnable work, report, and shut the daemon down
+
+Flag validation: unknown flags, missing/unparseable values, and invalid
+combinations (--store with --resume; --checkpoint-every or
+--inject-crash-after without --store/--resume) exit 2 with a usage error.
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
@@ -138,11 +177,64 @@ impl<'a> Flags<'a> {
         self.args.iter().any(|a| a == key)
     }
 
-    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Check the whole argument vector against this command's grammar:
+    /// at most `max_positionals` bare arguments, every `--flag` either a
+    /// known value flag (consuming the next token) or a known switch.
+    /// Misspelled flags, stray arguments, and value flags missing their
+    /// value all fail here instead of being silently ignored.
+    fn validate(
+        &self,
+        max_positionals: usize,
+        values: &[&str],
+        switches: &[&str],
+    ) -> Result<(), String> {
+        let mut positionals = 0usize;
+        let mut i = 0;
+        while i < self.args.len() {
+            let Some(arg) = self.args.get(i) else { break };
+            if arg.starts_with("--") {
+                if values.contains(&arg.as_str()) {
+                    match self.args.get(i + 1) {
+                        Some(v) if !v.starts_with("--") => i += 2,
+                        _ => return Err(format!("flag {arg} expects a value")),
+                    }
+                } else if switches.contains(&arg.as_str()) {
+                    i += 1;
+                } else {
+                    return Err(format!("unknown flag {arg}"));
+                }
+            } else {
+                positionals += 1;
+                if positionals > max_positionals {
+                    return Err(format!("unexpected argument '{arg}'"));
+                }
+                i += 1;
+            }
+        }
+        Ok(())
     }
+
+    /// Strict numeric/typed flag: absent → `default`; present with an
+    /// unparseable (or missing) value → an error, never a silent default.
+    fn parse_strict<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        if !self.has(key) {
+            return Ok(default);
+        }
+        let Some(value) = self.get(key) else {
+            return Err(format!("flag {key} expects a value"));
+        };
+        value
+            .parse()
+            .map_err(|_| format!("flag {key} has unparseable value '{value}'"))
+    }
+}
+
+/// A rejected command line: explain, point at --help, exit 2 (distinct
+/// from runtime failures, which exit 1).
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("usage error: {message}");
+    eprintln!("(see `datasculpt --help`)");
+    ExitCode::from(2)
 }
 
 fn load_dataset(args: &[String]) -> Result<TextDataset, ExitCode> {
@@ -151,8 +243,17 @@ fn load_dataset(args: &[String]) -> Result<TextDataset, ExitCode> {
         return Err(ExitCode::FAILURE);
     };
     let flags = Flags { args };
-    let scale: f64 = flags.parse_or("--scale", 1.0);
-    let seed: u64 = flags.parse_or("--seed", 0);
+    let scale: f64 = match flags.parse_strict("--scale", 1.0) {
+        Ok(v) => v,
+        Err(m) => return Err(usage_error(&m)),
+    };
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(usage_error(&format!("--scale {scale} out of range (0, 1]")));
+    }
+    let seed: u64 = match flags.parse_strict("--seed", 0) {
+        Ok(v) => v,
+        Err(m) => return Err(usage_error(&m)),
+    };
     Ok(if (scale - 1.0).abs() < 1e-12 {
         name.load(seed)
     } else {
@@ -160,17 +261,24 @@ fn load_dataset(args: &[String]) -> Result<TextDataset, ExitCode> {
     })
 }
 
-fn parse_model(flags: &Flags) -> ModelId {
+fn parse_model(flags: &Flags) -> Result<ModelId, ExitCode> {
     match flags.get("--model").unwrap_or("gpt-3.5") {
-        "gpt-4" => ModelId::Gpt4,
-        "llama-7b" => ModelId::Llama2Chat7b,
-        "llama-13b" => ModelId::Llama2Chat13b,
-        "llama-70b" => ModelId::Llama2Chat70b,
-        _ => ModelId::Gpt35Turbo,
+        "gpt-3.5" => Ok(ModelId::Gpt35Turbo),
+        "gpt-4" => Ok(ModelId::Gpt4),
+        "llama-7b" => Ok(ModelId::Llama2Chat7b),
+        "llama-13b" => Ok(ModelId::Llama2Chat13b),
+        "llama-70b" => Ok(ModelId::Llama2Chat70b),
+        other => Err(usage_error(&format!(
+            "unknown model '{other}' (gpt-3.5 gpt-4 llama-7b llama-13b llama-70b)"
+        ))),
     }
 }
 
 fn inspect(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(1, &["--scale", "--seed"], &[]) {
+        return usage_error(&m);
+    }
     let dataset = match load_dataset(args) {
         Ok(d) => d,
         Err(code) => return code,
@@ -265,29 +373,83 @@ impl Observability {
     }
 }
 
+/// Everything `datasculpt run` accepts; anything else is a usage error.
+const RUN_VALUE_FLAGS: &[&str] = &[
+    "--scale",
+    "--seed",
+    "--config",
+    "--model",
+    "--queries",
+    "--sampler",
+    "--show-lfs",
+    "--threads",
+    "--trace",
+    "--retries",
+    "--cache",
+    "--store",
+    "--resume",
+    "--checkpoint-every",
+    "--inject-crash-after",
+];
+const RUN_SWITCHES: &[&str] = &["--revise", "--metrics", "--verbose"];
+
 fn run(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(1, RUN_VALUE_FLAGS, RUN_SWITCHES) {
+        return usage_error(&m);
+    }
+    if flags.has("--store") && flags.has("--resume") {
+        return usage_error(
+            "--store and --resume are mutually exclusive \
+             (--store DIR may start fresh; --resume DIR must find an existing checkpoint)",
+        );
+    }
+    let durable = flags.has("--store") || flags.has("--resume");
+    if flags.has("--checkpoint-every") && !durable {
+        return usage_error("--checkpoint-every requires --store DIR or --resume DIR");
+    }
+    if flags.has("--inject-crash-after") && !durable {
+        return usage_error("--inject-crash-after requires --store DIR or --resume DIR");
+    }
     let dataset = match load_dataset(args) {
         Ok(d) => d,
         Err(code) => return code,
     };
-    let flags = Flags { args };
-    let seed: u64 = flags.parse_or("--seed", 0);
+    let seed: u64 = match flags.parse_strict("--seed", 0) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
     let mut config = match flags.get("--config").unwrap_or("base") {
+        "base" => DataSculptConfig::base(seed),
         "cot" => DataSculptConfig::cot(seed),
         "sc" => DataSculptConfig::sc(seed),
         "kate" => DataSculptConfig::kate(seed),
-        _ => DataSculptConfig::base(seed),
+        other => return usage_error(&format!("unknown config '{other}' (base|cot|sc|kate)")),
     };
-    config.num_queries = flags.parse_or("--queries", config.num_queries);
+    config.num_queries = match flags.parse_strict("--queries", config.num_queries) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
     config.sampler = match flags.get("--sampler").unwrap_or("random") {
+        "random" => SamplerKind::Random,
         "uncertain" => SamplerKind::Uncertain,
         "seu" => SamplerKind::Seu,
         "coreset" => SamplerKind::CoreSet,
-        _ => SamplerKind::Random,
+        other => {
+            return usage_error(&format!(
+                "unknown sampler '{other}' (random|uncertain|seu|coreset)"
+            ))
+        }
     };
     config.revise_rejected = flags.has("--revise");
-    config.threads = flags.parse_or("--threads", 1usize).max(1);
-    let model = parse_model(&flags);
+    config.threads = match flags.parse_strict("--threads", 1usize) {
+        Ok(v) => v.max(1),
+        Err(m) => return usage_error(&m),
+    };
+    let model = match parse_model(&flags) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
 
     let mut obs = match Observability::from_flags(&flags) {
         Ok(o) => o,
@@ -295,12 +457,18 @@ fn run(args: &[String]) -> ExitCode {
     };
     let sim = SimulatedLlm::new(model, dataset.generative.clone(), seed)
         .with_pool(Pool::new(config.threads));
-    let retries: u32 = flags.parse_or("--retries", 0);
+    let retries: u32 = match flags.parse_strict("--retries", 0) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
     let retry = RetryModel::new(sim, retries).with_observer(obs.shared.clone());
-    if flags.get("--store").or(flags.get("--resume")).is_some() {
+    if durable {
         return run_durably(&dataset, config, model, seed, retry, &mut obs, &flags);
     }
-    let cache: usize = flags.parse_or("--cache", 0);
+    let cache: usize = match flags.parse_strict("--cache", 0usize) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
     if cache > 0 {
         let mut llm = CachedModel::with_capacity(retry, cache).with_observer(obs.shared.clone());
         execute_run(&dataset, config, &mut llm, &mut obs, &flags)
@@ -326,7 +494,8 @@ fn run_durably<M: ChatModel>(
         Some(dir) => std::path::PathBuf::from(dir),
         None => return ExitCode::FAILURE,
     };
-    let scale: f64 = flags.parse_or("--scale", 1.0);
+    // Already validated by `run`; default is enough here.
+    let scale: f64 = flags.parse_strict("--scale", 1.0).unwrap_or(1.0);
     let fingerprint = RunFingerprint {
         dataset: dataset.spec.name.to_string(),
         dataset_seed: seed,
@@ -335,19 +504,25 @@ fn run_durably<M: ChatModel>(
         llm_seed: seed,
         config,
     };
+    let checkpoint_every = match flags.parse_strict("--checkpoint-every", 1u64) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    let crash_after = match flags.parse_strict::<u64>("--inject-crash-after", 0) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
     let opts = DurableOptions {
-        checkpoint_every: flags.parse_or("--checkpoint-every", 1u64),
+        checkpoint_every,
         kill: None,
         require_existing: resume.is_some(),
     };
     let observer = Some(obs.shared.clone());
-    let outcome = match flags.get("--inject-crash-after") {
-        Some(n) => {
-            let budget: u64 = n.parse().unwrap_or(0);
-            let doomed = KillAfter::aborting_process(backend, budget);
-            run_durable(dataset, &fingerprint, doomed, &dir, &opts, observer)
-        }
-        None => run_durable(dataset, &fingerprint, backend, &dir, &opts, observer),
+    let outcome = if flags.has("--inject-crash-after") {
+        let doomed = KillAfter::aborting_process(backend, crash_after);
+        run_durable(dataset, &fingerprint, doomed, &dir, &opts, observer)
+    } else {
+        run_durable(dataset, &fingerprint, backend, &dir, &opts, observer)
     };
     let outcome = match outcome {
         Ok(outcome) => outcome,
@@ -406,7 +581,8 @@ fn report_run(
     };
     let eval = evaluate_lf_set(dataset, &run.lf_set, &eval_config);
 
-    let show: usize = flags.parse_or("--show-lfs", 5);
+    // Validated up-front by `run`; default is enough here.
+    let show: usize = flags.parse_strict("--show-lfs", 5).unwrap_or(5);
     if show > 0 {
         println!("sample LFs:");
         for lf in run.lf_set.lfs().iter().take(show) {
@@ -423,13 +599,26 @@ fn report_run(
 }
 
 fn baseline(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(
+        1,
+        &["--system", "--model", "--scale", "--seed", "--trace"],
+        &["--metrics", "--verbose"],
+    ) {
+        return usage_error(&m);
+    }
     let dataset = match load_dataset(args) {
         Ok(d) => d,
         Err(code) => return code,
     };
-    let flags = Flags { args };
-    let seed: u64 = flags.parse_or("--seed", 0);
-    let model = parse_model(&flags);
+    let seed: u64 = match flags.parse_strict("--seed", 0) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    let model = match parse_model(&flags) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
     let Some(name) = DatasetName::parse(dataset.spec.name) else {
         eprintln!("error: unknown dataset '{}'", dataset.spec.name);
         return ExitCode::from(2);
@@ -484,8 +673,9 @@ fn baseline(args: &[String]) -> ExitCode {
             }
         }
         other => {
-            eprintln!("unknown baseline system '{other}' (wrench|scriptorium|promptedlf)");
-            return ExitCode::FAILURE;
+            return usage_error(&format!(
+                "unknown baseline system '{other}' (wrench|scriptorium|promptedlf)"
+            ));
         }
     }
     ExitCode::SUCCESS
@@ -630,6 +820,328 @@ fn trace_check(args: &[String]) -> ExitCode {
             eprintln!("{path}: invalid trace: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Dispatch `datasculpt serve <start|submit|status|cancel|drain|ping>`
+/// (docs/serving.md). `start` runs the daemon in the foreground; the rest
+/// are one-shot clients of a running daemon's socket.
+fn serve_family(args: &[String]) -> ExitCode {
+    let rest = args.get(1..).unwrap_or(&[]);
+    match args.first().map(String::as_str) {
+        Some("start") => serve_start(rest),
+        Some("submit") => serve_submit(rest),
+        Some("status") => serve_status(rest),
+        Some("cancel") => serve_cancel(rest),
+        Some("drain") => serve_drain(rest),
+        Some("ping") => serve_ping(rest),
+        other => usage_error(&format!(
+            "unknown serve subcommand {:?} (start|submit|status|cancel|drain|ping)",
+            other.unwrap_or("<none>")
+        )),
+    }
+}
+
+fn serve_start(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(
+        0,
+        &[
+            "--socket",
+            "--state",
+            "--slots",
+            "--checkpoint-every",
+            "--trace",
+        ],
+        &["--metrics", "--verbose"],
+    ) {
+        return usage_error(&m);
+    }
+    let Some(socket) = flags.get("--socket") else {
+        return usage_error("serve start requires --socket PATH (or tcp:PORT)");
+    };
+    let Some(state) = flags.get("--state") else {
+        return usage_error("serve start requires --state DIR");
+    };
+    let endpoint = match Endpoint::parse(socket) {
+        Ok(e) => e,
+        Err(m) => return usage_error(&m),
+    };
+    let slots: usize = match flags.parse_strict("--slots", 4usize) {
+        Ok(0) => return usage_error("--slots must be at least 1"),
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    let checkpoint_every: u64 = match flags.parse_strict("--checkpoint-every", 1u64) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    let mut obs = match Observability::from_flags(&flags) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let config = ServeConfig {
+        slots,
+        checkpoint_every,
+    };
+    let service = match Service::open(std::path::Path::new(state), config) {
+        Ok(s) => s.with_observer(obs.shared.clone()),
+        Err(e) => {
+            eprintln!("error: cannot open state dir '{state}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if service.recovered_jobs() > 0 {
+        eprintln!(
+            "recovered {} in-flight job(s) from {state}",
+            service.recovered_jobs()
+        );
+    }
+    eprintln!("datasculpt-serve listening on {endpoint} (state: {state})");
+    let code = match run_daemon(service, &endpoint) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("daemon failed: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if obs.close() {
+        code
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn serve_submit(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(
+        1,
+        &[
+            "--socket",
+            "--tenant",
+            "--budget",
+            "--queries",
+            "--scale",
+            "--seed",
+            "--config",
+            "--model",
+        ],
+        &[],
+    ) {
+        return usage_error(&m);
+    }
+    let Some(dataset) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage_error(
+            "serve submit expects the dataset name first (youtube sms imdb yelp agnews spouse)",
+        );
+    };
+    let Some(tenant) = flags.get("--tenant") else {
+        return usage_error("serve submit requires --tenant NAME");
+    };
+    let budget: u128 = match flags.parse_strict("--budget", 0u128) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    let queries: u64 = match flags.parse_strict("--queries", 8u64) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    let seed: u64 = match flags.parse_strict("--seed", 1u64) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    // Scale travels as a string on the (float-free) wire; check it parses
+    // here so the daemon never sees a bad one.
+    let scale = flags.get("--scale").unwrap_or("1");
+    if scale.parse::<f64>().is_err() {
+        return usage_error(&format!("flag --scale has unparseable value '{scale}'"));
+    }
+    let config = flags.get("--config").unwrap_or("base");
+    let model = flags.get("--model").unwrap_or("gpt-3.5");
+    use datasculpt::obs::jsonl::escape_json;
+    let line = format!(
+        "{{\"op\":\"submit\",\"tenant\":\"{}\",\"dataset\":\"{}\",\"config\":\"{}\",\
+         \"model\":\"{}\",\"seed\":{seed},\"scale\":\"{}\",\"queries\":{queries},\
+         \"budget_nanousd\":{budget}}}",
+        escape_json(tenant),
+        escape_json(dataset),
+        escape_json(config),
+        escape_json(model),
+        escape_json(scale),
+    );
+    match serve_request(&flags, &line) {
+        Ok(lines) => finish_reply(&lines),
+        Err(code) => code,
+    }
+}
+
+fn serve_status(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(0, &["--socket", "--job"], &[]) {
+        return usage_error(&m);
+    }
+    let line = match flags.parse_strict::<u64>("--job", 0) {
+        Ok(_) if flags.has("--job") => {
+            format!(
+                "{{\"op\":\"status\",\"job\":{}}}",
+                flags.get("--job").unwrap_or("0")
+            )
+        }
+        Ok(_) => "{\"op\":\"status\"}".to_string(),
+        Err(m) => return usage_error(&m),
+    };
+    match serve_request(&flags, &line) {
+        Ok(lines) => finish_reply(&lines),
+        Err(code) => code,
+    }
+}
+
+fn serve_cancel(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(0, &["--socket", "--job"], &[]) {
+        return usage_error(&m);
+    }
+    if !flags.has("--job") {
+        return usage_error("serve cancel requires --job N");
+    }
+    let job: u64 = match flags.parse_strict("--job", 0) {
+        Ok(v) => v,
+        Err(m) => return usage_error(&m),
+    };
+    match serve_request(&flags, &format!("{{\"op\":\"cancel\",\"job\":{job}}}")) {
+        Ok(lines) => finish_reply(&lines),
+        Err(code) => code,
+    }
+}
+
+fn serve_drain(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(0, &["--socket"], &[]) {
+        return usage_error(&m);
+    }
+    match serve_request(&flags, "{\"op\":\"drain\"}") {
+        Ok(lines) => finish_reply(&lines),
+        Err(code) => code,
+    }
+}
+
+fn serve_ping(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    if let Err(m) = flags.validate(0, &["--socket"], &[]) {
+        return usage_error(&m);
+    }
+    match serve_request(&flags, "{\"op\":\"ping\"}") {
+        Ok(lines) => finish_reply(&lines),
+        Err(code) => code,
+    }
+}
+
+/// A client connection to the daemon (Unix socket or localhost TCP).
+trait ServeStream: std::io::Read + std::io::Write {}
+impl ServeStream for std::os::unix::net::UnixStream {}
+impl ServeStream for std::net::TcpStream {}
+
+/// Send one request line to a running daemon and collect its reply lines
+/// (a status header announces how many job lines follow it).
+fn serve_request(flags: &Flags, line: &str) -> Result<Vec<String>, ExitCode> {
+    use std::io::{BufRead, BufReader, Write};
+    let Some(socket) = flags.get("--socket") else {
+        return Err(usage_error(
+            "requires --socket PATH (or tcp:PORT) of a running daemon",
+        ));
+    };
+    let endpoint = match Endpoint::parse(socket) {
+        Ok(e) => e,
+        Err(m) => return Err(usage_error(&m)),
+    };
+    let mut stream: Box<dyn ServeStream> = match &endpoint {
+        Endpoint::Unix(path) => match std::os::unix::net::UnixStream::connect(path) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                eprintln!("error: cannot connect to {endpoint}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        },
+        Endpoint::Tcp(port) => match std::net::TcpStream::connect(("127.0.0.1", *port)) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                eprintln!("error: cannot connect to {endpoint}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        },
+    };
+    let sent = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+    if let Err(e) = sent {
+        eprintln!("error: cannot send request to {endpoint}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    match reader.read_line(&mut first) {
+        Ok(0) => {
+            eprintln!("error: daemon closed the connection without answering");
+            return Err(ExitCode::FAILURE);
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error: cannot read reply: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    let header = first.trim_end().to_string();
+    let mut follow = reply_job_count(&header);
+    let mut lines = vec![header];
+    while follow > 0 {
+        let mut next = String::new();
+        match reader.read_line(&mut next) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => lines.push(next.trim_end().to_string()),
+        }
+        follow -= 1;
+    }
+    Ok(lines)
+}
+
+/// How many job lines follow a `{"ok":true,"jobs":N}` status header.
+fn reply_job_count(header: &str) -> u128 {
+    use datasculpt::obs::schema::JsonValue;
+    let Ok(fields) = datasculpt::obs::schema::parse_object(header) else {
+        return 0;
+    };
+    fields
+        .iter()
+        .find_map(|(k, v)| match (k.as_str(), v) {
+            ("jobs", JsonValue::UInt(n)) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// True when a reply line carries `"ok":true`.
+fn reply_ok(line: &str) -> bool {
+    use datasculpt::obs::schema::JsonValue;
+    datasculpt::obs::schema::parse_object(line)
+        .ok()
+        .and_then(|fields| {
+            fields.into_iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("ok", JsonValue::Bool(b)) => Some(b),
+                _ => None,
+            })
+        })
+        .unwrap_or(false)
+}
+
+/// Print all reply lines; exit success iff the first line says `"ok":true`.
+fn finish_reply(lines: &[String]) -> ExitCode {
+    for line in lines {
+        println!("{line}");
+    }
+    match lines.first() {
+        Some(first) if reply_ok(first) => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
     }
 }
 

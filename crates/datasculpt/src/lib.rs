@@ -18,6 +18,7 @@
 //! | [`baselines`] | `datasculpt-baselines` | WRENCH experts, ScriptoriumWS, PromptedLF |
 //! | [`obs`] | `datasculpt-obs` | run tracing: observers, span timing, JSONL trace sink, metrics |
 //! | [`store`] | `datasculpt-store` | durable runs: disk response store, checkpoint/resume, crash injection |
+//! | [`serve`] | `datasculpt-serve` | multi-tenant labeling service: fair scheduling, exact budget admission control |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use datasculpt_exec as exec;
 pub use datasculpt_labelmodel as labelmodel;
 pub use datasculpt_llm as llm;
 pub use datasculpt_obs as obs;
+pub use datasculpt_serve as serve;
 pub use datasculpt_store as store;
 pub use datasculpt_text as text;
 
@@ -84,9 +86,13 @@ pub mod prelude {
         SpanNode, SpanTreeBuilder, Stage, StderrProgressSink, SystemClock, TraceAnalysis,
         TraceSink, Tracer,
     };
+    pub use datasculpt_serve::{
+        run_daemon, BudgetGate, Endpoint, JobRequest, JobSpec, JobState, JobStatus, RoundReport,
+        ServeConfig, ServeError, Service, TenantBook,
+    };
     pub use datasculpt_store::{
-        run_durable, CheckpointError, CheckpointLog, DiskCachedModel, DiskCheckpointer,
-        DurableError, DurableOptions, DurableOutcome, KillAfter, KillSwitch, ResponseStore,
-        RunFingerprint, StoreError,
+        run_durable, run_durable_gated, CheckpointError, CheckpointLog, DiskCachedModel,
+        DiskCheckpointer, DurableError, DurableOptions, DurableOutcome, IterationGate, KillAfter,
+        KillSwitch, ResponseStore, RunFingerprint, StoreError,
     };
 }

@@ -76,3 +76,25 @@ pub trait ChatModel {
     /// stateless backends (a real HTTP client) keep the default no-op.
     fn advance_replayed(&mut self, _calls: u64) {}
 }
+
+/// Boxed model forwarding, so heterogeneous backends (a serving daemon's
+/// per-job factories, test harnesses injecting crash wrappers) can be
+/// passed anywhere a concrete `ChatModel` is expected. Every method
+/// forwards, preserving the inner model's `complete_batch` override.
+impl<M: ChatModel + ?Sized> ChatModel for Box<M> {
+    fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        (**self).complete(request)
+    }
+
+    fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
+        (**self).complete_batch(requests)
+    }
+
+    fn model_id(&self) -> ModelId {
+        (**self).model_id()
+    }
+
+    fn advance_replayed(&mut self, calls: u64) {
+        (**self).advance_replayed(calls);
+    }
+}

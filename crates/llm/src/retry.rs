@@ -101,12 +101,27 @@ impl<M: ChatModel> ChatModel for RetryModel<M> {
 
     /// Forward the whole batch to the backend (so a sharded or pipelined
     /// `complete_batch` underneath is preserved), then re-issue each
-    /// retryable failure individually within the per-request budget.
+    /// retryable failure individually within the per-request budget —
+    /// *only* the failed slots: an already-succeeded item is never
+    /// re-issued (and therefore never re-billed) because a later item in
+    /// the batch failed.
     ///
     /// Attempt counts, result order, and retry counters are identical to
-    /// the sequential default implementation.
+    /// the sequential default implementation. If a misbehaving backend
+    /// returns the wrong number of results, the vector is normalized to
+    /// `requests.len()` before the per-slot retry pass: missing slots
+    /// become retryable transport errors (so they are re-issued
+    /// individually within the budget) instead of silently truncating the
+    /// tail — a short return would otherwise misalign every later item
+    /// with its request and bill responses against the wrong prompts.
     fn complete_batch(&mut self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse, LlmError>> {
         let mut results = self.inner.complete_batch(requests);
+        results.truncate(requests.len());
+        while results.len() < requests.len() {
+            results.push(Err(LlmError::Transport(
+                "batch backend returned fewer results than requests".into(),
+            )));
+        }
         for (request, slot) in requests.iter().zip(results.iter_mut()) {
             let mut attempt = 0u32;
             while let Err(e) = slot {
@@ -199,6 +214,91 @@ mod tests {
         assert!(results.iter().all(|r| r.is_err()));
         assert_eq!(m.retries_performed(), 2);
         assert_eq!(m.get_ref().calls_attempted(), 4);
+    }
+
+    /// The re-billing audit, pinned with exact nano-USD arithmetic: when a
+    /// later batch item fails, the already-succeeded earlier items are
+    /// *not* re-issued to the backend, and a ledger fed the batch results
+    /// bills exactly what a sequential un-wrapped run of the same script
+    /// would — nothing twice.
+    #[test]
+    fn batch_failure_rebills_nothing_exact_nanousd() {
+        use crate::usage::UsageLedger;
+
+        let script = vec!["Label: 0".into(), "Label: 1".into(), "Label: 2".into()];
+        let reqs = vec![req("alpha"), req("bravo"), req("charlie")];
+
+        // Expected billing: the same script served sequentially with no
+        // failures and no middleware.
+        let mut oracle = ScriptedModel::new(script.clone());
+        let mut expected = UsageLedger::new();
+        for r in &reqs {
+            let resp = oracle.complete(r).unwrap();
+            expected.record(resp.model, resp.usage);
+        }
+
+        // The middle item fails once (call index 1), succeeds on retry.
+        let flaky = FailingModel::fail_on(ScriptedModel::new(script), [1]);
+        let mut m = RetryModel::new(flaky, 2);
+        let mut ledger = UsageLedger::new();
+        for slot in m.complete_batch(&reqs) {
+            let resp = slot.unwrap();
+            ledger.record(resp.model, resp.usage);
+        }
+
+        // Only the failed item was re-issued: 3 first attempts + 1 retry
+        // reached the failure layer, and exactly 3 calls (one per request)
+        // reached the backend — the two successes were never re-issued.
+        assert_eq!(m.retries_performed(), 1);
+        assert_eq!(m.get_ref().calls_attempted(), 4);
+        assert_eq!(m.get_ref().get_ref().calls_served(), 3);
+
+        // Exact nano-USD equality with the failure-free sequential oracle.
+        assert!(expected.total_cost_nanousd() > 0);
+        assert_eq!(ledger.total_cost_nanousd(), expected.total_cost_nanousd());
+        assert_eq!(ledger.calls(), expected.calls());
+        assert_eq!(ledger.total_usage(), expected.total_usage());
+    }
+
+    /// A misbehaving backend that returns fewer batch results than
+    /// requests must not silently truncate the tail (which would misalign
+    /// every later item with its request): missing slots are padded with
+    /// retryable errors and recovered individually.
+    #[test]
+    fn short_batch_return_is_padded_and_recovered() {
+        /// Drops the last result of every batch (contract violation).
+        struct ShortBatch(ScriptedModel);
+        impl ChatModel for ShortBatch {
+            fn complete(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+                self.0.complete(request)
+            }
+            fn complete_batch(
+                &mut self,
+                requests: &[ChatRequest],
+            ) -> Vec<Result<ChatResponse, LlmError>> {
+                let mut results = self.0.complete_batch(requests);
+                results.pop();
+                results
+            }
+            fn model_id(&self) -> ModelId {
+                self.0.model_id()
+            }
+        }
+
+        let mut m = RetryModel::new(
+            ShortBatch(ScriptedModel::new(vec!["a".into(), "b".into(), "c".into()])),
+            1,
+        );
+        let results = m.complete_batch(&[req("x"), req("y"), req("z")]);
+        assert_eq!(results.len(), 3, "normalized to requests.len()");
+        assert!(results.iter().all(|r| r.is_ok()));
+        // The dropped tail slot was re-issued individually, once.
+        assert_eq!(m.retries_performed(), 1);
+        // Items keep their request alignment: the re-issued tail got the
+        // next scripted response, not a shifted earlier one.
+        assert_eq!(results[0].as_ref().unwrap().choices[0].content, "a");
+        assert_eq!(results[1].as_ref().unwrap().choices[0].content, "b");
+        assert_eq!(results[2].as_ref().unwrap().choices[0].content, "a");
     }
 
     #[test]

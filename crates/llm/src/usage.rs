@@ -13,15 +13,19 @@ pub struct TokenUsage {
 }
 
 impl TokenUsage {
-    /// Total tokens billed.
+    /// Total tokens billed. Saturates at `u64::MAX`: a long-lived daemon
+    /// must never wrap a tenant's accumulated spend back toward zero (a
+    /// wrap would silently defeat budget admission control).
     pub fn total(&self) -> u64 {
-        self.prompt_tokens + self.completion_tokens
+        self.prompt_tokens.saturating_add(self.completion_tokens)
     }
 
-    /// Element-wise sum.
+    /// Element-wise sum, saturating at `u64::MAX` per component.
     pub fn add(&mut self, other: TokenUsage) {
-        self.prompt_tokens += other.prompt_tokens;
-        self.completion_tokens += other.completion_tokens;
+        self.prompt_tokens = self.prompt_tokens.saturating_add(other.prompt_tokens);
+        self.completion_tokens = self
+            .completion_tokens
+            .saturating_add(other.completion_tokens);
     }
 }
 
@@ -29,8 +33,8 @@ impl std::ops::Add for TokenUsage {
     type Output = TokenUsage;
     fn add(self, rhs: TokenUsage) -> TokenUsage {
         TokenUsage {
-            prompt_tokens: self.prompt_tokens + rhs.prompt_tokens,
-            completion_tokens: self.completion_tokens + rhs.completion_tokens,
+            prompt_tokens: self.prompt_tokens.saturating_add(rhs.prompt_tokens),
+            completion_tokens: self.completion_tokens.saturating_add(rhs.completion_tokens),
         }
     }
 }
@@ -51,7 +55,7 @@ impl UsageLedger {
     /// Record one call's usage.
     pub fn record(&mut self, model: ModelId, usage: TokenUsage) {
         self.per_model.entry(model).or_default().add(usage);
-        self.calls += 1;
+        self.calls = self.calls.saturating_add(1);
     }
 
     /// Number of API calls recorded.
@@ -98,7 +102,7 @@ impl UsageLedger {
         for (m, u) in &other.per_model {
             self.per_model.entry(*m).or_default().add(*u);
         }
-        self.calls += other.calls;
+        self.calls = self.calls.saturating_add(other.calls);
     }
 }
 
@@ -181,5 +185,76 @@ mod tests {
         let l = UsageLedger::new();
         assert_eq!(l.usage(ModelId::Llama2Chat7b), TokenUsage::default());
         assert_eq!(l.total_cost_usd(), 0.0);
+    }
+
+    /// Accumulation at the `u64::MAX` boundary saturates instead of
+    /// wrapping. A wrap would reset a long-lived tenant's spend to
+    /// near-zero and silently defeat budget admission control.
+    #[test]
+    fn accumulation_saturates_at_u64_max() {
+        let near_max = TokenUsage {
+            prompt_tokens: u64::MAX - 1,
+            completion_tokens: u64::MAX,
+        };
+        let one = TokenUsage {
+            prompt_tokens: 2,
+            completion_tokens: 1,
+        };
+
+        // `total()` on a single saturated reading.
+        assert_eq!(near_max.total(), u64::MAX);
+
+        // `Add` (by value).
+        let summed = near_max + one;
+        assert_eq!(summed.prompt_tokens, u64::MAX);
+        assert_eq!(summed.completion_tokens, u64::MAX);
+
+        // `add` (in place), both orders.
+        let mut acc = near_max;
+        acc.add(one);
+        assert_eq!(acc.prompt_tokens, u64::MAX);
+        assert_eq!(acc.completion_tokens, u64::MAX);
+        let mut acc = one;
+        acc.add(near_max);
+        assert_eq!(acc.prompt_tokens, u64::MAX);
+        assert_eq!(acc.completion_tokens, u64::MAX);
+    }
+
+    /// A ledger fed `u64::MAX`-scale readings pins at the ceiling — it
+    /// never reports less than it did before a record.
+    #[test]
+    fn ledger_saturates_instead_of_wrapping() {
+        let mut l = UsageLedger::new();
+        l.record(
+            ModelId::Gpt35Turbo,
+            TokenUsage {
+                prompt_tokens: u64::MAX,
+                completion_tokens: u64::MAX - 3,
+            },
+        );
+        let before = l.total_usage();
+        l.record(
+            ModelId::Gpt35Turbo,
+            TokenUsage {
+                prompt_tokens: 10,
+                completion_tokens: 10,
+            },
+        );
+        let after = l.total_usage();
+        assert!(after.prompt_tokens >= before.prompt_tokens, "monotone");
+        assert!(
+            after.completion_tokens >= before.completion_tokens,
+            "monotone"
+        );
+        assert_eq!(after.prompt_tokens, u64::MAX);
+        assert_eq!(after.completion_tokens, u64::MAX);
+
+        // Merging two saturated ledgers stays saturated, calls included.
+        let mut a = l.clone();
+        a.calls = u64::MAX;
+        let b = l.clone();
+        a.merge(&b);
+        assert_eq!(a.calls(), u64::MAX);
+        assert_eq!(a.total_usage().prompt_tokens, u64::MAX);
     }
 }

@@ -36,11 +36,15 @@ pub enum Stage {
     /// Restoring durable-run state from disk (store open + checkpoint
     /// load + verified replay).
     Restore,
+    /// One tenant job processed by the serving daemon (submit → terminal
+    /// state); usage events inside the span attribute the job's exact
+    /// nano-USD cost to it.
+    Job,
 }
 
 impl Stage {
     /// Every stage, in reporting order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Select,
         Stage::Prompt,
         Stage::Generate,
@@ -51,6 +55,7 @@ impl Stage {
         Stage::Bench,
         Stage::Checkpoint,
         Stage::Restore,
+        Stage::Job,
     ];
 
     /// Stable wire name (the JSONL `stage` field).
@@ -66,6 +71,7 @@ impl Stage {
             Stage::Bench => "bench",
             Stage::Checkpoint => "checkpoint",
             Stage::Restore => "restore",
+            Stage::Job => "job",
         }
     }
 
@@ -116,11 +122,23 @@ pub enum Counter {
     CheckpointWrite,
     /// One already-checkpointed iteration verified during a resume replay.
     RestoreReplay,
+    /// A tenant job admitted (scheduled onto the pool) by the serving
+    /// daemon's budget admission control.
+    JobAdmit,
+    /// A tenant job rejected at admission: the tenant's remaining budget
+    /// cannot cover the job's projected cost.
+    JobRejectBudget,
+    /// A running job paused mid-run: its next iteration's projected cost
+    /// would overdraw the tenant's budget. State is checkpointed; a
+    /// budget top-up resumes it bit-identically.
+    JobPause,
+    /// A tenant job that ran to completion.
+    JobComplete,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::LfAccepted,
         Counter::LfDuplicate,
         Counter::LfRejectedValidity,
@@ -137,6 +155,10 @@ impl Counter {
         Counter::StoreMiss,
         Counter::CheckpointWrite,
         Counter::RestoreReplay,
+        Counter::JobAdmit,
+        Counter::JobRejectBudget,
+        Counter::JobPause,
+        Counter::JobComplete,
     ];
 
     /// Stable wire name (the JSONL `counter` field).
@@ -158,6 +180,10 @@ impl Counter {
             Counter::StoreMiss => "store_miss",
             Counter::CheckpointWrite => "checkpoint_write",
             Counter::RestoreReplay => "restore_replay",
+            Counter::JobAdmit => "job_admit",
+            Counter::JobRejectBudget => "job_reject_budget",
+            Counter::JobPause => "job_pause",
+            Counter::JobComplete => "job_complete",
         }
     }
 

@@ -1,0 +1,47 @@
+//! Multi-tenant labeling service for DataSculpt runs.
+//!
+//! A long-lived daemon accepts concurrent labeling jobs over a
+//! line-delimited JSON protocol (Unix socket or localhost TCP), schedules
+//! them fairly across tenants — round-robin weighted by remaining budget
+//! — onto the `datasculpt-exec` pool, and enforces per-tenant nano-USD
+//! budgets with *exact* admission control: before every iteration the
+//! projected cost (the job's running mean, ceiling-rounded, on the same
+//! integer ledger the pipeline bills with) is checked against the
+//! tenant's remaining budget, pausing the job durably the moment it
+//! would overdraw.
+//!
+//! Every job runs through `datasculpt-store`'s durable runner in its own
+//! directory, and submits/transitions land in a synced registry log, so
+//! a daemon crash at any instant resumes all in-flight jobs
+//! bit-identically on restart — the same contract the single-run CLI
+//! has, lifted to a fleet of tenants.
+//!
+//! Layering:
+//!
+//! * [`job`] — job specs, lifecycle states, status reporting.
+//! * [`registry`] — the durable submit/transition log.
+//! * [`budget`] — tenant accounts and the per-iteration budget gate.
+//! * [`service`] — the scheduler (plan → execute → commit rounds).
+//! * [`protocol`] — the wire format.
+//! * [`daemon`] — the socket listener and connection handling.
+//!
+//! See `docs/serving.md` for the protocol reference, the scheduling
+//! policy, the admission-control math (including the one-iteration
+//! overdraft bound), and crash-resume semantics.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod budget;
+pub mod daemon;
+pub mod job;
+pub mod protocol;
+pub mod registry;
+pub mod service;
+
+pub use budget::{BudgetGate, TenantAccount, TenantBook, CANCEL_PREFIX, PAUSE_PREFIX};
+pub use daemon::{run_daemon, Endpoint};
+pub use job::{JobSpec, JobState, JobStatus};
+pub use registry::{JobRegistry, RegistryRecord, REGISTRY_FILE};
+pub use service::{
+    BackendFactory, JobRequest, RoundReport, ServeConfig, ServeError, Service, JOBS_DIR,
+};

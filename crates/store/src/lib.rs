@@ -46,7 +46,9 @@ pub use disk_cache::DiskCachedModel;
 pub use framing::{FramedLog, ScanOutcome, TornTail};
 pub use inject::{tear_tail, KillAfter, KillSwitch};
 pub use response::request_digest;
-pub use runner::{run_durable, DurableError, DurableOptions, DurableOutcome};
+pub use runner::{
+    run_durable, run_durable_gated, DurableError, DurableOptions, DurableOutcome, IterationGate,
+};
 pub use store::ResponseStore;
 
 /// A durable-storage failure: an I/O error with its path and operation, or
@@ -67,7 +69,10 @@ pub enum StoreError {
 }
 
 impl StoreError {
-    pub(crate) fn io(path: &std::path::Path, op: &'static str, err: &std::io::Error) -> Self {
+    /// An [`StoreError::Io`] from an OS error at `path` during `op`
+    /// (public so sibling durable logs — e.g. the serve job registry —
+    /// report in the same shape).
+    pub fn io(path: &std::path::Path, op: &'static str, err: &std::io::Error) -> Self {
         StoreError::Io {
             path: path.display().to_string(),
             op,

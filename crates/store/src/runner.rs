@@ -20,7 +20,7 @@ use crate::disk_cache::DiskCachedModel;
 use crate::inject::KillSwitch;
 use crate::store::ResponseStore;
 use crate::StoreError;
-use datasculpt_core::{DataSculpt, PipelineError, RunResult};
+use datasculpt_core::{CheckpointSink, DataSculpt, IterationCheckpoint, PipelineError, RunResult};
 use datasculpt_data::TextDataset;
 use datasculpt_llm::cache::CacheStats;
 use datasculpt_llm::ChatModel;
@@ -121,6 +121,40 @@ impl From<CheckpointError> for DurableError {
     }
 }
 
+/// A per-iteration admission hook for gated durable runs
+/// ([`run_durable_gated`]).
+///
+/// The gate is consulted *after* the iteration's snapshot has been
+/// persisted (or verified, during a resume replay) by the
+/// [`DiskCheckpointer`], so a gate that stops the run never loses state:
+/// the aborted run resumes bit-identically from the iteration it was
+/// stopped at. Returning `Err` surfaces as
+/// [`PipelineError::Checkpoint`] with the gate's message — callers (the
+/// serving daemon's budget admission control) encode pause/cancel
+/// decisions in the message and classify the error on the way out.
+pub trait IterationGate {
+    /// Decide whether the run may proceed past this (already durable)
+    /// iteration snapshot.
+    fn after_checkpoint(&mut self, snapshot: &IterationCheckpoint) -> Result<(), String>;
+}
+
+/// [`CheckpointSink`] adapter: persist through the checkpointer first,
+/// then consult the gate.
+struct GatedSink<'c, 'g> {
+    checkpointer: &'c mut DiskCheckpointer,
+    gate: Option<&'g mut dyn IterationGate>,
+}
+
+impl CheckpointSink for GatedSink<'_, '_> {
+    fn on_iteration(&mut self, snapshot: &IterationCheckpoint) -> Result<(), String> {
+        self.checkpointer.on_iteration(snapshot)?;
+        if let Some(gate) = self.gate.as_deref_mut() {
+            gate.after_checkpoint(snapshot)?;
+        }
+        Ok(())
+    }
+}
+
 /// Run DataSculpt durably in `dir`, resuming from whatever state the
 /// directory already holds.
 ///
@@ -137,6 +171,21 @@ pub fn run_durable<M: ChatModel>(
     dir: &Path,
     opts: &DurableOptions,
     observer: Option<SharedObserver>,
+) -> Result<DurableOutcome, DurableError> {
+    run_durable_gated(dataset, fingerprint, backend, dir, opts, observer, None)
+}
+
+/// [`run_durable`] with an optional [`IterationGate`] consulted after
+/// every durable iteration snapshot — the serving daemon's budget
+/// admission hook.
+pub fn run_durable_gated<M: ChatModel>(
+    dataset: &TextDataset,
+    fingerprint: &RunFingerprint,
+    backend: M,
+    dir: &Path,
+    opts: &DurableOptions,
+    observer: Option<SharedObserver>,
+    gate: Option<&mut dyn IterationGate>,
 ) -> Result<DurableOutcome, DurableError> {
     std::fs::create_dir_all(dir)
         .map_err(|e| DurableError::Store(StoreError::io(dir, "create-dir", &e)))?;
@@ -195,11 +244,12 @@ pub fn run_durable<M: ChatModel>(
         Some(o) => o,
         None => &mut noop,
     };
-    let result = DataSculpt::new(dataset, fingerprint.config).run_durable(
-        &mut model,
-        obs,
-        &mut checkpointer,
-    )?;
+    let mut sink = GatedSink {
+        checkpointer: &mut checkpointer,
+        gate,
+    };
+    let result =
+        DataSculpt::new(dataset, fingerprint.config).run_durable(&mut model, obs, &mut sink)?;
 
     Ok(DurableOutcome {
         result,

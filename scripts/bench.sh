@@ -4,11 +4,15 @@
 #
 #   ./scripts/bench.sh                 full run of every bench:
 #                                      BENCH_hotpath.json (Agnews,
-#                                      5 iterations/kernel, docs/perf.md)
-#                                      and BENCH_obs.json (observer
-#                                      overhead, docs/observability.md)
+#                                      5 iterations/kernel, docs/perf.md),
+#                                      BENCH_obs.json (observer overhead,
+#                                      docs/observability.md), and
+#                                      BENCH_serve.json (serve traffic,
+#                                      docs/serving.md)
 #   ./scripts/bench.sh hotpath [...]   just the hot-path kernels
 #   ./scripts/bench.sh obs [...]       just the observer-overhead bench
+#   ./scripts/bench.sh serve [...]     just the serve traffic simulation
+#                                      (BENCH_serve.json, docs/serving.md)
 #   ./scripts/bench.sh --check         smoke mode: one short iteration of
 #                                      every bench into temp files, schema
 #                                      check only, no timing thresholds
@@ -60,6 +64,21 @@ validate_obs() {
   echo "bench.sh: $out valid (schema datasculpt-bench-obs/v1)"
 }
 
+# Schema validation: the traffic/latency figures and the budget audit.
+validate_serve() {
+  local out="$1"
+  grep -q '"schema": "datasculpt-bench-serve/v1"' "$out" \
+    || fail "missing schema marker datasculpt-bench-serve/v1" "$out"
+  grep -q '"tenants": [0-9]' "$out" || fail "missing tenants" "$out"
+  for field in completed rejected paused rounds round_p50_ns round_p95_ns \
+               jobs_per_sec_milli budget_violation_tenants \
+               max_overdraft_nanousd total_cost_nanousd; do
+    grep -q "\"$field\": [0-9]" "$out" || fail "missing $field" "$out"
+  done
+  grep -q '"peak_rss_kb": [0-9]' "$out" || fail "missing peak_rss_kb" "$out"
+  echo "bench.sh: $out valid (schema datasculpt-bench-serve/v1)"
+}
+
 run_hotpath() {
   if [ "$mode" = "check" ]; then
     local out
@@ -90,9 +109,25 @@ run_obs() {
   fi
 }
 
+run_serve() {
+  if [ "$mode" = "check" ]; then
+    local out
+    out="$(mktemp /tmp/ds-bench-serve.XXXXXX.json)"
+    cargo run -q --release -p datasculpt-bench --bin servebench -- \
+      --check --out "$out" "$@"
+    validate_serve "$out"
+    rm -f "$out"
+  else
+    cargo run -q --release -p datasculpt-bench --bin servebench -- \
+      --out BENCH_serve.json "$@"
+    validate_serve BENCH_serve.json
+  fi
+}
+
 case "$bench" in
-  all)     run_hotpath; run_obs ;;
+  all)     run_hotpath; run_obs; run_serve ;;
   hotpath) run_hotpath "$@" ;;
   obs)     run_obs "$@" ;;
-  *)       echo "unknown bench '$bench' (all|hotpath|obs)" >&2; exit 2 ;;
+  serve)   run_serve "$@" ;;
+  *)       echo "unknown bench '$bench' (all|hotpath|obs|serve)" >&2; exit 2 ;;
 esac

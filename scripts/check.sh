@@ -31,7 +31,7 @@ trace_file="$(mktemp /tmp/ds-trace.XXXXXX.jsonl)"
 trace_file_b="$(mktemp /tmp/ds-trace-b.XXXXXX.jsonl)"
 store_a="$(mktemp -d /tmp/ds-store-a.XXXXXX)"
 store_b="$(mktemp -d /tmp/ds-store-b.XXXXXX)"
-trap 'rm -f "$trace_file" "$trace_file_b"; rm -rf "$store_a" "$store_b"' EXIT
+trap 'rm -f "$trace_file" "$trace_file_b"; rm -rf "$store_a" "$store_b" "${serve_dir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 cargo run -q -p datasculpt --bin datasculpt -- \
   run youtube --scale 0.05 --queries 5 --revise --cache 256 \
   --trace "$trace_file" --metrics > /dev/null
@@ -100,5 +100,41 @@ if [ -z "$baseline_digest" ] || [ "$baseline_digest" != "$resumed_digest" ]; the
   exit 1
 fi
 echo "    digest ${baseline_digest} identical for uninterrupted and crash+resume"
+
+echo "==> serve smoke test (daemon over a unix socket: submit, budget reject, drain)"
+serve_dir="$(mktemp -d /tmp/ds-serve.XXXXXX)"
+serve_sock="$serve_dir/serve.sock"
+serve_cli() { cargo run -q -p datasculpt --bin datasculpt -- serve "$@"; }
+serve_cli start --socket "$serve_sock" --state "$serve_dir/state" --slots 2 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  if serve_cli ping --socket "$serve_sock" > /dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+serve_cli submit youtube --socket "$serve_sock" --tenant acme \
+  --budget 1000000000000 --scale 0.05 --queries 2 --seed 7 > /dev/null
+serve_cli submit youtube --socket "$serve_sock" --tenant freeloader \
+  --budget 0 --scale 0.05 --queries 2 --seed 8 > /dev/null
+# The background scheduler runs the jobs on its own; poll the per-job
+# states until both reach their verdicts, then drain (which also shuts
+# the daemon down).
+serve_status=""
+for _ in $(seq 1 100); do
+  serve_status="$(serve_cli status --socket "$serve_sock")"
+  if echo "$serve_status" | grep -q '"tenant":"acme".*"state":"completed"' \
+     && echo "$serve_status" | grep -q '"tenant":"freeloader".*"state":"rejected"'; then
+    break
+  fi
+  sleep 0.2
+done
+echo "$serve_status" | grep -q '"tenant":"acme".*"state":"completed"' \
+  || { echo "FAIL: funded serve job did not complete: $serve_status" >&2; exit 1; }
+echo "$serve_status" | grep -q '"tenant":"freeloader".*"state":"rejected"' \
+  || { echo "FAIL: zero-budget serve job was not rejected: $serve_status" >&2; exit 1; }
+serve_cli drain --socket "$serve_sock" | grep -q '"drained":true' \
+  || { echo "FAIL: serve drain did not ack" >&2; exit 1; }
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "    daemon completed the funded job and rejected the unfunded one"
 
 echo "==> all checks passed"

@@ -1,0 +1,152 @@
+//! CLI flag validation: conflicting flags, dependent flags missing their
+//! parent, unknown flags, and unparseable values must all be usage errors
+//! (exit 2) — never silently ignored with a default.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_datasculpt"))
+        .args(args)
+        .output()
+        .expect("spawn datasculpt")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = cli(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected usage error (exit 2) for {args:?}; stderr: {}",
+        stderr_of(&out)
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("usage error"), "{args:?}: {err}");
+    assert!(
+        err.contains(needle),
+        "{args:?} stderr missing {needle:?}: {err}"
+    );
+}
+
+#[test]
+fn store_and_resume_together_is_a_usage_error() {
+    assert_usage_error(
+        &["run", "youtube", "--store", "a", "--resume", "b"],
+        "mutually exclusive",
+    );
+}
+
+#[test]
+fn checkpoint_every_requires_a_durable_dir() {
+    assert_usage_error(
+        &["run", "youtube", "--checkpoint-every", "2"],
+        "--checkpoint-every requires",
+    );
+}
+
+#[test]
+fn inject_crash_after_requires_a_durable_dir() {
+    assert_usage_error(
+        &["run", "youtube", "--inject-crash-after", "1"],
+        "--inject-crash-after requires",
+    );
+}
+
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    assert_usage_error(&["run", "youtube", "--bogus", "3"], "unknown flag --bogus");
+    assert_usage_error(&["inspect", "youtube", "--sneaky"], "unknown flag --sneaky");
+    assert_usage_error(
+        &["baseline", "youtube", "--system", "wrench", "--store", "d"],
+        "unknown flag --store",
+    );
+}
+
+#[test]
+fn unparseable_numeric_values_are_rejected() {
+    assert_usage_error(
+        &["run", "youtube", "--seed", "nope"],
+        "unparseable value 'nope'",
+    );
+    assert_usage_error(&["run", "youtube", "--queries", "many"], "--queries");
+    assert_usage_error(
+        &["inspect", "youtube", "--scale", "wide"],
+        "unparseable value 'wide'",
+    );
+}
+
+#[test]
+fn value_flag_without_a_value_is_rejected() {
+    assert_usage_error(&["run", "youtube", "--seed"], "expects a value");
+    assert_usage_error(
+        &["run", "youtube", "--seed", "--verbose"],
+        "expects a value",
+    );
+}
+
+#[test]
+fn out_of_range_scale_is_rejected() {
+    assert_usage_error(&["run", "youtube", "--scale", "0"], "out of range");
+    assert_usage_error(&["inspect", "youtube", "--scale", "1.5"], "out of range");
+}
+
+#[test]
+fn unknown_enum_values_are_rejected() {
+    assert_usage_error(
+        &["run", "youtube", "--config", "mega"],
+        "unknown config 'mega'",
+    );
+    assert_usage_error(
+        &["run", "youtube", "--sampler", "psychic"],
+        "unknown sampler",
+    );
+    assert_usage_error(
+        &["run", "youtube", "--model", "gpt-99"],
+        "unknown model 'gpt-99'",
+    );
+}
+
+#[test]
+fn serve_subcommands_validate_their_flags() {
+    assert_usage_error(&["serve", "start", "--socket", "s.sock"], "--state");
+    assert_usage_error(&["serve", "start", "--state", "d"], "--socket");
+    assert_usage_error(
+        &["serve", "start", "--socket", "tcp:notaport", "--state", "d"],
+        "unparseable TCP port",
+    );
+    assert_usage_error(&["serve", "submit", "youtube", "--socket", "s"], "--tenant");
+    assert_usage_error(
+        &["serve", "submit", "--socket", "s", "--tenant", "acme"],
+        "dataset name",
+    );
+    assert_usage_error(
+        &[
+            "serve", "submit", "youtube", "--socket", "s", "--tenant", "a", "--budget", "lots",
+        ],
+        "--budget",
+    );
+    assert_usage_error(&["serve", "cancel", "--socket", "s"], "--job");
+    assert_usage_error(&["serve", "frobnicate"], "unknown serve subcommand");
+}
+
+#[test]
+fn a_valid_run_still_succeeds() {
+    let out = cli(&[
+        "run",
+        "youtube",
+        "--scale",
+        "0.05",
+        "--queries",
+        "2",
+        "--seed",
+        "13",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("run digest:"), "{stdout}");
+}

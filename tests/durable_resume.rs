@@ -302,6 +302,81 @@ fn torn_response_tail_resumes_bit_identically() {
     std::fs::remove_dir_all(&dir_b).ok();
 }
 
+fn counter_total(events: &[Event], want: Counter) -> u64 {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter { counter, delta } if *counter == want => Some(*delta),
+            _ => None,
+        })
+        .sum()
+}
+
+/// The disk store's observability counters agree exactly with
+/// `cache_stats()` on both sides of a crash: one `store_miss` per billed
+/// backend call, one `store_hit` per replayed response — never
+/// double-counted while the resume replays iterations.
+#[test]
+fn store_counters_match_cache_stats_across_a_resume() {
+    let d = dataset();
+    let fp = fingerprint();
+
+    let baseline_events = CaptureSink::default();
+    let dir = tempdir("counters");
+    let doomed = KillAfter::new(backend(&d), 3, KillSwitch::new());
+    let switch = doomed.switch();
+    let _ = run_durable(
+        &d,
+        &fp,
+        doomed,
+        &dir,
+        &DurableOptions {
+            kill: Some(switch.clone()),
+            ..DurableOptions::default()
+        },
+        Some(observed(&baseline_events)),
+    );
+    assert!(switch.is_dead());
+    {
+        let events = baseline_events.0.lock().unwrap();
+        // A miss counts every forwarded attempt — the 3 answered calls
+        // plus the failed post-kill attempts that tripped the
+        // consecutive-failure limit. Nothing replays on a fresh dir.
+        assert!(
+            counter_total(&events, Counter::StoreMiss) >= 3,
+            "at least the 3 answered calls were misses"
+        );
+        assert_eq!(counter_total(&events, Counter::StoreHit), 0);
+    }
+
+    let resumed_events = CaptureSink::default();
+    let resumed = run_durable(
+        &d,
+        &fp,
+        backend(&d),
+        &dir,
+        &DurableOptions {
+            require_existing: true,
+            ..DurableOptions::default()
+        },
+        Some(observed(&resumed_events)),
+    )
+    .unwrap();
+
+    let events = resumed_events.0.lock().unwrap();
+    let hits = counter_total(&events, Counter::StoreHit);
+    let misses = counter_total(&events, Counter::StoreMiss);
+    // Counter events == cache_stats(), exactly: replaying checkpointed
+    // iterations serves each stored response once and counts it once.
+    assert_eq!(hits, resumed.store_stats.hits, "store_hit double-counted");
+    assert_eq!(
+        misses, resumed.store_stats.misses,
+        "store_miss double-counted"
+    );
+    assert_eq!(hits, 3, "every pre-crash response replayed exactly once");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A sparser checkpoint cadence changes how much is replayed, never what
 /// the run produces.
 #[test]

@@ -1,0 +1,278 @@
+//! Tier-1: the multi-tenant labeling service (`datasculpt-serve`).
+//!
+//! Three contracts from `docs/serving.md` are pinned here:
+//!
+//! 1. **Exact cost partition** — with N concurrent jobs over the scripted
+//!    simulated backend, the per-job ledgers, the per-tenant ledgers, the
+//!    global ledger, and the budget book's committed spend all agree to
+//!    the exact nano-USD, and job digests are independent of `slots`.
+//! 2. **Admission control** — a job whose tenant has zero remaining
+//!    budget is rejected at admission (never runs, never bills); a job
+//!    that exhausts its budget mid-run pauses and resumes to the same
+//!    digest once the tenant is topped up.
+//! 3. **Crash resume** — killing the daemon mid-round and reopening the
+//!    same state dir re-queues every in-flight job and finishes all of
+//!    them bit-identically to an uninterrupted service, with the same
+//!    exact per-tenant cost partition.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datasculpt::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ds_serve_t1_{tag}_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+fn request(tenant: &str, seed: u64, queries: u64, budget: u128) -> JobRequest {
+    JobRequest {
+        tenant: tenant.to_string(),
+        dataset: "youtube".to_string(),
+        config: "base".to_string(),
+        model: "gpt-3.5".to_string(),
+        seed,
+        scale_bits: 0.05f64.to_bits(),
+        queries,
+        budget_nanousd: budget,
+    }
+}
+
+/// Plenty for any scaled-down job in this file.
+const AMPLE: u128 = 1_000_000_000_000; // $1000
+
+/// The standard three-tenant workload used by several tests.
+fn workload() -> Vec<JobRequest> {
+    vec![
+        request("acme", 11, 3, AMPLE),
+        request("acme", 12, 2, AMPLE),
+        request("globex", 21, 3, AMPLE),
+        request("globex", 22, 2, AMPLE),
+        request("initech", 31, 2, AMPLE),
+    ]
+}
+
+fn run_workload(dir: &Path, slots: usize) -> Service {
+    let mut service = Service::open(
+        dir,
+        ServeConfig {
+            slots,
+            checkpoint_every: 1,
+        },
+    )
+    .expect("open service");
+    for req in workload() {
+        service.submit(req).expect("submit");
+    }
+    service.drain().expect("drain");
+    service
+}
+
+#[test]
+fn concurrent_jobs_partition_cost_exactly() {
+    let dir = tempdir("partition");
+    let service = run_workload(&dir.join("state"), 4);
+
+    let jobs: Vec<JobStatus> = service.jobs().cloned().collect();
+    assert_eq!(jobs.len(), 5);
+    for job in &jobs {
+        assert_eq!(job.state, JobState::Completed, "{job:?}");
+        assert!(job.cost_nanousd > 0, "a completed job billed something");
+        // The recorded cost figure is exactly the job ledger's total.
+        let ledger = service.job_ledger(job.spec.id).expect("job ledger");
+        assert_eq!(job.cost_nanousd, ledger.total_cost_nanousd());
+    }
+
+    // Per-job == per-tenant == global, to the exact nano-USD and token.
+    let global = service.global_ledger();
+    let by_job: u128 = jobs.iter().map(|j| j.cost_nanousd).sum();
+    let tenant_ledgers = service.tenant_ledgers();
+    let by_tenant: u128 = tenant_ledgers
+        .values()
+        .map(|l| l.total_cost_nanousd())
+        .sum();
+    assert_eq!(by_job, global.total_cost_nanousd());
+    assert_eq!(by_tenant, global.total_cost_nanousd());
+    let tokens_by_tenant: u64 = tenant_ledgers
+        .values()
+        .map(|l| l.total_usage().total())
+        .sum();
+    assert_eq!(tokens_by_tenant, global.total_usage().total());
+
+    // The budget book took the same figures through its own path (the
+    // iteration gate), not through the ledgers.
+    for tenant in service.tenants() {
+        let spent = service.tenant_account(&tenant).spent_nanousd();
+        let ledger_total = tenant_ledgers
+            .get(&tenant)
+            .map(|l| l.total_cost_nanousd())
+            .unwrap_or(0);
+        assert_eq!(spent, ledger_total, "book vs ledger for '{tenant}'");
+    }
+
+    // Scheduling is invisible in the results: one slot, same digests.
+    let serial = run_workload(&dir.join("serial"), 1);
+    for job in &jobs {
+        let twin = serial.status(job.spec.id).expect("serial twin");
+        assert_eq!(job.digest, twin.digest, "job {} digest", job.spec.id);
+        assert_eq!(job.cost_nanousd, twin.cost_nanousd);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_budget_job_is_rejected_at_admission() {
+    let dir = tempdir("reject");
+    let mut service = Service::open(&dir.join("state"), ServeConfig::default()).expect("open");
+    service
+        .submit(request("freeloader", 1, 2, 0))
+        .expect("submit");
+    let report = service.drain().expect("drain");
+    assert_eq!(report.rejected, 1, "{report:?}");
+    assert_eq!(report.completed, 0, "{report:?}");
+    let job = service.status(1).expect("job 1");
+    assert_eq!(job.state, JobState::Rejected);
+    assert_eq!(job.cost_nanousd, 0, "a rejected job never bills");
+    assert_eq!(job.iterations, 0);
+    assert_eq!(service.tenant_account("freeloader").spent_nanousd(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn paused_job_resumes_bit_identically_after_top_up() {
+    // Baseline: the same spec under an ample budget, uninterrupted.
+    let dir = tempdir("pause");
+    let mut baseline = Service::open(&dir.join("baseline"), ServeConfig::default()).expect("open");
+    baseline
+        .submit(request("shoestring", 7, 3, AMPLE))
+        .expect("submit");
+    baseline.drain().expect("drain");
+    let want = baseline.status(1).expect("baseline job").clone();
+    assert_eq!(want.state, JobState::Completed);
+
+    // A 1000-nano-USD budget admits the fresh job (remaining > 0) but
+    // cannot cover even one iteration: the gate pauses it at the first
+    // checkpoint.
+    let mut service = Service::open(&dir.join("state"), ServeConfig::default()).expect("open");
+    service
+        .submit(request("shoestring", 7, 3, 1_000))
+        .expect("submit");
+    service.drain().expect("drain");
+    let paused = service.status(1).expect("job 1").clone();
+    assert_eq!(paused.state, JobState::Paused, "{paused:?}");
+    assert!(paused.iterations >= 1, "paused after a real iteration");
+
+    // Topping the tenant up (here: via a second submit) resumes it from
+    // its durable checkpoints to the exact baseline digest and cost.
+    service
+        .submit(request("shoestring", 8, 2, AMPLE))
+        .expect("top-up submit");
+    service.drain().expect("drain after top-up");
+    let resumed = service.status(1).expect("job 1").clone();
+    assert_eq!(resumed.state, JobState::Completed, "{resumed:?}");
+    assert_eq!(resumed.digest, want.digest, "pause/resume is invisible");
+    assert_eq!(resumed.cost_nanousd, want.cost_nanousd, "no re-billing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_daemon_resumes_all_jobs_bit_identically() {
+    let dir = tempdir("crash");
+
+    // Uninterrupted baseline for the whole workload.
+    let baseline = run_workload(&dir.join("baseline"), 4);
+    let want: Vec<JobStatus> = baseline.jobs().cloned().collect();
+
+    // The doomed service: every backend shares one kill switch, and each
+    // job's model dies after 1 live call — mid-run for every job in the
+    // workload. The service holds the same switch, so once it trips, no
+    // post-kill state reaches disk (exactly a SIGKILL's view).
+    let kill = KillSwitch::new();
+    let factory_kill = kill.clone();
+    let mut doomed = Service::open(
+        &dir.join("state"),
+        ServeConfig {
+            slots: 4,
+            checkpoint_every: 1,
+        },
+    )
+    .expect("open")
+    .with_kill_switch(kill.clone())
+    .with_backend_factory(Arc::new(move |spec: &JobSpec, dataset: &TextDataset| {
+        let sim = SimulatedLlm::new(ModelId::Gpt35Turbo, dataset.generative.clone(), spec.seed);
+        Box::new(KillAfter::new(sim, 1, factory_kill.clone()))
+    }));
+    for req in workload() {
+        doomed.submit(req).expect("submit");
+    }
+    doomed.drain().expect("drain hits the kill switch");
+    assert!(kill.is_dead(), "the injected crash actually fired");
+    // The doomed service's in-memory states after the trip are an
+    // artifact of in-process emulation (a real SIGKILL leaves no
+    // in-memory anything): the pipeline tolerates failed LLM calls by
+    // marking iterations failed, so post-trip attempts "complete" with
+    // junk. None of that reaches disk — the registry and checkpointer
+    // drop every write once the switch is dead — so only the reopened
+    // view below is meaningful.
+    drop(doomed);
+
+    // "Restart the daemon": reopen the same state dir with a healthy
+    // backend. Jobs that were mid-run when the switch tripped replay as
+    // Running and are re-queued; jobs admitted after the trip left no
+    // durable Running record and replay as plain Queued; jobs that
+    // finished before the trip keep their durable Completed record —
+    // either way, every job must end up finished and bit-identical.
+    let mut revived = Service::open(
+        &dir.join("state"),
+        ServeConfig {
+            slots: 2,
+            checkpoint_every: 1,
+        },
+    )
+    .expect("reopen");
+    assert!(
+        revived.recovered_jobs() >= 1,
+        "at least one job was mid-flight at the kill"
+    );
+    assert!(
+        revived
+            .jobs()
+            .all(|j| matches!(j.state, JobState::Queued | JobState::Completed)),
+        "nothing Failed durably: the post-kill states never reached disk"
+    );
+    revived.drain().expect("drain after restart");
+
+    for expected in &want {
+        let got = revived.status(expected.spec.id).expect("revived job");
+        assert_eq!(got.state, JobState::Completed, "{got:?}");
+        assert_eq!(
+            got.digest, expected.digest,
+            "job {} digest survives the crash",
+            expected.spec.id
+        );
+        assert_eq!(
+            got.cost_nanousd, expected.cost_nanousd,
+            "job {} cost is exactly the uninterrupted cost",
+            expected.spec.id
+        );
+    }
+
+    // The per-tenant partition is also exactly the baseline's.
+    for tenant in baseline.tenants() {
+        assert_eq!(
+            revived.tenant_account(&tenant).spent_nanousd(),
+            baseline.tenant_account(&tenant).spent_nanousd(),
+            "tenant '{tenant}' spend after crash-resume"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
